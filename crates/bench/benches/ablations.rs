@@ -1,0 +1,233 @@
+//! Design-choice ablations (see DESIGN.md §5).
+//!
+//! Each ablation prints the comparison it makes (the quantitative
+//! takeaway) and then times the cheap variant under Criterion so the
+//! harness stays fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use twocs_collectives::algorithm::Algorithm;
+use twocs_collectives::{Collective, CollectiveCostModel};
+use twocs_hw::gemm::GemmShape;
+use twocs_hw::{DeviceSpec, Precision};
+use twocs_sim::interference::InterferenceModel;
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// Ablation 1 — collective algorithm choice across message sizes.
+fn ablation_collectives(c: &mut Criterion) {
+    let dev = DeviceSpec::mi210();
+    let link = dev.network().intra_node();
+    let model = CollectiveCostModel::default();
+    println!("== ablation: collective algorithm (all-reduce time, 64 ranks) ==");
+    println!("{:>12}  {:>10}  {:>10}  {:>10}", "bytes", "ring", "tree", "halv-doub");
+    for shift in [14u32, 20, 26, 30] {
+        let bytes = 1u64 << shift;
+        let t = |alg| model.time_on_link(Collective::AllReduce, alg, bytes, 64, &link);
+        println!(
+            "{:>12}  {:>9.1}us  {:>9.1}us  {:>9.1}us",
+            bytes,
+            1e6 * t(Algorithm::Ring),
+            1e6 * t(Algorithm::Tree),
+            1e6 * t(Algorithm::HalvingDoubling),
+        );
+    }
+    let mut group = c.benchmark_group("ablations");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("collective_cost_eval", |b| {
+        b.iter(|| {
+            model.time_on_link(
+                Collective::AllReduce,
+                Algorithm::Ring,
+                std::hint::black_box(1 << 26),
+                64,
+                &link,
+            )
+        });
+    });
+    group.finish();
+}
+
+/// Ablation 2 — GEMM efficiency model vs ideal peak: the source of the
+/// operator model's error (paper §4.3.8).
+fn ablation_gemm_efficiency(c: &mut Criterion) {
+    let dev = DeviceSpec::mi210();
+    println!("== ablation: GEMM kernel-catalog efficiency vs ideal peak ==");
+    println!("{:>24}  {:>10}  {:>10}  {:>6}", "shape", "modelled", "ideal", "eff");
+    for shape in [
+        GemmShape::new(512, 512, 512),
+        GemmShape::new(2048, 1024, 256),
+        GemmShape::new(4096, 4096, 4096),
+        GemmShape::new(16_384, 768, 65_536),
+    ] {
+        let t = dev.gemm_time(shape, Precision::Fp16);
+        let ideal = shape.flops() as f64 / dev.peak_flops(Precision::Fp16);
+        println!(
+            "{:>24}  {:>8.1}us  {:>8.1}us  {:>5.0}%",
+            shape.to_string(),
+            1e6 * t,
+            1e6 * ideal,
+            100.0 * ideal / t
+        );
+    }
+    let mut group = c.benchmark_group("ablations");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("gemm_model_eval", |b| {
+        b.iter(|| dev.gemm_time(std::hint::black_box(GemmShape::new(4096, 4096, 4096)), Precision::Fp16));
+    });
+    group.finish();
+}
+
+/// Ablation 3 — interference model on/off for an overlapped iteration.
+fn ablation_interference(c: &mut Criterion) {
+    let hyper = Hyperparams::builder(8192)
+        .heads(64)
+        .layers(8)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .unwrap();
+    let par = ParallelConfig::new().tensor(16).data(8);
+    let dev = DeviceSpec::mi210();
+    let graph = IterationBuilder::new(&hyper, &par, &dev).build_training();
+    let clean = Engine::new().run(&graph).unwrap();
+    let noisy = Engine::new()
+        .with_interference(InterferenceModel::typical())
+        .run(&graph)
+        .unwrap();
+    println!("== ablation: compute/comm interference ==");
+    println!(
+        "makespan clean {:.3} ms vs with interference {:.3} ms ({:+.1}%)",
+        clean.makespan().as_millis_f64(),
+        noisy.makespan().as_millis_f64(),
+        100.0 * (noisy.makespan().as_secs_f64() / clean.makespan().as_secs_f64() - 1.0),
+    );
+    let mut group = c.benchmark_group("ablations");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group.bench_function("interference_run", |b| {
+        b.iter(|| {
+            Engine::new()
+                .with_interference(InterferenceModel::typical())
+                .run(std::hint::black_box(&graph))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Ablation 4 — per-layer gradient all-reduce vs whole-model flushing:
+/// bucket granularity controls how much DP communication can hide.
+fn ablation_buckets(c: &mut Criterion) {
+    use twocs_sim::graph::TaskGraph;
+    use twocs_sim::task::{DeviceId, OpClass};
+
+    let dev = DeviceSpec::mi210();
+    let hyper = Hyperparams::builder(8192)
+        .heads(64)
+        .layers(8)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .unwrap();
+    let par = ParallelConfig::new().tensor(16).data(8);
+
+    // Per-layer buckets: built by the standard iteration builder.
+    let bucketed = IterationBuilder::new(&hyper, &par, &dev)
+        .optimizer(false)
+        .build_training();
+    let bucketed_report = Engine::new().run(&bucketed).unwrap();
+
+    // Single flush: one big all-reduce after the whole backward pass.
+    let mut flushed = TaskGraph::new(1);
+    let single_dp = ParallelConfig::new().tensor(16); // no per-layer ARs
+    let base = IterationBuilder::new(&hyper, &single_dp, &dev)
+        .optimizer(false)
+        .build_training();
+    for t in base.tasks() {
+        flushed.push(
+            t.name.clone(),
+            t.class,
+            t.kind.clone(),
+            t.duration,
+            &t.deps.clone(),
+        );
+    }
+    let comm_model = CollectiveCostModel::default();
+    let grad_bytes = twocs_transformer::layer::layer_weight_elements(&hyper, &par)
+        * hyper.precision().bytes()
+        * hyper.layers();
+    let secs = comm_model.allreduce_time(grad_bytes, 8, dev.network());
+    let last = twocs_sim::TaskId(flushed.len() - 1);
+    flushed.collective_on(vec![DeviceId(0)], "flush_all_grads", secs, &[last], true);
+    // A token optimizer-like barrier so the flush is on the critical path.
+    let flush_id = twocs_sim::TaskId(flushed.len() - 1);
+    flushed.compute(DeviceId(0), "apply", OpClass::Other, 1e-6, &[flush_id]);
+    let flushed_report = Engine::new().run(&flushed).unwrap();
+
+    println!("== ablation: per-layer gradient buckets vs single flush ==");
+    println!(
+        "per-layer buckets: {:.3} ms (exposed comm {:.3} ms) | single flush: {:.3} ms (exposed comm {:.3} ms)",
+        bucketed_report.makespan().as_millis_f64(),
+        bucketed_report.exposed_comm_time().as_millis_f64(),
+        flushed_report.makespan().as_millis_f64(),
+        flushed_report.exposed_comm_time().as_millis_f64(),
+    );
+
+    let mut group = c.benchmark_group("ablations");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group.bench_function("bucketed_iteration", |b| {
+        b.iter(|| Engine::new().run(std::hint::black_box(&bucketed)).unwrap());
+    });
+    group.finish();
+}
+
+/// Ablation 5 — kernel fusion (paper §2.1): fusing element-wise epilogues
+/// speeds compute and thereby *raises* communication's share.
+fn ablation_fusion(c: &mut Criterion) {
+    use twocs_hw::Precision;
+    use twocs_transformer::layer::{encoder_layer_forward_fused, Fusion};
+
+    let dev = DeviceSpec::mi210();
+    let cm = CollectiveCostModel::default();
+    let hyper = Hyperparams::builder(8192)
+        .heads(64)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .unwrap();
+    let par = ParallelConfig::new().tensor(16);
+    println!("== ablation: kernel fusion (one forward layer, H=8K, TP=16) ==");
+    for fusion in [Fusion::None, Fusion::Epilogue, Fusion::Flash] {
+        let ops = encoder_layer_forward_fused(&hyper, &par, fusion);
+        let total: f64 = ops.iter().map(|o| o.time_on(&dev, Precision::Fp16, &cm)).sum();
+        let comm: f64 = ops
+            .iter()
+            .filter(|o| o.is_comm())
+            .map(|o| o.time_on(&dev, Precision::Fp16, &cm))
+            .sum();
+        println!(
+            "{:<10} {:>2} kernels, {:>7.1}us/layer, comm share {:>4.1}%",
+            format!("{fusion:?}"),
+            ops.len(),
+            1e6 * total,
+            100.0 * comm / total
+        );
+    }
+    let mut group = c.benchmark_group("ablations");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("fused_layer_generation", |b| {
+        b.iter(|| encoder_layer_forward_fused(&hyper, &par, std::hint::black_box(Fusion::Flash)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_collectives,
+    ablation_gemm_efficiency,
+    ablation_interference,
+    ablation_buckets,
+    ablation_fusion
+);
+criterion_main!(ablations);

@@ -1,0 +1,84 @@
+//! One benchmark group per paper table/figure. Each group prints the
+//! regenerated artifact once (the reproduction output), then times its
+//! generator under Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use twocs_bench::render_experiment;
+use twocs_core::experiments;
+use twocs_hw::DeviceSpec;
+
+fn bench_experiment(c: &mut Criterion, id: &'static str) {
+    // Print the artifact once so `cargo bench` output contains the
+    // regenerated rows/series.
+    println!("{}", render_experiment(id));
+
+    let def = experiments::by_id(id).expect("registered experiment");
+    let device = DeviceSpec::mi210();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function(id, |b| b.iter(|| std::hint::black_box((def.run)(&device))));
+    group.finish();
+}
+
+fn table2(c: &mut Criterion) {
+    bench_experiment(c, "table2");
+}
+fn table3(c: &mut Criterion) {
+    bench_experiment(c, "table3");
+}
+fn fig06(c: &mut Criterion) {
+    bench_experiment(c, "fig06");
+}
+fn fig07(c: &mut Criterion) {
+    bench_experiment(c, "fig07");
+}
+fn fig09b(c: &mut Criterion) {
+    bench_experiment(c, "fig09b");
+}
+fn fig10(c: &mut Criterion) {
+    bench_experiment(c, "fig10");
+}
+fn fig11(c: &mut Criterion) {
+    bench_experiment(c, "fig11");
+}
+fn fig12(c: &mut Criterion) {
+    bench_experiment(c, "fig12");
+}
+fn fig13(c: &mut Criterion) {
+    bench_experiment(c, "fig13");
+}
+fn fig14(c: &mut Criterion) {
+    bench_experiment(c, "fig14");
+}
+fn fig15(c: &mut Criterion) {
+    bench_experiment(c, "fig15");
+}
+fn speedup(c: &mut Criterion) {
+    bench_experiment(c, "speedup");
+}
+fn techniques(c: &mut Criterion) {
+    bench_experiment(c, "techniques");
+}
+fn sensitivity(c: &mut Criterion) {
+    bench_experiment(c, "sensitivity");
+}
+
+criterion_group!(
+    paper,
+    table2,
+    table3,
+    fig06,
+    fig07,
+    fig09b,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    speedup,
+    techniques,
+    sensitivity
+);
+criterion_main!(paper);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the substrates: simulator engine throughput,
+//! collective schedule generation and execution, and hardware-model
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use twocs_collectives::algorithm::{Algorithm, Collective};
+use twocs_collectives::dataplane;
+use twocs_hw::gemm::GemmShape;
+use twocs_hw::{DeviceSpec, Precision};
+use twocs_sim::graph::TaskGraph;
+use twocs_sim::task::{DeviceId, OpClass};
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.measurement_time(Duration::from_secs(4));
+    for &tasks in &[100usize, 1000, 10_000] {
+        let mut g = TaskGraph::new(4);
+        for i in 0..tasks {
+            let dev = DeviceId(i % 4);
+            let dep = if i >= 4 {
+                vec![twocs_sim::TaskId(i - 4)]
+            } else {
+                vec![]
+            };
+            g.compute(dev, format!("k{i}"), OpClass::Gemm, 1e-5, &dep);
+        }
+        group.bench_with_input(BenchmarkId::new("tasks", tasks), &g, |b, g| {
+            b.iter(|| Engine::new().run(std::hint::black_box(g)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn iteration_graph_build_and_run(c: &mut Criterion) {
+    let hyper = Hyperparams::builder(8192)
+        .heads(64)
+        .layers(24)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .unwrap();
+    let par = ParallelConfig::new().tensor(16).data(8);
+    let dev = DeviceSpec::mi210();
+    let mut group = c.benchmark_group("sim_engine");
+    group.measurement_time(Duration::from_secs(4));
+    group.bench_function("training_iteration_24_layers", |b| {
+        b.iter(|| {
+            let g = IterationBuilder::new(&hyper, &par, &dev).build_training();
+            Engine::new().run(std::hint::black_box(&g)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn collective_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.measurement_time(Duration::from_secs(4));
+    for &n in &[8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("ring_schedule", n), &n, |b, &n| {
+            b.iter(|| {
+                Algorithm::Ring
+                    .schedule(Collective::AllReduce, n, 1 << 20)
+                    .unwrap()
+            });
+        });
+    }
+    group.bench_function("dataplane_allreduce_8x64k", |b| {
+        let inputs: Vec<Vec<f32>> = (0..8).map(|r| vec![r as f32; 65_536]).collect();
+        b.iter(|| dataplane::run_allreduce(Algorithm::Ring, std::hint::black_box(&inputs)).unwrap());
+    });
+    group.finish();
+}
+
+fn hardware_models(c: &mut Criterion) {
+    let dev = DeviceSpec::mi210();
+    let mut group = c.benchmark_group("hw_models");
+    group.measurement_time(Duration::from_secs(4));
+    group.bench_function("gemm_time", |b| {
+        b.iter(|| {
+            dev.gemm_time(
+                std::hint::black_box(GemmShape::new(4096, 4096, 4096)),
+                Precision::Fp16,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    engine_throughput,
+    iteration_graph_build_and_run,
+    collective_schedules,
+    hardware_models
+);
+criterion_main!(substrates);

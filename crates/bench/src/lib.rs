@@ -1,0 +1,66 @@
+//! # twocs-bench — the benchmark harness
+//!
+//! Three Criterion bench binaries:
+//!
+//! * `paper_figures` — one benchmark group per paper table/figure. Each
+//!   group first *prints* the regenerated rows/series (the reproduction
+//!   artifact) and then times the generator.
+//! * `substrates` — microbenchmarks of the substrates themselves: the
+//!   discrete-event engine, collective schedule generation, the data
+//!   plane, and the GEMM model.
+//! * `ablations` — the design-choice ablations called out in `DESIGN.md`:
+//!   collective algorithm selection, GEMM efficiency modelling on/off,
+//!   interference on/off, and gradient-bucketing granularity.
+//!
+//! Run everything with `cargo bench -p twocs-bench`.
+
+#![forbid(unsafe_code)]
+
+use twocs_core::experiments;
+use twocs_hw::DeviceSpec;
+
+/// Run one registered experiment on the MI210 testbed and return its
+/// rendered ASCII output (used by the benches to print reproduction
+/// artifacts before timing).
+///
+/// # Panics
+/// Panics if `id` is not a registered experiment.
+#[must_use]
+pub fn render_experiment(id: &str) -> String {
+    let def = experiments::by_id(id).unwrap_or_else(|| panic!("unknown experiment `{id}`"));
+    let device = DeviceSpec::mi210();
+    let out = (def.run)(&device);
+    format!(
+        "== {} — {}\n   paper: {}\n{}",
+        def.id,
+        def.title,
+        def.paper_claim,
+        out.to_ascii()
+    )
+}
+
+/// Experiment ids that are cheap enough to time under Criterion many
+/// times (the rest are still printed once).
+#[must_use]
+pub fn cheap_experiments() -> Vec<&'static str> {
+    vec!["table2", "fig06", "fig07", "fig09b"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_works_for_cheap_experiments() {
+        for id in cheap_experiments() {
+            let s = render_experiment(id);
+            assert!(s.contains(id), "{id}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let _ = render_experiment("fig99");
+    }
+}

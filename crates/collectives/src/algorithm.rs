@@ -1,0 +1,537 @@
+//! Collective kinds and algorithm implementations.
+//!
+//! Each algorithm produces a [`CommSchedule`]: ring (bandwidth-optimal,
+//! what RCCL uses on the paper's node and what the paper's 150 GB/s peak
+//! refers to), binomial tree (latency-optimal for small payloads), and
+//! recursive halving-doubling (fewer steps than ring at equal traffic,
+//! power-of-two ranks only).
+
+use crate::error::CollectiveError;
+use crate::schedule::{ChunkTransfer, CommSchedule, CommStep, TransferOp};
+
+/// The collective operation being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Collective {
+    /// Reduce everyone's buffer and give everyone the result
+    /// (tensor-parallel activations, data-parallel gradients).
+    AllReduce,
+    /// Reduce, leaving each rank with one shard (ZeRO-style).
+    ReduceScatter,
+    /// Concatenate everyone's shard on every rank.
+    AllGather,
+    /// Personalized exchange (expert parallelism in MoE models, §6.1.1).
+    AllToAll,
+    /// One rank's buffer to everyone.
+    Broadcast,
+}
+
+impl Collective {
+    /// Canonical lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Collective::AllReduce => "all_reduce",
+            Collective::ReduceScatter => "reduce_scatter",
+            Collective::AllGather => "all_gather",
+            Collective::AllToAll => "all_to_all",
+            Collective::Broadcast => "broadcast",
+        }
+    }
+
+    /// Bytes each device must send for a payload of `bytes`, under the
+    /// bandwidth-optimal algorithm for `n` participants. These are the
+    /// standard traffic lower bounds the data plane verifies.
+    #[must_use]
+    pub fn bytes_per_device(self, bytes: u64, n: usize) -> f64 {
+        let s = bytes as f64;
+        let n_f = n as f64;
+        match self {
+            Collective::AllReduce => 2.0 * (n_f - 1.0) / n_f * s,
+            Collective::ReduceScatter | Collective::AllGather | Collective::AllToAll => {
+                (n_f - 1.0) / n_f * s
+            }
+            // Tree broadcast: interior ranks forward once; amortized ~s.
+            Collective::Broadcast => s,
+        }
+    }
+}
+
+/// The schedule-generation algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// Chunked ring: bandwidth-optimal, `O(N)` steps.
+    #[default]
+    Ring,
+    /// Binomial tree: `O(log N)` steps but full payload per step.
+    Tree,
+    /// Recursive halving/doubling: `O(log N)` steps at ring traffic;
+    /// requires power-of-two participants.
+    HalvingDoubling,
+    /// Direct pairwise exchange (all-to-all only).
+    Direct,
+}
+
+impl Algorithm {
+    /// Canonical lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Ring => "ring",
+            Algorithm::Tree => "tree",
+            Algorithm::HalvingDoubling => "halving_doubling",
+            Algorithm::Direct => "direct",
+        }
+    }
+
+    /// Build the schedule for `collective` over `participants` ranks and a
+    /// logical buffer of `elements` elements.
+    ///
+    /// # Errors
+    /// * [`CollectiveError::TooFewParticipants`] for fewer than 2 ranks.
+    /// * [`CollectiveError::RequiresPowerOfTwo`] for halving-doubling on a
+    ///   non-power-of-two rank count.
+    /// * [`CollectiveError::MismatchedBuffers`] if the
+    ///   (collective, algorithm) pair is not implemented.
+    pub fn schedule(
+        self,
+        collective: Collective,
+        participants: usize,
+        elements: usize,
+    ) -> Result<CommSchedule, CollectiveError> {
+        if participants < 2 {
+            return Err(CollectiveError::TooFewParticipants { participants });
+        }
+        match (collective, self) {
+            (Collective::AllReduce, Algorithm::Ring) => {
+                Ok(ring_allreduce(participants, elements))
+            }
+            (Collective::AllReduce, Algorithm::Tree) => Ok(tree_allreduce(participants, elements)),
+            (Collective::AllReduce, Algorithm::HalvingDoubling) => {
+                if !participants.is_power_of_two() {
+                    return Err(CollectiveError::RequiresPowerOfTwo {
+                        algorithm: "halving-doubling",
+                        participants,
+                    });
+                }
+                Ok(halving_doubling_allreduce(participants, elements))
+            }
+            (Collective::ReduceScatter, Algorithm::Ring) => {
+                Ok(ring_reduce_scatter(participants, elements))
+            }
+            (Collective::AllGather, Algorithm::Ring) => {
+                Ok(ring_all_gather(participants, elements))
+            }
+            (Collective::AllToAll, Algorithm::Direct | Algorithm::Ring) => {
+                Ok(direct_all_to_all(participants, elements))
+            }
+            (Collective::Broadcast, Algorithm::Tree | Algorithm::Ring) => {
+                Ok(tree_broadcast(participants, elements))
+            }
+            (c, a) => Err(CollectiveError::MismatchedBuffers {
+                detail: format!("{} is not implemented with the {} algorithm", c.name(), a.name()),
+            }),
+        }
+    }
+}
+
+fn xfer(src: usize, dst: usize, (start, end): (usize, usize), op: TransferOp) -> ChunkTransfer {
+    ChunkTransfer {
+        src,
+        dst,
+        start,
+        end,
+        dst_start: start,
+        op,
+    }
+}
+
+/// Ring reduce-scatter: after `N-1` steps, rank `d` holds the fully reduced
+/// chunk `(d + 1) % N`.
+fn ring_reduce_scatter(n: usize, elements: usize) -> CommSchedule {
+    let chunks = CommSchedule::chunk_ranges(elements, n);
+    let mut steps = Vec::with_capacity(n - 1);
+    for s in 0..n - 1 {
+        let mut transfers = Vec::with_capacity(n);
+        for d in 0..n {
+            let chunk = (d + n - s) % n;
+            let range = chunks[chunk];
+            if range.1 > range.0 {
+                transfers.push(xfer(d, (d + 1) % n, range, TransferOp::Reduce));
+            }
+        }
+        steps.push(CommStep { transfers });
+    }
+    CommSchedule::new(n, elements, steps)
+}
+
+/// Ring all-gather: rank `d` starts owning chunk `(d + 1) % N` (matching
+/// what ring reduce-scatter leaves behind) and after `N-1` steps everyone
+/// owns everything.
+fn ring_all_gather(n: usize, elements: usize) -> CommSchedule {
+    let chunks = CommSchedule::chunk_ranges(elements, n);
+    let mut steps = Vec::with_capacity(n - 1);
+    for s in 0..n - 1 {
+        let mut transfers = Vec::with_capacity(n);
+        for d in 0..n {
+            let chunk = (d + 1 + n - s) % n;
+            let range = chunks[chunk];
+            if range.1 > range.0 {
+                transfers.push(xfer(d, (d + 1) % n, range, TransferOp::Copy));
+            }
+        }
+        steps.push(CommStep { transfers });
+    }
+    CommSchedule::new(n, elements, steps)
+}
+
+/// Bandwidth-optimal ring all-reduce: reduce-scatter then all-gather,
+/// `2 (N-1)` steps moving `S/N` per device per step.
+fn ring_allreduce(n: usize, elements: usize) -> CommSchedule {
+    let rs = ring_reduce_scatter(n, elements);
+    let ag = ring_all_gather(n, elements);
+    let mut steps = rs.steps().to_vec();
+    steps.extend(ag.steps().iter().cloned());
+    CommSchedule::new(n, elements, steps)
+}
+
+/// Binomial-tree reduce to rank 0, then binomial broadcast.
+fn tree_allreduce(n: usize, elements: usize) -> CommSchedule {
+    let full = (0, elements);
+    let mut steps = Vec::new();
+    // Reduce up.
+    let mut gap = 1;
+    while gap < n {
+        let mut transfers = Vec::new();
+        let mut r = gap;
+        while r < n {
+            transfers.push(xfer(r, r - gap, full, TransferOp::Reduce));
+            r += 2 * gap;
+        }
+        if !transfers.is_empty() {
+            steps.push(CommStep { transfers });
+        }
+        gap *= 2;
+    }
+    // Broadcast down (reverse order).
+    steps.extend(tree_broadcast(n, elements).steps().iter().cloned());
+    CommSchedule::new(n, elements, steps)
+}
+
+/// Binomial-tree broadcast from rank 0.
+fn tree_broadcast(n: usize, elements: usize) -> CommSchedule {
+    let full = (0, elements);
+    let mut gap = 1usize;
+    while gap * 2 < n {
+        gap *= 2;
+    }
+    let mut steps = Vec::new();
+    while gap >= 1 {
+        let mut transfers = Vec::new();
+        let mut r = 0;
+        while r + gap < n {
+            if r % (2 * gap) == 0 {
+                transfers.push(xfer(r, r + gap, full, TransferOp::Copy));
+            }
+            r += 2 * gap;
+        }
+        if !transfers.is_empty() {
+            steps.push(CommStep { transfers });
+        }
+        if gap == 1 {
+            break;
+        }
+        gap /= 2;
+    }
+    CommSchedule::new(n, elements, steps)
+}
+
+/// Recursive halving (reduce-scatter) + recursive doubling (all-gather).
+/// Power-of-two ranks only.
+fn halving_doubling_allreduce(n: usize, elements: usize) -> CommSchedule {
+    debug_assert!(n.is_power_of_two());
+    let mut steps = Vec::new();
+    // seg[r] = range of the buffer rank r is still responsible for.
+    let mut seg = vec![(0usize, elements); n];
+    let mut seg_history = Vec::new();
+    let mut d = n / 2;
+    while d >= 1 {
+        seg_history.push(seg.clone());
+        let mut transfers = Vec::new();
+        for r in 0..n {
+            let p = r ^ d;
+            if p > r {
+                let (s, e) = seg[r];
+                let mid = s + (e - s) / 2;
+                // Lower rank keeps the lower half.
+                if e > mid {
+                    transfers.push(xfer(r, p, (mid, e), TransferOp::Reduce));
+                }
+                if mid > s {
+                    transfers.push(xfer(p, r, (s, mid), TransferOp::Reduce));
+                }
+                seg[r] = (s, mid);
+                seg[p] = (mid, e);
+            }
+        }
+        steps.push(CommStep { transfers });
+        d /= 2;
+    }
+    // Doubling phase: replay in reverse, exchanging owned segments.
+    let mut d = 1;
+    for prev_seg in seg_history.iter().rev() {
+        let mut transfers = Vec::new();
+        for r in 0..n {
+            let p = r ^ d;
+            if p > r {
+                let (rs, re) = seg[r];
+                let (ps, pe) = seg[p];
+                if re > rs {
+                    transfers.push(xfer(r, p, (rs, re), TransferOp::Copy));
+                }
+                if pe > ps {
+                    transfers.push(xfer(p, r, (ps, pe), TransferOp::Copy));
+                }
+            }
+        }
+        steps.push(CommStep { transfers });
+        seg = prev_seg.clone();
+        d *= 2;
+    }
+    CommSchedule::new(n, elements, steps)
+}
+
+/// Multi-ring all-reduce: split the payload into `rings` shards and run
+/// an independent ring all-reduce per shard over *rotated* ring orders
+/// (ring `k` steps from rank `r` to rank `(r + k + 1) mod N` ... in
+/// practice: ring 0 ascending, ring 1 descending, further rings rotated).
+/// On a fully-connected node the rings use disjoint directed links, so the
+/// shards move concurrently — this is how the paper's 4×MI210 node turns
+/// 100 GB/s links into 150 GB/s of ring-all-reduce bandwidth.
+///
+/// # Panics
+/// Panics if `rings` is zero.
+#[must_use]
+pub fn multi_ring_allreduce(n: usize, elements: usize, rings: usize) -> CommSchedule {
+    assert!(rings > 0, "rings must be non-zero");
+    let shards = CommSchedule::chunk_ranges(elements, rings);
+    // Per-ring rank permutations: ring 0 identity, ring 1 reversed, ring k
+    // strided, guaranteeing distinct successor maps for small ring counts.
+    let perm = |ring: usize, r: usize| -> usize {
+        match ring % 2 {
+            0 => (r + ring / 2) % n,
+            _ => (n - 1 - r + ring / 2) % n,
+        }
+    };
+    let mut merged: Vec<CommStep> = Vec::new();
+    for (ring, &(start, end)) in shards.iter().enumerate() {
+        let len = end - start;
+        if len == 0 {
+            continue;
+        }
+        let base = ring_allreduce(n, len);
+        for (si, step) in base.steps().iter().enumerate() {
+            if merged.len() <= si {
+                merged.push(CommStep::default());
+            }
+            for t in &step.transfers {
+                merged[si].transfers.push(ChunkTransfer {
+                    src: perm(ring, t.src),
+                    dst: perm(ring, t.dst),
+                    start: t.start + start,
+                    end: t.end + start,
+                    dst_start: t.dst_start + start,
+                    op: t.op,
+                });
+            }
+        }
+    }
+    CommSchedule::new(n, elements, merged)
+}
+
+/// Direct pairwise all-to-all: rank `r` sends its chunk for rank `d` to
+/// rank `d`, which stores it in chunk slot `r`. All transfers form one
+/// bulk-synchronous step (each payload is staged from the pre-exchange
+/// buffer; per-device sends still serialize on the sender's comm stream
+/// when simulated).
+fn direct_all_to_all(n: usize, elements: usize) -> CommSchedule {
+    let chunks = CommSchedule::chunk_ranges(elements, n);
+    let mut transfers = Vec::with_capacity(n * (n - 1));
+    for s in 1..n {
+        for r in 0..n {
+            let dst = (r + s) % n;
+            let range = chunks[dst];
+            if range.1 > range.0 {
+                transfers.push(ChunkTransfer {
+                    src: r,
+                    dst,
+                    start: range.0,
+                    end: range.1,
+                    dst_start: chunks[r].0,
+                    op: TransferOp::Copy,
+                });
+            }
+        }
+    }
+    CommSchedule::new(n, elements, vec![CommStep { transfers }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_allreduce_traffic_matches_formula() {
+        for n in [2usize, 3, 4, 8, 16] {
+            let elements = 16 * n; // divisible for exactness
+            let s = Algorithm::Ring
+                .schedule(Collective::AllReduce, n, elements)
+                .unwrap();
+            let expected = Collective::AllReduce.bytes_per_device(elements as u64, n);
+            for r in 0..n {
+                assert_eq!(
+                    s.elements_sent_by(r) as f64,
+                    expected,
+                    "rank {r} of {n} sent wrong volume"
+                );
+            }
+            assert_eq!(s.steps().len(), 2 * (n - 1));
+        }
+    }
+
+    #[test]
+    fn halving_doubling_traffic_matches_ring() {
+        for n in [2usize, 4, 8, 16] {
+            let elements = 16 * n;
+            let hd = Algorithm::HalvingDoubling
+                .schedule(Collective::AllReduce, n, elements)
+                .unwrap();
+            let expected = Collective::AllReduce.bytes_per_device(elements as u64, n);
+            for r in 0..n {
+                assert_eq!(hd.elements_sent_by(r) as f64, expected);
+            }
+            // log-depth: 2*log2(n) steps.
+            assert_eq!(hd.steps().len(), 2 * n.trailing_zeros() as usize);
+        }
+    }
+
+    #[test]
+    fn halving_doubling_rejects_non_power_of_two() {
+        let e = Algorithm::HalvingDoubling.schedule(Collective::AllReduce, 6, 64);
+        assert!(matches!(e, Err(CollectiveError::RequiresPowerOfTwo { .. })));
+    }
+
+    #[test]
+    fn tree_allreduce_is_log_depth() {
+        let s = Algorithm::Tree
+            .schedule(Collective::AllReduce, 8, 64)
+            .unwrap();
+        assert_eq!(s.steps().len(), 6); // 3 reduce + 3 broadcast
+    }
+
+    #[test]
+    fn tree_moves_more_bytes_than_ring_for_large_n() {
+        let n = 16;
+        let elements = 16 * n;
+        let ring = Algorithm::Ring
+            .schedule(Collective::AllReduce, n, elements)
+            .unwrap();
+        let tree = Algorithm::Tree
+            .schedule(Collective::AllReduce, n, elements)
+            .unwrap();
+        // Total wire traffic: ring 2(N-1)/N*S*N ≈ 2(N-1)S, tree 2(N-1)S as
+        // well in aggregate, but tree's *root* sends far more than a ring
+        // rank; the bottleneck rank is what matters.
+        let ring_max = (0..n).map(|r| ring.elements_sent_by(r)).max().unwrap();
+        let tree_max = (0..n).map(|r| tree.elements_sent_by(r)).max().unwrap();
+        assert!(tree_max > ring_max);
+    }
+
+    #[test]
+    fn alltoall_traffic() {
+        let n = 8;
+        let elements = 8 * n;
+        let s = Algorithm::Direct
+            .schedule(Collective::AllToAll, n, elements)
+            .unwrap();
+        let expected = Collective::AllToAll.bytes_per_device(elements as u64, n);
+        for r in 0..n {
+            assert_eq!(s.elements_sent_by(r) as f64, expected);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_in_log_steps() {
+        let s = Algorithm::Tree
+            .schedule(Collective::Broadcast, 16, 64)
+            .unwrap();
+        assert_eq!(s.steps().len(), 4);
+    }
+
+    #[test]
+    fn too_few_participants() {
+        let e = Algorithm::Ring.schedule(Collective::AllReduce, 1, 64);
+        assert!(matches!(e, Err(CollectiveError::TooFewParticipants { .. })));
+    }
+
+    #[test]
+    fn unsupported_combination_reports_clearly() {
+        let e = Algorithm::HalvingDoubling.schedule(Collective::AllGather, 8, 64);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn multi_ring_preserves_traffic_and_halves_steps_per_link() {
+        let n = 4;
+        let elements = 64 * n;
+        let single = ring_allreduce(n, elements);
+        let dual = multi_ring_allreduce(n, elements, 2);
+        // Same total wire traffic...
+        assert_eq!(
+            single.total_elements_on_wire(),
+            dual.total_elements_on_wire()
+        );
+        // ...but each step carries two transfers per rank over disjoint
+        // directed links, so the per-step payload per link halves.
+        let max_single: usize = single.steps()[0]
+            .transfers
+            .iter()
+            .map(super::super::schedule::ChunkTransfer::len)
+            .max()
+            .unwrap();
+        let max_dual: usize = dual.steps()[0]
+            .transfers
+            .iter()
+            .map(super::super::schedule::ChunkTransfer::len)
+            .max()
+            .unwrap();
+        assert_eq!(max_dual, max_single / 2);
+    }
+
+    #[test]
+    fn multi_ring_uses_disjoint_directed_links() {
+        use std::collections::HashSet;
+        let dual = multi_ring_allreduce(4, 256, 2);
+        for step in dual.steps() {
+            let mut links = HashSet::new();
+            for t in &step.transfers {
+                assert!(
+                    links.insert((t.src, t.dst)),
+                    "link ({},{}) reused within one step",
+                    t.src,
+                    t.dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_divisible_elements_still_schedule() {
+        // 7 elements over 4 ranks: chunks of 2,2,2,1.
+        let s = Algorithm::Ring.schedule(Collective::AllReduce, 4, 7).unwrap();
+        let total: usize = (0..4).map(|r| s.elements_sent_by(r)).sum();
+        // Every chunk crosses the ring 2*(n-1) times in aggregate.
+        assert_eq!(total, 7 * 2 * 3); // 2(N-1)/N * S * N = 2*3*7
+    }
+}

@@ -1,0 +1,265 @@
+//! Functional execution of schedules over real buffers.
+//!
+//! The data plane is the substrate's proof of correctness: it executes a
+//! [`CommSchedule`] step by step over per-rank `Vec<f32>` buffers, exactly
+//! as a real collective library moves and reduces chunks. Bulk-synchronous
+//! semantics: all sends of a step read the *pre-step* state, then all
+//! writes land (matching the simulator's step barriers).
+
+use crate::algorithm::{Algorithm, Collective};
+use crate::error::CollectiveError;
+use crate::schedule::{CommSchedule, TransferOp};
+
+/// Execute `schedule` over the given per-rank buffers, in place.
+///
+/// # Errors
+/// Returns [`CollectiveError::MismatchedBuffers`] if the buffer count or
+/// lengths disagree with the schedule.
+pub fn execute(schedule: &CommSchedule, buffers: &mut [Vec<f32>]) -> Result<(), CollectiveError> {
+    if buffers.len() != schedule.participants() {
+        return Err(CollectiveError::MismatchedBuffers {
+            detail: format!(
+                "schedule expects {} ranks, got {} buffers",
+                schedule.participants(),
+                buffers.len()
+            ),
+        });
+    }
+    for (i, b) in buffers.iter().enumerate() {
+        if b.len() != schedule.elements() {
+            return Err(CollectiveError::MismatchedBuffers {
+                detail: format!(
+                    "rank {i} buffer has {} elements, schedule expects {}",
+                    b.len(),
+                    schedule.elements()
+                ),
+            });
+        }
+    }
+
+    for step in schedule.steps() {
+        // Stage payloads from the pre-step state...
+        let staged: Vec<Vec<f32>> = step
+            .transfers
+            .iter()
+            .map(|t| buffers[t.src][t.start..t.end].to_vec())
+            .collect();
+        // ...then land all writes.
+        for (t, payload) in step.transfers.iter().zip(staged) {
+            let dst = &mut buffers[t.dst][t.dst_start..t.dst_start + payload.len()];
+            match t.op {
+                TransferOp::Reduce => {
+                    for (d, s) in dst.iter_mut().zip(&payload) {
+                        *d += s;
+                    }
+                }
+                TransferOp::Copy => dst.copy_from_slice(&payload),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run an all-reduce over `inputs` with the given algorithm and return the
+/// per-rank results.
+///
+/// # Errors
+/// Propagates schedule-construction errors (participant count, power-of-two
+/// requirements) and buffer mismatches.
+pub fn run_allreduce(
+    algorithm: Algorithm,
+    inputs: &[Vec<f32>],
+) -> Result<Vec<Vec<f32>>, CollectiveError> {
+    let n = inputs.len();
+    let elements = inputs.first().map_or(0, Vec::len);
+    let schedule = algorithm.schedule(Collective::AllReduce, n, elements)?;
+    let mut buffers = inputs.to_vec();
+    execute(&schedule, &mut buffers)?;
+    Ok(buffers)
+}
+
+/// Run a broadcast from rank 0 and return the per-rank results.
+///
+/// # Errors
+/// Propagates schedule-construction errors and buffer mismatches.
+pub fn run_broadcast(inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, CollectiveError> {
+    let n = inputs.len();
+    let elements = inputs.first().map_or(0, Vec::len);
+    let schedule = Algorithm::Tree.schedule(Collective::Broadcast, n, elements)?;
+    let mut buffers = inputs.to_vec();
+    execute(&schedule, &mut buffers)?;
+    Ok(buffers)
+}
+
+/// Run an all-to-all exchange. `inputs[r]` chunk `d` is the payload rank
+/// `r` addresses to rank `d`; on return, `outputs[d]` chunk `r` holds it.
+///
+/// # Errors
+/// Propagates schedule-construction errors and buffer mismatches.
+pub fn run_all_to_all(inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, CollectiveError> {
+    let n = inputs.len();
+    let elements = inputs.first().map_or(0, Vec::len);
+    let schedule = Algorithm::Direct.schedule(Collective::AllToAll, n, elements)?;
+    let mut buffers = inputs.to_vec();
+    execute(&schedule, &mut buffers)?;
+    // Local chunk: rank r keeps its own chunk r in place (no transfer).
+    Ok(buffers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_inputs(n: usize, elements: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|r| (0..elements).map(|i| (r * elements + i) as f32).collect())
+            .collect()
+    }
+
+    fn expected_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let mut out = vec![0.0; inputs[0].len()];
+        for buf in inputs {
+            for (o, v) in out.iter_mut().zip(buf) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ring_allreduce_sums_everything() {
+        for n in [2usize, 3, 4, 5, 8] {
+            let inputs = ramp_inputs(n, 12);
+            let expect = expected_sum(&inputs);
+            let outputs = run_allreduce(Algorithm::Ring, &inputs).unwrap();
+            for (r, out) in outputs.iter().enumerate() {
+                assert_eq!(out, &expect, "rank {r} of {n} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_with_non_divisible_lengths() {
+        for n in [3usize, 4, 7] {
+            for elements in [1usize, 2, 5, 13] {
+                let inputs = ramp_inputs(n, elements);
+                let expect = expected_sum(&inputs);
+                let outputs = run_allreduce(Algorithm::Ring, &inputs).unwrap();
+                for out in &outputs {
+                    assert_eq!(out, &expect, "n={n} elements={elements}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_allreduce_sums_everything() {
+        for n in [2usize, 3, 5, 8, 9] {
+            let inputs = ramp_inputs(n, 10);
+            let expect = expected_sum(&inputs);
+            let outputs = run_allreduce(Algorithm::Tree, &inputs).unwrap();
+            for out in &outputs {
+                assert_eq!(out, &expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn halving_doubling_matches_ring() {
+        for n in [2usize, 4, 8, 16] {
+            let inputs = ramp_inputs(n, 32);
+            let ring = run_allreduce(Algorithm::Ring, &inputs).unwrap();
+            let hd = run_allreduce(Algorithm::HalvingDoubling, &inputs).unwrap();
+            assert_eq!(ring, hd, "n={n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates_root() {
+        let mut inputs = ramp_inputs(8, 16);
+        let root = inputs[0].clone();
+        for b in inputs.iter_mut().skip(1) {
+            b.fill(-1.0);
+        }
+        let outputs = run_broadcast(&inputs).unwrap();
+        for out in &outputs {
+            assert_eq!(out, &root);
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_chunks() {
+        let n = 4;
+        let elements = 8; // 2 per chunk
+        // inputs[r] chunk d filled with value r*10 + d.
+        let chunks = CommSchedule::chunk_ranges(elements, n);
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| {
+                let mut v = vec![0.0; elements];
+                for (d, &(s, e)) in chunks.iter().enumerate() {
+                    v[s..e].fill((r * 10 + d) as f32);
+                }
+                v
+            })
+            .collect();
+        let outputs = run_all_to_all(&inputs).unwrap();
+        for (d, out) in outputs.iter().enumerate() {
+            for (r, &(s, e)) in chunks.iter().enumerate() {
+                // outputs[d] chunk r == inputs[r] chunk d == r*10 + d.
+                for &v in &out[s..e] {
+                    assert_eq!(v, (r * 10 + d) as f32, "dst {d} chunk {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_ring_allreduce_sums_everything() {
+        use crate::algorithm::multi_ring_allreduce;
+        for n in [2usize, 4, 8] {
+            for rings in [1usize, 2, 3] {
+                let inputs = ramp_inputs(n, 24);
+                let expect = expected_sum(&inputs);
+                let schedule = multi_ring_allreduce(n, 24, rings);
+                let mut buffers = inputs.clone();
+                execute(&schedule, &mut buffers).unwrap();
+                for (r, out) in buffers.iter().enumerate() {
+                    assert_eq!(out, &expect, "n={n} rings={rings} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_rings_halve_simulated_time_on_fully_connected_node() {
+        use crate::algorithm::multi_ring_allreduce;
+        use twocs_hw::network::LinkSpec;
+        use twocs_sim::Engine;
+        let link = LinkSpec::new(50e9, 0.0, 0.0).unwrap();
+        let elements = 4 << 20;
+        let single = multi_ring_allreduce(4, elements, 1);
+        let dual = multi_ring_allreduce(4, elements, 2);
+        let run = |s: &crate::schedule::CommSchedule| {
+            let (g, _) = s.to_task_graph(4, &link);
+            Engine::new().run(&g).unwrap().makespan().as_secs_f64()
+        };
+        let t1 = run(&single);
+        let t2 = run(&dual);
+        let speedup = t1 / t2;
+        assert!(
+            (1.8..=2.1).contains(&speedup),
+            "two disjoint rings should ~double bandwidth: {speedup}"
+        );
+    }
+
+    #[test]
+    fn mismatched_buffers_error() {
+        let s = Algorithm::Ring
+            .schedule(Collective::AllReduce, 4, 8)
+            .unwrap();
+        let mut bad = vec![vec![0.0f32; 8]; 3];
+        assert!(execute(&s, &mut bad).is_err());
+        let mut bad_len = vec![vec![0.0f32; 7]; 4];
+        assert!(execute(&s, &mut bad_len).is_err());
+    }
+}

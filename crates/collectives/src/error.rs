@@ -1,0 +1,64 @@
+//! Error type for collective construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or executing a collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CollectiveError {
+    /// Fewer than two participants.
+    TooFewParticipants {
+        /// The requested participant count.
+        participants: usize,
+    },
+    /// An algorithm requires a power-of-two participant count.
+    RequiresPowerOfTwo {
+        /// The algorithm name.
+        algorithm: &'static str,
+        /// The requested participant count.
+        participants: usize,
+    },
+    /// Data-plane buffers disagree in length or count.
+    MismatchedBuffers {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::TooFewParticipants { participants } => {
+                write!(f, "collectives need at least 2 participants, got {participants}")
+            }
+            CollectiveError::RequiresPowerOfTwo {
+                algorithm,
+                participants,
+            } => write!(
+                f,
+                "{algorithm} requires a power-of-two participant count, got {participants}"
+            ),
+            CollectiveError::MismatchedBuffers { detail } => {
+                write!(f, "mismatched data-plane buffers: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CollectiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CollectiveError::RequiresPowerOfTwo {
+            algorithm: "halving-doubling",
+            participants: 6,
+        };
+        assert!(e.to_string().contains("power-of-two"));
+        assert!(e.to_string().contains('6'));
+    }
+}

@@ -1,0 +1,367 @@
+//! Transfer schedules: the common representation of all collective
+//! algorithms.
+//!
+//! A [`CommSchedule`] is a sequence of bulk-synchronous steps; each step is
+//! a set of element-range transfers that may proceed in parallel. The same
+//! schedule drives three consumers:
+//!
+//! 1. the [`dataplane`](crate::dataplane), which executes it over real
+//!    buffers to verify semantics;
+//! 2. [`CommSchedule::to_task_graph`], which lowers it to `twocs-sim`
+//!    tasks to measure its simulated wall-clock cost;
+//! 3. byte accounting ([`CommSchedule::bytes_sent_by`]) used to check the
+//!    analytic traffic formulas.
+
+use twocs_hw::network::LinkSpec;
+use twocs_hw::topology::Topology;
+use twocs_sim::graph::TaskGraph;
+use twocs_sim::task::{DeviceId, TaskId};
+
+/// What a transfer does with the payload at the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferOp {
+    /// Element-wise add into the destination buffer (reduction).
+    Reduce,
+    /// Overwrite the destination range (gather/broadcast).
+    Copy,
+}
+
+/// One element-range transfer between two devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTransfer {
+    /// Sending device (rank).
+    pub src: usize,
+    /// Receiving device (rank).
+    pub dst: usize,
+    /// Element range `[start, end)` of the logical buffer.
+    pub start: usize,
+    /// Exclusive end of the range.
+    pub end: usize,
+    /// Start of the destination range (length always matches the source
+    /// range). Equal to `start` for every algorithm except all-to-all,
+    /// which writes the payload into the *source's* chunk slot.
+    pub dst_start: usize,
+    /// Reduction or copy at the destination.
+    pub op: TransferOp,
+}
+
+impl ChunkTransfer {
+    /// Number of elements moved.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// One bulk-synchronous step of parallel transfers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStep {
+    /// Transfers in this step (parallel, disjoint links in well-formed
+    /// schedules).
+    pub transfers: Vec<ChunkTransfer>,
+}
+
+/// A complete schedule for one collective over `participants` devices on a
+/// logical buffer of `elements` elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommSchedule {
+    participants: usize,
+    elements: usize,
+    steps: Vec<CommStep>,
+}
+
+impl CommSchedule {
+    /// Create a schedule from raw steps.
+    ///
+    /// # Panics
+    /// Panics if any transfer references an out-of-range rank or element.
+    #[must_use]
+    pub fn new(participants: usize, elements: usize, steps: Vec<CommStep>) -> Self {
+        for step in &steps {
+            for t in &step.transfers {
+                assert!(
+                    t.src < participants && t.dst < participants,
+                    "transfer rank out of range"
+                );
+                assert!(t.src != t.dst, "self transfer");
+                assert!(t.start <= t.end && t.end <= elements, "range out of bounds");
+                assert!(
+                    t.dst_start + (t.end - t.start) <= elements,
+                    "destination range out of bounds"
+                );
+            }
+        }
+        Self {
+            participants,
+            elements,
+            steps,
+        }
+    }
+
+    /// Number of participating devices.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Logical buffer length in elements.
+    #[must_use]
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// The steps, in order.
+    #[must_use]
+    pub fn steps(&self) -> &[CommStep] {
+        &self.steps
+    }
+
+    /// Total elements sent by device `rank` over the whole schedule.
+    #[must_use]
+    pub fn elements_sent_by(&self, rank: usize) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|s| &s.transfers)
+            .filter(|t| t.src == rank)
+            .map(ChunkTransfer::len)
+            .sum()
+    }
+
+    /// Total bytes sent by device `rank` given an element width.
+    #[must_use]
+    pub fn bytes_sent_by(&self, rank: usize, elem_bytes: u64) -> u64 {
+        self.elements_sent_by(rank) as u64 * elem_bytes
+    }
+
+    /// Total elements crossing the network in the whole schedule.
+    #[must_use]
+    pub fn total_elements_on_wire(&self) -> usize {
+        (0..self.participants)
+            .map(|r| self.elements_sent_by(r))
+            .sum()
+    }
+
+    /// Lower to a `twocs-sim` [`TaskGraph`]: each transfer is a p2p task
+    /// whose duration comes from the `link` model; steps are separated by
+    /// barriers (bulk-synchronous execution, like chunk-stepped RCCL).
+    ///
+    /// Returns the graph and the id of the final barrier (the collective's
+    /// completion), or `None` if the schedule is empty.
+    #[must_use]
+    pub fn to_task_graph(&self, elem_bytes: u64, link: &LinkSpec) -> (TaskGraph, Option<TaskId>) {
+        let mut g = TaskGraph::new(self.participants);
+        let mut prev_barrier: Option<TaskId> = None;
+        for (si, step) in self.steps.iter().enumerate() {
+            let deps: Vec<TaskId> = prev_barrier.into_iter().collect();
+            let mut ids = Vec::with_capacity(step.transfers.len());
+            for (ti, t) in step.transfers.iter().enumerate() {
+                let bytes = t.len() as u64 * elem_bytes;
+                let secs = link.transfer_time(bytes);
+                ids.push(g.transfer(
+                    DeviceId(t.src),
+                    DeviceId(t.dst),
+                    format!("s{si}t{ti}"),
+                    secs,
+                    &deps,
+                ));
+            }
+            prev_barrier = Some(g.barrier(format!("step{si}"), &ids));
+        }
+        (g, prev_barrier)
+    }
+
+    /// Lower to a task graph pricing each transfer by the *path* between
+    /// its endpoints in `topology` — cross-node hops pay the slower
+    /// inter-node links, intra-node hops the fast ones. Device ranks map
+    /// to topology device indices directly.
+    ///
+    /// # Panics
+    /// Panics if the topology has fewer devices than the schedule has
+    /// participants.
+    #[must_use]
+    pub fn to_task_graph_on_topology(
+        &self,
+        elem_bytes: u64,
+        topology: &Topology,
+    ) -> (TaskGraph, Option<TaskId>) {
+        assert!(
+            topology.devices() >= self.participants,
+            "topology has {} devices, schedule needs {}",
+            topology.devices(),
+            self.participants
+        );
+        let mut g = TaskGraph::new(self.participants);
+        let mut prev_barrier: Option<TaskId> = None;
+        for (si, step) in self.steps.iter().enumerate() {
+            let deps: Vec<TaskId> = prev_barrier.into_iter().collect();
+            let mut ids = Vec::with_capacity(step.transfers.len());
+            for (ti, t) in step.transfers.iter().enumerate() {
+                let bytes = t.len() as u64 * elem_bytes;
+                let path = topology
+                    .path(t.src, t.dst)
+                    .expect("ranks validated against topology size");
+                let secs = path.transfer_time(bytes);
+                ids.push(g.transfer(
+                    DeviceId(t.src),
+                    DeviceId(t.dst),
+                    format!("s{si}t{ti}"),
+                    secs,
+                    &deps,
+                ));
+            }
+            prev_barrier = Some(g.barrier(format!("step{si}"), &ids));
+        }
+        (g, prev_barrier)
+    }
+
+    /// Split `elements` into `parts` contiguous chunk ranges, distributing
+    /// the remainder over the leading chunks (chunks differ by ≤ 1).
+    #[must_use]
+    pub fn chunk_ranges(elements: usize, parts: usize) -> Vec<(usize, usize)> {
+        assert!(parts > 0, "parts must be non-zero");
+        let base = elements / parts;
+        let extra = elements % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut cursor = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < extra);
+            out.push((cursor, cursor + len));
+            cursor += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xfer(src: usize, dst: usize, start: usize, end: usize, op: TransferOp) -> ChunkTransfer {
+        ChunkTransfer {
+            src,
+            dst,
+            start,
+            end,
+            dst_start: start,
+            op,
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (elements, parts) in [(10, 3), (8, 4), (7, 8), (0, 2), (100, 7)] {
+            let ranges = CommSchedule::chunk_ranges(elements, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges[parts - 1].1, elements);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            let max = ranges.iter().map(|(s, e)| e - s).max().unwrap();
+            let min = ranges.iter().map(|(s, e)| e - s).min().unwrap();
+            assert!(max - min <= 1, "balanced");
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let s = CommSchedule::new(
+            2,
+            10,
+            vec![CommStep {
+                transfers: vec![xfer(0, 1, 0, 10, TransferOp::Reduce)],
+            }],
+        );
+        assert_eq!(s.elements_sent_by(0), 10);
+        assert_eq!(s.elements_sent_by(1), 0);
+        assert_eq!(s.bytes_sent_by(0, 2), 20);
+        assert_eq!(s.total_elements_on_wire(), 10);
+    }
+
+    #[test]
+    fn task_graph_serializes_steps() {
+        use twocs_sim::Engine;
+        let link = LinkSpec::new(100e9, 0.0, 0.0).unwrap();
+        let s = CommSchedule::new(
+            2,
+            100,
+            vec![
+                CommStep {
+                    transfers: vec![xfer(0, 1, 0, 100, TransferOp::Reduce)],
+                },
+                CommStep {
+                    transfers: vec![xfer(1, 0, 0, 100, TransferOp::Copy)],
+                },
+            ],
+        );
+        let (g, end) = s.to_task_graph(4, &link);
+        assert!(end.is_some());
+        let r = Engine::new().run(&g).unwrap();
+        // Two serialized 400-byte transfers at 100 GB/s with zero ramp.
+        let expected = 2.0 * 400.0 / 100e9;
+        assert!((r.makespan().as_secs_f64() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topology_lowering_pays_for_cross_node_hops() {
+        use twocs_sim::Engine;
+        let intra = LinkSpec::new(50e9, 0.0, 0.0).unwrap();
+        let inter = LinkSpec::new(5e9, 0.0, 0.0).unwrap();
+        let flat = Topology::FullyConnected {
+            devices: 8,
+            link: intra,
+        };
+        let multi = Topology::Hierarchical {
+            nodes: 2,
+            node_size: 4,
+            intra,
+            inter,
+        };
+        let schedule = crate::algorithm::Algorithm::Ring
+            .schedule(crate::algorithm::Collective::AllReduce, 8, 8 << 20)
+            .unwrap();
+        let run = |topo: &Topology| {
+            let (g, _) = schedule.to_task_graph_on_topology(4, topo);
+            Engine::new().run(&g).unwrap().makespan().as_secs_f64()
+        };
+        let t_flat = run(&flat);
+        let t_multi = run(&multi);
+        // The naive (topology-oblivious) ring crosses the slow inter-node
+        // link on every step, so it should be several times slower — the
+        // reason hierarchical algorithms exist.
+        assert!(
+            t_multi > 3.0 * t_flat,
+            "flat {t_flat} vs hierarchical {t_multi}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self transfer")]
+    fn self_transfer_rejected() {
+        let _ = CommSchedule::new(
+            2,
+            10,
+            vec![CommStep {
+                transfers: vec![xfer(0, 0, 0, 5, TransferOp::Copy)],
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_elements_rejected() {
+        let _ = CommSchedule::new(
+            2,
+            10,
+            vec![CommStep {
+                transfers: vec![xfer(0, 1, 5, 12, TransferOp::Copy)],
+            }],
+        );
+    }
+}

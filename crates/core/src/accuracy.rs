@@ -1,0 +1,117 @@
+//! Operator-model accuracy and profiling-cost reporting (paper §4.3.8,
+//! Figure 15) rendered as workspace [`Figure`]s/[`Table`]s.
+
+use crate::report::{Figure, Series, Table};
+use twocs_hw::DeviceSpec;
+use twocs_opmodel::cost_accounting;
+use twocs_opmodel::validation::{self, SweepValidation};
+
+/// Figure 15 as one figure per sweep: projected and measured series.
+#[must_use]
+pub fn figure15(device: &DeviceSpec) -> Vec<Figure> {
+    validation::figure15_suite(device)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| sweep_to_figure(&v, &format!("fig15.{}", (b'a' + i as u8) as char)))
+        .collect()
+}
+
+fn sweep_to_figure(v: &SweepValidation, id: &str) -> Figure {
+    let projected: Vec<(f64, f64)> = v.points.iter().map(|p| (p.x, p.projected)).collect();
+    let measured: Vec<(f64, f64)> = v.points.iter().map(|p| (p.x, p.measured)).collect();
+    Figure::new(
+        id,
+        format!("{} (geomean err {:.1}%)", v.label, 100.0 * v.geomean_error()),
+        "swept value",
+        "runtime (s)",
+    )
+    .with_series(Series::new("projected", projected))
+    .with_series(Series::new("measured", measured))
+}
+
+/// Error-summary table across the Figure 15 suite.
+#[must_use]
+pub fn error_table(device: &DeviceSpec) -> Table {
+    let mut table = Table::new(
+        "fig15-errors",
+        "Operator-model accuracy (projected vs measured)",
+        vec![
+            "sweep".into(),
+            "geomean error %".into(),
+            "max error %".into(),
+        ],
+    );
+    for v in validation::figure15_suite(device) {
+        table.push_row(vec![
+            v.label.clone(),
+            format!("{:.1}", 100.0 * v.geomean_error()),
+            format!("{:.1}", 100.0 * v.max_error()),
+        ]);
+    }
+    table
+}
+
+/// Profiling-speedup table (paper: 2100× and 1.5×).
+#[must_use]
+pub fn speedup_table(device: &DeviceSpec) -> Table {
+    let report = cost_accounting::account(device);
+    let mut table = Table::new(
+        "speedups",
+        "Profiling-cost reduction of the empirical strategy",
+        vec!["quantity".into(), "value".into()],
+    );
+    table.push_row(vec![
+        "configurations avoided".into(),
+        report.configs.to_string(),
+    ]);
+    table.push_row(vec![
+        "exhaustive profiling (s, device time)".into(),
+        format!("{:.1}", report.exhaustive_seconds),
+    ]);
+    table.push_row(vec![
+        "strategy profiling (s, device time)".into(),
+        format!("{:.3}", report.strategy_seconds),
+    ]);
+    table.push_row(vec![
+        "strategy speedup (paper: 2100x)".into(),
+        format!("{:.0}x", report.speedup()),
+    ]);
+    table.push_row(vec![
+        "ROI-extraction speedup (paper: 1.5x)".into(),
+        format!("{:.2}x", report.roi_speedup()),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure15_has_five_panels_with_both_series() {
+        let figs = figure15(&DeviceSpec::mi210());
+        assert_eq!(figs.len(), 5);
+        for f in &figs {
+            assert_eq!(f.series.len(), 2);
+            assert!(!f.series[0].points.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_table_reports_all_sweeps_under_paper_band() {
+        let t = error_table(&DeviceSpec::mi210());
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            let geomean: f64 = row[1].parse().unwrap();
+            assert!(geomean < 20.0, "{}: {geomean}%", row[0]);
+        }
+    }
+
+    #[test]
+    fn speedup_table_is_complete() {
+        let t = speedup_table(&DeviceSpec::mi210());
+        assert_eq!(t.rows.len(), 5);
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("speedup"));
+    }
+}

@@ -1,0 +1,216 @@
+//! The paper's §3 algorithmic analysis, system-agnostic by construction.
+//!
+//! All quantities are exact operation/byte counts in terms of the
+//! hyperparameters (Eqs. 1–9):
+//!
+//! * FC GEMM ops `2·(4H · H/TP · SL · B)` — Eq. 1
+//! * Attention GEMM ops `2·(H/TP · SL · SL · B)` — Eq. 2
+//! * Linear GEMM ops `3·2·(H/TP · H · SL · B)` — Eq. 3
+//! * Serialized all-reduce bytes `(precision/8)·(H·SL·B)` per AR — Eq. 5
+//! * **Amdahl's-law edge** `O((H+SL)/TP)` — Eq. 6
+//! * **Slack advantage** `O(SL·B)` — Eq. 9
+
+use twocs_hw::Precision;
+use twocs_transformer::Hyperparams;
+
+/// Eq. 1 — forward FC GEMM multiply-add count per layer, per device.
+#[must_use]
+pub fn fc_gemm_ops(h: u64, sl: u64, b: u64, tp: u64) -> u64 {
+    2 * (4 * h * (h / tp) * sl * b)
+}
+
+/// Eq. 2 — forward attention GEMM multiply-add count per layer, per
+/// device.
+#[must_use]
+pub fn attention_gemm_ops(h: u64, sl: u64, b: u64, tp: u64) -> u64 {
+    2 * ((h / tp) * sl * sl * b)
+}
+
+/// Eq. 3 — forward linear (QKV + output projection) GEMM count per layer,
+/// per device.
+#[must_use]
+pub fn linear_gemm_ops(h: u64, sl: u64, b: u64, tp: u64) -> u64 {
+    3 * 2 * ((h / tp) * h * sl * b)
+}
+
+/// Eq. 4 — overall forward compute ops per layer, per device:
+/// `O(H·SL·B/TP · (H + SL))`.
+#[must_use]
+pub fn overall_compute_ops(h: u64, sl: u64, b: u64, tp: u64) -> u64 {
+    // The paper counts FC twice (two FC GEMMs) via the 2·4H² term and
+    // attention twice (scores + context).
+    2 * fc_gemm_ops(h, sl, b, tp) + 2 * attention_gemm_ops(h, sl, b, tp)
+        + linear_gemm_ops(h, sl, b, tp)
+        + 2 * (h / tp) * h * sl * b // output projection
+}
+
+/// Eq. 5 — bytes of one serialized all-reduce of the layer activations.
+#[must_use]
+pub fn serialized_ar_bytes(h: u64, sl: u64, b: u64, precision: Precision) -> u64 {
+    precision.bytes() * h * sl * b
+}
+
+/// Eq. 6 — compute's Amdahl's-law edge over serialized communication,
+/// in flops per byte: `O((H + SL)/TP)` up to constants.
+#[must_use]
+pub fn amdahls_edge(h: u64, sl: u64, tp: u64) -> f64 {
+    (h + sl) as f64 / tp as f64
+}
+
+/// Eq. 7 — FC weight-gradient + error GEMM ops (the overlapped-comm ROI).
+#[must_use]
+pub fn fc_backward_ops(h: u64, sl: u64, b: u64, tp: u64) -> u64 {
+    4 * (4 * h * (h / tp) * sl * b)
+}
+
+/// Eq. 8 — bytes of the FC weight-gradient all-reduce.
+#[must_use]
+pub fn fc_grad_bytes(h: u64, tp: u64, precision: Precision) -> u64 {
+    precision.bytes() * 4 * h * (h / tp)
+}
+
+/// Eq. 9 — compute's slack advantage over overlapped communication:
+/// `O(SL · B)`.
+#[must_use]
+pub fn slack_advantage(sl: u64, b: u64) -> f64 {
+    (sl * b) as f64
+}
+
+/// The full algorithmic profile of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgorithmicProfile {
+    /// Hidden size.
+    pub h: u64,
+    /// Sequence length.
+    pub sl: u64,
+    /// Batch size.
+    pub b: u64,
+    /// Tensor-parallel degree.
+    pub tp: u64,
+    /// Forward compute ops per layer per device (Eq. 4).
+    pub compute_ops: u64,
+    /// Serialized AR bytes per layer (4 ARs, Eq. 5).
+    pub serialized_bytes: u64,
+    /// Amdahl's-law edge (Eq. 6).
+    pub edge: f64,
+    /// Slack advantage (Eq. 9).
+    pub slack: f64,
+}
+
+impl AlgorithmicProfile {
+    /// Profile a configuration.
+    ///
+    /// # Panics
+    /// Panics if `tp` does not divide `h`.
+    #[must_use]
+    pub fn new(hyper: &Hyperparams, tp: u64) -> Self {
+        assert!(
+            tp > 0 && hyper.hidden().is_multiple_of(tp),
+            "TP must divide the hidden size"
+        );
+        let (h, sl, b) = (hyper.hidden(), hyper.seq_len(), hyper.batch());
+        Self {
+            h,
+            sl,
+            b,
+            tp,
+            compute_ops: overall_compute_ops(h, sl, b, tp),
+            serialized_bytes: 4 * serialized_ar_bytes(h, sl, b, hyper.precision()),
+            edge: amdahls_edge(h, sl, tp),
+            slack: slack_advantage(sl, b),
+        }
+    }
+
+    /// Exact flops-per-serialized-byte ratio (the edge with its
+    /// constants).
+    #[must_use]
+    pub fn flops_per_byte(&self) -> f64 {
+        self.compute_ops as f64 / self.serialized_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_eq2_eq3_constants() {
+        // Spot values from the formulas.
+        assert_eq!(fc_gemm_ops(8, 4, 2, 2), 2 * 4 * 8 * 4 * 4 * 2);
+        assert_eq!(attention_gemm_ops(8, 4, 2, 2), 2 * 4 * 4 * 4 * 2);
+        assert_eq!(linear_gemm_ops(8, 4, 2, 2), 6 * 4 * 8 * 4 * 2);
+    }
+
+    #[test]
+    fn eq4_matches_workload_generator() {
+        // The algebraic count must equal the FLOPs of the generated
+        // forward op graph (both per layer, per device, ff = 4H).
+        use twocs_transformer::layer::forward_flops;
+        use twocs_transformer::ParallelConfig;
+        let hyper = Hyperparams::builder(4096)
+            .heads(32)
+            .seq_len(2048)
+            .batch(2)
+            .build()
+            .unwrap();
+        for tp in [1u64, 4, 16] {
+            let algebra = overall_compute_ops(4096, 2048, 2, tp);
+            let graph = forward_flops(&hyper, &ParallelConfig::new().tensor(tp));
+            assert_eq!(algebra, graph, "TP={tp}");
+        }
+    }
+
+    #[test]
+    fn edge_grows_with_h_and_sl_drops_with_tp() {
+        assert!(amdahls_edge(8192, 2048, 8) > amdahls_edge(4096, 2048, 8));
+        assert!(amdahls_edge(4096, 4096, 8) > amdahls_edge(4096, 2048, 8));
+        assert!(amdahls_edge(4096, 2048, 64) < amdahls_edge(4096, 2048, 8));
+    }
+
+    #[test]
+    fn slack_is_sl_times_b() {
+        assert_eq!(slack_advantage(2048, 4), 8192.0);
+    }
+
+    #[test]
+    fn eq7_over_eq8_gives_slack_complexity() {
+        // ops / elements = 4·SL·B -> O(SL·B).
+        let h = 4096;
+        let (sl, b, tp) = (1024, 2, 8);
+        let ops = fc_backward_ops(h, sl, b, tp);
+        let elems = fc_grad_bytes(h, tp, Precision::Fp16) / 2;
+        assert_eq!(ops / elems, 4 * sl * b);
+    }
+
+    #[test]
+    fn profile_is_consistent() {
+        let hyper = Hyperparams::builder(8192)
+            .heads(64)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap();
+        let p = AlgorithmicProfile::new(&hyper, 8);
+        assert_eq!(p.edge, (8192.0 + 2048.0) / 8.0);
+        assert_eq!(p.slack, 2048.0);
+        assert!(p.flops_per_byte() > 100.0);
+        // Edge is proportional to the exact flops/byte ratio as H, SL vary
+        // at fixed TP (same constants).
+        let hyper2 = Hyperparams::builder(16_384)
+            .heads(64)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap();
+        let p2 = AlgorithmicProfile::new(&hyper2, 8);
+        assert!(p2.flops_per_byte() > p.flops_per_byte());
+        assert!(p2.edge > p.edge);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_tp_rejected() {
+        let hyper = Hyperparams::builder(1000).heads(8).build().unwrap();
+        let _ = AlgorithmicProfile::new(&hyper, 3);
+    }
+}

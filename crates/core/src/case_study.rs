@@ -1,0 +1,208 @@
+//! End-to-end case study (paper §4.3.7, Figure 14).
+//!
+//! Setup: `H = 64K, B = 1, SL = 4K, TP = 128`, flop-vs.-bw = 4×, with data
+//! parallelism on top. The paper finds 47% of time in serialized (TP)
+//! communication and 9% in overlapped (DP) communication that is fully
+//! hidden — until slower inter-node links (~8×) and compute/comm
+//! interference push part of the DP communication onto the critical path.
+
+use twocs_hw::network::NetworkSpec;
+use twocs_hw::{DeviceSpec, HwEvolution, PinMode};
+use twocs_sim::interference::InterferenceModel;
+use twocs_sim::task::StreamKind;
+use twocs_sim::{DeviceId, Engine};
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// Which §4.3.7 scenario to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Scenario {
+    /// DP communication on fast intra-node links, no interference.
+    IntraNode,
+    /// DP communication over `slowdown`× slower inter-node links, with
+    /// optional compute/communication interference.
+    InterNode {
+        /// Bandwidth penalty on the DP fabric (the paper cites ~8×).
+        slowdown: f64,
+        /// Model co-location interference between compute and comm.
+        interference: bool,
+    },
+}
+
+/// Outcome of one case-study run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseStudyResult {
+    /// End-to-end iteration time, seconds.
+    pub makespan: f64,
+    /// Serialized (TP) communication as a fraction of the makespan.
+    pub serialized_fraction: f64,
+    /// Overlapped (DP) communication busy time as a fraction of the
+    /// makespan.
+    pub overlapped_fraction: f64,
+    /// The part of DP communication that is *exposed* (not hidden behind
+    /// compute), as a fraction of the makespan.
+    pub exposed_dp_fraction: f64,
+}
+
+impl CaseStudyResult {
+    /// Total communication on the critical path (serialized + exposed DP).
+    #[must_use]
+    pub fn critical_comm_fraction(&self) -> f64 {
+        self.serialized_fraction + self.exposed_dp_fraction
+    }
+
+    /// Whether the DP communication is (essentially) fully hidden.
+    #[must_use]
+    pub fn dp_fully_hidden(&self) -> bool {
+        self.exposed_dp_fraction < 0.01
+    }
+}
+
+/// The case-study hyperparameters (`H = 64K, SL = 4K, B = 1`; 16 layers
+/// simulated — enough depth that the final gradient all-reduce, which has
+/// no later backward work to hide behind, amortizes below 1% as it would
+/// at the full 128-layer depth).
+#[must_use]
+pub fn case_hyper() -> Hyperparams {
+    Hyperparams::builder(65_536)
+        .heads(256)
+        .layers(16)
+        .seq_len(4096)
+        .batch(1)
+        .build()
+        .expect("case-study hyperparameters are valid")
+}
+
+/// Run the case study on an MI210-class device evolved by
+/// `flop_vs_bw`× (the paper uses 4×).
+#[must_use]
+pub fn run(scenario: Scenario, flop_vs_bw: f64) -> CaseStudyResult {
+    let device = HwEvolution::flop_vs_bw(flop_vs_bw).apply(&DeviceSpec::mi210());
+    let hyper = case_hyper();
+    let parallel = ParallelConfig::new().tensor(128).data(4);
+
+    let mut builder = IterationBuilder::new(&hyper, &parallel, &device).optimizer(false);
+    let mut engine = Engine::new();
+    if let Scenario::InterNode {
+        slowdown,
+        interference,
+    } = scenario
+    {
+        let base = device.network();
+        let dp_net = NetworkSpec::new(
+            base.inter_node(),
+            base.inter_node(),
+            base.ring_allreduce_bandwidth() / slowdown,
+            PinMode::None,
+        )
+        .expect("valid DP network");
+        builder = builder.dp_network(dp_net);
+        if interference {
+            engine = engine.with_interference(InterferenceModel::typical());
+        }
+    }
+
+    let timeline = engine
+        .run_trace(&builder.build_training())
+        .expect("case-study graph is valid");
+    let dev = DeviceId(0);
+    let makespan = timeline.makespan().as_secs_f64();
+    // TP all-reduces run on the primary comm stream, DP gradient
+    // all-reduces on the secondary one.
+    let serialized_busy = timeline.stream_busy(dev, StreamKind::Comm).as_secs_f64();
+    let dp_busy = timeline.stream_busy(dev, StreamKind::CommAlt).as_secs_f64();
+    // Exposed communication overlaps neither compute nor other comm; TP
+    // all-reduces are always exposed (they are chained), so anything above
+    // them is DP communication on the critical path.
+    let exposed = timeline.exposed_comm(dev).as_secs_f64();
+    let exposed_dp = (exposed - serialized_busy).max(0.0);
+
+    CaseStudyResult {
+        makespan,
+        serialized_fraction: serialized_busy / makespan,
+        overlapped_fraction: dp_busy / makespan,
+        exposed_dp_fraction: exposed_dp / makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_matches_figure14_shape() {
+        // Paper: 47% serialized, 9% overlapped and fully hidden.
+        let r = run(Scenario::IntraNode, 4.0);
+        assert!(
+            (0.40..=0.60).contains(&r.serialized_fraction),
+            "serialized {:.1}%",
+            100.0 * r.serialized_fraction
+        );
+        assert!(
+            (0.04..=0.18).contains(&r.overlapped_fraction),
+            "overlapped {:.1}%",
+            100.0 * r.overlapped_fraction
+        );
+        assert!(r.dp_fully_hidden(), "DP comm should be hidden: {r:?}");
+        assert!(
+            (r.critical_comm_fraction() - r.serialized_fraction).abs() < 0.02,
+            "critical-path comm should be the serialized part"
+        );
+    }
+
+    #[test]
+    fn inter_node_slowdown_exposes_dp_comm() {
+        // Paper scenario 3: with ~8x slower inter-node links and
+        // interference, DP communication is no longer completely hidden.
+        let r = run(
+            Scenario::InterNode {
+                slowdown: 8.0,
+                interference: true,
+            },
+            4.0,
+        );
+        assert!(!r.dp_fully_hidden(), "DP comm should be exposed: {r:?}");
+        assert!(r.exposed_dp_fraction > 0.05, "exposed {:.1}%", 100.0 * r.exposed_dp_fraction);
+        assert!(r.critical_comm_fraction() > 0.5);
+    }
+
+    #[test]
+    fn inter_node_is_slower_end_to_end() {
+        let fast = run(Scenario::IntraNode, 4.0);
+        let slow = run(
+            Scenario::InterNode {
+                slowdown: 8.0,
+                interference: false,
+            },
+            4.0,
+        );
+        assert!(slow.makespan > fast.makespan);
+    }
+
+    #[test]
+    fn no_evolution_has_lower_comm_share() {
+        let now = run(Scenario::IntraNode, 1.0);
+        let future = run(Scenario::IntraNode, 4.0);
+        assert!(now.serialized_fraction < future.serialized_fraction);
+    }
+
+    #[test]
+    fn interference_only_affects_overlap_window() {
+        let clean = run(
+            Scenario::InterNode {
+                slowdown: 8.0,
+                interference: false,
+            },
+            4.0,
+        );
+        let noisy = run(
+            Scenario::InterNode {
+                slowdown: 8.0,
+                interference: true,
+            },
+            4.0,
+        );
+        assert!(noisy.makespan >= clean.makespan);
+    }
+}

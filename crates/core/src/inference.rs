@@ -1,0 +1,107 @@
+//! Distributed-inference analysis (paper §6.3).
+//!
+//! Inference runs only the forward pass — no backward GEMMs, no gradient
+//! all-reduces — but tensor parallelism's **two serialized all-reduces per
+//! layer remain on the critical path**. With only a third of training's
+//! compute per layer to amortize them, the communication *fraction* of
+//! distributed inference is at least as high as training's, which is why
+//! the paper says its Comp-vs-Comm analysis translates to inference.
+
+use crate::report::{Figure, Series};
+use twocs_hw::DeviceSpec;
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// Serialized-communication fraction of a forward-only (inference) pass.
+#[must_use]
+pub fn inference_comm_fraction(
+    device: &DeviceSpec,
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+) -> f64 {
+    let graph = IterationBuilder::new(hyper, parallel, device).build_inference();
+    Engine::new()
+        .run(&graph)
+        .expect("valid inference graph")
+        .comm_fraction()
+}
+
+/// Inference vs. training communication fraction across TP degrees for a
+/// PaLM-1×-class model.
+#[must_use]
+pub fn inference_vs_training_figure(device: &DeviceSpec) -> Figure {
+    let hyper = Hyperparams::builder(16_384)
+        .heads(256)
+        .layers(2)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .expect("valid model");
+    let tps = [8u64, 16, 32, 64, 128, 256];
+    let mut infer = Vec::new();
+    let mut train = Vec::new();
+    for &tp in &tps {
+        let parallel = ParallelConfig::new().tensor(tp);
+        infer.push((
+            tp as f64,
+            100.0 * inference_comm_fraction(device, &hyper, &parallel),
+        ));
+        let graph = IterationBuilder::new(&hyper, &parallel, device)
+            .optimizer(false)
+            .build_training();
+        let f = Engine::new()
+            .run(&graph)
+            .expect("valid training graph")
+            .comm_fraction();
+        train.push((tp as f64, 100.0 * f));
+    }
+    Figure::new(
+        "inference",
+        "Serialized communication: inference vs training (H=16K)",
+        "TP degree",
+        "% of time",
+    )
+    .with_series(Series::new("inference (fwd only)", infer))
+    .with_series(Series::new("training (fwd+bwd)", train))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_comm_fraction_at_least_training() {
+        // Same per-layer all-reduce count over less compute.
+        let device = DeviceSpec::mi210();
+        let fig = inference_vs_training_figure(&device);
+        let infer = &fig.series[0];
+        let train = &fig.series[1];
+        for (i, t) in infer.points.iter().zip(&train.points) {
+            assert!(
+                i.1 >= 0.95 * t.1,
+                "TP={}: inference {:.1}% vs training {:.1}%",
+                i.0,
+                i.1,
+                t.1
+            );
+        }
+    }
+
+    #[test]
+    fn inference_fraction_grows_with_tp() {
+        let device = DeviceSpec::mi210();
+        let hyper = Hyperparams::builder(16_384)
+            .heads(256)
+            .layers(2)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap();
+        let f = |tp: u64| {
+            inference_comm_fraction(&device, &hyper, &ParallelConfig::new().tensor(tp))
+        };
+        assert!(f(16) < f(64));
+        assert!(f(64) < f(256));
+    }
+}

@@ -1,0 +1,142 @@
+//! Overlapped-communication (slack) analysis (paper §4.3.5, Figure 11).
+//!
+//! The paper's ROI methodology: extract the backward FC GEMM pair and the
+//! data-parallel gradient all-reduce it must hide, execute only those in
+//! isolation, and report communication as a percentage of the compute it
+//! overlaps with. ≥100% means the communication cannot be hidden.
+
+use crate::report::{Figure, Series};
+use twocs_hw::DeviceSpec;
+use twocs_opmodel::Profiler;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// The Figure 11 sweep grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapSweep {
+    /// Hidden sizes, one series each.
+    pub hs: Vec<u64>,
+    /// `SL·B` token counts (x-axis); profiled at `B = 1`.
+    pub slbs: Vec<u64>,
+    /// Tensor-parallel degree (the paper fixes TP = 16).
+    pub tp: u64,
+    /// Data-parallel degree (the result is largely DP-agnostic; the
+    /// paper's node has 4 GPUs).
+    pub dp: u64,
+}
+
+impl Default for OverlapSweep {
+    fn default() -> Self {
+        Self {
+            hs: vec![1024, 4096, 16_384, 65_536],
+            slbs: vec![1024, 2048, 4096, 8192, 16_384, 32_768],
+            tp: 16,
+            dp: 4,
+        }
+    }
+}
+
+/// Hyperparameters for one overlap ROI point (heads fixed power-of-two).
+#[must_use]
+pub fn roi_hyper(h: u64, slb: u64) -> Hyperparams {
+    Hyperparams::builder(h)
+        .heads((h / 64).clamp(16, 256))
+        .seq_len(slb)
+        .batch(1)
+        .build()
+        .expect("ROI hyperparameters are valid")
+}
+
+/// Overlapped communication as a percentage of the compute it hides
+/// behind, for one configuration.
+#[must_use]
+pub fn overlap_pct(device: &DeviceSpec, h: u64, slb: u64, tp: u64, dp: u64) -> f64 {
+    let hyper = roi_hyper(h, slb);
+    let parallel = ParallelConfig::new().tensor(tp.min(hyper.heads())).data(dp);
+    let (compute, comm) = Profiler::new(device.clone()).profile_slack_roi(&hyper, &parallel);
+    100.0 * comm / compute
+}
+
+/// Generate Figure 11 on `device`.
+#[must_use]
+pub fn figure11(device: &DeviceSpec, sweep: &OverlapSweep) -> Figure {
+    let mut fig = Figure::new(
+        "fig11",
+        "Overlapped communication as a percentage of compute time",
+        "SL*B",
+        "% of compute",
+    );
+    for &h in &sweep.hs {
+        let points: Vec<(f64, f64)> = sweep
+            .slbs
+            .iter()
+            .map(|&slb| (slb as f64, overlap_pct(device, h, slb, sweep.tp, sweep.dp)))
+            .collect();
+        fig = fig.with_series(Series::new(format!("H={h}"), points));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::mi210()
+    }
+
+    #[test]
+    fn overlap_falls_as_slb_grows() {
+        // Eq. 9: slack is O(SL*B), so the comm percentage drops ~1/SLB.
+        for h in [4096u64, 16_384] {
+            let small = overlap_pct(&device(), h, 1024, 16, 4);
+            let large = overlap_pct(&device(), h, 32_768, 16, 4);
+            assert!(
+                large < small / 8.0,
+                "H={h}: {small}% at 1K vs {large}% at 32K"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_h_has_higher_overlap_pct() {
+        // §4.3.5: smaller H under-utilizes network bandwidth, leaving a
+        // larger overlap percentage (a hardware effect the algorithmic
+        // analysis misses).
+        let small_h = overlap_pct(&device(), 1024, 4096, 16, 4);
+        let big_h = overlap_pct(&device(), 65_536, 4096, 16, 4);
+        assert!(small_h > 1.5 * big_h, "H=1K {small_h}% vs H=64K {big_h}%");
+    }
+
+    #[test]
+    fn default_sweep_spans_paper_band() {
+        // Paper: 17% to 140% across the sweep; 20-55% at SL*B = 4K. Our
+        // substrate spans a compatible (slightly wider) range.
+        let fig = figure11(&device(), &OverlapSweep::default());
+        let (lo, hi) = fig.y_range().unwrap();
+        assert!(lo < 20.0, "low end {lo}%");
+        assert!(hi > 100.0, "high end {hi}% should show exposable comm");
+        assert!(hi < 400.0, "high end {hi}% unreasonably high");
+    }
+
+    #[test]
+    fn result_is_dp_degree_insensitive_at_saturating_sizes() {
+        // §4.3.2: the DP analysis is largely agnostic to DP degree (ring
+        // AR traffic scales as (N-1)/N). This holds once per-rank chunks
+        // saturate the links — large gradients do; small ones pay extra
+        // per-step latency and chunk-granularity penalties.
+        let a = overlap_pct(&device(), 65_536, 4096, 16, 4);
+        let b = overlap_pct(&device(), 65_536, 4096, 16, 64);
+        let ratio = b / a;
+        assert!((0.8..=1.5).contains(&ratio), "DP 4 vs 64 ratio {ratio}");
+    }
+
+    #[test]
+    fn one_series_per_h() {
+        let sweep = OverlapSweep::default();
+        let fig = figure11(&device(), &sweep);
+        assert_eq!(fig.series.len(), sweep.hs.len());
+        for s in &fig.series {
+            assert_eq!(s.points.len(), sweep.slbs.len());
+        }
+    }
+}

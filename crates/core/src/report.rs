@@ -1,0 +1,316 @@
+//! Result containers and renderers.
+//!
+//! Every experiment produces a [`Figure`] (series over an x-axis) or a
+//! [`Table`] (rows of cells). Both render to aligned ASCII for terminals
+//! and to CSV for plotting.
+
+use std::fmt::Write as _;
+
+/// One labelled series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in ascending `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The y value at the given x, if sampled.
+    #[must_use]
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// Minimum and maximum y across the series; `None` when empty.
+    #[must_use]
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().map(|&(_, y)| y);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), y| (lo.min(y), hi.max(y))))
+    }
+}
+
+/// A figure: several series over a shared x-axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig10"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Append a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Overall y range across all series; `None` when empty.
+    #[must_use]
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        self.series
+            .iter()
+            .filter_map(Series::y_range)
+            .reduce(|(alo, ahi), (blo, bhi)| (alo.min(blo), ahi.max(bhi)))
+    }
+
+    /// All distinct x values across series, ascending.
+    #[must_use]
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x values"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render as an aligned ASCII table: one row per x, one column per
+    /// series.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let xs = self.x_values();
+        let mut headers = vec![self.xlabel.clone()];
+        headers.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut rows = Vec::with_capacity(xs.len());
+        for &x in &xs {
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                row.push(s.y_at(x).map_or_else(|| "-".to_owned(), format_num));
+            }
+            rows.push(row);
+        }
+        let mut out = format!("# {} — {} [{}]\n", self.id, self.title, self.ylabel);
+        out.push_str(&ascii_table(&headers, &rows));
+        out
+    }
+
+    /// Render as CSV (header row, then one row per x).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let xs = self.x_values();
+        let mut out = String::new();
+        let mut headers = vec![self.xlabel.clone()];
+        headers.extend(self.series.iter().map(|s| s.label.clone()));
+        let _ = writeln!(out, "{}", headers.join(","));
+        for &x in &xs {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(s.y_at(x).map_or_else(String::new, |y| format!("{y}")));
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// A table of string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Identifier, e.g. `"table2"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: Vec<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row/header length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as aligned ASCII.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut out = format!("# {} — {}\n", self.id, self.title);
+        out.push_str(&ascii_table(&self.headers, &self.rows));
+        out
+    }
+
+    /// Render as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Compact numeric formatting for ASCII output.
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Align headers and rows into a fixed-width ASCII table.
+fn ascii_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(out, "{}", fmt_row(headers, &widths));
+    let _ = writeln!(
+        out,
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure::new("figX", "Test", "x", "y")
+            .with_series(Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]))
+            .with_series(Series::new("b", vec![(1.0, 5.0), (3.0, 15.0)]))
+    }
+
+    #[test]
+    fn x_values_merge_and_dedup() {
+        assert_eq!(fig().x_values(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn y_lookup_and_range() {
+        let f = fig();
+        assert_eq!(f.series[0].y_at(2.0), Some(20.0));
+        assert_eq!(f.series[1].y_at(2.0), None);
+        assert_eq!(f.y_range(), Some((5.0, 20.0)));
+    }
+
+    #[test]
+    fn ascii_has_all_cells_and_gaps() {
+        let s = fig().to_ascii();
+        assert!(s.contains("figX"));
+        assert!(s.contains("10"));
+        assert!(s.contains('-'), "missing-value marker");
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 x values
+        assert_eq!(lines[0], "x,a,b");
+        assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("t", "T", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert!(t.to_ascii().contains("1"));
+        assert_eq!(t.to_csv().trim().lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("t", "T", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(42.0), "42");
+        assert_eq!(format_num(0.125), "0.125");
+        assert!(format_num(1.5e9).contains('e'));
+    }
+}

@@ -1,0 +1,226 @@
+//! Serialized-communication analysis (paper §4.3.4, Figure 10).
+//!
+//! For a grid of `(H, SL)` configurations and TP degrees, compute the
+//! fraction of training time spent in serialized (tensor-parallel)
+//! communication. Two methods are provided:
+//!
+//! * [`Method::Simulation`] — build the full training-iteration task graph
+//!   and execute it on the discrete-event simulator (shape-accurate GEMM
+//!   efficiency and collective saturation; our "measured" numbers).
+//! * [`Method::Projection`] — the paper's operator-model route: scale a
+//!   single BERT baseline profile (fast, but optimistic about collective
+//!   behaviour at large TP, exactly as the paper's §4.3.8 caveats note).
+
+use crate::report::{Figure, Series};
+use twocs_hw::DeviceSpec;
+use twocs_opmodel::projection::ProjectionModel;
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// How to evaluate a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// Discrete-event simulation of the full iteration (ground truth).
+    #[default]
+    Simulation,
+    /// Operator-model projection from a BERT baseline (the paper's
+    /// strategy).
+    Projection,
+}
+
+/// The Figure 10 sweep grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializedSweep {
+    /// `(H, SL)` pairs, one series each.
+    pub h_sl_pairs: Vec<(u64, u64)>,
+    /// TP degrees (x-axis).
+    pub tps: Vec<u64>,
+    /// Batch size (the paper uses `B = 1` for large models).
+    pub batch: u64,
+}
+
+impl Default for SerializedSweep {
+    /// The paper's highlighted configurations: T-NLG-, PaLM-1×- and
+    /// PaLM-3×-class models across TP 4…256.
+    fn default() -> Self {
+        Self {
+            h_sl_pairs: vec![(4096, 2048), (16_384, 2048), (65_536, 2048), (65_536, 4096)],
+            tps: vec![4, 8, 16, 32, 64, 128, 256],
+            batch: 1,
+        }
+    }
+}
+
+/// Whether `tp` is a realistic degree for hidden size `h` — mirrors the
+/// paper's pruning of "unrealistic configurations (e.g., large model and
+/// large batch size with small tensor parallelism degree)" and its
+/// converse (tiny models sliced 256 ways).
+#[must_use]
+pub fn realistic_tp(h: u64, tp: u64) -> bool {
+    // Slices thinner than 128 columns of the hidden dimension stop making
+    // sense; huge models below TP 16 cannot fit memory.
+    tp <= h / 128 && (h < 16_384 || tp >= 16)
+}
+
+/// Hyperparameters for one sweep point. Head count is fixed at 256 so
+/// every power-of-two TP in the sweep is a valid sharding.
+///
+/// # Panics
+/// Panics if `h` is not a multiple of 256 (all sweep values are).
+#[must_use]
+pub fn sweep_hyper(h: u64, sl: u64, b: u64) -> Hyperparams {
+    Hyperparams::builder(h)
+        .heads(256)
+        .layers(2)
+        .seq_len(sl)
+        .batch(b)
+        .build()
+        .expect("sweep hyperparameters are valid")
+}
+
+/// Fraction of training time spent in serialized communication for one
+/// configuration, by the chosen method, on `device`.
+#[must_use]
+pub fn comm_fraction(
+    device: &DeviceSpec,
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    method: Method,
+) -> f64 {
+    match method {
+        Method::Simulation => {
+            let graph = IterationBuilder::new(hyper, parallel, device)
+                .optimizer(false)
+                .build_training();
+            Engine::new()
+                .run(&graph)
+                .expect("iteration graphs are valid")
+                .comm_fraction()
+        }
+        Method::Projection => {
+            let baseline = Hyperparams::builder(1024)
+                .heads(16)
+                .seq_len(512)
+                .batch(4)
+                .build()
+                .expect("valid baseline");
+            ProjectionModel::from_baseline(&baseline, device)
+                .project(hyper, parallel)
+                .serialized_comm_fraction()
+        }
+    }
+}
+
+/// Generate Figure 10 on `device`.
+#[must_use]
+pub fn figure10(device: &DeviceSpec, sweep: &SerializedSweep, method: Method) -> Figure {
+    let mut fig = Figure::new(
+        "fig10",
+        "Fraction of serialized communication time",
+        "TP degree",
+        "% of training time",
+    );
+    for &(h, sl) in &sweep.h_sl_pairs {
+        let hyper = sweep_hyper(h, sl, sweep.batch);
+        let points: Vec<(f64, f64)> = sweep
+            .tps
+            .iter()
+            .filter(|&&tp| tp <= hyper.heads() && realistic_tp(h, tp))
+            .map(|&tp| {
+                let par = ParallelConfig::new().tensor(tp);
+                (
+                    tp as f64,
+                    100.0 * comm_fraction(device, &hyper, &par, method),
+                )
+            })
+            .collect();
+        fig = fig.with_series(Series::new(format!("H={h} SL={sl}"), points));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::mi210()
+    }
+
+    #[test]
+    fn fraction_grows_with_tp_at_fixed_shape() {
+        let hyper = sweep_hyper(16_384, 2048, 1);
+        let f = |tp: u64| {
+            comm_fraction(
+                &device(),
+                &hyper,
+                &ParallelConfig::new().tensor(tp),
+                Method::Simulation,
+            )
+        };
+        assert!(f(16) < f(64));
+        assert!(f(64) < f(256));
+    }
+
+    #[test]
+    fn fraction_falls_with_h_at_fixed_tp() {
+        let par = ParallelConfig::new().tensor(64);
+        let small = comm_fraction(&device(), &sweep_hyper(8192, 2048, 1), &par, Method::Simulation);
+        let large = comm_fraction(&device(), &sweep_hyper(65_536, 2048, 1), &par, Method::Simulation);
+        assert!(large < small, "H=8K {small} vs H=64K {large}");
+    }
+
+    #[test]
+    fn fraction_falls_with_sl_at_fixed_tp() {
+        let par = ParallelConfig::new().tensor(64);
+        let short = comm_fraction(&device(), &sweep_hyper(16_384, 2048, 1), &par, Method::Simulation);
+        let long = comm_fraction(&device(), &sweep_hyper(16_384, 8192, 1), &par, Method::Simulation);
+        assert!(long < short);
+    }
+
+    #[test]
+    fn highlighted_configs_land_in_paper_band() {
+        // Fig. 10's blue-highlighted points: a T-NLG-class model at its
+        // required TP of 16, PaLM-1x at 64, PaLM-3x at 256 — spanning
+        // ~20-50% of training time.
+        let highlighted = [
+            (4096u64, 2048u64, 16u64),
+            (16_384, 2048, 64),
+            (65_536, 2048, 256),
+            (65_536, 4096, 128),
+        ];
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for (h, sl, tp) in highlighted {
+            let f = 100.0
+                * comm_fraction(
+                    &device(),
+                    &sweep_hyper(h, sl, 1),
+                    &ParallelConfig::new().tensor(tp),
+                    Method::Simulation,
+                );
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!((12.0..=35.0).contains(&lo), "low end {lo}%");
+        assert!((40.0..=60.0).contains(&hi), "high end {hi}%");
+    }
+
+    #[test]
+    fn projection_reproduces_the_trend() {
+        let fig = figure10(&device(), &SerializedSweep::default(), Method::Projection);
+        for s in &fig.series {
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{}: fraction must grow with TP", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_has_one_series_per_pair() {
+        let sweep = SerializedSweep::default();
+        let fig = figure10(&device(), &sweep, Method::Simulation);
+        assert_eq!(fig.series.len(), sweep.h_sl_pairs.len());
+    }
+}

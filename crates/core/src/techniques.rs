@@ -1,0 +1,216 @@
+//! Quantifying the paper's §5 communication-acceleration techniques.
+//!
+//! The paper closes by surveying ways out of the communication wall:
+//!
+//! * **Technique 1 — offloading communication** to a co-processor
+//!   (DPU/FPGA): frees the accelerator's compute/memory resources, i.e.
+//!   removes compute↔comm interference.
+//! * **Technique 2 — processing-in-network (PIN)**: switches reduce in
+//!   flight, ~2× effective all-reduce bandwidth.
+//! * **Technique 3 — parallel computation and communication**: break the
+//!   collective abstraction and overlap data generation with transmission,
+//!   hiding a fraction of each critical-path collective.
+//! * **PIM** is modelled through its first-order effect — like offload, it
+//!   removes the memory-contention component of interference.
+//!
+//! [`evaluate`] prices each technique on a future-Transformer
+//! configuration under 4× flop-vs.-bw hardware, producing the comparison
+//! the paper argues for qualitatively.
+
+use crate::report::Table;
+use twocs_hw::{DeviceSpec, HwEvolution, PinMode};
+use twocs_sim::interference::InterferenceModel;
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// A §5 technique to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Technique {
+    /// Today's software stack: collectives on the accelerator, coarse
+    /// barriers, co-location interference.
+    Baseline,
+    /// Technique 1: communication runs on a co-processor — no
+    /// interference with compute.
+    CommOffload,
+    /// Technique 2: in-switch reduction, 2× effective all-reduce
+    /// bandwidth.
+    ProcessingInNetwork,
+    /// Technique 3: fine-grained overlap hides `hidden_fraction` of each
+    /// serialized collective behind its producing compute.
+    FineGrainedOverlap {
+        /// Fraction of each critical-path collective that overlap hides.
+        hidden_fraction: f64,
+    },
+}
+
+impl Technique {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Technique::Baseline => "baseline".to_owned(),
+            Technique::CommOffload => "T1: comm offload".to_owned(),
+            Technique::ProcessingInNetwork => "T2: processing-in-network".to_owned(),
+            Technique::FineGrainedOverlap { hidden_fraction } => {
+                format!("T3: fine-grained overlap ({:.0}%)", 100.0 * hidden_fraction)
+            }
+        }
+    }
+}
+
+/// Outcome of evaluating one technique.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechniqueResult {
+    /// Iteration time, seconds.
+    pub makespan: f64,
+    /// Exposed (critical-path) communication fraction of the makespan.
+    pub comm_fraction: f64,
+    /// Speedup over the baseline.
+    pub speedup: f64,
+}
+
+/// The evaluation configuration: a PaLM-1×-class model at its required TP
+/// on 4×-evolved hardware — where the paper says communication dominates.
+fn workload() -> (Hyperparams, ParallelConfig) {
+    let hyper = Hyperparams::builder(16_384)
+        .heads(256)
+        .layers(8)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .expect("valid workload");
+    (hyper, ParallelConfig::new().tensor(64).data(4))
+}
+
+fn run_one(technique: Technique, flop_vs_bw: f64) -> (f64, f64) {
+    let evolved = HwEvolution::flop_vs_bw(flop_vs_bw).apply(&DeviceSpec::mi210());
+    let device = match technique {
+        Technique::ProcessingInNetwork => evolved
+            .clone()
+            .with_network(evolved.network().with_pin_mode(PinMode::InSwitch)),
+        _ => evolved,
+    };
+    let engine = match technique {
+        // Technique 1: the co-processor takes the collectives off the
+        // accelerator, removing co-location interference.
+        Technique::CommOffload => Engine::new(),
+        _ => Engine::new().with_interference(InterferenceModel::typical()),
+    };
+    let (hyper, parallel) = workload();
+    let mut builder = IterationBuilder::new(&hyper, &parallel, &device).optimizer(false);
+    if let Technique::FineGrainedOverlap { hidden_fraction } = technique {
+        builder = builder.tp_ar_scale(1.0 - hidden_fraction);
+    }
+    let report = engine
+        .run(&builder.build_training())
+        .expect("valid iteration graph");
+    (report.makespan().as_secs_f64(), report.comm_fraction())
+}
+
+/// Evaluate one technique at a flop-vs.-bw ratio.
+#[must_use]
+pub fn evaluate(technique: Technique, flop_vs_bw: f64) -> TechniqueResult {
+    let (base_makespan, _) = run_one(Technique::Baseline, flop_vs_bw);
+    let (makespan, comm_fraction) = run_one(technique, flop_vs_bw);
+    TechniqueResult {
+        makespan,
+        comm_fraction,
+        speedup: base_makespan / makespan,
+    }
+}
+
+/// The default §5 technique suite.
+#[must_use]
+pub fn suite() -> Vec<Technique> {
+    vec![
+        Technique::Baseline,
+        Technique::CommOffload,
+        Technique::ProcessingInNetwork,
+        Technique::FineGrainedOverlap {
+            hidden_fraction: 0.5,
+        },
+        Technique::FineGrainedOverlap {
+            hidden_fraction: 0.9,
+        },
+    ]
+}
+
+/// Render the suite as a table (used by the `techniques` experiment).
+#[must_use]
+pub fn technique_table(flop_vs_bw: f64) -> Table {
+    let mut table = Table::new(
+        "techniques",
+        format!(
+            "Section-5 techniques on PaLM-1x-class training at {flop_vs_bw}x flop-vs-bw"
+        ),
+        ["technique", "iteration (ms)", "critical comm %", "speedup"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    for technique in suite() {
+        let r = evaluate(technique, flop_vs_bw);
+        table.push_row(vec![
+            technique.name(),
+            format!("{:.1}", 1e3 * r.makespan),
+            format!("{:.1}", 100.0 * r.comm_fraction),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_halves_serialized_comm_and_speeds_up_training() {
+        let r = evaluate(Technique::ProcessingInNetwork, 4.0);
+        let base = evaluate(Technique::Baseline, 4.0);
+        assert!(r.comm_fraction < base.comm_fraction);
+        assert!(r.speedup > 1.2, "PIN speedup {}", r.speedup);
+    }
+
+    #[test]
+    fn overlap_hides_communication_proportionally() {
+        let half = evaluate(
+            Technique::FineGrainedOverlap {
+                hidden_fraction: 0.5,
+            },
+            4.0,
+        );
+        let most = evaluate(
+            Technique::FineGrainedOverlap {
+                hidden_fraction: 0.9,
+            },
+            4.0,
+        );
+        assert!(most.comm_fraction < half.comm_fraction);
+        assert!(most.speedup > half.speedup);
+        assert!(half.speedup > 1.0);
+    }
+
+    #[test]
+    fn offload_removes_interference_cost() {
+        let r = evaluate(Technique::CommOffload, 4.0);
+        assert!(r.speedup >= 1.0, "offload speedup {}", r.speedup);
+    }
+
+    #[test]
+    fn baseline_speedup_is_exactly_one() {
+        let r = evaluate(Technique::Baseline, 4.0);
+        assert!((r.speedup - 1.0).abs() < 1e-9);
+        // The premise of Section 5: communication dominates here.
+        assert!(r.comm_fraction > 0.4, "comm fraction {}", r.comm_fraction);
+    }
+
+    #[test]
+    fn table_covers_the_suite() {
+        let t = technique_table(4.0);
+        assert_eq!(t.rows.len(), suite().len());
+        assert!(t.to_ascii().contains("processing-in-network"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Model-scaling trend analysis (paper §3.5 and §4.3.2).
+//!
+//! * [`memory_gap_figure`] — Figure 6: model memory demand (the paper's
+//!   `H·SL` proxy plus real training-state accounting) vs. device memory
+//!   capacity, by year.
+//! * [`normalized_scaling_figure`] — Figure 7: compute's slack (`SL·B`)
+//!   and edge (`(H+SL)/TP`) across the zoo, normalized to BERT. The paper
+//!   observes slack dropping ~75% and edge ~80%.
+//! * [`tp_requirement_figure`] — Figure 9(b): the required TP scaling
+//!   `p/s` relative to the 3.9B Megatron BERT baseline (paper: 40–60×,
+//!   i.e. TP ≈ 250–550 at base 8).
+
+use crate::algorithmic::{amdahls_edge, slack_advantage};
+use crate::report::{Figure, Series};
+use twocs_hw::DeviceSpec;
+use twocs_transformer::memory::paper_tp_projection;
+use twocs_transformer::zoo::{self, ZooModel};
+
+/// Representative per-replica batch size for each zoo model — the paper's
+/// observation that memory pressure forced `B` down to 1 for the largest
+/// models (§3.5, §4.3.2).
+#[must_use]
+pub fn representative_batch(model: &ZooModel) -> u64 {
+    match model.year {
+        ..=2018 => 16, // BERT era: models fit with room to spare
+        2019 => 8,     // GPT-2 / Megatron-LM / T5 era
+        2020 => 4,     // T-NLG / GPT-3 era
+        2021 => 2,     // MT-NLG era
+        _ => 1,        // PaLM and beyond
+    }
+}
+
+/// Representative TP degree for each zoo model, derived from the paper's
+/// `base_TP · p/s` projection against the 3.9B Megatron BERT (TP = 8),
+/// rounded to the next power of two and capped at the paper's studied
+/// maximum of 256.
+#[must_use]
+pub fn representative_tp(model: &ZooModel) -> u64 {
+    let base = zoo::megatron_bert_3_9b();
+    if model.reported_params_b <= base.reported_params_b {
+        return 1;
+    }
+    let projected = paper_tp_projection(
+        8.0,
+        model.reported_params_b / base.reported_params_b,
+        capacity_scale_since_2019(model.year),
+    );
+    (projected.max(1.0) as u64).next_power_of_two().min(256)
+}
+
+/// Device memory-capacity scaling ratio from 2019 to `year` (the paper's
+/// `s`), following the mainstream training-GPU line (V100 32 GB -> A100
+/// 80 GB -> H100 80 GB). The MI250X's dual-die 128 GB is deliberately
+/// excluded — the paper's 40-60x projection band implies s ~ 2.5.
+#[must_use]
+pub fn capacity_scale_since_2019(year: u16) -> f64 {
+    let cap_2019 = 32.0; // GiB: V100/MI50 class
+    let mainstream = [DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::h100()];
+    let cap = mainstream
+        .into_iter()
+        .filter(|d| d.year() <= year.max(2019))
+        .map(|d| d.mem_capacity() as f64 / (1u64 << 30) as f64)
+        .fold(cap_2019, f64::max);
+    cap / cap_2019
+}
+
+/// Figure 6: model memory demand vs. device capacity over years. Demand
+/// uses the paper's `H·SL` proxy normalized to BERT; capacity uses the
+/// largest device of each year, also normalized to the 2018 level.
+#[must_use]
+pub fn memory_gap_figure() -> Figure {
+    let models = zoo::table2();
+    let base_proxy = models[0].memory_proxy() as f64;
+    // Demand frontier: the largest H*SL seen up to each year (several
+    // models share a year).
+    let mut demand: Vec<(f64, f64)> = Vec::new();
+    let mut frontier = 0.0f64;
+    for m in &models {
+        frontier = frontier.max(m.memory_proxy() as f64 / base_proxy);
+        match demand.last_mut() {
+            Some(last) if last.0 == f64::from(m.year) => last.1 = frontier,
+            _ => demand.push((f64::from(m.year), frontier)),
+        }
+    }
+
+    let mut capacity: Vec<(f64, f64)> = Vec::new();
+    let base_cap = 32.0f64;
+    for year in 2018..=2025u16 {
+        let mut best = 0.0f64;
+        for d in DeviceSpec::catalog() {
+            if d.year() <= year {
+                best = best.max(d.mem_capacity() as f64 / (1u64 << 30) as f64);
+            }
+        }
+        if best > 0.0 {
+            capacity.push((f64::from(year), best / base_cap));
+        }
+    }
+
+    Figure::new(
+        "fig06",
+        "Model memory demand (H*SL proxy) vs device memory capacity",
+        "year",
+        "growth relative to 2018",
+    )
+    .with_series(Series::new("model demand (H*SL, rel. BERT)", demand))
+    .with_series(Series::new("device capacity (rel. 32 GiB)", capacity))
+}
+
+/// Figure 7: slack (`SL·B`) and edge (`(H+SL)/TP`) across the zoo,
+/// normalized to BERT. X-axis is the model index in chronological order.
+#[must_use]
+pub fn normalized_scaling_figure() -> Figure {
+    let models = zoo::table2();
+    let bert = &models[0];
+    let bert_slack = slack_advantage(bert.seq_len, representative_batch(bert));
+    let bert_edge = amdahls_edge(bert.hidden, bert.seq_len, representative_tp(bert));
+
+    let mut slack_series = Vec::new();
+    let mut edge_series = Vec::new();
+    for (i, m) in models.iter().enumerate() {
+        let x = i as f64;
+        let slack = slack_advantage(m.seq_len, representative_batch(m)) / bert_slack;
+        let edge = amdahls_edge(m.hidden, m.seq_len, representative_tp(m)) / bert_edge;
+        slack_series.push((x, slack));
+        edge_series.push((x, edge));
+    }
+
+    Figure::new(
+        "fig07",
+        "Algorithmic scaling of slack and edge, normalized to BERT",
+        "model (chronological index)",
+        "relative to BERT",
+    )
+    .with_series(Series::new("slack (SL*B)", slack_series))
+    .with_series(Series::new("edge ((H+SL)/TP)", edge_series))
+}
+
+/// Figure 9(b) rows: for each model larger than the 3.9B Megatron BERT
+/// baseline, its size ratio `p`, capacity scale `s`, and required TP
+/// scale `p/s`.
+#[must_use]
+pub fn tp_requirement_rows() -> Vec<(ZooModel, f64, f64, f64)> {
+    let base = zoo::megatron_bert_3_9b();
+    zoo::table2()
+        .into_iter()
+        .filter(|m| m.reported_params_b > base.reported_params_b)
+        .map(|m| {
+            let p = m.reported_params_b / base.reported_params_b;
+            let s = capacity_scale_since_2019(m.year);
+            let ps = p / s;
+            (m, p, s, ps)
+        })
+        .collect()
+}
+
+/// Figure 9(b): required TP scaling `p/s` per model (x = index in
+/// chronological order; several models share a year).
+#[must_use]
+pub fn tp_requirement_figure() -> Figure {
+    let points: Vec<(f64, f64)> = tp_requirement_rows()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, _, _, ps))| (i as f64, ps))
+        .collect();
+    Figure::new(
+        "fig09b",
+        "Required TP scaling (p/s) relative to Megatron-BERT 3.9B",
+        "model (chronological index)",
+        "TP scale factor p/s",
+    )
+    .with_series(Series::new("p/s", points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_trend_is_monotone_down() {
+        let models = zoo::table2();
+        let batches: Vec<u64> = models.iter().map(representative_batch).collect();
+        assert!(batches.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(*batches.last().unwrap(), 1);
+        assert_eq!(batches[0], 16);
+    }
+
+    #[test]
+    fn memory_gap_widens() {
+        // Fig. 6's takeaway: demand outgrows capacity.
+        let fig = memory_gap_figure();
+        let demand = &fig.series[0];
+        let capacity = &fig.series[1];
+        let d_final = demand.points.last().unwrap().1;
+        let c_final = capacity.points.last().unwrap().1;
+        assert!(
+            d_final > 10.0 * c_final,
+            "demand {d_final} should dwarf capacity {c_final}"
+        );
+    }
+
+    #[test]
+    fn slack_drops_about_75_percent() {
+        // Paper: "the compute's slack is reduced by ~75%".
+        let fig = normalized_scaling_figure();
+        let slack = &fig.series[0];
+        let last = slack.points.last().unwrap().1;
+        assert!((0.15..=0.40).contains(&last), "final slack {last}");
+    }
+
+    #[test]
+    fn edge_drops_about_80_percent() {
+        // Paper: "compute's edge drops by ~80%".
+        let fig = normalized_scaling_figure();
+        let edge = &fig.series[1];
+        let last = edge.points.last().unwrap().1;
+        assert!((0.05..=0.35).contains(&last), "final edge {last}");
+    }
+
+    #[test]
+    fn tp_requirement_reaches_paper_band() {
+        // Paper: p/s of 40-60x for the largest models.
+        let fig = tp_requirement_figure();
+        let (_, max_ps) = fig.series[0]
+            .points
+            .iter()
+            .copied()
+            .fold((0.0, 0.0), |acc, p| if p.1 > acc.1 { p } else { acc });
+        assert!((35.0..=70.0).contains(&max_ps), "max p/s {max_ps}");
+    }
+
+    #[test]
+    fn representative_tp_band_matches_section_4_3_2() {
+        // base_TP (8) x p/s in 40-60 -> required TP ~250-550, capped 256.
+        let mt_nlg = zoo::by_name("MT-NLG").unwrap();
+        let tp = representative_tp(&mt_nlg);
+        assert_eq!(tp, 256);
+        let bert = zoo::by_name("BERT").unwrap();
+        assert_eq!(representative_tp(&bert), 1);
+    }
+
+    #[test]
+    fn capacity_scale_grows_with_year() {
+        assert!(capacity_scale_since_2019(2022) > capacity_scale_since_2019(2019));
+        assert!((capacity_scale_since_2019(2019) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for hardware-model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or validating hardware descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A numeric parameter was out of its valid range.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A topology was asked about a device it does not contain.
+    UnknownDevice {
+        /// The requested device index.
+        device: usize,
+        /// The number of devices in the topology.
+        count: usize,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidParameter { name, reason } => {
+                write!(f, "invalid hardware parameter `{name}`: {reason}")
+            }
+            HwError::UnknownDevice { device, count } => {
+                write!(f, "device {device} out of range for topology of {count} devices")
+            }
+        }
+    }
+}
+
+impl Error for HwError {}
+
+impl HwError {
+    /// Convenience constructor for [`HwError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        HwError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = HwError::invalid("bandwidth", "must be positive");
+        assert!(e.to_string().contains("bandwidth"));
+        assert!(e.to_string().contains("must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Bandwidth-bound (non-GEMM) operator costs.
+//!
+//! Transformer layers interleave GEMMs with element-wise and reduction
+//! operators — LayerNorm, GeLU, residual adds, dropout, softmax. These have
+//! negligible math but stream their operands through memory, so their time
+//! is data volume over effective memory bandwidth plus a kernel-launch
+//! overhead. The paper's operator model (Fig. 15(b)) finds LayerNorm time
+//! linear in both `SL` and `H`, which this model reproduces by construction.
+
+use std::fmt;
+
+/// Kind of bandwidth-bound operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MemOpKind {
+    /// Layer normalization over the hidden dimension.
+    LayerNorm,
+    /// GeLU (or similar) activation.
+    Gelu,
+    /// Residual addition.
+    ResidualAdd,
+    /// Dropout (mask generate + apply).
+    Dropout,
+    /// Row-wise softmax (attention probabilities).
+    Softmax,
+    /// Elementwise scale (e.g. 1/sqrt(d) attention scaling).
+    Scale,
+    /// Generic elementwise unary op.
+    Elementwise,
+    /// Elementwise reduction used inside collectives (local sum of received
+    /// chunks).
+    ReduceSum,
+}
+
+impl MemOpKind {
+    /// How many times each logical element crosses the memory interface.
+    ///
+    /// LayerNorm needs two passes (statistics, then normalize) reading the
+    /// input twice and writing once, plus gradient bookkeeping ≈ 4×. Binary
+    /// ops read two operands and write one ≈ 3×, and so on. These small
+    /// integer "pass counts" are what make the model linear in element
+    /// count, matching the paper's measurements.
+    #[must_use]
+    pub fn memory_passes(self) -> f64 {
+        match self {
+            MemOpKind::LayerNorm => 4.0,
+            MemOpKind::Gelu => 2.0,
+            MemOpKind::ResidualAdd => 3.0,
+            MemOpKind::Dropout => 2.5,
+            MemOpKind::Softmax => 4.0,
+            MemOpKind::Scale => 2.0,
+            MemOpKind::Elementwise => 2.0,
+            MemOpKind::ReduceSum => 3.0,
+        }
+    }
+
+    /// Canonical lower-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOpKind::LayerNorm => "layernorm",
+            MemOpKind::Gelu => "gelu",
+            MemOpKind::ResidualAdd => "residual_add",
+            MemOpKind::Dropout => "dropout",
+            MemOpKind::Softmax => "softmax",
+            MemOpKind::Scale => "scale",
+            MemOpKind::Elementwise => "elementwise",
+            MemOpKind::ReduceSum => "reduce_sum",
+        }
+    }
+}
+
+impl fmt::Display for MemOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Memory-bandwidth model for element-wise/reduction kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemOpModel {
+    /// Fraction of peak memory bandwidth these kernels achieve (streaming
+    /// kernels rarely exceed ~80–90%).
+    efficiency: f64,
+}
+
+impl MemOpModel {
+    /// Create a model with the given streaming efficiency.
+    ///
+    /// # Panics
+    /// Panics if `efficiency` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "mem-op efficiency must be in (0, 1], got {efficiency}"
+        );
+        Self { efficiency }
+    }
+
+    /// Bytes moved by `kind` over `elements` elements of `elem_bytes` each.
+    #[must_use]
+    pub fn bytes_moved(&self, kind: MemOpKind, elements: u64, elem_bytes: u64) -> u64 {
+        (kind.memory_passes() * (elements * elem_bytes) as f64).round() as u64
+    }
+
+    /// Kernel time (seconds), excluding launch overhead.
+    ///
+    /// # Panics
+    /// Panics if `mem_bandwidth` is not strictly positive.
+    #[must_use]
+    pub fn kernel_time(
+        &self,
+        kind: MemOpKind,
+        elements: u64,
+        elem_bytes: u64,
+        mem_bandwidth: f64,
+    ) -> f64 {
+        assert!(mem_bandwidth > 0.0, "mem_bandwidth must be positive");
+        self.bytes_moved(kind, elements, elem_bytes) as f64 / (mem_bandwidth * self.efficiency)
+    }
+}
+
+impl Default for MemOpModel {
+    fn default() -> Self {
+        Self::new(0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layernorm_time_linear_in_elements() {
+        let m = MemOpModel::default();
+        let t1 = m.kernel_time(MemOpKind::LayerNorm, 1 << 20, 2, 1e12);
+        let t2 = m.kernel_time(MemOpKind::LayerNorm, 1 << 21, 2, 1e12);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn passes_reflect_operand_counts() {
+        assert!(MemOpKind::ResidualAdd.memory_passes() > MemOpKind::Gelu.memory_passes());
+        assert!(MemOpKind::LayerNorm.memory_passes() >= 4.0);
+    }
+
+    #[test]
+    fn bytes_account_for_precision() {
+        let m = MemOpModel::default();
+        let fp16 = m.bytes_moved(MemOpKind::Gelu, 1000, 2);
+        let fp32 = m.bytes_moved(MemOpKind::Gelu, 1000, 4);
+        assert_eq!(fp32, 2 * fp16);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_rejected() {
+        let _ = MemOpModel::new(1.5);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MemOpKind::LayerNorm.to_string(), "layernorm");
+        assert_eq!(MemOpKind::Softmax.name(), "softmax");
+    }
+}

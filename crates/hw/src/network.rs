@@ -1,0 +1,325 @@
+//! Link and node-network models.
+//!
+//! The central empirical effect this module captures (paper §4.3.5) is that
+//! *small messages do not saturate link bandwidth*: effective bandwidth ramps
+//! up with message size and only approaches the peak for large transfers.
+//! This is why, in the paper's Figure 11, smaller hidden sizes (smaller
+//! gradients) see disproportionately expensive communication.
+//!
+//! The ramp is modelled with a half-saturation constant: a message of
+//! `ramp_bytes` achieves half the peak bandwidth,
+//! `eff_bw(s) = peak * s / (s + ramp_bytes)`.
+
+use crate::error::HwError;
+use std::fmt;
+
+/// A point-to-point link between two devices (one direction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Peak bandwidth in bytes/second (per direction).
+    bandwidth: f64,
+    /// Fixed per-message latency in seconds (software + wire).
+    latency: f64,
+    /// Message size (bytes) at which effective bandwidth reaches half of
+    /// peak. Smaller values mean the link saturates with smaller messages.
+    ramp_bytes: f64,
+}
+
+impl LinkSpec {
+    /// Create a link model.
+    ///
+    /// # Errors
+    /// Returns [`HwError::InvalidParameter`] if `bandwidth` is not positive,
+    /// or `latency`/`ramp_bytes` are negative or non-finite.
+    pub fn new(bandwidth: f64, latency: f64, ramp_bytes: f64) -> Result<Self, HwError> {
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(HwError::invalid("bandwidth", "must be positive and finite"));
+        }
+        if !(latency.is_finite() && latency >= 0.0) {
+            return Err(HwError::invalid("latency", "must be non-negative and finite"));
+        }
+        if !(ramp_bytes.is_finite() && ramp_bytes >= 0.0) {
+            return Err(HwError::invalid("ramp_bytes", "must be non-negative and finite"));
+        }
+        Ok(Self {
+            bandwidth,
+            latency,
+            ramp_bytes,
+        })
+    }
+
+    /// Peak bandwidth, bytes/second.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Fixed per-message latency, seconds.
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Half-saturation message size, bytes.
+    #[must_use]
+    pub fn ramp_bytes(&self) -> f64 {
+        self.ramp_bytes
+    }
+
+    /// Effective bandwidth (bytes/s) achieved by a message of `bytes`.
+    ///
+    /// Monotonically increasing in `bytes` and bounded by
+    /// [`LinkSpec::bandwidth`].
+    #[must_use]
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let s = bytes as f64;
+        self.bandwidth * s / (s + self.ramp_bytes)
+    }
+
+    /// Time (seconds) to move a message of `bytes` across this link:
+    /// latency plus size over effective bandwidth.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return self.latency;
+        }
+        self.latency + bytes as f64 / self.effective_bandwidth(bytes)
+    }
+
+    /// A copy with bandwidth multiplied by `factor` (latency and ramp
+    /// unchanged).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive and finite.
+    #[must_use]
+    pub fn scaled_bandwidth(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bandwidth scale factor must be positive, got {factor}"
+        );
+        Self {
+            bandwidth: self.bandwidth * factor,
+            latency: self.latency,
+            ramp_bytes: self.ramp_bytes,
+        }
+    }
+}
+
+impl fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} GB/s link ({:.1} us latency)",
+            self.bandwidth / 1e9,
+            self.latency * 1e6
+        )
+    }
+}
+
+/// Where collective reductions are executed (paper §5, *Technique 2*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PinMode {
+    /// Conventional: accelerators run the reduction themselves; a ring
+    /// all-reduce moves `2 (N-1)/N` of the data per device.
+    #[default]
+    None,
+    /// Processing-in-network: the switch reduces in flight; devices only
+    /// push data out once and receive the result, halving traffic
+    /// (~2× effective all-reduce bandwidth).
+    InSwitch,
+}
+
+impl PinMode {
+    /// Multiplier applied to effective all-reduce bandwidth.
+    #[must_use]
+    pub fn bandwidth_multiplier(self) -> f64 {
+        match self {
+            PinMode::None => 1.0,
+            PinMode::InSwitch => 2.0,
+        }
+    }
+}
+
+/// Network characteristics of a node or cluster as seen by collectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkSpec {
+    /// Link between devices inside a node.
+    intra_node: LinkSpec,
+    /// Link between nodes (slower, e.g. InfiniBand vs. Infinity Fabric).
+    inter_node: LinkSpec,
+    /// Peak *algorithmic* all-reduce bandwidth inside a node, i.e.
+    /// `payload_bytes / time` for a large all-reduce. The MI210 node in the
+    /// paper reports 150 GB/s across its multiple intra-node rings.
+    ring_allreduce_bandwidth: f64,
+    /// Where reductions execute.
+    pin_mode: PinMode,
+}
+
+impl NetworkSpec {
+    /// Create a network description.
+    ///
+    /// # Errors
+    /// Returns [`HwError::InvalidParameter`] if the ring all-reduce
+    /// bandwidth is not positive.
+    pub fn new(
+        intra_node: LinkSpec,
+        inter_node: LinkSpec,
+        ring_allreduce_bandwidth: f64,
+        pin_mode: PinMode,
+    ) -> Result<Self, HwError> {
+        if !(ring_allreduce_bandwidth.is_finite() && ring_allreduce_bandwidth > 0.0) {
+            return Err(HwError::invalid(
+                "ring_allreduce_bandwidth",
+                "must be positive and finite",
+            ));
+        }
+        Ok(Self {
+            intra_node,
+            inter_node,
+            ring_allreduce_bandwidth,
+            pin_mode,
+        })
+    }
+
+    /// Link between devices inside one node.
+    #[must_use]
+    pub fn intra_node(&self) -> LinkSpec {
+        self.intra_node
+    }
+
+    /// Link between nodes.
+    #[must_use]
+    pub fn inter_node(&self) -> LinkSpec {
+        self.inter_node
+    }
+
+    /// Peak algorithmic all-reduce bandwidth (bytes/s) inside a node,
+    /// after applying the [`PinMode`] multiplier.
+    #[must_use]
+    pub fn ring_allreduce_bandwidth(&self) -> f64 {
+        self.ring_allreduce_bandwidth * self.pin_mode.bandwidth_multiplier()
+    }
+
+    /// The processing-in-network mode.
+    #[must_use]
+    pub fn pin_mode(&self) -> PinMode {
+        self.pin_mode
+    }
+
+    /// A copy with a different [`PinMode`].
+    #[must_use]
+    pub fn with_pin_mode(mut self, pin_mode: PinMode) -> Self {
+        self.pin_mode = pin_mode;
+        self
+    }
+
+    /// A copy with all bandwidths (links and ring) multiplied by `factor`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive and finite.
+    #[must_use]
+    pub fn scaled_bandwidth(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bandwidth scale factor must be positive, got {factor}"
+        );
+        Self {
+            intra_node: self.intra_node.scaled_bandwidth(factor),
+            inter_node: self.inter_node.scaled_bandwidth(factor),
+            ring_allreduce_bandwidth: self.ring_allreduce_bandwidth * factor,
+            pin_mode: self.pin_mode,
+        }
+    }
+
+    /// A copy with the inter-node link bandwidth *divided* by `slowdown`,
+    /// used for the paper's §4.3.7 case study (≈8× slower inter-node links).
+    ///
+    /// # Panics
+    /// Panics if `slowdown` is not ≥ 1 and finite.
+    #[must_use]
+    pub fn with_inter_node_slowdown(&self, slowdown: f64) -> Self {
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "inter-node slowdown must be >= 1, got {slowdown}"
+        );
+        Self {
+            inter_node: self.inter_node.scaled_bandwidth(1.0 / slowdown),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec::new(100e9, 5e-6, 4.0 * 1024.0 * 1024.0).unwrap()
+    }
+
+    #[test]
+    fn effective_bandwidth_ramps_and_saturates() {
+        let l = link();
+        let small = l.effective_bandwidth(64 * 1024);
+        let mid = l.effective_bandwidth(4 * 1024 * 1024);
+        let big = l.effective_bandwidth(1024 * 1024 * 1024);
+        assert!(small < mid && mid < big);
+        assert!((mid - 50e9).abs() < 1e9, "half saturation at ramp size");
+        assert!(big > 0.95 * l.bandwidth());
+        assert!(big <= l.bandwidth());
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let l = link();
+        assert!((l.transfer_time(0) - 5e-6).abs() < 1e-12);
+        let t = l.transfer_time(1024 * 1024 * 1024);
+        // ~1 GiB at near-100 GB/s -> a bit over 10 ms.
+        assert!(t > 0.010 && t < 0.013, "got {t}");
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_size() {
+        let l = link();
+        let mut prev = 0.0;
+        for s in [1u64, 1 << 10, 1 << 16, 1 << 20, 1 << 26, 1 << 30] {
+            let t = l.transfer_time(s);
+            assert!(t > prev, "time must grow with size");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn scaled_bandwidth_speeds_up_large_transfers() {
+        let l = link();
+        let fast = l.scaled_bandwidth(2.0);
+        let s = 1u64 << 30;
+        assert!(fast.transfer_time(s) < l.transfer_time(s));
+    }
+
+    #[test]
+    fn pin_doubles_allreduce_bandwidth() {
+        let net = NetworkSpec::new(link(), link(), 150e9, PinMode::None).unwrap();
+        assert_eq!(net.ring_allreduce_bandwidth(), 150e9);
+        let pin = net.with_pin_mode(PinMode::InSwitch);
+        assert_eq!(pin.ring_allreduce_bandwidth(), 300e9);
+    }
+
+    #[test]
+    fn inter_node_slowdown_only_affects_inter_link() {
+        let net = NetworkSpec::new(link(), link(), 150e9, PinMode::None).unwrap();
+        let slow = net.with_inter_node_slowdown(8.0);
+        assert_eq!(slow.intra_node().bandwidth(), 100e9);
+        assert!((slow.inter_node().bandwidth() - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalid_link_rejected() {
+        assert!(LinkSpec::new(0.0, 1e-6, 1.0).is_err());
+        assert!(LinkSpec::new(1e9, -1.0, 1.0).is_err());
+        assert!(LinkSpec::new(1e9, 1e-6, f64::NAN).is_err());
+    }
+}

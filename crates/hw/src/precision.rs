@@ -1,0 +1,208 @@
+//! Number formats used for model weights, activations, and communication.
+//!
+//! The paper (§6.2) observes that peak compute often scales *super-linearly*
+//! as precision shrinks (e.g. MI210 fp16 matrix throughput is ~4× fp32),
+//! while communicated bytes only scale *linearly*. [`Precision`] carries the
+//! byte width; per-precision peak FLOPS live on
+//! [`DeviceSpec`](crate::DeviceSpec).
+
+use std::fmt;
+
+/// A floating-point number format.
+///
+/// ```
+/// use twocs_hw::Precision;
+/// assert_eq!(Precision::Fp16.bytes(), 2);
+/// assert!(Precision::Fp8 < Precision::Fp32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Precision {
+    /// 8-bit floating point (E4M3/E5M2 family).
+    Fp8,
+    /// IEEE 754 half precision.
+    #[default]
+    Fp16,
+    /// bfloat16 (same width as fp16, wider exponent).
+    Bf16,
+    /// IEEE 754 single precision.
+    Fp32,
+    /// IEEE 754 double precision.
+    Fp64,
+}
+
+impl Precision {
+    /// Width of one element in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp8 => 1,
+            Precision::Fp16 | Precision::Bf16 => 2,
+            Precision::Fp32 => 4,
+            Precision::Fp64 => 8,
+        }
+    }
+
+    /// Width of one element in bits (the paper's `precision` term in Eq. 5
+    /// is in bits, divided by 8 to give bytes).
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.bytes() * 8
+    }
+
+    /// All supported precisions, widest last.
+    #[must_use]
+    pub const fn all() -> [Precision; 5] {
+        [
+            Precision::Fp8,
+            Precision::Fp16,
+            Precision::Bf16,
+            Precision::Fp32,
+            Precision::Fp64,
+        ]
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Precision::Fp8 => "fp8",
+            Precision::Fp16 => "fp16",
+            Precision::Bf16 => "bf16",
+            Precision::Fp32 => "fp32",
+            Precision::Fp64 => "fp64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Peak matrix-math throughput (FLOP/s) of a device for each precision.
+///
+/// Construct with [`PeakFlops::from_fp32_matrix`] for the common case where
+/// each halving of width doubles throughput, or specify each rate with the
+/// struct literal via [`PeakFlops::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakFlops {
+    fp64: f64,
+    fp32: f64,
+    fp16: f64,
+    bf16: f64,
+    fp8: f64,
+}
+
+impl PeakFlops {
+    /// Create from explicit per-precision rates (FLOP/s).
+    ///
+    /// # Panics
+    /// Panics if any rate is not strictly positive and finite.
+    #[must_use]
+    pub fn new(fp64: f64, fp32: f64, fp16: f64, bf16: f64, fp8: f64) -> Self {
+        for (name, v) in [
+            ("fp64", fp64),
+            ("fp32", fp32),
+            ("fp16", fp16),
+            ("bf16", bf16),
+            ("fp8", fp8),
+        ] {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "peak {name} FLOPS must be positive, got {v}"
+            );
+        }
+        Self {
+            fp64,
+            fp32,
+            fp16,
+            bf16,
+            fp8,
+        }
+    }
+
+    /// Derive all rates from an fp32 matrix rate assuming 2× throughput per
+    /// halving of element width (and fp64 at half of fp32).
+    #[must_use]
+    pub fn from_fp32_matrix(fp32: f64) -> Self {
+        Self::new(fp32 / 2.0, fp32, fp32 * 2.0, fp32 * 2.0, fp32 * 4.0)
+    }
+
+    /// Peak rate for `precision`, FLOP/s.
+    #[must_use]
+    pub fn rate(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp64 => self.fp64,
+            Precision::Fp32 => self.fp32,
+            Precision::Fp16 => self.fp16,
+            Precision::Bf16 => self.bf16,
+            Precision::Fp8 => self.fp8,
+        }
+    }
+
+    /// Return a copy with every rate multiplied by `factor`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive and finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive, got {factor}"
+        );
+        Self::new(
+            self.fp64 * factor,
+            self.fp32 * factor,
+            self.fp16 * factor,
+            self.bf16 * factor,
+            self.fp8 * factor,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_match_formats() {
+        assert_eq!(Precision::Fp8.bytes(), 1);
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Bf16.bytes(), 2);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Fp64.bytes(), 8);
+        assert_eq!(Precision::Fp16.bits(), 16);
+    }
+
+    #[test]
+    fn derived_rates_double_per_halving() {
+        let p = PeakFlops::from_fp32_matrix(10e12);
+        assert_eq!(p.rate(Precision::Fp32), 10e12);
+        assert_eq!(p.rate(Precision::Fp16), 20e12);
+        assert_eq!(p.rate(Precision::Fp8), 40e12);
+        assert_eq!(p.rate(Precision::Fp64), 5e12);
+    }
+
+    #[test]
+    fn scaled_multiplies_all() {
+        let p = PeakFlops::from_fp32_matrix(1e12).scaled(3.0);
+        assert_eq!(p.rate(Precision::Fp32), 3e12);
+        assert_eq!(p.rate(Precision::Fp16), 6e12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_rejected() {
+        let _ = PeakFlops::new(0.0, 1.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Precision::Bf16.to_string(), "bf16");
+        assert_eq!(Precision::Fp32.to_string(), "fp32");
+    }
+
+    #[test]
+    fn ordering_by_width() {
+        let mut all = Precision::all();
+        all.sort();
+        assert_eq!(all[0], Precision::Fp8);
+        assert_eq!(all[4], Precision::Fp64);
+    }
+}

@@ -1,0 +1,72 @@
+//! The classic roofline bound: an operator's time is at least its math time
+//! at peak throughput and at least its data-movement time at peak memory
+//! bandwidth.
+
+/// Roofline execution-time bound.
+///
+/// `flops` is the total multiply/add count, `bytes` the total off-chip data
+/// moved, `peak_flops` in FLOP/s and `mem_bandwidth` in B/s.
+///
+/// ```
+/// use twocs_hw::roofline::roofline_time;
+/// // 1 GFLOP of math on a 1 TFLOP/s device moving 1 MB at 1 TB/s:
+/// // compute-bound at 1 ms.
+/// let t = roofline_time(1e9 as u64, 1 << 20, 1e12, 1e12);
+/// assert!((t - 1e-3).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+/// Panics if `peak_flops` or `mem_bandwidth` are not strictly positive.
+#[must_use]
+pub fn roofline_time(flops: u64, bytes: u64, peak_flops: f64, mem_bandwidth: f64) -> f64 {
+    assert!(peak_flops > 0.0, "peak_flops must be positive");
+    assert!(mem_bandwidth > 0.0, "mem_bandwidth must be positive");
+    let math = flops as f64 / peak_flops;
+    let mem = bytes as f64 / mem_bandwidth;
+    math.max(mem)
+}
+
+/// Arithmetic intensity (FLOP per byte) of an operator; `None` when the
+/// operator moves no data.
+#[must_use]
+pub fn arithmetic_intensity(flops: u64, bytes: u64) -> Option<f64> {
+    if bytes == 0 {
+        None
+    } else {
+        Some(flops as f64 / bytes as f64)
+    }
+}
+
+/// The machine-balance point (FLOP per byte) above which an operator is
+/// compute-bound on the given device rates.
+#[must_use]
+pub fn machine_balance(peak_flops: f64, mem_bandwidth: f64) -> f64 {
+    peak_flops / mem_bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_side() {
+        // Tiny math, lots of data: memory-bound.
+        let t = roofline_time(1_000, 1 << 30, 1e15, 1e12);
+        assert!((t - (1u64 << 30) as f64 / 1e12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_side() {
+        let t = roofline_time(1_000_000_000_000, 8, 1e12, 1e12);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_and_balance() {
+        assert_eq!(arithmetic_intensity(100, 0), None);
+        assert_eq!(arithmetic_intensity(100, 50), Some(2.0));
+        // An op is compute-bound iff intensity > balance.
+        let balance = machine_balance(1e15, 1e12);
+        assert!((balance - 1000.0).abs() < 1e-9);
+    }
+}

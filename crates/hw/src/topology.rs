@@ -1,0 +1,259 @@
+//! Interconnect topologies.
+//!
+//! A [`Topology`] answers two questions for the rest of the workspace:
+//! which devices exist, and what link quality connects any ordered pair.
+//! Hierarchical (multi-node) topologies route through slower inter-node
+//! links, which matters for the paper's §4.3.7 discussion of DP
+//! communication spilling onto inter-node fabrics.
+
+use crate::error::HwError;
+use crate::network::LinkSpec;
+
+/// How a set of devices is wired together.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Topology {
+    /// Every device pair is directly connected by `link` (the paper's
+    /// 4-GPU MI210 node).
+    FullyConnected {
+        /// Number of devices.
+        devices: usize,
+        /// The direct link between any pair.
+        link: LinkSpec,
+    },
+    /// Devices form a ring; neighbours are connected by `link`.
+    Ring {
+        /// Number of devices.
+        devices: usize,
+        /// The link between ring neighbours.
+        link: LinkSpec,
+    },
+    /// All devices hang off a central switch; each traversal crosses two
+    /// `link` hops (in, out).
+    Switched {
+        /// Number of devices.
+        devices: usize,
+        /// The device-to-switch link.
+        link: LinkSpec,
+    },
+    /// Nodes of `node_size` fully connected devices internally; nodes are
+    /// connected by `inter` links.
+    Hierarchical {
+        /// Number of nodes.
+        nodes: usize,
+        /// Devices per node.
+        node_size: usize,
+        /// Link inside a node.
+        intra: LinkSpec,
+        /// Link between nodes.
+        inter: LinkSpec,
+    },
+}
+
+/// The effective path between two devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkPath {
+    /// Bottleneck link on the path.
+    pub link: LinkSpec,
+    /// Number of hops (1 for direct links).
+    pub hops: usize,
+}
+
+impl LinkPath {
+    /// Time to move `bytes` along this path: the bottleneck link's transfer
+    /// time plus per-extra-hop latency.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.link.transfer_time(bytes) + (self.hops.saturating_sub(1)) as f64 * self.link.latency()
+    }
+}
+
+impl Topology {
+    /// Number of devices in the topology.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        match *self {
+            Topology::FullyConnected { devices, .. }
+            | Topology::Ring { devices, .. }
+            | Topology::Switched { devices, .. } => devices,
+            Topology::Hierarchical {
+                nodes, node_size, ..
+            } => nodes * node_size,
+        }
+    }
+
+    /// The path between devices `a` and `b`.
+    ///
+    /// # Errors
+    /// Returns [`HwError::UnknownDevice`] if either index is out of range,
+    /// and [`HwError::InvalidParameter`] if `a == b` (no self-links).
+    pub fn path(&self, a: usize, b: usize) -> Result<LinkPath, HwError> {
+        let n = self.devices();
+        for d in [a, b] {
+            if d >= n {
+                return Err(HwError::UnknownDevice { device: d, count: n });
+            }
+        }
+        if a == b {
+            return Err(HwError::invalid("device pair", "no self-links (a == b)"));
+        }
+        Ok(match *self {
+            Topology::FullyConnected { link, .. } => LinkPath { link, hops: 1 },
+            Topology::Ring { devices, link } => {
+                let dist = ring_distance(a, b, devices);
+                LinkPath { link, hops: dist }
+            }
+            Topology::Switched { link, .. } => LinkPath { link, hops: 2 },
+            Topology::Hierarchical {
+                node_size,
+                intra,
+                inter,
+                ..
+            } => {
+                if a / node_size == b / node_size {
+                    LinkPath { link: intra, hops: 1 }
+                } else {
+                    // intra hop to NIC, inter hop, intra hop; bottleneck is
+                    // the inter link.
+                    LinkPath { link: inter, hops: 3 }
+                }
+            }
+        })
+    }
+
+    /// Whether devices `a` and `b` are in the same node (always true for
+    /// single-node topologies).
+    ///
+    /// # Errors
+    /// Returns [`HwError::UnknownDevice`] if either index is out of range.
+    pub fn same_node(&self, a: usize, b: usize) -> Result<bool, HwError> {
+        let n = self.devices();
+        for d in [a, b] {
+            if d >= n {
+                return Err(HwError::UnknownDevice { device: d, count: n });
+            }
+        }
+        Ok(match *self {
+            Topology::Hierarchical { node_size, .. } => a / node_size == b / node_size,
+            _ => true,
+        })
+    }
+
+    /// The minimum-quality (bottleneck) link used by a ring traversal of
+    /// all devices — what a ring all-reduce is limited by.
+    #[must_use]
+    pub fn ring_bottleneck(&self) -> LinkSpec {
+        match *self {
+            Topology::FullyConnected { link, .. }
+            | Topology::Ring { link, .. }
+            | Topology::Switched { link, .. } => link,
+            Topology::Hierarchical {
+                nodes, intra, inter, ..
+            } => {
+                if nodes > 1 {
+                    inter
+                } else {
+                    intra
+                }
+            }
+        }
+    }
+}
+
+fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(bw: f64) -> LinkSpec {
+        LinkSpec::new(bw, 5e-6, 1024.0 * 1024.0).unwrap()
+    }
+
+    #[test]
+    fn fully_connected_is_one_hop() {
+        let t = Topology::FullyConnected {
+            devices: 4,
+            link: link(50e9),
+        };
+        let p = t.path(0, 3).unwrap();
+        assert_eq!(p.hops, 1);
+        assert_eq!(t.devices(), 4);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let t = Topology::Ring {
+            devices: 8,
+            link: link(50e9),
+        };
+        assert_eq!(t.path(0, 1).unwrap().hops, 1);
+        assert_eq!(t.path(0, 7).unwrap().hops, 1);
+        assert_eq!(t.path(0, 4).unwrap().hops, 4);
+    }
+
+    #[test]
+    fn hierarchical_routes_through_inter_link() {
+        let t = Topology::Hierarchical {
+            nodes: 2,
+            node_size: 4,
+            intra: link(50e9),
+            inter: link(12.5e9),
+        };
+        assert_eq!(t.devices(), 8);
+        let same = t.path(0, 3).unwrap();
+        let cross = t.path(0, 4).unwrap();
+        assert_eq!(same.link.bandwidth(), 50e9);
+        assert_eq!(cross.link.bandwidth(), 12.5e9);
+        assert!(cross.hops > same.hops);
+        assert!(t.same_node(0, 3).unwrap());
+        assert!(!t.same_node(0, 4).unwrap());
+    }
+
+    #[test]
+    fn cross_node_transfer_slower_than_intra() {
+        let t = Topology::Hierarchical {
+            nodes: 2,
+            node_size: 4,
+            intra: link(50e9),
+            inter: link(12.5e9),
+        };
+        let bytes = 64 * 1024 * 1024;
+        let ti = t.path(0, 1).unwrap().transfer_time(bytes);
+        let tx = t.path(0, 4).unwrap().transfer_time(bytes);
+        assert!(tx > 3.0 * ti);
+    }
+
+    #[test]
+    fn out_of_range_device_is_error() {
+        let t = Topology::FullyConnected {
+            devices: 4,
+            link: link(50e9),
+        };
+        assert!(matches!(t.path(0, 4), Err(HwError::UnknownDevice { .. })));
+        assert!(t.path(1, 1).is_err());
+    }
+
+    #[test]
+    fn ring_bottleneck_is_inter_for_multinode() {
+        let t = Topology::Hierarchical {
+            nodes: 4,
+            node_size: 4,
+            intra: link(50e9),
+            inter: link(12.5e9),
+        };
+        assert_eq!(t.ring_bottleneck().bandwidth(), 12.5e9);
+    }
+
+    #[test]
+    fn switched_is_two_hops() {
+        let t = Topology::Switched {
+            devices: 16,
+            link: link(25e9),
+        };
+        assert_eq!(t.path(3, 9).unwrap().hops, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the hardware models: efficiencies stay in
+//! (0, 1], costs are positive, monotone where physics demands it, and
+//! hardware evolution composes.
+
+use proptest::prelude::*;
+use twocs_hw::gemm::{GemmModel, GemmShape};
+use twocs_hw::memops::{MemOpKind, MemOpModel};
+use twocs_hw::network::LinkSpec;
+use twocs_hw::{DeviceSpec, HwEvolution, Precision};
+
+fn shape() -> impl Strategy<Value = GemmShape> {
+    (1u64..8192, 1u64..8192, 1u64..8192, 1u64..64)
+        .prop_map(|(m, n, k, b)| GemmShape::batched(m, n, k, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gemm_efficiency_in_unit_interval(s in shape()) {
+        let model = GemmModel::default();
+        let eff = model.select_kernel(s).efficiency;
+        prop_assert!(eff > 0.0 && eff <= 1.0, "{s}: {eff}");
+    }
+
+    #[test]
+    fn gemm_time_at_least_ideal(s in shape()) {
+        // Modelled time can never beat ideal peak math time.
+        let dev = DeviceSpec::mi210();
+        let t = dev.gemm_time(s, Precision::Fp16);
+        let ideal = s.flops() as f64 / dev.peak_flops(Precision::Fp16);
+        prop_assert!(t >= ideal, "{s}: t {t} < ideal {ideal}");
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn gemm_time_monotone_in_each_dim(m in 64u64..2048, n in 64u64..2048, k in 64u64..2048) {
+        let dev = DeviceSpec::mi210();
+        let base = dev.gemm_time(GemmShape::new(m, n, k), Precision::Fp16);
+        // Doubling any dimension (with room in the catalog) cannot reduce
+        // time below the base minus launch jitter.
+        for bigger in [
+            GemmShape::new(4 * m, n, k),
+            GemmShape::new(m, 4 * n, k),
+            GemmShape::new(m, n, 4 * k),
+        ] {
+            let t = dev.gemm_time(bigger, Precision::Fp16);
+            prop_assert!(t > 0.95 * base, "{bigger} ({t}) vs base ({base})");
+        }
+    }
+
+    #[test]
+    fn lower_precision_is_never_slower_for_big_gemms(exp in 9u64..12) {
+        let dev = DeviceSpec::mi210();
+        let d = 1u64 << exp;
+        let s = GemmShape::new(d, d, d);
+        let t32 = dev.gemm_time(s, Precision::Fp32);
+        let t16 = dev.gemm_time(s, Precision::Fp16);
+        let t8 = dev.gemm_time(s, Precision::Fp8);
+        prop_assert!(t16 <= t32 && t8 <= t16);
+    }
+
+    #[test]
+    fn memop_time_linear_in_elements(elements in 1u64 << 16..1u64 << 26) {
+        let model = MemOpModel::default();
+        let t1 = model.kernel_time(MemOpKind::LayerNorm, elements, 2, 1e12);
+        let t2 = model.kernel_time(MemOpKind::LayerNorm, 2 * elements, 2, 1e12);
+        prop_assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_time_monotone_and_bounded(
+        bw_gb in 10.0f64..500.0,
+        latency_us in 0.0f64..50.0,
+        bytes in 1u64..1u64 << 32,
+    ) {
+        let link = LinkSpec::new(bw_gb * 1e9, latency_us * 1e-6, 4e6).unwrap();
+        let t = link.transfer_time(bytes);
+        // Never faster than ideal wire time + latency.
+        let ideal = latency_us * 1e-6 + bytes as f64 / (bw_gb * 1e9);
+        prop_assert!(t >= ideal - 1e-15);
+        // And monotone in size.
+        prop_assert!(link.transfer_time(bytes + 1024) >= t);
+    }
+
+    #[test]
+    fn evolution_composes(r1 in 1.0f64..4.0, r2 in 1.0f64..4.0) {
+        let dev = DeviceSpec::mi210();
+        let once = HwEvolution::flop_vs_bw(r1 * r2).apply(&dev);
+        let twice = HwEvolution::flop_vs_bw(r2)
+            .apply(&HwEvolution::flop_vs_bw(r1).apply(&dev));
+        let a = once.peak_flops(Precision::Fp16);
+        let b = twice.peak_flops(Precision::Fp16);
+        prop_assert!(((a - b) / a).abs() < 1e-12);
+        prop_assert!(
+            (once.network().ring_allreduce_bandwidth()
+                - twice.network().ring_allreduce_bandwidth())
+            .abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn evolution_preserves_catalog_invariants(ratio in 1.0f64..8.0) {
+        for dev in DeviceSpec::catalog() {
+            let fut = HwEvolution::flop_vs_bw(ratio).apply(&dev);
+            prop_assert!(fut.peak_flops(Precision::Fp16) >= dev.peak_flops(Precision::Fp16));
+            prop_assert_eq!(fut.mem_capacity(), dev.mem_capacity());
+            // A large GEMM gets faster, a tiny one is launch-bound.
+            let big = GemmShape::new(8192, 8192, 8192);
+            prop_assert!(fut.gemm_time(big, Precision::Fp16) < dev.gemm_time(big, Precision::Fp16));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Profiling-cost accounting (the paper's §4.3.8 "Profiling Speedups").
+//!
+//! The paper's strategy avoids executing ~198 Transformer configurations,
+//! cutting profiling cost by three orders of magnitude (2100×), and avoids
+//! forward passes for the overlap analysis (another 1.5×). This module
+//! reproduces the accounting over the paper's Table 3 sweep space using
+//! the substrate's iteration times as the "cost to execute".
+
+use crate::profile::Profiler;
+use twocs_hw::DeviceSpec;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// Layer count used for future-model cost estimates (GPT-3-class depth).
+const SWEEP_LAYERS: u64 = 96;
+
+/// The paper's Table 3 sweep space, filtered to shardable configurations:
+/// `H ∈ {1K..64K} × SL ∈ {1K..8K} × B ∈ {1,4} × TP ∈ {4..256}` with
+/// `TP ≤ heads` and `TP | H`.
+#[must_use]
+pub fn table3_configs() -> Vec<(Hyperparams, ParallelConfig)> {
+    let hs = [1024u64, 2048, 4096, 8192, 16_384, 32_768, 65_536];
+    let sls = [1024u64, 2048, 4096, 8192];
+    let bs = [1u64, 4];
+    let tps = [4u64, 8, 16, 32, 64, 128, 256];
+    let mut out = Vec::new();
+    for &h in &hs {
+        // Power-of-two head count so large TP degrees stay valid.
+        let heads = (h / 64).clamp(16, 256);
+        for &sl in &sls {
+            for &b in &bs {
+                let Ok(hyper) = Hyperparams::builder(h)
+                    .heads(heads)
+                    .layers(SWEEP_LAYERS)
+                    .seq_len(sl)
+                    .batch(b)
+                    .build()
+                else {
+                    continue;
+                };
+                for &tp in &tps {
+                    let parallel = ParallelConfig::new().tensor(tp);
+                    if parallel.validate(&hyper).is_err() {
+                        continue;
+                    }
+                    // Exclude unrealistic points: huge models at tiny TP
+                    // (cannot fit), tiny models at huge TP (pointless),
+                    // mirroring the paper's pruning.
+                    if h >= 16_384 && tp < 16 {
+                        continue;
+                    }
+                    if h <= 2048 && tp > 64 {
+                        continue;
+                    }
+                    out.push((hyper.clone(), parallel));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Result of the profiling-cost comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilingCostReport {
+    /// Number of configurations the strategy avoids executing.
+    pub configs: usize,
+    /// Virtual cost (seconds of device time) of exhaustively executing
+    /// every configuration.
+    pub exhaustive_seconds: f64,
+    /// Cost of the paper's strategy: one baseline iteration plus the
+    /// all-reduce size sweep.
+    pub strategy_seconds: f64,
+    /// Cost of a full iteration vs. backward-only ROI for the overlap
+    /// analysis.
+    pub full_iteration_seconds: f64,
+    /// Backward-only ROI cost.
+    pub roi_seconds: f64,
+}
+
+impl ProfilingCostReport {
+    /// End-to-end profiling speedup of the strategy (paper: ~2100×).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.strategy_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.exhaustive_seconds / self.strategy_seconds
+    }
+
+    /// Speedup of ROI extraction over full iterations for the overlap
+    /// analysis (paper: ~1.5×).
+    #[must_use]
+    pub fn roi_speedup(&self) -> f64 {
+        if self.roi_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.full_iteration_seconds / self.roi_seconds
+    }
+}
+
+/// Account profiling costs over the Table 3 space on `device`.
+///
+/// Exhaustive cost sums each configuration's per-iteration time (computed
+/// analytically from per-layer profiles — running the simulator for every
+/// config is exactly what we are costing, not something we need to do).
+#[must_use]
+pub fn account(device: &DeviceSpec) -> ProfilingCostReport {
+    let profiler = Profiler::new(device.clone());
+    let configs = table3_configs();
+
+    let mut exhaustive = 0.0;
+    for (hyper, parallel) in &configs {
+        let layer = profiler.profile_layer(hyper, parallel);
+        let per_layer = layer.compute_time() + layer.serialized_comm_time();
+        exhaustive += per_layer * (hyper.layers() / parallel.pp()) as f64;
+    }
+
+    // Strategy: one BERT-baseline iteration on one device + the AR sweep.
+    let baseline = Hyperparams::builder(1024)
+        .heads(16)
+        .layers(24)
+        .seq_len(512)
+        .batch(4)
+        .build()
+        .expect("valid baseline");
+    let single = ParallelConfig::new();
+    let base_layer = profiler.profile_layer(&baseline, &single);
+    let baseline_iter = base_layer.compute_time() * baseline.layers() as f64;
+    let ar_sweep: f64 = crate::model::ArSizeModel::default_sizes()
+        .iter()
+        .map(|&s| {
+            profiler
+                .comm_model()
+                .allreduce_time(s, 4, device.network())
+        })
+        .sum();
+    let strategy = baseline_iter + ar_sweep;
+
+    // ROI comparison on a representative mid-size configuration: full
+    // forward+backward iteration vs. backward-only ROI.
+    let roi_hyper = Hyperparams::builder(4096)
+        .heads(32)
+        .layers(24)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .expect("valid ROI config");
+    let roi_par = ParallelConfig::new().tensor(4).data(4);
+    let roi_layer = profiler.profile_layer(&roi_hyper, &roi_par);
+    let fwd: f64 = roi_layer.forward.iter().map(|r| r.time).sum();
+    let bwd: f64 = roi_layer.backward.iter().map(|r| r.time).sum();
+    let layers = roi_hyper.layers() as f64;
+
+    ProfilingCostReport {
+        configs: configs.len(),
+        exhaustive_seconds: exhaustive,
+        strategy_seconds: strategy,
+        full_iteration_seconds: (fwd + bwd) * layers,
+        roi_seconds: bwd * layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_space_has_a_couple_hundred_configs() {
+        // Paper: "avoids executing ~198 different Transformer models".
+        let n = table3_configs().len();
+        assert!((150..=400).contains(&n), "got {n} configs");
+    }
+
+    #[test]
+    fn all_configs_are_valid() {
+        for (hyper, parallel) in table3_configs() {
+            parallel.validate(&hyper).unwrap();
+        }
+    }
+
+    #[test]
+    fn strategy_speedup_is_at_least_three_orders_of_magnitude() {
+        // Paper: "over three orders of magnitude (2100x)". Our sweep uses
+        // deeper (96-layer) future models than the paper's estimate, so we
+        // land higher (~3e4); the claim preserved is >= 3 orders.
+        let report = account(&DeviceSpec::mi210());
+        let s = report.speedup();
+        assert!(
+            (1_000.0..=100_000.0).contains(&s),
+            "speedup {s} outside >=3-orders-of-magnitude band"
+        );
+    }
+
+    #[test]
+    fn roi_speedup_is_about_1_5x() {
+        // Backward is ~2/3 of an iteration, so skipping forward ≈ 1.5x.
+        let report = account(&DeviceSpec::mi210());
+        let s = report.roi_speedup();
+        assert!((1.3..=1.7).contains(&s), "ROI speedup {s}");
+    }
+
+    #[test]
+    fn exhaustive_cost_dwarfs_strategy_cost() {
+        let report = account(&DeviceSpec::mi210());
+        assert!(report.exhaustive_seconds > 100.0 * report.strategy_seconds);
+        assert!(report.strategy_seconds > 0.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Operator-level runtime models (paper §4.2.2, step 2b).
+//!
+//! Two model families:
+//!
+//! * [`ScalingExponents`] — the paper's analytical scaling laws per
+//!   operator class: GEMM time scales linearly with `SL`/`B`, quadratically
+//!   with `H` (linearly for attention GEMMs, quadratically with `SL`
+//!   instead), inversely with `TP` for sliced operators; LayerNorm scales
+//!   linearly with everything and is not TP-sliced.
+//! * [`ArSizeModel`] — the all-reduce runtime as a function of payload
+//!   size, *measured* on the (simulated) node across a size sweep and
+//!   log–log interpolated, exactly as the paper fits its measured RCCL
+//!   curve (Fig. 15(c)).
+
+use twocs_collectives::CollectiveCostModel;
+use twocs_hw::network::NetworkSpec;
+use twocs_transformer::Hyperparams;
+
+/// Per-operator scaling law: `t ∝ H^h · SL^sl · B^b · TP^{-inv_tp}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingExponents {
+    /// Exponent on the hidden dimension.
+    pub h: f64,
+    /// Exponent on the sequence length.
+    pub sl: f64,
+    /// Exponent on the batch size.
+    pub b: f64,
+    /// Exponent on `1/TP` (0 for operators that are not sliced).
+    pub inv_tp: f64,
+}
+
+impl ScalingExponents {
+    /// Scaling law for the named operator, per the paper's algorithmic
+    /// analysis. Returns `None` for communication ops (those are priced by
+    /// [`ArSizeModel`]) and unknown names.
+    #[must_use]
+    pub fn for_op(name: &str) -> Option<Self> {
+        if name.contains("ar") && (name.starts_with("tp_") || name.starts_with("dp_")) {
+            return None;
+        }
+        let law = if name.contains("score") || name.contains("ctx") || name.contains("softmax") {
+            // Attention ops: O(H · SL² · B / TP) (heads scale with H).
+            Self {
+                h: 1.0,
+                sl: 2.0,
+                b: 1.0,
+                inv_tp: 1.0,
+            }
+        } else if name.ends_with("_gemm") {
+            // Linear-layer GEMMs: O(H² · SL · B / TP).
+            Self {
+                h: 2.0,
+                sl: 1.0,
+                b: 1.0,
+                inv_tp: 1.0,
+            }
+        } else if name.starts_with("gelu") {
+            // Activation over the sliced FF width: O(H · SL · B / TP).
+            Self {
+                h: 1.0,
+                sl: 1.0,
+                b: 1.0,
+                inv_tp: 1.0,
+            }
+        } else if name.starts_with("ln")
+            || name.contains("dropout")
+            || name.contains("residual")
+        {
+            // Full-width activations, replicated across TP ranks:
+            // O(H · SL · B).
+            Self {
+                h: 1.0,
+                sl: 1.0,
+                b: 1.0,
+                inv_tp: 0.0,
+            }
+        } else {
+            return None;
+        };
+        Some(law)
+    }
+
+    /// Multiplicative factor from a baseline `(hyper, tp)` to a target.
+    #[must_use]
+    pub fn scale_factor(
+        &self,
+        base: &Hyperparams,
+        base_tp: u64,
+        target: &Hyperparams,
+        target_tp: u64,
+    ) -> f64 {
+        let h = (target.hidden() as f64 / base.hidden() as f64).powf(self.h);
+        let sl = (target.seq_len() as f64 / base.seq_len() as f64).powf(self.sl);
+        let b = (target.batch() as f64 / base.batch() as f64).powf(self.b);
+        let tp = (base_tp as f64 / target_tp as f64).powf(self.inv_tp);
+        h * sl * b * tp
+    }
+}
+
+/// All-reduce runtime vs. payload size, fitted from measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArSizeModel {
+    participants: usize,
+    /// `(ln bytes, ln seconds)`, ascending in bytes.
+    points: Vec<(f64, f64)>,
+}
+
+impl ArSizeModel {
+    /// Default measurement grid: 256 KiB to 4 GiB, ×2 steps.
+    #[must_use]
+    pub fn default_sizes() -> Vec<u64> {
+        (0..15).map(|i| (256 * 1024) << i).collect()
+    }
+
+    /// "Measure" all-reduce times across `sizes` on the node described by
+    /// `net` with `participants` ranks, and keep the curve.
+    ///
+    /// # Panics
+    /// Panics if `sizes` has fewer than two entries or is not strictly
+    /// ascending.
+    #[must_use]
+    pub fn profile(
+        net: &NetworkSpec,
+        comm_model: &CollectiveCostModel,
+        participants: usize,
+        sizes: &[u64],
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least two sizes to interpolate");
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "sizes must be strictly ascending"
+        );
+        let points = sizes
+            .iter()
+            .map(|&s| {
+                let t = comm_model.allreduce_time(s, participants, net);
+                ((s as f64).ln(), t.ln())
+            })
+            .collect();
+        Self {
+            participants,
+            points,
+        }
+    }
+
+    /// Ranks the curve was measured with.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Predicted all-reduce time (seconds) for a payload of `bytes`,
+    /// log–log interpolated (end slopes extrapolate).
+    #[must_use]
+    pub fn predict(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let x = (bytes as f64).ln();
+        let pts = &self.points;
+        // Find the segment containing x (clamped to end segments).
+        let seg = match pts.iter().position(|&(px, _)| px >= x) {
+            Some(0) | None if pts.len() >= 2 => {
+                if x <= pts[0].0 {
+                    (pts[0], pts[1])
+                } else {
+                    (pts[pts.len() - 2], pts[pts.len() - 1])
+                }
+            }
+            Some(i) => (pts[i - 1], pts[i]),
+            None => unreachable!("guarded by len >= 2"),
+        };
+        let ((x0, y0), (x1, y1)) = seg;
+        let slope = (y1 - y0) / (x1 - x0);
+        (y0 + slope * (x - x0)).exp()
+    }
+
+    /// Effective bandwidth (`bytes / predicted time`) at a payload size.
+    #[must_use]
+    pub fn bandwidth(&self, bytes: u64) -> f64 {
+        let t = self.predict(bytes);
+        if t <= 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twocs_hw::DeviceSpec;
+
+    #[test]
+    fn linear_gemm_law_matches_paper_eq1() {
+        let law = ScalingExponents::for_op("fc1_gemm").unwrap();
+        assert_eq!((law.h, law.sl, law.b, law.inv_tp), (2.0, 1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn attention_law_matches_paper_eq2() {
+        let law = ScalingExponents::for_op("attn_score_gemm").unwrap();
+        assert_eq!((law.h, law.sl, law.b, law.inv_tp), (1.0, 2.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn layernorm_is_linear_and_unsliced() {
+        let law = ScalingExponents::for_op("ln1").unwrap();
+        assert_eq!((law.h, law.sl, law.b, law.inv_tp), (1.0, 1.0, 1.0, 0.0));
+        let bwd = ScalingExponents::for_op("ln2_bwd").unwrap();
+        assert_eq!(bwd.inv_tp, 0.0);
+    }
+
+    #[test]
+    fn comm_ops_have_no_scaling_law() {
+        assert!(ScalingExponents::for_op("tp_ar_attn").is_none());
+        assert!(ScalingExponents::for_op("dp_grad_ar").is_none());
+        assert!(ScalingExponents::for_op("unknown_op").is_none());
+    }
+
+    #[test]
+    fn scale_factor_composition() {
+        let base = Hyperparams::builder(1024).heads(16).seq_len(512).batch(4).build().unwrap();
+        let target = Hyperparams::builder(4096).heads(32).seq_len(1024).batch(2).build().unwrap();
+        let law = ScalingExponents::for_op("fc1_gemm").unwrap();
+        // (4096/1024)² · (1024/512) · (2/4) · (1/8) = 16 · 2 · 0.5 · 0.125.
+        let f = law.scale_factor(&base, 1, &target, 8);
+        assert!((f - 2.0).abs() < 1e-9, "factor {f}");
+    }
+
+    #[test]
+    fn ar_model_interpolates_monotonically() {
+        let dev = DeviceSpec::mi210();
+        let m = ArSizeModel::profile(
+            dev.network(),
+            &CollectiveCostModel::default(),
+            4,
+            &ArSizeModel::default_sizes(),
+        );
+        let mut prev = 0.0;
+        for s in [1u64 << 18, 1 << 20, 1 << 24, 1 << 28, 1 << 31] {
+            let t = m.predict(s);
+            assert!(t > prev, "time must grow with size");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ar_model_matches_measurement_at_grid_points() {
+        let dev = DeviceSpec::mi210();
+        let cm = CollectiveCostModel::default();
+        let sizes = ArSizeModel::default_sizes();
+        let m = ArSizeModel::profile(dev.network(), &cm, 4, &sizes);
+        for &s in &sizes {
+            let measured = cm.allreduce_time(s, 4, dev.network());
+            let predicted = m.predict(s);
+            assert!(
+                ((predicted - measured) / measured).abs() < 1e-9,
+                "grid point {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn ar_bandwidth_saturates_with_size() {
+        let dev = DeviceSpec::mi210();
+        let m = ArSizeModel::profile(
+            dev.network(),
+            &CollectiveCostModel::default(),
+            4,
+            &ArSizeModel::default_sizes(),
+        );
+        assert!(m.bandwidth(1 << 20) < m.bandwidth(1 << 30));
+        assert!(m.bandwidth(1 << 30) < 160e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_sizes_rejected() {
+        let dev = DeviceSpec::mi210();
+        let _ = ArSizeModel::profile(
+            dev.network(),
+            &CollectiveCostModel::default(),
+            4,
+            &[1024, 512],
+        );
+    }
+}
+
+/// An operator model *fitted* from profiled measurements (rather than
+/// scaled analytically): ordinary least squares over the features the
+/// paper's analysis prescribes — `[1, SL]` for GEMMs at fixed `H`
+/// (linear), `[1, H, H²]` for GEMMs at fixed `SL` (quadratic), `[1, x]`
+/// for LayerNorm along either axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedOpModel {
+    fit: crate::stats::LinearFit,
+    degree: u32,
+}
+
+impl FittedOpModel {
+    /// Fit `time = β₀ + β₁·x (+ β₂·x²)` over `(x, seconds)` samples.
+    /// `degree` is 1 (linear) or 2 (quadratic).
+    ///
+    /// Returns `None` for unfittable inputs (fewer samples than
+    /// coefficients, collinear features).
+    ///
+    /// # Panics
+    /// Panics if `degree` is not 1 or 2.
+    #[must_use]
+    pub fn fit(samples: &[(f64, f64)], degree: u32) -> Option<Self> {
+        assert!(degree == 1 || degree == 2, "degree must be 1 or 2");
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|&(x, _)| {
+                let mut row = vec![1.0, x];
+                if degree == 2 {
+                    row.push(x * x);
+                }
+                row
+            })
+            .collect();
+        let y: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+        let fit = crate::stats::LinearFit::fit(&rows, &y)?;
+        Some(Self { fit, degree })
+    }
+
+    /// Predicted runtime (seconds) at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        let mut row = vec![1.0, x];
+        if self.degree == 2 {
+            row.push(x * x);
+        }
+        self.fit.predict(&row)
+    }
+
+    /// Goodness of fit against the mean model.
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        self.fit.r_squared()
+    }
+}
+
+#[cfg(test)]
+mod fitted_tests {
+    use super::*;
+    use crate::profile::Profiler;
+    use twocs_hw::DeviceSpec;
+    use twocs_transformer::layer::encoder_layer_forward;
+    use twocs_transformer::{Hyperparams, ParallelConfig};
+
+    fn gemm_time_at(device: &DeviceSpec, h: u64, sl: u64) -> f64 {
+        let hyper = Hyperparams::builder(h)
+            .heads((h / 64).max(1))
+            .seq_len(sl)
+            .batch(1)
+            .build()
+            .unwrap();
+        let profiler = Profiler::new(device.clone());
+        encoder_layer_forward(&hyper, &ParallelConfig::new())
+            .iter()
+            .find(|o| o.name() == "fc1_gemm")
+            .map(|o| profiler.profile_op(o, &hyper).time)
+            .unwrap()
+    }
+
+    #[test]
+    fn linear_fit_captures_gemm_vs_sl() {
+        // Fig. 15(a): GEMM runtime vs SL fits a line (R² near 1) and
+        // interpolates unseen sequence lengths accurately.
+        let dev = DeviceSpec::mi210();
+        let samples: Vec<(f64, f64)> = [512u64, 1024, 2048, 8192]
+            .iter()
+            .map(|&sl| (sl as f64, gemm_time_at(&dev, 4096, sl)))
+            .collect();
+        let model = FittedOpModel::fit(&samples, 1).unwrap();
+        assert!(model.r_squared() > 0.99, "R² {}", model.r_squared());
+        let measured = gemm_time_at(&dev, 4096, 4096); // held out
+        let predicted = model.predict(4096.0);
+        let err = ((predicted - measured) / measured).abs();
+        assert!(err < 0.15, "held-out SL=4096 error {err}");
+    }
+
+    #[test]
+    fn quadratic_fit_captures_gemm_vs_h() {
+        let dev = DeviceSpec::mi210();
+        let samples: Vec<(f64, f64)> = [1024u64, 2048, 4096, 16_384]
+            .iter()
+            .map(|&h| (h as f64, gemm_time_at(&dev, h, 2048)))
+            .collect();
+        let model = FittedOpModel::fit(&samples, 2).unwrap();
+        assert!(model.r_squared() > 0.99, "R² {}", model.r_squared());
+        let measured = gemm_time_at(&dev, 8192, 2048); // held out
+        let predicted = model.predict(8192.0);
+        let err = ((predicted - measured) / measured).abs();
+        assert!(err < 0.15, "held-out H=8192 error {err}");
+    }
+
+    #[test]
+    fn underdetermined_fit_is_none() {
+        assert!(FittedOpModel::fit(&[(1.0, 1.0)], 1).is_none());
+        assert!(FittedOpModel::fit(&[(1.0, 1.0), (2.0, 2.0)], 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn cubic_degree_rejected() {
+        let _ = FittedOpModel::fit(&[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)], 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Small statistics toolkit: ordinary least squares and error metrics.
+//!
+//! Implemented from scratch (normal equations + Gaussian elimination with
+//! partial pivoting) — more than adequate for the 2–4 parameter fits the
+//! operator models need.
+
+use std::fmt;
+
+/// A fitted linear model `y ≈ Σ βᵢ·xᵢ` over caller-supplied features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    coefficients: Vec<f64>,
+    r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fit `y ≈ X β` by ordinary least squares. `rows` are feature
+    /// vectors (include a constant 1.0 for an intercept), `y` the targets.
+    ///
+    /// Returns `None` when the system is under-determined or singular
+    /// (fewer rows than features, or collinear features).
+    #[must_use]
+    pub fn fit(rows: &[Vec<f64>], y: &[f64]) -> Option<Self> {
+        let n = rows.len();
+        if n == 0 || n != y.len() {
+            return None;
+        }
+        let k = rows[0].len();
+        if k == 0 || n < k || rows.iter().any(|r| r.len() != k) {
+            return None;
+        }
+        // Normal equations: (XᵀX) β = Xᵀy.
+        let mut xtx = vec![vec![0.0; k]; k];
+        let mut xty = vec![0.0; k];
+        for (row, &target) in rows.iter().zip(y) {
+            for i in 0..k {
+                xty[i] += row[i] * target;
+                for j in 0..k {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        let coefficients = solve(xtx, xty)?;
+
+        // R² against the mean model.
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        let ss_res: f64 = rows
+            .iter()
+            .zip(y)
+            .map(|(row, &target)| {
+                let pred: f64 = row.iter().zip(&coefficients).map(|(x, b)| x * b).sum();
+                (target - pred).powi(2)
+            })
+            .sum();
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Some(Self {
+            coefficients,
+            r_squared,
+        })
+    }
+
+    /// Fitted coefficients, in feature order.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Coefficient of determination against the mean model.
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Predict `y` for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if `features` has the wrong length.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len(),
+            "feature vector length mismatch"
+        );
+        features
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(x, b)| x * b)
+            .sum()
+    }
+}
+
+impl fmt::Display for LinearFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fit β = {:?} (R² = {:.4})", self.coefficients, self.r_squared)
+    }
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` for singular systems.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (cell, &p) in rest[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// Mean absolute percentage error of predictions vs. actuals, as a
+/// fraction (0.15 = 15%). Pairs with non-positive actuals are skipped.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mean_abs_pct_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if a > 0.0 {
+            total += ((p - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Geometric-mean ratio error: `exp(mean |ln(pred/actual)|) − 1`, the
+/// metric the paper reports ("geomean error") — symmetric in over- and
+/// under-prediction. Pairs with non-positive values are skipped.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn geomean_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if p > 0.0 && a > 0.0 {
+            total += (p / a).ln().abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (total / count as f64).exp() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_data_recovers_coefficients() {
+        // y = 3 + 2x.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, f64::from(i)]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * f64::from(i)).collect();
+        let fit = LinearFit::fit(&rows, &y).unwrap();
+        assert!((fit.coefficients()[0] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients()[1] - 2.0).abs() < 1e-9);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-9);
+        assert!((fit.predict(&[1.0, 100.0]) - 203.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quadratic_features_fit_quadratic_data() {
+        // y = 1 + 0.5 x + 0.25 x².
+        let rows: Vec<Vec<f64>> = (1..12)
+            .map(|i| {
+                let x = f64::from(i);
+                vec![1.0, x, x * x]
+            })
+            .collect();
+        let y: Vec<f64> = (1..12)
+            .map(|i| {
+                let x = f64::from(i);
+                1.0 + 0.5 * x + 0.25 * x * x
+            })
+            .collect();
+        let fit = LinearFit::fit(&rows, &y).unwrap();
+        assert!((fit.coefficients()[2] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_has_good_r_squared() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0, f64::from(i)]).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| 10.0 + 4.0 * f64::from(i) + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = LinearFit::fit(&rows, &y).unwrap();
+        assert!(fit.r_squared() > 0.99);
+    }
+
+    #[test]
+    fn underdetermined_and_singular_systems_fail_cleanly() {
+        assert!(LinearFit::fit(&[vec![1.0, 2.0]], &[1.0]).is_none());
+        // Collinear features.
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![f64::from(i), 2.0 * f64::from(i)])
+            .collect();
+        let y = vec![1.0; 5];
+        assert!(LinearFit::fit(&rows, &y).is_none());
+        assert!(LinearFit::fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn error_metrics() {
+        let pred = [1.1, 0.9, 2.0];
+        let act = [1.0, 1.0, 2.0];
+        let mape = mean_abs_pct_error(&pred, &act);
+        assert!((mape - 0.2 / 3.0).abs() < 1e-9);
+        let ge = geomean_error(&pred, &act);
+        assert!(ge > 0.0 && ge < 0.08);
+        assert_eq!(geomean_error(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_error_is_symmetric() {
+        let a = geomean_error(&[2.0], &[1.0]);
+        let b = geomean_error(&[1.0], &[2.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Operator-model accuracy validation (the paper's §4.3.8 / Figure 15).
+//!
+//! Each sweep compares the *projected* runtime of an operator (scaled from
+//! the smallest configuration with its analytic law, or interpolated from
+//! the coarse measured all-reduce grid) against the *measured* runtime on
+//! the hardware substrate, and reports geometric-mean error. The residual
+//! error has the same source the paper names: efficiency improves with
+//! operation size, so pure linear/quadratic scaling from a small baseline
+//! over- or under-shoots.
+
+use crate::model::ArSizeModel;
+use crate::profile::Profiler;
+use crate::projection::ProjectionModel;
+use crate::stats::geomean_error;
+use twocs_hw::DeviceSpec;
+use twocs_transformer::layer::encoder_layer_forward;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// One (x, projected, measured) sample of a validation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Swept value (`SL`, `H`, or bytes).
+    pub x: f64,
+    /// Model-projected runtime, seconds.
+    pub projected: f64,
+    /// Ground-truth runtime, seconds.
+    pub measured: f64,
+}
+
+/// A complete validation sweep for one operator family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepValidation {
+    /// Human-readable label (e.g. `"fc1_gemm vs SL"`).
+    pub label: String,
+    /// The samples, ascending in `x`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepValidation {
+    /// Geometric-mean relative error across the sweep.
+    #[must_use]
+    pub fn geomean_error(&self) -> f64 {
+        let projected: Vec<f64> = self.points.iter().map(|p| p.projected).collect();
+        let measured: Vec<f64> = self.points.iter().map(|p| p.measured).collect();
+        geomean_error(&projected, &measured)
+    }
+
+    /// Worst-case relative error across the sweep.
+    #[must_use]
+    pub fn max_error(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.measured > 0.0)
+            .map(|p| ((p.projected - p.measured) / p.measured).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+fn measured_op_time(
+    device: &DeviceSpec,
+    hyper: &Hyperparams,
+    op_name: &str,
+) -> Option<f64> {
+    let profiler = Profiler::new(device.clone());
+    encoder_layer_forward(hyper, &ParallelConfig::new())
+        .iter()
+        .find(|o| o.name() == op_name)
+        .map(|o| profiler.profile_op(o, hyper).time)
+}
+
+fn sweep(
+    device: &DeviceSpec,
+    base: &Hyperparams,
+    op_name: &str,
+    label: &str,
+    configs: impl IntoIterator<Item = (f64, Hyperparams)>,
+) -> SweepValidation {
+    let model = ProjectionModel::from_baseline(base, device);
+    let points = configs
+        .into_iter()
+        .filter_map(|(x, hyper)| {
+            let projected = model.project_op_time(op_name, &hyper, 1)?;
+            let measured = measured_op_time(device, &hyper, op_name)?;
+            Some(SweepPoint {
+                x,
+                projected,
+                measured,
+            })
+        })
+        .collect();
+    SweepValidation {
+        label: label.to_owned(),
+        points,
+    }
+}
+
+/// Figure 15(a), left: GEMM runtime vs. `SL` (projected linearly from the
+/// smallest point).
+#[must_use]
+pub fn gemm_vs_sl(device: &DeviceSpec, sls: &[u64]) -> SweepValidation {
+    let base = Hyperparams::builder(4096)
+        .heads(32)
+        .seq_len(sls.first().copied().unwrap_or(512))
+        .batch(1)
+        .build()
+        .expect("valid baseline");
+    let configs = sls
+        .iter()
+        .map(|&sl| (sl as f64, base.clone().with_seq_len(sl)))
+        .collect::<Vec<_>>();
+    sweep(device, &base, "fc1_gemm", "fc1_gemm runtime vs SL", configs)
+}
+
+/// Figure 15(a), right: GEMM runtime vs. `H` (projected quadratically from
+/// the smallest point).
+#[must_use]
+pub fn gemm_vs_h(device: &DeviceSpec, hs: &[u64]) -> SweepValidation {
+    let h0 = hs.first().copied().unwrap_or(1024);
+    let mk = |h: u64| {
+        Hyperparams::builder(h)
+            .heads((h / 64).max(1))
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .expect("valid sweep point")
+    };
+    let base = mk(h0);
+    let configs = hs.iter().map(|&h| (h as f64, mk(h))).collect::<Vec<_>>();
+    sweep(device, &base, "fc1_gemm", "fc1_gemm runtime vs H", configs)
+}
+
+/// Figure 15(b): LayerNorm runtime vs. `SL` and vs. `H` (both linear).
+/// Batch 4 keeps kernel time well above the fixed launch cost, as in the
+/// paper's BERT profiling.
+#[must_use]
+pub fn layernorm_vs_sl(device: &DeviceSpec, sls: &[u64]) -> SweepValidation {
+    let base = Hyperparams::builder(4096)
+        .heads(32)
+        .seq_len(sls.first().copied().unwrap_or(512))
+        .batch(4)
+        .build()
+        .expect("valid baseline");
+    let configs = sls
+        .iter()
+        .map(|&sl| (sl as f64, base.clone().with_seq_len(sl)))
+        .collect::<Vec<_>>();
+    sweep(device, &base, "ln1", "layernorm runtime vs SL", configs)
+}
+
+/// Figure 15(b), right: LayerNorm runtime vs. `H`.
+#[must_use]
+pub fn layernorm_vs_h(device: &DeviceSpec, hs: &[u64]) -> SweepValidation {
+    let h0 = hs.first().copied().unwrap_or(1024);
+    let mk = |h: u64| {
+        Hyperparams::builder(h)
+            .heads((h / 64).max(1))
+            .seq_len(2048)
+            .batch(4)
+            .build()
+            .expect("valid sweep point")
+    };
+    let base = mk(h0);
+    let configs = hs.iter().map(|&h| (h as f64, mk(h))).collect::<Vec<_>>();
+    sweep(device, &base, "ln1", "layernorm runtime vs H", configs)
+}
+
+/// Figure 15(c): all-reduce runtime vs. payload size — the model is fitted
+/// on a coarse (×4) grid and validated at intermediate sizes.
+#[must_use]
+pub fn allreduce_vs_size(device: &DeviceSpec) -> SweepValidation {
+    let profiler = Profiler::new(device.clone());
+    let coarse: Vec<u64> = (0..8).map(|i| (256 * 1024u64) << (2 * i)).collect();
+    let model = ArSizeModel::profile(device.network(), profiler.comm_model(), 4, &coarse);
+    // Validate halfway (×2) between fitted points.
+    let points = (0..7)
+        .map(|i| {
+            let bytes = (512 * 1024u64) << (2 * i);
+            let projected = model.predict(bytes);
+            let measured = profiler
+                .comm_model()
+                .allreduce_time(bytes, 4, device.network());
+            SweepPoint {
+                x: bytes as f64,
+                projected,
+                measured,
+            }
+        })
+        .collect();
+    SweepValidation {
+        label: "all-reduce runtime vs size".to_owned(),
+        points,
+    }
+}
+
+/// The default Figure 15 validation suite on one device.
+#[must_use]
+pub fn figure15_suite(device: &DeviceSpec) -> Vec<SweepValidation> {
+    let sls: Vec<u64> = vec![512, 1024, 2048, 4096, 8192];
+    let hs: Vec<u64> = vec![1024, 2048, 4096, 8192];
+    vec![
+        gemm_vs_sl(device, &sls),
+        gemm_vs_h(device, &hs),
+        layernorm_vs_sl(device, &sls),
+        layernorm_vs_h(device, &hs),
+        allreduce_vs_size(device),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_sl_sweep_is_accurate() {
+        // Paper: GEMM model error ~15%.
+        let v = gemm_vs_sl(&DeviceSpec::mi210(), &[512, 1024, 2048, 4096, 8192]);
+        assert_eq!(v.points.len(), 5);
+        assert!(v.geomean_error() < 0.15, "geomean {}", v.geomean_error());
+    }
+
+    #[test]
+    fn gemm_h_sweep_is_reasonably_accurate() {
+        let v = gemm_vs_h(&DeviceSpec::mi210(), &[1024, 2048, 4096, 8192]);
+        assert!(v.geomean_error() < 0.20, "geomean {}", v.geomean_error());
+    }
+
+    #[test]
+    fn layernorm_sweeps_are_very_accurate() {
+        // Paper: LayerNorm geomean error ~7%.
+        let sl = layernorm_vs_sl(&DeviceSpec::mi210(), &[512, 1024, 2048, 4096, 8192]);
+        let h = layernorm_vs_h(&DeviceSpec::mi210(), &[1024, 2048, 4096, 8192]);
+        assert!(sl.geomean_error() < 0.10, "vs SL {}", sl.geomean_error());
+        assert!(h.geomean_error() < 0.10, "vs H {}", h.geomean_error());
+    }
+
+    #[test]
+    fn allreduce_sweep_is_accurate() {
+        // Paper: all-reduce geomean error ~11%.
+        let v = allreduce_vs_size(&DeviceSpec::mi210());
+        assert!(v.geomean_error() < 0.12, "geomean {}", v.geomean_error());
+        assert!(!v.points.is_empty());
+    }
+
+    #[test]
+    fn suite_runs_everywhere() {
+        for dev in [DeviceSpec::mi210(), DeviceSpec::a100()] {
+            let suite = figure15_suite(&dev);
+            assert_eq!(suite.len(), 5);
+            for v in &suite {
+                assert!(!v.points.is_empty(), "{}", v.label);
+                assert!(v.max_error() < 1.0, "{}: {}", v.label, v.max_error());
+            }
+        }
+    }
+
+    #[test]
+    fn projected_and_measured_grow_with_x() {
+        let v = gemm_vs_sl(&DeviceSpec::mi210(), &[512, 1024, 2048, 4096]);
+        for w in v.points.windows(2) {
+            assert!(w[1].projected > w[0].projected);
+            assert!(w[1].measured > w[0].measured);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for simulator construction and execution.
+
+use crate::task::TaskId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when validating or executing a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A task depends on an id that does not exist in the graph.
+    UnknownDependency {
+        /// The task declaring the dependency.
+        task: TaskId,
+        /// The missing dependency.
+        dep: TaskId,
+    },
+    /// The dependency graph contains a cycle; `stuck` tasks could never
+    /// become ready.
+    CyclicDependencies {
+        /// Number of tasks that never became ready.
+        stuck: usize,
+    },
+    /// A task references a device outside the graph's device count.
+    UnknownDevice {
+        /// The offending task.
+        task: TaskId,
+        /// The referenced device index.
+        device: usize,
+        /// The graph's device count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownDependency { task, dep } => {
+                write!(f, "task {task} depends on unknown task {dep}")
+            }
+            SimError::CyclicDependencies { stuck } => {
+                write!(f, "dependency cycle detected: {stuck} tasks never became ready")
+            }
+            SimError::UnknownDevice {
+                task,
+                device,
+                count,
+            } => write!(
+                f,
+                "task {task} references device {device}, but the graph has {count} devices"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::UnknownDependency {
+            task: TaskId(3),
+            dep: TaskId(9),
+        };
+        assert!(e.to_string().contains("t3"));
+        assert!(e.to_string().contains("t9"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,282 @@
+//! Task-graph construction.
+//!
+//! [`TaskGraph`] is an append-only DAG builder. The convenience methods
+//! ([`TaskGraph::compute`], [`TaskGraph::collective`], …) take durations in
+//! seconds and return the new [`TaskId`], making graph-building code read
+//! like the operator sequence it represents.
+
+use crate::error::SimError;
+use crate::task::{DeviceId, OpClass, Task, TaskId, TaskKind};
+use crate::time::SimTime;
+
+/// An append-only DAG of tasks over a fixed set of devices.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    devices: usize,
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Create an empty graph over `devices` devices.
+    #[must_use]
+    pub fn new(devices: usize) -> Self {
+        Self {
+            devices,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// All tasks in insertion order.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Look up a task.
+    #[must_use]
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.0)
+    }
+
+    /// Add an arbitrary task.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        class: OpClass,
+        kind: TaskKind,
+        duration: SimTime,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            id,
+            name: name.into(),
+            class,
+            kind,
+            duration,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Add a compute kernel of `secs` seconds on `device`.
+    pub fn compute(
+        &mut self,
+        device: DeviceId,
+        name: impl Into<String>,
+        class: OpClass,
+        secs: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(
+            name,
+            class,
+            TaskKind::Compute { device },
+            SimTime::from_secs_f64(secs),
+            deps,
+        )
+    }
+
+    /// Add a collective of `secs` seconds across `devices` on the primary
+    /// comm stream.
+    pub fn collective(
+        &mut self,
+        devices: Vec<DeviceId>,
+        name: impl Into<String>,
+        secs: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.collective_on(devices, name, secs, deps, false)
+    }
+
+    /// Add a collective, choosing the comm stream: `alt_stream` places it
+    /// on the secondary queue used for overlappable (DP) collectives.
+    pub fn collective_on(
+        &mut self,
+        devices: Vec<DeviceId>,
+        name: impl Into<String>,
+        secs: f64,
+        deps: &[TaskId],
+        alt_stream: bool,
+    ) -> TaskId {
+        self.push(
+            name,
+            OpClass::Comm,
+            TaskKind::Collective {
+                devices,
+                alt_stream,
+            },
+            SimTime::from_secs_f64(secs),
+            deps,
+        )
+    }
+
+    /// Add a point-to-point transfer of `secs` seconds from `src` to `dst`.
+    pub fn transfer(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        name: impl Into<String>,
+        secs: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(
+            name,
+            OpClass::Comm,
+            TaskKind::Transfer { src, dst },
+            SimTime::from_secs_f64(secs),
+            deps,
+        )
+    }
+
+    /// Add a zero-cost barrier joining `deps`.
+    pub fn barrier(&mut self, name: impl Into<String>, deps: &[TaskId]) -> TaskId {
+        self.push(name, OpClass::Other, TaskKind::Barrier, SimTime::ZERO, deps)
+    }
+
+    /// Validate ids, devices, and (implicitly at run time) acyclicity.
+    ///
+    /// # Errors
+    /// Returns the first [`SimError`] found: an unknown dependency id, a
+    /// forward/self dependency (which would make the insertion order not a
+    /// topological order), or an out-of-range device.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for task in &self.tasks {
+            for &dep in &task.deps {
+                if dep.0 >= self.tasks.len() || dep.0 >= task.id.0 {
+                    // Insertion order is our topological order; forward or
+                    // self references are rejected outright, which also
+                    // guarantees acyclicity.
+                    return Err(SimError::UnknownDependency { task: task.id, dep });
+                }
+            }
+            for d in task.devices() {
+                if d.0 >= self.devices {
+                    return Err(SimError::UnknownDevice {
+                        task: task.id,
+                        device: d.0,
+                        count: self.devices,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Length (in time) of the longest dependency chain — a lower bound on
+    /// the makespan of any execution.
+    #[must_use]
+    pub fn critical_path(&self) -> SimTime {
+        let mut finish = vec![SimTime::ZERO; self.tasks.len()];
+        let mut best = SimTime::ZERO;
+        for task in &self.tasks {
+            let ready = task
+                .deps
+                .iter()
+                .map(|d| finish[d.0])
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let f = ready + task.duration;
+            finish[task.id.0] = f;
+            best = best.max(f);
+        }
+        best
+    }
+
+    /// Sum of all task durations (the serial execution time).
+    #[must_use]
+    pub fn total_work(&self) -> SimTime {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_chain_dependencies() {
+        let mut g = TaskGraph::new(2);
+        let a = g.compute(DeviceId(0), "a", OpClass::Gemm, 1e-3, &[]);
+        let b = g.compute(DeviceId(1), "b", OpClass::Gemm, 1e-3, &[a]);
+        let c = g.collective(vec![DeviceId(0), DeviceId(1)], "ar", 2e-3, &[b]);
+        let d = g.barrier("join", &[c]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.get(d).unwrap().deps, vec![c]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new(1);
+        let _a = g.push(
+            "a",
+            OpClass::Gemm,
+            TaskKind::Compute { device: DeviceId(0) },
+            SimTime::from_micros(1),
+            &[TaskId(5)],
+        );
+        assert!(matches!(
+            g.validate(),
+            Err(SimError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let mut g = TaskGraph::new(1);
+        let _ = g.push(
+            "a",
+            OpClass::Gemm,
+            TaskKind::Compute { device: DeviceId(0) },
+            SimTime::from_micros(1),
+            &[TaskId(0)],
+        );
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_device_rejected() {
+        let mut g = TaskGraph::new(1);
+        g.compute(DeviceId(3), "a", OpClass::Gemm, 1e-3, &[]);
+        assert!(matches!(g.validate(), Err(SimError::UnknownDevice { .. })));
+    }
+
+    #[test]
+    fn critical_path_of_chain_and_diamond() {
+        let mut g = TaskGraph::new(1);
+        let a = g.compute(DeviceId(0), "a", OpClass::Gemm, 1e-3, &[]);
+        let b = g.compute(DeviceId(0), "b", OpClass::Gemm, 2e-3, &[a]);
+        let c = g.compute(DeviceId(0), "c", OpClass::Gemm, 1e-3, &[a]);
+        let _d = g.barrier("join", &[b, c]);
+        // Longest chain: a (1ms) -> b (2ms) = 3ms.
+        assert_eq!(g.critical_path(), SimTime::from_secs_f64(3e-3));
+        assert_eq!(g.total_work(), SimTime::from_secs_f64(4e-3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new(4);
+        assert!(g.is_empty());
+        assert_eq!(g.critical_path(), SimTime::ZERO);
+        g.validate().unwrap();
+    }
+}

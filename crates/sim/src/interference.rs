@@ -1,0 +1,101 @@
+//! Compute/communication interference.
+//!
+//! When communication kernels run concurrently with compute on the same
+//! accelerator they contend for memory bandwidth, caches, and compute units
+//! used by the reduction. The paper's §4.3.7 case study shows that such
+//! interference (plus slower inter-node links) can push "hidden" DP
+//! communication back onto the critical path.
+//!
+//! [`InterferenceModel`] stretches a task's duration when, at its start
+//! time, the opposite stream of (any of) its device(s) is still busy. This
+//! is a deliberately simple issue-time approximation: it captures the
+//! first-order effect (overlapped comm is slower than isolated comm)
+//! without rate-based preemptive resimulation.
+
+/// Slowdown factors applied to concurrently executing work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceModel {
+    /// Factor (≥ 1) applied to a communication task that starts while
+    /// compute is running on one of its devices.
+    pub comm_slowdown: f64,
+    /// Factor (≥ 1) applied to a compute task that starts while
+    /// communication is running on its device.
+    pub compute_slowdown: f64,
+}
+
+impl InterferenceModel {
+    /// No interference: overlapping work proceeds at full speed.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            comm_slowdown: 1.0,
+            compute_slowdown: 1.0,
+        }
+    }
+
+    /// Create a model with the given factors.
+    ///
+    /// # Panics
+    /// Panics if either factor is < 1 or non-finite.
+    #[must_use]
+    pub fn new(comm_slowdown: f64, compute_slowdown: f64) -> Self {
+        assert!(
+            comm_slowdown.is_finite() && comm_slowdown >= 1.0,
+            "comm_slowdown must be >= 1, got {comm_slowdown}"
+        );
+        assert!(
+            compute_slowdown.is_finite() && compute_slowdown >= 1.0,
+            "compute_slowdown must be >= 1, got {compute_slowdown}"
+        );
+        Self {
+            comm_slowdown,
+            compute_slowdown,
+        }
+    }
+
+    /// A moderate default drawn from the literature the paper cites
+    /// (Rashidi et al. \[53\] observe noticeable collective slowdowns when
+    /// co-located with compute): communication 1.3× slower, compute 1.1×
+    /// slower while overlapped.
+    #[must_use]
+    pub fn typical() -> Self {
+        Self::new(1.3, 1.1)
+    }
+
+    /// Whether this model is a no-op.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.comm_slowdown == 1.0 && self.compute_slowdown == 1.0
+    }
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let m = InterferenceModel::none();
+        assert!(m.is_none());
+        assert_eq!(m.comm_slowdown, 1.0);
+    }
+
+    #[test]
+    fn typical_slows_comm_more_than_compute() {
+        let m = InterferenceModel::typical();
+        assert!(m.comm_slowdown > m.compute_slowdown);
+        assert!(!m.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "comm_slowdown")]
+    fn speedup_rejected() {
+        let _ = InterferenceModel::new(0.9, 1.0);
+    }
+}

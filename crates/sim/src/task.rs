@@ -1,0 +1,238 @@
+//! Tasks: the unit of simulated work.
+//!
+//! A task occupies one or more *resources* (streams, links) for a duration
+//! and may depend on other tasks. Costs are computed by callers (usually
+//! from `twocs-hw` models or `twocs-collectives` cost formulas) — the
+//! simulator itself is agnostic to what the work is.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifier of a task within one [`TaskGraph`](crate::graph::TaskGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+/// Identifier of a device (GPU) in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+/// Which hardware queue of a device a task occupies.
+///
+/// Real GPUs expose many streams; two suffice to express the paper's
+/// scenarios: kernels serialize on the compute stream, collectives on the
+/// comm stream, and the two may overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StreamKind {
+    /// Math kernels (GEMMs, element-wise ops).
+    Compute,
+    /// Communication (collectives, p2p transfers).
+    Comm,
+    /// Secondary communication queue — real frameworks run DP gradient
+    /// collectives on a separate stream/channel so they do not contend
+    /// with critical-path (TP) collectives.
+    CommAlt,
+}
+
+/// Coarse operator class, used for time breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum OpClass {
+    /// Matrix multiplication.
+    Gemm,
+    /// Bandwidth-bound compute (LayerNorm, GeLU, …).
+    MemOp,
+    /// Collective or point-to-point communication.
+    Comm,
+    /// Optimizer step and other bookkeeping.
+    Other,
+}
+
+impl OpClass {
+    /// Whether this class counts as communication in breakdowns.
+    #[must_use]
+    pub fn is_comm(self) -> bool {
+        matches!(self, OpClass::Comm)
+    }
+
+    /// Canonical lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Gemm => "gemm",
+            OpClass::MemOp => "memop",
+            OpClass::Comm => "comm",
+            OpClass::Other => "other",
+        }
+    }
+
+    /// All classes.
+    #[must_use]
+    pub const fn all() -> [OpClass; 4] {
+        [OpClass::Gemm, OpClass::MemOp, OpClass::Comm, OpClass::Other]
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a task does and which resources it holds.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TaskKind {
+    /// A kernel on one device's compute stream.
+    Compute {
+        /// The executing device.
+        device: DeviceId,
+    },
+    /// A collective occupying a comm stream of every participant for the
+    /// same duration (cost precomputed by the caller, e.g. from the
+    /// `twocs-collectives` cost model).
+    Collective {
+        /// All participating devices.
+        devices: Vec<DeviceId>,
+        /// Run on the secondary comm stream ([`StreamKind::CommAlt`]),
+        /// as frameworks do for overlappable DP gradient collectives.
+        alt_stream: bool,
+    },
+    /// A point-to-point transfer occupying the source's comm stream and
+    /// the directed link `src -> dst`.
+    Transfer {
+        /// Sending device.
+        src: DeviceId,
+        /// Receiving device.
+        dst: DeviceId,
+    },
+    /// A zero-cost synchronization point (occupies nothing).
+    Barrier,
+}
+
+/// A node in the task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// This task's id.
+    pub id: TaskId,
+    /// Display name, e.g. `"fc1_gemm"`.
+    pub name: String,
+    /// Operator class for breakdowns.
+    pub class: OpClass,
+    /// What the task does.
+    pub kind: TaskKind,
+    /// Unmodified duration (interference may stretch it at run time).
+    pub duration: SimTime,
+    /// Ids of tasks that must finish before this one starts.
+    pub deps: Vec<TaskId>,
+}
+
+impl Task {
+    /// The stream this task occupies on `device`, if any.
+    #[must_use]
+    pub fn stream_on(&self, device: DeviceId) -> Option<StreamKind> {
+        match &self.kind {
+            TaskKind::Compute { device: d } => (*d == device).then_some(StreamKind::Compute),
+            TaskKind::Collective {
+                devices,
+                alt_stream,
+            } => devices.contains(&device).then_some(if *alt_stream {
+                StreamKind::CommAlt
+            } else {
+                StreamKind::Comm
+            }),
+            TaskKind::Transfer { src, .. } => (*src == device).then_some(StreamKind::Comm),
+            TaskKind::Barrier => None,
+        }
+    }
+
+    /// Devices whose streams this task occupies.
+    #[must_use]
+    pub fn devices(&self) -> Vec<DeviceId> {
+        match &self.kind {
+            TaskKind::Compute { device } => vec![*device],
+            TaskKind::Collective { devices, .. } => devices.clone(),
+            TaskKind::Transfer { src, .. } => vec![*src],
+            TaskKind::Barrier => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_task_occupies_compute_stream() {
+        let t = Task {
+            id: TaskId(0),
+            name: "k".into(),
+            class: OpClass::Gemm,
+            kind: TaskKind::Compute { device: DeviceId(1) },
+            duration: SimTime::from_micros(1),
+            deps: vec![],
+        };
+        assert_eq!(t.stream_on(DeviceId(1)), Some(StreamKind::Compute));
+        assert_eq!(t.stream_on(DeviceId(0)), None);
+        assert_eq!(t.devices(), vec![DeviceId(1)]);
+    }
+
+    #[test]
+    fn collective_occupies_all_participants() {
+        let t = Task {
+            id: TaskId(0),
+            name: "ar".into(),
+            class: OpClass::Comm,
+            kind: TaskKind::Collective {
+                devices: vec![DeviceId(0), DeviceId(1)],
+                alt_stream: false,
+            },
+            duration: SimTime::from_micros(5),
+            deps: vec![],
+        };
+        assert_eq!(t.stream_on(DeviceId(0)), Some(StreamKind::Comm));
+        assert_eq!(t.stream_on(DeviceId(1)), Some(StreamKind::Comm));
+        assert_eq!(t.stream_on(DeviceId(2)), None);
+    }
+
+    #[test]
+    fn transfer_occupies_source_comm_stream() {
+        let t = Task {
+            id: TaskId(0),
+            name: "p2p".into(),
+            class: OpClass::Comm,
+            kind: TaskKind::Transfer {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+            },
+            duration: SimTime::from_micros(5),
+            deps: vec![],
+        };
+        assert_eq!(t.stream_on(DeviceId(0)), Some(StreamKind::Comm));
+        assert_eq!(t.stream_on(DeviceId(1)), None);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+        assert_eq!(DeviceId(3).to_string(), "gpu3");
+    }
+
+    #[test]
+    fn class_names() {
+        assert!(OpClass::Comm.is_comm());
+        assert!(!OpClass::Gemm.is_comm());
+        assert_eq!(OpClass::all().len(), 4);
+    }
+}

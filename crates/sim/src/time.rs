@@ -1,0 +1,227 @@
+//! Integer simulation time.
+//!
+//! All simulator arithmetic uses [`SimTime`], a count of **picoseconds**
+//! stored in a `u64`. Picosecond resolution keeps rounding error negligible
+//! for microsecond-scale kernels while still allowing simulations of more
+//! than 200 days of virtual time before overflow.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// Picoseconds per second.
+const PS_PER_SEC: f64 = 1e12;
+
+impl SimTime {
+    /// The zero instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw picoseconds.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from (fractional) seconds, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime requires a non-negative finite duration, got {secs}"
+        );
+        let ps = secs * PS_PER_SEC;
+        assert!(
+            ps < u64::MAX as f64,
+            "duration {secs}s overflows SimTime (max ~213 days)"
+        );
+        SimTime(ps.round() as u64)
+    }
+
+    /// Construct from microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Raw picoseconds.
+    #[must_use]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC
+    }
+
+    /// Value in microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction (zero floor).
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two instants.
+    #[must_use]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    /// Multiply a duration by a non-negative factor, rounding.
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or NaN, or on overflow.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> SimTime {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative, got {factor}"
+        );
+        let ps = self.0 as f64 * factor;
+        assert!(ps < u64::MAX as f64, "scaled duration overflows SimTime");
+        SimTime(ps.round() as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    /// Panics on underflow; use [`SimTime::saturating_sub`] when the
+    /// ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human scale: picks ns/µs/ms/s automatically.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0 as f64;
+        if ps < 1e3 {
+            write!(f, "{ps:.0} ps")
+        } else if ps < 1e6 {
+            write!(f, "{:.2} ns", ps / 1e3)
+        } else if ps < 1e9 {
+            write!(f, "{:.2} us", ps / 1e6)
+        } else if ps < 1e12 {
+            write!(f, "{:.3} ms", ps / 1e9)
+        } else {
+            write!(f, "{:.4} s", ps / 1e12)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs_f64(1.5e-3);
+        assert_eq!(t.as_ps(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5e-3).abs() < 1e-15);
+        assert!((t.as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!((a + b).as_micros_f64(), 14.0);
+        assert_eq!((a - b).as_micros_f64(), 6.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(SimTime::from_micros).sum();
+        assert_eq!(total, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let t = SimTime::from_ps(10).scale(0.25);
+        assert_eq!(t.as_ps(), 3); // 2.5 rounds to 3 (round half up)
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ps(1) - SimTime::from_ps(2);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_ps(500).to_string(), "500 ps");
+        assert_eq!(SimTime::from_micros(3).to_string(), "3.00 us");
+        assert!(SimTime::from_secs_f64(0.25).to_string().contains("ms"));
+        assert!(SimTime::from_secs_f64(2.5).to_string().contains(" s"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the discrete-event engine.
+//!
+//! Random DAGs over a handful of devices must always satisfy the engine's
+//! core invariants, whatever the shapes of the graphs:
+//! 1. dependencies are respected,
+//! 2. tasks on one stream never overlap,
+//! 3. makespan is at least the critical path and at most total work,
+//! 4. execution is deterministic.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use twocs_sim::graph::TaskGraph;
+use twocs_sim::task::{DeviceId, OpClass, StreamKind, TaskId};
+use twocs_sim::time::SimTime;
+use twocs_sim::Engine;
+
+/// A compact description of a random task used to build graphs.
+#[derive(Debug, Clone)]
+struct TaskDesc {
+    device: usize,
+    micros: u64,
+    comm: bool,
+    /// Dependencies as offsets back from this task's index.
+    dep_offsets: Vec<usize>,
+}
+
+fn task_desc() -> impl Strategy<Value = TaskDesc> {
+    (
+        0usize..4,
+        1u64..500,
+        any::<bool>(),
+        proptest::collection::vec(1usize..8, 0..3),
+    )
+        .prop_map(|(device, micros, comm, dep_offsets)| TaskDesc {
+            device,
+            micros,
+            comm,
+            dep_offsets,
+        })
+}
+
+fn build_graph(descs: &[TaskDesc]) -> TaskGraph {
+    let mut g = TaskGraph::new(4);
+    for (i, d) in descs.iter().enumerate() {
+        let deps: Vec<TaskId> = d
+            .dep_offsets
+            .iter()
+            .filter_map(|&off| i.checked_sub(off).map(TaskId))
+            .collect();
+        let secs = d.micros as f64 * 1e-6;
+        if d.comm {
+            g.collective(
+                vec![DeviceId(d.device), DeviceId((d.device + 1) % 4)],
+                format!("ar{i}"),
+                secs,
+                &deps,
+            );
+        } else {
+            g.compute(DeviceId(d.device), format!("k{i}"), OpClass::Gemm, secs, &deps);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dependencies_are_respected(descs in proptest::collection::vec(task_desc(), 1..40)) {
+        let g = build_graph(&descs);
+        let timeline = Engine::new().run_trace(&g).unwrap();
+        // Map task -> (min start, max end) across its per-device records.
+        let mut span: HashMap<usize, (SimTime, SimTime)> = HashMap::new();
+        for r in timeline.records() {
+            let e = span.entry(r.task.0).or_insert((r.start, r.end));
+            e.0 = e.0.min(r.start);
+            e.1 = e.1.max(r.end);
+        }
+        for t in g.tasks() {
+            if let Some(&(start, _)) = span.get(&t.id.0) {
+                for dep in &t.deps {
+                    if let Some(&(_, dep_end)) = span.get(&dep.0) {
+                        prop_assert!(start >= dep_end,
+                            "task {} started {start} before dep {} finished {dep_end}",
+                            t.id, dep);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_never_overlap(descs in proptest::collection::vec(task_desc(), 1..40)) {
+        let g = build_graph(&descs);
+        let timeline = Engine::new().run_trace(&g).unwrap();
+        let mut by_stream: HashMap<(DeviceId, StreamKind), Vec<(u64, u64)>> = HashMap::new();
+        for r in timeline.records() {
+            by_stream.entry((r.device, r.stream)).or_default()
+                .push((r.start.as_ps(), r.end.as_ps()));
+        }
+        for ((dev, stream), mut intervals) in by_stream {
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0,
+                    "overlap on {dev:?}/{stream:?}: {:?} vs {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_bounds(descs in proptest::collection::vec(task_desc(), 1..40)) {
+        let g = build_graph(&descs);
+        let r = Engine::new().run(&g).unwrap();
+        prop_assert!(r.makespan() >= g.critical_path());
+        prop_assert!(r.makespan() <= g.total_work());
+    }
+
+    #[test]
+    fn execution_is_deterministic(descs in proptest::collection::vec(task_desc(), 1..30)) {
+        let g = build_graph(&descs);
+        let t1 = Engine::new().run_trace(&g).unwrap();
+        let t2 = Engine::new().run_trace(&g).unwrap();
+        prop_assert_eq!(t1.records(), t2.records());
+    }
+
+    #[test]
+    fn exposed_plus_overlapped_equals_comm_busy(
+        descs in proptest::collection::vec(task_desc(), 1..40)
+    ) {
+        let g = build_graph(&descs);
+        let timeline = Engine::new().run_trace(&g).unwrap();
+        for dev in timeline.devices() {
+            let comm = timeline.comm_busy(dev);
+            let exposed = timeline.exposed_comm(dev);
+            let overlapped = timeline.overlapped_comm(dev);
+            prop_assert_eq!(exposed + overlapped, comm);
+            prop_assert!(exposed <= comm);
+        }
+    }
+}

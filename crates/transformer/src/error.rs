@@ -1,0 +1,87 @@
+//! Error type for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when hyperparameters or parallel configurations are
+/// inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A hyperparameter was out of range.
+    InvalidHyperparameter {
+        /// Which hyperparameter.
+        name: &'static str,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A parallel degree does not divide the dimension it shards.
+    IndivisibleSharding {
+        /// The sharded dimension, e.g. `"hidden"`.
+        dimension: &'static str,
+        /// The dimension's value.
+        value: u64,
+        /// The parallel degree that must divide it.
+        degree: u64,
+    },
+    /// A model does not fit even at the maximum supported parallelism.
+    DoesNotFit {
+        /// Required memory in bytes (per device after sharding).
+        required: u64,
+        /// Available memory in bytes.
+        available: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidHyperparameter { name, reason } => {
+                write!(f, "invalid hyperparameter `{name}`: {reason}")
+            }
+            ModelError::IndivisibleSharding {
+                dimension,
+                value,
+                degree,
+            } => write!(
+                f,
+                "parallel degree {degree} does not divide {dimension} = {value}"
+            ),
+            ModelError::DoesNotFit {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs {required} bytes per device but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+impl ModelError {
+    /// Convenience constructor for [`ModelError::InvalidHyperparameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        ModelError::InvalidHyperparameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ModelError::IndivisibleSharding {
+            dimension: "hidden",
+            value: 1000,
+            degree: 3,
+        };
+        assert!(e.to_string().contains("hidden"));
+        assert!(e.to_string().contains('3'));
+    }
+}

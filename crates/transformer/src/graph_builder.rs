@@ -1,0 +1,681 @@
+//! Lowering a training iteration to a simulator task graph.
+//!
+//! The builder produces the task graph of one iteration *as seen by one
+//! representative device* (all TP/DP peers are symmetric): forward ops and
+//! serialized TP all-reduces chained on the critical path, backward ops
+//! chained in reverse, and per-layer DP gradient all-reduces issued on the
+//! comm stream with **no compute successor except the optimizer step** —
+//! exactly the asynchronous overlap of the paper's Figure 3(a).
+
+use crate::backward::{decoder_layer_backward, encoder_layer_backward, layer_grad_allreduce};
+use crate::hyper::Hyperparams;
+use crate::layer::{decoder_layer_forward, encoder_layer_forward, with_tp_comm_style, TpCommStyle};
+use crate::zoo::LayerKind;
+use crate::memory::params_per_device;
+use crate::ops::Op;
+use crate::parallel::ParallelConfig;
+use twocs_collectives::{Collective, CollectiveCostModel};
+use twocs_hw::memops::MemOpKind;
+use twocs_hw::network::NetworkSpec;
+use twocs_hw::DeviceSpec;
+use twocs_sim::graph::TaskGraph;
+use twocs_sim::task::{DeviceId, OpClass, TaskId, TaskKind};
+use twocs_sim::SimTime;
+
+/// How data-parallel gradients are synchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DpStrategy {
+    /// Classic DDP: one all-reduce of each layer's gradients, overlapped
+    /// with backprop.
+    #[default]
+    AllReduce,
+    /// ZeRO-1/2-style sharding: gradients are *reduce-scattered* during
+    /// backprop (half the all-reduce volume, overlapped) and the updated
+    /// parameters are *all-gathered* after the optimizer step (exposed).
+    /// Total wire volume matches the all-reduce; its placement differs.
+    ZeroShard,
+}
+
+/// Configurable lowering of one iteration; see the module docs.
+#[derive(Debug, Clone)]
+pub struct IterationBuilder<'a> {
+    hyper: &'a Hyperparams,
+    parallel: &'a ParallelConfig,
+    device: &'a DeviceSpec,
+    comm_model: CollectiveCostModel,
+    dp_network: Option<NetworkSpec>,
+    dp_strategy: DpStrategy,
+    layers_override: Option<u64>,
+    include_optimizer: bool,
+    tp_ar_scale: f64,
+    tp_comm_style: TpCommStyle,
+    layer_kind: LayerKind,
+}
+
+impl<'a> IterationBuilder<'a> {
+    /// Create a builder for `hyper` × `parallel` on `device`.
+    #[must_use]
+    pub fn new(
+        hyper: &'a Hyperparams,
+        parallel: &'a ParallelConfig,
+        device: &'a DeviceSpec,
+    ) -> Self {
+        Self {
+            hyper,
+            parallel,
+            device,
+            comm_model: CollectiveCostModel::default(),
+            dp_network: None,
+            dp_strategy: DpStrategy::default(),
+            layers_override: None,
+            include_optimizer: true,
+            tp_ar_scale: 1.0,
+            tp_comm_style: TpCommStyle::AllReduce,
+            layer_kind: LayerKind::Encoder,
+        }
+    }
+
+    /// Use sequence parallelism (reduce-scatter + all-gather pairs) for
+    /// the TP activation synchronization instead of all-reduces.
+    #[must_use]
+    pub fn tp_comm_style(mut self, style: TpCommStyle) -> Self {
+        self.tp_comm_style = style;
+        self
+    }
+
+    /// Build encoder–decoder *decoder* layers (with cross-attention)
+    /// instead of encoder/decoder-only layers. `EncoderDecoder` maps to
+    /// the decoder stack; `Encoder`/`Decoder` both use the standard layer
+    /// (the paper: masking does not change training cost).
+    #[must_use]
+    pub fn layer_kind(mut self, kind: LayerKind) -> Self {
+        self.layer_kind = kind;
+        self
+    }
+
+    fn forward_ops(&self) -> Vec<Op> {
+        let ops = match self.layer_kind {
+            LayerKind::EncoderDecoder => decoder_layer_forward(self.hyper, self.parallel),
+            _ => encoder_layer_forward(self.hyper, self.parallel),
+        };
+        with_tp_comm_style(ops, self.tp_comm_style)
+    }
+
+    fn backward_ops(&self) -> Vec<Op> {
+        let ops = match self.layer_kind {
+            LayerKind::EncoderDecoder => decoder_layer_backward(self.hyper, self.parallel),
+            _ => encoder_layer_backward(self.hyper, self.parallel),
+        };
+        with_tp_comm_style(ops, self.tp_comm_style)
+    }
+
+    /// Scale the *exposed* duration of serialized TP all-reduces by
+    /// `scale` ∈ (0, 1]. Models the paper's §5 Technique 3 — fine-grained
+    /// overlap of data generation with communication hides `1 − scale` of
+    /// each critical-path collective.
+    ///
+    /// # Panics
+    /// Panics if `scale` is outside `(0, 1]`.
+    #[must_use]
+    pub fn tp_ar_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "tp_ar_scale must be in (0, 1], got {scale}"
+        );
+        self.tp_ar_scale = scale;
+        self
+    }
+
+    /// Choose how DP gradients are synchronized (default: all-reduce).
+    #[must_use]
+    pub fn dp_strategy(mut self, strategy: DpStrategy) -> Self {
+        self.dp_strategy = strategy;
+        self
+    }
+
+    /// Override the collective cost model.
+    #[must_use]
+    pub fn comm_model(mut self, model: CollectiveCostModel) -> Self {
+        self.comm_model = model;
+        self
+    }
+
+    /// Price DP gradient all-reduces on a different network (e.g. a slower
+    /// inter-node fabric, paper §4.3.7) while TP stays on the device's own
+    /// network.
+    #[must_use]
+    pub fn dp_network(mut self, network: NetworkSpec) -> Self {
+        self.dp_network = Some(network);
+        self
+    }
+
+    /// Simulate only `layers` layers (e.g. one layer for ROI profiling).
+    #[must_use]
+    pub fn layers(mut self, layers: u64) -> Self {
+        self.layers_override = Some(layers);
+        self
+    }
+
+    /// Include the trailing optimizer step (default true).
+    #[must_use]
+    pub fn optimizer(mut self, include: bool) -> Self {
+        self.include_optimizer = include;
+        self
+    }
+
+    fn op_time(&self, op: &Op) -> f64 {
+        use crate::ops::{CommScope, OpKind};
+        // DP collectives may run on a different (inter-node) network.
+        if let (Some(net), OpKind::AllReduce { elements, participants, scope }) =
+            (&self.dp_network, op.kind())
+        {
+            if *scope == CommScope::DataParallel {
+                return self.comm_model.node_time(
+                    Collective::AllReduce,
+                    elements * self.hyper.precision().bytes(),
+                    *participants as usize,
+                    net,
+                );
+            }
+        }
+        let t = op.time_on(self.device, self.hyper.precision(), &self.comm_model);
+        if op.is_serialized_comm() {
+            t * self.tp_ar_scale
+        } else {
+            t
+        }
+    }
+
+    fn layer_count(&self) -> u64 {
+        self.layers_override
+            .unwrap_or(self.hyper.layers() / self.parallel.pp())
+    }
+
+    /// Time of a DP collective of `bytes` over the configured DP network.
+    fn dp_collective_time(&self, collective: Collective, bytes: u64) -> f64 {
+        let net = self.dp_network.as_ref().unwrap_or_else(|| self.device.network());
+        self.comm_model
+            .node_time(collective, bytes, self.parallel.dp() as usize, net)
+    }
+
+    /// Append `op` as a task chained after `prev`, returning the new id.
+    fn chain(&self, g: &mut TaskGraph, prev: Option<TaskId>, op: &Op, label: String) -> TaskId {
+        let deps: Vec<TaskId> = prev.into_iter().collect();
+        let secs = self.op_time(op);
+        if op.is_comm() {
+            g.collective(vec![DeviceId(0)], label, secs, &deps)
+        } else {
+            g.compute(DeviceId(0), label, op.class(), secs, &deps)
+        }
+    }
+
+    /// Build the full training-iteration graph (forward + backward +
+    /// overlapped DP gradient all-reduces + optimizer).
+    #[must_use]
+    pub fn build_training(&self) -> TaskGraph {
+        let mut g = TaskGraph::new(1);
+        let layers = self.layer_count();
+        let fwd_ops = self.forward_ops();
+        let bwd_ops = self.backward_ops();
+        let grad_ar = layer_grad_allreduce(self.hyper, self.parallel);
+
+        let mut prev: Option<TaskId> = None;
+        for li in 0..layers {
+            for op in &fwd_ops {
+                prev = Some(self.chain(&mut g, prev, op, format!("l{li}.{}", op.name())));
+            }
+        }
+        let mut ar_ids = Vec::new();
+        for li in (0..layers).rev() {
+            for op in &bwd_ops {
+                prev = Some(self.chain(&mut g, prev, op, format!("l{li}.{}", op.name())));
+            }
+            if let Some(ar) = &grad_ar {
+                // Depends on this layer's backward; nothing downstream of
+                // it except the optimizer -> overlappable. Secondary comm
+                // stream: DP gradient collectives must not contend with
+                // the critical-path TP all-reduces.
+                let grad_bytes = ar.comm_bytes(self.hyper.precision());
+                let (name, secs) = match self.dp_strategy {
+                    DpStrategy::AllReduce => (
+                        format!("l{li}.{}", ar.name()),
+                        self.op_time(ar),
+                    ),
+                    DpStrategy::ZeroShard => (
+                        format!("l{li}.dp_grad_rs"),
+                        self.dp_collective_time(Collective::ReduceScatter, grad_bytes),
+                    ),
+                };
+                let id = g.collective_on(
+                    vec![DeviceId(0)],
+                    name,
+                    secs,
+                    &prev.into_iter().collect::<Vec<_>>(),
+                    true,
+                );
+                ar_ids.push(id);
+            }
+        }
+        if self.include_optimizer {
+            let mut deps: Vec<TaskId> = prev.into_iter().collect();
+            deps.extend(ar_ids);
+            let params = params_per_device(self.hyper, self.parallel);
+            // Adam update streams params + grads + moments through memory.
+            let secs = self
+                .device
+                .memop_time(MemOpKind::Elementwise, params * 8, self.hyper.precision());
+            let opt = g.push(
+                "optimizer_step",
+                OpClass::Other,
+                TaskKind::Compute { device: DeviceId(0) },
+                SimTime::from_secs_f64(secs),
+                &deps,
+            );
+            // ZeRO: gather the updated (sharded) parameters before the
+            // next iteration can start — exposed communication.
+            if self.dp_strategy == DpStrategy::ZeroShard && self.parallel.dp() > 1 {
+                let param_bytes = params * self.hyper.precision().bytes();
+                let secs = self.dp_collective_time(Collective::AllGather, param_bytes);
+                g.collective(vec![DeviceId(0)], "zero_param_ag", secs, &[opt]);
+            }
+        }
+        g
+    }
+
+    /// Build the training-iteration graph for a full `group` of TP peers
+    /// as explicit devices: each device runs the per-layer operator chain
+    /// and the TP all-reduces become real multi-device collectives. Used
+    /// to validate the single-representative-device lowering.
+    ///
+    /// # Panics
+    /// Panics if `group` does not match the tensor-parallel degree.
+    #[must_use]
+    pub fn build_training_group(&self, group: usize) -> TaskGraph {
+        assert_eq!(
+            group as u64,
+            self.parallel.tp(),
+            "group size must equal the TP degree"
+        );
+        let mut g = TaskGraph::new(group);
+        let layers = self.layer_count();
+        let fwd_ops = self.forward_ops();
+        let bwd_ops = self.backward_ops();
+        let grad_ar = layer_grad_allreduce(self.hyper, self.parallel);
+        let all_devices: Vec<DeviceId> = (0..group).map(DeviceId).collect();
+
+        let mut prev: Vec<Option<TaskId>> = vec![None; group];
+        let emit = |g: &mut TaskGraph, prev: &mut Vec<Option<TaskId>>, op: &Op, li: u64| {
+            let secs = self.op_time(op);
+            if op.is_comm() {
+                // One collective joining every peer's chain.
+                let deps: Vec<TaskId> = prev.iter().filter_map(|p| *p).collect();
+                let id = g.collective(
+                    all_devices.clone(),
+                    format!("l{li}.{}", op.name()),
+                    secs,
+                    &deps,
+                );
+                prev.iter_mut().for_each(|p| *p = Some(id));
+            } else {
+                for (d, slot) in prev.iter_mut().enumerate() {
+                    let deps: Vec<TaskId> = slot.iter().copied().collect();
+                    *slot = Some(g.compute(
+                        DeviceId(d),
+                        format!("l{li}.{}", op.name()),
+                        op.class(),
+                        secs,
+                        &deps,
+                    ));
+                }
+            }
+        };
+        for li in 0..layers {
+            for op in &fwd_ops {
+                emit(&mut g, &mut prev, op, li);
+            }
+        }
+        for li in (0..layers).rev() {
+            for op in &bwd_ops {
+                emit(&mut g, &mut prev, op, li);
+            }
+            if let Some(ar) = &grad_ar {
+                let secs = self.op_time(ar);
+                let deps: Vec<TaskId> = prev.iter().filter_map(|p| *p).collect();
+                g.collective_on(
+                    all_devices.clone(),
+                    format!("l{li}.{}", ar.name()),
+                    secs,
+                    &deps,
+                    true,
+                );
+            }
+        }
+        g
+    }
+
+    /// Build a training iteration where every layer is an MoE layer
+    /// (dense attention + routed expert FFN), paper §6.1.1.
+    #[must_use]
+    pub fn build_moe_training(&self, moe: &crate::moe::MoeConfig) -> TaskGraph {
+        let mut g = TaskGraph::new(1);
+        let layers = self.layer_count();
+        let fwd_ops = crate::moe::moe_layer_forward(self.hyper, self.parallel, moe);
+        let bwd_ops = crate::moe::moe_layer_backward(self.hyper, self.parallel, moe);
+        let grad_ar = layer_grad_allreduce(self.hyper, self.parallel);
+
+        let mut prev: Option<TaskId> = None;
+        for li in 0..layers {
+            for op in &fwd_ops {
+                prev = Some(self.chain(&mut g, prev, op, format!("l{li}.{}", op.name())));
+            }
+        }
+        for li in (0..layers).rev() {
+            for op in &bwd_ops {
+                prev = Some(self.chain(&mut g, prev, op, format!("l{li}.{}", op.name())));
+            }
+            if let Some(ar) = &grad_ar {
+                let secs = self.op_time(ar);
+                g.collective_on(
+                    vec![DeviceId(0)],
+                    format!("l{li}.{}", ar.name()),
+                    secs,
+                    &prev.into_iter().collect::<Vec<_>>(),
+                    true,
+                );
+            }
+        }
+        g
+    }
+
+    /// Build a forward-only (inference) graph, §6.3.
+    #[must_use]
+    pub fn build_inference(&self) -> TaskGraph {
+        let mut g = TaskGraph::new(1);
+        let fwd_ops = self.forward_ops();
+        let mut prev: Option<TaskId> = None;
+        for li in 0..self.layer_count() {
+            for op in &fwd_ops {
+                prev = Some(self.chain(&mut g, prev, op, format!("l{li}.{}", op.name())));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twocs_sim::Engine;
+
+    fn hp() -> Hyperparams {
+        Hyperparams::builder(4096)
+            .heads(32)
+            .layers(4)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn training_graph_runs_and_has_comm() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(8).data(4);
+        let dev = DeviceSpec::mi210();
+        let g = IterationBuilder::new(&hyper, &par, &dev).build_training();
+        let r = Engine::new().run(&g).unwrap();
+        assert!(r.makespan() > SimTime::ZERO);
+        assert!(r.comm_time() > SimTime::ZERO);
+        assert!(r.compute_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn tp_allreduces_are_exposed_dp_allreduces_overlap() {
+        let hyper = hp();
+        let dev = DeviceSpec::mi210();
+        // TP only: every AR is serialized -> exposed comm == comm busy.
+        let par_tp = ParallelConfig::new().tensor(8);
+        let g = IterationBuilder::new(&hyper, &par_tp, &dev).build_training();
+        let r = Engine::new().run(&g).unwrap();
+        assert_eq!(r.exposed_comm_time(), r.comm_time());
+
+        // DP only: gradient ARs can hide behind backprop almost entirely.
+        let par_dp = ParallelConfig::new().data(4);
+        let g = IterationBuilder::new(&hyper, &par_dp, &dev).build_training();
+        let r = Engine::new().run(&g).unwrap();
+        assert!(
+            r.exposed_comm_time().as_secs_f64() < 0.5 * r.comm_time().as_secs_f64(),
+            "DP comm should be mostly hidden: exposed {} of {}",
+            r.exposed_comm_time(),
+            r.comm_time()
+        );
+    }
+
+    #[test]
+    fn inference_is_cheaper_than_training() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(8);
+        let dev = DeviceSpec::mi210();
+        let b = IterationBuilder::new(&hyper, &par, &dev);
+        let t_train = Engine::new().run(&b.build_training()).unwrap().makespan();
+        let t_inf = Engine::new().run(&b.build_inference()).unwrap().makespan();
+        assert!(t_inf.as_secs_f64() < 0.5 * t_train.as_secs_f64());
+    }
+
+    #[test]
+    fn layer_override_scales_linearly() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(8);
+        let dev = DeviceSpec::mi210();
+        let t1 = Engine::new()
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .layers(1)
+                    .optimizer(false)
+                    .build_training(),
+            )
+            .unwrap()
+            .makespan()
+            .as_secs_f64();
+        let t4 = Engine::new()
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .layers(4)
+                    .optimizer(false)
+                    .build_training(),
+            )
+            .unwrap()
+            .makespan()
+            .as_secs_f64();
+        let ratio = t4 / t1;
+        assert!((3.9..=4.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn slow_dp_network_lengthens_comm_without_touching_tp() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(8).data(4);
+        let dev = DeviceSpec::mi210();
+        let base = Engine::new()
+            .run(&IterationBuilder::new(&hyper, &par, &dev).build_training())
+            .unwrap();
+        let slow_net = dev.network().with_inter_node_slowdown(8.0);
+        // Price DP collectives at inter-node quality: swap ring bandwidth
+        // for one 8x slower.
+        let dp_net = NetworkSpec::new(
+            slow_net.inter_node(),
+            slow_net.inter_node(),
+            dev.network().ring_allreduce_bandwidth() / 8.0,
+            twocs_hw::PinMode::None,
+        )
+        .unwrap();
+        let slow = Engine::new()
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .dp_network(dp_net)
+                    .build_training(),
+            )
+            .unwrap();
+        assert!(slow.comm_time() > base.comm_time());
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::moe::MoeConfig;
+    use twocs_sim::Engine;
+
+    fn hp() -> Hyperparams {
+        Hyperparams::builder(4096)
+            .heads(32)
+            .layers(4)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn group_simulation_matches_representative_device() {
+        // The multi-device TP-group lowering and the representative-device
+        // lowering must agree: peers are symmetric.
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(8);
+        let dev = DeviceSpec::mi210();
+        let builder = IterationBuilder::new(&hyper, &par, &dev).optimizer(false);
+        let single = Engine::new().run(&builder.build_training()).unwrap();
+        let group = Engine::new().run(&builder.build_training_group(8)).unwrap();
+        let m_ratio = group.makespan().as_secs_f64() / single.makespan().as_secs_f64();
+        assert!((0.99..=1.01).contains(&m_ratio), "makespan ratio {m_ratio}");
+        let f_single = single.comm_fraction();
+        let f_group = group.comm_fraction();
+        assert!(
+            (f_single - f_group).abs() < 0.01,
+            "comm fraction {f_single} vs {f_group}"
+        );
+        // And the group graph really spans 8 devices.
+        assert_eq!(group.per_device().len(), 8);
+    }
+
+    #[test]
+    fn zero_shard_moves_comm_from_overlap_to_exposed() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(8).data(8);
+        let dev = DeviceSpec::mi210();
+        let base = Engine::new()
+            .run(&IterationBuilder::new(&hyper, &par, &dev).build_training())
+            .unwrap();
+        let zero = Engine::new()
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .dp_strategy(DpStrategy::ZeroShard)
+                    .build_training(),
+            )
+            .unwrap();
+        // The reduce-scatter half overlaps like before but is smaller...
+        assert!(zero.comm_time() > SimTime::ZERO);
+        // ...and the parameter all-gather at the end is exposed.
+        assert!(
+            zero.exposed_comm_time() > base.exposed_comm_time(),
+            "ZeRO must expose the param all-gather: {} vs {}",
+            zero.exposed_comm_time(),
+            base.exposed_comm_time()
+        );
+    }
+
+    #[test]
+    fn moe_iteration_runs_and_has_alltoall_on_critical_path() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(4).data(2).expert(8);
+        let dev = DeviceSpec::mi210();
+        let builder = IterationBuilder::new(&hyper, &par, &dev).optimizer(false);
+        let dense = Engine::new().run(&builder.build_training()).unwrap();
+        let moe = Engine::new()
+            .run(&builder.build_moe_training(&MoeConfig::switch(8)))
+            .unwrap();
+        // MoE at equal hidden size has similar FFN flops (cf ~1.25) but
+        // adds the all-to-alls: more exposed comm than the dense model.
+        assert!(moe.exposed_comm_time() > dense.exposed_comm_time());
+        assert!(moe.makespan() > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn group_size_must_match_tp() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(8);
+        let dev = DeviceSpec::mi210();
+        let _ = IterationBuilder::new(&hyper, &par, &dev).build_training_group(4);
+    }
+}
+
+#[cfg(test)]
+mod style_tests {
+    use super::*;
+    use twocs_sim::Engine;
+
+    fn hp() -> Hyperparams {
+        Hyperparams::builder(8192)
+            .heads(64)
+            .layers(4)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sequence_parallel_iteration_costs_about_the_same_comm() {
+        // SP trades activation memory for the same wire volume; iteration
+        // time should be within a few percent of the all-reduce style.
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(16);
+        let dev = DeviceSpec::mi210();
+        let ar = Engine::new()
+            .run(&IterationBuilder::new(&hyper, &par, &dev).optimizer(false).build_training())
+            .unwrap();
+        let sp = Engine::new()
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .tp_comm_style(TpCommStyle::SequenceParallel)
+                    .optimizer(false)
+                    .build_training(),
+            )
+            .unwrap();
+        let ratio = sp.makespan().as_secs_f64() / ar.makespan().as_secs_f64();
+        assert!((0.9..=1.15).contains(&ratio), "SP/AR makespan ratio {ratio}");
+        // Twice the collective count on the critical path.
+        let count = |g: &twocs_sim::TaskGraph| {
+            g.tasks().iter().filter(|t| t.class == twocs_sim::OpClass::Comm).count()
+        };
+        let g_ar = IterationBuilder::new(&hyper, &par, &dev).optimizer(false).build_training();
+        let g_sp = IterationBuilder::new(&hyper, &par, &dev)
+            .tp_comm_style(TpCommStyle::SequenceParallel)
+            .optimizer(false)
+            .build_training();
+        assert_eq!(count(&g_sp), 2 * count(&g_ar));
+    }
+
+    #[test]
+    fn encoder_decoder_iteration_is_costlier_with_more_ars() {
+        let hyper = hp();
+        let par = ParallelConfig::new().tensor(16);
+        let dev = DeviceSpec::mi210();
+        let enc = Engine::new()
+            .run(&IterationBuilder::new(&hyper, &par, &dev).optimizer(false).build_training())
+            .unwrap();
+        let dec = Engine::new()
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .layer_kind(LayerKind::EncoderDecoder)
+                    .optimizer(false)
+                    .build_training(),
+            )
+            .unwrap();
+        assert!(dec.makespan() > enc.makespan());
+        // 6 serialized ARs per layer instead of 4: comm time ~1.5x.
+        let ratio = dec.comm_time().as_secs_f64() / enc.comm_time().as_secs_f64();
+        assert!((1.4..=1.6).contains(&ratio), "comm ratio {ratio}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Model hyperparameters (the paper's Table 1).
+//!
+//! The size of every Transformer operator is a function of four
+//! hyperparameters: hidden dimension `H`, sequence length `SL`, batch size
+//! `B`, and (via sharding) the tensor-parallel degree `TP`. [`Hyperparams`]
+//! also carries the structural parameters — head count, layer count,
+//! feed-forward width, vocabulary — needed for whole-model and memory
+//! accounting.
+
+use crate::error::ModelError;
+use std::fmt;
+use twocs_hw::Precision;
+
+/// Hyperparameters of one Transformer model configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Hyperparams {
+    hidden: u64,
+    heads: u64,
+    layers: u64,
+    seq_len: u64,
+    batch: u64,
+    ff_dim: u64,
+    vocab: u64,
+    precision: Precision,
+}
+
+impl Hyperparams {
+    /// Start building a configuration around hidden size `hidden`.
+    /// Defaults: heads sized for 128-wide heads, 24 layers, `SL` 512,
+    /// `B` 1, FF width `4·H`, 50k vocabulary, fp16.
+    #[must_use]
+    pub fn builder(hidden: u64) -> HyperparamsBuilder {
+        HyperparamsBuilder::new(hidden)
+    }
+
+    /// Hidden (layer-width) dimension `H`.
+    #[must_use]
+    pub fn hidden(&self) -> u64 {
+        self.hidden
+    }
+
+    /// Attention head count.
+    #[must_use]
+    pub fn heads(&self) -> u64 {
+        self.heads
+    }
+
+    /// Per-head dimension `H / heads`.
+    #[must_use]
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.heads
+    }
+
+    /// Encoder/decoder layer count.
+    #[must_use]
+    pub fn layers(&self) -> u64 {
+        self.layers
+    }
+
+    /// Sequence length `SL`.
+    #[must_use]
+    pub fn seq_len(&self) -> u64 {
+        self.seq_len
+    }
+
+    /// Per-device input batch size `B`.
+    #[must_use]
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Feed-forward (FC) inner width, usually `4·H`.
+    #[must_use]
+    pub fn ff_dim(&self) -> u64 {
+        self.ff_dim
+    }
+
+    /// Vocabulary size (embeddings / LM head).
+    #[must_use]
+    pub fn vocab(&self) -> u64 {
+        self.vocab
+    }
+
+    /// Number format of weights/activations.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Tokens per iteration per model replica, `SL · B` — the paper's
+    /// slack-advantage axis (Figure 11).
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.seq_len * self.batch
+    }
+
+    /// Parameters in one layer: `QKV (3H²+3H) + out (H²+H) +
+    /// FC (H·ff + ff) + FC (ff·H + H) + 2 LayerNorm (2H each)`.
+    #[must_use]
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden;
+        let ff = self.ff_dim;
+        (3 * h * h + 3 * h) + (h * h + h) + (h * ff + ff) + (ff * h + h) + 4 * h
+    }
+
+    /// Total parameters: layers plus token and position embeddings.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        self.layers * self.params_per_layer() + (self.vocab + self.seq_len) * self.hidden
+    }
+
+    /// A copy with a different batch size.
+    #[must_use]
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        assert!(batch > 0, "batch must be non-zero");
+        self.batch = batch;
+        self
+    }
+
+    /// A copy with a different sequence length.
+    #[must_use]
+    pub fn with_seq_len(mut self, seq_len: u64) -> Self {
+        assert!(seq_len > 0, "seq_len must be non-zero");
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// A copy with a different precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+}
+
+impl fmt::Display for Hyperparams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "H={} SL={} B={} layers={} heads={} ff={} ({})",
+            self.hidden,
+            self.seq_len,
+            self.batch,
+            self.layers,
+            self.heads,
+            self.ff_dim,
+            self.precision
+        )
+    }
+}
+
+/// Builder for [`Hyperparams`]; see [`Hyperparams::builder`].
+#[derive(Debug, Clone)]
+pub struct HyperparamsBuilder {
+    hidden: u64,
+    heads: Option<u64>,
+    layers: u64,
+    seq_len: u64,
+    batch: u64,
+    ff_dim: Option<u64>,
+    vocab: u64,
+    precision: Precision,
+}
+
+impl HyperparamsBuilder {
+    fn new(hidden: u64) -> Self {
+        Self {
+            hidden,
+            heads: None,
+            layers: 24,
+            seq_len: 512,
+            batch: 1,
+            ff_dim: None,
+            vocab: 50_304,
+            precision: Precision::Fp16,
+        }
+    }
+
+    /// Attention head count (default: `H / 128`, min 1).
+    #[must_use]
+    pub fn heads(mut self, heads: u64) -> Self {
+        self.heads = Some(heads);
+        self
+    }
+
+    /// Layer count.
+    #[must_use]
+    pub fn layers(mut self, layers: u64) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Sequence length.
+    #[must_use]
+    pub fn seq_len(mut self, seq_len: u64) -> Self {
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Batch size.
+    #[must_use]
+    pub fn batch(mut self, batch: u64) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Feed-forward width (default `4·H`).
+    #[must_use]
+    pub fn ff_dim(mut self, ff_dim: u64) -> Self {
+        self.ff_dim = Some(ff_dim);
+        self
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocab(mut self, vocab: u64) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Number format.
+    #[must_use]
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InvalidHyperparameter`] when a dimension is
+    /// zero or heads do not divide the hidden size.
+    pub fn build(self) -> Result<Hyperparams, ModelError> {
+        if self.hidden == 0 {
+            return Err(ModelError::invalid("hidden", "must be non-zero"));
+        }
+        let heads = self.heads.unwrap_or((self.hidden / 128).max(1));
+        if heads == 0 {
+            return Err(ModelError::invalid("heads", "must be non-zero"));
+        }
+        if !self.hidden.is_multiple_of(heads) {
+            return Err(ModelError::invalid(
+                "heads",
+                format!("{} heads do not divide hidden size {}", heads, self.hidden),
+            ));
+        }
+        for (name, v) in [
+            ("layers", self.layers),
+            ("seq_len", self.seq_len),
+            ("batch", self.batch),
+            ("vocab", self.vocab),
+        ] {
+            if v == 0 {
+                return Err(ModelError::invalid(name, "must be non-zero"));
+            }
+        }
+        let ff_dim = self.ff_dim.unwrap_or(4 * self.hidden);
+        if ff_dim == 0 {
+            return Err(ModelError::invalid("ff_dim", "must be non-zero"));
+        }
+        Ok(Hyperparams {
+            hidden: self.hidden,
+            heads,
+            layers: self.layers,
+            seq_len: self.seq_len,
+            batch: self.batch,
+            ff_dim,
+            vocab: self.vocab,
+            precision: self.precision,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bert_like() {
+        let hp = Hyperparams::builder(1024).heads(16).build().unwrap();
+        assert_eq!(hp.hidden(), 1024);
+        assert_eq!(hp.head_dim(), 64);
+        assert_eq!(hp.ff_dim(), 4096);
+        assert_eq!(hp.layers(), 24);
+        assert_eq!(hp.precision(), Precision::Fp16);
+    }
+
+    #[test]
+    fn bert_large_param_count_is_about_0_34b() {
+        // Table 2: BERT = 0.34 B parameters.
+        let hp = Hyperparams::builder(1024)
+            .heads(16)
+            .layers(24)
+            .seq_len(512)
+            .vocab(30_522)
+            .build()
+            .unwrap();
+        let params = hp.total_params() as f64 / 1e9;
+        assert!((0.30..=0.38).contains(&params), "got {params}B");
+    }
+
+    #[test]
+    fn gpt3_param_count_is_about_175b() {
+        // Table 2: GPT-3 = 175 B parameters (H=12288, 96 layers).
+        let hp = Hyperparams::builder(12_288)
+            .heads(96)
+            .layers(96)
+            .seq_len(2048)
+            .build()
+            .unwrap();
+        let params = hp.total_params() as f64 / 1e9;
+        assert!((165.0..=185.0).contains(&params), "got {params}B");
+    }
+
+    #[test]
+    fn indivisible_heads_rejected() {
+        let e = Hyperparams::builder(1000).heads(3).build();
+        assert!(matches!(e, Err(ModelError::InvalidHyperparameter { .. })));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(Hyperparams::builder(0).build().is_err());
+        assert!(Hyperparams::builder(128).seq_len(0).build().is_err());
+        assert!(Hyperparams::builder(128).batch(0).build().is_err());
+    }
+
+    #[test]
+    fn tokens_is_sl_times_b() {
+        let hp = Hyperparams::builder(1024).seq_len(2048).batch(4).build().unwrap();
+        assert_eq!(hp.tokens(), 8192);
+    }
+
+    #[test]
+    fn with_methods_round_trip() {
+        let hp = Hyperparams::builder(1024).build().unwrap();
+        let hp2 = hp.clone().with_batch(8).with_seq_len(4096).with_precision(Precision::Fp32);
+        assert_eq!(hp2.batch(), 8);
+        assert_eq!(hp2.seq_len(), 4096);
+        assert_eq!(hp2.precision(), Precision::Fp32);
+        assert_eq!(hp2.hidden(), hp.hidden());
+    }
+
+    #[test]
+    fn display_mentions_key_dims() {
+        let hp = Hyperparams::builder(4096).seq_len(2048).build().unwrap();
+        let s = hp.to_string();
+        assert!(s.contains("H=4096"));
+        assert!(s.contains("SL=2048"));
+    }
+}

@@ -1,0 +1,488 @@
+//! Forward operator sequences of a Transformer layer.
+//!
+//! The layer follows the paper's Figure 2(a)/Figure 4: an attention
+//! sub-layer and a fully connected (FC) sub-layer, each followed by
+//! residual connection and LayerNorm. Under tensor parallelism the GEMMs
+//! are sliced Megatron-style — QKV and FC1 column-parallel, the output
+//! projection and FC2 row-parallel — which puts **two all-reduces of the
+//! layer activations on the forward critical path** (and two more in the
+//! backward pass, see [`backward`](crate::backward)): the paper's "four
+//! serialized all-reduce operations" per layer.
+
+use crate::hyper::Hyperparams;
+use crate::ops::{CommScope, Op};
+use crate::parallel::ParallelConfig;
+use twocs_hw::gemm::GemmShape;
+use twocs_hw::memops::MemOpKind;
+
+/// Forward operator sequence of the attention sub-layer (LayerNorm,
+/// QKV, scores, softmax, context, output projection, `g` all-reduce,
+/// dropout, residual), per device, in execution order.
+#[must_use]
+pub fn attention_sublayer_forward(hyper: &Hyperparams, parallel: &ParallelConfig) -> Vec<Op> {
+    let h = hyper.hidden();
+    let tp = parallel.tp();
+    let tokens = hyper.tokens(); // B * SL
+    let heads_local = hyper.heads() / tp;
+    let head_dim = hyper.head_dim();
+    let sl = hyper.seq_len();
+    let b = hyper.batch();
+    let act = tokens * h; // activation elements
+
+    let mut ops = vec![
+        Op::memop("ln1", MemOpKind::LayerNorm, act),
+        // Column-parallel QKV projection: each device computes 3H/TP cols.
+        Op::gemm("qkv_gemm", GemmShape::new(tokens, 3 * h / tp, h)),
+        // Attention scores QK^T, batched over B * local heads.
+        Op::gemm(
+            "attn_score_gemm",
+            GemmShape::batched(sl, sl, head_dim, b * heads_local),
+        ),
+        Op::memop("softmax", MemOpKind::Softmax, b * heads_local * sl * sl),
+        // Context = probs * V.
+        Op::gemm(
+            "attn_ctx_gemm",
+            GemmShape::batched(sl, head_dim, sl, b * heads_local),
+        ),
+        // Row-parallel output projection: partial sums across devices.
+        Op::gemm("attn_out_gemm", GemmShape::new(tokens, h, h / tp)),
+    ];
+    if tp > 1 {
+        // Megatron `g` operator: reduce partial activations (serialized).
+        ops.push(Op::allreduce("tp_ar_attn", act, tp, CommScope::TensorParallel));
+    }
+    ops.extend([
+        Op::memop("attn_dropout", MemOpKind::Dropout, act),
+        Op::memop("attn_residual", MemOpKind::ResidualAdd, act),
+    ]);
+    ops
+}
+
+/// Forward operator sequence of the FC sub-layer (LayerNorm, FC1, GeLU,
+/// FC2, `g` all-reduce, dropout, residual), per device, in execution
+/// order.
+#[must_use]
+pub fn fc_sublayer_forward(hyper: &Hyperparams, parallel: &ParallelConfig) -> Vec<Op> {
+    let h = hyper.hidden();
+    let ff = hyper.ff_dim();
+    let tp = parallel.tp();
+    let tokens = hyper.tokens();
+    let act = tokens * h;
+
+    let mut ops = vec![
+        Op::memop("ln2", MemOpKind::LayerNorm, act),
+        // Column-parallel FC1.
+        Op::gemm("fc1_gemm", GemmShape::new(tokens, ff / tp, h)),
+        Op::memop("gelu", MemOpKind::Gelu, tokens * ff / tp),
+        // Row-parallel FC2: partial sums across devices.
+        Op::gemm("fc2_gemm", GemmShape::new(tokens, h, ff / tp)),
+    ];
+    if tp > 1 {
+        ops.push(Op::allreduce("tp_ar_fc", act, tp, CommScope::TensorParallel));
+    }
+    ops.extend([
+        Op::memop("fc_dropout", MemOpKind::Dropout, act),
+        Op::memop("fc_residual", MemOpKind::ResidualAdd, act),
+    ]);
+    ops
+}
+
+/// Forward operator sequence of one encoder layer (attention sub-layer
+/// then FC sub-layer), per device, in execution order.
+#[must_use]
+pub fn encoder_layer_forward(hyper: &Hyperparams, parallel: &ParallelConfig) -> Vec<Op> {
+    let mut ops = attention_sublayer_forward(hyper, parallel);
+    ops.extend(fc_sublayer_forward(hyper, parallel));
+    ops
+}
+
+/// Forward operator sequence of the cross-attention sub-layer of an
+/// encoder–decoder model (T5 family): queries from the decoder stream,
+/// keys/values from the (same-length) encoder output. Structurally a
+/// third attention sub-layer, with its own serialized TP all-reduce —
+/// encoder–decoder models pay **six** serialized all-reduces per decoder
+/// layer instead of four.
+#[must_use]
+pub fn cross_attention_sublayer_forward(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+) -> Vec<Op> {
+    let h = hyper.hidden();
+    let tp = parallel.tp();
+    let tokens = hyper.tokens();
+    let heads_local = hyper.heads() / tp;
+    let head_dim = hyper.head_dim();
+    let sl = hyper.seq_len();
+    let b = hyper.batch();
+    let act = tokens * h;
+
+    let mut ops = vec![
+        Op::memop("xattn_ln", MemOpKind::LayerNorm, act),
+        // Q from the decoder stream (column-parallel)...
+        Op::gemm("xattn_q_gemm", GemmShape::new(tokens, h / tp, h)),
+        // ...K and V from the encoder output.
+        Op::gemm("xattn_kv_gemm", GemmShape::new(tokens, 2 * h / tp, h)),
+        Op::gemm(
+            "xattn_score_gemm",
+            GemmShape::batched(sl, sl, head_dim, b * heads_local),
+        ),
+        Op::memop("xattn_softmax", MemOpKind::Softmax, b * heads_local * sl * sl),
+        Op::gemm(
+            "xattn_ctx_gemm",
+            GemmShape::batched(sl, head_dim, sl, b * heads_local),
+        ),
+        Op::gemm("xattn_out_gemm", GemmShape::new(tokens, h, h / tp)),
+    ];
+    if tp > 1 {
+        ops.push(Op::allreduce("tp_ar_xattn", act, tp, CommScope::TensorParallel));
+    }
+    ops.extend([
+        Op::memop("xattn_dropout", MemOpKind::Dropout, act),
+        Op::memop("xattn_residual", MemOpKind::ResidualAdd, act),
+    ]);
+    ops
+}
+
+/// Forward operator sequence of one *decoder* layer of an encoder–decoder
+/// model: masked self-attention, cross-attention, FC. (For decoder-only
+/// GPT-style models the paper notes the mask does not change training
+/// cost, so [`encoder_layer_forward`] covers them.)
+#[must_use]
+pub fn decoder_layer_forward(hyper: &Hyperparams, parallel: &ParallelConfig) -> Vec<Op> {
+    let mut ops = attention_sublayer_forward(hyper, parallel);
+    ops.extend(cross_attention_sublayer_forward(hyper, parallel));
+    ops.extend(fc_sublayer_forward(hyper, parallel));
+    ops
+}
+
+/// How tensor-parallel activations are synchronized (Megatron-LM v1 vs
+/// the sequence-parallel refinement of Korthikanti et al.).
+///
+/// Sequence parallelism replaces each critical-path **all-reduce** with a
+/// **reduce-scatter + all-gather** pair over the sequence dimension. The
+/// wire volume is identical (RS + AG = AR), so the paper's Comp-vs-Comm
+/// conclusions are unchanged — but the activations between the pairs are
+/// sharded `1/TP`, attacking the memory wall of §3.5 from the activation
+/// side (see [`memory::activation_bytes_with`](crate::memory)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TpCommStyle {
+    /// Megatron v1: one all-reduce after each row-parallel GEMM.
+    #[default]
+    AllReduce,
+    /// Sequence parallelism: reduce-scatter after the row-parallel GEMM,
+    /// all-gather before the next column-parallel GEMM.
+    SequenceParallel,
+}
+
+/// Replace the serialized TP all-reduces in `ops` with reduce-scatter +
+/// all-gather pairs of the same total volume (sequence parallelism).
+#[must_use]
+pub fn with_tp_comm_style(ops: Vec<Op>, style: TpCommStyle) -> Vec<Op> {
+    use crate::ops::OpKind;
+    if style == TpCommStyle::AllReduce {
+        return ops;
+    }
+    let mut out = Vec::with_capacity(ops.len() + 4);
+    for op in ops {
+        match (op.name(), op.kind()) {
+            (name, OpKind::AllReduce { elements, participants, scope })
+                if op.is_serialized_comm() =>
+            {
+                let (rs, ag): (&'static str, &'static str) = match name {
+                    "tp_ar_attn" => ("tp_rs_attn", "tp_ag_attn"),
+                    "tp_ar_fc" => ("tp_rs_fc", "tp_ag_fc"),
+                    "tp_ar_attn_bwd" => ("tp_rs_attn_bwd", "tp_ag_attn_bwd"),
+                    "tp_ar_fc_bwd" => ("tp_rs_fc_bwd", "tp_ag_fc_bwd"),
+                    _ => {
+                        out.push(op);
+                        continue;
+                    }
+                };
+                out.push(Op::new(
+                    rs,
+                    OpKind::ReduceScatter {
+                        elements: *elements,
+                        participants: *participants,
+                        scope: *scope,
+                    },
+                ));
+                out.push(Op::new(
+                    ag,
+                    OpKind::AllGather {
+                        elements: *elements,
+                        participants: *participants,
+                        scope: *scope,
+                    },
+                ));
+            }
+            _ => out.push(op),
+        }
+    }
+    out
+}
+
+/// Kernel-fusion level for the generated operator sequences (paper §2.1:
+/// "element-wise operations ... are often fused with the GEMMs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fusion {
+    /// Every operator is a separate kernel.
+    #[default]
+    None,
+    /// GeLU, dropout, and residual adds are folded into the epilogue of
+    /// the preceding GEMM (no separate kernel launch or memory pass).
+    Epilogue,
+    /// Epilogue fusion plus flash-attention-style fusion of the softmax
+    /// into the attention GEMMs.
+    Flash,
+}
+
+impl Fusion {
+    /// Whether the named (forward) operator disappears into a neighbouring
+    /// GEMM at this fusion level.
+    #[must_use]
+    pub fn absorbs(self, op_name: &str) -> bool {
+        let epilogue = matches!(
+            op_name,
+            "gelu" | "attn_dropout" | "fc_dropout" | "attn_residual" | "fc_residual"
+        );
+        match self {
+            Fusion::None => false,
+            Fusion::Epilogue => epilogue,
+            Fusion::Flash => epilogue || op_name == "softmax",
+        }
+    }
+}
+
+/// Forward operator sequence of one encoder layer at a fusion level:
+/// the [`Fusion::None`] sequence with absorbed element-wise kernels
+/// removed. Communication and GEMM shapes are unchanged — fusion only
+/// eliminates launches and memory passes, which is why it *raises* the
+/// relative cost of communication.
+#[must_use]
+pub fn encoder_layer_forward_fused(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    fusion: Fusion,
+) -> Vec<Op> {
+    encoder_layer_forward(hyper, parallel)
+        .into_iter()
+        .filter(|op| !fusion.absorbs(op.name()))
+        .collect()
+}
+
+/// Trainable parameter elements of one layer **per device** (weights only,
+/// sliced by TP): `(3H² + H² + H·ff + ff·H) / TP` plus biases and the
+/// (replicated) LayerNorm parameters.
+#[must_use]
+pub fn layer_weight_elements(hyper: &Hyperparams, parallel: &ParallelConfig) -> u64 {
+    let h = hyper.hidden();
+    let ff = hyper.ff_dim();
+    let tp = parallel.tp();
+    let sliced = (3 * h * h + h * h + h * ff + ff * h) / tp;
+    let biases = (3 * h + ff) / tp + 2 * h; // sliced biases + row-parallel outputs
+    sliced + biases + 4 * h // + 2 LayerNorms (gamma, beta)
+}
+
+/// Total GEMM FLOPs of the forward ops (algorithmic compute cost).
+#[must_use]
+pub fn forward_flops(hyper: &Hyperparams, parallel: &ParallelConfig) -> u64 {
+    encoder_layer_forward(hyper, parallel)
+        .iter()
+        .map(Op::flops)
+        .sum()
+}
+
+/// Serialized TP communication bytes of the forward ops.
+#[must_use]
+pub fn forward_comm_bytes(hyper: &Hyperparams, parallel: &ParallelConfig) -> u64 {
+    encoder_layer_forward(hyper, parallel)
+        .iter()
+        .filter(|o| o.is_serialized_comm())
+        .map(|o| o.comm_bytes(hyper.precision()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp(h: u64, sl: u64, b: u64) -> Hyperparams {
+        Hyperparams::builder(h).seq_len(sl).batch(b).build().unwrap()
+    }
+
+    #[test]
+    fn forward_has_six_gemms() {
+        let ops = encoder_layer_forward(&hp(4096, 2048, 1), &ParallelConfig::new().tensor(8));
+        let gemms = ops.iter().filter(|o| o.flops() > 0).count();
+        assert_eq!(gemms, 6);
+    }
+
+    #[test]
+    fn two_serialized_allreduces_with_tp() {
+        let ops = encoder_layer_forward(&hp(4096, 2048, 1), &ParallelConfig::new().tensor(8));
+        assert_eq!(ops.iter().filter(|o| o.is_serialized_comm()).count(), 2);
+    }
+
+    #[test]
+    fn no_allreduce_without_tp() {
+        let ops = encoder_layer_forward(&hp(4096, 2048, 1), &ParallelConfig::new());
+        assert_eq!(ops.iter().filter(|o| o.is_comm()).count(), 0);
+    }
+
+    #[test]
+    fn forward_flops_match_paper_formula() {
+        // §3.3: overall forward GEMM ops = (24 H² + 4 SL·H) · SL · B / TP
+        // for ff = 4H (QKV 6H² + out 2H² + FC 16H² and attention 4 SL·H).
+        let h = 4096u64;
+        let sl = 2048u64;
+        let b = 2u64;
+        let tp = 8u64;
+        let hyper = hp(h, sl, b);
+        let flops = forward_flops(&hyper, &ParallelConfig::new().tensor(tp));
+        let expected = (24 * h * h + 4 * sl * h) * sl * b / tp;
+        assert_eq!(flops, expected);
+    }
+
+    #[test]
+    fn forward_comm_matches_eq5() {
+        // Eq. 5: bytes per all-reduce = (precision/8) · H·SL·B; two in the
+        // forward pass.
+        let hyper = hp(4096, 2048, 2);
+        let bytes = forward_comm_bytes(&hyper, &ParallelConfig::new().tensor(8));
+        assert_eq!(bytes, 2 * 2 * 4096 * 2048 * 2); // 2 ARs * fp16 * H*SL*B
+    }
+
+    #[test]
+    fn tp_divides_gemm_widths() {
+        let hyper = hp(8192, 1024, 1);
+        for tp in [1u64, 2, 4, 8, 16, 32, 64] {
+            let ops = encoder_layer_forward(&hyper, &ParallelConfig::new().tensor(tp));
+            let per_device: u64 = ops.iter().map(Op::flops).sum();
+            let dense: u64 = forward_flops(&hyper, &ParallelConfig::new());
+            assert_eq!(per_device, dense / tp, "TP={tp} must slice FLOPs evenly");
+        }
+    }
+
+    #[test]
+    fn decoder_layer_has_three_sublayers_and_three_fwd_ars() {
+        let hyper = hp(4096, 1024, 1);
+        let par = ParallelConfig::new().tensor(8);
+        let enc = encoder_layer_forward(&hyper, &par);
+        let dec = decoder_layer_forward(&hyper, &par);
+        assert!(dec.len() > enc.len());
+        assert_eq!(dec.iter().filter(|o| o.is_serialized_comm()).count(), 3);
+        // Cross attention adds Q (H²/TP) + KV (2H²/TP) + out (H²/TP) +
+        // 2 attention GEMMs worth of flops.
+        let flops = |ops: &[Op]| ops.iter().map(Op::flops).sum::<u64>();
+        let h = hyper.hidden();
+        let (sl, b, tp) = (hyper.seq_len(), hyper.batch(), par.tp());
+        let extra = 2 * (4 * h * h / tp) * sl * b + 2 * 2 * (h / tp) * sl * sl * b;
+        assert_eq!(flops(&dec) - flops(&enc), extra);
+    }
+
+    #[test]
+    fn sequence_parallel_swaps_ars_for_rs_ag_pairs() {
+        use twocs_collectives::CollectiveCostModel;
+        use twocs_hw::{DeviceSpec, Precision};
+        let hyper = hp(8192, 2048, 1);
+        let par = ParallelConfig::new().tensor(16);
+        let ar = encoder_layer_forward(&hyper, &par);
+        let sp = with_tp_comm_style(ar.clone(), TpCommStyle::SequenceParallel);
+        // Two ARs become two RS+AG pairs.
+        assert_eq!(
+            sp.iter().filter(|o| o.is_serialized_comm()).count(),
+            2 * ar.iter().filter(|o| o.is_serialized_comm()).count()
+        );
+        // Total serialized wire volume is unchanged (RS + AG = AR).
+        let bytes = |ops: &[Op]| {
+            ops.iter()
+                .filter(|o| o.is_serialized_comm())
+                .map(|o| o.comm_bytes(hyper.precision()))
+                .sum::<u64>()
+        };
+        assert_eq!(bytes(&ar), bytes(&sp));
+        // And the priced time is close: the pair pays one extra latency
+        // term but moves the same bytes.
+        let dev = DeviceSpec::mi210();
+        let cm = CollectiveCostModel::default();
+        let time = |ops: &[Op]| {
+            ops.iter()
+                .filter(|o| o.is_serialized_comm())
+                .map(|o| o.time_on(&dev, Precision::Fp16, &cm))
+                .sum::<f64>()
+        };
+        let ratio = time(&sp) / time(&ar);
+        assert!((0.8..=1.3).contains(&ratio), "SP/AR comm time ratio {ratio}");
+    }
+
+    #[test]
+    fn allreduce_style_is_identity() {
+        let hyper = hp(4096, 1024, 1);
+        let par = ParallelConfig::new().tensor(8);
+        let ops = encoder_layer_forward(&hyper, &par);
+        let same = with_tp_comm_style(ops.clone(), TpCommStyle::AllReduce);
+        assert_eq!(ops, same);
+    }
+
+    #[test]
+    fn fusion_drops_elementwise_kernels_only() {
+        let hyper = hp(4096, 2048, 1);
+        let par = ParallelConfig::new().tensor(8);
+        let none = encoder_layer_forward_fused(&hyper, &par, Fusion::None);
+        let epi = encoder_layer_forward_fused(&hyper, &par, Fusion::Epilogue);
+        let flash = encoder_layer_forward_fused(&hyper, &par, Fusion::Flash);
+        assert_eq!(none.len(), encoder_layer_forward(&hyper, &par).len());
+        assert!(epi.len() < none.len());
+        assert!(flash.len() < epi.len());
+        // GEMM flops and comm bytes are invariant under fusion.
+        let flops = |ops: &[Op]| ops.iter().map(Op::flops).sum::<u64>();
+        let comm = |ops: &[Op]| {
+            ops.iter()
+                .map(|o| o.comm_bytes(hyper.precision()))
+                .sum::<u64>()
+        };
+        assert_eq!(flops(&none), flops(&flash));
+        assert_eq!(comm(&none), comm(&flash));
+        // LayerNorms survive every level (pre-LN is a standalone kernel).
+        assert!(flash.iter().any(|o| o.name() == "ln1"));
+        assert!(flash.iter().any(|o| o.name() == "ln2"));
+        assert!(!flash.iter().any(|o| o.name() == "softmax"));
+        assert!(epi.iter().any(|o| o.name() == "softmax"));
+    }
+
+    #[test]
+    fn fusion_raises_communication_share() {
+        use twocs_collectives::CollectiveCostModel;
+        use twocs_hw::{DeviceSpec, Precision};
+        let hyper = hp(4096, 2048, 1);
+        let par = ParallelConfig::new().tensor(16);
+        let dev = DeviceSpec::mi210();
+        let cm = CollectiveCostModel::default();
+        let share = |fusion: Fusion| {
+            let ops = encoder_layer_forward_fused(&hyper, &par, fusion);
+            let total: f64 = ops
+                .iter()
+                .map(|o| o.time_on(&dev, Precision::Fp16, &cm))
+                .sum();
+            let comm: f64 = ops
+                .iter()
+                .filter(|o| o.is_comm())
+                .map(|o| o.time_on(&dev, Precision::Fp16, &cm))
+                .sum();
+            comm / total
+        };
+        assert!(share(Fusion::Flash) > share(Fusion::None));
+    }
+
+    #[test]
+    fn weight_elements_scale_inversely_with_tp() {
+        let hyper = hp(8192, 1024, 1);
+        let w1 = layer_weight_elements(&hyper, &ParallelConfig::new());
+        let w8 = layer_weight_elements(&hyper, &ParallelConfig::new().tensor(8));
+        let ratio = w1 as f64 / w8 as f64;
+        assert!((7.0..=8.1).contains(&ratio), "ratio {ratio}");
+        // Dominant term: 12 H² for ff = 4H.
+        let h = hyper.hidden();
+        assert!(w1 > 12 * h * h && w1 < 13 * h * h);
+    }
+}

@@ -1,0 +1,61 @@
+//! # twocs-transformer — Transformer training workloads as operator graphs
+//!
+//! The paper studies Transformer *training iterations*: sequences of GEMMs,
+//! element-wise operators, and collectives determined entirely by the model
+//! hyperparameters and the distributed configuration. This crate generates
+//! those sequences:
+//!
+//! * [`hyper::Hyperparams`] — `H`, `SL`, `B`, heads, layers, FF width,
+//!   precision (the paper's Table 1).
+//! * [`parallel::ParallelConfig`] — tensor-, data-, pipeline-, and
+//!   expert-parallel degrees, with divisibility validation.
+//! * [`ops`] / [`layer`] / [`backward`] — the operator sequences of an
+//!   encoder/decoder layer, forward and backward, with Megatron-style TP
+//!   slicing and the paper's four serialized all-reduces per layer.
+//! * [`graph_builder`] — lowers an entire training iteration to a
+//!   `twocs-sim` task graph: TP all-reduces serialized on the critical
+//!   path, DP gradient all-reduces overlapped with backprop.
+//! * [`memory`] — parameter/optimizer/activation memory accounting,
+//!   powering the paper's Figure 6 (memory gap) and Figure 9(b)
+//!   (required TP degree).
+//! * [`zoo`] — the published models of Table 2 (BERT → PaLM) plus the
+//!   futuristic PaLM-1×/2×/3× configurations.
+//! * [`moe`] / [`pipeline`] — the §6.1 extensions: expert parallelism with
+//!   all-to-all dispatch and pipeline parallelism with p2p activations.
+//!
+//! ## Example
+//!
+//! ```
+//! use twocs_transformer::hyper::Hyperparams;
+//! use twocs_transformer::parallel::ParallelConfig;
+//! use twocs_transformer::layer::encoder_layer_forward;
+//!
+//! let hp = Hyperparams::builder(4096).seq_len(2048).batch(1).build()?;
+//! let par = ParallelConfig::new().tensor(16).data(8);
+//! par.validate(&hp)?;
+//! let ops = encoder_layer_forward(&hp, &par);
+//! // Two serialized TP all-reduces in the forward pass.
+//! assert_eq!(ops.iter().filter(|o| o.is_comm()).count(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backward;
+pub mod error;
+pub mod graph_builder;
+pub mod hyper;
+pub mod layer;
+pub mod memory;
+pub mod moe;
+pub mod ops;
+pub mod parallel;
+pub mod pipeline;
+pub mod zoo;
+
+pub use error::ModelError;
+pub use hyper::Hyperparams;
+pub use ops::Op;
+pub use parallel::ParallelConfig;

@@ -1,0 +1,412 @@
+//! Training memory accounting.
+//!
+//! Memory is the paper's forcing function: models grow faster than device
+//! memory (Figure 6), which forces small batch sizes and large TP degrees
+//! (Figure 9(b)), which in turn erode compute's edge and slack over
+//! communication. This module implements:
+//!
+//! * [`training_memory`] — per-device bytes for parameters, gradients,
+//!   optimizer state (Adam: fp32 master weights + two moments), and
+//!   activations (Megatron-style checkpoint-free accounting).
+//! * [`required_tp`] — the smallest supported TP degree at which a model
+//!   fits a device.
+//! * [`paper_tp_projection`] — the paper's §4.3.2 estimate
+//!   `TP = base_TP · p / s` (model-size ratio over memory-capacity ratio).
+
+use crate::error::ModelError;
+use crate::hyper::Hyperparams;
+use crate::layer::layer_weight_elements;
+use crate::parallel::ParallelConfig;
+use std::fmt;
+use twocs_hw::DeviceSpec;
+
+/// Per-device training memory, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Model parameters at training precision.
+    pub params: u64,
+    /// Gradients at training precision.
+    pub grads: u64,
+    /// Optimizer state (fp32 master copy + Adam moments).
+    pub optimizer: u64,
+    /// Stored activations for the backward pass.
+    pub activations: u64,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.params + self.grads + self.optimizer + self.activations
+    }
+}
+
+impl fmt::Display for MemoryBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+        write!(
+            f,
+            "params {:.2} GiB + grads {:.2} GiB + optim {:.2} GiB + act {:.2} GiB = {:.2} GiB",
+            gib(self.params),
+            gib(self.grads),
+            gib(self.optimizer),
+            gib(self.activations),
+            gib(self.total())
+        )
+    }
+}
+
+/// Bytes of Adam optimizer state per parameter: fp32 master weight plus
+/// two fp32 moments.
+pub const ADAM_BYTES_PER_PARAM: u64 = 12;
+
+/// Per-device parameter elements (layers sliced by TP, layers divided by
+/// PP, embeddings sliced by TP).
+#[must_use]
+pub fn params_per_device(hyper: &Hyperparams, parallel: &ParallelConfig) -> u64 {
+    let layers_local = hyper.layers() / parallel.pp();
+    let embed = (hyper.vocab() + hyper.seq_len()) * hyper.hidden() / parallel.tp();
+    layers_local * layer_weight_elements(hyper, parallel) + embed
+}
+
+/// Per-device activation bytes for one training iteration without
+/// activation checkpointing, following the Megatron-LM accounting: per
+/// layer `SL·B·H·(10 + 24/TP + 5·heads·SL/(H·TP))` bytes at fp16, scaled
+/// to the configured precision.
+#[must_use]
+pub fn activation_bytes(hyper: &Hyperparams, parallel: &ParallelConfig) -> u64 {
+    let sbh = (hyper.seq_len() * hyper.batch() * hyper.hidden()) as f64;
+    let tp = parallel.tp() as f64;
+    let attn = 5.0 * hyper.heads() as f64 * hyper.seq_len() as f64
+        / (hyper.hidden() as f64 * tp);
+    let per_layer_fp16 = sbh * (10.0 + 24.0 / tp + attn);
+    let layers_local = (hyper.layers() / parallel.pp()) as f64;
+    let scale = hyper.precision().bytes() as f64 / 2.0;
+    (per_layer_fp16 * layers_local * scale) as u64
+}
+
+/// How activations are kept for the backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActivationPolicy {
+    /// Store every intermediate (fastest, most memory).
+    #[default]
+    Full,
+    /// Activation checkpointing: store only each layer's input and
+    /// recompute the rest during backprop (how very large models are
+    /// actually trained).
+    Checkpointed,
+    /// Checkpointing plus sequence parallelism: the stored layer input is
+    /// itself sharded `1/TP` across the tensor-parallel group (Korthikanti
+    /// et al.; see [`layer::TpCommStyle`](crate::layer::TpCommStyle)).
+    CheckpointedSequenceParallel,
+}
+
+/// Per-device activation bytes under `policy`. Checkpointing keeps only
+/// each layer's input activation (`SL·B·H` elements).
+#[must_use]
+pub fn activation_bytes_with(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    policy: ActivationPolicy,
+) -> u64 {
+    match policy {
+        ActivationPolicy::Full => activation_bytes(hyper, parallel),
+        ActivationPolicy::Checkpointed => {
+            let layers_local = hyper.layers() / parallel.pp();
+            hyper.tokens() * hyper.hidden() * hyper.precision().bytes() * layers_local
+        }
+        ActivationPolicy::CheckpointedSequenceParallel => {
+            activation_bytes_with(hyper, parallel, ActivationPolicy::Checkpointed)
+                .div_ceil(parallel.tp())
+        }
+    }
+}
+
+/// Full per-device training memory breakdown (activations stored in full;
+/// see [`training_memory_with`] for checkpointing).
+#[must_use]
+pub fn training_memory(hyper: &Hyperparams, parallel: &ParallelConfig) -> MemoryBreakdown {
+    training_memory_with(hyper, parallel, ActivationPolicy::Full)
+}
+
+/// Per-device training memory breakdown under an activation policy.
+#[must_use]
+pub fn training_memory_with(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    policy: ActivationPolicy,
+) -> MemoryBreakdown {
+    let p = params_per_device(hyper, parallel);
+    let prec = hyper.precision().bytes();
+    MemoryBreakdown {
+        params: p * prec,
+        grads: p * prec,
+        optimizer: p * ADAM_BYTES_PER_PARAM,
+        activations: activation_bytes_with(hyper, parallel, policy),
+    }
+}
+
+/// ZeRO redundancy-elimination stage (Rajbhandari et al., cited by the
+/// paper as \[52\]): which training state is sharded across the
+/// data-parallel group instead of replicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ZeroStage {
+    /// Everything replicated (plain DDP).
+    #[default]
+    None,
+    /// Stage 1: optimizer state sharded across DP ranks.
+    OptimizerState,
+    /// Stage 2: optimizer state + gradients sharded.
+    Gradients,
+    /// Stage 3: optimizer state + gradients + parameters sharded.
+    Parameters,
+}
+
+/// Per-device training memory under a ZeRO stage: the sharded components
+/// divide by the DP degree. Trades communication (reduce-scatter +
+/// all-gather instead of overlappable all-reduce, see
+/// `graph_builder::DpStrategy`) for capacity — one more lever against the
+/// paper's memory wall, at the price of more exposed communication.
+#[must_use]
+pub fn training_memory_zero(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    policy: ActivationPolicy,
+    stage: ZeroStage,
+) -> MemoryBreakdown {
+    let full = training_memory_with(hyper, parallel, policy);
+    let dp = parallel.dp();
+    let shard = |bytes: u64, sharded: bool| if sharded { bytes.div_ceil(dp) } else { bytes };
+    let (opt, grads, params) = match stage {
+        ZeroStage::None => (false, false, false),
+        ZeroStage::OptimizerState => (true, false, false),
+        ZeroStage::Gradients => (true, true, false),
+        ZeroStage::Parameters => (true, true, true),
+    };
+    MemoryBreakdown {
+        params: shard(full.params, params),
+        grads: shard(full.grads, grads),
+        optimizer: shard(full.optimizer, opt),
+        activations: full.activations,
+    }
+}
+
+/// Whether the model fits on `device` under `parallel`, leaving
+/// `reserve_fraction` of capacity for workspace/fragmentation.
+#[must_use]
+pub fn fits(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    device: &DeviceSpec,
+    reserve_fraction: f64,
+) -> bool {
+    let usable = (device.mem_capacity() as f64 * (1.0 - reserve_fraction)) as u64;
+    training_memory(hyper, parallel).total() <= usable
+}
+
+/// The smallest TP degree from `candidates` (ascending) at which the model
+/// fits `device` with 10% reserve, assuming activation checkpointing (as
+/// very large models are actually trained). Candidates that fail
+/// [`ParallelConfig::validate`] are skipped.
+///
+/// # Errors
+/// Returns [`ModelError::DoesNotFit`] when no candidate suffices.
+pub fn required_tp(
+    hyper: &Hyperparams,
+    device: &DeviceSpec,
+    candidates: &[u64],
+) -> Result<u64, ModelError> {
+    const RESERVE: f64 = 0.10;
+    let usable = (device.mem_capacity() as f64 * (1.0 - RESERVE)) as u64;
+    let mut best_valid: Option<u64> = None;
+    for &tp in candidates {
+        let parallel = ParallelConfig::new().tensor(tp);
+        if parallel.validate(hyper).is_err() {
+            continue;
+        }
+        best_valid = Some(tp);
+        let needed =
+            training_memory_with(hyper, &parallel, ActivationPolicy::Checkpointed).total();
+        if needed <= usable {
+            return Ok(tp);
+        }
+    }
+    // Report the requirement at the largest valid candidate.
+    let last = ParallelConfig::new().tensor(best_valid.unwrap_or(1));
+    Err(ModelError::DoesNotFit {
+        required: training_memory_with(hyper, &last, ActivationPolicy::Checkpointed).total(),
+        available: device.mem_capacity(),
+    })
+}
+
+/// The paper's §4.3.2 TP projection: starting from a base model that needs
+/// `base_tp` devices, a model `p`× larger on devices with `s`× the memory
+/// capacity needs `base_tp · p / s` devices.
+///
+/// # Panics
+/// Panics if any argument is not strictly positive.
+#[must_use]
+pub fn paper_tp_projection(
+    base_tp: f64,
+    model_size_ratio: f64,
+    capacity_scale_ratio: f64,
+) -> f64 {
+    assert!(
+        base_tp > 0.0 && model_size_ratio > 0.0 && capacity_scale_ratio > 0.0,
+        "TP projection arguments must be positive"
+    );
+    base_tp * model_size_ratio / capacity_scale_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp(h: u64) -> Hyperparams {
+        // Power-of-two head count so every power-of-two TP degree is a
+        // valid Megatron sharding.
+        Hyperparams::builder(h)
+            .heads(if h >= 16_384 { 256 } else { 32 })
+            .seq_len(2048)
+            .batch(1)
+            .layers(96)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn memory_shrinks_with_tp() {
+        let hyper = hp(12_288);
+        let m1 = training_memory(&hyper, &ParallelConfig::new()).total();
+        let m8 = training_memory(&hyper, &ParallelConfig::new().tensor(8)).total();
+        assert!(m8 < m1 / 6, "m1 {m1} m8 {m8}");
+    }
+
+    #[test]
+    fn gpt3_scale_model_does_not_fit_one_mi210() {
+        // GPT-3 (175B) needs ~2.8 TB of training state; a 64 GB device
+        // cannot hold it, even activations aside.
+        let hyper = hp(12_288);
+        let dev = DeviceSpec::mi210();
+        assert!(!fits(&hyper, &ParallelConfig::new(), &dev, 0.1));
+    }
+
+    #[test]
+    fn bert_fits_one_mi210() {
+        let bert = Hyperparams::builder(1024)
+            .heads(16)
+            .layers(24)
+            .seq_len(512)
+            .batch(4)
+            .build()
+            .unwrap();
+        assert!(fits(&bert, &ParallelConfig::new(), &DeviceSpec::mi210(), 0.1));
+    }
+
+    #[test]
+    fn required_tp_is_monotone_in_model_size() {
+        let dev = DeviceSpec::mi210();
+        let candidates = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+        let small = required_tp(&hp(4096), &dev, &candidates).unwrap();
+        let large = required_tp(&hp(20_480), &dev, &candidates).unwrap();
+        assert!(small < large, "small {small} large {large}");
+    }
+
+    #[test]
+    fn required_tp_errors_when_nothing_fits() {
+        let hyper = Hyperparams::builder(65_536)
+            .layers(200)
+            .seq_len(8192)
+            .build()
+            .unwrap();
+        let e = required_tp(&hyper, &DeviceSpec::mi50(), &[1, 2, 4]);
+        assert!(matches!(e, Err(ModelError::DoesNotFit { .. })));
+    }
+
+    #[test]
+    fn paper_projection_matches_figure_9b_range() {
+        // §4.3.2: models 40-60x the 3.9B Megatron BERT (after memory
+        // scaling) need TP of ~250-550 starting from base_TP = 8.
+        let tp = paper_tp_projection(8.0, 540.0 / 3.9, 2.5);
+        assert!((250.0..=550.0).contains(&tp), "projected TP {tp}");
+    }
+
+    #[test]
+    fn adam_state_dominates_params() {
+        let hyper = hp(8192);
+        let m = training_memory(&hyper, &ParallelConfig::new().tensor(8));
+        assert_eq!(m.optimizer, m.params / 2 * 12 / 2 * 2); // 12 bytes vs 2 -> 6x
+        assert!(m.optimizer == 6 * m.params);
+    }
+
+    #[test]
+    fn activations_scale_with_sl_and_b() {
+        let hyper = hp(8192);
+        let par = ParallelConfig::new().tensor(8);
+        let base = activation_bytes(&hyper, &par);
+        let double_sl = activation_bytes(&hyper.clone().with_seq_len(4096), &par);
+        // Slightly super-linear in SL (attention term), at least 2x.
+        assert!(double_sl >= 2 * base);
+        let double_b = activation_bytes(&hyper.clone().with_batch(2), &par);
+        assert_eq!(double_b, 2 * base);
+    }
+
+    #[test]
+    fn sequence_parallel_shards_checkpointed_activations() {
+        let hyper = hp(16_384);
+        let par = ParallelConfig::new().tensor(64);
+        let plain = activation_bytes_with(&hyper, &par, ActivationPolicy::Checkpointed);
+        let sp = activation_bytes_with(
+            &hyper,
+            &par,
+            ActivationPolicy::CheckpointedSequenceParallel,
+        );
+        assert_eq!(sp, plain.div_ceil(64));
+    }
+
+    #[test]
+    fn zero_stages_shed_memory_progressively() {
+        let hyper = hp(12_288);
+        let par = ParallelConfig::new().tensor(8).data(16);
+        let policy = ActivationPolicy::Checkpointed;
+        let none = training_memory_zero(&hyper, &par, policy, ZeroStage::None).total();
+        let z1 = training_memory_zero(&hyper, &par, policy, ZeroStage::OptimizerState).total();
+        let z2 = training_memory_zero(&hyper, &par, policy, ZeroStage::Gradients).total();
+        let z3 = training_memory_zero(&hyper, &par, policy, ZeroStage::Parameters).total();
+        assert!(none > z1 && z1 > z2 && z2 > z3);
+        // ZeRO-1 removes (dp-1)/dp of the Adam state: the biggest chunk.
+        let full = training_memory_with(&hyper, &par, policy);
+        let saved = none - z1;
+        assert_eq!(saved, full.optimizer - full.optimizer.div_ceil(16));
+    }
+
+    #[test]
+    fn zero3_lets_a_smaller_tp_fit() {
+        // ZeRO's selling point: the same model fits with less tensor
+        // slicing because DP ranks also share the state.
+        let hyper = hp(12_288);
+        let policy = ActivationPolicy::Checkpointed;
+        let par = ParallelConfig::new().tensor(8).data(64);
+        let ddp = training_memory_zero(&hyper, &par, policy, ZeroStage::None).total();
+        let z3 = training_memory_zero(&hyper, &par, policy, ZeroStage::Parameters).total();
+        let capacity = DeviceSpec::mi210().mem_capacity();
+        assert!(ddp > capacity, "DDP at TP=8 should not fit: {ddp}");
+        assert!(z3 < capacity, "ZeRO-3 at TP=8 should fit: {z3}");
+    }
+
+    #[test]
+    fn zero_none_matches_plain_accounting() {
+        let hyper = hp(4096);
+        let par = ParallelConfig::new().tensor(4).data(8);
+        let a = training_memory_zero(&hyper, &par, ActivationPolicy::Full, ZeroStage::None);
+        let b = training_memory_with(&hyper, &par, ActivationPolicy::Full);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn breakdown_display_sums() {
+        let m = training_memory(&hp(4096), &ParallelConfig::new().tensor(4));
+        assert!(m.to_string().contains("GiB"));
+        assert_eq!(m.total(), m.params + m.grads + m.optimizer + m.activations);
+    }
+}

@@ -1,0 +1,284 @@
+//! Mixture-of-experts extension (paper §6.1.1).
+//!
+//! MoE layers replace the dense FC sub-layer with routed experts. Expert
+//! parallelism adds **two serialized all-to-alls** (dispatch and combine)
+//! to the critical path of every MoE layer, on top of any TP all-reduces —
+//! reinforcing the paper's thesis that communication grows as models
+//! scale. Conditional computation also *reduces* per-token FLOPs relative
+//! to an equally-parameterized dense model, further raising communication's
+//! share.
+
+use crate::hyper::Hyperparams;
+use crate::ops::{CommScope, Op, OpKind};
+use crate::parallel::ParallelConfig;
+use twocs_hw::gemm::GemmShape;
+use twocs_hw::memops::MemOpKind;
+
+/// MoE routing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoeConfig {
+    /// Total expert count (across the expert-parallel group).
+    pub experts: u64,
+    /// Experts activated per token.
+    pub top_k: u64,
+    /// Capacity factor: per-expert buffer slack over the balanced load.
+    pub capacity_factor: f64,
+}
+
+impl MoeConfig {
+    /// A switch-style configuration: `experts` experts, top-1 routing,
+    /// 1.25 capacity factor.
+    ///
+    /// # Panics
+    /// Panics if `experts` is zero.
+    #[must_use]
+    pub fn switch(experts: u64) -> Self {
+        assert!(experts > 0, "experts must be non-zero");
+        Self {
+            experts,
+            top_k: 1,
+            capacity_factor: 1.25,
+        }
+    }
+
+    /// Tokens processed per device after routing (balanced assumption).
+    #[must_use]
+    pub fn routed_tokens(&self, tokens: u64) -> u64 {
+        ((tokens * self.top_k) as f64 * self.capacity_factor).ceil() as u64
+    }
+}
+
+/// Forward operator sequence of one MoE FFN sub-layer (replaces the dense
+/// FC sub-layer), per device.
+#[must_use]
+pub fn moe_ffn_forward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> Vec<Op> {
+    let h = hyper.hidden();
+    let ff = hyper.ff_dim();
+    let tp = parallel.tp();
+    let ep = parallel.ep();
+    let tokens = hyper.tokens();
+    let routed = moe.routed_tokens(tokens);
+    let act = tokens * h;
+
+    let mut ops = vec![
+        Op::memop("moe_ln", MemOpKind::LayerNorm, act),
+        // Router: token -> expert logits.
+        Op::gemm("moe_router_gemm", GemmShape::new(tokens, moe.experts, h)),
+        Op::memop("moe_router_softmax", MemOpKind::Softmax, tokens * moe.experts),
+    ];
+    if ep > 1 {
+        // Dispatch tokens to their experts' devices: serialized all-to-all.
+        ops.push(Op::new(
+            "moe_a2a_dispatch",
+            OpKind::AllToAll {
+                elements: routed * h,
+                participants: ep,
+                scope: CommScope::Expert,
+            },
+        ));
+    }
+    ops.extend([
+        Op::gemm("moe_fc1_gemm", GemmShape::new(routed, ff / tp, h)),
+        Op::memop("moe_gelu", MemOpKind::Gelu, routed * ff / tp),
+        Op::gemm("moe_fc2_gemm", GemmShape::new(routed, h, ff / tp)),
+    ]);
+    if tp > 1 {
+        ops.push(Op::allreduce("moe_tp_ar", routed * h, tp, CommScope::TensorParallel));
+    }
+    if ep > 1 {
+        ops.push(Op::new(
+            "moe_a2a_combine",
+            OpKind::AllToAll {
+                elements: routed * h,
+                participants: ep,
+                scope: CommScope::Expert,
+            },
+        ));
+    }
+    ops.extend([
+        Op::memop("moe_dropout", MemOpKind::Dropout, act),
+        Op::memop("moe_residual", MemOpKind::ResidualAdd, act),
+    ]);
+    ops
+}
+
+/// Backward operator sequence of the MoE FFN sub-layer, per device, in
+/// execution order: the combine all-to-all reverses first, then the
+/// expert GEMMs produce input and weight gradients, then the dispatch
+/// all-to-all reverses.
+#[must_use]
+pub fn moe_ffn_backward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> Vec<Op> {
+    let h = hyper.hidden();
+    let ff = hyper.ff_dim();
+    let tp = parallel.tp();
+    let ep = parallel.ep();
+    let tokens = hyper.tokens();
+    let routed = moe.routed_tokens(tokens);
+    let act = tokens * h;
+
+    let mut ops = vec![
+        Op::memop("moe_residual_bwd", MemOpKind::ResidualAdd, act),
+        Op::memop("moe_dropout_bwd", MemOpKind::Dropout, act),
+    ];
+    if ep > 1 {
+        ops.push(Op::new(
+            "moe_a2a_combine_bwd",
+            OpKind::AllToAll {
+                elements: routed * h,
+                participants: ep,
+                scope: CommScope::Expert,
+            },
+        ));
+    }
+    if tp > 1 {
+        ops.push(Op::allreduce(
+            "moe_tp_ar_bwd",
+            routed * h,
+            tp,
+            CommScope::TensorParallel,
+        ));
+    }
+    ops.extend([
+        Op::gemm("moe_fc2_ig_gemm", GemmShape::new(routed, ff / tp, h)),
+        Op::gemm("moe_fc2_wg_gemm", GemmShape::new(ff / tp, h, routed)),
+        Op::memop("moe_gelu_bwd", MemOpKind::Gelu, routed * ff / tp),
+        Op::gemm("moe_fc1_ig_gemm", GemmShape::new(routed, h, ff / tp)),
+        Op::gemm("moe_fc1_wg_gemm", GemmShape::new(h, ff / tp, routed)),
+    ]);
+    if ep > 1 {
+        ops.push(Op::new(
+            "moe_a2a_dispatch_bwd",
+            OpKind::AllToAll {
+                elements: routed * h,
+                participants: ep,
+                scope: CommScope::Expert,
+            },
+        ));
+    }
+    ops.extend([
+        Op::gemm("moe_router_ig_gemm", GemmShape::new(tokens, h, moe.experts)),
+        Op::gemm("moe_router_wg_gemm", GemmShape::new(moe.experts, h, tokens)),
+        Op::memop("moe_ln_bwd", MemOpKind::LayerNorm, act),
+    ]);
+    ops
+}
+
+/// Forward operator sequence of one full MoE layer: the dense attention
+/// sub-layer followed by the routed MoE FFN sub-layer.
+#[must_use]
+pub fn moe_layer_forward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> Vec<Op> {
+    let mut ops = crate::layer::attention_sublayer_forward(hyper, parallel);
+    ops.extend(moe_ffn_forward(hyper, parallel, moe));
+    ops
+}
+
+/// Backward operator sequence of one full MoE layer.
+#[must_use]
+pub fn moe_layer_backward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> Vec<Op> {
+    let mut ops = moe_ffn_backward(hyper, parallel, moe);
+    ops.extend(crate::backward::attention_sublayer_backward(hyper, parallel));
+    ops
+}
+
+/// Compute FLOPs per token of the MoE FFN relative to a dense FFN with the
+/// same total parameter count (`experts ×` larger). MoE's headline
+/// property: capacity grows with expert count while this ratio stays
+/// roughly constant (≈ `top_k · capacity_factor / experts`).
+#[must_use]
+pub fn flops_ratio_vs_dense(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> f64 {
+    let moe_flops: u64 = moe_ffn_forward(hyper, parallel, moe)
+        .iter()
+        .map(Op::flops)
+        .sum();
+    // Equivalent dense FFN with experts x the parameters: ff scaled.
+    let dense_flops = 2 * 2 * hyper.tokens() * (hyper.ff_dim() * moe.experts / parallel.tp())
+        * hyper.hidden();
+    moe_flops as f64 / dense_flops as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp() -> Hyperparams {
+        Hyperparams::builder(4096).heads(32).seq_len(2048).batch(1).build().unwrap()
+    }
+
+    #[test]
+    fn ep_adds_two_serialized_alltoalls() {
+        let par = ParallelConfig::new().tensor(4).expert(8);
+        let ops = moe_ffn_forward(&hp(), &par, &MoeConfig::switch(8));
+        let a2a = ops
+            .iter()
+            .filter(|o| matches!(o.kind(), OpKind::AllToAll { .. }))
+            .count();
+        assert_eq!(a2a, 2);
+        assert!(ops.iter().filter(|o| o.is_serialized_comm()).count() >= 2);
+    }
+
+    #[test]
+    fn no_alltoall_without_ep() {
+        let ops = moe_ffn_forward(&hp(), &ParallelConfig::new().tensor(4), &MoeConfig::switch(8));
+        assert!(!ops.iter().any(|o| matches!(o.kind(), OpKind::AllToAll { .. })));
+    }
+
+    #[test]
+    fn moe_cheaper_than_equal_capacity_dense() {
+        // Top-1 routing over 8 experts: ~1/8 the dense-equivalent FLOPs
+        // (modulo capacity factor and router overhead).
+        let ratio = flops_ratio_vs_dense(
+            &hp(),
+            &ParallelConfig::new().expert(8),
+            &MoeConfig::switch(8),
+        );
+        assert!((0.10..=0.30).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn backward_mirrors_forward_comm() {
+        let par = ParallelConfig::new().tensor(4).expert(8);
+        let moe = MoeConfig::switch(8);
+        let fwd = moe_ffn_forward(&hp(), &par, &moe);
+        let bwd = moe_ffn_backward(&hp(), &par, &moe);
+        let a2a = |ops: &[Op]| {
+            ops.iter()
+                .filter(|o| matches!(o.kind(), OpKind::AllToAll { .. }))
+                .count()
+        };
+        assert_eq!(a2a(&fwd), a2a(&bwd));
+        // Backward FFN GEMM flops ~= 2x forward expert GEMMs (router WG/IG
+        // add a little on top).
+        let fwd_flops: u64 = fwd.iter().map(Op::flops).sum();
+        let bwd_flops: u64 = bwd.iter().map(Op::flops).sum();
+        assert!(bwd_flops > fwd_flops && bwd_flops < 3 * fwd_flops);
+    }
+
+    #[test]
+    fn full_moe_layer_contains_attention_and_experts() {
+        let par = ParallelConfig::new().tensor(4).expert(8);
+        let moe = MoeConfig::switch(8);
+        let fwd = moe_layer_forward(&hp(), &par, &moe);
+        assert!(fwd.iter().any(|o| o.name() == "qkv_gemm"));
+        assert!(fwd.iter().any(|o| o.name() == "moe_fc1_gemm"));
+        let bwd = moe_layer_backward(&hp(), &par, &moe);
+        assert!(bwd.iter().any(|o| o.name() == "qkv_wg_gemm"));
+        assert!(bwd.iter().any(|o| o.name() == "moe_fc1_wg_gemm"));
+    }
+
+    #[test]
+    fn capacity_factor_inflates_routed_tokens() {
+        let moe = MoeConfig::switch(8);
+        assert_eq!(moe.routed_tokens(1000), 1250);
+        let top2 = MoeConfig {
+            top_k: 2,
+            ..MoeConfig::switch(8)
+        };
+        assert_eq!(top2.routed_tokens(1000), 2500);
+    }
+
+    #[test]
+    #[should_panic(expected = "experts")]
+    fn zero_experts_rejected() {
+        let _ = MoeConfig::switch(0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Distributed-training configuration.
+//!
+//! The paper studies tensor parallelism (TP — slices every layer, puts
+//! all-reduces on the critical path) and data parallelism (DP — replicates
+//! the model, overlaps gradient all-reduces with backprop). Pipeline (PP)
+//! and expert (EP) parallelism are supported for the §6.1 extensions.
+
+use crate::error::ModelError;
+use crate::hyper::Hyperparams;
+use std::fmt;
+
+/// Parallel degrees of one training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelConfig {
+    tensor: u64,
+    data: u64,
+    pipeline: u64,
+    expert: u64,
+}
+
+impl ParallelConfig {
+    /// All degrees 1 (single device).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tensor: 1,
+            data: 1,
+            pipeline: 1,
+            expert: 1,
+        }
+    }
+
+    /// Set the tensor-parallel degree.
+    ///
+    /// # Panics
+    /// Panics if `tp` is zero.
+    #[must_use]
+    pub fn tensor(mut self, tp: u64) -> Self {
+        assert!(tp > 0, "tensor-parallel degree must be non-zero");
+        self.tensor = tp;
+        self
+    }
+
+    /// Set the data-parallel degree.
+    ///
+    /// # Panics
+    /// Panics if `dp` is zero.
+    #[must_use]
+    pub fn data(mut self, dp: u64) -> Self {
+        assert!(dp > 0, "data-parallel degree must be non-zero");
+        self.data = dp;
+        self
+    }
+
+    /// Set the pipeline-parallel degree.
+    ///
+    /// # Panics
+    /// Panics if `pp` is zero.
+    #[must_use]
+    pub fn pipeline(mut self, pp: u64) -> Self {
+        assert!(pp > 0, "pipeline-parallel degree must be non-zero");
+        self.pipeline = pp;
+        self
+    }
+
+    /// Set the expert-parallel degree (MoE).
+    ///
+    /// # Panics
+    /// Panics if `ep` is zero.
+    #[must_use]
+    pub fn expert(mut self, ep: u64) -> Self {
+        assert!(ep > 0, "expert-parallel degree must be non-zero");
+        self.expert = ep;
+        self
+    }
+
+    /// Tensor-parallel degree `TP`.
+    #[must_use]
+    pub fn tp(&self) -> u64 {
+        self.tensor
+    }
+
+    /// Data-parallel degree `DP`.
+    #[must_use]
+    pub fn dp(&self) -> u64 {
+        self.data
+    }
+
+    /// Pipeline-parallel degree `PP`.
+    #[must_use]
+    pub fn pp(&self) -> u64 {
+        self.pipeline
+    }
+
+    /// Expert-parallel degree `EP`.
+    #[must_use]
+    pub fn ep(&self) -> u64 {
+        self.expert
+    }
+
+    /// Total devices: `TP · DP · PP`.
+    #[must_use]
+    pub fn devices(&self) -> u64 {
+        self.tensor * self.data * self.pipeline
+    }
+
+    /// Check that the degrees divide the dimensions they shard.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::IndivisibleSharding`] when `TP` does not
+    /// divide the hidden size, head count, or FF width, or `PP` does not
+    /// divide the layer count.
+    pub fn validate(&self, hyper: &Hyperparams) -> Result<(), ModelError> {
+        let checks = [
+            ("hidden", hyper.hidden(), self.tensor),
+            ("heads", hyper.heads(), self.tensor),
+            ("ff_dim", hyper.ff_dim(), self.tensor),
+            ("layers", hyper.layers(), self.pipeline),
+        ];
+        for (dimension, value, degree) in checks {
+            if value % degree != 0 {
+                return Err(ModelError::IndivisibleSharding {
+                    dimension,
+                    value,
+                    degree,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for ParallelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={} DP={} PP={} EP={}",
+            self.tensor, self.data, self.pipeline, self.expert
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_single_device() {
+        let p = ParallelConfig::new();
+        assert_eq!(p.devices(), 1);
+        assert_eq!(p.tp(), 1);
+    }
+
+    #[test]
+    fn devices_multiply() {
+        let p = ParallelConfig::new().tensor(8).data(4).pipeline(2);
+        assert_eq!(p.devices(), 64);
+    }
+
+    #[test]
+    fn validate_accepts_clean_sharding() {
+        let hp = Hyperparams::builder(4096).heads(32).layers(24).build().unwrap();
+        ParallelConfig::new().tensor(8).pipeline(4).validate(&hp).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_indivisible_tp() {
+        let hp = Hyperparams::builder(4096).heads(32).build().unwrap();
+        let e = ParallelConfig::new().tensor(3).validate(&hp);
+        assert!(matches!(e, Err(ModelError::IndivisibleSharding { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_tp_exceeding_heads() {
+        let hp = Hyperparams::builder(4096).heads(16).build().unwrap();
+        assert!(ParallelConfig::new().tensor(32).validate(&hp).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_indivisible_pp() {
+        let hp = Hyperparams::builder(1024).heads(16).layers(24).build().unwrap();
+        assert!(ParallelConfig::new().pipeline(7).validate(&hp).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_degree_panics() {
+        let _ = ParallelConfig::new().tensor(0);
+    }
+
+    #[test]
+    fn display() {
+        let p = ParallelConfig::new().tensor(8).data(64);
+        assert_eq!(p.to_string(), "TP=8 DP=64 PP=1 EP=1");
+    }
+}

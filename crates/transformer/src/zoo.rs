@@ -1,0 +1,302 @@
+//! The model zoo: published Transformers (the paper's Table 2) and the
+//! futuristic configurations used throughout the evaluation.
+
+use crate::hyper::Hyperparams;
+
+/// Layer flavour (computationally identical for training, §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Encoder-only (BERT family).
+    Encoder,
+    /// Decoder-only (GPT family).
+    Decoder,
+    /// Encoder–decoder (T5 family).
+    EncoderDecoder,
+}
+
+/// One published (or projected) model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooModel {
+    /// Model name as commonly cited.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// Layer count.
+    pub layers: u64,
+    /// Hidden size `H`.
+    pub hidden: u64,
+    /// Attention head count.
+    pub heads: u64,
+    /// Sequence length used for training.
+    pub seq_len: u64,
+    /// Feed-forward (FC) width.
+    pub ff_dim: u64,
+    /// Reported parameter count, billions.
+    pub reported_params_b: f64,
+    /// Architecture flavour.
+    pub kind: LayerKind,
+}
+
+impl ZooModel {
+    /// Build [`Hyperparams`] for this model with batch size `batch`.
+    ///
+    /// # Panics
+    /// Panics if the zoo entry is internally inconsistent (a bug in the
+    /// table, covered by tests).
+    #[must_use]
+    pub fn hyperparams(&self, batch: u64) -> Hyperparams {
+        Hyperparams::builder(self.hidden)
+            .heads(self.heads)
+            .layers(self.layers)
+            .seq_len(self.seq_len)
+            .batch(batch)
+            .ff_dim(self.ff_dim)
+            .build()
+            .expect("zoo entries are valid hyperparameters")
+    }
+
+    /// The paper's memory-demand proxy for Figure 6: `H · SL`.
+    #[must_use]
+    pub fn memory_proxy(&self) -> u64 {
+        self.hidden * self.seq_len
+    }
+}
+
+/// The eight models of the paper's Table 2, chronological order.
+#[must_use]
+pub fn table2() -> Vec<ZooModel> {
+    vec![
+        ZooModel {
+            name: "BERT",
+            year: 2018,
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            seq_len: 512,
+            ff_dim: 4096,
+            reported_params_b: 0.34,
+            kind: LayerKind::Encoder,
+        },
+        ZooModel {
+            name: "T5",
+            year: 2019,
+            layers: 24,
+            hidden: 1024,
+            heads: 128,
+            seq_len: 512,
+            ff_dim: 4096,
+            reported_params_b: 11.0,
+            kind: LayerKind::EncoderDecoder,
+        },
+        ZooModel {
+            name: "GPT-2",
+            year: 2019,
+            layers: 48,
+            hidden: 1600,
+            heads: 25,
+            seq_len: 1024,
+            ff_dim: 6400,
+            reported_params_b: 1.54,
+            kind: LayerKind::Decoder,
+        },
+        ZooModel {
+            name: "Megatron-LM",
+            year: 2019,
+            layers: 74,
+            hidden: 3072,
+            heads: 24,
+            seq_len: 1024,
+            ff_dim: 12_288,
+            reported_params_b: 8.3,
+            kind: LayerKind::Decoder,
+        },
+        ZooModel {
+            name: "T-NLG",
+            year: 2020,
+            layers: 78,
+            hidden: 4256,
+            heads: 28,
+            seq_len: 1024,
+            ff_dim: 17_024,
+            reported_params_b: 17.0,
+            kind: LayerKind::Decoder,
+        },
+        ZooModel {
+            name: "GPT-3",
+            year: 2020,
+            layers: 96,
+            hidden: 12_288,
+            heads: 96,
+            seq_len: 2048,
+            ff_dim: 49_152,
+            reported_params_b: 175.0,
+            kind: LayerKind::Decoder,
+        },
+        ZooModel {
+            name: "MT-NLG",
+            year: 2021,
+            layers: 105,
+            hidden: 20_480,
+            heads: 128,
+            seq_len: 2048,
+            ff_dim: 81_920,
+            reported_params_b: 530.0,
+            kind: LayerKind::Decoder,
+        },
+        ZooModel {
+            name: "PaLM",
+            year: 2022,
+            layers: 118,
+            hidden: 18_432,
+            heads: 48,
+            seq_len: 2048,
+            ff_dim: 73_728,
+            reported_params_b: 540.0,
+            kind: LayerKind::Decoder,
+        },
+    ]
+}
+
+/// The 3.9 B-parameter Megatron BERT — the paper's §4.3.2 baseline for TP
+/// scaling (the first public Transformer trained with TP = 8).
+#[must_use]
+pub fn megatron_bert_3_9b() -> ZooModel {
+    ZooModel {
+        name: "Megatron-BERT-3.9B",
+        year: 2019,
+        layers: 48,
+        hidden: 2560,
+        heads: 40,
+        seq_len: 512,
+        ff_dim: 10_240,
+        reported_params_b: 3.9,
+        kind: LayerKind::Encoder,
+    }
+}
+
+/// Futuristic PaLM-like models at `scale` ∈ {1, 2, 3}: hidden sizes 16K,
+/// 32K, 64K (the paper's "PALM-1x/2x/3x" points in Figures 10–14).
+///
+/// # Panics
+/// Panics for scales outside 1..=3.
+#[must_use]
+pub fn palm_future(scale: u8) -> ZooModel {
+    // 256 heads across the board so the sharding the paper projects
+    // (TP up to ~256-550) is actually expressible.
+    let (name, hidden, heads): (&'static str, u64, u64) = match scale {
+        1 => ("PaLM-1x", 16_384, 256),
+        2 => ("PaLM-2x", 32_768, 256),
+        3 => ("PaLM-3x", 65_536, 256),
+        _ => panic!("palm_future supports scales 1..=3, got {scale}"),
+    };
+    ZooModel {
+        name,
+        year: 2024 + u16::from(scale),
+        layers: 128,
+        hidden,
+        heads,
+        seq_len: 4096,
+        ff_dim: 4 * hidden,
+        reported_params_b: 12.0 * (hidden as f64).powi(2) * 128.0 / 1e9,
+        kind: LayerKind::Decoder,
+    }
+}
+
+/// Every model: Table 2 plus the TP baseline and the futuristic points.
+#[must_use]
+pub fn all() -> Vec<ZooModel> {
+    let mut v = table2();
+    v.push(megatron_bert_3_9b());
+    v.extend((1..=3).map(palm_future));
+    v.sort_by(|a, b| (a.year, a.name).cmp(&(b.year, b.name)));
+    v
+}
+
+/// Look up a model by (case-insensitive) name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<ZooModel> {
+    all().into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_eight_models_in_chronological_order() {
+        let t = table2();
+        assert_eq!(t.len(), 8);
+        for w in t.windows(2) {
+            assert!(w[0].year <= w[1].year);
+        }
+        assert_eq!(t[0].name, "BERT");
+        assert_eq!(t[7].name, "PaLM");
+    }
+
+    #[test]
+    fn every_zoo_entry_builds_valid_hyperparams() {
+        for m in all() {
+            let hp = m.hyperparams(1);
+            assert_eq!(hp.hidden(), m.hidden, "{}", m.name);
+            assert_eq!(hp.ff_dim(), m.ff_dim, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn computed_params_track_reported_sizes() {
+        // Within 2x of the reported count for every dense model whose
+        // width is captured by Table 2. T5-11B is excluded: its 11B
+        // parameters come from wide attention projections and a 64K FF
+        // width that the paper's table does not record.
+        for m in table2().into_iter().filter(|m| m.name != "T5") {
+            let hp = m.hyperparams(1);
+            let computed = hp.total_params() as f64 / 1e9;
+            let ratio = computed / m.reported_params_b;
+            assert!(
+                (0.45..=2.2).contains(&ratio),
+                "{}: computed {computed:.2}B vs reported {}B",
+                m.name,
+                m.reported_params_b
+            );
+        }
+    }
+
+    #[test]
+    fn memory_proxy_grows_strongly_across_the_zoo() {
+        // Fig. 6: H*SL demand grows ~70x from BERT to the PaLM/MT-NLG
+        // generation (with small local non-monotonicities, e.g. PaLM's H
+        // is slightly below MT-NLG's).
+        let t = table2();
+        let proxies: Vec<u64> = t.iter().map(ZooModel::memory_proxy).collect();
+        let first = proxies[0] as f64;
+        let peak = *proxies.iter().max().unwrap() as f64;
+        assert!(peak / first > 50.0, "growth {}", peak / first);
+        // Each model demands at least as much as the one two slots back.
+        assert!(proxies.windows(3).all(|w| w[0] <= w[2]));
+    }
+
+    #[test]
+    fn futuristic_models_scale_hidden() {
+        assert_eq!(palm_future(1).hidden, 16_384);
+        assert_eq!(palm_future(2).hidden, 32_768);
+        assert_eq!(palm_future(3).hidden, 65_536);
+        for s in 1..=3 {
+            let m = palm_future(s);
+            assert!(m.reported_params_b > 100.0);
+            let _ = m.hyperparams(1);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("bert").is_some());
+        assert!(by_name("PaLM-3x").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scales 1..=3")]
+    fn palm_future_rejects_bad_scale() {
+        let _ = palm_future(4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Capacity planner: given a published model and a device, find the
+//! parallel configuration it needs and what it costs in communication.
+//!
+//! ```text
+//! cargo run --release --example capacity_planner -- GPT-3
+//! cargo run --release --example capacity_planner            # whole zoo
+//! ```
+//!
+//! For each model: the per-device training memory at increasing TP, the
+//! smallest TP that fits an MI210, and the resulting serialized-
+//! communication share of a training iteration.
+
+use twocs_hw::DeviceSpec;
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::memory::{self, ActivationPolicy, ZeroStage};
+use twocs_transformer::{zoo, ParallelConfig};
+
+const TP_CANDIDATES: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+fn plan(model: &zoo::ZooModel, device: &DeviceSpec) {
+    let hyper = model.hyperparams(1);
+    println!(
+        "\n=== {} ({} , {:.1}B params reported, H={}, SL={}) ===",
+        model.name, model.year, model.reported_params_b, model.hidden, model.seq_len
+    );
+
+    match memory::required_tp(&hyper, device, &TP_CANDIDATES) {
+        Ok(tp) => {
+            let parallel = ParallelConfig::new().tensor(tp).data(8);
+            let mem = memory::training_memory_with(
+                &hyper,
+                &parallel,
+                ActivationPolicy::Checkpointed,
+            );
+            println!("fits {} at TP = {tp}: {mem}", device.name());
+            // Could ZeRO-3 over the DP group buy a smaller TP?
+            for &smaller in TP_CANDIDATES.iter().filter(|&&c| c < tp) {
+                let p = ParallelConfig::new().tensor(smaller).data(8);
+                if p.validate(&hyper).is_ok()
+                    && memory::training_memory_zero(
+                        &hyper,
+                        &p,
+                        ActivationPolicy::Checkpointed,
+                        ZeroStage::Parameters,
+                    )
+                    .total()
+                        <= device.mem_capacity() * 9 / 10
+                {
+                    println!("with ZeRO-3 over DP=8 it would already fit at TP = {smaller}");
+                    break;
+                }
+            }
+
+            // Simulate a few layers to estimate the communication share.
+            let sim_hyper = hyper.clone();
+            let graph = IterationBuilder::new(&sim_hyper, &parallel, device)
+                .layers(4.min(hyper.layers()))
+                .optimizer(false)
+                .build_training();
+            match Engine::new().run(&graph) {
+                Ok(report) => println!(
+                    "serialized communication: {:.1}% of iteration time",
+                    100.0 * report.comm_fraction()
+                ),
+                Err(e) => println!("simulation failed: {e}"),
+            }
+        }
+        Err(e) => println!("does not fit {} at any studied TP: {e}", device.name()),
+    }
+}
+
+fn main() {
+    let device = DeviceSpec::mi210();
+    println!("device: {} ({} GiB)", device.name(), device.mem_capacity() >> 30);
+
+    if let Some(name) = std::env::args().nth(1) {
+        match zoo::by_name(&name) {
+            Some(model) => plan(&model, &device),
+            None => {
+                eprintln!("unknown model `{name}`; available:");
+                for m in zoo::all() {
+                    eprintln!("  {}", m.name);
+                }
+                std::process::exit(1);
+            }
+        }
+    } else {
+        for model in zoo::all() {
+            plan(&model, &device);
+        }
+    }
+}

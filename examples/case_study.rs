@@ -1,0 +1,79 @@
+//! The paper's §4.3.7 end-to-end case study (Figure 14), with a Chrome
+//! trace export for visual inspection.
+//!
+//! ```text
+//! cargo run --release --example case_study
+//! ```
+//!
+//! Simulates a futuristic Transformer (H = 64K, SL = 4K, B = 1) at
+//! TP = 128 + DP on 4×-flop-vs-bw hardware, under three scenarios:
+//! serialized TP only, TP + intra-node DP, and TP + slow inter-node DP
+//! with interference. Writes `out/case_study_trace.json` (load it at
+//! `chrome://tracing` or ui.perfetto.dev).
+
+use std::fs;
+use twocs_core::case_study::{self, Scenario};
+use twocs_hw::{DeviceSpec, HwEvolution};
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::ParallelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Case study: H=64K, B=1, SL=4K, TP=128, flop-vs-bw = 4x\n");
+
+    let scenarios = [
+        ("TP + intra-node DP", Scenario::IntraNode),
+        (
+            "TP + inter-node DP (8x slower links)",
+            Scenario::InterNode {
+                slowdown: 8.0,
+                interference: false,
+            },
+        ),
+        (
+            "TP + inter-node DP + interference",
+            Scenario::InterNode {
+                slowdown: 8.0,
+                interference: true,
+            },
+        ),
+    ];
+    println!(
+        "{:<40} {:>9} {:>12} {:>12} {:>10} {:>14}",
+        "scenario", "iter", "serialized", "overlapped", "exposedDP", "critical comm"
+    );
+    for (label, scenario) in scenarios {
+        let r = case_study::run(scenario, 4.0);
+        println!(
+            "{:<40} {:>7.1}ms {:>11.1}% {:>11.1}% {:>9.1}% {:>13.1}%",
+            label,
+            1e3 * r.makespan,
+            100.0 * r.serialized_fraction,
+            100.0 * r.overlapped_fraction,
+            100.0 * r.exposed_dp_fraction,
+            100.0 * r.critical_comm_fraction(),
+        );
+    }
+
+    // Export a kernel timeline of the intra-node scenario.
+    let device = HwEvolution::flop_vs_bw(4.0).apply(&DeviceSpec::mi210());
+    let hyper = case_study::case_hyper();
+    let parallel = ParallelConfig::new().tensor(128).data(4);
+    let graph = IterationBuilder::new(&hyper, &parallel, &device)
+        .optimizer(false)
+        .build_training();
+    let timeline = Engine::new().run_trace(&graph)?;
+    println!("\ntimeline (intra-node scenario):");
+    print!("{}", timeline.to_ascii_gantt(100));
+    println!("\ntop kernels:");
+    for stat in timeline.kernel_summary(6) {
+        println!("  {stat}");
+    }
+    fs::create_dir_all("out")?;
+    fs::write("out/case_study_trace.json", timeline.to_chrome_trace())?;
+    println!(
+        "\nwrote out/case_study_trace.json ({} kernel records) — open in chrome://tracing",
+        timeline.records().len()
+    );
+    Ok(())
+}

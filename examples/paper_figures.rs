@@ -1,0 +1,39 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release --example paper_figures            # all artifacts
+//! cargo run --release --example paper_figures -- fig10   # one artifact
+//! ```
+//!
+//! Prints each artifact as an ASCII table and writes CSVs to `out/`.
+
+use std::fs;
+use std::path::Path;
+use twocs_core::experiments;
+use twocs_hw::DeviceSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let filter: Option<String> = std::env::args().nth(1);
+    let device = DeviceSpec::mi210();
+    let out_dir = Path::new("out");
+    fs::create_dir_all(out_dir)?;
+
+    for def in experiments::all() {
+        if let Some(f) = &filter {
+            if def.id != f {
+                continue;
+            }
+        }
+        eprintln!("running {} ...", def.id);
+        let output = (def.run)(&device);
+        println!("{}", "=".repeat(72));
+        println!("{} — {}", def.id, def.title);
+        println!("paper claim: {}", def.paper_claim);
+        println!("{}", "-".repeat(72));
+        println!("{}", output.to_ascii());
+        let csv_path = out_dir.join(format!("{}.csv", def.id));
+        fs::write(&csv_path, output.to_csv())?;
+        eprintln!("wrote {}", csv_path.display());
+    }
+    Ok(())
+}

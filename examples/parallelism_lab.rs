@@ -1,0 +1,82 @@
+//! Parallelism lab: compare the distributed-training mechanisms the paper
+//! discusses (§2.3, §6.1) on one model under the simulator.
+//!
+//! ```text
+//! cargo run --release --example parallelism_lab
+//! ```
+//!
+//! For an 8-layer H=8K model: DDP all-reduce vs. ZeRO-sharded DP, dense vs.
+//! MoE layers, and a GPipe pipeline at several micro-batch counts.
+
+use twocs_hw::DeviceSpec;
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::{DpStrategy, IterationBuilder};
+use twocs_transformer::moe::MoeConfig;
+use twocs_transformer::pipeline::{build_pipeline_forward, PipelineSchedule};
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = DeviceSpec::mi210();
+    let hyper = Hyperparams::builder(8192)
+        .heads(64)
+        .layers(8)
+        .seq_len(2048)
+        .batch(1)
+        .build()?;
+    let parallel = ParallelConfig::new().tensor(16).data(8);
+
+    println!("model: {hyper}\nparallel: {parallel}\n");
+
+    // 1. DDP all-reduce vs ZeRO-sharded data parallelism.
+    println!("-- data-parallel gradient synchronization --");
+    for (label, strategy) in [
+        ("DDP all-reduce (overlapped)", DpStrategy::AllReduce),
+        ("ZeRO shard (RS + param AG)", DpStrategy::ZeroShard),
+    ] {
+        let graph = IterationBuilder::new(&hyper, &parallel, &device)
+            .dp_strategy(strategy)
+            .build_training();
+        let r = Engine::new().run(&graph)?;
+        println!(
+            "{label:<30} iter {:>9}  comm {:>9} (exposed {:>9})",
+            r.makespan(),
+            r.comm_time(),
+            r.exposed_comm_time()
+        );
+    }
+
+    // 2. Dense vs MoE layers (equal hidden size, 8 experts).
+    println!("\n-- dense vs mixture-of-experts --");
+    let moe_parallel = ParallelConfig::new().tensor(16).data(2).expert(8);
+    let builder = IterationBuilder::new(&hyper, &moe_parallel, &device).optimizer(false);
+    let dense = Engine::new().run(&builder.build_training())?;
+    let moe = Engine::new().run(&builder.build_moe_training(&MoeConfig::switch(8)))?;
+    println!(
+        "dense layers                   iter {:>9}  exposed comm {:>9} ({:.1}%)",
+        dense.makespan(),
+        dense.exposed_comm_time(),
+        100.0 * dense.comm_fraction()
+    );
+    println!(
+        "MoE layers (8 experts, top-1)  iter {:>9}  exposed comm {:>9} ({:.1}%)",
+        moe.makespan(),
+        moe.exposed_comm_time(),
+        100.0 * moe.comm_fraction()
+    );
+
+    // 3. Pipeline bubble vs micro-batch count.
+    println!("\n-- GPipe pipeline (4 stages), forward pass --");
+    let pp_hyper = hyper.clone().with_batch(16);
+    let pp_parallel = ParallelConfig::new().pipeline(4);
+    for micro in [2u64, 4, 8, 32] {
+        let schedule = PipelineSchedule::new(4, micro);
+        let g = build_pipeline_forward(&pp_hyper, &pp_parallel, &device, &schedule);
+        let r = Engine::new().run(&g)?;
+        println!(
+            "micro-batches {micro:>3}: iter {:>9}  (analytic bubble {:.0}%)",
+            r.makespan(),
+            100.0 * schedule.bubble_fraction()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: how much of a future Transformer's training time goes to
+//! communication?
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a PaLM-1×-class model (H = 16K), shards it TP = 64 / DP = 8 on
+//! MI210-class hardware, simulates one training iteration, and prints the
+//! compute/communication breakdown — today and under the paper's 4×
+//! flop-vs.-bw hardware evolution.
+
+use twocs_hw::{DeviceSpec, HwEvolution};
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A futuristic PaLM-1x-class Transformer: H = 16K, SL = 2K, B = 1.
+    let hyper = Hyperparams::builder(16_384)
+        .heads(128)
+        .layers(8) // per-layer structure repeats; 8 layers keep the demo fast
+        .seq_len(2048)
+        .batch(1)
+        .build()?;
+    let parallel = ParallelConfig::new().tensor(64).data(8);
+    parallel.validate(&hyper)?;
+
+    println!("model:    {hyper}");
+    println!("parallel: {parallel} ({} devices)\n", parallel.devices());
+
+    for (label, device) in [
+        ("today (MI210 node)", DeviceSpec::mi210()),
+        (
+            "future (4x flop-vs-bw)",
+            HwEvolution::flop_vs_bw(4.0).apply(&DeviceSpec::mi210()),
+        ),
+    ] {
+        let graph = IterationBuilder::new(&hyper, &parallel, &device).build_training();
+        let report = Engine::new().run(&graph)?;
+        println!("--- {label} ---");
+        println!(
+            "iteration: {}   compute: {}   comm: {} (exposed {})",
+            report.makespan(),
+            report.compute_time(),
+            report.comm_time(),
+            report.exposed_comm_time(),
+        );
+        println!(
+            "=> {:.1}% of training time is communication on the critical path\n",
+            100.0 * report.comm_fraction()
+        );
+    }
+    Ok(())
+}

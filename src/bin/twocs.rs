@@ -1,0 +1,118 @@
+//! `twocs` — command-line front end for the Comp-vs-Comm analysis.
+//!
+//! ```text
+//! twocs list                         # registered experiments
+//! twocs run fig10 [--csv]            # regenerate one artifact
+//! twocs run all                      # everything, paper order
+//! twocs analyze --h 16384 --sl 2048 --b 1 --tp 64 [--dp 8] [--flop-vs-bw 4]
+//! ```
+
+use std::process::ExitCode;
+use twocs::analysis::experiments;
+use twocs::hw::{DeviceSpec, HwEvolution};
+use twocs::sim::Engine;
+use twocs::transformer::graph_builder::IterationBuilder;
+use twocs::transformer::{Hyperparams, ParallelConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for def in experiments::all() {
+                println!("{:<8} {:<38} {}", def.id, def.title, def.paper_claim);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(id) = args.get(1) else {
+                return usage();
+            };
+            let csv = args.iter().any(|a| a == "--csv");
+            let device = DeviceSpec::mi210();
+            let defs: Vec<_> = if id == "all" {
+                experiments::all()
+            } else {
+                match experiments::by_id(id) {
+                    Some(d) => vec![d],
+                    None => {
+                        eprintln!("unknown experiment `{id}`; try `twocs list`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            for def in defs {
+                let out = (def.run)(&device);
+                if csv {
+                    println!("{}", out.to_csv());
+                } else {
+                    println!("{}", out.to_ascii());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("analyze") => match analyze(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let h = flag(args, "--h").ok_or("--h <hidden size> is required")?;
+    let sl = flag(args, "--sl").unwrap_or(2048);
+    let b = flag(args, "--b").unwrap_or(1);
+    let tp = flag(args, "--tp").unwrap_or(1);
+    let dp = flag(args, "--dp").unwrap_or(1);
+    let ratio = flag(args, "--flop-vs-bw").unwrap_or(1) as f64;
+
+    let heads = (h / 64).clamp(16, 256);
+    let hyper = Hyperparams::builder(h)
+        .heads(heads)
+        .layers(4)
+        .seq_len(sl)
+        .batch(b)
+        .build()?;
+    let parallel = ParallelConfig::new().tensor(tp).data(dp);
+    parallel.validate(&hyper)?;
+
+    let device = if ratio > 1.0 {
+        HwEvolution::flop_vs_bw(ratio).apply(&DeviceSpec::mi210())
+    } else {
+        DeviceSpec::mi210()
+    };
+    println!("model:    {hyper}");
+    println!("parallel: {parallel}");
+    println!("device:   {}\n", device.name());
+
+    let graph = IterationBuilder::new(&hyper, &parallel, &device).build_training();
+    let timeline = Engine::new().run_trace(&graph)?;
+    let report = twocs::sim::SimReport::from_timeline(&timeline);
+    print!("{report}");
+    println!("\ntop kernels:");
+    for stat in timeline.kernel_summary(8) {
+        println!("  {stat}");
+    }
+    println!(
+        "\n=> {:.1}% of the training iteration is communication on the critical path",
+        100.0 * report.comm_fraction()
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # twocs — Tale of Two Cs, reproduced in Rust
+//!
+//! Facade crate re-exporting the whole workspace. See the individual
+//! crates for details:
+//!
+//! * [`hw`] — accelerator & interconnect models and hardware evolution.
+//! * [`sim`] — the deterministic discrete-event cluster simulator.
+//! * [`collectives`] — collective algorithms, costs, and the data plane.
+//! * [`transformer`] — Transformer training workloads as operator graphs.
+//! * [`opmodel`] — the paper's operator-level projection methodology.
+//! * [`analysis`] — the Comp-vs-Comm analysis and experiment registry.
+//!
+//! ## Example
+//!
+//! ```
+//! use twocs::analysis::experiments;
+//! use twocs::hw::DeviceSpec;
+//!
+//! let fig7 = experiments::by_id("fig07").expect("registered");
+//! let out = (fig7.run)(&DeviceSpec::mi210());
+//! assert!(out.to_ascii().contains("slack"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use twocs_collectives as collectives;
+pub use twocs_core as analysis;
+pub use twocs_hw as hw;
+pub use twocs_opmodel as opmodel;
+pub use twocs_sim as sim;
+pub use twocs_transformer as transformer;

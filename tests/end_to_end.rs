@@ -1,0 +1,179 @@
+//! End-to-end workflows across crates: the paths a downstream user of the
+//! library would actually take.
+
+use twocs_hw::{DeviceSpec, Precision};
+use twocs_sim::Engine;
+use twocs_transformer::graph_builder::IterationBuilder;
+use twocs_transformer::memory;
+use twocs_transformer::moe::{moe_ffn_forward, MoeConfig};
+use twocs_transformer::pipeline::{boundary_transfer, PipelineSchedule};
+use twocs_transformer::{zoo, Hyperparams, ParallelConfig};
+
+/// TP candidates valid for a model: divisors of its head count (Megatron
+/// requires `TP | heads` and `TP | H`).
+fn tp_candidates(hyper: &Hyperparams) -> Vec<u64> {
+    (1..=hyper.heads())
+        .filter(|tp| hyper.heads().is_multiple_of(*tp) && hyper.hidden().is_multiple_of(*tp))
+        .collect()
+}
+
+#[test]
+fn zoo_to_simulation_workflow() {
+    // Pick a published model, find its TP, simulate an iteration.
+    let device = DeviceSpec::mi210();
+    let model = zoo::by_name("T-NLG").expect("in the zoo");
+    let hyper = model.hyperparams(1);
+    let tp = memory::required_tp(&hyper, &device, &tp_candidates(&hyper))
+        .expect("fits at some TP");
+    assert!(tp >= 2, "a 17B model cannot fit one 64 GiB device");
+    let parallel = ParallelConfig::new().tensor(tp).data(4);
+    parallel.validate(&hyper).expect("candidates are valid shardings");
+    let graph = IterationBuilder::new(&hyper, &parallel, &device)
+        .layers(4)
+        .build_training();
+    let report = Engine::new().run(&graph).expect("valid graph");
+    assert!(report.makespan().as_secs_f64() > 0.0);
+    assert!(report.comm_fraction() > 0.0 && report.comm_fraction() < 1.0);
+}
+
+#[test]
+fn every_zoo_model_gets_a_memory_verdict() {
+    let device = DeviceSpec::mi210();
+    let mut fits_on_one = 0;
+    for model in zoo::all() {
+        let hyper = model.hyperparams(1);
+        if memory::fits(&hyper, &ParallelConfig::new(), &device, 0.1) {
+            fits_on_one += 1;
+        }
+    }
+    // Only the small early models fit a single device.
+    assert!((1..=4).contains(&fits_on_one), "{fits_on_one} models fit one GPU");
+}
+
+#[test]
+fn training_beats_inference_and_scales_with_layers() {
+    let device = DeviceSpec::mi210();
+    let hyper = Hyperparams::builder(4096)
+        .heads(32)
+        .layers(8)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .unwrap();
+    let par = ParallelConfig::new().tensor(8);
+    let builder = IterationBuilder::new(&hyper, &par, &device);
+    let train = Engine::new().run(&builder.build_training()).unwrap();
+    let infer = Engine::new().run(&builder.build_inference()).unwrap();
+    // Training = forward + ~2x backward (+ optimizer): at least 2.5x.
+    let ratio = train.makespan().as_secs_f64() / infer.makespan().as_secs_f64();
+    assert!(ratio > 2.5, "train/inference ratio {ratio}");
+}
+
+#[test]
+fn moe_adds_critical_path_alltoall() {
+    // §6.1.1: expert parallelism puts two all-to-alls per MoE layer on the
+    // critical path.
+    let hyper = Hyperparams::builder(4096).heads(32).seq_len(2048).batch(1).build().unwrap();
+    let par = ParallelConfig::new().tensor(4).expert(8);
+    let moe = MoeConfig::switch(8);
+    let ops = moe_ffn_forward(&hyper, &par, &moe);
+    let serialized: usize = ops.iter().filter(|o| o.is_serialized_comm()).count();
+    assert!(serialized >= 3, "TP AR + 2 all-to-alls, got {serialized}");
+
+    // And MoE compute is far below the equal-capacity dense model.
+    let ratio = twocs_transformer::moe::flops_ratio_vs_dense(&hyper, &par, &moe);
+    assert!(ratio < 0.3, "MoE flops ratio {ratio}");
+}
+
+#[test]
+fn pipeline_bubble_fraction_and_transfer_costs() {
+    // §6.1.2: few micro-batches -> large bubble; the boundary transfer is
+    // tiny next to a stage's compute.
+    let device = DeviceSpec::mi210();
+    let hyper = Hyperparams::builder(8192).heads(64).layers(32).seq_len(2048).batch(8).build().unwrap();
+    let schedule = PipelineSchedule::new(8, 8);
+    assert!((schedule.bubble_fraction() - 7.0 / 15.0).abs() < 1e-12);
+
+    let op = boundary_transfer(&hyper, &schedule);
+    let comm_model = twocs_collectives::CollectiveCostModel::default();
+    let p2p = op.time_on(&device, hyper.precision(), &comm_model);
+
+    // Stage time for the full batch: 4 layers of forward compute.
+    let par = ParallelConfig::new();
+    let profiler = twocs_opmodel::Profiler::new(device.clone());
+    let layer = profiler.profile_layer(&hyper, &par);
+    let stage = layer.compute_time() * 4.0;
+    let iter = schedule.iteration_time(stage, p2p);
+    assert!(iter > stage, "pipelining can't beat one stage's work");
+    assert!(p2p < 0.05 * stage, "p2p {p2p} should be small next to {stage}");
+}
+
+#[test]
+fn precision_sweep_shifts_compute_but_not_bytes_linearly() {
+    // §6.2: fp16 -> fp8 doubles peak compute, halves bytes; fraction of
+    // communication should not fall.
+    let device = DeviceSpec::mi210();
+    let par = ParallelConfig::new().tensor(64);
+    let frac = |prec: Precision| {
+        let hyper = Hyperparams::builder(16_384)
+            .heads(256)
+            .layers(2)
+            .seq_len(2048)
+            .batch(1)
+            .precision(prec)
+            .build()
+            .unwrap();
+        let graph = IterationBuilder::new(&hyper, &par, &device)
+            .optimizer(false)
+            .build_training();
+        Engine::new().run(&graph).unwrap().comm_fraction()
+    };
+    let f32f = frac(Precision::Fp32);
+    let f16f = frac(Precision::Fp16);
+    let f8f = frac(Precision::Fp8);
+    assert!(f16f >= 0.9 * f32f, "fp16 {f16f} vs fp32 {f32f}");
+    assert!(f8f >= 0.9 * f16f, "fp8 {f8f} vs fp16 {f16f}");
+}
+
+#[test]
+fn pin_mode_halves_serialized_comm_time() {
+    // §5 Technique 2: processing-in-network doubles effective all-reduce
+    // bandwidth, roughly halving serialized communication time.
+    use twocs_hw::PinMode;
+    let device = DeviceSpec::mi210();
+    let hyper = Hyperparams::builder(16_384)
+        .heads(256)
+        .layers(2)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .unwrap();
+    let par = ParallelConfig::new().tensor(64);
+    let base = Engine::new()
+        .run(&IterationBuilder::new(&hyper, &par, &device).optimizer(false).build_training())
+        .unwrap();
+    let pin_device = device
+        .clone()
+        .with_network(device.network().with_pin_mode(PinMode::InSwitch));
+    let pin = Engine::new()
+        .run(&IterationBuilder::new(&hyper, &par, &pin_device).optimizer(false).build_training())
+        .unwrap();
+    let ratio = base.comm_time().as_secs_f64() / pin.comm_time().as_secs_f64();
+    assert!((1.6..=2.2).contains(&ratio), "PIN comm speedup {ratio}");
+    assert!(pin.makespan() < base.makespan());
+}
+
+#[test]
+fn chrome_trace_export_is_well_formed_for_full_iteration() {
+    let device = DeviceSpec::mi210();
+    let hyper = Hyperparams::builder(4096).heads(32).layers(2).seq_len(1024).batch(1).build().unwrap();
+    let par = ParallelConfig::new().tensor(8).data(4);
+    let timeline = Engine::new()
+        .run_trace(&IterationBuilder::new(&hyper, &par, &device).build_training())
+        .unwrap();
+    let json = timeline.to_chrome_trace();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    // One record per op per layer plus DP ARs and optimizer.
+    assert!(timeline.records().len() > 50);
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), timeline.records().len());
+}

@@ -1,0 +1,150 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! spanning all crates: hardware models → workload generation → simulation
+//! → analysis.
+//!
+//! These are *shape* checks with generous tolerances: the substrate is a
+//! simulator, so orderings, monotonicity, crossovers, and coarse bands are
+//! the reproducible quantities — not absolute microseconds.
+
+use twocs_core::evolution::{serialized_bands, HIGHLIGHTED_CONFIGS};
+use twocs_core::serialized::{comm_fraction, sweep_hyper, Method};
+use twocs_core::{case_study, overlapped, trends};
+use twocs_hw::{DeviceSpec, HwEvolution, Precision};
+use twocs_opmodel::cost_accounting;
+use twocs_opmodel::validation;
+use twocs_transformer::ParallelConfig;
+
+fn mi210() -> DeviceSpec {
+    DeviceSpec::mi210()
+}
+
+#[test]
+fn claim_serialized_comm_up_to_half_of_training_time_today() {
+    // Abstract: "up to 50% of a future Transformer's training time will
+    // be spent communicating data."
+    let worst = HIGHLIGHTED_CONFIGS
+        .iter()
+        .map(|&(h, sl, tp)| {
+            comm_fraction(
+                &mi210(),
+                &sweep_hyper(h, sl, 1),
+                &ParallelConfig::new().tensor(tp),
+                Method::Simulation,
+            )
+        })
+        .fold(0.0f64, f64::max);
+    assert!((0.40..=0.60).contains(&worst), "worst-case fraction {worst}");
+}
+
+#[test]
+fn claim_75_percent_under_4x_hardware_evolution() {
+    // Abstract: "> 75% of training execution" under continued hardware
+    // trends.
+    let bands = serialized_bands(&mi210(), Method::Simulation);
+    let (scale, (_, hi)) = bands[2];
+    assert_eq!(scale, 4.0);
+    assert!((0.68..=0.88).contains(&(hi / 100.0)), "4x high end {hi}%");
+}
+
+#[test]
+fn claim_hidden_communication_becomes_exposed() {
+    // Abstract: "communication which is hidden by overlapped computation
+    // in today's models often cannot be hidden in future, larger models."
+    let today = overlapped::overlap_pct(&mi210(), 4096, 2048, 16, 4);
+    assert!(today < 100.0, "hidden today: {today}%");
+    let future = HwEvolution::flop_vs_bw(4.0).apply(&mi210());
+    let evolved = overlapped::overlap_pct(&future, 4096, 2048, 16, 4);
+    assert!(evolved > 100.0, "exposed in the future: {evolved}%");
+}
+
+#[test]
+fn claim_edge_and_slack_erode_with_model_scaling() {
+    // §3.5 / Fig. 7: slack -75%, edge -80% from BERT to the PaLM era.
+    let fig = trends::normalized_scaling_figure();
+    let slack_final = fig.series[0].points.last().unwrap().1;
+    let edge_final = fig.series[1].points.last().unwrap().1;
+    assert!(slack_final < 0.4, "slack should erode: {slack_final}");
+    assert!(edge_final < 0.35, "edge should erode: {edge_final}");
+    // And both started at 1.0 (BERT-normalized).
+    assert!((fig.series[0].points[0].1 - 1.0).abs() < 1e-9);
+    assert!((fig.series[1].points[0].1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn claim_operator_models_are_accurate() {
+    // §4.3.8 / Fig. 15: GEMM <15%, LayerNorm ~7%, all-reduce ~11% geomean
+    // error.
+    for sweep in validation::figure15_suite(&mi210()) {
+        let err = sweep.geomean_error();
+        assert!(err < 0.20, "{}: geomean error {:.1}%", sweep.label, 100.0 * err);
+    }
+}
+
+#[test]
+fn claim_profiling_strategy_saves_three_orders_of_magnitude() {
+    let report = cost_accounting::account(&mi210());
+    assert!(report.speedup() > 1_000.0, "speedup {}", report.speedup());
+    assert!(
+        (1.3..=1.7).contains(&report.roi_speedup()),
+        "ROI speedup {}",
+        report.roi_speedup()
+    );
+    assert!(report.configs >= 150, "sweep of {} configs", report.configs);
+}
+
+#[test]
+fn claim_case_study_47_percent_serialized() {
+    // Fig. 14: 47% serialized, 9% overlapped (hidden) at H=64K, SL=4K,
+    // B=1, TP=128, 4x flop-vs-bw.
+    let r = case_study::run(case_study::Scenario::IntraNode, 4.0);
+    assert!(
+        (0.42..=0.60).contains(&r.serialized_fraction),
+        "serialized {:.1}%",
+        100.0 * r.serialized_fraction
+    );
+    assert!(r.dp_fully_hidden());
+}
+
+#[test]
+fn claim_fraction_monotone_in_tp_and_antitone_in_h() {
+    // Fig. 10's structure across the whole sweep.
+    let device = mi210();
+    for &(h, sl) in &[(16_384u64, 2048u64), (65_536, 2048)] {
+        let hyper = sweep_hyper(h, sl, 1);
+        let mut prev = 0.0;
+        for tp in [16u64, 64, 256] {
+            let f = comm_fraction(
+                &device,
+                &hyper,
+                &ParallelConfig::new().tensor(tp),
+                Method::Simulation,
+            );
+            assert!(f > prev, "H={h}: fraction must grow with TP ({f} after {prev})");
+            prev = f;
+        }
+    }
+}
+
+#[test]
+fn claim_reduced_precision_preserves_takeaways() {
+    // §6.2: compute scales super-linearly with narrower formats while
+    // bytes scale linearly, so communication fractions do not improve —
+    // the Comp-vs-Comm takeaways carry over.
+    let device = mi210();
+    let par = ParallelConfig::new().tensor(64);
+    let fp16 = comm_fraction(
+        &device,
+        &sweep_hyper(16_384, 2048, 1),
+        &par,
+        Method::Simulation,
+    );
+    let fp32 = comm_fraction(
+        &device,
+        &sweep_hyper(16_384, 2048, 1).with_precision(Precision::Fp32),
+        &par,
+        Method::Simulation,
+    );
+    // fp16 compute is 4x faster but bytes only halve: fraction is at
+    // least as high as at fp32.
+    assert!(fp16 >= fp32 * 0.95, "fp16 {fp16} vs fp32 {fp32}");
+}
