@@ -4,8 +4,9 @@
 //! takeaway) and then times the cheap variant under Criterion so the
 //! harness stays fast.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use twocs_bench::harness::Criterion;
+use twocs_bench::{criterion_group, criterion_main};
 use twocs_collectives::algorithm::Algorithm;
 use twocs_collectives::{Collective, CollectiveCostModel};
 use twocs_hw::gemm::GemmShape;
@@ -21,7 +22,10 @@ fn ablation_collectives(c: &mut Criterion) {
     let link = dev.network().intra_node();
     let model = CollectiveCostModel::default();
     println!("== ablation: collective algorithm (all-reduce time, 64 ranks) ==");
-    println!("{:>12}  {:>10}  {:>10}  {:>10}", "bytes", "ring", "tree", "halv-doub");
+    println!(
+        "{:>12}  {:>10}  {:>10}  {:>10}",
+        "bytes", "ring", "tree", "halv-doub"
+    );
     for shift in [14u32, 20, 26, 30] {
         let bytes = 1u64 << shift;
         let t = |alg| model.time_on_link(Collective::AllReduce, alg, bytes, 64, &link);
@@ -34,7 +38,9 @@ fn ablation_collectives(c: &mut Criterion) {
         );
     }
     let mut group = c.benchmark_group("ablations");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("collective_cost_eval", |b| {
         b.iter(|| {
             model.time_on_link(
@@ -54,7 +60,10 @@ fn ablation_collectives(c: &mut Criterion) {
 fn ablation_gemm_efficiency(c: &mut Criterion) {
     let dev = DeviceSpec::mi210();
     println!("== ablation: GEMM kernel-catalog efficiency vs ideal peak ==");
-    println!("{:>24}  {:>10}  {:>10}  {:>6}", "shape", "modelled", "ideal", "eff");
+    println!(
+        "{:>24}  {:>10}  {:>10}  {:>6}",
+        "shape", "modelled", "ideal", "eff"
+    );
     for shape in [
         GemmShape::new(512, 512, 512),
         GemmShape::new(2048, 1024, 256),
@@ -72,9 +81,16 @@ fn ablation_gemm_efficiency(c: &mut Criterion) {
         );
     }
     let mut group = c.benchmark_group("ablations");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("gemm_model_eval", |b| {
-        b.iter(|| dev.gemm_time(std::hint::black_box(GemmShape::new(4096, 4096, 4096)), Precision::Fp16));
+        b.iter(|| {
+            dev.gemm_time(
+                std::hint::black_box(GemmShape::new(4096, 4096, 4096)),
+                Precision::Fp16,
+            )
+        });
     });
     group.finish();
 }
@@ -104,7 +120,9 @@ fn ablation_interference(c: &mut Criterion) {
         100.0 * (noisy.makespan().as_secs_f64() / clean.makespan().as_secs_f64() - 1.0),
     );
     let mut group = c.benchmark_group("ablations");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     group.bench_function("interference_run", |b| {
         b.iter(|| {
             Engine::new()
@@ -175,7 +193,9 @@ fn ablation_buckets(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("ablations");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     group.bench_function("bucketed_iteration", |b| {
         b.iter(|| Engine::new().run(std::hint::black_box(&bucketed)).unwrap());
     });
@@ -200,7 +220,10 @@ fn ablation_fusion(c: &mut Criterion) {
     println!("== ablation: kernel fusion (one forward layer, H=8K, TP=16) ==");
     for fusion in [Fusion::None, Fusion::Epilogue, Fusion::Flash] {
         let ops = encoder_layer_forward_fused(&hyper, &par, fusion);
-        let total: f64 = ops.iter().map(|o| o.time_on(&dev, Precision::Fp16, &cm)).sum();
+        let total: f64 = ops
+            .iter()
+            .map(|o| o.time_on(&dev, Precision::Fp16, &cm))
+            .sum();
         let comm: f64 = ops
             .iter()
             .filter(|o| o.is_comm())
@@ -215,7 +238,9 @@ fn ablation_fusion(c: &mut Criterion) {
         );
     }
     let mut group = c.benchmark_group("ablations");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("fused_layer_generation", |b| {
         b.iter(|| encoder_layer_forward_fused(&hyper, &par, std::hint::black_box(Fusion::Flash)));
     });

@@ -2,9 +2,10 @@
 //! regenerated artifact once (the reproduction output), then times its
 //! generator under Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use twocs_bench::harness::Criterion;
 use twocs_bench::render_experiment;
+use twocs_bench::{criterion_group, criterion_main};
 use twocs_core::experiments;
 use twocs_hw::DeviceSpec;
 
@@ -16,7 +17,9 @@ fn bench_experiment(c: &mut Criterion, id: &'static str) {
     let def = experiments::by_id(id).expect("registered experiment");
     let device = DeviceSpec::mi210();
     let mut group = c.benchmark_group("paper");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function(id, |b| b.iter(|| std::hint::black_box((def.run)(&device))));
     group.finish();
 }

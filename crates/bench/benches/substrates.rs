@@ -2,8 +2,9 @@
 //! collective schedule generation and execution, and hardware-model
 //! evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use twocs_bench::harness::{BenchmarkId, Criterion};
+use twocs_bench::{criterion_group, criterion_main};
 use twocs_collectives::algorithm::{Algorithm, Collective};
 use twocs_collectives::dataplane;
 use twocs_hw::gemm::GemmShape;
@@ -70,7 +71,9 @@ fn collective_schedules(c: &mut Criterion) {
     }
     group.bench_function("dataplane_allreduce_8x64k", |b| {
         let inputs: Vec<Vec<f32>> = (0..8).map(|r| vec![r as f32; 65_536]).collect();
-        b.iter(|| dataplane::run_allreduce(Algorithm::Ring, std::hint::black_box(&inputs)).unwrap());
+        b.iter(|| {
+            dataplane::run_allreduce(Algorithm::Ring, std::hint::black_box(&inputs)).unwrap()
+        });
     });
     group.finish();
 }

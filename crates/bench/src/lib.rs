@@ -1,6 +1,7 @@
 //! # twocs-bench — the benchmark harness
 //!
-//! Three Criterion bench binaries:
+//! Three bench binaries, driven by the in-repo [`harness`] (a small,
+//! std-only Criterion-compatible timer so the workspace builds offline):
 //!
 //! * `paper_figures` — one benchmark group per paper table/figure. Each
 //!   group first *prints* the regenerated rows/series (the reproduction
@@ -15,6 +16,8 @@
 //! Run everything with `cargo bench -p twocs-bench`.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use twocs_core::experiments;
 use twocs_hw::DeviceSpec;

@@ -104,9 +104,7 @@ impl Algorithm {
             return Err(CollectiveError::TooFewParticipants { participants });
         }
         match (collective, self) {
-            (Collective::AllReduce, Algorithm::Ring) => {
-                Ok(ring_allreduce(participants, elements))
-            }
+            (Collective::AllReduce, Algorithm::Ring) => Ok(ring_allreduce(participants, elements)),
             (Collective::AllReduce, Algorithm::Tree) => Ok(tree_allreduce(participants, elements)),
             (Collective::AllReduce, Algorithm::HalvingDoubling) => {
                 if !participants.is_power_of_two() {
@@ -120,9 +118,7 @@ impl Algorithm {
             (Collective::ReduceScatter, Algorithm::Ring) => {
                 Ok(ring_reduce_scatter(participants, elements))
             }
-            (Collective::AllGather, Algorithm::Ring) => {
-                Ok(ring_all_gather(participants, elements))
-            }
+            (Collective::AllGather, Algorithm::Ring) => Ok(ring_all_gather(participants, elements)),
             (Collective::AllToAll, Algorithm::Direct | Algorithm::Ring) => {
                 Ok(direct_all_to_all(participants, elements))
             }
@@ -130,7 +126,11 @@ impl Algorithm {
                 Ok(tree_broadcast(participants, elements))
             }
             (c, a) => Err(CollectiveError::MismatchedBuffers {
-                detail: format!("{} is not implemented with the {} algorithm", c.name(), a.name()),
+                detail: format!(
+                    "{} is not implemented with the {} algorithm",
+                    c.name(),
+                    a.name()
+                ),
             }),
         }
     }
@@ -529,7 +529,9 @@ mod tests {
     #[test]
     fn non_divisible_elements_still_schedule() {
         // 7 elements over 4 ranks: chunks of 2,2,2,1.
-        let s = Algorithm::Ring.schedule(Collective::AllReduce, 4, 7).unwrap();
+        let s = Algorithm::Ring
+            .schedule(Collective::AllReduce, 4, 7)
+            .unwrap();
         let total: usize = (0..4).map(|r| s.elements_sent_by(r)).sum();
         // Every chunk crosses the ring 2*(n-1) times in aggregate.
         assert_eq!(total, 7 * 2 * 3); // 2(N-1)/N * S * N = 2*3*7

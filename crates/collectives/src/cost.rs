@@ -15,8 +15,31 @@
 //!   Fig. 15(c).
 
 use crate::algorithm::{Algorithm, Collective};
+use std::sync::LazyLock;
+use twocs_hw::cache::{CacheStats, MemoCache};
 use twocs_hw::network::{LinkSpec, NetworkSpec};
 use twocs_hw::topology::Topology;
+
+/// Cache key for [`CollectiveCostModel::node_time`]: the collective kind,
+/// payload, rank count, the node's effective ring-all-reduce bandwidth
+/// (which already folds in the PIN mode), and the model's two constants.
+type NodeTimeKey = (u8, u64, u64, u64, u64, u64);
+
+/// Global memo table for [`CollectiveCostModel::node_time`]. The sweep
+/// engine prices the same (collective, bytes, ranks, node) query for every
+/// grid point that shares a hardware configuration.
+static NODE_TIME: LazyLock<MemoCache<NodeTimeKey, f64>> = LazyLock::new(MemoCache::new);
+
+/// Counters of the global collective-cost cache.
+#[must_use]
+pub fn node_time_cache_stats() -> CacheStats {
+    NODE_TIME.stats()
+}
+
+/// Empty the global collective-cost cache and zero its counters.
+pub fn clear_node_time_cache() {
+    NODE_TIME.clear();
+}
 
 /// Tunable constants of the analytic cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,8 +136,7 @@ impl CollectiveCostModel {
             (Collective::AllReduce, Algorithm::HalvingDoubling) => {
                 let phase_bytes = s * (n as f64 - 1.0) / n as f64;
                 let avg_chunk = (phase_bytes / (steps / 2.0)).max(1.0) as u64;
-                steps * link.latency()
-                    + 2.0 * phase_bytes / link.effective_bandwidth(avg_chunk)
+                steps * link.latency() + 2.0 * phase_bytes / link.effective_bandwidth(avg_chunk)
             }
             // Chunked ring-style: S/N per step.
             _ => {
@@ -130,21 +152,41 @@ impl CollectiveCostModel {
     /// `t = steps·α + payload / (B_alg · sat(S/N))`, where `payload` is the
     /// all-reduce-normalized volume (all-gather and reduce-scatter move
     /// half an all-reduce; all-to-all likewise).
+    ///
+    /// Memoized globally (see [`node_time_cache_stats`]): the analysis
+    /// sweeps re-price identical collectives for every grid point that
+    /// shares a hardware configuration.
     #[must_use]
-    pub fn node_time(&self, collective: Collective, bytes: u64, n: usize, net: &NetworkSpec) -> f64 {
+    pub fn node_time(
+        &self,
+        collective: Collective,
+        bytes: u64,
+        n: usize,
+        net: &NetworkSpec,
+    ) -> f64 {
         if n < 2 || bytes == 0 {
             return 0.0;
         }
-        let steps = Self::steps(Algorithm::Ring, collective, n) as f64;
-        let s = bytes as f64;
-        let chunk = s / n as f64;
-        let bw = net.ring_allreduce_bandwidth() * self.saturation(chunk);
-        let normalized_volume = match collective {
-            Collective::AllReduce => s,
-            Collective::ReduceScatter | Collective::AllGather | Collective::AllToAll => s / 2.0,
-            Collective::Broadcast => s / 2.0,
-        };
-        steps * self.step_latency + normalized_volume / bw
+        let key: NodeTimeKey = (
+            collective as u8,
+            bytes,
+            n as u64,
+            net.ring_allreduce_bandwidth().to_bits(),
+            self.step_latency.to_bits(),
+            self.chunk_ramp_bytes.to_bits(),
+        );
+        NODE_TIME.get_or_insert_with(key, || {
+            let steps = Self::steps(Algorithm::Ring, collective, n) as f64;
+            let s = bytes as f64;
+            let chunk = s / n as f64;
+            let bw = net.ring_allreduce_bandwidth() * self.saturation(chunk);
+            let normalized_volume = match collective {
+                Collective::AllReduce => s,
+                Collective::ReduceScatter | Collective::AllGather | Collective::AllToAll => s / 2.0,
+                Collective::Broadcast => s / 2.0,
+            };
+            steps * self.step_latency + normalized_volume / bw
+        })
     }
 
     /// Ring all-reduce node time — the workhorse for TP and DP costs.
@@ -184,8 +226,7 @@ impl CollectiveCostModel {
             } if *nodes > 1 => {
                 let node_size = (*node_size).max(1);
                 // Phase 1/3: intra-node reduce-scatter + all-gather.
-                let intra_rs =
-                    self.node_time(Collective::ReduceScatter, bytes, node_size, net);
+                let intra_rs = self.node_time(Collective::ReduceScatter, bytes, node_size, net);
                 let intra_ag = self.node_time(Collective::AllGather, bytes, node_size, net);
                 // Phase 2: inter-node all-reduce of the 1/node_size shard,
                 // one rank per node, over inter-node link quality.
@@ -293,11 +334,7 @@ mod tests {
         let m = CollectiveCostModel::default();
         let bytes = 256 * 1024 * 1024;
         let base = m.allreduce_time(bytes, 8, &net());
-        let pin = m.allreduce_time(
-            bytes,
-            8,
-            &net().with_pin_mode(twocs_hw::PinMode::InSwitch),
-        );
+        let pin = m.allreduce_time(bytes, 8, &net().with_pin_mode(twocs_hw::PinMode::InSwitch));
         let ratio = base / pin;
         assert!((1.8..=2.1).contains(&ratio), "ratio {ratio}");
     }
@@ -314,10 +351,18 @@ mod tests {
                 .unwrap();
             let (graph, _) = schedule.to_task_graph(4, &link());
             let sim = Engine::new().run(&graph).unwrap().makespan().as_secs_f64();
-            let analytic =
-                m.time_on_link(Collective::AllReduce, Algorithm::Ring, elements as u64 * 4, n, &link());
+            let analytic = m.time_on_link(
+                Collective::AllReduce,
+                Algorithm::Ring,
+                elements as u64 * 4,
+                n,
+                &link(),
+            );
             let err = (sim - analytic).abs() / sim;
-            assert!(err < 0.05, "n={n}: sim {sim}, analytic {analytic}, err {err}");
+            assert!(
+                err < 0.05,
+                "n={n}: sim {sim}, analytic {analytic}, err {err}"
+            );
         }
     }
 
@@ -347,8 +392,13 @@ mod tests {
         let bytes = 1024 * 1024;
         let n = 64;
         let ring = m.time_on_link(Collective::AllReduce, Algorithm::Ring, bytes, n, &link());
-        let hd =
-            m.time_on_link(Collective::AllReduce, Algorithm::HalvingDoubling, bytes, n, &link());
+        let hd = m.time_on_link(
+            Collective::AllReduce,
+            Algorithm::HalvingDoubling,
+            bytes,
+            n,
+            &link(),
+        );
         assert!(hd < ring, "hd {hd} vs ring {ring}");
     }
 

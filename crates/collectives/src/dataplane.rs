@@ -191,7 +191,7 @@ mod tests {
     fn all_to_all_transposes_chunks() {
         let n = 4;
         let elements = 8; // 2 per chunk
-        // inputs[r] chunk d filled with value r*10 + d.
+                          // inputs[r] chunk d filled with value r*10 + d.
         let chunks = CommSchedule::chunk_ranges(elements, n);
         let inputs: Vec<Vec<f32>> = (0..n)
             .map(|r| {

@@ -30,7 +30,10 @@ impl fmt::Display for CollectiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CollectiveError::TooFewParticipants { participants } => {
-                write!(f, "collectives need at least 2 participants, got {participants}")
+                write!(
+                    f,
+                    "collectives need at least 2 participants, got {participants}"
+                )
             }
             CollectiveError::RequiresPowerOfTwo {
                 algorithm,

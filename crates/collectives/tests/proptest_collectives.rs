@@ -1,26 +1,26 @@
-//! Property-based tests for collective schedules and their data plane.
+//! Property-based tests for collective schedules and their data plane,
+//! on the std-only `twocs-testkit` case driver.
 
-use proptest::prelude::*;
 use twocs_collectives::algorithm::{Algorithm, Collective};
 use twocs_collectives::dataplane::{run_allreduce, run_broadcast};
+use twocs_testkit::{cases, Rng};
 
-fn inputs_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    (2usize..10, 1usize..50).prop_flat_map(|(n, elements)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-100.0f32..100.0, elements..=elements),
-            n..=n,
-        )
-    })
+/// `n` rank buffers of the same random length, values in ±100.
+fn gen_inputs(rng: &mut Rng, n: usize) -> Vec<Vec<f32>> {
+    let elements = rng.usize_in(1..50);
+    (0..n)
+        .map(|_| rng.vec_of(elements, |r| r.f32_in(-100.0..100.0)))
+        .collect()
 }
 
-fn pow2_inputs_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    (1usize..4, 1usize..50).prop_flat_map(|(log_n, elements)| {
-        let n = 1 << log_n;
-        proptest::collection::vec(
-            proptest::collection::vec(-100.0f32..100.0, elements..=elements),
-            n..=n,
-        )
-    })
+fn inputs(rng: &mut Rng) -> Vec<Vec<f32>> {
+    let n = rng.usize_in(2..10);
+    gen_inputs(rng, n)
+}
+
+fn pow2_inputs(rng: &mut Rng) -> Vec<Vec<f32>> {
+    let n = 1 << rng.usize_in(1..4);
+    gen_inputs(rng, n)
 }
 
 fn exact_sum(inputs: &[Vec<f32>]) -> Vec<f64> {
@@ -33,63 +33,71 @@ fn exact_sum(inputs: &[Vec<f32>]) -> Vec<f64> {
     out
 }
 
-fn assert_close(actual: &[f32], expect: &[f64]) -> Result<(), TestCaseError> {
+fn assert_close(actual: &[f32], expect: &[f64]) {
     for (i, (&a, &e)) in actual.iter().zip(expect).enumerate() {
         let tol = 1e-3 * (1.0 + e.abs());
-        prop_assert!(
+        assert!(
             (f64::from(a) - e).abs() <= tol,
             "element {i}: got {a}, want {e}"
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn ring_allreduce_computes_global_sum(inputs in inputs_strategy()) {
+#[test]
+fn ring_allreduce_computes_global_sum() {
+    cases(48, |rng| {
+        let inputs = inputs(rng);
         let expect = exact_sum(&inputs);
         let outputs = run_allreduce(Algorithm::Ring, &inputs).unwrap();
         for out in &outputs {
-            assert_close(out, &expect)?;
+            assert_close(out, &expect);
         }
         // All ranks agree bit-for-bit is NOT guaranteed by ring order, but
         // all must match the true sum within tolerance (checked above).
-    }
+    });
+}
 
-    #[test]
-    fn tree_allreduce_computes_global_sum(inputs in inputs_strategy()) {
+#[test]
+fn tree_allreduce_computes_global_sum() {
+    cases(48, |rng| {
+        let inputs = inputs(rng);
         let expect = exact_sum(&inputs);
         let outputs = run_allreduce(Algorithm::Tree, &inputs).unwrap();
         for out in &outputs {
-            assert_close(out, &expect)?;
+            assert_close(out, &expect);
         }
-    }
+    });
+}
 
-    #[test]
-    fn halving_doubling_computes_global_sum(inputs in pow2_inputs_strategy()) {
+#[test]
+fn halving_doubling_computes_global_sum() {
+    cases(48, |rng| {
+        let inputs = pow2_inputs(rng);
         let expect = exact_sum(&inputs);
         let outputs = run_allreduce(Algorithm::HalvingDoubling, &inputs).unwrap();
         for out in &outputs {
-            assert_close(out, &expect)?;
+            assert_close(out, &expect);
         }
-    }
+    });
+}
 
-    #[test]
-    fn broadcast_replicates_rank_zero(inputs in inputs_strategy()) {
+#[test]
+fn broadcast_replicates_rank_zero() {
+    cases(48, |rng| {
+        let inputs = inputs(rng);
         let root = inputs[0].clone();
         let outputs = run_broadcast(&inputs).unwrap();
         for out in &outputs {
-            prop_assert_eq!(out, &root);
+            assert_eq!(out, &root);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ring_traffic_matches_lower_bound(
-        n in 2usize..12,
-        elements_per_rank in 1usize..64,
-    ) {
+#[test]
+fn ring_traffic_matches_lower_bound() {
+    cases(48, |rng| {
+        let n = rng.usize_in(2..12);
+        let elements_per_rank = rng.usize_in(1..64);
         // Traffic formula holds exactly when N divides the payload.
         let elements = elements_per_rank * n;
         let schedule = Algorithm::Ring
@@ -97,15 +105,16 @@ proptest! {
             .unwrap();
         let expected = Collective::AllReduce.bytes_per_device(elements as u64, n);
         for r in 0..n {
-            prop_assert_eq!(schedule.elements_sent_by(r) as f64, expected);
+            assert_eq!(schedule.elements_sent_by(r) as f64, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_allreduce_schedule_touches_all_ranks(
-        n in 2usize..10,
-        elements in 1usize..100,
-    ) {
+#[test]
+fn every_allreduce_schedule_touches_all_ranks() {
+    cases(48, |rng| {
+        let n = rng.usize_in(2..10);
+        let elements = rng.usize_in(1..100);
         for alg in [Algorithm::Ring, Algorithm::Tree] {
             let schedule = alg.schedule(Collective::AllReduce, n, elements).unwrap();
             for r in 0..n {
@@ -114,8 +123,8 @@ proptest! {
                     .iter()
                     .flat_map(|s| &s.transfers)
                     .any(|t| t.src == r || t.dst == r);
-                prop_assert!(participates, "rank {r} idle under {:?}", alg);
+                assert!(participates, "rank {r} idle under {alg:?}");
             }
         }
-    }
+    });
 }

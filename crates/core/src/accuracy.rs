@@ -21,7 +21,11 @@ fn sweep_to_figure(v: &SweepValidation, id: &str) -> Figure {
     let measured: Vec<(f64, f64)> = v.points.iter().map(|p| (p.x, p.measured)).collect();
     Figure::new(
         id,
-        format!("{} (geomean err {:.1}%)", v.label, 100.0 * v.geomean_error()),
+        format!(
+            "{} (geomean err {:.1}%)",
+            v.label,
+            100.0 * v.geomean_error()
+        ),
         "swept value",
         "runtime (s)",
     )

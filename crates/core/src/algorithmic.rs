@@ -39,7 +39,8 @@ pub fn linear_gemm_ops(h: u64, sl: u64, b: u64, tp: u64) -> u64 {
 pub fn overall_compute_ops(h: u64, sl: u64, b: u64, tp: u64) -> u64 {
     // The paper counts FC twice (two FC GEMMs) via the 2·4H² term and
     // attention twice (scores + context).
-    2 * fc_gemm_ops(h, sl, b, tp) + 2 * attention_gemm_ops(h, sl, b, tp)
+    2 * fc_gemm_ops(h, sl, b, tp)
+        + 2 * attention_gemm_ops(h, sl, b, tp)
         + linear_gemm_ops(h, sl, b, tp)
         + 2 * (h / tp) * h * sl * b // output projection
 }

@@ -163,7 +163,11 @@ mod tests {
             4.0,
         );
         assert!(!r.dp_fully_hidden(), "DP comm should be exposed: {r:?}");
-        assert!(r.exposed_dp_fraction > 0.05, "exposed {:.1}%", 100.0 * r.exposed_dp_fraction);
+        assert!(
+            r.exposed_dp_fraction > 0.05,
+            "exposed {:.1}%",
+            100.0 * r.exposed_dp_fraction
+        );
         assert!(r.critical_comm_fraction() > 0.5);
     }
 

@@ -10,6 +10,7 @@
 use crate::overlapped::{overlap_pct, OverlapSweep};
 use crate::report::{Figure, Series};
 use crate::serialized::{comm_fraction, sweep_hyper, Method, SerializedSweep};
+use crate::sweep::{parallelism, run_tasks};
 use twocs_hw::{DeviceSpec, HwEvolution};
 use twocs_transformer::ParallelConfig;
 
@@ -18,6 +19,11 @@ pub const FLOP_VS_BW_RATIOS: [f64; 3] = [1.0, 2.0, 4.0];
 
 /// Figure 12: serialized-communication fraction under hardware evolution.
 /// One series per `(H, SL, scale)` combination.
+///
+/// The series fan out over [`run_tasks`] with the sweep engine's
+/// [`parallelism`] budget — this is the most expensive generator in the
+/// registry, and its `(scale, H, SL)` combinations are independent.
+/// Series order (scale-major) is preserved regardless of thread count.
 #[must_use]
 pub fn figure12(device: &DeviceSpec, sweep: &SerializedSweep, method: Method) -> Figure {
     let mut fig = Figure::new(
@@ -26,30 +32,36 @@ pub fn figure12(device: &DeviceSpec, sweep: &SerializedSweep, method: Method) ->
         "TP degree",
         "% of training time",
     );
-    for &scale in &FLOP_VS_BW_RATIOS {
+    let combos: Vec<(f64, u64, u64)> = FLOP_VS_BW_RATIOS
+        .iter()
+        .flat_map(|&scale| sweep.h_sl_pairs.iter().map(move |&(h, sl)| (scale, h, sl)))
+        .collect();
+    let series = run_tasks(parallelism(), combos.len(), |i| {
+        let (scale, h, sl) = combos[i];
         let evolved = HwEvolution::flop_vs_bw(scale).apply(device);
-        for &(h, sl) in &sweep.h_sl_pairs {
-            let hyper = sweep_hyper(h, sl, sweep.batch);
-            let points: Vec<(f64, f64)> = sweep
-                .tps
-                .iter()
-                .filter(|&&tp| tp <= hyper.heads())
-                .map(|&tp| {
-                    let par = ParallelConfig::new().tensor(tp);
-                    (
-                        tp as f64,
-                        100.0 * comm_fraction(&evolved, &hyper, &par, method),
-                    )
-                })
-                .collect();
-            fig = fig.with_series(Series::new(format!("H={h} SL={sl} x{scale:.0}"), points));
-        }
+        let hyper = sweep_hyper(h, sl, sweep.batch);
+        let points: Vec<(f64, f64)> = sweep
+            .tps
+            .iter()
+            .filter(|&&tp| tp <= hyper.heads())
+            .map(|&tp| {
+                let par = ParallelConfig::new().tensor(tp);
+                (
+                    tp as f64,
+                    100.0 * comm_fraction(&evolved, &hyper, &par, method),
+                )
+            })
+            .collect();
+        Series::new(format!("H={h} SL={sl} x{scale:.0}"), points)
+    });
+    for t in series {
+        fig = fig.with_series(t.result.unwrap_or_else(|e| panic!("{e}")));
     }
     fig
 }
 
 /// Figure 13: overlapped communication as % of compute under hardware
-/// evolution.
+/// evolution. Series fan out like [`figure12`]'s.
 #[must_use]
 pub fn figure13(device: &DeviceSpec, sweep: &OverlapSweep) -> Figure {
     let mut fig = Figure::new(
@@ -58,16 +70,27 @@ pub fn figure13(device: &DeviceSpec, sweep: &OverlapSweep) -> Figure {
         "SL*B",
         "% of compute",
     );
-    for &scale in &FLOP_VS_BW_RATIOS {
+    let combos: Vec<(f64, u64)> = FLOP_VS_BW_RATIOS
+        .iter()
+        .flat_map(|&scale| sweep.hs.iter().map(move |&h| (scale, h)))
+        .collect();
+    let series = run_tasks(parallelism(), combos.len(), |i| {
+        let (scale, h) = combos[i];
         let evolved = HwEvolution::flop_vs_bw(scale).apply(device);
-        for &h in &sweep.hs {
-            let points: Vec<(f64, f64)> = sweep
-                .slbs
-                .iter()
-                .map(|&slb| (slb as f64, overlap_pct(&evolved, h, slb, sweep.tp, sweep.dp)))
-                .collect();
-            fig = fig.with_series(Series::new(format!("H={h} x{scale:.0}"), points));
-        }
+        let points: Vec<(f64, f64)> = sweep
+            .slbs
+            .iter()
+            .map(|&slb| {
+                (
+                    slb as f64,
+                    overlap_pct(&evolved, h, slb, sweep.tp, sweep.dp),
+                )
+            })
+            .collect();
+        Series::new(format!("H={h} x{scale:.0}"), points)
+    });
+    for t in series {
+        fig = fig.with_series(t.result.unwrap_or_else(|e| panic!("{e}")));
     }
     fig
 }
@@ -135,9 +158,18 @@ mod tests {
         let (_, (lo1, hi1)) = bands[0];
         let (_, (lo2, hi2)) = bands[1];
         let (_, (lo4, hi4)) = bands[2];
-        assert!((12.0..=35.0).contains(&lo1) && (40.0..=62.0).contains(&hi1), "1x: {lo1}-{hi1}");
-        assert!((25.0..=48.0).contains(&lo2) && (55.0..=75.0).contains(&hi2), "2x: {lo2}-{hi2}");
-        assert!((35.0..=62.0).contains(&lo4) && (65.0..=85.0).contains(&hi4), "4x: {lo4}-{hi4}");
+        assert!(
+            (12.0..=35.0).contains(&lo1) && (40.0..=62.0).contains(&hi1),
+            "1x: {lo1}-{hi1}"
+        );
+        assert!(
+            (25.0..=48.0).contains(&lo2) && (55.0..=75.0).contains(&hi2),
+            "2x: {lo2}-{hi2}"
+        );
+        assert!(
+            (35.0..=62.0).contains(&lo4) && (65.0..=85.0).contains(&hi4),
+            "4x: {lo4}-{hi4}"
+        );
     }
 
     #[test]

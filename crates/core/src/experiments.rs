@@ -73,10 +73,12 @@ fn run_table2(_device: &DeviceSpec) -> ExperimentOutput {
     let mut t = Table::new(
         "table2",
         "NLP model hyperparameters (paper Table 2)",
-        ["model", "year", "layers", "H", "heads", "size(B)", "SL", "FC dim"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "model", "year", "layers", "H", "heads", "size(B)", "SL", "FC dim",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     for m in zoo::table2() {
         t.push_row(vec![
@@ -98,7 +100,10 @@ fn run_table3(_device: &DeviceSpec) -> ExperimentOutput {
     let mut t = Table::new(
         "table3",
         "Studied parameter space (paper Table 3)",
-        ["H", "SL", "B", "TP"].into_iter().map(String::from).collect(),
+        ["H", "SL", "B", "TP"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
     );
     for (hyper, parallel) in configs {
         t.push_row(vec![
@@ -123,10 +128,17 @@ fn run_fig09b(_device: &DeviceSpec) -> ExperimentOutput {
     let mut t = Table::new(
         "fig09b",
         "Required TP scaling relative to Megatron-BERT 3.9B (base TP = 8)",
-        ["model", "year", "p (size ratio)", "s (capacity)", "p/s", "required TP"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "model",
+            "year",
+            "p (size ratio)",
+            "s (capacity)",
+            "p/s",
+            "required TP",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     for (m, p, s, ps) in trends::tp_requirement_rows() {
         t.push_row(vec![
@@ -175,10 +187,16 @@ fn run_fig14(_device: &DeviceSpec) -> ExperimentOutput {
     let mut t = Table::new(
         "fig14",
         "End-to-end case study: H=64K, B=1, SL=4K, TP=128, flop-vs-bw=4x",
-        ["scenario", "serialized %", "overlapped %", "exposed DP %", "critical comm %"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "scenario",
+            "serialized %",
+            "overlapped %",
+            "exposed DP %",
+            "critical comm %",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     let scenarios = [
         ("intra-node DP", case_study::Scenario::IntraNode),
@@ -302,7 +320,8 @@ pub fn all() -> Vec<ExperimentDef> {
         ExperimentDef {
             id: "techniques",
             title: "Section-5 communication remedies",
-            paper_claim: "PIN ~2x AR bandwidth; offload removes interference; overlap hides collectives",
+            paper_claim:
+                "PIN ~2x AR bandwidth; offload removes interference; overlap hides collectives",
             run: run_techniques,
         },
         ExperimentDef {
@@ -334,8 +353,20 @@ mod tests {
     fn registry_covers_every_paper_artifact() {
         let ids: Vec<&str> = all().iter().map(|d| d.id).collect();
         for required in [
-            "table2", "table3", "fig06", "fig07", "fig09b", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "speedup", "techniques", "sensitivity",
+            "table2",
+            "table3",
+            "fig06",
+            "fig07",
+            "fig09b",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "speedup",
+            "techniques",
+            "sensitivity",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

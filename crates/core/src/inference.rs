@@ -98,9 +98,8 @@ mod tests {
             .batch(1)
             .build()
             .unwrap();
-        let f = |tp: u64| {
-            inference_comm_fraction(&device, &hyper, &ParallelConfig::new().tensor(tp))
-        };
+        let f =
+            |tp: u64| inference_comm_fraction(&device, &hyper, &ParallelConfig::new().tensor(tp));
         assert!(f(16) < f(64));
         assert!(f(64) < f(256));
     }

@@ -55,9 +55,11 @@ pub mod overlapped;
 pub mod report;
 pub mod sensitivity;
 pub mod serialized;
+pub mod sweep;
 pub mod techniques;
 pub mod trends;
 
 pub use algorithmic::AlgorithmicProfile;
 pub use experiments::{ExperimentDef, ExperimentOutput};
 pub use report::{Figure, Series, Table};
+pub use sweep::{run_experiments, GridSweep, SweepRun, SweepSummary};

@@ -160,11 +160,7 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     #[must_use]
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: Vec<String>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<String>) -> Self {
         Self {
             id: id.into(),
             title: title.into(),

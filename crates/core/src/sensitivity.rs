@@ -42,7 +42,10 @@ impl Knob {
 /// configuration with `knob` scaled by `factor`.
 #[must_use]
 pub fn comm_fraction_with(knob: Knob, factor: f64) -> f64 {
-    assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "factor must be positive"
+    );
     let hyper = sweep_hyper(16_384, 2048, 1);
     let parallel = ParallelConfig::new().tensor(64);
     match knob {
@@ -78,7 +81,10 @@ pub fn sensitivity_table() -> Table {
     let mut table = Table::new(
         "sensitivity",
         "Serialized comm fraction (PaLM-1x, TP=64) vs calibration perturbations",
-        ["knob", "0.5x", "1x", "2x"].into_iter().map(String::from).collect(),
+        ["knob", "0.5x", "1x", "2x"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
     );
     for knob in [Knob::RingBandwidth, Knob::ChunkRamp] {
         let f = |factor: f64| format!("{:.1}%", 100.0 * comm_fraction_with(knob, factor));

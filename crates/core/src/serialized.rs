@@ -166,16 +166,36 @@ mod tests {
     #[test]
     fn fraction_falls_with_h_at_fixed_tp() {
         let par = ParallelConfig::new().tensor(64);
-        let small = comm_fraction(&device(), &sweep_hyper(8192, 2048, 1), &par, Method::Simulation);
-        let large = comm_fraction(&device(), &sweep_hyper(65_536, 2048, 1), &par, Method::Simulation);
+        let small = comm_fraction(
+            &device(),
+            &sweep_hyper(8192, 2048, 1),
+            &par,
+            Method::Simulation,
+        );
+        let large = comm_fraction(
+            &device(),
+            &sweep_hyper(65_536, 2048, 1),
+            &par,
+            Method::Simulation,
+        );
         assert!(large < small, "H=8K {small} vs H=64K {large}");
     }
 
     #[test]
     fn fraction_falls_with_sl_at_fixed_tp() {
         let par = ParallelConfig::new().tensor(64);
-        let short = comm_fraction(&device(), &sweep_hyper(16_384, 2048, 1), &par, Method::Simulation);
-        let long = comm_fraction(&device(), &sweep_hyper(16_384, 8192, 1), &par, Method::Simulation);
+        let short = comm_fraction(
+            &device(),
+            &sweep_hyper(16_384, 2048, 1),
+            &par,
+            Method::Simulation,
+        );
+        let long = comm_fraction(
+            &device(),
+            &sweep_hyper(16_384, 8192, 1),
+            &par,
+            Method::Simulation,
+        );
         assert!(long < short);
     }
 

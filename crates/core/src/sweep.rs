@@ -1,0 +1,569 @@
+//! Parallel sweep engine: run the experiment registry and analyze-style
+//! grids across worker threads with byte-identical output.
+//!
+//! Every generator in this workspace is a pure function of `(device,
+//! configuration)`, so sweeps parallelize trivially — the only hard
+//! requirements are that **result order is deterministic** (parallel runs
+//! must emit byte-identical reports, so CSV diffs stay meaningful) and
+//! that a panicking configuration surfaces as a failed task instead of
+//! wedging the harness.
+//!
+//! [`run_tasks`] is the building block: a scoped-thread worker pool
+//! (`std::thread::scope`, no external dependencies) pulling task indices
+//! from an atomic counter and writing results into per-index slots, so
+//! collection order is the submission order no matter which worker ran
+//! what. Panics are caught per task ([`std::panic::catch_unwind`]) and
+//! converted into `Err(message)` results.
+//!
+//! On top of it sit [`run_experiments`] — the paper's full registry with
+//! per-experiment wall times — and [`GridSweep`] — a
+//! `(H, SL, TP, flop-vs-bw)` cross-product evaluating both communication
+//! metrics per point. Both report a [`SweepSummary`] with task timings and
+//! the memo-cache activity ([`twocs_hw::CacheStats`]) observed during the
+//! sweep.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::experiments::{ExperimentDef, ExperimentOutput};
+use crate::overlapped::overlap_pct;
+use crate::report::Table;
+use crate::serialized::{comm_fraction, realistic_tp, sweep_hyper, Method};
+use twocs_hw::{CacheStats, DeviceSpec, HwEvolution};
+use twocs_transformer::ParallelConfig;
+
+/// The worker-thread budget nested generators should use (see
+/// [`parallelism`]). Defaults to 1 so library callers stay serial unless
+/// a sweep opts in.
+static PARALLELISM: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the worker-thread budget consulted by grid-shaped generators
+/// (e.g. Figures 12/13 fan their series over [`run_tasks`] with this
+/// count). [`run_experiments`] and [`GridSweep::run`] set it from their
+/// `jobs` argument, so `--jobs 1` stays fully serial.
+pub fn set_parallelism(jobs: usize) {
+    PARALLELISM.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The current worker-thread budget for nested generators.
+#[must_use]
+pub fn parallelism() -> usize {
+    PARALLELISM.load(Ordering::Relaxed)
+}
+
+/// One completed task: its payload (or the panic message) and how long it
+/// ran on its worker thread.
+#[derive(Debug, Clone)]
+pub struct TaskResult<T> {
+    /// The task's value, or the panic payload rendered as a string.
+    pub result: Result<T, String>,
+    /// Wall time of this task on its worker.
+    pub elapsed: Duration,
+}
+
+/// Execute `count` tasks on `jobs` scoped worker threads and return the
+/// results **in task-index order**, regardless of scheduling.
+///
+/// Workers claim indices from a shared atomic counter, so the pool
+/// load-balances uneven task costs. Each task runs under
+/// [`catch_unwind`]: a panic becomes `Err(message)` for that index and
+/// the worker moves on to the next task — one bad configuration cannot
+/// poison the pool or lose the rest of the sweep.
+pub fn run_tasks<T, F>(jobs: usize, count: usize, task: F) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<TaskResult<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.max(1).min(count.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let start = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(ToString::to_string)
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "task panicked".to_owned())
+                });
+                let done = TaskResult {
+                    result,
+                    elapsed: start.elapsed(),
+                };
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(done);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every task index below `count` is claimed exactly once")
+        })
+        .collect()
+}
+
+/// Wall time and outcome of one task, for the summary report.
+#[derive(Debug, Clone)]
+pub struct TaskTiming {
+    /// Task label (experiment id, or a grid-point description).
+    pub label: String,
+    /// Wall time on its worker thread.
+    pub elapsed: Duration,
+    /// Whether the task completed without panicking.
+    pub ok: bool,
+}
+
+/// What a sweep did: thread count, wall/task time, failures, per-task
+/// timings, and the memo-cache activity observed while it ran.
+///
+/// Rendered with `Display`; the CLI prints it to **stderr** so that
+/// parallel and serial runs keep byte-identical stdout.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Tasks that panicked.
+    pub failures: usize,
+    /// End-to-end wall time of the sweep.
+    pub wall: Duration,
+    /// Summed per-task time (wall × achieved concurrency).
+    pub task_time: Duration,
+    /// Per-task wall times, in task order.
+    pub timings: Vec<TaskTiming>,
+    /// GEMM-time cache activity during the sweep.
+    pub gemm_cache: CacheStats,
+    /// Collective-cost cache activity during the sweep.
+    pub collective_cache: CacheStats,
+    /// Slack-ROI profile cache activity during the sweep.
+    pub slack_roi_cache: CacheStats,
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let concurrency = if self.wall.as_secs_f64() > 0.0 {
+            self.task_time.as_secs_f64() / self.wall.as_secs_f64()
+        } else {
+            1.0
+        };
+        writeln!(
+            f,
+            "sweep: {} tasks on {} worker thread{}: wall {:.1?}, task time {:.1?} ({:.1}x concurrency), {} failed",
+            self.tasks,
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+            self.wall,
+            self.task_time,
+            concurrency,
+            self.failures,
+        )?;
+        for t in &self.timings {
+            writeln!(
+                f,
+                "  {:<28} {:>9.1?}  {}",
+                t.label,
+                t.elapsed,
+                if t.ok { "ok" } else { "FAILED" }
+            )?;
+        }
+        writeln!(f, "caches (this sweep):")?;
+        writeln!(f, "  gemm-time:  {}", self.gemm_cache)?;
+        writeln!(f, "  collective: {}", self.collective_cache)?;
+        write!(f, "  slack-roi:  {}", self.slack_roi_cache)
+    }
+}
+
+/// Snapshot all three global memo caches.
+fn cache_snapshot() -> (CacheStats, CacheStats, CacheStats) {
+    (
+        twocs_hw::cache::gemm_time_cache_stats(),
+        twocs_collectives::node_time_cache_stats(),
+        twocs_opmodel::slack_roi_cache_stats(),
+    )
+}
+
+/// One experiment's outcome inside a sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. `"fig10"`).
+    pub id: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// Generated output, or the panic message if the generator failed.
+    pub output: Result<ExperimentOutput, String>,
+    /// Wall time of the generator.
+    pub elapsed: Duration,
+}
+
+/// A completed experiment sweep: results in registry order plus the
+/// summary.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// One result per input definition, in input order.
+    pub results: Vec<ExperimentResult>,
+    /// Timing and cache accounting.
+    pub summary: SweepSummary,
+}
+
+/// Run `defs` against `device` on `jobs` worker threads.
+///
+/// Results come back in registry order, so rendering them is
+/// byte-identical to a serial loop; a panicking generator yields an
+/// `Err` entry without disturbing its neighbours.
+#[must_use]
+pub fn run_experiments(device: &DeviceSpec, defs: &[ExperimentDef], jobs: usize) -> SweepRun {
+    set_parallelism(jobs);
+    let before = cache_snapshot();
+    let start = Instant::now();
+    let raw = run_tasks(jobs, defs.len(), |i| (defs[i].run)(device));
+    let wall = start.elapsed();
+    let after = cache_snapshot();
+
+    let results: Vec<ExperimentResult> = defs
+        .iter()
+        .zip(raw)
+        .map(|(def, t)| ExperimentResult {
+            id: def.id,
+            title: def.title,
+            output: t.result,
+            elapsed: t.elapsed,
+        })
+        .collect();
+
+    let summary = SweepSummary {
+        jobs: jobs.max(1),
+        tasks: results.len(),
+        failures: results.iter().filter(|r| r.output.is_err()).count(),
+        wall,
+        task_time: results.iter().map(|r| r.elapsed).sum(),
+        timings: results
+            .iter()
+            .map(|r| TaskTiming {
+                label: r.id.to_owned(),
+                elapsed: r.elapsed,
+                ok: r.output.is_ok(),
+            })
+            .collect(),
+        gemm_cache: after.0.since(&before.0),
+        collective_cache: after.1.since(&before.1),
+        slack_roi_cache: after.2.since(&before.2),
+    };
+    SweepRun { results, summary }
+}
+
+/// A `(H, SL, TP, flop-vs-bw)` cross-product sweep evaluating both of the
+/// paper's communication metrics per point: the serialized-communication
+/// fraction (§4.3.4) and the overlapped-communication percentage
+/// (§4.3.5), on hardware evolved per the flop-vs-bw ratio (§4.3.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSweep {
+    /// Hidden sizes.
+    pub hs: Vec<u64>,
+    /// Sequence lengths.
+    pub sls: Vec<u64>,
+    /// Tensor-parallel degrees.
+    pub tps: Vec<u64>,
+    /// Flop-vs-bw hardware-evolution ratios (1 = today's hardware).
+    pub flop_vs_bw: Vec<f64>,
+    /// Batch size.
+    pub batch: u64,
+    /// Evaluation method for the serialized fraction.
+    pub method: Method,
+}
+
+impl Default for GridSweep {
+    /// T-NLG- to PaLM-3×-class models at the paper's studied TP degrees
+    /// and hardware-evolution ratios.
+    fn default() -> Self {
+        Self {
+            hs: vec![4096, 16_384, 65_536],
+            sls: vec![2048, 4096],
+            tps: vec![16, 64, 256],
+            flop_vs_bw: vec![1.0, 2.0, 4.0],
+            batch: 1,
+            method: Method::Simulation,
+        }
+    }
+}
+
+/// One grid coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Hidden size.
+    pub h: u64,
+    /// Sequence length.
+    pub sl: u64,
+    /// Tensor-parallel degree.
+    pub tp: u64,
+    /// Flop-vs-bw evolution ratio.
+    pub ratio: f64,
+}
+
+impl GridSweep {
+    /// The realistic grid points, in deterministic row-major order
+    /// (H, then SL, then TP, then ratio). Unrealistic `(H, TP)`
+    /// combinations are pruned exactly as the figures do
+    /// ([`realistic_tp`]), as are invalid axis values (zero dimensions,
+    /// hidden sizes that are not multiples of the fixed 256-way head
+    /// sharding) — an entirely invalid grid is simply empty.
+    #[must_use]
+    pub fn points(&self) -> Vec<GridPoint> {
+        let mut points = Vec::new();
+        for &h in &self.hs {
+            if h == 0 || h % 256 != 0 || self.batch == 0 {
+                continue;
+            }
+            for &sl in &self.sls {
+                if sl == 0 {
+                    continue;
+                }
+                for &tp in &self.tps {
+                    if tp == 0
+                        || !realistic_tp(h, tp)
+                        || tp > sweep_hyper(h, sl, self.batch).heads()
+                    {
+                        continue;
+                    }
+                    for &ratio in &self.flop_vs_bw {
+                        points.push(GridPoint { h, sl, tp, ratio });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Run the sweep on `jobs` worker threads and tabulate it.
+    ///
+    /// The table rows follow [`Self::points`] order whatever the thread
+    /// count, so CSV output is byte-identical across `jobs` settings. A
+    /// panicking point renders as `error` in both metric columns rather
+    /// than aborting the sweep.
+    #[must_use]
+    pub fn run(&self, device: &DeviceSpec, jobs: usize) -> (Table, SweepSummary) {
+        set_parallelism(jobs);
+        let points = self.points();
+        let before = cache_snapshot();
+        let start = Instant::now();
+        let raw = run_tasks(jobs, points.len(), |i| {
+            let p = points[i];
+            let dev = if p.ratio > 1.0 {
+                HwEvolution::flop_vs_bw(p.ratio).apply(device)
+            } else {
+                device.clone()
+            };
+            let hyper = sweep_hyper(p.h, p.sl, self.batch);
+            let parallel = ParallelConfig::new().tensor(p.tp);
+            let serialized = 100.0 * comm_fraction(&dev, &hyper, &parallel, self.method);
+            let overlap = overlap_pct(&dev, p.h, p.sl * self.batch, p.tp, 4);
+            (serialized, overlap)
+        });
+        let wall = start.elapsed();
+        let after = cache_snapshot();
+
+        let mut table = Table::new(
+            "sweep",
+            "Serialized and overlapped communication across the grid",
+            [
+                "H",
+                "SL",
+                "TP",
+                "flop_vs_bw",
+                "serialized_pct",
+                "overlap_pct",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        );
+        for (p, t) in points.iter().zip(&raw) {
+            let (serialized, overlap) = match &t.result {
+                Ok((s, o)) => (format!("{s:.2}"), format!("{o:.2}")),
+                Err(_) => ("error".to_owned(), "error".to_owned()),
+            };
+            table.push_row(vec![
+                p.h.to_string(),
+                p.sl.to_string(),
+                p.tp.to_string(),
+                format!("{}", p.ratio),
+                serialized,
+                overlap,
+            ]);
+        }
+
+        let summary = SweepSummary {
+            jobs: jobs.max(1),
+            tasks: raw.len(),
+            failures: raw.iter().filter(|t| t.result.is_err()).count(),
+            wall,
+            task_time: raw.iter().map(|t| t.elapsed).sum(),
+            timings: points
+                .iter()
+                .zip(&raw)
+                .map(|(p, t)| TaskTiming {
+                    label: format!("H={} SL={} TP={} r={}", p.h, p.sl, p.tp, p.ratio),
+                    elapsed: t.elapsed,
+                    ok: t.result.is_ok(),
+                })
+                .collect(),
+            gemm_cache: after.0.since(&before.0),
+            collective_cache: after.1.since(&before.1),
+            slack_roi_cache: after.2.since(&before.2),
+        };
+        (table, summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn run_tasks_preserves_index_order() {
+        for jobs in [1, 2, 8] {
+            let results = run_tasks(jobs, 100, |i| i * i);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.result, Ok(i * i), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn panics_surface_as_errors_without_losing_neighbours() {
+        let results = run_tasks(4, 16, |i| {
+            assert!(i != 5, "task five exploded");
+            i
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                let err = r.result.as_ref().unwrap_err();
+                assert!(err.contains("task five exploded"), "{err}");
+            } else {
+                assert_eq!(r.result, Ok(i));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_treated_as_one() {
+        let results = run_tasks(0, 3, |i| i + 1);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn experiment_sweep_matches_serial_rendering() {
+        let device = DeviceSpec::mi210();
+        let defs: Vec<_> = experiments::all()
+            .into_iter()
+            .filter(|d| d.id == "table2" || d.id == "table3")
+            .collect();
+        let parallel = run_experiments(&device, &defs, 8);
+        assert_eq!(parallel.summary.failures, 0);
+        for (def, res) in defs.iter().zip(&parallel.results) {
+            let serial = (def.run)(&device);
+            assert_eq!(
+                res.output.as_ref().unwrap().to_csv(),
+                serial.to_csv(),
+                "{}",
+                def.id
+            );
+        }
+    }
+
+    #[test]
+    fn failed_experiment_is_reported_not_fatal() {
+        fn boom(_: &DeviceSpec) -> ExperimentOutput {
+            panic!("generator bug");
+        }
+        let defs = vec![
+            experiments::by_id("table2").unwrap(),
+            ExperimentDef {
+                id: "boom",
+                title: "always fails",
+                paper_claim: "",
+                run: boom,
+            },
+            experiments::by_id("table3").unwrap(),
+        ];
+        let run = run_experiments(&DeviceSpec::mi210(), &defs, 4);
+        assert_eq!(run.summary.failures, 1);
+        assert!(run.results[0].output.is_ok());
+        assert!(run.results[1]
+            .output
+            .as_ref()
+            .unwrap_err()
+            .contains("generator bug"));
+        assert!(run.results[2].output.is_ok());
+    }
+
+    #[test]
+    fn grid_sweep_is_deterministic_across_thread_counts() {
+        let sweep = GridSweep {
+            hs: vec![4096],
+            sls: vec![2048],
+            tps: vec![16, 32],
+            flop_vs_bw: vec![1.0, 2.0],
+            batch: 1,
+            method: Method::Projection,
+        };
+        let device = DeviceSpec::mi210();
+        let (serial, _) = sweep.run(&device, 1);
+        let (parallel, summary) = sweep.run(&device, 8);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(summary.tasks, sweep.points().len());
+        assert_eq!(summary.failures, 0);
+    }
+
+    #[test]
+    fn grid_points_are_pruned_and_ordered() {
+        let sweep = GridSweep::default();
+        let points = sweep.points();
+        assert!(!points.is_empty());
+        // No unrealistic (H, TP) pairs survive pruning.
+        assert!(points.iter().all(|p| realistic_tp(p.h, p.tp)));
+        // PaLM-3x-class at TP 16 is pruned (needs TP >= 16 but 65536/128 >= 16 holds,
+        // while H=4096 caps TP at 32).
+        assert!(!points.iter().any(|p| p.h == 4096 && p.tp > 32));
+        // Deterministic row-major order: sorted by (h, sl, tp, ratio) index.
+        let mut sorted = points.clone();
+        sorted.sort_by(|a, b| {
+            (a.h, a.sl, a.tp)
+                .cmp(&(b.h, b.sl, b.tp))
+                .then(a.ratio.partial_cmp(&b.ratio).unwrap())
+        });
+        for (a, b) in points.iter().zip(&sorted) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn summary_displays_cache_and_timing_lines() {
+        let device = DeviceSpec::mi210();
+        let defs: Vec<_> = experiments::all()
+            .into_iter()
+            .filter(|d| d.id == "table2")
+            .collect();
+        let run = run_experiments(&device, &defs, 2);
+        let text = run.summary.to_string();
+        assert!(text.contains("1 tasks"), "{text}");
+        assert!(text.contains("table2"), "{text}");
+        assert!(text.contains("gemm-time:"), "{text}");
+        assert!(text.contains("slack-roi:"), "{text}");
+    }
+}

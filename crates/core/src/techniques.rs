@@ -142,9 +142,7 @@ pub fn suite() -> Vec<Technique> {
 pub fn technique_table(flop_vs_bw: f64) -> Table {
     let mut table = Table::new(
         "techniques",
-        format!(
-            "Section-5 techniques on PaLM-1x-class training at {flop_vs_bw}x flop-vs-bw"
-        ),
+        format!("Section-5 techniques on PaLM-1x-class training at {flop_vs_bw}x flop-vs-bw"),
         ["technique", "iteration (ms)", "critical comm %", "speedup"]
             .into_iter()
             .map(String::from)

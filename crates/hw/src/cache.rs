@@ -1,0 +1,249 @@
+//! Shared memoization infrastructure for the hot pure cost functions.
+//!
+//! The paper's methodology projects hundreds of future-hardware
+//! configurations from one baseline profile, and the sweeps re-evaluate
+//! identical (shape, device) cost queries thousands of times. Every cost
+//! function in the workspace is *pure* — same inputs, same output — so
+//! results can be memoized behind an [`std::sync::RwLock`]-guarded map and
+//! shared across sweep worker threads.
+//!
+//! [`MemoCache`] is the generic building block; this crate keeps a global
+//! cache for [`DeviceSpec::gemm_time`] (see [`gemm_time_cache_stats`]),
+//! while `twocs-collectives` and `twocs-opmodel` keep caches for
+//! collective costs and ROI profiles built on the same type. Each cache
+//! counts hits and misses so sweep reports can show how much recomputation
+//! was avoided.
+//!
+//! [`DeviceSpec::gemm_time`]: crate::DeviceSpec::gemm_time
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// A point-in-time snapshot of one cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the map.
+    pub hits: u64,
+    /// Lookups that had to compute and insert.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache; 0 when never queried.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Counter-wise difference `self - earlier` (entries keeps the later
+    /// value): the activity between two snapshots.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.entries
+        )
+    }
+}
+
+/// A thread-safe memo table with hit/miss accounting.
+///
+/// Designed for pure functions: `get_or_insert_with` may race two
+/// computations of the same key under contention, but both produce the
+/// identical value, so the first insert wins and correctness is
+/// unaffected. Lock poisoning is ignored (the guarded `HashMap`
+/// operations cannot leave the map inconsistent), so a panicking sweep
+/// worker never wedges later lookups.
+#[derive(Debug, Default)]
+pub struct MemoCache<K, V> {
+    map: RwLock<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
+    /// Create an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the cached value for `key`, computing it with `compute` on a
+    /// miss. `compute` runs outside the lock.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        {
+            let map = self
+                .map
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(v) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut map = self
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(key).or_insert_with(|| value.clone());
+        value
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drop all entries and zero the counters (for tests and benchmarks
+    /// that need cold-cache numbers).
+    pub fn clear(&self) {
+        self.map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// FNV-1a hash of a byte string — used to fingerprint model
+/// configurations into compact cache keys.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Cache key for [`DeviceSpec::gemm_time`]: the device fingerprint, the
+/// four GEMM shape dimensions (m, n, k, batch), and the precision.
+///
+/// [`DeviceSpec::gemm_time`]: crate::DeviceSpec::gemm_time
+pub(crate) type GemmTimeKey = (u64, u64, u64, u64, u64, u8);
+
+/// Global memo table for [`DeviceSpec::gemm_time`].
+///
+/// [`DeviceSpec::gemm_time`]: crate::DeviceSpec::gemm_time
+pub(crate) static GEMM_TIME: std::sync::LazyLock<MemoCache<GemmTimeKey, f64>> =
+    std::sync::LazyLock::new(MemoCache::new);
+
+/// Counters of the global GEMM-time cache.
+#[must_use]
+pub fn gemm_time_cache_stats() -> CacheStats {
+    GEMM_TIME.stats()
+}
+
+/// Empty the global GEMM-time cache and zero its counters.
+pub fn clear_gemm_time_cache() {
+    GEMM_TIME.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        assert_eq!(cache.get_or_insert_with(1, || 10), 10);
+        assert_eq!(cache.get_or_insert_with(1, || 99), 10);
+        assert_eq!(cache.get_or_insert_with(2, || 20), 20);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let _ = cache.get_or_insert_with(1, || 1);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn since_subtracts_counters() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 5,
+            entries: 4,
+        };
+        let b = CacheStats {
+            hits: 25,
+            misses: 7,
+            entries: 6,
+        };
+        let d = b.since(&a);
+        assert_eq!((d.hits, d.misses, d.entries), (15, 2, 6));
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..100u64 {
+                        assert_eq!(cache.get_or_insert_with(k, move || k * 3), k * 3);
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.entries, 100);
+        assert_eq!(s.hits + s.misses, 800);
+    }
+
+    #[test]
+    fn display_formats_rate() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        let text = s.to_string();
+        assert!(text.contains("75.0%"), "{text}");
+    }
+}

@@ -27,6 +27,9 @@ pub struct DeviceSpec {
     gemm_model: GemmModel,
     memop_model: MemOpModel,
     network: NetworkSpec,
+    /// Hash of every cost-relevant field, maintained by the builder and
+    /// the `with_*` setters; keys the global cost caches.
+    fingerprint: u64,
 }
 
 impl DeviceSpec {
@@ -90,16 +93,57 @@ impl DeviceSpec {
         &self.network
     }
 
+    /// A hash of every cost-relevant field. Two specs with the same
+    /// fingerprint produce the same kernel and collective costs, so the
+    /// global memo caches key on it (see [`crate::cache`]).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        // Debug formatting of f64 is the shortest round-trip
+        // representation, so distinct parameter values always hash apart.
+        let repr = format!(
+            "{}|{}|{:?}|{}|{}|{}|{:?}|{:?}|{:?}",
+            self.name,
+            self.year,
+            self.peak,
+            self.mem_capacity,
+            self.mem_bandwidth,
+            self.launch_overhead,
+            self.gemm_model,
+            self.memop_model,
+            self.network,
+        );
+        crate::cache::fnv1a(repr.as_bytes())
+    }
+
     /// Total time (seconds) for one GEMM kernel including launch overhead.
+    ///
+    /// Memoized globally per (device fingerprint, shape, precision): the
+    /// analysis sweeps re-price identical GEMMs thousands of times, and
+    /// the kernel-catalog search is the single hottest pure function in
+    /// the workspace.
     #[must_use]
     pub fn gemm_time(&self, shape: GemmShape, precision: Precision) -> f64 {
-        self.launch_overhead
-            + self.gemm_model.kernel_time(
-                shape,
-                precision,
-                self.peak_flops(precision),
-                self.mem_bandwidth,
-            )
+        let key = (
+            self.fingerprint,
+            shape.m,
+            shape.n,
+            shape.k,
+            shape.batch,
+            precision as u8,
+        );
+        crate::cache::GEMM_TIME.get_or_insert_with(key, || {
+            self.launch_overhead
+                + self.gemm_model.kernel_time(
+                    shape,
+                    precision,
+                    self.peak_flops(precision),
+                    self.mem_bandwidth,
+                )
+        })
     }
 
     /// Total time (seconds) for one bandwidth-bound kernel including launch
@@ -117,6 +161,7 @@ impl DeviceSpec {
     #[must_use]
     pub fn with_network(mut self, network: NetworkSpec) -> Self {
         self.network = network;
+        self.fingerprint = self.compute_fingerprint();
         self
     }
 
@@ -124,6 +169,7 @@ impl DeviceSpec {
     #[must_use]
     pub fn with_peak(mut self, peak: PeakFlops) -> Self {
         self.peak = peak;
+        self.fingerprint = self.compute_fingerprint();
         self
     }
 
@@ -131,6 +177,7 @@ impl DeviceSpec {
     #[must_use]
     pub fn with_mem_capacity(mut self, bytes: u64) -> Self {
         self.mem_capacity = bytes;
+        self.fingerprint = self.compute_fingerprint();
         self
     }
 
@@ -142,6 +189,7 @@ impl DeviceSpec {
     pub fn with_mem_bandwidth(mut self, bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "memory bandwidth must be positive");
         self.mem_bandwidth = bytes_per_sec;
+        self.fingerprint = self.compute_fingerprint();
         self
     }
 
@@ -149,6 +197,7 @@ impl DeviceSpec {
     #[must_use]
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self.fingerprint = self.compute_fingerprint();
         self
     }
 
@@ -164,7 +213,9 @@ impl DeviceSpec {
     pub fn mi210() -> Self {
         Self::builder("AMD Instinct MI210")
             .year(2022)
-            .peak(PeakFlops::new(22.6e12, 45.3e12, 181.0e12, 181.0e12, 362.0e12))
+            .peak(PeakFlops::new(
+                22.6e12, 45.3e12, 181.0e12, 181.0e12, 362.0e12,
+            ))
             .mem_capacity(64 * GIB)
             .mem_bandwidth(1.6384e12)
             .cu_count(104)
@@ -196,7 +247,9 @@ impl DeviceSpec {
     pub fn mi100() -> Self {
         Self::builder("AMD Instinct MI100")
             .year(2020)
-            .peak(PeakFlops::new(11.5e12, 23.1e12, 184.6e12, 92.3e12, 369.2e12))
+            .peak(PeakFlops::new(
+                11.5e12, 23.1e12, 184.6e12, 92.3e12, 369.2e12,
+            ))
             .mem_capacity(32 * GIB)
             .mem_bandwidth(1.2288e12)
             .cu_count(120)
@@ -212,7 +265,9 @@ impl DeviceSpec {
     pub fn mi250x() -> Self {
         Self::builder("AMD Instinct MI250X")
             .year(2021)
-            .peak(PeakFlops::new(95.7e12, 95.7e12, 383.0e12, 383.0e12, 766.0e12))
+            .peak(PeakFlops::new(
+                95.7e12, 95.7e12, 383.0e12, 383.0e12, 766.0e12,
+            ))
             .mem_capacity(128 * GIB)
             .mem_bandwidth(3.2768e12)
             .cu_count(220)
@@ -228,7 +283,9 @@ impl DeviceSpec {
     pub fn v100() -> Self {
         Self::builder("NVIDIA V100")
             .year(2018)
-            .peak(PeakFlops::new(7.8e12, 15.7e12, 125.0e12, 125.0e12, 250.0e12))
+            .peak(PeakFlops::new(
+                7.8e12, 15.7e12, 125.0e12, 125.0e12, 250.0e12,
+            ))
             .mem_capacity(32 * GIB)
             .mem_bandwidth(0.9e12)
             .cu_count(80)
@@ -245,7 +302,9 @@ impl DeviceSpec {
     pub fn a100() -> Self {
         Self::builder("NVIDIA A100")
             .year(2020)
-            .peak(PeakFlops::new(19.5e12, 19.5e12, 624.0e12, 624.0e12, 1248.0e12))
+            .peak(PeakFlops::new(
+                19.5e12, 19.5e12, 624.0e12, 624.0e12, 1248.0e12,
+            ))
             .mem_capacity(80 * GIB)
             .mem_bandwidth(2.039e12)
             .cu_count(108)
@@ -261,7 +320,9 @@ impl DeviceSpec {
     pub fn h100() -> Self {
         Self::builder("NVIDIA H100")
             .year(2022)
-            .peak(PeakFlops::new(67.0e12, 67.0e12, 989.0e12, 989.0e12, 1979.0e12))
+            .peak(PeakFlops::new(
+                67.0e12, 67.0e12, 989.0e12, 989.0e12, 1979.0e12,
+            ))
             .mem_capacity(80 * GIB)
             .mem_bandwidth(3.35e12)
             .cu_count(132)
@@ -418,7 +479,10 @@ impl DeviceSpecBuilder {
     #[must_use]
     pub fn build(self) -> DeviceSpec {
         assert!(self.mem_capacity > 0, "memory capacity must be non-zero");
-        assert!(self.mem_bandwidth > 0.0, "memory bandwidth must be positive");
+        assert!(
+            self.mem_bandwidth > 0.0,
+            "memory bandwidth must be positive"
+        );
         assert!(
             self.launch_overhead >= 0.0 && self.launch_overhead.is_finite(),
             "launch overhead must be non-negative"
@@ -430,7 +494,7 @@ impl DeviceSpecBuilder {
             self.pin_mode,
         )
         .expect("network parameters must be valid");
-        DeviceSpec {
+        let mut spec = DeviceSpec {
             name: self.name,
             year: self.year,
             peak: self.peak,
@@ -440,7 +504,10 @@ impl DeviceSpecBuilder {
             gemm_model: GemmModel::new(self.cu_count, self.k_half, self.gemm_mem_efficiency),
             memop_model: MemOpModel::new(self.memop_efficiency),
             network,
-        }
+            fingerprint: 0,
+        };
+        spec.fingerprint = spec.compute_fingerprint();
+        spec
     }
 }
 
@@ -486,11 +553,27 @@ mod tests {
             b.network().intra_node().bandwidth() / a.network().intra_node().bandwidth()
         };
         let (v, a) = (DeviceSpec::v100(), DeviceSpec::a100());
-        assert!((4.5..=5.5).contains(&flop(&v, &a)), "nvidia flops {}", flop(&v, &a));
-        assert!((1.8..=2.2).contains(&bw(&v, &a)), "nvidia bw {}", bw(&v, &a));
+        assert!(
+            (4.5..=5.5).contains(&flop(&v, &a)),
+            "nvidia flops {}",
+            flop(&v, &a)
+        );
+        assert!(
+            (1.8..=2.2).contains(&bw(&v, &a)),
+            "nvidia bw {}",
+            bw(&v, &a)
+        );
         let (m5, m1) = (DeviceSpec::mi50(), DeviceSpec::mi100());
-        assert!((6.5..=7.5).contains(&flop(&m5, &m1)), "amd flops {}", flop(&m5, &m1));
-        assert!((1.5..=1.9).contains(&bw(&m5, &m1)), "amd bw {}", bw(&m5, &m1));
+        assert!(
+            (6.5..=7.5).contains(&flop(&m5, &m1)),
+            "amd flops {}",
+            flop(&m5, &m1)
+        );
+        assert!(
+            (1.5..=1.9).contains(&bw(&m5, &m1)),
+            "amd bw {}",
+            bw(&m5, &m1)
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl fmt::Display for HwError {
                 write!(f, "invalid hardware parameter `{name}`: {reason}")
             }
             HwError::UnknownDevice { device, count } => {
-                write!(f, "device {device} out of range for topology of {count} devices")
+                write!(
+                    f,
+                    "device {device} out of range for topology of {count} devices"
+                )
             }
         }
     }

@@ -147,7 +147,10 @@ mod tests {
     fn flop_vs_bw_speeds_compute_not_network() {
         let d = DeviceSpec::mi210();
         let fut = HwEvolution::flop_vs_bw(4.0).apply(&d);
-        assert_eq!(fut.peak_flops(Precision::Fp16), 4.0 * d.peak_flops(Precision::Fp16));
+        assert_eq!(
+            fut.peak_flops(Precision::Fp16),
+            4.0 * d.peak_flops(Precision::Fp16)
+        );
         assert_eq!(
             fut.network().ring_allreduce_bandwidth(),
             d.network().ring_allreduce_bandwidth()

@@ -97,14 +97,46 @@ pub struct KernelSpec {
 
 /// Default kernel catalog, largest tiles first.
 const CATALOG: [KernelSpec; 8] = [
-    KernelSpec { tile_m: 256, tile_n: 256, peak_fraction: 0.95 },
-    KernelSpec { tile_m: 256, tile_n: 128, peak_fraction: 0.93 },
-    KernelSpec { tile_m: 128, tile_n: 128, peak_fraction: 0.90 },
-    KernelSpec { tile_m: 128, tile_n: 64, peak_fraction: 0.85 },
-    KernelSpec { tile_m: 64, tile_n: 64, peak_fraction: 0.78 },
-    KernelSpec { tile_m: 64, tile_n: 32, peak_fraction: 0.68 },
-    KernelSpec { tile_m: 32, tile_n: 32, peak_fraction: 0.55 },
-    KernelSpec { tile_m: 16, tile_n: 16, peak_fraction: 0.35 },
+    KernelSpec {
+        tile_m: 256,
+        tile_n: 256,
+        peak_fraction: 0.95,
+    },
+    KernelSpec {
+        tile_m: 256,
+        tile_n: 128,
+        peak_fraction: 0.93,
+    },
+    KernelSpec {
+        tile_m: 128,
+        tile_n: 128,
+        peak_fraction: 0.90,
+    },
+    KernelSpec {
+        tile_m: 128,
+        tile_n: 64,
+        peak_fraction: 0.85,
+    },
+    KernelSpec {
+        tile_m: 64,
+        tile_n: 64,
+        peak_fraction: 0.78,
+    },
+    KernelSpec {
+        tile_m: 64,
+        tile_n: 32,
+        peak_fraction: 0.68,
+    },
+    KernelSpec {
+        tile_m: 32,
+        tile_n: 32,
+        peak_fraction: 0.55,
+    },
+    KernelSpec {
+        tile_m: 16,
+        tile_n: 16,
+        peak_fraction: 0.35,
+    },
 ];
 
 /// Outcome of selecting a kernel for a shape.
@@ -253,7 +285,10 @@ mod tests {
         let m = GemmModel::default();
         let s = GemmShape::new(8192, 8192, 8192);
         let eff = m.select_kernel(s).efficiency;
-        assert!(eff > 0.80, "large GEMM efficiency {eff} should be near peak");
+        assert!(
+            eff > 0.80,
+            "large GEMM efficiency {eff} should be near peak"
+        );
     }
 
     #[test]
@@ -287,8 +322,18 @@ mod tests {
     #[test]
     fn time_scales_roughly_linearly_in_m_for_large_shapes() {
         let m = GemmModel::default();
-        let t1 = m.kernel_time(GemmShape::new(4096, 8192, 8192), Precision::Fp16, PEAK, MEM_BW);
-        let t2 = m.kernel_time(GemmShape::new(8192, 8192, 8192), Precision::Fp16, PEAK, MEM_BW);
+        let t1 = m.kernel_time(
+            GemmShape::new(4096, 8192, 8192),
+            Precision::Fp16,
+            PEAK,
+            MEM_BW,
+        );
+        let t2 = m.kernel_time(
+            GemmShape::new(8192, 8192, 8192),
+            Precision::Fp16,
+            PEAK,
+            MEM_BW,
+        );
         let ratio = t2 / t1;
         assert!(
             (1.6..=2.4).contains(&ratio),
@@ -327,7 +372,12 @@ mod tests {
     #[test]
     fn efficiency_bounded_by_one() {
         let m = GemmModel::default();
-        for &(a, b, c) in &[(1u64, 1u64, 1u64), (100, 100, 100), (8192, 8192, 8192), (17, 333, 65)] {
+        for &(a, b, c) in &[
+            (1u64, 1u64, 1u64),
+            (100, 100, 100),
+            (8192, 8192, 8192),
+            (17, 333, 65),
+        ] {
             let e = m.select_kernel(GemmShape::new(a, b, c)).efficiency;
             assert!(e > 0.0 && e <= 1.0, "efficiency {e} out of range");
         }

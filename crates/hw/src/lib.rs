@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod device;
 pub mod error;
 pub mod evolution;
@@ -54,6 +55,7 @@ pub mod precision;
 pub mod roofline;
 pub mod topology;
 
+pub use cache::{CacheStats, MemoCache};
 pub use device::DeviceSpec;
 pub use error::HwError;
 pub use evolution::HwEvolution;

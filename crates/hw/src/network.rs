@@ -36,10 +36,16 @@ impl LinkSpec {
             return Err(HwError::invalid("bandwidth", "must be positive and finite"));
         }
         if !(latency.is_finite() && latency >= 0.0) {
-            return Err(HwError::invalid("latency", "must be non-negative and finite"));
+            return Err(HwError::invalid(
+                "latency",
+                "must be non-negative and finite",
+            ));
         }
         if !(ramp_bytes.is_finite() && ramp_bytes >= 0.0) {
-            return Err(HwError::invalid("ramp_bytes", "must be non-negative and finite"));
+            return Err(HwError::invalid(
+                "ramp_bytes",
+                "must be non-negative and finite",
+            ));
         }
         Ok(Self {
             bandwidth,

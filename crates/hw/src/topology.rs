@@ -91,7 +91,10 @@ impl Topology {
         let n = self.devices();
         for d in [a, b] {
             if d >= n {
-                return Err(HwError::UnknownDevice { device: d, count: n });
+                return Err(HwError::UnknownDevice {
+                    device: d,
+                    count: n,
+                });
             }
         }
         if a == b {
@@ -111,11 +114,17 @@ impl Topology {
                 ..
             } => {
                 if a / node_size == b / node_size {
-                    LinkPath { link: intra, hops: 1 }
+                    LinkPath {
+                        link: intra,
+                        hops: 1,
+                    }
                 } else {
                     // intra hop to NIC, inter hop, intra hop; bottleneck is
                     // the inter link.
-                    LinkPath { link: inter, hops: 3 }
+                    LinkPath {
+                        link: inter,
+                        hops: 3,
+                    }
                 }
             }
         })
@@ -130,7 +139,10 @@ impl Topology {
         let n = self.devices();
         for d in [a, b] {
             if d >= n {
-                return Err(HwError::UnknownDevice { device: d, count: n });
+                return Err(HwError::UnknownDevice {
+                    device: d,
+                    count: n,
+                });
             }
         }
         Ok(match *self {
@@ -148,7 +160,10 @@ impl Topology {
             | Topology::Ring { link, .. }
             | Topology::Switched { link, .. } => link,
             Topology::Hierarchical {
-                nodes, intra, inter, ..
+                nodes,
+                intra,
+                inter,
+                ..
             } => {
                 if nodes > 1 {
                     inter

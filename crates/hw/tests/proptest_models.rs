@@ -1,114 +1,140 @@
 //! Property-based tests of the hardware models: efficiencies stay in
 //! (0, 1], costs are positive, monotone where physics demands it, and
-//! hardware evolution composes.
+//! hardware evolution composes. Runs on the std-only `twocs-testkit`
+//! case driver (deterministic seeds, no external deps).
 
-use proptest::prelude::*;
 use twocs_hw::gemm::{GemmModel, GemmShape};
 use twocs_hw::memops::{MemOpKind, MemOpModel};
 use twocs_hw::network::LinkSpec;
 use twocs_hw::{DeviceSpec, HwEvolution, Precision};
+use twocs_testkit::{cases, Rng};
 
-fn shape() -> impl Strategy<Value = GemmShape> {
-    (1u64..8192, 1u64..8192, 1u64..8192, 1u64..64)
-        .prop_map(|(m, n, k, b)| GemmShape::batched(m, n, k, b))
+fn shape(rng: &mut Rng) -> GemmShape {
+    GemmShape::batched(
+        rng.u64_in(1..8192),
+        rng.u64_in(1..8192),
+        rng.u64_in(1..8192),
+        rng.u64_in(1..64),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn gemm_efficiency_in_unit_interval(s in shape()) {
+#[test]
+fn gemm_efficiency_in_unit_interval() {
+    cases(128, |rng| {
+        let s = shape(rng);
         let model = GemmModel::default();
         let eff = model.select_kernel(s).efficiency;
-        prop_assert!(eff > 0.0 && eff <= 1.0, "{s}: {eff}");
-    }
+        assert!(eff > 0.0 && eff <= 1.0, "{s}: {eff}");
+    });
+}
 
-    #[test]
-    fn gemm_time_at_least_ideal(s in shape()) {
-        // Modelled time can never beat ideal peak math time.
+#[test]
+fn gemm_time_at_least_ideal() {
+    // Modelled time can never beat ideal peak math time.
+    cases(128, |rng| {
+        let s = shape(rng);
         let dev = DeviceSpec::mi210();
         let t = dev.gemm_time(s, Precision::Fp16);
         let ideal = s.flops() as f64 / dev.peak_flops(Precision::Fp16);
-        prop_assert!(t >= ideal, "{s}: t {t} < ideal {ideal}");
-        prop_assert!(t.is_finite() && t > 0.0);
-    }
+        assert!(t >= ideal, "{s}: t {t} < ideal {ideal}");
+        assert!(t.is_finite() && t > 0.0);
+    });
+}
 
-    #[test]
-    fn gemm_time_monotone_in_each_dim(m in 64u64..2048, n in 64u64..2048, k in 64u64..2048) {
+#[test]
+fn gemm_time_monotone_in_each_dim() {
+    cases(128, |rng| {
+        let (m, n, k) = (
+            rng.u64_in(64..2048),
+            rng.u64_in(64..2048),
+            rng.u64_in(64..2048),
+        );
         let dev = DeviceSpec::mi210();
         let base = dev.gemm_time(GemmShape::new(m, n, k), Precision::Fp16);
-        // Doubling any dimension (with room in the catalog) cannot reduce
-        // time below the base minus launch jitter.
+        // Quadrupling any dimension (with room in the catalog) cannot
+        // reduce time below the base minus launch jitter.
         for bigger in [
             GemmShape::new(4 * m, n, k),
             GemmShape::new(m, 4 * n, k),
             GemmShape::new(m, n, 4 * k),
         ] {
             let t = dev.gemm_time(bigger, Precision::Fp16);
-            prop_assert!(t > 0.95 * base, "{bigger} ({t}) vs base ({base})");
+            assert!(t > 0.95 * base, "{bigger} ({t}) vs base ({base})");
         }
-    }
+    });
+}
 
-    #[test]
-    fn lower_precision_is_never_slower_for_big_gemms(exp in 9u64..12) {
+#[test]
+fn lower_precision_is_never_slower_for_big_gemms() {
+    for exp in 9u64..12 {
         let dev = DeviceSpec::mi210();
         let d = 1u64 << exp;
         let s = GemmShape::new(d, d, d);
         let t32 = dev.gemm_time(s, Precision::Fp32);
         let t16 = dev.gemm_time(s, Precision::Fp16);
         let t8 = dev.gemm_time(s, Precision::Fp8);
-        prop_assert!(t16 <= t32 && t8 <= t16);
+        assert!(t16 <= t32 && t8 <= t16);
     }
+}
 
-    #[test]
-    fn memop_time_linear_in_elements(elements in 1u64 << 16..1u64 << 26) {
+#[test]
+fn memop_time_linear_in_elements() {
+    cases(128, |rng| {
+        let elements = rng.u64_in(1 << 16..1 << 26);
         let model = MemOpModel::default();
         let t1 = model.kernel_time(MemOpKind::LayerNorm, elements, 2, 1e12);
         let t2 = model.kernel_time(MemOpKind::LayerNorm, 2 * elements, 2, 1e12);
-        prop_assert!((t2 / t1 - 2.0).abs() < 1e-6);
-    }
+        assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn transfer_time_monotone_and_bounded(
-        bw_gb in 10.0f64..500.0,
-        latency_us in 0.0f64..50.0,
-        bytes in 1u64..1u64 << 32,
-    ) {
+#[test]
+fn transfer_time_monotone_and_bounded() {
+    cases(128, |rng| {
+        let bw_gb = rng.f64_in(10.0..500.0);
+        let latency_us = rng.f64_in(0.0..50.0);
+        let bytes = rng.u64_in(1..1 << 32);
         let link = LinkSpec::new(bw_gb * 1e9, latency_us * 1e-6, 4e6).unwrap();
         let t = link.transfer_time(bytes);
         // Never faster than ideal wire time + latency.
         let ideal = latency_us * 1e-6 + bytes as f64 / (bw_gb * 1e9);
-        prop_assert!(t >= ideal - 1e-15);
+        assert!(t >= ideal - 1e-15);
         // And monotone in size.
-        prop_assert!(link.transfer_time(bytes + 1024) >= t);
-    }
+        assert!(link.transfer_time(bytes + 1024) >= t);
+    });
+}
 
-    #[test]
-    fn evolution_composes(r1 in 1.0f64..4.0, r2 in 1.0f64..4.0) {
+#[test]
+fn evolution_composes() {
+    cases(64, |rng| {
+        let r1 = rng.f64_in(1.0..4.0);
+        let r2 = rng.f64_in(1.0..4.0);
         let dev = DeviceSpec::mi210();
         let once = HwEvolution::flop_vs_bw(r1 * r2).apply(&dev);
-        let twice = HwEvolution::flop_vs_bw(r2)
-            .apply(&HwEvolution::flop_vs_bw(r1).apply(&dev));
+        let twice = HwEvolution::flop_vs_bw(r2).apply(&HwEvolution::flop_vs_bw(r1).apply(&dev));
         let a = once.peak_flops(Precision::Fp16);
         let b = twice.peak_flops(Precision::Fp16);
-        prop_assert!(((a - b) / a).abs() < 1e-12);
-        prop_assert!(
+        assert!(((a - b) / a).abs() < 1e-12);
+        assert!(
             (once.network().ring_allreduce_bandwidth()
                 - twice.network().ring_allreduce_bandwidth())
             .abs()
                 < 1.0
         );
-    }
+    });
+}
 
-    #[test]
-    fn evolution_preserves_catalog_invariants(ratio in 1.0f64..8.0) {
+#[test]
+fn evolution_preserves_catalog_invariants() {
+    cases(16, |rng| {
+        let ratio = rng.f64_in(1.0..8.0);
         for dev in DeviceSpec::catalog() {
             let fut = HwEvolution::flop_vs_bw(ratio).apply(&dev);
-            prop_assert!(fut.peak_flops(Precision::Fp16) >= dev.peak_flops(Precision::Fp16));
-            prop_assert_eq!(fut.mem_capacity(), dev.mem_capacity());
+            assert!(fut.peak_flops(Precision::Fp16) >= dev.peak_flops(Precision::Fp16));
+            assert_eq!(fut.mem_capacity(), dev.mem_capacity());
             // A large GEMM gets faster, a tiny one is launch-bound.
             let big = GemmShape::new(8192, 8192, 8192);
-            prop_assert!(fut.gemm_time(big, Precision::Fp16) < dev.gemm_time(big, Precision::Fp16));
+            assert!(fut.gemm_time(big, Precision::Fp16) < dev.gemm_time(big, Precision::Fp16));
         }
-    }
+    });
 }

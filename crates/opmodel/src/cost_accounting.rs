@@ -128,11 +128,7 @@ pub fn account(device: &DeviceSpec) -> ProfilingCostReport {
     let baseline_iter = base_layer.compute_time() * baseline.layers() as f64;
     let ar_sweep: f64 = crate::model::ArSizeModel::default_sizes()
         .iter()
-        .map(|&s| {
-            profiler
-                .comm_model()
-                .allreduce_time(s, 4, device.network())
-        })
+        .map(|&s| profiler.comm_model().allreduce_time(s, 4, device.network()))
         .sum();
     let strategy = baseline_iter + ar_sweep;
 

@@ -62,10 +62,7 @@ impl ScalingExponents {
                 b: 1.0,
                 inv_tp: 1.0,
             }
-        } else if name.starts_with("ln")
-            || name.contains("dropout")
-            || name.contains("residual")
-        {
+        } else if name.starts_with("ln") || name.contains("dropout") || name.contains("residual") {
             // Full-width activations, replicated across TP ranks:
             // O(H · SL · B).
             Self {
@@ -220,8 +217,18 @@ mod tests {
 
     #[test]
     fn scale_factor_composition() {
-        let base = Hyperparams::builder(1024).heads(16).seq_len(512).batch(4).build().unwrap();
-        let target = Hyperparams::builder(4096).heads(32).seq_len(1024).batch(2).build().unwrap();
+        let base = Hyperparams::builder(1024)
+            .heads(16)
+            .seq_len(512)
+            .batch(4)
+            .build()
+            .unwrap();
+        let target = Hyperparams::builder(4096)
+            .heads(32)
+            .seq_len(1024)
+            .batch(2)
+            .build()
+            .unwrap();
         let law = ScalingExponents::for_op("fc1_gemm").unwrap();
         // (4096/1024)² · (1024/512) · (2/4) · (1/8) = 16 · 2 · 0.5 · 0.125.
         let f = law.scale_factor(&base, 1, &target, 8);

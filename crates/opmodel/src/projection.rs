@@ -59,12 +59,7 @@ impl ProjectionModel {
     /// Project the runtime of one named operator at a target
     /// configuration; `None` for unknown names or communication ops.
     #[must_use]
-    pub fn project_op_time(
-        &self,
-        name: &str,
-        target: &Hyperparams,
-        target_tp: u64,
-    ) -> Option<f64> {
+    pub fn project_op_time(&self, name: &str, target: &Hyperparams, target_tp: u64) -> Option<f64> {
         let law = ScalingExponents::for_op(name)?;
         let base = self.baseline_ops.iter().find(|r| r.name == name)?;
         Some(base.time * law.scale_factor(&self.baseline, 1, target, target_tp))
@@ -105,9 +100,8 @@ impl ProjectionModel {
         };
 
         // One overlappable DP gradient all-reduce per layer.
-        let grad_bytes =
-            twocs_transformer::layer::layer_weight_elements(target, parallel)
-                * target.precision().bytes();
+        let grad_bytes = twocs_transformer::layer::layer_weight_elements(target, parallel)
+            * target.precision().bytes();
         let overlapped_comm = if parallel.dp() > 1 {
             self.ar_model.predict(grad_bytes)
         } else {
@@ -203,7 +197,12 @@ mod tests {
     use super::*;
 
     fn baseline() -> Hyperparams {
-        Hyperparams::builder(1024).heads(16).seq_len(512).batch(4).build().unwrap()
+        Hyperparams::builder(1024)
+            .heads(16)
+            .seq_len(512)
+            .batch(4)
+            .build()
+            .unwrap()
     }
 
     fn model() -> ProjectionModel {
@@ -249,8 +248,18 @@ mod tests {
     #[test]
     fn comm_fraction_falls_with_h_at_fixed_tp() {
         let m = model();
-        let small = Hyperparams::builder(4096).heads(64).seq_len(2048).batch(1).build().unwrap();
-        let large = Hyperparams::builder(32_768).heads(64).seq_len(2048).batch(1).build().unwrap();
+        let small = Hyperparams::builder(4096)
+            .heads(64)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap();
+        let large = Hyperparams::builder(32_768)
+            .heads(64)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap();
         let par = ParallelConfig::new().tensor(32);
         let fs = m.project(&small, &par).serialized_comm_fraction();
         let fl = m.project(&large, &par).serialized_comm_fraction();
@@ -261,8 +270,18 @@ mod tests {
     fn slack_shrinks_with_smaller_slb() {
         let m = model();
         let par = ParallelConfig::new().tensor(16).data(8);
-        let big_slb = Hyperparams::builder(8192).heads(64).seq_len(8192).batch(4).build().unwrap();
-        let small_slb = Hyperparams::builder(8192).heads(64).seq_len(1024).batch(1).build().unwrap();
+        let big_slb = Hyperparams::builder(8192)
+            .heads(64)
+            .seq_len(8192)
+            .batch(4)
+            .build()
+            .unwrap();
+        let small_slb = Hyperparams::builder(8192)
+            .heads(64)
+            .seq_len(1024)
+            .batch(1)
+            .build()
+            .unwrap();
         let r_big = m.project(&big_slb, &par).overlap_ratio();
         let r_small = m.project(&small_slb, &par).overlap_ratio();
         assert!(r_small > r_big, "small SLB {r_small} vs big SLB {r_big}");
@@ -271,27 +290,44 @@ mod tests {
     #[test]
     fn flop_vs_bw_scaling_raises_comm_fraction() {
         let m = model();
-        let target = Hyperparams::builder(16_384).heads(64).seq_len(2048).batch(1).build().unwrap();
+        let target = Hyperparams::builder(16_384)
+            .heads(64)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap();
         let proj = m.project(&target, &ParallelConfig::new().tensor(64));
         let f1 = proj.serialized_comm_fraction();
         let f2 = proj.with_flop_vs_bw(2.0).serialized_comm_fraction();
         let f4 = proj.with_flop_vs_bw(4.0).serialized_comm_fraction();
         assert!(f1 < f2 && f2 < f4);
         // Compute halves exactly.
-        assert!((proj.with_flop_vs_bw(2.0).compute_per_layer - proj.compute_per_layer / 2.0).abs() < 1e-12);
+        assert!(
+            (proj.with_flop_vs_bw(2.0).compute_per_layer - proj.compute_per_layer / 2.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn evolution_can_expose_overlapped_comm() {
         let m = model();
         // Small SL*B -> thin slack; 4x compute scaling should expose it.
-        let target = Hyperparams::builder(2048).heads(16).seq_len(1024).batch(1).build().unwrap();
+        let target = Hyperparams::builder(2048)
+            .heads(16)
+            .seq_len(1024)
+            .batch(1)
+            .build()
+            .unwrap();
         let par = ParallelConfig::new().tensor(16).data(8);
         let now = m.project(&target, &par);
         let fut = now.with_flop_vs_bw(4.0);
         assert!(fut.overlap_ratio() > now.overlap_ratio());
         if now.overlap_ratio() > 0.25 {
-            assert!(fut.overlap_ratio() > 1.0, "4x scaling should expose: {}", fut.overlap_ratio());
+            assert!(
+                fut.overlap_ratio() > 1.0,
+                "4x scaling should expose: {}",
+                fut.overlap_ratio()
+            );
         }
     }
 

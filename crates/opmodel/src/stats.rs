@@ -97,7 +97,11 @@ impl LinearFit {
 
 impl fmt::Display for LinearFit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fit β = {:?} (R² = {:.4})", self.coefficients, self.r_squared)
+        write!(
+            f,
+            "fit β = {:?} (R² = {:.4})",
+            self.coefficients, self.r_squared
+        )
     }
 }
 

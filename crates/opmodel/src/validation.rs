@@ -56,11 +56,7 @@ impl SweepValidation {
     }
 }
 
-fn measured_op_time(
-    device: &DeviceSpec,
-    hyper: &Hyperparams,
-    op_name: &str,
-) -> Option<f64> {
+fn measured_op_time(device: &DeviceSpec, hyper: &Hyperparams, op_name: &str) -> Option<f64> {
     let profiler = Profiler::new(device.clone());
     encoder_layer_forward(hyper, &ParallelConfig::new())
         .iter()

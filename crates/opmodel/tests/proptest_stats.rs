@@ -1,31 +1,30 @@
-//! Property-based tests of the statistics toolkit and scaling laws.
+//! Property-based tests of the statistics toolkit and scaling laws, on
+//! the std-only `twocs-testkit` case driver.
 
-use proptest::prelude::*;
 use twocs_opmodel::stats::{geomean_error, mean_abs_pct_error, LinearFit};
+use twocs_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn ols_recovers_exact_linear_models(
-        intercept in -100.0f64..100.0,
-        slope in -10.0f64..10.0,
-        n in 3usize..40,
-    ) {
+#[test]
+fn ols_recovers_exact_linear_models() {
+    cases(96, |rng| {
+        let intercept = rng.f64_in(-100.0..100.0);
+        let slope = rng.f64_in(-10.0..10.0);
+        let n = rng.usize_in(3..40);
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![1.0, i as f64]).collect();
         let y: Vec<f64> = (0..n).map(|i| intercept + slope * i as f64).collect();
         let fit = LinearFit::fit(&rows, &y).expect("well-posed system");
-        prop_assert!((fit.coefficients()[0] - intercept).abs() < 1e-6);
-        prop_assert!((fit.coefficients()[1] - slope).abs() < 1e-7);
-        prop_assert!(fit.r_squared() > 1.0 - 1e-9);
-    }
+        assert!((fit.coefficients()[0] - intercept).abs() < 1e-6);
+        assert!((fit.coefficients()[1] - slope).abs() < 1e-7);
+        assert!(fit.r_squared() > 1.0 - 1e-9);
+    });
+}
 
-    #[test]
-    fn ols_recovers_quadratics(
-        a in 0.01f64..5.0,
-        b in -5.0f64..5.0,
-        c in -50.0f64..50.0,
-    ) {
+#[test]
+fn ols_recovers_quadratics() {
+    cases(96, |rng| {
+        let a = rng.f64_in(0.01..5.0);
+        let b = rng.f64_in(-5.0..5.0);
+        let c = rng.f64_in(-50.0..50.0);
         let rows: Vec<Vec<f64>> = (1..20)
             .map(|i| {
                 let x = f64::from(i);
@@ -39,22 +38,36 @@ proptest! {
             })
             .collect();
         let fit = LinearFit::fit(&rows, &y).expect("well-posed system");
-        prop_assert!((fit.coefficients()[2] - a).abs() < 1e-5,
-            "quadratic coefficient {} vs {a}", fit.coefficients()[2]);
-    }
+        assert!(
+            (fit.coefficients()[2] - a).abs() < 1e-5,
+            "quadratic coefficient {} vs {a}",
+            fit.coefficients()[2]
+        );
+    });
+}
 
-    #[test]
-    fn prediction_is_linear_in_features(
-        beta in proptest::collection::vec(-5.0f64..5.0, 2..4),
-        x in proptest::collection::vec(-10.0f64..10.0, 2..4),
-    ) {
+#[test]
+fn prediction_is_linear_in_features() {
+    cases(96, |rng| {
+        let beta: Vec<f64> = {
+            let k = rng.usize_in(2..4);
+            rng.vec_of(k, |r| r.f64_in(-5.0..5.0))
+        };
+        let x: Vec<f64> = {
+            let k = rng.usize_in(2..4);
+            rng.vec_of(k, |r| r.f64_in(-10.0..10.0))
+        };
         // Build exact data from beta, fit, and verify predict() is the dot
         // product for an arbitrary feature vector of the same arity.
         let k = beta.len().min(x.len());
         let beta = &beta[..k];
         let x = &x[..k];
         let rows: Vec<Vec<f64>> = (0..(k * 4))
-            .map(|i| (0..k).map(|j| ((i * 7 + j * 13) % 11) as f64 + 0.5 * j as f64).collect())
+            .map(|i| {
+                (0..k)
+                    .map(|j| ((i * 7 + j * 13) % 11) as f64 + 0.5 * j as f64)
+                    .collect()
+            })
             .collect();
         let y: Vec<f64> = rows
             .iter()
@@ -62,59 +75,67 @@ proptest! {
             .collect();
         if let Some(fit) = LinearFit::fit(&rows, &y) {
             let expect: f64 = x.iter().zip(beta).map(|(v, b)| v * b).sum();
-            prop_assert!((fit.predict(x) - expect).abs() < 1e-5 * (1.0 + expect.abs()));
+            assert!((fit.predict(x) - expect).abs() < 1e-5 * (1.0 + expect.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn error_metrics_are_zero_iff_exact(values in proptest::collection::vec(0.1f64..1e6, 1..20)) {
-        prop_assert!(mean_abs_pct_error(&values, &values) < 1e-12);
-        prop_assert!(geomean_error(&values, &values) < 1e-12);
+#[test]
+fn error_metrics_are_zero_iff_exact() {
+    cases(96, |rng| {
+        let n = rng.usize_in(1..20);
+        let values: Vec<f64> = rng.vec_of(n, |r| r.f64_in(0.1..1e6));
+        assert!(mean_abs_pct_error(&values, &values) < 1e-12);
+        assert!(geomean_error(&values, &values) < 1e-12);
         // Scaling everything by 2x gives exactly 100% MAPE and geomean.
         let doubled: Vec<f64> = values.iter().map(|v| 2.0 * v).collect();
-        prop_assert!((mean_abs_pct_error(&doubled, &values) - 1.0).abs() < 1e-9);
-        prop_assert!((geomean_error(&doubled, &values) - 1.0).abs() < 1e-9);
-    }
+        assert!((mean_abs_pct_error(&doubled, &values) - 1.0).abs() < 1e-9);
+        assert!((geomean_error(&doubled, &values) - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn geomean_error_symmetry(
-        pred in proptest::collection::vec(0.1f64..1e4, 1..20),
-        scale in 0.1f64..10.0,
-    ) {
+#[test]
+fn geomean_error_symmetry() {
+    cases(96, |rng| {
+        let n = rng.usize_in(1..20);
+        let pred: Vec<f64> = rng.vec_of(n, |r| r.f64_in(0.1..1e4));
+        let scale = rng.f64_in(0.1..10.0);
         let actual: Vec<f64> = pred.iter().map(|v| v * scale).collect();
         let forward = geomean_error(&pred, &actual);
         let backward = geomean_error(&actual, &pred);
-        prop_assert!((forward - backward).abs() < 1e-9);
-    }
+        assert!((forward - backward).abs() < 1e-9);
+    });
 }
 
 mod scaling_laws {
-    use proptest::prelude::*;
     use twocs_opmodel::ScalingExponents;
+    use twocs_testkit::cases;
     use twocs_transformer::Hyperparams;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn scale_factor_is_multiplicative(
-            h_mult in 1u64..8,
-            sl_mult in 1u64..8,
-        ) {
+    #[test]
+    fn scale_factor_is_multiplicative() {
+        cases(64, |rng| {
+            let h_mult = rng.u64_in(1..8);
+            let sl_mult = rng.u64_in(1..8);
             // Law(base -> mid) * Law(mid -> target) == Law(base -> target).
             let mk = |h: u64, sl: u64| {
-                Hyperparams::builder(h).heads(16).seq_len(sl).batch(1).build().unwrap()
+                Hyperparams::builder(h)
+                    .heads(16)
+                    .seq_len(sl)
+                    .batch(1)
+                    .build()
+                    .unwrap()
             };
             let base = mk(1024, 512);
             let mid = mk(1024 * h_mult, 512);
             let target = mk(1024 * h_mult, 512 * sl_mult);
             for name in ["fc1_gemm", "attn_score_gemm", "ln1", "gelu"] {
                 let law = ScalingExponents::for_op(name).unwrap();
-                let two_hop = law.scale_factor(&base, 1, &mid, 1)
-                    * law.scale_factor(&mid, 1, &target, 1);
+                let two_hop =
+                    law.scale_factor(&base, 1, &mid, 1) * law.scale_factor(&mid, 1, &target, 1);
                 let direct = law.scale_factor(&base, 1, &target, 1);
-                prop_assert!(((two_hop - direct) / direct).abs() < 1e-9, "{name}");
+                assert!(((two_hop - direct) / direct).abs() < 1e-9, "{name}");
             }
-        }
+        });
     }
 }

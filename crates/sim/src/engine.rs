@@ -115,35 +115,34 @@ impl Engine {
             // involved device is busy past our start time.
             let mut duration = task.duration;
             if !self.interference.is_none() && duration > SimTime::ZERO {
-                let slowdown = match task.stream_on(
-                    task.devices().first().copied().unwrap_or(DeviceId(0)),
-                ) {
-                    Some(StreamKind::Comm | StreamKind::CommAlt) => {
-                        let concurrent = task.devices().iter().any(|&d| {
-                            stream_avail
-                                .get(&(d, StreamKind::Compute))
-                                .is_some_and(|&t| t > start)
-                        });
-                        if concurrent {
-                            self.interference.comm_slowdown
-                        } else {
-                            1.0
+                let slowdown =
+                    match task.stream_on(task.devices().first().copied().unwrap_or(DeviceId(0))) {
+                        Some(StreamKind::Comm | StreamKind::CommAlt) => {
+                            let concurrent = task.devices().iter().any(|&d| {
+                                stream_avail
+                                    .get(&(d, StreamKind::Compute))
+                                    .is_some_and(|&t| t > start)
+                            });
+                            if concurrent {
+                                self.interference.comm_slowdown
+                            } else {
+                                1.0
+                            }
                         }
-                    }
-                    Some(StreamKind::Compute) => {
-                        let concurrent = task.devices().iter().any(|&d| {
-                            [StreamKind::Comm, StreamKind::CommAlt].iter().any(|&s| {
-                                stream_avail.get(&(d, s)).is_some_and(|&t| t > start)
-                            })
-                        });
-                        if concurrent {
-                            self.interference.compute_slowdown
-                        } else {
-                            1.0
+                        Some(StreamKind::Compute) => {
+                            let concurrent = task.devices().iter().any(|&d| {
+                                [StreamKind::Comm, StreamKind::CommAlt]
+                                    .iter()
+                                    .any(|&s| stream_avail.get(&(d, s)).is_some_and(|&t| t > start))
+                            });
+                            if concurrent {
+                                self.interference.compute_slowdown
+                            } else {
+                                1.0
+                            }
                         }
-                    }
-                    None => 1.0,
-                };
+                        None => 1.0,
+                    };
                 duration = duration.scale(slowdown);
             }
 
@@ -191,7 +190,9 @@ impl Engine {
         }
 
         if executed != n {
-            return Err(SimError::CyclicDependencies { stuck: n - executed });
+            return Err(SimError::CyclicDependencies {
+                stuck: n - executed,
+            });
         }
         Ok(timeline)
     }
@@ -317,7 +318,13 @@ mod tests {
         let mut g = TaskGraph::new(4);
         for i in 0..50 {
             let dev = d(i % 4);
-            g.compute(dev, format!("k{i}"), OpClass::Gemm, 1e-4 * (i % 7 + 1) as f64, &[]);
+            g.compute(
+                dev,
+                format!("k{i}"),
+                OpClass::Gemm,
+                1e-4 * (i % 7 + 1) as f64,
+                &[],
+            );
             if i % 5 == 0 {
                 g.collective(vec![d(0), d(1), d(2), d(3)], format!("ar{i}"), 2e-4, &[]);
             }

@@ -39,7 +39,10 @@ impl fmt::Display for SimError {
                 write!(f, "task {task} depends on unknown task {dep}")
             }
             SimError::CyclicDependencies { stuck } => {
-                write!(f, "dependency cycle detected: {stuck} tasks never became ready")
+                write!(
+                    f,
+                    "dependency cycle detected: {stuck} tasks never became ready"
+                )
             }
             SimError::UnknownDevice {
                 task,

@@ -230,7 +230,9 @@ mod tests {
         let _a = g.push(
             "a",
             OpClass::Gemm,
-            TaskKind::Compute { device: DeviceId(0) },
+            TaskKind::Compute {
+                device: DeviceId(0),
+            },
             SimTime::from_micros(1),
             &[TaskId(5)],
         );
@@ -246,7 +248,9 @@ mod tests {
         let _ = g.push(
             "a",
             OpClass::Gemm,
-            TaskKind::Compute { device: DeviceId(0) },
+            TaskKind::Compute {
+                device: DeviceId(0),
+            },
             SimTime::from_micros(1),
             &[TaskId(0)],
         );

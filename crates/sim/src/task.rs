@@ -179,7 +179,9 @@ mod tests {
             id: TaskId(0),
             name: "k".into(),
             class: OpClass::Gemm,
-            kind: TaskKind::Compute { device: DeviceId(1) },
+            kind: TaskKind::Compute {
+                device: DeviceId(1),
+            },
             duration: SimTime::from_micros(1),
             deps: vec![],
         };

@@ -231,7 +231,9 @@ impl Timeline {
                 OpClass::Comm => 'C',
                 _ => 'o',
             };
-            let cells = rows.entry((r.device, lane)).or_insert_with(|| vec![(0, ' '); width]);
+            let cells = rows
+                .entry((r.device, lane))
+                .or_insert_with(|| vec![(0, ' '); width]);
             let first = (r.start.as_ps() / bucket) as usize;
             let last = ((r.end.as_ps() - 1) / bucket) as usize;
             for cell in cells.iter_mut().take(last.min(width - 1) + 1).skip(first) {
@@ -355,7 +357,13 @@ fn subtract_length(a: &[(u64, u64)], b: &[(u64, u64)]) -> SimTime {
 mod tests {
     use super::*;
 
-    fn rec(device: usize, stream: StreamKind, class: OpClass, start: u64, end: u64) -> KernelRecord {
+    fn rec(
+        device: usize,
+        stream: StreamKind,
+        class: OpClass,
+        start: u64,
+        end: u64,
+    ) -> KernelRecord {
         KernelRecord {
             task: TaskId(0),
             name: "k".into(),

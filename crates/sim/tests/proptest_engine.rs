@@ -1,4 +1,5 @@
-//! Property-based tests for the discrete-event engine.
+//! Property-based tests for the discrete-event engine, on the std-only
+//! `twocs-testkit` case driver.
 //!
 //! Random DAGs over a handful of devices must always satisfy the engine's
 //! core invariants, whatever the shapes of the graphs:
@@ -7,12 +8,12 @@
 //! 3. makespan is at least the critical path and at most total work,
 //! 4. execution is deterministic.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use twocs_sim::graph::TaskGraph;
 use twocs_sim::task::{DeviceId, OpClass, StreamKind, TaskId};
 use twocs_sim::time::SimTime;
 use twocs_sim::Engine;
+use twocs_testkit::{cases, Rng};
 
 /// A compact description of a random task used to build graphs.
 #[derive(Debug, Clone)]
@@ -24,19 +25,21 @@ struct TaskDesc {
     dep_offsets: Vec<usize>,
 }
 
-fn task_desc() -> impl Strategy<Value = TaskDesc> {
-    (
-        0usize..4,
-        1u64..500,
-        any::<bool>(),
-        proptest::collection::vec(1usize..8, 0..3),
-    )
-        .prop_map(|(device, micros, comm, dep_offsets)| TaskDesc {
-            device,
-            micros,
-            comm,
-            dep_offsets,
-        })
+fn task_desc(rng: &mut Rng) -> TaskDesc {
+    TaskDesc {
+        device: rng.usize_in(0..4),
+        micros: rng.u64_in(1..500),
+        comm: rng.bool(),
+        dep_offsets: {
+            let n = rng.usize_in(0..3);
+            rng.vec_of(n, |r| r.usize_in(1..8))
+        },
+    }
+}
+
+fn task_descs(rng: &mut Rng, max: usize) -> Vec<TaskDesc> {
+    let n = rng.usize_in(1..max);
+    rng.vec_of(n, task_desc)
 }
 
 fn build_graph(descs: &[TaskDesc]) -> TaskGraph {
@@ -56,17 +59,22 @@ fn build_graph(descs: &[TaskDesc]) -> TaskGraph {
                 &deps,
             );
         } else {
-            g.compute(DeviceId(d.device), format!("k{i}"), OpClass::Gemm, secs, &deps);
+            g.compute(
+                DeviceId(d.device),
+                format!("k{i}"),
+                OpClass::Gemm,
+                secs,
+                &deps,
+            );
         }
     }
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dependencies_are_respected(descs in proptest::collection::vec(task_desc(), 1..40)) {
+#[test]
+fn dependencies_are_respected() {
+    cases(64, |rng| {
+        let descs = task_descs(rng, 40);
         let g = build_graph(&descs);
         let timeline = Engine::new().run_trace(&g).unwrap();
         // Map task -> (min start, max end) across its per-device records.
@@ -80,61 +88,80 @@ proptest! {
             if let Some(&(start, _)) = span.get(&t.id.0) {
                 for dep in &t.deps {
                     if let Some(&(_, dep_end)) = span.get(&dep.0) {
-                        prop_assert!(start >= dep_end,
+                        assert!(
+                            start >= dep_end,
                             "task {} started {start} before dep {} finished {dep_end}",
-                            t.id, dep);
+                            t.id,
+                            dep
+                        );
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn streams_never_overlap(descs in proptest::collection::vec(task_desc(), 1..40)) {
+#[test]
+fn streams_never_overlap() {
+    cases(64, |rng| {
+        let descs = task_descs(rng, 40);
         let g = build_graph(&descs);
         let timeline = Engine::new().run_trace(&g).unwrap();
         let mut by_stream: HashMap<(DeviceId, StreamKind), Vec<(u64, u64)>> = HashMap::new();
         for r in timeline.records() {
-            by_stream.entry((r.device, r.stream)).or_default()
+            by_stream
+                .entry((r.device, r.stream))
+                .or_default()
                 .push((r.start.as_ps(), r.end.as_ps()));
         }
         for ((dev, stream), mut intervals) in by_stream {
             intervals.sort_unstable();
             for w in intervals.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0,
-                    "overlap on {dev:?}/{stream:?}: {:?} vs {:?}", w[0], w[1]);
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "overlap on {dev:?}/{stream:?}: {:?} vs {:?}",
+                    w[0],
+                    w[1]
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn makespan_bounds(descs in proptest::collection::vec(task_desc(), 1..40)) {
+#[test]
+fn makespan_bounds() {
+    cases(64, |rng| {
+        let descs = task_descs(rng, 40);
         let g = build_graph(&descs);
         let r = Engine::new().run(&g).unwrap();
-        prop_assert!(r.makespan() >= g.critical_path());
-        prop_assert!(r.makespan() <= g.total_work());
-    }
+        assert!(r.makespan() >= g.critical_path());
+        assert!(r.makespan() <= g.total_work());
+    });
+}
 
-    #[test]
-    fn execution_is_deterministic(descs in proptest::collection::vec(task_desc(), 1..30)) {
+#[test]
+fn execution_is_deterministic() {
+    cases(64, |rng| {
+        let descs = task_descs(rng, 30);
         let g = build_graph(&descs);
         let t1 = Engine::new().run_trace(&g).unwrap();
         let t2 = Engine::new().run_trace(&g).unwrap();
-        prop_assert_eq!(t1.records(), t2.records());
-    }
+        assert_eq!(t1.records(), t2.records());
+    });
+}
 
-    #[test]
-    fn exposed_plus_overlapped_equals_comm_busy(
-        descs in proptest::collection::vec(task_desc(), 1..40)
-    ) {
+#[test]
+fn exposed_plus_overlapped_equals_comm_busy() {
+    cases(64, |rng| {
+        let descs = task_descs(rng, 40);
         let g = build_graph(&descs);
         let timeline = Engine::new().run_trace(&g).unwrap();
         for dev in timeline.devices() {
             let comm = timeline.comm_busy(dev);
             let exposed = timeline.exposed_comm(dev);
             let overlapped = timeline.overlapped_comm(dev);
-            prop_assert_eq!(exposed + overlapped, comm);
-            prop_assert!(exposed <= comm);
+            assert_eq!(exposed + overlapped, comm);
+            assert!(exposed <= comm);
         }
-    }
+    });
 }

@@ -38,7 +38,12 @@ pub fn fc_sublayer_backward(hyper: &Hyperparams, parallel: &ParallelConfig) -> V
     ];
     if tp > 1 {
         // Megatron `f` backward: reduce partial input gradients.
-        ops.push(Op::allreduce("tp_ar_fc_bwd", act, tp, CommScope::TensorParallel));
+        ops.push(Op::allreduce(
+            "tp_ar_fc_bwd",
+            act,
+            tp,
+            CommScope::TensorParallel,
+        ));
     }
     ops.push(Op::memop("ln2_bwd", MemOpKind::LayerNorm, act));
     ops
@@ -87,7 +92,12 @@ pub fn attention_sublayer_backward(hyper: &Hyperparams, parallel: &ParallelConfi
         Op::gemm("qkv_wg_gemm", GemmShape::new(3 * h / tp, h, tokens)),
     ];
     if tp > 1 {
-        ops.push(Op::allreduce("tp_ar_attn_bwd", act, tp, CommScope::TensorParallel));
+        ops.push(Op::allreduce(
+            "tp_ar_attn_bwd",
+            act,
+            tp,
+            CommScope::TensorParallel,
+        ));
     }
     ops.push(Op::memop("ln1_bwd", MemOpKind::LayerNorm, act));
     ops
@@ -131,7 +141,11 @@ pub fn cross_attention_sublayer_backward(
             "xattn_ctx_dv_gemm",
             GemmShape::batched(sl, head_dim, sl, b * heads_local),
         ),
-        Op::memop("xattn_softmax_bwd", MemOpKind::Softmax, b * heads_local * sl * sl),
+        Op::memop(
+            "xattn_softmax_bwd",
+            MemOpKind::Softmax,
+            b * heads_local * sl * sl,
+        ),
         Op::gemm(
             "xattn_score_dq_gemm",
             GemmShape::batched(sl, head_dim, sl, b * heads_local),
@@ -146,7 +160,12 @@ pub fn cross_attention_sublayer_backward(
         Op::gemm("xattn_kv_wg_gemm", GemmShape::new(2 * h / tp, h, tokens)),
     ];
     if tp > 1 {
-        ops.push(Op::allreduce("tp_ar_xattn_bwd", act, tp, CommScope::TensorParallel));
+        ops.push(Op::allreduce(
+            "tp_ar_xattn_bwd",
+            act,
+            tp,
+            CommScope::TensorParallel,
+        ));
     }
     ops.push(Op::memop("xattn_ln_bwd", MemOpKind::LayerNorm, act));
     ops
@@ -210,7 +229,11 @@ mod tests {
     use crate::layer::{encoder_layer_forward, forward_flops};
 
     fn hp(h: u64, sl: u64, b: u64) -> Hyperparams {
-        Hyperparams::builder(h).seq_len(sl).batch(b).build().unwrap()
+        Hyperparams::builder(h)
+            .seq_len(sl)
+            .batch(b)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -233,7 +256,10 @@ mod tests {
         let hyper = hp(4096, 2048, 1);
         let par = ParallelConfig::new().tensor(8);
         let fwd: u64 = forward_flops(&hyper, &par);
-        let bwd: u64 = encoder_layer_backward(&hyper, &par).iter().map(Op::flops).sum();
+        let bwd: u64 = encoder_layer_backward(&hyper, &par)
+            .iter()
+            .map(Op::flops)
+            .sum();
         assert_eq!(bwd, 2 * fwd);
     }
 

@@ -10,10 +10,10 @@
 use crate::backward::{decoder_layer_backward, encoder_layer_backward, layer_grad_allreduce};
 use crate::hyper::Hyperparams;
 use crate::layer::{decoder_layer_forward, encoder_layer_forward, with_tp_comm_style, TpCommStyle};
-use crate::zoo::LayerKind;
 use crate::memory::params_per_device;
 use crate::ops::Op;
 use crate::parallel::ParallelConfig;
+use crate::zoo::LayerKind;
 use twocs_collectives::{Collective, CollectiveCostModel};
 use twocs_hw::memops::MemOpKind;
 use twocs_hw::network::NetworkSpec;
@@ -166,8 +166,14 @@ impl<'a> IterationBuilder<'a> {
     fn op_time(&self, op: &Op) -> f64 {
         use crate::ops::{CommScope, OpKind};
         // DP collectives may run on a different (inter-node) network.
-        if let (Some(net), OpKind::AllReduce { elements, participants, scope }) =
-            (&self.dp_network, op.kind())
+        if let (
+            Some(net),
+            OpKind::AllReduce {
+                elements,
+                participants,
+                scope,
+            },
+        ) = (&self.dp_network, op.kind())
         {
             if *scope == CommScope::DataParallel {
                 return self.comm_model.node_time(
@@ -193,7 +199,10 @@ impl<'a> IterationBuilder<'a> {
 
     /// Time of a DP collective of `bytes` over the configured DP network.
     fn dp_collective_time(&self, collective: Collective, bytes: u64) -> f64 {
-        let net = self.dp_network.as_ref().unwrap_or_else(|| self.device.network());
+        let net = self
+            .dp_network
+            .as_ref()
+            .unwrap_or_else(|| self.device.network());
         self.comm_model
             .node_time(collective, bytes, self.parallel.dp() as usize, net)
     }
@@ -237,10 +246,7 @@ impl<'a> IterationBuilder<'a> {
                 // the critical-path TP all-reduces.
                 let grad_bytes = ar.comm_bytes(self.hyper.precision());
                 let (name, secs) = match self.dp_strategy {
-                    DpStrategy::AllReduce => (
-                        format!("l{li}.{}", ar.name()),
-                        self.op_time(ar),
-                    ),
+                    DpStrategy::AllReduce => (format!("l{li}.{}", ar.name()), self.op_time(ar)),
                     DpStrategy::ZeroShard => (
                         format!("l{li}.dp_grad_rs"),
                         self.dp_collective_time(Collective::ReduceScatter, grad_bytes),
@@ -261,13 +267,15 @@ impl<'a> IterationBuilder<'a> {
             deps.extend(ar_ids);
             let params = params_per_device(self.hyper, self.parallel);
             // Adam update streams params + grads + moments through memory.
-            let secs = self
-                .device
-                .memop_time(MemOpKind::Elementwise, params * 8, self.hyper.precision());
+            let secs =
+                self.device
+                    .memop_time(MemOpKind::Elementwise, params * 8, self.hyper.precision());
             let opt = g.push(
                 "optimizer_step",
                 OpClass::Other,
-                TaskKind::Compute { device: DeviceId(0) },
+                TaskKind::Compute {
+                    device: DeviceId(0),
+                },
                 SimTime::from_secs_f64(secs),
                 &deps,
             );
@@ -633,7 +641,11 @@ mod style_tests {
         let par = ParallelConfig::new().tensor(16);
         let dev = DeviceSpec::mi210();
         let ar = Engine::new()
-            .run(&IterationBuilder::new(&hyper, &par, &dev).optimizer(false).build_training())
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .optimizer(false)
+                    .build_training(),
+            )
             .unwrap();
         let sp = Engine::new()
             .run(
@@ -644,12 +656,20 @@ mod style_tests {
             )
             .unwrap();
         let ratio = sp.makespan().as_secs_f64() / ar.makespan().as_secs_f64();
-        assert!((0.9..=1.15).contains(&ratio), "SP/AR makespan ratio {ratio}");
+        assert!(
+            (0.9..=1.15).contains(&ratio),
+            "SP/AR makespan ratio {ratio}"
+        );
         // Twice the collective count on the critical path.
         let count = |g: &twocs_sim::TaskGraph| {
-            g.tasks().iter().filter(|t| t.class == twocs_sim::OpClass::Comm).count()
+            g.tasks()
+                .iter()
+                .filter(|t| t.class == twocs_sim::OpClass::Comm)
+                .count()
         };
-        let g_ar = IterationBuilder::new(&hyper, &par, &dev).optimizer(false).build_training();
+        let g_ar = IterationBuilder::new(&hyper, &par, &dev)
+            .optimizer(false)
+            .build_training();
         let g_sp = IterationBuilder::new(&hyper, &par, &dev)
             .tp_comm_style(TpCommStyle::SequenceParallel)
             .optimizer(false)
@@ -663,7 +683,11 @@ mod style_tests {
         let par = ParallelConfig::new().tensor(16);
         let dev = DeviceSpec::mi210();
         let enc = Engine::new()
-            .run(&IterationBuilder::new(&hyper, &par, &dev).optimizer(false).build_training())
+            .run(
+                &IterationBuilder::new(&hyper, &par, &dev)
+                    .optimizer(false)
+                    .build_training(),
+            )
             .unwrap();
         let dec = Engine::new()
             .run(

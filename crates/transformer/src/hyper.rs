@@ -327,14 +327,22 @@ mod tests {
 
     #[test]
     fn tokens_is_sl_times_b() {
-        let hp = Hyperparams::builder(1024).seq_len(2048).batch(4).build().unwrap();
+        let hp = Hyperparams::builder(1024)
+            .seq_len(2048)
+            .batch(4)
+            .build()
+            .unwrap();
         assert_eq!(hp.tokens(), 8192);
     }
 
     #[test]
     fn with_methods_round_trip() {
         let hp = Hyperparams::builder(1024).build().unwrap();
-        let hp2 = hp.clone().with_batch(8).with_seq_len(4096).with_precision(Precision::Fp32);
+        let hp2 = hp
+            .clone()
+            .with_batch(8)
+            .with_seq_len(4096)
+            .with_precision(Precision::Fp32);
         assert_eq!(hp2.batch(), 8);
         assert_eq!(hp2.seq_len(), 4096);
         assert_eq!(hp2.precision(), Precision::Fp32);

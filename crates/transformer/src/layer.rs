@@ -49,7 +49,12 @@ pub fn attention_sublayer_forward(hyper: &Hyperparams, parallel: &ParallelConfig
     ];
     if tp > 1 {
         // Megatron `g` operator: reduce partial activations (serialized).
-        ops.push(Op::allreduce("tp_ar_attn", act, tp, CommScope::TensorParallel));
+        ops.push(Op::allreduce(
+            "tp_ar_attn",
+            act,
+            tp,
+            CommScope::TensorParallel,
+        ));
     }
     ops.extend([
         Op::memop("attn_dropout", MemOpKind::Dropout, act),
@@ -78,7 +83,12 @@ pub fn fc_sublayer_forward(hyper: &Hyperparams, parallel: &ParallelConfig) -> Ve
         Op::gemm("fc2_gemm", GemmShape::new(tokens, h, ff / tp)),
     ];
     if tp > 1 {
-        ops.push(Op::allreduce("tp_ar_fc", act, tp, CommScope::TensorParallel));
+        ops.push(Op::allreduce(
+            "tp_ar_fc",
+            act,
+            tp,
+            CommScope::TensorParallel,
+        ));
     }
     ops.extend([
         Op::memop("fc_dropout", MemOpKind::Dropout, act),
@@ -103,10 +113,7 @@ pub fn encoder_layer_forward(hyper: &Hyperparams, parallel: &ParallelConfig) -> 
 /// encoder–decoder models pay **six** serialized all-reduces per decoder
 /// layer instead of four.
 #[must_use]
-pub fn cross_attention_sublayer_forward(
-    hyper: &Hyperparams,
-    parallel: &ParallelConfig,
-) -> Vec<Op> {
+pub fn cross_attention_sublayer_forward(hyper: &Hyperparams, parallel: &ParallelConfig) -> Vec<Op> {
     let h = hyper.hidden();
     let tp = parallel.tp();
     let tokens = hyper.tokens();
@@ -126,7 +133,11 @@ pub fn cross_attention_sublayer_forward(
             "xattn_score_gemm",
             GemmShape::batched(sl, sl, head_dim, b * heads_local),
         ),
-        Op::memop("xattn_softmax", MemOpKind::Softmax, b * heads_local * sl * sl),
+        Op::memop(
+            "xattn_softmax",
+            MemOpKind::Softmax,
+            b * heads_local * sl * sl,
+        ),
         Op::gemm(
             "xattn_ctx_gemm",
             GemmShape::batched(sl, head_dim, sl, b * heads_local),
@@ -134,7 +145,12 @@ pub fn cross_attention_sublayer_forward(
         Op::gemm("xattn_out_gemm", GemmShape::new(tokens, h, h / tp)),
     ];
     if tp > 1 {
-        ops.push(Op::allreduce("tp_ar_xattn", act, tp, CommScope::TensorParallel));
+        ops.push(Op::allreduce(
+            "tp_ar_xattn",
+            act,
+            tp,
+            CommScope::TensorParallel,
+        ));
     }
     ops.extend([
         Op::memop("xattn_dropout", MemOpKind::Dropout, act),
@@ -185,9 +201,14 @@ pub fn with_tp_comm_style(ops: Vec<Op>, style: TpCommStyle) -> Vec<Op> {
     let mut out = Vec::with_capacity(ops.len() + 4);
     for op in ops {
         match (op.name(), op.kind()) {
-            (name, OpKind::AllReduce { elements, participants, scope })
-                if op.is_serialized_comm() =>
-            {
+            (
+                name,
+                OpKind::AllReduce {
+                    elements,
+                    participants,
+                    scope,
+                },
+            ) if op.is_serialized_comm() => {
                 let (rs, ag): (&'static str, &'static str) = match name {
                     "tp_ar_attn" => ("tp_rs_attn", "tp_ag_attn"),
                     "tp_ar_fc" => ("tp_rs_fc", "tp_ag_fc"),
@@ -307,7 +328,11 @@ mod tests {
     use super::*;
 
     fn hp(h: u64, sl: u64, b: u64) -> Hyperparams {
-        Hyperparams::builder(h).seq_len(sl).batch(b).build().unwrap()
+        Hyperparams::builder(h)
+            .seq_len(sl)
+            .batch(b)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -412,7 +437,10 @@ mod tests {
                 .sum::<f64>()
         };
         let ratio = time(&sp) / time(&ar);
-        assert!((0.8..=1.3).contains(&ratio), "SP/AR comm time ratio {ratio}");
+        assert!(
+            (0.8..=1.3).contains(&ratio),
+            "SP/AR comm time ratio {ratio}"
+        );
     }
 
     #[test]

@@ -77,8 +77,7 @@ pub fn params_per_device(hyper: &Hyperparams, parallel: &ParallelConfig) -> u64 
 pub fn activation_bytes(hyper: &Hyperparams, parallel: &ParallelConfig) -> u64 {
     let sbh = (hyper.seq_len() * hyper.batch() * hyper.hidden()) as f64;
     let tp = parallel.tp() as f64;
-    let attn = 5.0 * hyper.heads() as f64 * hyper.seq_len() as f64
-        / (hyper.hidden() as f64 * tp);
+    let attn = 5.0 * hyper.heads() as f64 * hyper.seq_len() as f64 / (hyper.hidden() as f64 * tp);
     let per_layer_fp16 = sbh * (10.0 + 24.0 / tp + attn);
     let layers_local = (hyper.layers() / parallel.pp()) as f64;
     let scale = hyper.precision().bytes() as f64 / 2.0;
@@ -225,8 +224,7 @@ pub fn required_tp(
             continue;
         }
         best_valid = Some(tp);
-        let needed =
-            training_memory_with(hyper, &parallel, ActivationPolicy::Checkpointed).total();
+        let needed = training_memory_with(hyper, &parallel, ActivationPolicy::Checkpointed).total();
         if needed <= usable {
             return Ok(tp);
         }
@@ -246,11 +244,7 @@ pub fn required_tp(
 /// # Panics
 /// Panics if any argument is not strictly positive.
 #[must_use]
-pub fn paper_tp_projection(
-    base_tp: f64,
-    model_size_ratio: f64,
-    capacity_scale_ratio: f64,
-) -> f64 {
+pub fn paper_tp_projection(base_tp: f64, model_size_ratio: f64, capacity_scale_ratio: f64) -> f64 {
     assert!(
         base_tp > 0.0 && model_size_ratio > 0.0 && capacity_scale_ratio > 0.0,
         "TP projection arguments must be positive"
@@ -300,7 +294,12 @@ mod tests {
             .batch(4)
             .build()
             .unwrap();
-        assert!(fits(&bert, &ParallelConfig::new(), &DeviceSpec::mi210(), 0.1));
+        assert!(fits(
+            &bert,
+            &ParallelConfig::new(),
+            &DeviceSpec::mi210(),
+            0.1
+        ));
     }
 
     #[test]
@@ -356,11 +355,8 @@ mod tests {
         let hyper = hp(16_384);
         let par = ParallelConfig::new().tensor(64);
         let plain = activation_bytes_with(&hyper, &par, ActivationPolicy::Checkpointed);
-        let sp = activation_bytes_with(
-            &hyper,
-            &par,
-            ActivationPolicy::CheckpointedSequenceParallel,
-        );
+        let sp =
+            activation_bytes_with(&hyper, &par, ActivationPolicy::CheckpointedSequenceParallel);
         assert_eq!(sp, plain.div_ceil(64));
     }
 

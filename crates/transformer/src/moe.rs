@@ -64,7 +64,11 @@ pub fn moe_ffn_forward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &Moe
         Op::memop("moe_ln", MemOpKind::LayerNorm, act),
         // Router: token -> expert logits.
         Op::gemm("moe_router_gemm", GemmShape::new(tokens, moe.experts, h)),
-        Op::memop("moe_router_softmax", MemOpKind::Softmax, tokens * moe.experts),
+        Op::memop(
+            "moe_router_softmax",
+            MemOpKind::Softmax,
+            tokens * moe.experts,
+        ),
     ];
     if ep > 1 {
         // Dispatch tokens to their experts' devices: serialized all-to-all.
@@ -83,7 +87,12 @@ pub fn moe_ffn_forward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &Moe
         Op::gemm("moe_fc2_gemm", GemmShape::new(routed, h, ff / tp)),
     ]);
     if tp > 1 {
-        ops.push(Op::allreduce("moe_tp_ar", routed * h, tp, CommScope::TensorParallel));
+        ops.push(Op::allreduce(
+            "moe_tp_ar",
+            routed * h,
+            tp,
+            CommScope::TensorParallel,
+        ));
     }
     if ep > 1 {
         ops.push(Op::new(
@@ -107,7 +116,11 @@ pub fn moe_ffn_forward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &Moe
 /// expert GEMMs produce input and weight gradients, then the dispatch
 /// all-to-all reverses.
 #[must_use]
-pub fn moe_ffn_backward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> Vec<Op> {
+pub fn moe_ffn_backward(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    moe: &MoeConfig,
+) -> Vec<Op> {
     let h = hyper.hidden();
     let ff = hyper.ff_dim();
     let tp = parallel.tp();
@@ -166,7 +179,11 @@ pub fn moe_ffn_backward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &Mo
 /// Forward operator sequence of one full MoE layer: the dense attention
 /// sub-layer followed by the routed MoE FFN sub-layer.
 #[must_use]
-pub fn moe_layer_forward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> Vec<Op> {
+pub fn moe_layer_forward(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    moe: &MoeConfig,
+) -> Vec<Op> {
     let mut ops = crate::layer::attention_sublayer_forward(hyper, parallel);
     ops.extend(moe_ffn_forward(hyper, parallel, moe));
     ops
@@ -174,9 +191,15 @@ pub fn moe_layer_forward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &M
 
 /// Backward operator sequence of one full MoE layer.
 #[must_use]
-pub fn moe_layer_backward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> Vec<Op> {
+pub fn moe_layer_backward(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    moe: &MoeConfig,
+) -> Vec<Op> {
     let mut ops = moe_ffn_backward(hyper, parallel, moe);
-    ops.extend(crate::backward::attention_sublayer_backward(hyper, parallel));
+    ops.extend(crate::backward::attention_sublayer_backward(
+        hyper, parallel,
+    ));
     ops
 }
 
@@ -185,14 +208,18 @@ pub fn moe_layer_backward(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &
 /// property: capacity grows with expert count while this ratio stays
 /// roughly constant (≈ `top_k · capacity_factor / experts`).
 #[must_use]
-pub fn flops_ratio_vs_dense(hyper: &Hyperparams, parallel: &ParallelConfig, moe: &MoeConfig) -> f64 {
+pub fn flops_ratio_vs_dense(
+    hyper: &Hyperparams,
+    parallel: &ParallelConfig,
+    moe: &MoeConfig,
+) -> f64 {
     let moe_flops: u64 = moe_ffn_forward(hyper, parallel, moe)
         .iter()
         .map(Op::flops)
         .sum();
     // Equivalent dense FFN with experts x the parameters: ff scaled.
-    let dense_flops = 2 * 2 * hyper.tokens() * (hyper.ff_dim() * moe.experts / parallel.tp())
-        * hyper.hidden();
+    let dense_flops =
+        2 * 2 * hyper.tokens() * (hyper.ff_dim() * moe.experts / parallel.tp()) * hyper.hidden();
     moe_flops as f64 / dense_flops as f64
 }
 
@@ -201,7 +228,12 @@ mod tests {
     use super::*;
 
     fn hp() -> Hyperparams {
-        Hyperparams::builder(4096).heads(32).seq_len(2048).batch(1).build().unwrap()
+        Hyperparams::builder(4096)
+            .heads(32)
+            .seq_len(2048)
+            .batch(1)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -218,8 +250,14 @@ mod tests {
 
     #[test]
     fn no_alltoall_without_ep() {
-        let ops = moe_ffn_forward(&hp(), &ParallelConfig::new().tensor(4), &MoeConfig::switch(8));
-        assert!(!ops.iter().any(|o| matches!(o.kind(), OpKind::AllToAll { .. })));
+        let ops = moe_ffn_forward(
+            &hp(),
+            &ParallelConfig::new().tensor(4),
+            &MoeConfig::switch(8),
+        );
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o.kind(), OpKind::AllToAll { .. })));
     }
 
     #[test]

@@ -165,8 +165,16 @@ mod tests {
 
     #[test]
     fn validate_accepts_clean_sharding() {
-        let hp = Hyperparams::builder(4096).heads(32).layers(24).build().unwrap();
-        ParallelConfig::new().tensor(8).pipeline(4).validate(&hp).unwrap();
+        let hp = Hyperparams::builder(4096)
+            .heads(32)
+            .layers(24)
+            .build()
+            .unwrap();
+        ParallelConfig::new()
+            .tensor(8)
+            .pipeline(4)
+            .validate(&hp)
+            .unwrap();
     }
 
     #[test]
@@ -184,7 +192,11 @@ mod tests {
 
     #[test]
     fn validate_rejects_indivisible_pp() {
-        let hp = Hyperparams::builder(1024).heads(16).layers(24).build().unwrap();
+        let hp = Hyperparams::builder(1024)
+            .heads(16)
+            .layers(24)
+            .build()
+            .unwrap();
         assert!(ParallelConfig::new().pipeline(7).validate(&hp).is_err());
     }
 

@@ -167,7 +167,11 @@ mod tests {
 
     #[test]
     fn boundary_elements_split_by_micro_batch() {
-        let hp = Hyperparams::builder(4096).seq_len(2048).batch(8).build().unwrap();
+        let hp = Hyperparams::builder(4096)
+            .seq_len(2048)
+            .batch(8)
+            .build()
+            .unwrap();
         let op = boundary_transfer(&hp, &PipelineSchedule::new(4, 8));
         match op.kind() {
             OpKind::PointToPoint { elements } => {
@@ -207,8 +211,8 @@ mod tests {
                 .map(|op| op.time_on(&dev, hyper.precision(), &comm_model))
                 .sum();
             let stage_full = layer_time * 2.0; // 8 layers / 4 stages
-            let p2p = boundary_transfer(&hyper, &schedule)
-                .time_on(&dev, hyper.precision(), &comm_model);
+            let p2p =
+                boundary_transfer(&hyper, &schedule).time_on(&dev, hyper.precision(), &comm_model);
             let analytic = schedule.iteration_time(stage_full, p2p);
             // The simulator lets a stage's outbound transfer overlap its
             // next micro-batch's compute (separate streams), so it runs

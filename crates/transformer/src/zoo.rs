@@ -215,7 +215,9 @@ pub fn all() -> Vec<ZooModel> {
 /// Look up a model by (case-insensitive) name.
 #[must_use]
 pub fn by_name(name: &str) -> Option<ZooModel> {
-    all().into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
-//! Property-based tests of the workload generator: for random
-//! hyperparameters, the generated operator graphs must satisfy the
-//! paper's algebraic identities.
+//! Property-based tests of the workload generator, on the std-only
+//! `twocs-testkit` case driver: for random hyperparameters, the
+//! generated operator graphs must satisfy the paper's algebraic
+//! identities.
 
-use proptest::prelude::*;
+use twocs_testkit::{cases, Rng};
 use twocs_transformer::backward::{encoder_layer_backward, fc_backward_roi};
 use twocs_transformer::layer::{encoder_layer_forward, forward_flops, layer_weight_elements};
 use twocs_transformer::memory::{activation_bytes, params_per_device, training_memory};
@@ -10,107 +11,131 @@ use twocs_transformer::{Hyperparams, Op, ParallelConfig};
 
 /// Random valid (hyper, parallel) pair: H a multiple of heads, heads a
 /// multiple of TP, ff = 4H.
-fn config() -> impl Strategy<Value = (Hyperparams, ParallelConfig)> {
-    (1u64..=8, 1u64..=6, 0u32..=5, 1u64..=16, 1u64..=8).prop_map(
-        |(h_mult, sl_mult, tp_log, heads_mult, b)| {
-            let tp = 1u64 << tp_log; // 1..32
-            let heads = tp * heads_mult;
-            let hidden = heads * 64 * h_mult;
-            let hyper = Hyperparams::builder(hidden)
-                .heads(heads)
-                .layers(4)
-                .seq_len(256 * sl_mult)
-                .batch(b)
-                .build()
-                .expect("constructed to be valid");
-            let parallel = ParallelConfig::new().tensor(tp).data(4);
-            (hyper, parallel)
-        },
-    )
+fn config(rng: &mut Rng) -> (Hyperparams, ParallelConfig) {
+    let h_mult = rng.u64_in(1..9);
+    let sl_mult = rng.u64_in(1..7);
+    let tp_log = rng.u32_in(0..6);
+    let heads_mult = rng.u64_in(1..17);
+    let b = rng.u64_in(1..9);
+    let tp = 1u64 << tp_log; // 1..32
+    let heads = tp * heads_mult;
+    let hidden = heads * 64 * h_mult;
+    let hyper = Hyperparams::builder(hidden)
+        .heads(heads)
+        .layers(4)
+        .seq_len(256 * sl_mult)
+        .batch(b)
+        .build()
+        .expect("constructed to be valid");
+    let parallel = ParallelConfig::new().tensor(tp).data(4);
+    (hyper, parallel)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn forward_flops_match_eq4((hyper, parallel) in config()) {
+#[test]
+fn forward_flops_match_eq4() {
+    cases(64, |rng| {
+        let (hyper, parallel) = config(rng);
         // Eq. 4 with constants: (24H² + 4·SL·H)·SL·B/TP for ff = 4H.
         let h = hyper.hidden();
         let sl = hyper.seq_len();
         let b = hyper.batch();
         let tp = parallel.tp();
         let expected = (24 * h * h + 4 * sl * h) * sl * b / tp;
-        prop_assert_eq!(forward_flops(&hyper, &parallel), expected);
-    }
+        assert_eq!(forward_flops(&hyper, &parallel), expected);
+    });
+}
 
-    #[test]
-    fn backward_is_exactly_twice_forward((hyper, parallel) in config()) {
+#[test]
+fn backward_is_exactly_twice_forward() {
+    cases(64, |rng| {
+        let (hyper, parallel) = config(rng);
         let fwd = forward_flops(&hyper, &parallel);
         let bwd: u64 = encoder_layer_backward(&hyper, &parallel)
             .iter()
             .map(Op::flops)
             .sum();
-        prop_assert_eq!(bwd, 2 * fwd);
-    }
+        assert_eq!(bwd, 2 * fwd);
+    });
+}
 
-    #[test]
-    fn serialized_ar_count_and_bytes((hyper, parallel) in config()) {
+#[test]
+fn serialized_ar_count_and_bytes() {
+    cases(64, |rng| {
+        let (hyper, parallel) = config(rng);
         let fwd = encoder_layer_forward(&hyper, &parallel);
         let bwd = encoder_layer_backward(&hyper, &parallel);
-        let ars: Vec<&Op> = fwd.iter().chain(bwd.iter())
+        let ars: Vec<&Op> = fwd
+            .iter()
+            .chain(bwd.iter())
             .filter(|o| o.is_serialized_comm())
             .collect();
         if parallel.tp() == 1 {
-            prop_assert!(ars.is_empty());
+            assert!(ars.is_empty());
         } else {
             // Paper: four serialized all-reduces per layer, each of
             // (precision/8)·H·SL·B bytes (Eq. 5).
-            prop_assert_eq!(ars.len(), 4);
+            assert_eq!(ars.len(), 4);
             let expect = hyper.precision().bytes() * hyper.hidden() * hyper.tokens();
             for ar in ars {
-                prop_assert_eq!(ar.comm_bytes(hyper.precision()), expect);
+                assert_eq!(ar.comm_bytes(hyper.precision()), expect);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn roi_ratio_is_4_slb((hyper, parallel) in config()) {
+#[test]
+fn roi_ratio_is_4_slb() {
+    cases(64, |rng| {
+        let (hyper, parallel) = config(rng);
         // Eq. 9 with constants: FLOPs / gradient elements = 4·SL·B.
         let (compute, comm) = fc_backward_roi(&hyper, &parallel);
         let flops: u64 = compute.iter().map(Op::flops).sum();
         let elements = comm.comm_bytes(hyper.precision()) / hyper.precision().bytes();
-        prop_assert_eq!(flops / elements, 4 * hyper.tokens());
-    }
+        assert_eq!(flops / elements, 4 * hyper.tokens());
+    });
+}
 
-    #[test]
-    fn tp_slices_flops_and_weights_evenly((hyper, parallel) in config()) {
+#[test]
+fn tp_slices_flops_and_weights_evenly() {
+    cases(64, |rng| {
+        let (hyper, parallel) = config(rng);
         let dense_par = ParallelConfig::new();
         let dense = forward_flops(&hyper, &dense_par);
         let sliced = forward_flops(&hyper, &parallel);
-        prop_assert_eq!(sliced, dense / parallel.tp());
+        assert_eq!(sliced, dense / parallel.tp());
         // Dominant weight term slices by TP too (biases/LN replicate).
         let w_dense = layer_weight_elements(&hyper, &dense_par);
         let w_sliced = layer_weight_elements(&hyper, &parallel);
         let ratio = w_dense as f64 / w_sliced as f64;
-        prop_assert!(ratio <= parallel.tp() as f64 + 1e-9);
-        prop_assert!(ratio > 0.80 * parallel.tp() as f64);
-    }
+        assert!(ratio <= parallel.tp() as f64 + 1e-9);
+        assert!(ratio > 0.80 * parallel.tp() as f64);
+    });
+}
 
-    #[test]
-    fn memory_accounting_is_monotone((hyper, parallel) in config()) {
+#[test]
+fn memory_accounting_is_monotone() {
+    cases(64, |rng| {
+        let (hyper, parallel) = config(rng);
         let m = training_memory(&hyper, &parallel);
-        prop_assert!(m.params > 0);
-        prop_assert_eq!(m.grads, m.params);
-        prop_assert_eq!(m.optimizer, 6 * m.params); // 12 B vs 2 B fp16
-        // Bigger batch -> more activations, same parameters.
+        assert!(m.params > 0);
+        assert_eq!(m.grads, m.params);
+        assert_eq!(m.optimizer, 6 * m.params); // 12 B vs 2 B fp16
+                                               // Bigger batch -> more activations, same parameters.
         let bigger = hyper.clone().with_batch(hyper.batch() * 2);
-        prop_assert_eq!(params_per_device(&bigger, &parallel),
-                        params_per_device(&hyper, &parallel));
-        prop_assert!(activation_bytes(&bigger, &parallel) >= 2 * activation_bytes(&hyper, &parallel) - 8);
-    }
+        assert_eq!(
+            params_per_device(&bigger, &parallel),
+            params_per_device(&hyper, &parallel)
+        );
+        assert!(
+            activation_bytes(&bigger, &parallel) >= 2 * activation_bytes(&hyper, &parallel) - 8
+        );
+    });
+}
 
-    #[test]
-    fn every_op_prices_positively((hyper, parallel) in config()) {
+#[test]
+fn every_op_prices_positively() {
+    cases(64, |rng| {
+        let (hyper, parallel) = config(rng);
         use twocs_collectives::CollectiveCostModel;
         use twocs_hw::DeviceSpec;
         let dev = DeviceSpec::mi210();
@@ -120,8 +145,8 @@ proptest! {
             .chain(encoder_layer_backward(&hyper, &parallel).iter())
         {
             let t = op.time_on(&dev, hyper.precision(), &cm);
-            prop_assert!(t.is_finite() && t > 0.0, "{op}: {t}");
-            prop_assert!(t < 60.0, "{op} implausibly slow: {t}s");
+            assert!(t.is_finite() && t > 0.0, "{op}: {t}");
+            assert!(t < 60.0, "{op} implausibly slow: {t}s");
         }
-    }
+    });
 }

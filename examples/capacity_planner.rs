@@ -28,11 +28,8 @@ fn plan(model: &zoo::ZooModel, device: &DeviceSpec) {
     match memory::required_tp(&hyper, device, &TP_CANDIDATES) {
         Ok(tp) => {
             let parallel = ParallelConfig::new().tensor(tp).data(8);
-            let mem = memory::training_memory_with(
-                &hyper,
-                &parallel,
-                ActivationPolicy::Checkpointed,
-            );
+            let mem =
+                memory::training_memory_with(&hyper, &parallel, ActivationPolicy::Checkpointed);
             println!("fits {} at TP = {tp}: {mem}", device.name());
             // Could ZeRO-3 over the DP group buy a smaller TP?
             for &smaller in TP_CANDIDATES.iter().filter(|&&c| c < tp) {
@@ -72,7 +69,11 @@ fn plan(model: &zoo::ZooModel, device: &DeviceSpec) {
 
 fn main() {
     let device = DeviceSpec::mi210();
-    println!("device: {} ({} GiB)", device.name(), device.mem_capacity() >> 30);
+    println!(
+        "device: {} ({} GiB)",
+        device.name(),
+        device.mem_capacity() >> 30
+    );
 
     if let Some(name) = std::env::args().nth(1) {
         match zoo::by_name(&name) {

@@ -52,12 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let link = dev.network().intra_node();
     let model = CollectiveCostModel::default();
     println!("\nall-reduce time on {} links, 64 ranks:", dev.name());
-    println!("{:>12} {:>12} {:>12} {:>12}", "bytes", "ring", "tree", "halv-doub");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "bytes", "ring", "tree", "halv-doub"
+    );
     for shift in [12u32, 16, 20, 24, 28] {
         let bytes = 1u64 << shift;
-        let t = |alg| {
-            1e6 * model.time_on_link(Collective::AllReduce, alg, bytes, 64, &link)
-        };
+        let t = |alg| 1e6 * model.time_on_link(Collective::AllReduce, alg, bytes, 64, &link);
         println!(
             "{:>12} {:>10.1}us {:>10.1}us {:>10.1}us",
             bytes,

@@ -18,14 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::mi210();
 
     // Step 1 — profile a BERT-like baseline once, at the operator level.
-    let baseline = Hyperparams::builder(1024).heads(16).seq_len(512).batch(4).build()?;
+    let baseline = Hyperparams::builder(1024)
+        .heads(16)
+        .seq_len(512)
+        .batch(4)
+        .build()?;
     let profiler = Profiler::new(device.clone());
     let profile = profiler.profile_layer(&baseline, &ParallelConfig::new());
     println!("step 1: baseline profile ({}):", baseline);
     for record in profile.forward.iter().take(6) {
         println!("  {:<18} {:>9.1} us", record.name, 1e6 * record.time);
     }
-    println!("  ... ({} ops total per layer)\n", profile.forward.len() + profile.backward.len());
+    println!(
+        "  ... ({} ops total per layer)\n",
+        profile.forward.len() + profile.backward.len()
+    );
 
     // Step 2 — fit an operator model: GEMM runtime is linear in SL.
     let samples: Vec<(f64, f64)> = [512u64, 1024, 2048, 8192]

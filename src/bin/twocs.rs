@@ -3,12 +3,19 @@
 //! ```text
 //! twocs list                         # registered experiments
 //! twocs run fig10 [--csv]            # regenerate one artifact
-//! twocs run all                      # everything, paper order
+//! twocs run all [--jobs N]           # everything, paper order, in parallel
+//! twocs sweep [--h 4096,65536] [--tp 16,64,256] [--jobs N] [--csv]
 //! twocs analyze --h 16384 --sl 2048 --b 1 --tp 64 [--dp 8] [--flop-vs-bw 4]
 //! ```
+//!
+//! `run` and `sweep` fan work across `--jobs` worker threads; stdout is
+//! byte-identical to a serial run (results are collected in deterministic
+//! order) and the sweep summary — per-task wall times and memo-cache hit
+//! rates — goes to stderr.
 
 use std::process::ExitCode;
-use twocs::analysis::experiments;
+use twocs::analysis::sweep::GridSweep;
+use twocs::analysis::{experiments, serialized};
 use twocs::hw::{DeviceSpec, HwEvolution};
 use twocs::sim::Engine;
 use twocs::transformer::graph_builder::IterationBuilder;
@@ -16,7 +23,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>]"
     );
     ExitCode::FAILURE
 }
@@ -35,6 +42,7 @@ fn main() -> ExitCode {
                 return usage();
             };
             let csv = args.iter().any(|a| a == "--csv");
+            let jobs = flag(&args, "--jobs").unwrap_or(1) as usize;
             let device = DeviceSpec::mi210();
             let defs: Vec<_> = if id == "all" {
                 experiments::all()
@@ -47,16 +55,33 @@ fn main() -> ExitCode {
                     }
                 }
             };
-            for def in defs {
-                let out = (def.run)(&device);
-                if csv {
-                    println!("{}", out.to_csv());
-                } else {
-                    println!("{}", out.to_ascii());
+            let run = twocs::analysis::sweep::run_experiments(&device, &defs, jobs);
+            for res in &run.results {
+                match &res.output {
+                    Ok(out) => {
+                        if csv {
+                            println!("{}", out.to_csv());
+                        } else {
+                            println!("{}", out.to_ascii());
+                        }
+                    }
+                    Err(e) => eprintln!("experiment `{}` failed: {e}", res.id),
                 }
             }
-            ExitCode::SUCCESS
+            eprintln!("{}", run.summary);
+            if run.summary.failures > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
+        Some("sweep") => match sweep(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("analyze") => match analyze(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -73,6 +98,80 @@ fn flag(args: &[String], name: &str) -> Option<u64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parse a comma-separated numeric list flag (e.g. `--h 4096,16384`).
+fn list_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<Vec<T>>, String> {
+    let Some(raw) = str_flag(args, name) else {
+        return Ok(None);
+    };
+    raw.split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for {name}"))
+        })
+        .collect::<Result<Vec<T>, _>>()
+        .map(Some)
+}
+
+fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut grid = GridSweep::default();
+    if let Some(hs) = list_flag(args, "--h")? {
+        grid.hs = hs;
+    }
+    if let Some(sls) = list_flag(args, "--sl")? {
+        grid.sls = sls;
+    }
+    if let Some(tps) = list_flag(args, "--tp")? {
+        grid.tps = tps;
+    }
+    if let Some(ratios) = list_flag(args, "--flop-vs-bw")? {
+        grid.flop_vs_bw = ratios;
+    }
+    if let Some(b) = flag(args, "--b") {
+        grid.batch = b;
+    }
+    grid.method = match str_flag(args, "--method") {
+        None | Some("sim") => serialized::Method::Simulation,
+        Some("proj") => serialized::Method::Projection,
+        Some(other) => return Err(format!("unknown method `{other}` (sim|proj)").into()),
+    };
+    let jobs = flag(args, "--jobs").unwrap_or(1) as usize;
+    let csv = args.iter().any(|a| a == "--csv");
+
+    if let Some(h) = grid.hs.iter().find(|&&h| h == 0 || h % 256 != 0) {
+        return Err(format!(
+            "--h {h}: hidden sizes must be non-zero multiples of 256 (the sweep fixes 256-way head sharding)"
+        )
+        .into());
+    }
+    if grid.sls.contains(&0) || grid.tps.contains(&0) || grid.batch == 0 {
+        return Err("--sl, --tp, and --b values must be non-zero".into());
+    }
+    if grid.points().is_empty() {
+        return Err("grid has no realistic points; widen --h/--tp".into());
+    }
+    let device = DeviceSpec::mi210();
+    let (table, summary) = grid.run(&device, jobs);
+    if csv {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_ascii());
+    }
+    eprintln!("{summary}");
+    Ok(if summary.failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

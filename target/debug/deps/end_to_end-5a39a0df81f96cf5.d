@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5a39a0df81f96cf5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5a39a0df81f96cf5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-0417b54dff0a5343.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-0417b54dff0a5343: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection_vs_sim-3b8ad81363ac9914.d: tests/projection_vs_sim.rs
+
+/root/repo/target/debug/deps/projection_vs_sim-3b8ad81363ac9914: tests/projection_vs_sim.rs
+
+tests/projection_vs_sim.rs:

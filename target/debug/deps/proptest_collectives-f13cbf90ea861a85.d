@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_collectives-f13cbf90ea861a85.d: crates/collectives/tests/proptest_collectives.rs
+
+/root/repo/target/debug/deps/proptest_collectives-f13cbf90ea861a85: crates/collectives/tests/proptest_collectives.rs
+
+crates/collectives/tests/proptest_collectives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-ca580201920e4121.d: crates/sim/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-ca580201920e4121: crates/sim/tests/proptest_engine.rs
+
+crates/sim/tests/proptest_engine.rs:

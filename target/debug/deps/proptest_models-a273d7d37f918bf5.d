@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_models-a273d7d37f918bf5.d: crates/hw/tests/proptest_models.rs
+
+/root/repo/target/debug/deps/proptest_models-a273d7d37f918bf5: crates/hw/tests/proptest_models.rs
+
+crates/hw/tests/proptest_models.rs:

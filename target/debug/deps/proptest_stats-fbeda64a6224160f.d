@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stats-fbeda64a6224160f.d: crates/opmodel/tests/proptest_stats.rs
+
+/root/repo/target/debug/deps/proptest_stats-fbeda64a6224160f: crates/opmodel/tests/proptest_stats.rs
+
+crates/opmodel/tests/proptest_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_workload-e6485d155d2885db.d: crates/transformer/tests/proptest_workload.rs
+
+/root/repo/target/debug/deps/proptest_workload-e6485d155d2885db: crates/transformer/tests/proptest_workload.rs
+
+crates/transformer/tests/proptest_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-3ef020a2aacccdfe.d: tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-3ef020a2aacccdfe: tests/substrate_consistency.rs
+
+tests/substrate_consistency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sweep_determinism-7abe25574f7326a7.d: tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/sweep_determinism-7abe25574f7326a7: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:
+
+# env-dep:CARGO_BIN_EXE_twocs=/root/repo/target/debug/twocs

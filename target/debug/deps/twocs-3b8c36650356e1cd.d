@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs-3b8c36650356e1cd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs-3b8c36650356e1cd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

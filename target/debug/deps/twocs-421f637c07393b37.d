@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twocs-421f637c07393b37.d: src/bin/twocs.rs
+
+/root/repo/target/debug/deps/twocs-421f637c07393b37: src/bin/twocs.rs
+
+src/bin/twocs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twocs-6166e3e48c5aa984.d: src/lib.rs
+
+/root/repo/target/debug/deps/twocs-6166e3e48c5aa984: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs-7e3570e7d0c5ec49.d: src/bin/twocs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs-7e3570e7d0c5ec49.rmeta: src/bin/twocs.rs Cargo.toml
+
+src/bin/twocs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs-825dc71baa258e2f.d: src/bin/twocs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs-825dc71baa258e2f.rmeta: src/bin/twocs.rs Cargo.toml
+
+src/bin/twocs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twocs-a08b539fa2ef52ee.d: src/bin/twocs.rs
+
+/root/repo/target/debug/deps/twocs-a08b539fa2ef52ee: src/bin/twocs.rs
+
+src/bin/twocs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/twocs-a74b8a50bfef4266.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtwocs-a74b8a50bfef4266.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtwocs-a74b8a50bfef4266.rmeta: src/lib.rs
+
+src/lib.rs:

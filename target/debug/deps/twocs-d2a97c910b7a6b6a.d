@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs-d2a97c910b7a6b6a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs-d2a97c910b7a6b6a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/twocs_bench-661830d568e62c09.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/twocs_bench-661830d568e62c09: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

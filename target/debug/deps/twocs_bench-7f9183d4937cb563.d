@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/twocs_bench-7f9183d4937cb563.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtwocs_bench-7f9183d4937cb563.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtwocs_bench-7f9183d4937cb563.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twocs_collectives-6afd70dfb091571f.d: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_collectives-6afd70dfb091571f.rmeta: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs Cargo.toml
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/algorithm.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/dataplane.rs:
+crates/collectives/src/error.rs:
+crates/collectives/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

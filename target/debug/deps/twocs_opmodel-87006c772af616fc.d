@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/twocs_opmodel-87006c772af616fc.d: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+/root/repo/target/debug/deps/twocs_opmodel-87006c772af616fc: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+crates/opmodel/src/lib.rs:
+crates/opmodel/src/cost_accounting.rs:
+crates/opmodel/src/model.rs:
+crates/opmodel/src/profile.rs:
+crates/opmodel/src/projection.rs:
+crates/opmodel/src/stats.rs:
+crates/opmodel/src/validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twocs_testkit-4ade34111a1ef18b.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/twocs_testkit-4ade34111a1ef18b: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/twocs_testkit-90d3222de83b2d0e.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libtwocs_testkit-90d3222de83b2d0e.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libtwocs_testkit-90d3222de83b2d0e.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

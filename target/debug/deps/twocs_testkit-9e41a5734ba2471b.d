@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs_testkit-9e41a5734ba2471b.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_testkit-9e41a5734ba2471b.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/capacity_planner-39a304aa98831d45.d: examples/capacity_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcapacity_planner-39a304aa98831d45.rmeta: examples/capacity_planner.rs Cargo.toml
+
+examples/capacity_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

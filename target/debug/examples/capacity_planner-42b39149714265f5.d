@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planner-42b39149714265f5.d: examples/capacity_planner.rs
+
+/root/repo/target/debug/examples/capacity_planner-42b39149714265f5: examples/capacity_planner.rs
+
+examples/capacity_planner.rs:

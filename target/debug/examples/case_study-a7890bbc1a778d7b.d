@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/case_study-a7890bbc1a778d7b.d: examples/case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcase_study-a7890bbc1a778d7b.rmeta: examples/case_study.rs Cargo.toml
+
+examples/case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/case_study-eb669840d22869dd.d: examples/case_study.rs
+
+/root/repo/target/debug/examples/case_study-eb669840d22869dd: examples/case_study.rs
+
+examples/case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collective_explorer-07ad3f3a70ab6808.d: examples/collective_explorer.rs
+
+/root/repo/target/debug/examples/collective_explorer-07ad3f3a70ab6808: examples/collective_explorer.rs
+
+examples/collective_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/operator_model-56ca599a30d1e314.d: examples/operator_model.rs
+
+/root/repo/target/debug/examples/operator_model-56ca599a30d1e314: examples/operator_model.rs
+
+examples/operator_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/operator_model-fe7b97e76219d709.d: examples/operator_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboperator_model-fe7b97e76219d709.rmeta: examples/operator_model.rs Cargo.toml
+
+examples/operator_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

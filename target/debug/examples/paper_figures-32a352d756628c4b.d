@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figures-32a352d756628c4b.d: examples/paper_figures.rs
+
+/root/repo/target/debug/examples/paper_figures-32a352d756628c4b: examples/paper_figures.rs
+
+examples/paper_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_figures-78f74cd0ef63a89c.d: examples/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_figures-78f74cd0ef63a89c.rmeta: examples/paper_figures.rs Cargo.toml
+
+examples/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

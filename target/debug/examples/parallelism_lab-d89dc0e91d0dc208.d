@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallelism_lab-d89dc0e91d0dc208.d: examples/parallelism_lab.rs
+
+/root/repo/target/debug/examples/parallelism_lab-d89dc0e91d0dc208: examples/parallelism_lab.rs
+
+examples/parallelism_lab.rs:

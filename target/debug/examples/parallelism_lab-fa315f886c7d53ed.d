@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallelism_lab-fa315f886c7d53ed.d: examples/parallelism_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallelism_lab-fa315f886c7d53ed.rmeta: examples/parallelism_lab.rs Cargo.toml
+
+examples/parallelism_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

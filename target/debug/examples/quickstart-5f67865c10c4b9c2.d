@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5f67865c10c4b9c2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5f67865c10c4b9c2: examples/quickstart.rs
+
+examples/quickstart.rs:

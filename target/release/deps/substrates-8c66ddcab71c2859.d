@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-8c66ddcab71c2859.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-8c66ddcab71c2859: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

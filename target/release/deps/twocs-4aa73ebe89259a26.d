@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/twocs-4aa73ebe89259a26.d: src/lib.rs
+
+/root/repo/target/release/deps/libtwocs-4aa73ebe89259a26.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtwocs-4aa73ebe89259a26.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/twocs-e3b9c9e20d3c0a21.d: src/bin/twocs.rs
+
+/root/repo/target/release/deps/twocs-e3b9c9e20d3c0a21: src/bin/twocs.rs
+
+src/bin/twocs.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/twocs_bench-1609185409ed4107.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtwocs_bench-1609185409ed4107.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtwocs_bench-1609185409ed4107.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/twocs_opmodel-f596367261c4a4ab.d: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+/root/repo/target/release/deps/libtwocs_opmodel-f596367261c4a4ab.rlib: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+/root/repo/target/release/deps/libtwocs_opmodel-f596367261c4a4ab.rmeta: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+crates/opmodel/src/lib.rs:
+crates/opmodel/src/cost_accounting.rs:
+crates/opmodel/src/model.rs:
+crates/opmodel/src/profile.rs:
+crates/opmodel/src/projection.rs:
+crates/opmodel/src/stats.rs:
+crates/opmodel/src/validation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/twocs_testkit-483179c9e4b73f78.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libtwocs_testkit-483179c9e4b73f78.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libtwocs_testkit-483179c9e4b73f78.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

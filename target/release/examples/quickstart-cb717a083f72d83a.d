@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cb717a083f72d83a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cb717a083f72d83a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -23,11 +23,12 @@ fn zoo_to_simulation_workflow() {
     let device = DeviceSpec::mi210();
     let model = zoo::by_name("T-NLG").expect("in the zoo");
     let hyper = model.hyperparams(1);
-    let tp = memory::required_tp(&hyper, &device, &tp_candidates(&hyper))
-        .expect("fits at some TP");
+    let tp = memory::required_tp(&hyper, &device, &tp_candidates(&hyper)).expect("fits at some TP");
     assert!(tp >= 2, "a 17B model cannot fit one 64 GiB device");
     let parallel = ParallelConfig::new().tensor(tp).data(4);
-    parallel.validate(&hyper).expect("candidates are valid shardings");
+    parallel
+        .validate(&hyper)
+        .expect("candidates are valid shardings");
     let graph = IterationBuilder::new(&hyper, &parallel, &device)
         .layers(4)
         .build_training();
@@ -47,7 +48,10 @@ fn every_zoo_model_gets_a_memory_verdict() {
         }
     }
     // Only the small early models fit a single device.
-    assert!((1..=4).contains(&fits_on_one), "{fits_on_one} models fit one GPU");
+    assert!(
+        (1..=4).contains(&fits_on_one),
+        "{fits_on_one} models fit one GPU"
+    );
 }
 
 #[test]
@@ -73,7 +77,12 @@ fn training_beats_inference_and_scales_with_layers() {
 fn moe_adds_critical_path_alltoall() {
     // §6.1.1: expert parallelism puts two all-to-alls per MoE layer on the
     // critical path.
-    let hyper = Hyperparams::builder(4096).heads(32).seq_len(2048).batch(1).build().unwrap();
+    let hyper = Hyperparams::builder(4096)
+        .heads(32)
+        .seq_len(2048)
+        .batch(1)
+        .build()
+        .unwrap();
     let par = ParallelConfig::new().tensor(4).expert(8);
     let moe = MoeConfig::switch(8);
     let ops = moe_ffn_forward(&hyper, &par, &moe);
@@ -90,7 +99,13 @@ fn pipeline_bubble_fraction_and_transfer_costs() {
     // §6.1.2: few micro-batches -> large bubble; the boundary transfer is
     // tiny next to a stage's compute.
     let device = DeviceSpec::mi210();
-    let hyper = Hyperparams::builder(8192).heads(64).layers(32).seq_len(2048).batch(8).build().unwrap();
+    let hyper = Hyperparams::builder(8192)
+        .heads(64)
+        .layers(32)
+        .seq_len(2048)
+        .batch(8)
+        .build()
+        .unwrap();
     let schedule = PipelineSchedule::new(8, 8);
     assert!((schedule.bubble_fraction() - 7.0 / 15.0).abs() < 1e-12);
 
@@ -105,7 +120,10 @@ fn pipeline_bubble_fraction_and_transfer_costs() {
     let stage = layer.compute_time() * 4.0;
     let iter = schedule.iteration_time(stage, p2p);
     assert!(iter > stage, "pipelining can't beat one stage's work");
-    assert!(p2p < 0.05 * stage, "p2p {p2p} should be small next to {stage}");
+    assert!(
+        p2p < 0.05 * stage,
+        "p2p {p2p} should be small next to {stage}"
+    );
 }
 
 #[test]
@@ -150,13 +168,21 @@ fn pin_mode_halves_serialized_comm_time() {
         .unwrap();
     let par = ParallelConfig::new().tensor(64);
     let base = Engine::new()
-        .run(&IterationBuilder::new(&hyper, &par, &device).optimizer(false).build_training())
+        .run(
+            &IterationBuilder::new(&hyper, &par, &device)
+                .optimizer(false)
+                .build_training(),
+        )
         .unwrap();
     let pin_device = device
         .clone()
         .with_network(device.network().with_pin_mode(PinMode::InSwitch));
     let pin = Engine::new()
-        .run(&IterationBuilder::new(&hyper, &par, &pin_device).optimizer(false).build_training())
+        .run(
+            &IterationBuilder::new(&hyper, &par, &pin_device)
+                .optimizer(false)
+                .build_training(),
+        )
         .unwrap();
     let ratio = base.comm_time().as_secs_f64() / pin.comm_time().as_secs_f64();
     assert!((1.6..=2.2).contains(&ratio), "PIN comm speedup {ratio}");
@@ -166,7 +192,13 @@ fn pin_mode_halves_serialized_comm_time() {
 #[test]
 fn chrome_trace_export_is_well_formed_for_full_iteration() {
     let device = DeviceSpec::mi210();
-    let hyper = Hyperparams::builder(4096).heads(32).layers(2).seq_len(1024).batch(1).build().unwrap();
+    let hyper = Hyperparams::builder(4096)
+        .heads(32)
+        .layers(2)
+        .seq_len(1024)
+        .batch(1)
+        .build()
+        .unwrap();
     let par = ParallelConfig::new().tensor(8).data(4);
     let timeline = Engine::new()
         .run_trace(&IterationBuilder::new(&hyper, &par, &device).build_training())
@@ -175,5 +207,8 @@ fn chrome_trace_export_is_well_formed_for_full_iteration() {
     assert!(json.starts_with('[') && json.ends_with(']'));
     // One record per op per layer plus DP ARs and optimizer.
     assert!(timeline.records().len() > 50);
-    assert_eq!(json.matches("\"ph\":\"X\"").count(), timeline.records().len());
+    assert_eq!(
+        json.matches("\"ph\":\"X\"").count(),
+        timeline.records().len()
+    );
 }

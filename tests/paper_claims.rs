@@ -33,7 +33,10 @@ fn claim_serialized_comm_up_to_half_of_training_time_today() {
             )
         })
         .fold(0.0f64, f64::max);
-    assert!((0.40..=0.60).contains(&worst), "worst-case fraction {worst}");
+    assert!(
+        (0.40..=0.60).contains(&worst),
+        "worst-case fraction {worst}"
+    );
 }
 
 #[test]
@@ -76,7 +79,12 @@ fn claim_operator_models_are_accurate() {
     // error.
     for sweep in validation::figure15_suite(&mi210()) {
         let err = sweep.geomean_error();
-        assert!(err < 0.20, "{}: geomean error {:.1}%", sweep.label, 100.0 * err);
+        assert!(
+            err < 0.20,
+            "{}: geomean error {:.1}%",
+            sweep.label,
+            100.0 * err
+        );
     }
 }
 
@@ -119,7 +127,10 @@ fn claim_fraction_monotone_in_tp_and_antitone_in_h() {
                 &ParallelConfig::new().tensor(tp),
                 Method::Simulation,
             );
-            assert!(f > prev, "H={h}: fraction must grow with TP ({f} after {prev})");
+            assert!(
+                f > prev,
+                "H={h}: fraction must grow with TP ({f} after {prev})"
+            );
             prev = f;
         }
     }

@@ -16,7 +16,12 @@ use twocs_transformer::graph_builder::IterationBuilder;
 use twocs_transformer::{Hyperparams, ParallelConfig};
 
 fn baseline() -> Hyperparams {
-    Hyperparams::builder(1024).heads(16).seq_len(512).batch(4).build().unwrap()
+    Hyperparams::builder(1024)
+        .heads(16)
+        .seq_len(512)
+        .batch(4)
+        .build()
+        .unwrap()
 }
 
 fn simulated_iteration_seconds(hyper: &Hyperparams, parallel: &ParallelConfig) -> f64 {
@@ -71,12 +76,7 @@ fn projection_and_simulation_agree_on_who_wins() {
     let device = DeviceSpec::mi210();
     let model = ProjectionModel::from_baseline(&baseline(), &device);
 
-    let configs = [
-        (8192u64, 8u64),
-        (8192, 32),
-        (16_384, 32),
-        (16_384, 128),
-    ];
+    let configs = [(8192u64, 8u64), (8192, 32), (16_384, 32), (16_384, 128)];
     let mut proj_fracs = Vec::new();
     let mut sim_fracs = Vec::new();
     for &(h, tp) in &configs {

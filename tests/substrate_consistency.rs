@@ -105,12 +105,7 @@ fn ar_size_model_consistent_with_cost_model() {
     use twocs_opmodel::ArSizeModel;
     let device = DeviceSpec::mi210();
     let cm = CollectiveCostModel::default();
-    let model = ArSizeModel::profile(
-        device.network(),
-        &cm,
-        4,
-        &ArSizeModel::default_sizes(),
-    );
+    let model = ArSizeModel::profile(device.network(), &cm, 4, &ArSizeModel::default_sizes());
     for bytes in [300_000u64, 5_000_000, 123_456_789] {
         let predicted = model.predict(bytes);
         let direct = cm.allreduce_time(bytes, 4, device.network());

@@ -1,0 +1,75 @@
+//! End-to-end determinism of the parallel sweep engine: whatever the
+//! worker-thread count, the CLI's stdout must be byte-identical — the
+//! summary (timings, cache rates) goes to stderr precisely so that CSV
+//! artifacts can be diffed across machines and `--jobs` settings.
+
+use std::process::{Command, Output};
+use twocs::analysis::experiments;
+use twocs::analysis::sweep::{run_experiments, run_tasks};
+use twocs::hw::DeviceSpec;
+
+fn twocs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_twocs"))
+        .args(args)
+        .output()
+        .expect("twocs binary runs")
+}
+
+#[test]
+fn run_all_csv_is_byte_identical_across_jobs() {
+    let serial = twocs(&["run", "all", "--csv", "--jobs", "1"]);
+    let parallel = twocs(&["run", "all", "--csv", "--jobs", "8"]);
+    assert!(serial.status.success(), "serial run failed");
+    assert!(parallel.status.success(), "parallel run failed");
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "parallel stdout diverged from serial"
+    );
+    // The summary lands on stderr, not in the CSV stream.
+    let summary = String::from_utf8_lossy(&parallel.stderr);
+    assert!(summary.contains("worker threads"), "{summary}");
+    assert!(summary.contains("gemm-time:"), "{summary}");
+}
+
+#[test]
+fn sweep_csv_is_byte_identical_across_jobs() {
+    let grid = ["--h", "4096,16384", "--sl", "2048", "--tp", "16,64"];
+    let mut serial_args = vec!["sweep", "--csv", "--jobs", "1"];
+    serial_args.extend_from_slice(&grid);
+    let mut parallel_args = vec!["sweep", "--csv", "--jobs", "8"];
+    parallel_args.extend_from_slice(&grid);
+    let serial = twocs(&serial_args);
+    let parallel = twocs(&parallel_args);
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(serial.stdout, parallel.stdout);
+    assert!(!serial.stdout.is_empty());
+}
+
+#[test]
+fn panicking_experiment_fails_alone_and_pool_survives() {
+    fn boom(_: &DeviceSpec) -> twocs::analysis::ExperimentOutput {
+        panic!("injected failure");
+    }
+    let mut defs = vec![experiments::by_id("table2").expect("table2 registered")];
+    defs.push(twocs::analysis::ExperimentDef {
+        id: "boom",
+        title: "injected",
+        paper_claim: "",
+        run: boom,
+    });
+    defs.extend(experiments::by_id("fig11"));
+    let run = run_experiments(&DeviceSpec::mi210(), &defs, 4);
+    assert_eq!(run.summary.failures, 1);
+    assert!(run.results[0].output.is_ok());
+    let err = run.results[1].output.as_ref().unwrap_err();
+    assert!(err.contains("injected failure"), "{err}");
+    assert!(run.results[2].output.is_ok(), "pool died after a panic");
+
+    // The same pool primitive keeps scheduling after repeated panics.
+    let again = run_tasks(2, 8, |i| {
+        assert!(i % 2 == 0, "odd task {i}");
+        i
+    });
+    assert_eq!(again.iter().filter(|t| t.result.is_err()).count(), 4);
+    assert_eq!(again.iter().filter(|t| t.result.is_ok()).count(), 4);
+}
