@@ -28,7 +28,8 @@ type NodeTimeKey = (u8, u64, u64, u64, u64, u64);
 /// Global memo table for [`CollectiveCostModel::node_time`]. The sweep
 /// engine prices the same (collective, bytes, ranks, node) query for every
 /// grid point that shares a hardware configuration.
-static NODE_TIME: LazyLock<MemoCache<NodeTimeKey, f64>> = LazyLock::new(MemoCache::new);
+static NODE_TIME: LazyLock<MemoCache<NodeTimeKey, f64>> =
+    LazyLock::new(|| MemoCache::named("collective"));
 
 /// Counters of the global collective-cost cache.
 #[must_use]

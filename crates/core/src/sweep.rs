@@ -21,6 +21,14 @@
 //! metrics per point. Both report a [`SweepSummary`] with task timings and
 //! the memo-cache activity ([`twocs_hw::CacheStats`]) observed during the
 //! sweep.
+//!
+//! The pool is instrumented through `twocs-obs`: every task runs inside a
+//! task scope (so an installed tracer records its lifecycle and the memo
+//! caches charge their hits/misses to it), queue depth and per-worker
+//! busy time feed the global metrics registry, and each task's wall time
+//! is classified **cache-cold** (at least one memo-cache miss charged to
+//! it) or **cache-warm** — reported per worker and in aggregate, so cold
+//! first-touch tasks no longer skew the per-experiment timings.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,14 +62,28 @@ pub fn parallelism() -> usize {
     PARALLELISM.load(Ordering::Relaxed)
 }
 
-/// One completed task: its payload (or the panic message) and how long it
-/// ran on its worker thread.
+/// One completed task: its payload (or the panic message), how long it
+/// ran, which worker ran it, and the memo-cache activity charged to it.
 #[derive(Debug, Clone)]
 pub struct TaskResult<T> {
     /// The task's value, or the panic payload rendered as a string.
     pub result: Result<T, String>,
     /// Wall time of this task on its worker.
     pub elapsed: Duration,
+    /// Index of the worker thread that executed the task.
+    pub worker: usize,
+    /// Memo-cache hits charged to this task.
+    pub cache_hits: u64,
+    /// Memo-cache misses charged to this task (`> 0` ⇒ cache-cold).
+    pub cache_misses: u64,
+}
+
+impl<T> TaskResult<T> {
+    /// Whether the task had to compute at least one memo-cache entry.
+    #[must_use]
+    pub fn is_cold(&self) -> bool {
+        self.cache_misses > 0
+    }
 }
 
 /// Execute `count` tasks on `jobs` scoped worker threads and return the
@@ -72,35 +94,88 @@ pub struct TaskResult<T> {
 /// [`catch_unwind`]: a panic becomes `Err(message)` for that index and
 /// the worker moves on to the next task — one bad configuration cannot
 /// poison the pool or lose the rest of the sweep.
+///
+/// Tasks get generic `task N` span labels; use [`run_tasks_labeled`] when
+/// meaningful names are available.
 pub fn run_tasks<T, F>(jobs: usize, count: usize, task: F) -> Vec<TaskResult<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_tasks_labeled(jobs, count, |i| format!("task {i}"), task)
+}
+
+/// [`run_tasks`] with a per-task span label, so tracer output and the
+/// sweep summary name tasks by experiment id or grid point instead of
+/// index.
+///
+/// Each task executes inside a `twocs-obs` task scope on a worker seeded
+/// from the calling thread's tracing context: an installed tracer records
+/// one lifecycle span per task (in its deterministic logical window under
+/// [`twocs_obs::TraceMode::Logical`]), and memo-cache hits/misses are
+/// charged to exactly the task that incurred them. The pool also feeds
+/// the global metrics registry: `sweep.tasks_total`, the
+/// `sweep.queue_depth` histogram (sampled at claim time), and per-worker
+/// `sweep.worker<N>.busy_us` counters.
+pub fn run_tasks_labeled<T, F, L>(
+    jobs: usize,
+    count: usize,
+    label: L,
+    task: F,
+) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    L: Fn(usize) -> String + Sync,
+{
     let slots: Vec<Mutex<Option<TaskResult<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = jobs.max(1).min(count.max(1));
+    let seed = twocs_obs::pool_seed();
+    let registry = twocs_obs::metrics::global();
+    let tasks_total = registry.counter("sweep.tasks_total");
+    let queue_depth = registry.histogram("sweep.queue_depth");
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+        for w in 0..workers {
+            let seed = &seed;
+            let tasks_total = &tasks_total;
+            let queue_depth = &queue_depth;
+            let label = &label;
+            let task = &task;
+            let slots = &slots;
+            let next = &next;
+            scope.spawn(move || {
+                twocs_obs::enter_worker(seed, w);
+                let busy_us = registry.counter(&format!("sweep.worker{w}.busy_us"));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    queue_depth.observe((count - i) as u64);
+                    let scope_guard = twocs_obs::task_scope(i, &label(i));
+                    let start = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
+                        payload
+                            .downcast_ref::<&str>()
+                            .map(ToString::to_string)
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "task panicked".to_owned())
+                    });
+                    let elapsed = start.elapsed();
+                    let observation = scope_guard.finish();
+                    tasks_total.inc();
+                    busy_us.add(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+                    let done = TaskResult {
+                        result,
+                        elapsed,
+                        worker: w,
+                        cache_hits: observation.cache_hits,
+                        cache_misses: observation.cache_misses,
+                    };
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(done);
                 }
-                let start = Instant::now();
-                let result = catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
-                    payload
-                        .downcast_ref::<&str>()
-                        .map(ToString::to_string)
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "task panicked".to_owned())
-                });
-                let done = TaskResult {
-                    result,
-                    elapsed: start.elapsed(),
-                };
-                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(done);
             });
         }
     });
@@ -124,6 +199,84 @@ pub struct TaskTiming {
     pub elapsed: Duration,
     /// Whether the task completed without panicking.
     pub ok: bool,
+    /// Worker thread that ran the task.
+    pub worker: usize,
+    /// Whether the task was cache-cold (charged at least one memo-cache
+    /// miss). Cold tasks pay for first-touch computation, so their wall
+    /// times are not comparable with warm ones.
+    pub cold: bool,
+}
+
+/// Task counts and wall time split by memo-cache temperature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmColdSplit {
+    /// Tasks that computed at least one memo-cache entry.
+    pub cold_tasks: usize,
+    /// Summed wall time of cold tasks.
+    pub cold_time: Duration,
+    /// Tasks fully served from the memo caches.
+    pub warm_tasks: usize,
+    /// Summed wall time of warm tasks.
+    pub warm_time: Duration,
+}
+
+impl WarmColdSplit {
+    fn add(&mut self, elapsed: Duration, cold: bool) {
+        if cold {
+            self.cold_tasks += 1;
+            self.cold_time += elapsed;
+        } else {
+            self.warm_tasks += 1;
+            self.warm_time += elapsed;
+        }
+    }
+
+    /// Mean wall time of cold tasks (zero when there were none).
+    #[must_use]
+    pub fn mean_cold(&self) -> Duration {
+        checked_mean(self.cold_time, self.cold_tasks)
+    }
+
+    /// Mean wall time of warm tasks (zero when there were none).
+    #[must_use]
+    pub fn mean_warm(&self) -> Duration {
+        checked_mean(self.warm_time, self.warm_tasks)
+    }
+}
+
+fn checked_mean(total: Duration, n: usize) -> Duration {
+    match u32::try_from(n) {
+        Ok(n) if n > 0 => total / n,
+        _ => Duration::ZERO,
+    }
+}
+
+impl fmt::Display for WarmColdSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cold {:.1?} (avg {:.1?}), {} warm {:.1?} (avg {:.1?})",
+            self.cold_tasks,
+            self.cold_time,
+            self.mean_cold(),
+            self.warm_tasks,
+            self.warm_time,
+            self.mean_warm(),
+        )
+    }
+}
+
+/// One worker thread's share of a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTiming {
+    /// Worker index.
+    pub worker: usize,
+    /// Tasks this worker executed.
+    pub tasks: usize,
+    /// Summed task wall time on this worker.
+    pub busy: Duration,
+    /// This worker's tasks split cache-cold vs cache-warm.
+    pub split: WarmColdSplit,
 }
 
 /// What a sweep did: thread count, wall/task time, failures, per-task
@@ -145,12 +298,48 @@ pub struct SweepSummary {
     pub task_time: Duration,
     /// Per-task wall times, in task order.
     pub timings: Vec<TaskTiming>,
+    /// Per-worker busy time and warm/cold split, by worker index. Workers
+    /// that claimed no task still appear (with zero counts).
+    pub workers: Vec<WorkerTiming>,
     /// GEMM-time cache activity during the sweep.
     pub gemm_cache: CacheStats,
     /// Collective-cost cache activity during the sweep.
     pub collective_cache: CacheStats,
     /// Slack-ROI profile cache activity during the sweep.
     pub slack_roi_cache: CacheStats,
+}
+
+impl SweepSummary {
+    /// Aggregate warm/cold split across all workers.
+    #[must_use]
+    pub fn warm_cold(&self) -> WarmColdSplit {
+        let mut agg = WarmColdSplit::default();
+        for t in &self.timings {
+            agg.add(t.elapsed, t.cold);
+        }
+        agg
+    }
+
+    /// Build the per-worker breakdown from per-task timings. `jobs` is
+    /// the requested worker count; the breakdown covers
+    /// `min(jobs, tasks)` workers, matching what the pool spawned.
+    fn workers_from_timings(jobs: usize, timings: &[TaskTiming]) -> Vec<WorkerTiming> {
+        let spawned = jobs.max(1).min(timings.len().max(1));
+        let mut workers: Vec<WorkerTiming> = (0..spawned)
+            .map(|w| WorkerTiming {
+                worker: w,
+                ..WorkerTiming::default()
+            })
+            .collect();
+        for t in timings {
+            if let Some(w) = workers.get_mut(t.worker) {
+                w.tasks += 1;
+                w.busy += t.elapsed;
+                w.split.add(t.elapsed, t.cold);
+            }
+        }
+        workers
+    }
 }
 
 impl fmt::Display for SweepSummary {
@@ -177,9 +366,26 @@ impl fmt::Display for SweepSummary {
                 "  {:<28} {:>9.1?}  {}",
                 t.label,
                 t.elapsed,
-                if t.ok { "ok" } else { "FAILED" }
+                match (t.ok, t.cold) {
+                    (false, _) => "FAILED",
+                    (true, true) => "ok (cold)",
+                    (true, false) => "ok (warm)",
+                }
             )?;
         }
+        writeln!(f, "workers (cache-cold vs cache-warm):")?;
+        for w in &self.workers {
+            writeln!(
+                f,
+                "  w{}: {} task{}, busy {:.1?} — {}",
+                w.worker,
+                w.tasks,
+                if w.tasks == 1 { "" } else { "s" },
+                w.busy,
+                w.split,
+            )?;
+        }
+        writeln!(f, "  aggregate: {}", self.warm_cold())?;
         writeln!(f, "caches (this sweep):")?;
         writeln!(f, "  gemm-time:  {}", self.gemm_cache)?;
         writeln!(f, "  collective: {}", self.collective_cache)?;
@@ -229,10 +435,26 @@ pub fn run_experiments(device: &DeviceSpec, defs: &[ExperimentDef], jobs: usize)
     set_parallelism(jobs);
     let before = cache_snapshot();
     let start = Instant::now();
-    let raw = run_tasks(jobs, defs.len(), |i| (defs[i].run)(device));
+    let raw = run_tasks_labeled(
+        jobs,
+        defs.len(),
+        |i| defs[i].id.to_owned(),
+        |i| (defs[i].run)(device),
+    );
     let wall = start.elapsed();
     let after = cache_snapshot();
 
+    let timings: Vec<TaskTiming> = defs
+        .iter()
+        .zip(&raw)
+        .map(|(def, t)| TaskTiming {
+            label: def.id.to_owned(),
+            elapsed: t.elapsed,
+            ok: t.result.is_ok(),
+            worker: t.worker,
+            cold: t.is_cold(),
+        })
+        .collect();
     let results: Vec<ExperimentResult> = defs
         .iter()
         .zip(raw)
@@ -250,14 +472,8 @@ pub fn run_experiments(device: &DeviceSpec, defs: &[ExperimentDef], jobs: usize)
         failures: results.iter().filter(|r| r.output.is_err()).count(),
         wall,
         task_time: results.iter().map(|r| r.elapsed).sum(),
-        timings: results
-            .iter()
-            .map(|r| TaskTiming {
-                label: r.id.to_owned(),
-                elapsed: r.elapsed,
-                ok: r.output.is_ok(),
-            })
-            .collect(),
+        workers: SweepSummary::workers_from_timings(jobs, &timings),
+        timings,
         gemm_cache: after.0.since(&before.0),
         collective_cache: after.1.since(&before.1),
         slack_roi_cache: after.2.since(&before.2),
@@ -359,19 +575,26 @@ impl GridSweep {
         let points = self.points();
         let before = cache_snapshot();
         let start = Instant::now();
-        let raw = run_tasks(jobs, points.len(), |i| {
-            let p = points[i];
-            let dev = if p.ratio > 1.0 {
-                HwEvolution::flop_vs_bw(p.ratio).apply(device)
-            } else {
-                device.clone()
-            };
-            let hyper = sweep_hyper(p.h, p.sl, self.batch);
-            let parallel = ParallelConfig::new().tensor(p.tp);
-            let serialized = 100.0 * comm_fraction(&dev, &hyper, &parallel, self.method);
-            let overlap = overlap_pct(&dev, p.h, p.sl * self.batch, p.tp, 4);
-            (serialized, overlap)
-        });
+        let point_label =
+            |p: &GridPoint| format!("H={} SL={} TP={} r={}", p.h, p.sl, p.tp, p.ratio);
+        let raw = run_tasks_labeled(
+            jobs,
+            points.len(),
+            |i| point_label(&points[i]),
+            |i| {
+                let p = points[i];
+                let dev = if p.ratio > 1.0 {
+                    HwEvolution::flop_vs_bw(p.ratio).apply(device)
+                } else {
+                    device.clone()
+                };
+                let hyper = sweep_hyper(p.h, p.sl, self.batch);
+                let parallel = ParallelConfig::new().tensor(p.tp);
+                let serialized = 100.0 * comm_fraction(&dev, &hyper, &parallel, self.method);
+                let overlap = overlap_pct(&dev, p.h, p.sl * self.batch, p.tp, 4);
+                (serialized, overlap)
+            },
+        );
         let wall = start.elapsed();
         let after = cache_snapshot();
 
@@ -405,21 +628,25 @@ impl GridSweep {
             ]);
         }
 
+        let timings: Vec<TaskTiming> = points
+            .iter()
+            .zip(&raw)
+            .map(|(p, t)| TaskTiming {
+                label: point_label(p),
+                elapsed: t.elapsed,
+                ok: t.result.is_ok(),
+                worker: t.worker,
+                cold: t.is_cold(),
+            })
+            .collect();
         let summary = SweepSummary {
             jobs: jobs.max(1),
             tasks: raw.len(),
             failures: raw.iter().filter(|t| t.result.is_err()).count(),
             wall,
             task_time: raw.iter().map(|t| t.elapsed).sum(),
-            timings: points
-                .iter()
-                .zip(&raw)
-                .map(|(p, t)| TaskTiming {
-                    label: format!("H={} SL={} TP={} r={}", p.h, p.sl, p.tp, p.ratio),
-                    elapsed: t.elapsed,
-                    ok: t.result.is_ok(),
-                })
-                .collect(),
+            workers: SweepSummary::workers_from_timings(jobs, &timings),
+            timings,
             gemm_cache: after.0.since(&before.0),
             collective_cache: after.1.since(&before.1),
             slack_roi_cache: after.2.since(&before.2),
@@ -565,5 +792,96 @@ mod tests {
         assert!(text.contains("table2"), "{text}");
         assert!(text.contains("gemm-time:"), "{text}");
         assert!(text.contains("slack-roi:"), "{text}");
+        assert!(
+            text.contains("workers (cache-cold vs cache-warm):"),
+            "{text}"
+        );
+        assert!(text.contains("aggregate:"), "{text}");
+    }
+
+    #[test]
+    fn worker_breakdown_accounts_every_task() {
+        let sweep = GridSweep {
+            hs: vec![4096],
+            sls: vec![2048],
+            tps: vec![16, 32],
+            flop_vs_bw: vec![1.0, 2.0],
+            batch: 1,
+            method: Method::Projection,
+        };
+        let (_, summary) = sweep.run(&DeviceSpec::mi210(), 3);
+        assert_eq!(summary.workers.len(), 3);
+        let by_worker: usize = summary.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(by_worker, summary.tasks);
+        let busy: Duration = summary.workers.iter().map(|w| w.busy).sum();
+        assert_eq!(busy, summary.task_time);
+        let agg = summary.warm_cold();
+        assert_eq!(agg.cold_tasks + agg.warm_tasks, summary.tasks);
+        assert_eq!(agg.cold_time + agg.warm_time, summary.task_time);
+        for w in &summary.workers {
+            assert_eq!(w.split.cold_tasks + w.split.warm_tasks, w.tasks);
+            assert_eq!(w.split.cold_time + w.split.warm_time, w.busy);
+        }
+    }
+
+    /// Regression test for the warm/cold mixing bug: a first run of a
+    /// configuration pays memo-cache first-touch cost and must be
+    /// classified cache-cold; rerunning the identical configuration is
+    /// answered entirely from the caches and must be classified warm —
+    /// the summary keeps the two populations separate instead of mixing
+    /// them into one per-experiment average.
+    ///
+    /// Uses a distinctive (H, SL) so concurrently running tests cannot
+    /// pre-warm its cache keys.
+    #[test]
+    fn cold_first_run_then_warm_rerun_are_classified_separately() {
+        let sweep = GridSweep {
+            hs: vec![4864],
+            sls: vec![1984],
+            tps: vec![16],
+            flop_vs_bw: vec![1.0],
+            batch: 1,
+            method: Method::Projection,
+        };
+        let device = DeviceSpec::mi210();
+        let (_, first) = sweep.run(&device, 1);
+        let (_, second) = sweep.run(&device, 1);
+        assert_eq!(first.tasks, 1);
+        assert!(first.timings[0].cold, "first touch must be cache-cold");
+        assert!(!second.timings[0].cold, "identical rerun must be warm");
+        let (f, s) = (first.warm_cold(), second.warm_cold());
+        assert_eq!((f.cold_tasks, f.warm_tasks), (1, 0));
+        assert_eq!((s.cold_tasks, s.warm_tasks), (0, 1));
+        assert_eq!(f.cold_time, first.task_time);
+        assert_eq!(s.warm_time, second.task_time);
+        // And the per-worker view agrees with the aggregate.
+        assert_eq!(first.workers[0].split.cold_tasks, 1);
+        assert_eq!(second.workers[0].split.warm_tasks, 1);
+    }
+
+    #[test]
+    fn task_results_carry_worker_and_cache_attribution() {
+        let results = run_tasks_labeled(2, 6, |i| format!("t{i}"), |i| i);
+        for r in &results {
+            assert!(r.worker < 2);
+            assert_eq!((r.cache_hits, r.cache_misses), (0, 0));
+            assert!(!r.is_cold());
+        }
+    }
+
+    #[test]
+    fn pool_records_lifecycle_spans_deterministically() {
+        use std::sync::Arc;
+        let trace_for = |jobs: usize| {
+            let tracer = Arc::new(twocs_obs::Tracer::new(twocs_obs::TraceMode::Logical));
+            twocs_obs::set_thread_tracer(Some(tracer.clone()));
+            let _ = run_tasks_labeled(jobs, 5, |i| format!("job {i}"), |i| i * 2);
+            twocs_obs::set_thread_tracer(None);
+            twocs_obs::chrome::render(&tracer.snapshot())
+        };
+        let serial = trace_for(1);
+        let parallel = trace_for(4);
+        assert_eq!(serial, parallel, "logical traces must not depend on jobs");
+        assert!(serial.contains("job 3"));
     }
 }

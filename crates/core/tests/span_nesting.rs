@@ -1,0 +1,65 @@
+//! Property: span open/close nesting is always balanced, even when
+//! worker tasks panic with spans open.
+//!
+//! Tasks open a random depth of nested phase spans and a random subset
+//! panic at the innermost point. The RAII guards must still close every
+//! span on unwind, the pool must still close every task scope, and the
+//! resulting trace must form a proper span tree (checked with
+//! `twocs_testkit::assert_span_tree`).
+
+use std::sync::Arc;
+use twocs_core::sweep::run_tasks_labeled;
+use twocs_obs::{self as obs, MetricsRegistry, TraceMode, Tracer};
+use twocs_testkit::{assert_counter, assert_span_tree, cases};
+
+fn nested_phases(depth: usize, boom: bool) {
+    let _guard = obs::span(&format!("depth{depth}"), "phase");
+    if depth > 0 {
+        nested_phases(depth - 1, boom);
+    } else if boom {
+        panic!("injected worker panic");
+    }
+}
+
+#[test]
+fn span_nesting_is_balanced_under_injected_worker_panics() {
+    cases(24, |rng| {
+        let count = rng.usize_in(1..12);
+        let jobs = rng.usize_in(1..5);
+        let depths: Vec<usize> = (0..count).map(|_| rng.usize_in(0..4)).collect();
+        let panics: Vec<bool> = (0..count).map(|_| rng.bool()).collect();
+
+        let registry = MetricsRegistry::new();
+        let started = registry.counter("tasks.started");
+        let tracer = Arc::new(Tracer::new(TraceMode::Logical));
+        obs::set_thread_tracer(Some(tracer.clone()));
+        let results = run_tasks_labeled(
+            jobs,
+            count,
+            |i| format!("task {i}"),
+            |i| {
+                started.inc();
+                nested_phases(depths[i], panics[i]);
+            },
+        );
+        obs::set_thread_tracer(None);
+
+        // Every task ran exactly once, panicking or not.
+        assert_counter(&registry, "tasks.started", count as u64);
+        let failed = results.iter().filter(|r| r.result.is_err()).count();
+        assert_eq!(failed, panics.iter().filter(|&&b| b).count());
+
+        let spans = tracer.snapshot().spans;
+        // Balance: one lifecycle span per task scope (closed exactly
+        // once despite unwinding) ...
+        let task_spans = spans.iter().filter(|s| s.cat == "task").count();
+        assert_eq!(task_spans, count);
+        // ... and one span per phase guard, even on panicking paths.
+        let phase_spans = spans.iter().filter(|s| s.cat == "phase").count();
+        let expected_phases: usize = depths.iter().map(|d| d + 1).sum();
+        assert_eq!(phase_spans, expected_phases);
+        // Structure: phases nest inside their task windows, tasks are
+        // disjoint — no partial overlap anywhere in any lane.
+        assert_span_tree(&spans);
+    });
+}

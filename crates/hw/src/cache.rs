@@ -12,15 +12,19 @@
 //! while `twocs-collectives` and `twocs-opmodel` keep caches for
 //! collective costs and ROI profiles built on the same type. Each cache
 //! counts hits and misses so sweep reports can show how much recomputation
-//! was avoided.
+//! was avoided; named caches ([`MemoCache::named`]) publish those counters
+//! to the `twocs-obs` metrics registry (as `cache.<name>.hits` /
+//! `cache.<name>.misses`), and every lookup is also attributed to the
+//! current `twocs-obs` task scope so the sweep pool can tell cache-cold
+//! tasks from cache-warm ones exactly.
 //!
 //! [`DeviceSpec::gemm_time`]: crate::DeviceSpec::gemm_time
 
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+use twocs_obs::Counter;
 
 /// A point-in-time snapshot of one cache's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,23 +84,38 @@ impl fmt::Display for CacheStats {
 #[derive(Debug, Default)]
 pub struct MemoCache<K, V> {
     map: RwLock<HashMap<K, V>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
-    /// Create an empty cache.
+    /// Create an empty cache with detached (unpublished) counters.
     #[must_use]
     pub fn new() -> Self {
         Self {
             map: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+        }
+    }
+
+    /// Create an empty cache whose hit/miss counters are registered in
+    /// the global `twocs-obs` metrics registry as `cache.<name>.hits` /
+    /// `cache.<name>.misses`, so `--metrics` reports its hit rate.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        let registry = twocs_obs::metrics::global();
+        Self {
+            map: RwLock::new(HashMap::new()),
+            hits: registry.counter(&format!("cache.{name}.hits")),
+            misses: registry.counter(&format!("cache.{name}.misses")),
         }
     }
 
     /// Return the cached value for `key`, computing it with `compute` on a
-    /// miss. `compute` runs outside the lock.
+    /// miss. `compute` runs outside the lock. The outcome is counted on
+    /// this cache and charged to the calling thread's current `twocs-obs`
+    /// task scope.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
         {
             let map = self
@@ -104,11 +123,13 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(v) = map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
+                twocs_obs::note_cache_hit();
                 return v.clone();
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        twocs_obs::note_cache_miss();
         let value = compute();
         let mut map = self
             .map
@@ -126,8 +147,8 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries,
         }
     }
@@ -139,8 +160,8 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
     }
 }
 
@@ -166,7 +187,7 @@ pub(crate) type GemmTimeKey = (u64, u64, u64, u64, u64, u8);
 ///
 /// [`DeviceSpec::gemm_time`]: crate::DeviceSpec::gemm_time
 pub(crate) static GEMM_TIME: std::sync::LazyLock<MemoCache<GemmTimeKey, f64>> =
-    std::sync::LazyLock::new(MemoCache::new);
+    std::sync::LazyLock::new(|| MemoCache::named("gemm_time"));
 
 /// Counters of the global GEMM-time cache.
 #[must_use]
@@ -234,6 +255,26 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.entries, 100);
         assert_eq!(s.hits + s.misses, 800);
+    }
+
+    #[test]
+    fn named_cache_publishes_metrics() {
+        let cache: MemoCache<u64, u64> = MemoCache::named("test_named");
+        let _ = cache.get_or_insert_with(1, || 1);
+        let _ = cache.get_or_insert_with(1, || 1);
+        let reg = twocs_obs::metrics::global();
+        assert_eq!(reg.counter("cache.test_named.hits").get(), 1);
+        assert_eq!(reg.counter("cache.test_named.misses").get(), 1);
+    }
+
+    #[test]
+    fn lookups_attribute_to_task_scope() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let scope = twocs_obs::task_scope(0, "t");
+        let _ = cache.get_or_insert_with(7, || 7);
+        let _ = cache.get_or_insert_with(7, || 7);
+        let obs = scope.finish();
+        assert_eq!((obs.cache_hits, obs.cache_misses), (1, 1));
     }
 
     #[test]

@@ -29,7 +29,8 @@ type SlackRoiKey = (
 /// Global memo table for [`Profiler::profile_slack_roi`]: the hardware
 /// evolution sweeps (§5) re-profile the same ROI for every projected
 /// device that shares the baseline's compute side.
-static SLACK_ROI: LazyLock<MemoCache<SlackRoiKey, (f64, f64)>> = LazyLock::new(MemoCache::new);
+static SLACK_ROI: LazyLock<MemoCache<SlackRoiKey, (f64, f64)>> =
+    LazyLock::new(|| MemoCache::named("slack_roi"));
 
 /// Counters of the global slack-ROI profile cache.
 #[must_use]

@@ -194,6 +194,14 @@ impl Engine {
                 stuck: n - executed,
             });
         }
+        // Feed the executed timeline to the observability layer (a no-op
+        // without an active tracer). Simulated timestamps are virtual and
+        // deterministic, so this never perturbs trace reproducibility.
+        if let Some(tracer) = twocs_obs::current_tracer() {
+            if tracer.sim_enabled() {
+                tracer.push_sim_spans(&timeline.to_obs_spans());
+            }
+        }
         Ok(timeline)
     }
 }
@@ -311,6 +319,21 @@ mod tests {
             .run(&g)
             .unwrap();
         assert_eq!(r.makespan(), SimTime::from_secs_f64(4e-3));
+    }
+
+    #[test]
+    fn executed_timeline_is_captured_by_active_tracer() {
+        let tracer = std::sync::Arc::new(twocs_obs::Tracer::new(twocs_obs::TraceMode::Logical));
+        twocs_obs::set_thread_tracer(Some(tracer.clone()));
+        let mut g = TaskGraph::new(1);
+        let a = g.compute(d(0), "g1", OpClass::Gemm, 1e-3, &[]);
+        g.collective(vec![d(0)], "ar", 1e-3, &[a]);
+        let timeline = Engine::new().run_trace(&g).unwrap();
+        twocs_obs::set_thread_tracer(None);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.spans.len(), timeline.records().len());
+        assert!(snap.spans.iter().any(|s| s.name == "g1" && s.cat == "gemm"));
+        assert!(snap.spans.iter().any(|s| s.name == "ar" && s.cat == "comm"));
     }
 
     #[test]

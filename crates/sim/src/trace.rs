@@ -266,6 +266,30 @@ impl Timeline {
         out
     }
 
+    /// Convert to tracer-neutral spans for `twocs-obs` capture. The whole
+    /// timeline lands in one Chrome-trace process, so the thread lane
+    /// encodes both device and stream (`device × 3 + stream`).
+    #[must_use]
+    pub fn to_obs_spans(&self) -> Vec<twocs_obs::SimSpan> {
+        self.records
+            .iter()
+            .map(|r| {
+                let lane = match r.stream {
+                    StreamKind::Compute => 0,
+                    StreamKind::Comm => 1,
+                    StreamKind::CommAlt => 2,
+                };
+                twocs_obs::SimSpan {
+                    name: r.name.clone(),
+                    cat: r.class.name(),
+                    tid: (r.device.0 as u64) * 3 + lane,
+                    start_us: r.start.as_micros_f64(),
+                    dur_us: r.duration().as_micros_f64(),
+                }
+            })
+            .collect()
+    }
+
     /// Export as a Chrome `chrome://tracing` / Perfetto JSON string.
     /// Devices map to processes, streams to threads.
     #[must_use]

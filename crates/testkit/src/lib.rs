@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
+pub use trace::{assert_counter, assert_span_tree};
+
 use std::ops::Range;
 
 /// Deterministic 64-bit PRNG (SplitMix64).

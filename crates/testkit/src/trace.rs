@@ -1,0 +1,136 @@
+//! Assertion helpers for `twocs-obs` traces and metrics.
+//!
+//! [`assert_span_tree`] checks the structural invariant every trace must
+//! satisfy: within each `(pid, tid)` lane, spans form a properly nested
+//! tree — a span either contains another or is disjoint from it, never
+//! partially overlapping. Since a [`twocs_obs::SpanRecord`] is only
+//! emitted when a span *closes*, a trace whose spans nest properly and
+//! whose expected scopes are all present proves open/close balance even
+//! when tasks panic mid-span (the RAII guards close on unwind).
+//!
+//! [`assert_counter`] pins a named counter in a metrics registry to an
+//! exact value.
+
+use twocs_obs::{MetricsRegistry, SpanRecord};
+
+/// Assert that `spans` form a properly nested tree within every
+/// `(pid, tid)` lane.
+///
+/// # Panics
+/// Panics with the offending pair of spans when two spans in one lane
+/// partially overlap (each starts inside the other's extent without
+/// being contained by it).
+pub fn assert_span_tree(spans: &[SpanRecord]) {
+    let mut lanes: std::collections::BTreeMap<(u64, u64), Vec<&SpanRecord>> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        lanes.entry((s.pid, s.tid)).or_default().push(s);
+    }
+    for ((pid, tid), mut lane) in lanes {
+        // Parents first: by start ascending, then longest first so a
+        // containing span precedes its children.
+        lane.sort_by(|a, b| {
+            a.start_us
+                .total_cmp(&b.start_us)
+                .then(b.dur_us.total_cmp(&a.dur_us))
+        });
+        let mut stack: Vec<&SpanRecord> = Vec::new();
+        for s in lane {
+            while let Some(top) = stack.last() {
+                if top.end_us() <= s.start_us {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                assert!(
+                    s.end_us() <= top.end_us(),
+                    "span tree violated in lane pid={pid} tid={tid}: \
+                     `{}` [{}, {}) partially overlaps enclosing `{}` [{}, {})",
+                    s.name,
+                    s.start_us,
+                    s.end_us(),
+                    top.name,
+                    top.start_us,
+                    top.end_us(),
+                );
+            }
+            stack.push(s);
+        }
+    }
+}
+
+/// Assert that counter `name` in `registry` currently reads `expected`.
+///
+/// # Panics
+/// Panics (with the actual value) on mismatch, and if `name` is
+/// registered as a non-counter metric.
+pub fn assert_counter(registry: &MetricsRegistry, name: &str, expected: u64) {
+    let actual = registry.counter(name).get();
+    assert_eq!(
+        actual, expected,
+        "counter `{name}`: expected {expected}, got {actual}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, tid: u64, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            cat: "test".into(),
+            pid: 0,
+            tid,
+            start_us: start,
+            dur_us: dur,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn nested_and_disjoint_spans_pass() {
+        assert_span_tree(&[
+            span("outer", 0, 0.0, 100.0),
+            span("inner", 0, 10.0, 20.0),
+            span("inner2", 0, 40.0, 20.0),
+            span("deep", 0, 12.0, 5.0),
+            span("later", 0, 200.0, 50.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partially overlaps")]
+    fn partial_overlap_fails() {
+        assert_span_tree(&[span("a", 0, 0.0, 50.0), span("b", 0, 25.0, 50.0)]);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // These would partially overlap in one lane, but live in two.
+        assert_span_tree(&[span("a", 0, 0.0, 50.0), span("b", 1, 25.0, 50.0)]);
+    }
+
+    #[test]
+    fn touching_siblings_pass() {
+        // [0,10) and [10,20): adjacent windows, no overlap.
+        assert_span_tree(&[span("a", 0, 0.0, 10.0), span("b", 0, 10.0, 10.0)]);
+    }
+
+    #[test]
+    fn counter_assertion_reads_registry() {
+        let reg = MetricsRegistry::new();
+        reg.counter("k").add(3);
+        assert_counter(&reg, "k", 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 9, got 3")]
+    fn counter_assertion_fails_loudly() {
+        let reg = MetricsRegistry::new();
+        reg.counter("k").add(3);
+        assert_counter(&reg, "k", 9);
+    }
+}

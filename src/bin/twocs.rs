@@ -12,20 +12,83 @@
 //! byte-identical to a serial run (results are collected in deterministic
 //! order) and the sweep summary — per-task wall times and memo-cache hit
 //! rates — goes to stderr.
+//!
+//! Observability (see the README's "Observability" section):
+//! `--trace <path>` writes a Chrome-trace JSON of the run (sweep-pool
+//! task lifecycles plus every simulator timeline; open it in Perfetto or
+//! `chrome://tracing`), `--metrics` prints the metrics registry — memo
+//! cache hit rates, queue depths, per-worker busy time — to stderr.
+//! `TWOCS_TRACE_CLOCK=logical` switches trace timestamps from wall time
+//! to the deterministic logical clock, making traces byte-identical at
+//! any `--jobs` count. Neither flag touches stdout.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use twocs::analysis::sweep::GridSweep;
 use twocs::analysis::{experiments, serialized};
 use twocs::hw::{DeviceSpec, HwEvolution};
+use twocs::obs::{TraceMode, Tracer};
 use twocs::sim::Engine;
 use twocs::transformer::graph_builder::IterationBuilder;
 use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
+}
+
+/// Observability wiring parsed from `--trace <path>` / `--metrics`.
+///
+/// When `--trace` is given, a tracer is installed globally before the
+/// command runs (wall clock by default; `TWOCS_TRACE_CLOCK=logical`
+/// selects the deterministic logical clock). [`ObsSession::finish`]
+/// writes the Chrome-trace JSON and prints the metrics summary; both
+/// stay off stdout by construction.
+struct ObsSession {
+    trace_path: Option<String>,
+    metrics: bool,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl ObsSession {
+    fn from_args(args: &[String]) -> Self {
+        let trace_path = str_flag(args, "--trace").map(ToOwned::to_owned);
+        let tracer = trace_path.is_some().then(|| {
+            let mode = match std::env::var("TWOCS_TRACE_CLOCK").as_deref() {
+                Ok("logical") => TraceMode::Logical,
+                _ => TraceMode::Wall,
+            };
+            let tracer = Arc::new(Tracer::new(mode));
+            twocs::obs::install_global(tracer.clone());
+            tracer
+        });
+        Self {
+            trace_path,
+            metrics: args.iter().any(|a| a == "--metrics"),
+            tracer,
+        }
+    }
+
+    /// Export the trace and/or metrics summary. Returns an error only
+    /// when the trace file cannot be written.
+    fn finish(self) -> Result<(), String> {
+        if let (Some(path), Some(tracer)) = (&self.trace_path, &self.tracer) {
+            twocs::obs::uninstall_global();
+            let json = twocs::obs::chrome::render(&tracer.snapshot());
+            debug_assert!(twocs::obs::json::validate(&json).is_ok());
+            std::fs::write(path, &json).map_err(|e| format!("cannot write trace {path}: {e}"))?;
+            eprintln!(
+                "trace: {} spans written to {path} (open in Perfetto / chrome://tracing)",
+                tracer.len()
+            );
+        }
+        if self.metrics {
+            eprintln!("{}", twocs::obs::metrics::global().summary());
+        }
+        Ok(())
+    }
 }
 
 fn main() -> ExitCode {
@@ -55,6 +118,7 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            let obs = ObsSession::from_args(&args);
             let run = twocs::analysis::sweep::run_experiments(&device, &defs, jobs);
             for res in &run.results {
                 match &res.output {
@@ -69,6 +133,10 @@ fn main() -> ExitCode {
                 }
             }
             eprintln!("{}", run.summary);
+            if let Err(e) = obs.finish() {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
             if run.summary.failures > 0 {
                 ExitCode::FAILURE
             } else {
@@ -160,6 +228,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         return Err("grid has no realistic points; widen --h/--tp".into());
     }
     let device = DeviceSpec::mi210();
+    let obs = ObsSession::from_args(args);
     let (table, summary) = grid.run(&device, jobs);
     if csv {
         println!("{}", table.to_csv());
@@ -167,6 +236,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         println!("{}", table.to_ascii());
     }
     eprintln!("{summary}");
+    obs.finish()?;
     Ok(if summary.failures > 0 {
         ExitCode::FAILURE
     } else {
@@ -201,6 +271,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("parallel: {parallel}");
     println!("device:   {}\n", device.name());
 
+    let obs = ObsSession::from_args(args);
     let graph = IterationBuilder::new(&hyper, &parallel, &device).build_training();
     let timeline = Engine::new().run_trace(&graph)?;
     let report = twocs::sim::SimReport::from_timeline(&timeline);
@@ -213,5 +284,6 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "\n=> {:.1}% of the training iteration is communication on the critical path",
         100.0 * report.comm_fraction()
     );
+    obs.finish()?;
     Ok(())
 }

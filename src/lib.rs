@@ -3,6 +3,7 @@
 //! Facade crate re-exporting the whole workspace. See the individual
 //! crates for details:
 //!
+//! * [`obs`] — span tracing, metrics, and Chrome-trace export.
 //! * [`hw`] — accelerator & interconnect models and hardware evolution.
 //! * [`sim`] — the deterministic discrete-event cluster simulator.
 //! * [`collectives`] — collective algorithms, costs, and the data plane.
@@ -27,6 +28,7 @@
 pub use twocs_collectives as collectives;
 pub use twocs_core as analysis;
 pub use twocs_hw as hw;
+pub use twocs_obs as obs;
 pub use twocs_opmodel as opmodel;
 pub use twocs_sim as sim;
 pub use twocs_transformer as transformer;

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_figures-695c95f50f67ed4b.d: tests/golden_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_figures-695c95f50f67ed4b.rmeta: tests/golden_figures.rs Cargo.toml
+
+tests/golden_figures.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

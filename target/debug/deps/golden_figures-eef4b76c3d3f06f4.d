@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_figures-eef4b76c3d3f06f4.d: tests/golden_figures.rs
+
+/root/repo/target/debug/deps/golden_figures-eef4b76c3d3f06f4: tests/golden_figures.rs
+
+tests/golden_figures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

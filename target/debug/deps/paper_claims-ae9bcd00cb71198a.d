@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ae9bcd00cb71198a.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ae9bcd00cb71198a: tests/paper_claims.rs
+
+tests/paper_claims.rs:

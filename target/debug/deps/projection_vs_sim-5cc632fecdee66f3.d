@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/projection_vs_sim-5cc632fecdee66f3.d: tests/projection_vs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprojection_vs_sim-5cc632fecdee66f3.rmeta: tests/projection_vs_sim.rs Cargo.toml
+
+tests/projection_vs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

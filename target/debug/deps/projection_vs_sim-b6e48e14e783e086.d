@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/projection_vs_sim-b6e48e14e783e086.d: tests/projection_vs_sim.rs
+
+/root/repo/target/debug/deps/projection_vs_sim-b6e48e14e783e086: tests/projection_vs_sim.rs
+
+tests/projection_vs_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_collectives-87d97faf7d66e695.d: crates/collectives/tests/proptest_collectives.rs
+
+/root/repo/target/debug/deps/proptest_collectives-87d97faf7d66e695: crates/collectives/tests/proptest_collectives.rs
+
+crates/collectives/tests/proptest_collectives.rs:

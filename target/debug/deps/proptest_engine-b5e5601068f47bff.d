@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-b5e5601068f47bff.d: crates/sim/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-b5e5601068f47bff: crates/sim/tests/proptest_engine.rs
+
+crates/sim/tests/proptest_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-da966b5bed9bfda2.d: crates/sim/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-da966b5bed9bfda2: crates/sim/tests/proptest_engine.rs
+
+crates/sim/tests/proptest_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_models-1fed84a709cd2f2a.d: crates/hw/tests/proptest_models.rs
+
+/root/repo/target/debug/deps/proptest_models-1fed84a709cd2f2a: crates/hw/tests/proptest_models.rs
+
+crates/hw/tests/proptest_models.rs:

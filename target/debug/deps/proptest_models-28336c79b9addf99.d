@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_models-28336c79b9addf99.d: crates/hw/tests/proptest_models.rs
+
+/root/repo/target/debug/deps/proptest_models-28336c79b9addf99: crates/hw/tests/proptest_models.rs
+
+crates/hw/tests/proptest_models.rs:

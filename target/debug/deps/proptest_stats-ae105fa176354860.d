@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stats-ae105fa176354860.d: crates/opmodel/tests/proptest_stats.rs
+
+/root/repo/target/debug/deps/proptest_stats-ae105fa176354860: crates/opmodel/tests/proptest_stats.rs
+
+crates/opmodel/tests/proptest_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_workload-28d9ca185075dab0.d: crates/transformer/tests/proptest_workload.rs
+
+/root/repo/target/debug/deps/proptest_workload-28d9ca185075dab0: crates/transformer/tests/proptest_workload.rs
+
+crates/transformer/tests/proptest_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/span_nesting-6b024096640123f1.d: crates/core/tests/span_nesting.rs
+
+/root/repo/target/debug/deps/span_nesting-6b024096640123f1: crates/core/tests/span_nesting.rs
+
+crates/core/tests/span_nesting.rs:

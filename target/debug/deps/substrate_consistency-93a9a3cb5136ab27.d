@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_consistency-93a9a3cb5136ab27.d: tests/substrate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_consistency-93a9a3cb5136ab27.rmeta: tests/substrate_consistency.rs Cargo.toml
+
+tests/substrate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-9a912f85dc37be5d.d: tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-9a912f85dc37be5d: tests/substrate_consistency.rs
+
+tests/substrate_consistency.rs:

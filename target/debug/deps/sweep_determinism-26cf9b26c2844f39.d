@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sweep_determinism-26cf9b26c2844f39.d: tests/sweep_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_determinism-26cf9b26c2844f39.rmeta: tests/sweep_determinism.rs Cargo.toml
+
+tests/sweep_determinism.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_twocs=placeholder:twocs
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

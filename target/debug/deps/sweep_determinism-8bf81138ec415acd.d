@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sweep_determinism-8bf81138ec415acd.d: tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/sweep_determinism-8bf81138ec415acd: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:
+
+# env-dep:CARGO_BIN_EXE_twocs=/root/repo/target/debug/twocs

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twocs-0c46f33d23276624.d: src/lib.rs
+
+/root/repo/target/debug/deps/twocs-0c46f33d23276624: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs-13313cf0b0393390.d: src/bin/twocs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs-13313cf0b0393390.rmeta: src/bin/twocs.rs Cargo.toml
+
+src/bin/twocs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

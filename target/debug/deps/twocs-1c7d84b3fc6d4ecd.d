@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twocs-1c7d84b3fc6d4ecd.d: src/bin/twocs.rs
+
+/root/repo/target/debug/deps/twocs-1c7d84b3fc6d4ecd: src/bin/twocs.rs
+
+src/bin/twocs.rs:

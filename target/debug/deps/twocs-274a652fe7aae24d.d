@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twocs-274a652fe7aae24d.d: src/bin/twocs.rs
+
+/root/repo/target/debug/deps/twocs-274a652fe7aae24d: src/bin/twocs.rs
+
+src/bin/twocs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs-c235579845be56c1.d: src/bin/twocs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs-c235579845be56c1.rmeta: src/bin/twocs.rs Cargo.toml
+
+src/bin/twocs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twocs-c8643d5e65e06fc4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs-c8643d5e65e06fc4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/twocs-e9c80f307a20470f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtwocs-e9c80f307a20470f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtwocs-e9c80f307a20470f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/twocs_bench-b1868bfee580a15f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/twocs_bench-b1868bfee580a15f: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

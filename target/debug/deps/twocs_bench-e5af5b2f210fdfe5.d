@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/twocs_bench-e5af5b2f210fdfe5.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtwocs_bench-e5af5b2f210fdfe5.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtwocs_bench-e5af5b2f210fdfe5.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

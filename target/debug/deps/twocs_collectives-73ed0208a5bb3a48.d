@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/twocs_collectives-73ed0208a5bb3a48.d: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+/root/repo/target/debug/deps/libtwocs_collectives-73ed0208a5bb3a48.rlib: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+/root/repo/target/debug/deps/libtwocs_collectives-73ed0208a5bb3a48.rmeta: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/algorithm.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/dataplane.rs:
+crates/collectives/src/error.rs:
+crates/collectives/src/schedule.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/twocs_collectives-cb366bf77bdd9ee7.d: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+/root/repo/target/debug/deps/twocs_collectives-cb366bf77bdd9ee7: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/algorithm.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/dataplane.rs:
+crates/collectives/src/error.rs:
+crates/collectives/src/schedule.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twocs_collectives-f831814e3b11036e.d: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_collectives-f831814e3b11036e.rmeta: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs Cargo.toml
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/algorithm.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/dataplane.rs:
+crates/collectives/src/error.rs:
+crates/collectives/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

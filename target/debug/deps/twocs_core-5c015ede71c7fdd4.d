@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/twocs_core-5c015ede71c7fdd4.d: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/algorithmic.rs crates/core/src/case_study.rs crates/core/src/evolution.rs crates/core/src/experiments.rs crates/core/src/inference.rs crates/core/src/overlapped.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/serialized.rs crates/core/src/sweep.rs crates/core/src/techniques.rs crates/core/src/trends.rs
+
+/root/repo/target/debug/deps/twocs_core-5c015ede71c7fdd4: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/algorithmic.rs crates/core/src/case_study.rs crates/core/src/evolution.rs crates/core/src/experiments.rs crates/core/src/inference.rs crates/core/src/overlapped.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/serialized.rs crates/core/src/sweep.rs crates/core/src/techniques.rs crates/core/src/trends.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accuracy.rs:
+crates/core/src/algorithmic.rs:
+crates/core/src/case_study.rs:
+crates/core/src/evolution.rs:
+crates/core/src/experiments.rs:
+crates/core/src/inference.rs:
+crates/core/src/overlapped.rs:
+crates/core/src/report.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/serialized.rs:
+crates/core/src/sweep.rs:
+crates/core/src/techniques.rs:
+crates/core/src/trends.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/twocs_core-8ebcf1bcd521524d.d: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/algorithmic.rs crates/core/src/case_study.rs crates/core/src/evolution.rs crates/core/src/experiments.rs crates/core/src/inference.rs crates/core/src/overlapped.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/serialized.rs crates/core/src/sweep.rs crates/core/src/techniques.rs crates/core/src/trends.rs
+
+/root/repo/target/debug/deps/libtwocs_core-8ebcf1bcd521524d.rlib: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/algorithmic.rs crates/core/src/case_study.rs crates/core/src/evolution.rs crates/core/src/experiments.rs crates/core/src/inference.rs crates/core/src/overlapped.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/serialized.rs crates/core/src/sweep.rs crates/core/src/techniques.rs crates/core/src/trends.rs
+
+/root/repo/target/debug/deps/libtwocs_core-8ebcf1bcd521524d.rmeta: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/algorithmic.rs crates/core/src/case_study.rs crates/core/src/evolution.rs crates/core/src/experiments.rs crates/core/src/inference.rs crates/core/src/overlapped.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/serialized.rs crates/core/src/sweep.rs crates/core/src/techniques.rs crates/core/src/trends.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accuracy.rs:
+crates/core/src/algorithmic.rs:
+crates/core/src/case_study.rs:
+crates/core/src/evolution.rs:
+crates/core/src/experiments.rs:
+crates/core/src/inference.rs:
+crates/core/src/overlapped.rs:
+crates/core/src/report.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/serialized.rs:
+crates/core/src/sweep.rs:
+crates/core/src/techniques.rs:
+crates/core/src/trends.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/twocs_core-c902b91dffbd5b90.d: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/algorithmic.rs crates/core/src/case_study.rs crates/core/src/evolution.rs crates/core/src/experiments.rs crates/core/src/inference.rs crates/core/src/overlapped.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/serialized.rs crates/core/src/sweep.rs crates/core/src/techniques.rs crates/core/src/trends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_core-c902b91dffbd5b90.rmeta: crates/core/src/lib.rs crates/core/src/accuracy.rs crates/core/src/algorithmic.rs crates/core/src/case_study.rs crates/core/src/evolution.rs crates/core/src/experiments.rs crates/core/src/inference.rs crates/core/src/overlapped.rs crates/core/src/report.rs crates/core/src/sensitivity.rs crates/core/src/serialized.rs crates/core/src/sweep.rs crates/core/src/techniques.rs crates/core/src/trends.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accuracy.rs:
+crates/core/src/algorithmic.rs:
+crates/core/src/case_study.rs:
+crates/core/src/evolution.rs:
+crates/core/src/experiments.rs:
+crates/core/src/inference.rs:
+crates/core/src/overlapped.rs:
+crates/core/src/report.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/serialized.rs:
+crates/core/src/sweep.rs:
+crates/core/src/techniques.rs:
+crates/core/src/trends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

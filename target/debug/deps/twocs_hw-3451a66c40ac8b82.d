@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/twocs_hw-3451a66c40ac8b82.d: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_hw-3451a66c40ac8b82.rmeta: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/device.rs:
+crates/hw/src/error.rs:
+crates/hw/src/evolution.rs:
+crates/hw/src/gemm.rs:
+crates/hw/src/memops.rs:
+crates/hw/src/network.rs:
+crates/hw/src/precision.rs:
+crates/hw/src/roofline.rs:
+crates/hw/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

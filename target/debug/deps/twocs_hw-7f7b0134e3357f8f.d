@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/twocs_hw-7f7b0134e3357f8f.d: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/twocs_hw-7f7b0134e3357f8f: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/device.rs:
+crates/hw/src/error.rs:
+crates/hw/src/evolution.rs:
+crates/hw/src/gemm.rs:
+crates/hw/src/memops.rs:
+crates/hw/src/network.rs:
+crates/hw/src/precision.rs:
+crates/hw/src/roofline.rs:
+crates/hw/src/topology.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/twocs_hw-caf5d92c7fed3390.d: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libtwocs_hw-caf5d92c7fed3390.rlib: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libtwocs_hw-caf5d92c7fed3390.rmeta: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/device.rs:
+crates/hw/src/error.rs:
+crates/hw/src/evolution.rs:
+crates/hw/src/gemm.rs:
+crates/hw/src/memops.rs:
+crates/hw/src/network.rs:
+crates/hw/src/precision.rs:
+crates/hw/src/roofline.rs:
+crates/hw/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twocs_obs-01498be6e507a0dd.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_obs-01498be6e507a0dd.rmeta: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

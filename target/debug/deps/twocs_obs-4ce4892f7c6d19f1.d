@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/twocs_obs-4ce4892f7c6d19f1.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/twocs_obs-4ce4892f7c6d19f1: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

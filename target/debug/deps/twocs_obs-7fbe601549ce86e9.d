@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/twocs_obs-7fbe601549ce86e9.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libtwocs_obs-7fbe601549ce86e9.rlib: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libtwocs_obs-7fbe601549ce86e9.rmeta: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/twocs_opmodel-01dbc4741cc48555.d: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_opmodel-01dbc4741cc48555.rmeta: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs Cargo.toml
+
+crates/opmodel/src/lib.rs:
+crates/opmodel/src/cost_accounting.rs:
+crates/opmodel/src/model.rs:
+crates/opmodel/src/profile.rs:
+crates/opmodel/src/projection.rs:
+crates/opmodel/src/stats.rs:
+crates/opmodel/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/twocs_opmodel-9b65804f9bfb3faf.d: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+/root/repo/target/debug/deps/libtwocs_opmodel-9b65804f9bfb3faf.rlib: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+/root/repo/target/debug/deps/libtwocs_opmodel-9b65804f9bfb3faf.rmeta: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+crates/opmodel/src/lib.rs:
+crates/opmodel/src/cost_accounting.rs:
+crates/opmodel/src/model.rs:
+crates/opmodel/src/profile.rs:
+crates/opmodel/src/projection.rs:
+crates/opmodel/src/stats.rs:
+crates/opmodel/src/validation.rs:

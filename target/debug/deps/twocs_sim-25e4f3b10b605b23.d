@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/twocs_sim-25e4f3b10b605b23.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libtwocs_sim-25e4f3b10b605b23.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libtwocs_sim-25e4f3b10b605b23.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/graph.rs:
+crates/sim/src/interference.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/twocs_sim-59c7e3d152c0a6d0.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/twocs_sim-59c7e3d152c0a6d0: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/graph.rs:
+crates/sim/src/interference.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

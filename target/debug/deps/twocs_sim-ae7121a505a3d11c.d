@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/twocs_sim-ae7121a505a3d11c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_sim-ae7121a505a3d11c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/graph.rs:
+crates/sim/src/interference.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

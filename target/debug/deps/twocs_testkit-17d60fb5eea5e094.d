@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/twocs_testkit-17d60fb5eea5e094.d: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+/root/repo/target/debug/deps/twocs_testkit-17d60fb5eea5e094: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/twocs_testkit-73f0c796f0113fb7.d: crates/testkit/src/lib.rs crates/testkit/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_testkit-73f0c796f0113fb7.rmeta: crates/testkit/src/lib.rs crates/testkit/src/trace.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

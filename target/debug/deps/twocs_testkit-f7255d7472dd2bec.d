@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/twocs_testkit-f7255d7472dd2bec.d: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+/root/repo/target/debug/deps/libtwocs_testkit-f7255d7472dd2bec.rlib: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+/root/repo/target/debug/deps/libtwocs_testkit-f7255d7472dd2bec.rmeta: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/trace.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/twocs_transformer-06b8fffb8a1451e1.d: crates/transformer/src/lib.rs crates/transformer/src/backward.rs crates/transformer/src/error.rs crates/transformer/src/graph_builder.rs crates/transformer/src/hyper.rs crates/transformer/src/layer.rs crates/transformer/src/memory.rs crates/transformer/src/moe.rs crates/transformer/src/ops.rs crates/transformer/src/parallel.rs crates/transformer/src/pipeline.rs crates/transformer/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwocs_transformer-06b8fffb8a1451e1.rmeta: crates/transformer/src/lib.rs crates/transformer/src/backward.rs crates/transformer/src/error.rs crates/transformer/src/graph_builder.rs crates/transformer/src/hyper.rs crates/transformer/src/layer.rs crates/transformer/src/memory.rs crates/transformer/src/moe.rs crates/transformer/src/ops.rs crates/transformer/src/parallel.rs crates/transformer/src/pipeline.rs crates/transformer/src/zoo.rs Cargo.toml
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/backward.rs:
+crates/transformer/src/error.rs:
+crates/transformer/src/graph_builder.rs:
+crates/transformer/src/hyper.rs:
+crates/transformer/src/layer.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/moe.rs:
+crates/transformer/src/ops.rs:
+crates/transformer/src/parallel.rs:
+crates/transformer/src/pipeline.rs:
+crates/transformer/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/twocs_transformer-3ab835e0a3ebcdb8.d: crates/transformer/src/lib.rs crates/transformer/src/backward.rs crates/transformer/src/error.rs crates/transformer/src/graph_builder.rs crates/transformer/src/hyper.rs crates/transformer/src/layer.rs crates/transformer/src/memory.rs crates/transformer/src/moe.rs crates/transformer/src/ops.rs crates/transformer/src/parallel.rs crates/transformer/src/pipeline.rs crates/transformer/src/zoo.rs
+
+/root/repo/target/debug/deps/twocs_transformer-3ab835e0a3ebcdb8: crates/transformer/src/lib.rs crates/transformer/src/backward.rs crates/transformer/src/error.rs crates/transformer/src/graph_builder.rs crates/transformer/src/hyper.rs crates/transformer/src/layer.rs crates/transformer/src/memory.rs crates/transformer/src/moe.rs crates/transformer/src/ops.rs crates/transformer/src/parallel.rs crates/transformer/src/pipeline.rs crates/transformer/src/zoo.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/backward.rs:
+crates/transformer/src/error.rs:
+crates/transformer/src/graph_builder.rs:
+crates/transformer/src/hyper.rs:
+crates/transformer/src/layer.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/moe.rs:
+crates/transformer/src/ops.rs:
+crates/transformer/src/parallel.rs:
+crates/transformer/src/pipeline.rs:
+crates/transformer/src/zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planner-2181d387caa5c025.d: examples/capacity_planner.rs
+
+/root/repo/target/debug/examples/capacity_planner-2181d387caa5c025: examples/capacity_planner.rs
+
+examples/capacity_planner.rs:

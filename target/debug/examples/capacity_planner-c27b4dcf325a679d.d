@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/capacity_planner-c27b4dcf325a679d.d: examples/capacity_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcapacity_planner-c27b4dcf325a679d.rmeta: examples/capacity_planner.rs Cargo.toml
+
+examples/capacity_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/case_study-8204ac48dce54f1e.d: examples/case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcase_study-8204ac48dce54f1e.rmeta: examples/case_study.rs Cargo.toml
+
+examples/case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/case_study-aeb2b612fd02383d.d: examples/case_study.rs
+
+/root/repo/target/debug/examples/case_study-aeb2b612fd02383d: examples/case_study.rs
+
+examples/case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collective_explorer-28beb8b555f5e627.d: examples/collective_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollective_explorer-28beb8b555f5e627.rmeta: examples/collective_explorer.rs Cargo.toml
+
+examples/collective_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

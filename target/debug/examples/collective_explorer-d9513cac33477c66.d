@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collective_explorer-d9513cac33477c66.d: examples/collective_explorer.rs
+
+/root/repo/target/debug/examples/collective_explorer-d9513cac33477c66: examples/collective_explorer.rs
+
+examples/collective_explorer.rs:

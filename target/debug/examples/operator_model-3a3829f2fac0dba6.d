@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/operator_model-3a3829f2fac0dba6.d: examples/operator_model.rs
+
+/root/repo/target/debug/examples/operator_model-3a3829f2fac0dba6: examples/operator_model.rs
+
+examples/operator_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/operator_model-9e8a855f8b4ddc04.d: examples/operator_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboperator_model-9e8a855f8b4ddc04.rmeta: examples/operator_model.rs Cargo.toml
+
+examples/operator_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_figures-250aa40f5b32355f.d: examples/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_figures-250aa40f5b32355f.rmeta: examples/paper_figures.rs Cargo.toml
+
+examples/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

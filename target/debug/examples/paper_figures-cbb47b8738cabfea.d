@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figures-cbb47b8738cabfea.d: examples/paper_figures.rs
+
+/root/repo/target/debug/examples/paper_figures-cbb47b8738cabfea: examples/paper_figures.rs
+
+examples/paper_figures.rs:

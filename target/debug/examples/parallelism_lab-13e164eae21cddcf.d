@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallelism_lab-13e164eae21cddcf.d: examples/parallelism_lab.rs
+
+/root/repo/target/debug/examples/parallelism_lab-13e164eae21cddcf: examples/parallelism_lab.rs
+
+examples/parallelism_lab.rs:

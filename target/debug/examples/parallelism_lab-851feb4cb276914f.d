@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallelism_lab-851feb4cb276914f.d: examples/parallelism_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallelism_lab-851feb4cb276914f.rmeta: examples/parallelism_lab.rs Cargo.toml
+
+examples/parallelism_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

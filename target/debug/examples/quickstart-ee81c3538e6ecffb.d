@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ee81c3538e6ecffb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ee81c3538e6ecffb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/twocs-44e27d89c04e4801.d: src/bin/twocs.rs
+
+/root/repo/target/release/deps/twocs-44e27d89c04e4801: src/bin/twocs.rs
+
+src/bin/twocs.rs:

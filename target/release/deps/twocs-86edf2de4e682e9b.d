@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/twocs-86edf2de4e682e9b.d: src/lib.rs
+
+/root/repo/target/release/deps/libtwocs-86edf2de4e682e9b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtwocs-86edf2de4e682e9b.rmeta: src/lib.rs
+
+src/lib.rs:

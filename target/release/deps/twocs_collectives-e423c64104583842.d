@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/twocs_collectives-e423c64104583842.d: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+/root/repo/target/release/deps/libtwocs_collectives-e423c64104583842.rlib: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+/root/repo/target/release/deps/libtwocs_collectives-e423c64104583842.rmeta: crates/collectives/src/lib.rs crates/collectives/src/algorithm.rs crates/collectives/src/cost.rs crates/collectives/src/dataplane.rs crates/collectives/src/error.rs crates/collectives/src/schedule.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/algorithm.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/dataplane.rs:
+crates/collectives/src/error.rs:
+crates/collectives/src/schedule.rs:

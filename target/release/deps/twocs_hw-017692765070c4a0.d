@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/twocs_hw-017692765070c4a0.d: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+/root/repo/target/release/deps/libtwocs_hw-017692765070c4a0.rlib: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+/root/repo/target/release/deps/libtwocs_hw-017692765070c4a0.rmeta: crates/hw/src/lib.rs crates/hw/src/cache.rs crates/hw/src/device.rs crates/hw/src/error.rs crates/hw/src/evolution.rs crates/hw/src/gemm.rs crates/hw/src/memops.rs crates/hw/src/network.rs crates/hw/src/precision.rs crates/hw/src/roofline.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/device.rs:
+crates/hw/src/error.rs:
+crates/hw/src/evolution.rs:
+crates/hw/src/gemm.rs:
+crates/hw/src/memops.rs:
+crates/hw/src/network.rs:
+crates/hw/src/precision.rs:
+crates/hw/src/roofline.rs:
+crates/hw/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/twocs_obs-27e544ca4d1c0b62.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libtwocs_obs-27e544ca4d1c0b62.rlib: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libtwocs_obs-27e544ca4d1c0b62.rmeta: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/clock.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/twocs_opmodel-79d83fc5fd44041a.d: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+/root/repo/target/release/deps/libtwocs_opmodel-79d83fc5fd44041a.rlib: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+/root/repo/target/release/deps/libtwocs_opmodel-79d83fc5fd44041a.rmeta: crates/opmodel/src/lib.rs crates/opmodel/src/cost_accounting.rs crates/opmodel/src/model.rs crates/opmodel/src/profile.rs crates/opmodel/src/projection.rs crates/opmodel/src/stats.rs crates/opmodel/src/validation.rs
+
+crates/opmodel/src/lib.rs:
+crates/opmodel/src/cost_accounting.rs:
+crates/opmodel/src/model.rs:
+crates/opmodel/src/profile.rs:
+crates/opmodel/src/projection.rs:
+crates/opmodel/src/stats.rs:
+crates/opmodel/src/validation.rs:

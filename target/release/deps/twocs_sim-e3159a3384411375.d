@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/twocs_sim-e3159a3384411375.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libtwocs_sim-e3159a3384411375.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libtwocs_sim-e3159a3384411375.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/graph.rs crates/sim/src/interference.rs crates/sim/src/metrics.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/graph.rs:
+crates/sim/src/interference.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/twocs_testkit-2401b68eeb120572.d: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+/root/repo/target/release/deps/libtwocs_testkit-2401b68eeb120572.rlib: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+/root/repo/target/release/deps/libtwocs_testkit-2401b68eeb120572.rmeta: crates/testkit/src/lib.rs crates/testkit/src/trace.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/twocs_transformer-5244431c96a65dc7.d: crates/transformer/src/lib.rs crates/transformer/src/backward.rs crates/transformer/src/error.rs crates/transformer/src/graph_builder.rs crates/transformer/src/hyper.rs crates/transformer/src/layer.rs crates/transformer/src/memory.rs crates/transformer/src/moe.rs crates/transformer/src/ops.rs crates/transformer/src/parallel.rs crates/transformer/src/pipeline.rs crates/transformer/src/zoo.rs
+
+/root/repo/target/release/deps/libtwocs_transformer-5244431c96a65dc7.rlib: crates/transformer/src/lib.rs crates/transformer/src/backward.rs crates/transformer/src/error.rs crates/transformer/src/graph_builder.rs crates/transformer/src/hyper.rs crates/transformer/src/layer.rs crates/transformer/src/memory.rs crates/transformer/src/moe.rs crates/transformer/src/ops.rs crates/transformer/src/parallel.rs crates/transformer/src/pipeline.rs crates/transformer/src/zoo.rs
+
+/root/repo/target/release/deps/libtwocs_transformer-5244431c96a65dc7.rmeta: crates/transformer/src/lib.rs crates/transformer/src/backward.rs crates/transformer/src/error.rs crates/transformer/src/graph_builder.rs crates/transformer/src/hyper.rs crates/transformer/src/layer.rs crates/transformer/src/memory.rs crates/transformer/src/moe.rs crates/transformer/src/ops.rs crates/transformer/src/parallel.rs crates/transformer/src/pipeline.rs crates/transformer/src/zoo.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/backward.rs:
+crates/transformer/src/error.rs:
+crates/transformer/src/graph_builder.rs:
+crates/transformer/src/hyper.rs:
+crates/transformer/src/layer.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/moe.rs:
+crates/transformer/src/ops.rs:
+crates/transformer/src/parallel.rs:
+crates/transformer/src/pipeline.rs:
+crates/transformer/src/zoo.rs:

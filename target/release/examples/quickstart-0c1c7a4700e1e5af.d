@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0c1c7a4700e1e5af.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0c1c7a4700e1e5af: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,166 @@
+//! Golden-snapshot tests for every paper artifact in `out/`.
+//!
+//! Each registered experiment is regenerated and diffed cell-by-cell
+//! against its checked-in `out/<id>.csv` golden. Numeric cells compare
+//! with a per-cell relative tolerance (so a legitimate last-ulp change in
+//! float formatting does not flake), everything else — headers, panel
+//! separators, row/column structure — must match exactly. This pins the
+//! figures against silent drift: any model change that moves a number
+//! past the tolerance fails here, visibly, with the offending cell.
+//!
+//! To re-bless the goldens after an *intentional* model change:
+//!
+//! ```text
+//! TWOCS_BLESS=1 cargo test --test golden_figures
+//! ```
+
+use std::path::{Path, PathBuf};
+use twocs::analysis::experiments;
+use twocs::hw::DeviceSpec;
+
+/// Relative tolerance for numeric cells. Regeneration is deterministic,
+/// so goldens normally match byte-for-byte; the tolerance only absorbs
+/// formatting-level noise, not model changes.
+const REL_TOL: f64 = 1e-6;
+/// Absolute floor so near-zero cells don't amplify the relative check.
+const ABS_TOL: f64 = 1e-9;
+
+fn out_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("out")
+}
+
+fn blessing() -> bool {
+    std::env::var("TWOCS_BLESS").is_ok_and(|v| v == "1")
+}
+
+fn cells_match(expected: &str, actual: &str) -> bool {
+    if expected == actual {
+        return true;
+    }
+    match (expected.parse::<f64>(), actual.parse::<f64>()) {
+        (Ok(e), Ok(a)) => {
+            let diff = (e - a).abs();
+            diff <= ABS_TOL || diff <= REL_TOL * e.abs().max(a.abs())
+        }
+        _ => false,
+    }
+}
+
+/// Diff two CSV documents cell-by-cell; returns the first mismatch as a
+/// human-readable description.
+fn diff_csv(id: &str, golden: &str, regenerated: &str) -> Result<(), String> {
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let new_lines: Vec<&str> = regenerated.lines().collect();
+    if golden_lines.len() != new_lines.len() {
+        return Err(format!(
+            "{id}: line count changed: golden {} vs regenerated {}",
+            golden_lines.len(),
+            new_lines.len()
+        ));
+    }
+    for (lineno, (g, n)) in golden_lines.iter().zip(&new_lines).enumerate() {
+        // Panel headers (`# fig15.a`) and blank separators: exact.
+        if g.starts_with('#') || g.is_empty() || n.starts_with('#') || n.is_empty() {
+            if g != n {
+                return Err(format!(
+                    "{id}:{}: structural line changed:\n  golden:      {g}\n  regenerated: {n}",
+                    lineno + 1
+                ));
+            }
+            continue;
+        }
+        let g_cells: Vec<&str> = g.split(',').collect();
+        let n_cells: Vec<&str> = n.split(',').collect();
+        if g_cells.len() != n_cells.len() {
+            return Err(format!(
+                "{id}:{}: column count changed ({} vs {})",
+                lineno + 1,
+                g_cells.len(),
+                n_cells.len()
+            ));
+        }
+        for (col, (ge, ne)) in g_cells.iter().zip(&n_cells).enumerate() {
+            if !cells_match(ge, ne) {
+                return Err(format!(
+                    "{id}:{}: cell {} drifted beyond {REL_TOL:e} relative tolerance: \
+                     golden `{ge}` vs regenerated `{ne}`",
+                    lineno + 1,
+                    col + 1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn every_figure_matches_its_checked_in_golden() {
+    let device = DeviceSpec::mi210();
+    let dir = out_dir();
+    let mut failures = Vec::new();
+    for def in experiments::all() {
+        let regenerated = (def.run)(&device).to_csv();
+        let path = dir.join(format!("{}.csv", def.id));
+        if blessing() {
+            std::fs::write(&path, &regenerated)
+                .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+            continue;
+        }
+        let golden = match std::fs::read_to_string(&path) {
+            Ok(g) => g,
+            Err(e) => {
+                failures.push(format!(
+                    "{}: missing golden {} ({e}); run `TWOCS_BLESS=1 cargo test --test golden_figures` to create it",
+                    def.id,
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        if let Err(msg) = diff_csv(def.id, &golden, &regenerated) {
+            failures.push(msg);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden figure(s) drifted:\n{}\n\
+         (if the change is intentional, re-bless with TWOCS_BLESS=1)",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn no_orphan_goldens() {
+    // Every CSV in out/ must correspond to a registered experiment, so a
+    // renamed experiment cannot silently leave its stale golden behind.
+    let ids: Vec<&str> = experiments::all().iter().map(|d| d.id).collect();
+    let mut orphans = Vec::new();
+    for entry in std::fs::read_dir(out_dir()).expect("out/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "csv") {
+            let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+            if !ids.contains(&stem.as_str()) {
+                orphans.push(stem);
+            }
+        }
+    }
+    assert!(
+        orphans.is_empty(),
+        "goldens without an experiment: {orphans:?}"
+    );
+}
+
+#[test]
+fn tolerance_accepts_float_noise_but_rejects_drift() {
+    assert!(diff_csv("t", "x,1.0000001\n", "x,1.0000002\n").is_ok());
+    assert!(diff_csv("t", "x,100\n", "x,101\n").is_err());
+    assert!(diff_csv("t", "# a\nx,1\n", "# b\nx,1\n").is_err());
+    assert!(diff_csv("t", "x,1\n", "x,1,2\n").is_err());
+    assert!(diff_csv("t", "x,1\ny,2\n", "x,1\n").is_err());
+    assert!(diff_csv("t", "label,text\n", "label,other\n").is_err());
+    assert!(
+        diff_csv("t", "x,0.0000000001\n", "x,0\n").is_ok(),
+        "abs floor"
+    );
+}

@@ -15,6 +15,24 @@ fn twocs(args: &[&str]) -> Output {
         .expect("twocs binary runs")
 }
 
+/// Run `twocs` with `TWOCS_TRACE_CLOCK=logical` and `--trace` into a
+/// temp file, returning `(stdout, trace JSON)`.
+fn twocs_traced(args: &[&str], tag: &str) -> (Vec<u8>, String) {
+    let path = std::env::temp_dir().join(format!("twocs-trace-{tag}-{}.json", std::process::id()));
+    let mut full: Vec<&str> = args.to_vec();
+    let path_str = path.to_str().expect("utf-8 temp path").to_owned();
+    full.extend_from_slice(&["--trace", &path_str]);
+    let out = Command::new(env!("CARGO_BIN_EXE_twocs"))
+        .args(&full)
+        .env("TWOCS_TRACE_CLOCK", "logical")
+        .output()
+        .expect("twocs binary runs");
+    assert!(out.status.success(), "traced run failed: {full:?}");
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    (out.stdout, trace)
+}
+
 #[test]
 fn run_all_csv_is_byte_identical_across_jobs() {
     let serial = twocs(&["run", "all", "--csv", "--jobs", "1"]);
@@ -43,6 +61,78 @@ fn sweep_csv_is_byte_identical_across_jobs() {
     assert!(serial.status.success() && parallel.status.success());
     assert_eq!(serial.stdout, parallel.stdout);
     assert!(!serial.stdout.is_empty());
+}
+
+#[test]
+fn logical_clock_traces_are_byte_identical_across_jobs() {
+    // The tentpole determinism claim: under the logical trace clock, the
+    // Chrome-trace output of `twocs run` is byte-identical for any
+    // worker count — worker identity is erased and every span lives in a
+    // window derived from its task index, not from scheduling.
+    let reference = twocs_traced(&["run", "all", "--csv", "--jobs", "1"], "run-j1");
+    for jobs in ["4", "8"] {
+        let traced = twocs_traced(&["run", "all", "--csv", "--jobs", jobs], "run-jn");
+        assert_eq!(
+            reference.1, traced.1,
+            "logical trace diverged between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(reference.0, traced.0, "stdout diverged at --jobs {jobs}");
+    }
+    // And it is a well-formed Chrome-trace document with both sweep-pool
+    // lifecycles and simulator kernels in it.
+    twocs::obs::json::validate(&reference.1).expect("trace is valid JSON");
+    assert!(reference.1.starts_with("{\"traceEvents\":["));
+    assert!(reference.1.contains("\"cat\":\"task\""));
+    assert!(reference.1.contains("\"cat\":\"gemm\""));
+    assert!(reference.1.contains("sweep-pool"));
+}
+
+#[test]
+fn sweep_trace_is_deterministic_and_stdout_unchanged_by_tracing() {
+    let grid = [
+        "sweep", "--csv", "--h", "4096", "--sl", "2048", "--tp", "16,32",
+    ];
+    let untraced = {
+        let mut args = grid.to_vec();
+        args.extend_from_slice(&["--jobs", "4"]);
+        twocs(&args)
+    };
+    assert!(untraced.status.success());
+    let mut traces = Vec::new();
+    for jobs in ["1", "4", "8"] {
+        let mut args = grid.to_vec();
+        args.extend_from_slice(&["--jobs", jobs]);
+        let (stdout, trace) = twocs_traced(&args, "sweep");
+        // --trace must not perturb the CSV contract at any job count.
+        assert_eq!(
+            stdout, untraced.stdout,
+            "--trace changed stdout at --jobs {jobs}"
+        );
+        traces.push(trace);
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "sweep trace diverged between jobs 1 and 4"
+    );
+    assert_eq!(
+        traces[1], traces[2],
+        "sweep trace diverged between jobs 4 and 8"
+    );
+    twocs::obs::json::validate(&traces[0]).expect("sweep trace is valid JSON");
+}
+
+#[test]
+fn metrics_flag_reports_cache_hit_rates_on_stderr() {
+    let out = twocs(&["run", "table2", "--csv", "--metrics"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("metrics:"), "{stderr}");
+    assert!(stderr.contains("cache.gemm_time:"), "{stderr}");
+    assert!(stderr.contains("hit rate"), "{stderr}");
+    assert!(stderr.contains("sweep.tasks_total"), "{stderr}");
+    // Nothing observability-related leaks into stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("metrics:"), "{stdout}");
 }
 
 #[test]
