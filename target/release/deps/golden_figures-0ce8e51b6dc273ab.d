@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_figures-0ce8e51b6dc273ab.d: tests/golden_figures.rs
+
+/root/repo/target/release/deps/golden_figures-0ce8e51b6dc273ab: tests/golden_figures.rs
+
+tests/golden_figures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

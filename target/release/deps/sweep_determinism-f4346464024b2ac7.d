@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sweep_determinism-f4346464024b2ac7.d: tests/sweep_determinism.rs
+
+/root/repo/target/release/deps/sweep_determinism-f4346464024b2ac7: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:
+
+# env-dep:CARGO_BIN_EXE_twocs=/root/repo/target/release/twocs
