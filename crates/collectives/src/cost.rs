@@ -104,9 +104,12 @@ impl CollectiveCostModel {
         match (collective, algorithm) {
             (Collective::AllReduce, Algorithm::Ring) => 2 * (n - 1),
             (Collective::AllReduce, Algorithm::Tree | Algorithm::HalvingDoubling) => 2 * log2n,
+            // Direct all-reduce: every rank pushes its full buffer to all
+            // peers in one bulk-synchronous exchange, then reduces
+            // locally — a single latency-bearing step, not ring chunking.
+            (Collective::AllReduce, Algorithm::Direct) => 1,
             (Collective::ReduceScatter | Collective::AllGather | Collective::AllToAll, _) => n - 1,
             (Collective::Broadcast, _) => log2n,
-            (Collective::AllReduce, Algorithm::Direct) => 2 * (n - 1),
         }
     }
 
@@ -138,6 +141,13 @@ impl CollectiveCostModel {
                 let phase_bytes = s * (n as f64 - 1.0) / n as f64;
                 let avg_chunk = (phase_bytes / (steps / 2.0)).max(1.0) as u64;
                 steps * link.latency() + 2.0 * phase_bytes / link.effective_bandwidth(avg_chunk)
+            }
+            // Direct all-reduce: one α, full-payload chunks at full-size
+            // bandwidth efficiency, but (n-1)·S serialized through each
+            // rank's link — latency-dominated at small n, bandwidth-ruinous
+            // at scale.
+            (Collective::AllReduce, Algorithm::Direct) => {
+                link.latency() + (n as f64 - 1.0) * s / link.effective_bandwidth(bytes)
             }
             // Chunked ring-style: S/N per step.
             _ => {
@@ -457,6 +467,58 @@ mod tests {
         let a = m.allreduce_time_on_topology(bytes, &flat, &net());
         let b = m.allreduce_time(bytes, 8, &net());
         assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_allreduce_is_one_step_not_ring_chunking() {
+        // Regression: Direct used to be priced identically to Ring
+        // (`2·(n-1)` steps with ring chunking). It is one full-payload
+        // exchange plus a local reduce.
+        assert_eq!(
+            CollectiveCostModel::steps(Algorithm::Direct, Collective::AllReduce, 8),
+            1
+        );
+        assert_ne!(
+            CollectiveCostModel::steps(Algorithm::Direct, Collective::AllReduce, 8),
+            CollectiveCostModel::steps(Algorithm::Ring, Collective::AllReduce, 8),
+        );
+        assert_ne!(
+            CollectiveCostModel::steps(Algorithm::Direct, Collective::AllReduce, 8),
+            CollectiveCostModel::steps(Algorithm::Tree, Collective::AllReduce, 8),
+        );
+        assert_eq!(
+            CollectiveCostModel::steps(Algorithm::Direct, Collective::AllReduce, 1),
+            0
+        );
+    }
+
+    #[test]
+    fn direct_allreduce_is_latency_dominated_at_small_n() {
+        // Tiny payloads on few ranks: one α beats ring's 2·(n-1) α and
+        // tree's 2·log₂n α.
+        let m = CollectiveCostModel::default();
+        let bytes = 16 * 1024;
+        let n = 4;
+        let direct = m.time_on_link(Collective::AllReduce, Algorithm::Direct, bytes, n, &link());
+        let ring = m.time_on_link(Collective::AllReduce, Algorithm::Ring, bytes, n, &link());
+        let tree = m.time_on_link(Collective::AllReduce, Algorithm::Tree, bytes, n, &link());
+        assert!(direct < tree, "direct {direct} vs tree {tree}");
+        assert!(direct < ring, "direct {direct} vs ring {ring}");
+    }
+
+    #[test]
+    fn direct_allreduce_pays_full_volume_at_scale() {
+        // Large payloads on many ranks: (n-1)·S through every link loses
+        // badly to ring's ~2·S.
+        let m = CollectiveCostModel::default();
+        let bytes = 512 * 1024 * 1024;
+        let n = 16;
+        let direct = m.time_on_link(Collective::AllReduce, Algorithm::Direct, bytes, n, &link());
+        let ring = m.time_on_link(Collective::AllReduce, Algorithm::Ring, bytes, n, &link());
+        assert!(
+            direct > 3.0 * ring,
+            "direct {direct} should pay ~(n-1)/2x ring's volume, ring {ring}"
+        );
     }
 
     #[test]

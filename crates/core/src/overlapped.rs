@@ -130,6 +130,43 @@ mod tests {
         assert!((0.8..=1.5).contains(&ratio), "DP 4 vs 64 ratio {ratio}");
     }
 
+    /// Pins the silent clamp in [`overlap_pct`]: a TP degree above the
+    /// model's head count cannot shard further and is clamped to
+    /// `hyper.heads()`. Query services layered on top (`twocs serve`)
+    /// must validate TP explicitly — an out-of-range TP does NOT error
+    /// here, it returns the at-heads value.
+    #[test]
+    fn tp_above_head_count_is_clamped_to_heads() {
+        // H=1024 -> (1024/64).clamp(16,256) = 16 heads.
+        let heads = roi_hyper(1024, 2048).heads();
+        assert_eq!(heads, 16);
+        let clamped = overlap_pct(&device(), 1024, 2048, 256, 4);
+        let at_heads = overlap_pct(&device(), 1024, 2048, heads, 4);
+        assert_eq!(
+            clamped, at_heads,
+            "TP=256 must behave exactly like TP=heads"
+        );
+        // And the clamp is real: a genuinely smaller TP gives a different
+        // answer, so the clamped result would be misleading if reported
+        // as a TP=256 datapoint.
+        let tp8 = overlap_pct(&device(), 1024, 2048, 8, 4);
+        assert_ne!(clamped, tp8);
+    }
+
+    #[test]
+    fn tp_one_is_accepted_and_finite() {
+        let v = overlap_pct(&device(), 4096, 2048, 1, 4);
+        assert!(v.is_finite() && v > 0.0, "TP=1 overlap {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ROI hyperparameters are valid")]
+    fn zero_slb_is_rejected() {
+        // SL·B = 0 is not a silent zero or NaN: hyperparameter validation
+        // rejects it (callers serving untrusted queries must pre-validate).
+        let _ = overlap_pct(&device(), 4096, 0, 16, 4);
+    }
+
     #[test]
     fn one_series_per_h() {
         let sweep = OverlapSweep::default();

@@ -30,6 +30,7 @@
 //! it) or **cache-warm** — reported per worker and in aggregate, so cold
 //! first-touch tasks no longer skew the per-experiment timings.
 
+use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,23 +44,34 @@ use crate::serialized::{comm_fraction, realistic_tp, sweep_hyper, Method};
 use twocs_hw::{CacheStats, DeviceSpec, HwEvolution};
 use twocs_transformer::ParallelConfig;
 
-/// The worker-thread budget nested generators should use (see
-/// [`parallelism`]). Defaults to 1 so library callers stay serial unless
-/// a sweep opts in.
-static PARALLELISM: AtomicUsize = AtomicUsize::new(1);
-
-/// Set the worker-thread budget consulted by grid-shaped generators
-/// (e.g. Figures 12/13 fan their series over [`run_tasks`] with this
-/// count). [`run_experiments`] and [`GridSweep::run`] set it from their
-/// `jobs` argument, so `--jobs 1` stays fully serial.
-pub fn set_parallelism(jobs: usize) {
-    PARALLELISM.store(jobs.max(1), Ordering::Relaxed);
+thread_local! {
+    /// The worker-thread budget nested generators should use (see
+    /// [`parallelism`]). Defaults to 1 so library callers stay serial
+    /// unless a sweep opts in.
+    ///
+    /// **Thread-scoped**, not process-global: two sweeps running
+    /// concurrently (e.g. two `twocs serve` requests) each keep their own
+    /// `--jobs` budget instead of stomping each other's. Worker pools
+    /// inherit the budget of the thread that spawned them, so nested
+    /// generators inside a sweep still observe the sweep's setting.
+    static PARALLELISM: Cell<usize> = const { Cell::new(1) };
 }
 
-/// The current worker-thread budget for nested generators.
+/// Set the calling thread's worker-thread budget, consulted by
+/// grid-shaped generators (e.g. Figures 12/13 fan their series over
+/// [`run_tasks`] with this count). [`run_experiments`] and
+/// [`GridSweep::run`] set it from their `jobs` argument, so `--jobs 1`
+/// stays fully serial. The budget is scoped to the calling thread (and
+/// the worker pools it spawns — see [`run_tasks_labeled`]); other
+/// threads' budgets are untouched.
+pub fn set_parallelism(jobs: usize) {
+    PARALLELISM.with(|p| p.set(jobs.max(1)));
+}
+
+/// The current thread's worker-thread budget for nested generators.
 #[must_use]
 pub fn parallelism() -> usize {
-    PARALLELISM.load(Ordering::Relaxed)
+    PARALLELISM.with(Cell::get)
 }
 
 /// One completed task: its payload (or the panic message), how long it
@@ -109,6 +121,10 @@ where
 /// sweep summary name tasks by experiment id or grid point instead of
 /// index.
 ///
+/// Each worker also inherits the calling thread's [`parallelism`] budget,
+/// so nested pools fan out with the budget of the sweep that spawned
+/// them — concurrent sweeps at different `--jobs` stay isolated.
+///
 /// Each task executes inside a `twocs-obs` task scope on a worker seeded
 /// from the calling thread's tracing context: an installed tracer records
 /// one lifecycle span per task (in its deterministic logical window under
@@ -131,6 +147,10 @@ where
     let slots: Vec<Mutex<Option<TaskResult<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = jobs.max(1).min(count.max(1));
+    // Workers inherit the spawning thread's budget (like the tracing
+    // seed below), so a nested `run_tasks` inside a task sees the budget
+    // of *its* sweep, not whatever another thread set concurrently.
+    let budget = parallelism();
     let seed = twocs_obs::pool_seed();
     let registry = twocs_obs::metrics::global();
     let tasks_total = registry.counter("sweep.tasks_total");
@@ -147,6 +167,7 @@ where
             let next = &next;
             scope.spawn(move || {
                 twocs_obs::enter_worker(seed, w);
+                set_parallelism(budget);
                 let busy_us = registry.counter(&format!("sweep.worker{w}.busy_us"));
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -857,6 +878,105 @@ mod tests {
         // And the per-worker view agrees with the aggregate.
         assert_eq!(first.workers[0].split.cold_tasks, 1);
         assert_eq!(second.workers[0].split.warm_tasks, 1);
+    }
+
+    #[test]
+    fn parallelism_budget_is_thread_scoped() {
+        set_parallelism(3);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Fresh thread starts at the default budget…
+                assert_eq!(parallelism(), 1);
+                // …and setting it here must not leak to the spawner.
+                set_parallelism(7);
+                assert_eq!(parallelism(), 7);
+            });
+        });
+        assert_eq!(parallelism(), 3);
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_budget() {
+        set_parallelism(5);
+        let observed = run_tasks(2, 4, |_| parallelism());
+        for r in &observed {
+            assert_eq!(r.result, Ok(5));
+        }
+        set_parallelism(1);
+    }
+
+    /// Regression for the process-global `PARALLELISM` atomic: a sweep
+    /// running at `--jobs 1` used to see its nested-generator budget
+    /// stomped by a concurrent sweep at `--jobs 8` (now reachable via
+    /// `twocs serve`). Each pool's tasks must observe exactly their own
+    /// sweep's budget while the other sweep runs.
+    #[test]
+    fn concurrent_pools_keep_their_own_jobs_budget() {
+        use std::sync::mpsc;
+        let (ready_tx, ready_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        // Task closures are shared across workers, so the channel ends
+        // they capture must be Sync; a Mutex provides that.
+        let done_rx = Mutex::new(done_rx);
+        std::thread::scope(|s| {
+            let serial = s.spawn(move || {
+                set_parallelism(1);
+                run_tasks(1, 3, |i| {
+                    if i == 0 {
+                        // Hold the serial pool open while the parallel
+                        // pool runs to completion on the other thread.
+                        ready_tx.send(()).unwrap();
+                        done_rx.lock().unwrap().recv().unwrap();
+                    }
+                    parallelism()
+                })
+            });
+            let parallel = s.spawn(move || {
+                ready_rx.recv().unwrap();
+                set_parallelism(8);
+                let out = run_tasks(8, 3, |_| parallelism());
+                done_tx.send(()).unwrap();
+                out
+            });
+            for r in serial.join().unwrap() {
+                assert_eq!(r.result, Ok(1), "serial sweep budget was stomped");
+            }
+            for r in parallel.join().unwrap() {
+                assert_eq!(r.result, Ok(8), "parallel sweep budget was stomped");
+            }
+        });
+    }
+
+    /// Two grid sweeps at different `jobs` running concurrently must both
+    /// emit byte-identical output to a serial reference run.
+    #[test]
+    fn concurrent_sweeps_at_different_jobs_are_byte_identical() {
+        let sweep = GridSweep {
+            hs: vec![4096],
+            sls: vec![2048],
+            tps: vec![16, 32],
+            flop_vs_bw: vec![1.0, 2.0],
+            batch: 1,
+            method: Method::Projection,
+        };
+        let device = DeviceSpec::mi210();
+        let reference = sweep.run(&device, 1).0.to_csv();
+        std::thread::scope(|s| {
+            let a = s.spawn(|| {
+                (0..2)
+                    .map(|_| sweep.run(&device, 1).0.to_csv())
+                    .collect::<Vec<_>>()
+            });
+            let b = s.spawn(|| {
+                (0..2)
+                    .map(|_| sweep.run(&device, 4).0.to_csv())
+                    .collect::<Vec<_>>()
+            });
+            for out in a.join().unwrap().into_iter().chain(b.join().unwrap()) {
+                assert_eq!(out, reference);
+            }
+        });
     }
 
     #[test]

@@ -294,6 +294,58 @@ impl MetricsRegistry {
         }
         lines.join("\n")
     }
+
+    /// Render the registry as one JSON object, metric names sorted:
+    /// counters as integers, gauges as floats (`null` when non-finite,
+    /// which JSON cannot carry), histograms as
+    /// `{"count":…,"mean":…,"p50":…,"p99":…,"max":…}`.
+    ///
+    /// Built for machine consumers such as `twocs serve`'s
+    /// `/v1/metrics?format=json`; always a single well-formed JSON value
+    /// (the exporter tests run it through [`crate::json::validate`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use crate::chrome::escape_json;
+        use std::fmt::Write as _;
+        let metrics = self
+            .metrics
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut out = String::from("{");
+        for (i, (name, metric)) in metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", escape_json(name));
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let v = g.get();
+                    if v.is_finite() {
+                        let _ = write!(out, "{v}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                        h.count(),
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                        h.max()
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
 }
 
 static GLOBAL: LazyLock<MetricsRegistry> = LazyLock::new(MetricsRegistry::new);
@@ -361,6 +413,30 @@ mod tests {
         assert!(s.contains("tasks = 7"));
         assert!(!s.contains("cache.gemm.hits ="));
         assert!(!s.contains("cache.gemm.misses"));
+    }
+
+    #[test]
+    fn to_json_is_well_formed_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests_total").add(12);
+        reg.gauge("util").set(0.5);
+        reg.gauge("bad \"name\"").set(f64::NAN);
+        let h = reg.histogram("latency_us");
+        h.observe(100);
+        h.observe(900);
+        let json = reg.to_json();
+        crate::json::validate(&json).expect("metrics JSON must be well-formed");
+        assert!(json.contains("\"serve.requests_total\":12"), "{json}");
+        assert!(json.contains("\"util\":0.5"), "{json}");
+        assert!(json.contains("\"bad \\\"name\\\"\":null"), "{json}");
+        assert!(json.contains("\"latency_us\":{\"count\":2"), "{json}");
+    }
+
+    #[test]
+    fn empty_registry_renders_an_empty_object() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.to_json(), "{}");
+        crate::json::validate(&reg.to_json()).unwrap();
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! Endpoint implementations over the `twocs-core` generators and
+//! `twocs-opmodel` projections.
+//!
+//! Every handler validates its query aggressively (see
+//! [`crate::query`]) before touching a cost model: the models clamp or
+//! panic on out-of-range inputs (behavior pinned by tests in
+//! `twocs-core::overlapped`), and a query service must turn those cases
+//! into `400`s, not misleading numbers or `500`s.
+//!
+//! Warm-query speed comes from the existing global memo caches
+//! (`gemm_time` in `twocs-hw`, collective `node_time` in
+//! `twocs-collectives`, slack-ROI profiles in `twocs-opmodel`): handlers
+//! call the same `comm_fraction` / `overlap_pct` entry points as the CLI,
+//! so repeated configurations are answered from cache.
+
+use crate::http::{Request, Response};
+use crate::query::Query;
+use crate::router::{Route, ENDPOINTS};
+use twocs_core::overlapped::{overlap_pct, roi_hyper};
+use twocs_core::serialized::{comm_fraction, sweep_hyper, Method};
+use twocs_core::sweep::GridSweep;
+use twocs_hw::{DeviceSpec, HwEvolution};
+use twocs_obs::chrome::escape_json;
+use twocs_transformer::ParallelConfig;
+
+/// Handler-level limits and switches, set by the server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HandlerConfig {
+    /// Maximum grid points one sweep request may evaluate (`400` beyond).
+    pub max_grid_points: usize,
+    /// Cap on the per-request `jobs` fan-out through the sweep pool.
+    pub max_request_jobs: usize,
+    /// Whether `/v1/debug/sleep` is enabled (tests and backpressure
+    /// drills only).
+    pub enable_debug: bool,
+}
+
+impl Default for HandlerConfig {
+    fn default() -> Self {
+        Self {
+            max_grid_points: 4096,
+            max_request_jobs: 8,
+            enable_debug: false,
+        }
+    }
+}
+
+/// Dispatch one parsed request to its handler and build the response.
+///
+/// Infallible by construction: parse/validation failures become `400`s,
+/// unknown paths `404`s, non-`GET` methods `405`s. (Handler panics are
+/// caught one level up, in the worker loop.)
+#[must_use]
+pub fn handle(req: &Request, cfg: &HandlerConfig) -> Response {
+    let Some(route) = Route::parse(&req.path) else {
+        return Response::error(
+            404,
+            &format!(
+                "no such endpoint `{}`; try {}",
+                req.path,
+                ENDPOINTS.join(", ")
+            ),
+        );
+    };
+    if req.method != "GET" {
+        return Response::error(405, &format!("{} is not supported; use GET", req.method));
+    }
+    let query = match Query::parse(&req.raw_query) {
+        Ok(q) => q,
+        Err(e) => return Response::error(400, &e),
+    };
+    let result = match route {
+        Route::Serialized | Route::Sweep => sweep_response(&query, cfg),
+        Route::Overlapped => overlapped_response(&query),
+        Route::Evolve => evolve_response(&query),
+        Route::Healthz => Ok(Response::json(200, "{\"status\":\"ok\"}")),
+        Route::Metrics => metrics_response(&query),
+        Route::DebugSleep => debug_sleep_response(&query, cfg),
+    };
+    result.unwrap_or_else(|e| Response::error(400, &e))
+}
+
+/// Output encodings shared by the projection endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Csv,
+    Json,
+    Ascii,
+}
+
+fn parse_format(q: &Query, default: Format) -> Result<Format, String> {
+    match q.get("format") {
+        None => Ok(default),
+        Some("csv") => Ok(Format::Csv),
+        Some("json") => Ok(Format::Json),
+        Some("ascii") => Ok(Format::Ascii),
+        Some(other) => Err(format!("unknown format `{other}` (csv|json|ascii)")),
+    }
+}
+
+fn parse_method(q: &Query) -> Result<Method, String> {
+    match q.get("method") {
+        None | Some("sim") => Ok(Method::Simulation),
+        Some("proj") => Ok(Method::Projection),
+        Some(other) => Err(format!("unknown method `{other}` (sim|proj)")),
+    }
+}
+
+/// `/v1/serialized` and `/v1/sweep`: the `(H, SL, TP, flop-vs-bw)` grid
+/// sweep, evaluated through [`GridSweep`] exactly like `twocs sweep`.
+///
+/// The default CSV body is **byte-identical to the stdout of the
+/// equivalent CLI invocation** (`twocs sweep ... --csv`), which is what
+/// the CI smoke test diffs.
+fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
+    q.reject_unknown(&[
+        "h",
+        "sl",
+        "tp",
+        "flop_vs_bw",
+        "b",
+        "method",
+        "jobs",
+        "format",
+    ])?;
+    let format = parse_format(q, Format::Csv)?;
+    let mut grid = GridSweep::default();
+    if let Some(hs) = q.u64_list("h")? {
+        grid.hs = hs;
+    }
+    if let Some(sls) = q.u64_list("sl")? {
+        grid.sls = sls;
+    }
+    if let Some(tps) = q.u64_list("tp")? {
+        grid.tps = tps;
+    }
+    if let Some(ratios) = q.f64_list("flop_vs_bw")? {
+        grid.flop_vs_bw = ratios;
+    }
+    if let Some(b) = q.u64("b")? {
+        grid.batch = b;
+    }
+    grid.method = parse_method(q)?;
+    // Mirror the CLI's axis validation so bad axes 400 instead of being
+    // silently pruned to a smaller grid.
+    if let Some(h) = grid.hs.iter().find(|&&h| h == 0 || h % 256 != 0) {
+        return Err(format!(
+            "h={h}: hidden sizes must be non-zero multiples of 256 (the sweep fixes 256-way head sharding)"
+        ));
+    }
+    if grid.sls.contains(&0) || grid.tps.contains(&0) || grid.batch == 0 {
+        return Err("sl, tp, and b values must be non-zero".to_owned());
+    }
+    if grid.flop_vs_bw.iter().any(|&r| r < 1.0) {
+        return Err("flop_vs_bw ratios must be >= 1 (1 = today's hardware)".to_owned());
+    }
+    let points = grid.points().len();
+    if points == 0 {
+        return Err("grid has no realistic points; widen h/tp".to_owned());
+    }
+    if points > cfg.max_grid_points {
+        return Err(format!(
+            "grid has {points} points, above this server's per-request cap of {} — split the query",
+            cfg.max_grid_points
+        ));
+    }
+    let jobs = q
+        .u64("jobs")?
+        .unwrap_or(1)
+        .max(1)
+        .min(cfg.max_request_jobs as u64) as usize;
+    let (table, _summary) = grid.run(&DeviceSpec::mi210(), jobs);
+    Ok(match format {
+        // `println!` on the CLI appends one newline after `to_csv()`.
+        Format::Csv => Response::csv(200, format!("{}\n", table.to_csv())),
+        Format::Ascii => Response::text(200, table.to_ascii()),
+        Format::Json => {
+            let headers: Vec<String> = table
+                .headers
+                .iter()
+                .map(|h| format!("\"{}\"", escape_json(h)))
+                .collect();
+            let rows: Vec<String> = table
+                .rows
+                .iter()
+                .map(|row| {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|c| format!("\"{}\"", escape_json(c)))
+                        .collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"id\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
+                    escape_json(&table.id),
+                    headers.join(","),
+                    rows.join(",")
+                ),
+            )
+        }
+    })
+}
+
+/// `/v1/overlapped`: the §4.3.5 slack-ROI metric for one configuration.
+///
+/// `overlap_pct` silently clamps TP to the model's head count, so this
+/// handler rejects out-of-range TP explicitly — the service must never
+/// label a clamped result with the TP the client asked for.
+fn overlapped_response(q: &Query) -> Result<Response, String> {
+    q.reject_unknown(&["h", "slb", "sl", "b", "tp", "dp", "format"])?;
+    let format = parse_format(q, Format::Json)?;
+    let h = q.u64("h")?.ok_or("`h` (hidden size) is required")?;
+    if h == 0 || h % 64 != 0 {
+        return Err(format!(
+            "h={h}: hidden size must be a non-zero multiple of 64 (head width)"
+        ));
+    }
+    let slb = match (q.u64("slb")?, q.u64("sl")?, q.u64("b")?) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+            return Err("give either `slb` or `sl`(+`b`), not both".to_owned())
+        }
+        (Some(slb), None, None) => slb,
+        (None, Some(sl), b) => sl * b.unwrap_or(1),
+        (None, None, _) => return Err("`slb` (or `sl` and `b`) is required".to_owned()),
+    };
+    if slb == 0 {
+        return Err("slb must be non-zero".to_owned());
+    }
+    let tp = q.u64("tp")?.unwrap_or(16);
+    let dp = q.u64("dp")?.unwrap_or(4);
+    if tp == 0 || dp == 0 {
+        return Err("tp and dp must be non-zero".to_owned());
+    }
+    let heads = roi_hyper(h, slb).heads();
+    if tp > heads {
+        return Err(format!(
+            "tp={tp} exceeds the {heads} attention heads of h={h}; the model cannot shard further"
+        ));
+    }
+    if !heads.is_multiple_of(tp) {
+        return Err(format!(
+            "tp={tp} must divide the {heads} attention heads of h={h}"
+        ));
+    }
+    let pct = overlap_pct(&DeviceSpec::mi210(), h, slb, tp, dp);
+    Ok(match format {
+        Format::Json => Response::json(
+            200,
+            format!(
+                "{{\"h\":{h},\"slb\":{slb},\"tp\":{tp},\"dp\":{dp},\"overlap_pct\":{pct:.2}}}"
+            ),
+        ),
+        Format::Csv => Response::csv(
+            200,
+            format!("h,slb,tp,dp,overlap_pct\n{h},{slb},{tp},{dp},{pct:.2}\n"),
+        ),
+        Format::Ascii => Response::text(
+            200,
+            format!("overlapped communication at H={h} SL*B={slb} TP={tp} DP={dp}: {pct:.2}% of compute\n"),
+        ),
+    })
+}
+
+/// `/v1/evolve`: both communication metrics for one configuration on
+/// hardware evolved by the given flop-vs-bw ratio (§4.3.6).
+fn evolve_response(q: &Query) -> Result<Response, String> {
+    q.reject_unknown(&["flop_vs_bw", "h", "sl", "b", "tp", "method", "format"])?;
+    let format = parse_format(q, Format::Json)?;
+    let ratio = q
+        .f64("flop_vs_bw")?
+        .ok_or("`flop_vs_bw` (evolution ratio, 1 = today) is required")?;
+    if ratio < 1.0 {
+        return Err(format!("flop_vs_bw={ratio} must be >= 1"));
+    }
+    let h = q.u64("h")?.unwrap_or(16_384);
+    let sl = q.u64("sl")?.unwrap_or(2048);
+    let b = q.u64("b")?.unwrap_or(1);
+    let tp = q.u64("tp")?.unwrap_or(64);
+    let method = parse_method(q)?;
+    if h == 0 || h % 256 != 0 {
+        return Err(format!(
+            "h={h}: hidden size must be a non-zero multiple of 256 (256-way head sharding)"
+        ));
+    }
+    if sl == 0 || b == 0 {
+        return Err("sl and b must be non-zero".to_owned());
+    }
+    if tp == 0 || tp > 256 || 256 % tp != 0 {
+        return Err(format!(
+            "tp={tp} must divide the fixed 256-way head sharding"
+        ));
+    }
+    let base = DeviceSpec::mi210();
+    let device = if ratio > 1.0 {
+        HwEvolution::flop_vs_bw(ratio).apply(&base)
+    } else {
+        base
+    };
+    let hyper = sweep_hyper(h, sl, b);
+    let parallel = ParallelConfig::new().tensor(tp);
+    let serialized = 100.0 * comm_fraction(&device, &hyper, &parallel, method);
+    let overlap = overlap_pct(&device, h, sl * b, tp.min(roi_hyper(h, sl * b).heads()), 4);
+    let method_name = match method {
+        Method::Simulation => "sim",
+        Method::Projection => "proj",
+    };
+    Ok(match format {
+        Format::Json => Response::json(
+            200,
+            format!(
+                "{{\"flop_vs_bw\":{ratio},\"device\":\"{}\",\"h\":{h},\"sl\":{sl},\"b\":{b},\"tp\":{tp},\"method\":\"{method_name}\",\"serialized_pct\":{serialized:.2},\"overlap_pct\":{overlap:.2}}}",
+                escape_json(device.name()),
+            ),
+        ),
+        Format::Csv => Response::csv(
+            200,
+            format!(
+                "flop_vs_bw,h,sl,b,tp,method,serialized_pct,overlap_pct\n{ratio},{h},{sl},{b},{tp},{method_name},{serialized:.2},{overlap:.2}\n"
+            ),
+        ),
+        Format::Ascii => Response::text(
+            200,
+            format!(
+                "on {} (flop-vs-bw x{ratio}): serialized {serialized:.2}% of training, overlapped {overlap:.2}% of compute\n",
+                device.name()
+            ),
+        ),
+    })
+}
+
+/// `/v1/metrics`: the process-wide `twocs-obs` registry — request
+/// counters, latency histograms, queue depths, and the memo-cache hit
+/// rates that explain warm-query speed.
+fn metrics_response(q: &Query) -> Result<Response, String> {
+    q.reject_unknown(&["format"])?;
+    Ok(match parse_format(q, Format::Ascii)? {
+        Format::Json => Response::json(200, twocs_obs::metrics::global().to_json()),
+        _ => Response::text(200, format!("{}\n", twocs_obs::metrics::global().summary())),
+    })
+}
+
+/// `/v1/debug/sleep?ms=N`: hold a worker busy for `ms` (capped at 10 s).
+/// Only available when the server enables debug endpoints; exists so
+/// tests can fill the accept queue deterministically and observe `503`s.
+fn debug_sleep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
+    if !cfg.enable_debug {
+        return Ok(Response::error(
+            404,
+            &format!(
+                "no such endpoint `/v1/debug/sleep`; try {}",
+                ENDPOINTS.join(", ")
+            ),
+        ));
+    }
+    q.reject_unknown(&["ms"])?;
+    let ms = q.u64("ms")?.unwrap_or(100).min(10_000);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    Ok(Response::json(200, format!("{{\"slept_ms\":{ms}}}")))
+}
+
+/// Sanity hook used by tests: every status this module emits has a
+/// reason phrase.
+#[cfg(test)]
+fn emitted_statuses() -> [u16; 5] {
+    [200, 400, 404, 405, 503]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::reason;
+
+    fn get(path: &str, raw_query: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            raw_query: raw_query.to_owned(),
+        }
+    }
+
+    fn cfg() -> HandlerConfig {
+        HandlerConfig::default()
+    }
+
+    #[test]
+    fn healthz_is_static_json() {
+        let r = handle(&get("/v1/healthz", ""), &cfg());
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_with_endpoint_list() {
+        let r = handle(&get("/v1/nope", ""), &cfg());
+        assert_eq!(r.status, 404);
+        assert!(r.body.contains("/v1/serialized"), "{}", r.body);
+        assert!(twocs_obs::json::validate(&r.body).is_ok());
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let mut req = get("/v1/healthz", "");
+        req.method = "POST".to_owned();
+        assert_eq!(handle(&req, &cfg()).status, 405);
+    }
+
+    #[test]
+    fn sweep_csv_matches_the_grid_sweep_engine() {
+        let r = handle(
+            &get(
+                "/v1/serialized",
+                "h=4096&tp=16,32&flop_vs_bw=1,2&method=proj",
+            ),
+            &cfg(),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let grid = GridSweep {
+            hs: vec![4096],
+            sls: GridSweep::default().sls,
+            tps: vec![16, 32],
+            flop_vs_bw: vec![1.0, 2.0],
+            batch: 1,
+            method: Method::Projection,
+        };
+        let expected = format!("{}\n", grid.run(&DeviceSpec::mi210(), 1).0.to_csv());
+        assert_eq!(r.body, expected);
+        // The alias endpoint answers identically.
+        let alias = handle(
+            &get("/v1/sweep", "h=4096&tp=16,32&flop_vs_bw=1,2&method=proj"),
+            &cfg(),
+        );
+        assert_eq!(alias.body, r.body);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_axes_with_400() {
+        for q in [
+            "h=1000",                   // not a multiple of 256
+            "h=0",                      // zero
+            "tp=0",                     // zero axis value
+            "flop_vs_bw=0.5",           // sub-1 ratio
+            "method=magic",             // unknown method
+            "hs=4096",                  // unknown parameter (typo)
+            "h=4096&h=8192",            // duplicate key
+            "h=65536&tp=4&method=proj", // unrealistic grid -> empty
+        ] {
+            let r = handle(&get("/v1/sweep", q), &cfg());
+            assert_eq!(r.status, 400, "query `{q}` body {}", r.body);
+            assert!(twocs_obs::json::validate(&r.body).is_ok(), "query `{q}`");
+        }
+    }
+
+    #[test]
+    fn sweep_enforces_the_grid_point_cap() {
+        let small = HandlerConfig {
+            max_grid_points: 2,
+            ..HandlerConfig::default()
+        };
+        let r = handle(&get("/v1/sweep", "h=4096&tp=16,32&method=proj"), &small);
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert!(r.body.contains("per-request cap"), "{}", r.body);
+    }
+
+    #[test]
+    fn overlapped_answers_json_with_validated_tp() {
+        let r = handle(&get("/v1/overlapped", "h=4096&slb=2048&tp=16&dp=4"), &cfg());
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(twocs_obs::json::validate(&r.body).is_ok());
+        let expected = overlap_pct(&DeviceSpec::mi210(), 4096, 2048, 16, 4);
+        assert!(
+            r.body.contains(&format!("\"overlap_pct\":{expected:.2}")),
+            "{}",
+            r.body
+        );
+    }
+
+    #[test]
+    fn overlapped_rejects_out_of_range_tp_instead_of_clamping() {
+        // H=1024 has 16 heads; the library would silently clamp TP=256.
+        let r = handle(&get("/v1/overlapped", "h=1024&slb=2048&tp=256"), &cfg());
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert!(r.body.contains("cannot shard further"), "{}", r.body);
+        // And SL*B = 0 is a 400, not a panic-500.
+        let r = handle(&get("/v1/overlapped", "h=4096&slb=0"), &cfg());
+        assert_eq!(r.status, 400, "{}", r.body);
+    }
+
+    #[test]
+    fn evolve_reports_both_metrics_on_evolved_hardware() {
+        let r = handle(
+            &get("/v1/evolve", "flop_vs_bw=4&h=4096&tp=16&method=proj"),
+            &cfg(),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(twocs_obs::json::validate(&r.body).is_ok());
+        assert!(r.body.contains("\"serialized_pct\":"), "{}", r.body);
+        assert!(r.body.contains("\"overlap_pct\":"), "{}", r.body);
+        let bad = handle(&get("/v1/evolve", "flop_vs_bw=0.25"), &cfg());
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn metrics_renders_text_and_json() {
+        let text = handle(&get("/v1/metrics", ""), &cfg());
+        assert_eq!(text.status, 200);
+        assert!(text.body.starts_with("metrics:"));
+        let json = handle(&get("/v1/metrics", "format=json"), &cfg());
+        assert!(twocs_obs::json::validate(&json.body).is_ok());
+    }
+
+    #[test]
+    fn debug_sleep_is_gated() {
+        let off = handle(&get("/v1/debug/sleep", "ms=1"), &cfg());
+        assert_eq!(off.status, 404);
+        let on = HandlerConfig {
+            enable_debug: true,
+            ..HandlerConfig::default()
+        };
+        let r = handle(&get("/v1/debug/sleep", "ms=1"), &on);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"slept_ms\":1}");
+    }
+
+    #[test]
+    fn every_emitted_status_has_a_reason_phrase() {
+        for s in emitted_statuses() {
+            assert_ne!(reason(s), "Unknown", "status {s}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Minimal HTTP/1.1 wire handling: a hand-rolled request parser and a
+//! response writer, std-only (mirroring the JSON work in `twocs-obs`).
+//!
+//! Scope is deliberately narrow — the service speaks exactly the subset
+//! it needs:
+//!
+//! * `GET` requests only (anything else is answered `405`);
+//! * request heads are capped at [`MAX_HEAD_BYTES`] (`431` beyond that);
+//! * one request per connection, answered with `Connection: close` — no
+//!   keep-alive state machine, which keeps worker logic trivially correct
+//!   under concurrency;
+//! * request bodies are ignored (a `GET` query service has no use for
+//!   them).
+//!
+//! Socket read/write timeouts are configured by the server before
+//! parsing, so a stalled client surfaces as [`HttpError::Timeout`]
+//! (answered `408`) instead of wedging a worker.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted size of a request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line: everything the router and handlers need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded-later path component, e.g. `/v1/serialized`.
+    pub path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub raw_query: String,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket timed out before a full head arrived.
+    Timeout,
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The bytes were not a plausible HTTP/1.x request.
+    Malformed(String),
+    /// The connection failed mid-read.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status code this error should be answered with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Timeout => 408,
+            HttpError::HeadTooLarge => 431,
+            HttpError::Malformed(_) => 400,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// Human-oriented description for the error body.
+    #[must_use]
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Timeout => "timed out reading the request".to_owned(),
+            HttpError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::Malformed(m) => m.clone(),
+            HttpError::Io(e) => format!("connection error: {e}"),
+        }
+    }
+}
+
+/// Read and parse one request head from `stream`.
+///
+/// Reads until the `\r\n\r\n` head terminator, [`MAX_HEAD_BYTES`], EOF,
+/// or the socket's read timeout — whichever comes first. Any body the
+/// client may send afterwards is ignored (the connection is closed after
+/// the response).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        if find_head_end(&head).is_some() {
+            break;
+        }
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(HttpError::Malformed(
+                    "connection closed before a full request head".to_owned(),
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(HttpError::Timeout)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        head.extend_from_slice(&buf[..n]);
+    }
+    parse_head(&head)
+}
+
+/// Byte offset just past the `\r\n\r\n` terminator, if present.
+fn find_head_end(head: &[u8]) -> Option<usize> {
+    head.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+}
+
+fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let end = find_head_end(head).unwrap_or(head.len());
+    let text = std::str::from_utf8(&head[..end])
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8".to_owned()))?;
+    let request_line = text
+        .lines()
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_owned()))?;
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".to_owned()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_owned()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_owned()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed(format!(
+            "request target `{target}` must be origin-form (start with `/`)"
+        )));
+    }
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        raw_query: raw_query.to_owned(),
+    })
+}
+
+/// An HTTP response ready to be written to a socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (`200`, `400`, `503`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A CSV response.
+    #[must_use]
+    pub fn csv(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/csv; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error body `{"error": "..."}` under `status`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\":\"{}\"}}",
+                twocs_obs::chrome::escape_json(message)
+            ),
+        )
+    }
+
+    /// Serialize to the wire: status line, minimal headers
+    /// (`Content-Type`, `Content-Length`, `Connection: close`), body.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        parse_head(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_request_line_with_query() {
+        let req = parse("GET /v1/serialized?h=4096&tp=16 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/serialized");
+        assert_eq!(req.raw_query, "h=4096&tp=16");
+    }
+
+    #[test]
+    fn parses_bare_path_without_query() {
+        let req = parse("GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.raw_query, "");
+        assert_eq!(req.path, "/v1/healthz");
+    }
+
+    #[test]
+    fn rejects_non_http_preamble() {
+        assert!(matches!(
+            parse("NOT A REQUEST\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET example.com/x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_statuses_map_sensibly() {
+        assert_eq!(HttpError::Timeout.status(), 408);
+        assert_eq!(HttpError::HeadTooLarge.status(), 431);
+        assert_eq!(HttpError::Malformed(String::new()).status(), 400);
+    }
+
+    #[test]
+    fn response_error_bodies_are_json_escaped() {
+        let r = Response::error(400, "bad \"h\" value");
+        assert_eq!(r.body, "{\"error\":\"bad \\\"h\\\" value\"}");
+        assert!(twocs_obs::json::validate(&r.body).is_ok());
+    }
+}

@@ -1,0 +1,244 @@
+//! `twocs-serve` — a std-only HTTP/1.1 query service over the paper's
+//! projection models.
+//!
+//! The repo's sweeps answer "render every point of a figure"; this crate
+//! answers the complementary interactive question — "what does the model
+//! say about *this* configuration?" — without paying process startup and
+//! cold caches per query. A long-running `twocs serve` process keeps the
+//! `gemm_time` / collective / slack-ROI memo caches warm, so repeat
+//! queries are answered from cache (visible in `/v1/metrics`).
+//!
+//! Endpoints (all `GET`):
+//!
+//! | path             | answers                                              |
+//! |------------------|------------------------------------------------------|
+//! | `/v1/serialized` | grid sweep, CSV byte-identical to `twocs sweep --csv`|
+//! | `/v1/sweep`      | alias for `/v1/serialized`                           |
+//! | `/v1/overlapped` | §4.3.5 slack-ROI percentage for one configuration    |
+//! | `/v1/evolve`     | both metrics on flop-vs-bw-evolved hardware (§4.3.6) |
+//! | `/v1/healthz`    | liveness probe                                       |
+//! | `/v1/metrics`    | the `twocs-obs` metrics registry (text or JSON)      |
+//!
+//! Architecture: one accept loop + `jobs` request workers, joined by a
+//! bounded handoff queue ([`pool::Bounded`]). The workers are spawned
+//! through `twocs_core::sweep::run_tasks_labeled` — the same scoped
+//! worker pool the sweeps use — so request handling inherits its span
+//! attribution and panic isolation for free. When the queue is full the
+//! accept loop answers `503` immediately (backpressure, never unbounded
+//! buffering); on shutdown (signal or [`ShutdownHandle::trigger`]) the
+//! accept loop stops, the queue drains, and in-flight requests complete
+//! before [`Server::run`] returns.
+//!
+//! Everything is std: the HTTP parser, percent-decoding, JSON rendering,
+//! the queue, and the signal hook (a two-symbol libc FFI, the crate's
+//! only `unsafe`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod handlers;
+pub mod http;
+pub mod pool;
+pub mod query;
+pub mod router;
+pub mod shutdown;
+
+pub use handlers::HandlerConfig;
+pub use shutdown::{install_signal_handler, ShutdownHandle};
+
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use http::{read_request, Response};
+use pool::Bounded;
+
+/// Tuning knobs for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Request worker threads.
+    pub jobs: usize,
+    /// Accepted-connection queue depth; beyond it clients get `503`.
+    pub queue: usize,
+    /// Per-request socket read/write timeout.
+    pub request_timeout: Duration,
+    /// Handler limits (grid-point cap, per-request jobs cap, debug
+    /// endpoints).
+    pub handler: HandlerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            jobs: 4,
+            queue: 64,
+            request_timeout: Duration::from_secs(10),
+            handler: HandlerConfig::default(),
+        }
+    }
+}
+
+/// What a server did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests handed to a worker (whatever status they were answered
+    /// with).
+    pub served: u64,
+    /// Connections refused with `503` because the queue was full.
+    pub rejected: u64,
+}
+
+/// A bound-but-not-yet-running query service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shutdown: ShutdownHandle,
+}
+
+/// How long the accept loop sleeps between polls of the (nonblocking)
+/// listener and the shutdown flag. Bounds shutdown latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+impl Server {
+    /// Bind `config.addr` and prepare to serve. The listener is
+    /// nonblocking so the accept loop can interleave shutdown checks.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            config,
+            shutdown: ShutdownHandle::new(),
+        })
+    }
+
+    /// The actual bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A trigger that stops this server gracefully from another thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Serve until shutdown is triggered (handle or signal), then drain
+    /// queued and in-flight requests and return lifetime stats.
+    ///
+    /// Blocks the calling thread: the accept loop runs on it directly,
+    /// while the `jobs` request workers run on a scoped
+    /// `run_tasks_labeled` pool so every request is traced and counted
+    /// like a sweep task.
+    pub fn run(self) -> ServeStats {
+        let queue: Arc<Bounded<TcpStream>> = Arc::new(Bounded::new(self.config.queue));
+        let metrics = twocs_obs::metrics::global();
+        let mut stats = ServeStats::default();
+        let jobs = self.config.jobs.max(1);
+        std::thread::scope(|scope| {
+            let worker_queue = Arc::clone(&queue);
+            let config = &self.config;
+            let workers = scope.spawn(move || {
+                twocs_core::sweep::run_tasks_labeled(
+                    jobs,
+                    jobs,
+                    |w| format!("serve worker {w}"),
+                    |_w| worker_loop(&worker_queue, config),
+                );
+            });
+            // Accept loop, on this thread. Nonblocking accept + sleep
+            // keeps shutdown latency under ~ACCEPT_POLL without platform
+            // poll/epoll FFI.
+            loop {
+                if self.shutdown.is_triggered() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((conn, _peer)) => {
+                        metrics.gauge("serve.queue_depth").set(queue.len() as f64);
+                        match queue.try_push(conn) {
+                            Ok(()) => stats.served += 1,
+                            Err(conn) => {
+                                stats.rejected += 1;
+                                metrics.counter("serve.rejected_total").inc();
+                                reject_overloaded(conn, self.config.request_timeout);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Transient accept failure (e.g. aborted
+                        // connection); don't spin at full speed on it.
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+            // Graceful drain: no new connections, queued ones complete.
+            queue.close();
+            workers.join().expect("serve worker pool panicked");
+        });
+        stats
+    }
+}
+
+/// One worker: pop connections until the queue closes, answer each.
+fn worker_loop(queue: &Bounded<TcpStream>, config: &ServerConfig) {
+    while let Some(conn) = queue.pop() {
+        handle_connection(conn, config);
+    }
+}
+
+/// Answer a single connection end-to-end: socket setup, parse, dispatch,
+/// respond. Never panics out — handler panics become `500`s so one bad
+/// request cannot take a worker down.
+fn handle_connection(mut conn: TcpStream, config: &ServerConfig) {
+    let metrics = twocs_obs::metrics::global();
+    metrics.counter("serve.requests_total").inc();
+    let start = Instant::now();
+    // A nonblocking listener hands out nonblocking streams on some
+    // platforms; request handling wants blocking reads with a timeout.
+    let _ = conn.set_nonblocking(false);
+    let _ = conn.set_read_timeout(Some(config.request_timeout));
+    let _ = conn.set_write_timeout(Some(config.request_timeout));
+    let response = match read_request(&mut conn) {
+        Ok(req) => {
+            let _span = twocs_obs::span(&format!("GET {}", req.path), "serve");
+            catch_unwind(AssertUnwindSafe(|| handlers::handle(&req, &config.handler)))
+                .unwrap_or_else(|_| Response::error(500, "internal error answering this request"))
+        }
+        Err(e) => Response::error(e.status(), &e.message()),
+    };
+    metrics
+        .counter(&format!("serve.responses.{}xx", response.status / 100))
+        .inc();
+    let _ = response.write_to(&mut conn);
+    metrics
+        .histogram("serve.request_us")
+        .observe(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+}
+
+/// Tell an over-queue client to back off.
+///
+/// The request head is drained first: closing with unread bytes in the
+/// receive buffer makes the kernel send `RST`, which discards the `503`
+/// before the client can read it. The drain runs under a short timeout
+/// (not the full request timeout) so a slow client cannot stall the
+/// accept loop; errors are ignored throughout — the client may already
+/// be gone.
+fn reject_overloaded(mut conn: TcpStream, timeout: Duration) {
+    let _ = conn.set_nonblocking(false);
+    let reject_timeout = timeout.min(Duration::from_millis(250));
+    let _ = conn.set_read_timeout(Some(reject_timeout));
+    let _ = conn.set_write_timeout(Some(reject_timeout));
+    let _ = read_request(&mut conn);
+    let _ = Response::error(503, "server is at capacity; retry shortly").write_to(&mut conn);
+}

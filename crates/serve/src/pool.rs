@@ -1,0 +1,141 @@
+//! A bounded MPMC handoff queue between the accept loop and the request
+//! workers.
+//!
+//! The queue is the server's backpressure mechanism: when it is full the
+//! accept loop answers `503` immediately instead of letting connections
+//! pile up unboundedly behind slow requests. Built on `Mutex` +
+//! `Condvar` (std-only, like everything in this workspace); the fast
+//! path is one uncontended lock either side.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded queue: `try_push` never blocks, `pop` blocks until an item
+/// arrives or the queue is closed and drained.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` items (`cap` is clamped to ≥ 1 — a
+    /// zero-capacity queue would reject everything).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueue without blocking. Returns the item back when the queue is
+    /// full or closed — the caller turns that into a `503`.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("serve queue poisoned");
+        if inner.closed || inner.items.len() >= self.cap {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item is available. Returns `None` once
+    /// the queue is closed **and** drained — the worker-loop exit signal,
+    /// which is what lets in-flight requests finish during shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("serve queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("serve queue poisoned");
+        }
+    }
+
+    /// Close the queue: future `try_push`es fail, `pop` drains what is
+    /// left and then returns `None` to every waiter.
+    pub fn close(&self) {
+        self.inner.lock().expect("serve queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current number of queued items (racy by nature; metrics only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("serve queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = Bounded::new(0);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(2));
+    }
+
+    #[test]
+    fn close_drains_then_wakes_all_waiters() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(7), "close still drains queued items");
+        assert_eq!(q.pop(), None);
+        // Blocked poppers wake up with `None` rather than hanging.
+        let q2: Arc<Bounded<u32>> = Arc::new(Bounded::new(1));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

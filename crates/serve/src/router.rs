@@ -1,0 +1,81 @@
+//! Path → endpoint dispatch.
+
+/// The endpoints `twocs serve` answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `/v1/serialized` — serialized-communication sweep (CSV identical
+    /// to `twocs sweep --csv` over the same axes).
+    Serialized,
+    /// `/v1/overlapped` — overlapped-communication ROI for one
+    /// configuration.
+    Overlapped,
+    /// `/v1/evolve` — both metrics for one configuration on
+    /// flop-vs-bw-evolved hardware.
+    Evolve,
+    /// `/v1/sweep` — alias for [`Route::Serialized`] (the full grid
+    /// sweep).
+    Sweep,
+    /// `/v1/healthz` — liveness probe.
+    Healthz,
+    /// `/v1/metrics` — the `twocs-obs` metrics registry.
+    Metrics,
+    /// `/v1/debug/sleep` — test-only stall endpoint (enabled by the
+    /// server's debug flag; used to exercise backpressure).
+    DebugSleep,
+}
+
+/// Every public endpoint path, for the 404 body and docs.
+pub const ENDPOINTS: [&str; 6] = [
+    "/v1/serialized",
+    "/v1/overlapped",
+    "/v1/evolve",
+    "/v1/sweep",
+    "/v1/healthz",
+    "/v1/metrics",
+];
+
+impl Route {
+    /// Resolve a request path. Trailing slashes are tolerated
+    /// (`/v1/healthz/` ≡ `/v1/healthz`); anything else is `None` (404).
+    #[must_use]
+    pub fn parse(path: &str) -> Option<Self> {
+        match path.trim_end_matches('/') {
+            "/v1/serialized" => Some(Route::Serialized),
+            "/v1/overlapped" => Some(Route::Overlapped),
+            "/v1/evolve" => Some(Route::Evolve),
+            "/v1/sweep" => Some(Route::Sweep),
+            "/v1/healthz" => Some(Route::Healthz),
+            "/v1/metrics" => Some(Route::Metrics),
+            "/v1/debug/sleep" => Some(Route::DebugSleep),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_paths_resolve() {
+        assert_eq!(Route::parse("/v1/serialized"), Some(Route::Serialized));
+        assert_eq!(Route::parse("/v1/sweep/"), Some(Route::Sweep));
+        assert_eq!(Route::parse("/v1/healthz"), Some(Route::Healthz));
+        assert_eq!(Route::parse("/v1/debug/sleep"), Some(Route::DebugSleep));
+    }
+
+    #[test]
+    fn unknown_paths_are_none() {
+        assert_eq!(Route::parse("/"), None);
+        assert_eq!(Route::parse("/v1"), None);
+        assert_eq!(Route::parse("/v2/serialized"), None);
+        assert_eq!(Route::parse("/v1/serialized/extra"), None);
+    }
+
+    #[test]
+    fn endpoint_list_covers_public_routes() {
+        for e in ENDPOINTS {
+            assert!(Route::parse(e).is_some(), "{e}");
+        }
+    }
+}

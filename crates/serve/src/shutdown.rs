@@ -1,0 +1,134 @@
+//! Graceful-shutdown plumbing: a per-server trigger plus an optional
+//! process-wide signal hook.
+//!
+//! Two layers because they have different owners: in-process tests (and
+//! embedders) trigger a [`ShutdownHandle`] directly, while the `twocs
+//! serve` binary additionally installs a `SIGINT`/`SIGTERM` handler that
+//! flips one process-global flag every handle also observes. The handler
+//! itself only stores to an atomic — the accept loop polls the flag, so
+//! no async-signal-unsafe work happens in signal context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Set by the signal handler; observed by every [`ShutdownHandle`].
+static SIGNAL: AtomicBool = AtomicBool::new(false);
+
+/// Whether a second signal should hard-exit (set once a first signal has
+/// been seen, so a stuck drain can still be interrupted).
+static SIGNAL_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// A cloneable trigger for stopping one server.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// A fresh, untriggered handle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request shutdown: the accept loop stops, queued requests drain,
+    /// workers exit.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested, either on this handle or by
+    /// a delivered signal.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || SIGNAL.load(Ordering::SeqCst)
+    }
+}
+
+/// Raw signal plumbing. The one place in the workspace that needs FFI:
+/// libc is already linked into every Rust binary, so declaring `signal`
+/// and `_exit` adds no dependency.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::{Ordering, SIGNAL, SIGNAL_SEEN};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+
+    /// Async-signal-safe: two atomic stores, or a direct `_exit` on the
+    /// second delivery (the drain is stuck; mimic the default handler's
+    /// 128+SIGINT exit status).
+    extern "C" fn on_signal(_signum: i32) {
+        if SIGNAL_SEEN.swap(true, Ordering::SeqCst) {
+            unsafe { _exit(130) };
+        }
+        SIGNAL.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Install the process-wide `SIGINT`/`SIGTERM` handler (first signal:
+/// graceful drain; second: immediate exit with status 130). Only the
+/// `twocs serve` binary calls this — library users and tests drive
+/// [`ShutdownHandle::trigger`] instead. No-op on non-Unix targets.
+pub fn install_signal_handler() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+/// Test hook: reset the process-global signal flag so independent tests
+/// do not observe each other's triggers.
+#[cfg(test)]
+pub(crate) fn reset_signal_flag() {
+    SIGNAL.store(false, Ordering::SeqCst);
+    SIGNAL_SEEN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Both tests touch the process-global flag; serialize them so the
+    /// parallel test harness cannot interleave their resets.
+    static GLOBAL_FLAG: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn handles_trigger_independently() {
+        let _guard = GLOBAL_FLAG.lock().unwrap();
+        reset_signal_flag();
+        let a = ShutdownHandle::new();
+        let b = ShutdownHandle::new();
+        assert!(!a.is_triggered());
+        a.trigger();
+        assert!(a.is_triggered());
+        assert!(!b.is_triggered(), "handles are per-server");
+        let clone = b.clone();
+        clone.trigger();
+        assert!(b.is_triggered(), "clones share the flag");
+    }
+
+    #[test]
+    fn signal_flag_reaches_every_handle() {
+        let _guard = GLOBAL_FLAG.lock().unwrap();
+        reset_signal_flag();
+        let h = ShutdownHandle::new();
+        assert!(!h.is_triggered());
+        SIGNAL.store(true, Ordering::SeqCst);
+        assert!(h.is_triggered(), "a delivered signal stops all servers");
+        reset_signal_flag();
+    }
+}

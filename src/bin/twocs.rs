@@ -6,6 +6,7 @@
 //! twocs run all [--jobs N]           # everything, paper order, in parallel
 //! twocs sweep [--h 4096,65536] [--tp 16,64,256] [--jobs N] [--csv]
 //! twocs analyze --h 16384 --sl 2048 --b 1 --tp 64 [--dp 8] [--flop-vs-bw 4]
+//! twocs serve [--addr 127.0.0.1:7878] [--jobs N] [--queue N]
 //! ```
 //!
 //! `run` and `sweep` fan work across `--jobs` worker threads; stdout is
@@ -34,7 +35,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -157,6 +158,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("serve") => match serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         _ => usage(),
     }
 }
@@ -242,6 +250,48 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `twocs serve`: run the HTTP query service until SIGINT/SIGTERM, then
+/// drain gracefully. One stdout line announces the bound address (so
+/// scripts binding `:0` can discover the port); everything else goes to
+/// stderr, matching the other subcommands' stdout discipline.
+fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = twocs::serve::ServerConfig::default();
+    if let Some(addr) = str_flag(args, "--addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(jobs) = flag(args, "--jobs") {
+        config.jobs = jobs.max(1) as usize;
+    }
+    if let Some(queue) = flag(args, "--queue") {
+        config.queue = queue.max(1) as usize;
+    }
+    if let Some(ms) = flag(args, "--request-timeout-ms") {
+        config.request_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    // Debug endpoints (/v1/debug/sleep) are opt-in via environment, never
+    // flags, so they cannot be enabled by a copy-pasted command line.
+    config.handler.enable_debug = std::env::var("TWOCS_SERVE_DEBUG").as_deref() == Ok("1");
+    let jobs = config.jobs;
+    let queue = config.queue;
+
+    let obs = ObsSession::from_args(args);
+    let server = twocs::serve::Server::bind(config)
+        .map_err(|e| format!("cannot bind the requested address: {e}"))?;
+    let addr = server.local_addr()?;
+    println!("twocs serve: listening on http://{addr}");
+    eprintln!(
+        "twocs serve: {jobs} worker(s), queue depth {queue}; ctrl-c drains in-flight requests and exits"
+    );
+    twocs::serve::install_signal_handler();
+    let stats = server.run();
+    eprintln!(
+        "twocs serve: shut down cleanly; {} request(s) served, {} rejected with 503",
+        stats.served, stats.rejected
+    );
+    obs.finish()?;
+    Ok(())
 }
 
 fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

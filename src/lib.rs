@@ -10,6 +10,7 @@
 //! * [`transformer`] — Transformer training workloads as operator graphs.
 //! * [`opmodel`] — the paper's operator-level projection methodology.
 //! * [`analysis`] — the Comp-vs-Comm analysis and experiment registry.
+//! * [`serve`] — the std-only HTTP/1.1 query service (`twocs serve`).
 //!
 //! ## Example
 //!
@@ -30,5 +31,6 @@ pub use twocs_core as analysis;
 pub use twocs_hw as hw;
 pub use twocs_obs as obs;
 pub use twocs_opmodel as opmodel;
+pub use twocs_serve as serve;
 pub use twocs_sim as sim;
 pub use twocs_transformer as transformer;

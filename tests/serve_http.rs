@@ -1,0 +1,253 @@
+//! End-to-end tests for the `twocs serve` HTTP query service, run
+//! in-process: each test binds an ephemeral port, drives it with raw
+//! `TcpStream` clients, and shuts it down via its [`ShutdownHandle`].
+//!
+//! The contract pinned here is the one the CI smoke test relies on:
+//! responses are byte-identical to the equivalent CLI/library output,
+//! overload answers `503` rather than hanging, and shutdown completes
+//! in-flight requests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use twocs::analysis::serialized::Method;
+use twocs::analysis::sweep::GridSweep;
+use twocs::hw::DeviceSpec;
+use twocs::serve::{HandlerConfig, Server, ServerConfig};
+
+/// Bind a server on an ephemeral port and run it on a background thread.
+/// Returns the address, the shutdown handle, and the join handle that
+/// yields the final [`twocs::serve::ServeStats`].
+fn start(
+    config: ServerConfig,
+) -> (
+    String,
+    twocs::serve::ShutdownHandle,
+    std::thread::JoinHandle<twocs::serve::ServeStats>,
+) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, shutdown, join)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 2,
+        queue: 16,
+        request_timeout: Duration::from_secs(5),
+        handler: HandlerConfig::default(),
+    }
+}
+
+/// One full HTTP exchange; returns the raw response (head + body).
+fn get(addr: &str, target: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(conn, "GET {target} HTTP/1.1\r\nHost: twocs\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+fn status_of(raw: &str) -> u16 {
+    raw.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn body_of(raw: &str) -> &str {
+    raw.split_once("\r\n\r\n").map_or("", |(_, b)| b)
+}
+
+#[test]
+fn healthz_answers_and_shutdown_is_clean() {
+    let (addr, shutdown, join) = start(test_config());
+    let raw = get(&addr, "/v1/healthz");
+    assert_eq!(status_of(&raw), 200, "{raw}");
+    assert_eq!(body_of(&raw), "{\"status\":\"ok\"}");
+    assert!(raw.contains("Connection: close\r\n"), "{raw}");
+    shutdown.trigger();
+    let stats = join.join().expect("server thread");
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn serialized_csv_is_byte_identical_to_the_sweep_engine() {
+    let (addr, shutdown, join) = start(test_config());
+    let query = "h=4096&tp=16,32&flop_vs_bw=1,2&method=proj";
+    let raw = get(&addr, &format!("/v1/serialized?{query}"));
+    assert_eq!(status_of(&raw), 200, "{raw}");
+
+    let grid = GridSweep {
+        hs: vec![4096],
+        tps: vec![16, 32],
+        flop_vs_bw: vec![1.0, 2.0],
+        method: Method::Projection,
+        ..GridSweep::default()
+    };
+    // The CLI prints `to_csv()` with `println!`, which appends a newline;
+    // the server body carries the same trailing newline so `curl` output
+    // diffs clean against `twocs sweep --csv` stdout.
+    let expected = format!("{}\n", grid.run(&DeviceSpec::mi210(), 1).0.to_csv());
+    assert_eq!(body_of(&raw), expected);
+    assert!(raw.contains("Content-Type: text/csv"), "{raw}");
+
+    // `/v1/sweep` is an alias and a higher `jobs` must not change bytes.
+    let alias = get(&addr, &format!("/v1/sweep?{query}&jobs=4"));
+    assert_eq!(body_of(&alias), expected);
+
+    shutdown.trigger();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn eight_concurrent_clients_get_identical_answers() {
+    let mut config = test_config();
+    config.jobs = 4;
+    let (addr, shutdown, join) = start(config);
+    let target = "/v1/overlapped?h=4096&slb=2048&tp=16&dp=4";
+    let reference = get(&addr, target);
+    assert_eq!(status_of(&reference), 200, "{reference}");
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || get(&addr, target))
+        })
+        .collect();
+    for client in clients {
+        let raw = client.join().expect("client thread");
+        assert_eq!(raw, reference, "concurrent responses must be identical");
+    }
+    shutdown.trigger();
+    let stats = join.join().expect("server thread");
+    assert_eq!(stats.served, 9);
+}
+
+#[test]
+fn error_statuses_cover_the_http_surface() {
+    let (addr, shutdown, join) = start(test_config());
+    for (target, want, needle) in [
+        ("/v1/nope", 404, "/v1/serialized"),
+        ("/v1/sweep?h=1000", 400, "multiples of 256"),
+        ("/v1/sweep?hs=4096", 400, "unknown query parameter"),
+        (
+            "/v1/overlapped?h=1024&slb=2048&tp=256",
+            400,
+            "cannot shard further",
+        ),
+        ("/v1/overlapped?h=4096&slb=0", 400, "non-zero"),
+        ("/v1/debug/sleep?ms=1", 404, "no such endpoint"),
+    ] {
+        let raw = get(&addr, target);
+        assert_eq!(status_of(&raw), want, "{target}: {raw}");
+        assert!(body_of(&raw).contains(needle), "{target}: {raw}");
+    }
+    // Non-GET methods are refused.
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    write!(conn, "POST /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    assert_eq!(status_of(&raw), 405, "{raw}");
+    // Non-HTTP bytes get a 400, not a hang or a dropped connection.
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    write!(conn, "garbage\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    assert_eq!(status_of(&raw), 400, "{raw}");
+    shutdown.trigger();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn overload_answers_503_instead_of_hanging() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 1,
+        queue: 1,
+        request_timeout: Duration::from_secs(5),
+        handler: HandlerConfig {
+            enable_debug: true,
+            ..HandlerConfig::default()
+        },
+    };
+    let (addr, shutdown, join) = start(config);
+    // Occupy the single worker, then fill the single queue slot — the
+    // pauses let each connection be accepted (and the first one popped)
+    // before the next arrives, so the overflow state is deterministic.
+    let blockers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let b = std::thread::spawn(move || get(&addr, "/v1/debug/sleep?ms=1500"));
+            std::thread::sleep(Duration::from_millis(300));
+            b
+        })
+        .collect();
+    // Overflow: with the worker busy and the queue full, further
+    // connections must be rejected promptly with 503.
+    let raw = get(&addr, "/v1/healthz");
+    assert_eq!(
+        status_of(&raw),
+        503,
+        "overloaded server must shed load: {raw}"
+    );
+    assert!(body_of(&raw).contains("capacity"), "{raw}");
+    for b in blockers {
+        let raw = b.join().expect("blocker thread");
+        assert_eq!(status_of(&raw), 200, "queued requests still complete");
+    }
+    shutdown.trigger();
+    let stats = join.join().expect("server thread");
+    assert!(stats.rejected >= 1, "rejections are counted: {stats:?}");
+}
+
+#[test]
+fn shutdown_completes_in_flight_requests() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 1,
+        queue: 4,
+        request_timeout: Duration::from_secs(5),
+        handler: HandlerConfig {
+            enable_debug: true,
+            ..HandlerConfig::default()
+        },
+    };
+    let (addr, shutdown, join) = start(config);
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || get(&addr, "/v1/debug/sleep?ms=800"))
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    shutdown.trigger();
+    // The slow request was accepted before the trigger; the drain must
+    // let it finish and answer 200 — not sever the connection.
+    let raw = in_flight.join().expect("in-flight client");
+    assert_eq!(status_of(&raw), 200, "{raw}");
+    assert_eq!(body_of(&raw), "{\"slept_ms\":800}");
+    join.join().expect("server thread");
+    // And the listener is really gone afterwards.
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "no one is listening after shutdown"
+    );
+}
+
+#[test]
+fn metrics_endpoint_reflects_traffic() {
+    let (addr, shutdown, join) = start(test_config());
+    get(&addr, "/v1/healthz");
+    let raw = get(&addr, "/v1/metrics");
+    assert_eq!(status_of(&raw), 200, "{raw}");
+    assert!(body_of(&raw).contains("serve.requests_total"), "{raw}");
+    let json = get(&addr, "/v1/metrics?format=json");
+    assert!(twocs::obs::json::validate(body_of(&json)).is_ok(), "{json}");
+    shutdown.trigger();
+    join.join().expect("server thread");
+}
