@@ -62,4 +62,7 @@ pub mod trends;
 pub use algorithmic::AlgorithmicProfile;
 pub use experiments::{ExperimentDef, ExperimentOutput};
 pub use report::{Figure, Series, Table};
-pub use sweep::{run_experiments, GridSweep, SweepRun, SweepSummary};
+pub use sweep::{
+    eval_grid_point, run_experiments, GridChunk, GridExecutor, GridPoint, GridSweep, LocalExecutor,
+    PointResults, SweepRun, SweepSummary,
+};

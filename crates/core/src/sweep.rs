@@ -187,7 +187,7 @@ where
                     let elapsed = start.elapsed();
                     let observation = scope_guard.finish();
                     tasks_total.inc();
-                    busy_us.add(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+                    busy_us.add_duration_us(elapsed);
                     let done = TaskResult {
                         result,
                         elapsed,
@@ -550,6 +550,109 @@ pub struct GridPoint {
     pub ratio: f64,
 }
 
+/// A contiguous slice of a [`GridSweep`]'s point list, the unit of work
+/// the distributed fabric leases to one worker at a time.
+///
+/// `start` is the chunk's offset into [`GridSweep::points`] order, so a
+/// coordinator can merge chunk results back into deterministic point
+/// order no matter which worker computed them, or in what order they
+/// arrived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridChunk {
+    /// Index of `points[0]` within the full [`GridSweep::points`] list.
+    pub start: usize,
+    /// The points of this chunk, in grid order.
+    pub points: Vec<GridPoint>,
+}
+
+/// Evaluate one grid point: the serialized-communication fraction
+/// (percent, §4.3.4) and the overlapped-communication percentage
+/// (§4.3.5) at `(H, SL, TP)` on `device` evolved by the point's
+/// flop-vs-bw ratio (§4.3.6).
+///
+/// This is the pure kernel every executor — the local thread pool, a
+/// remote `twocs worker`, a serve request — funnels through, which is
+/// what makes distributed output byte-identical to a local run: the
+/// value depends only on `(device, point, batch, method)`.
+#[must_use]
+pub fn eval_grid_point(
+    device: &DeviceSpec,
+    p: GridPoint,
+    batch: u64,
+    method: Method,
+) -> (f64, f64) {
+    let dev = if p.ratio > 1.0 {
+        HwEvolution::flop_vs_bw(p.ratio).apply(device)
+    } else {
+        device.clone()
+    };
+    let hyper = sweep_hyper(p.h, p.sl, batch);
+    let parallel = ParallelConfig::new().tensor(p.tp);
+    let serialized = 100.0 * comm_fraction(&dev, &hyper, &parallel, method);
+    let overlap = overlap_pct(&dev, p.h, p.sl * batch, p.tp, 4);
+    (serialized, overlap)
+}
+
+/// Per-point sweep outcomes in [`GridSweep::points`] order: each entry
+/// is the `(serialized %, overlapped %)` pair from [`eval_grid_point`],
+/// or the panic message if that point's evaluation panicked.
+pub type PointResults = Vec<Result<(f64, f64), String>>;
+
+/// Something that can evaluate every point of a [`GridSweep`] and return
+/// per-point results **in [`GridSweep::points`] order**.
+///
+/// The seam between grid definition and execution substrate: the default
+/// [`LocalExecutor`] fans points over the in-process thread pool, while
+/// `twocs-dist` provides a coordinator that shards them across TCP
+/// workers. `twocs serve` accepts any executor for `/v1/sweep`, so the
+/// query service can ride the same fabric.
+pub trait GridExecutor: Send + Sync {
+    /// Evaluate `sweep` on `device`, returning one result per point of
+    /// [`GridSweep::points`], in that order. `Err` entries mark points
+    /// whose evaluation panicked; an outer `Err` aborts the whole sweep
+    /// (e.g. the fabric lost its last worker *and* cannot run locally).
+    fn execute(&self, sweep: &GridSweep, device: &DeviceSpec) -> Result<PointResults, String>;
+
+    /// Human-oriented name for logs and summaries.
+    fn describe(&self) -> String {
+        "local".to_owned()
+    }
+}
+
+/// The in-process executor: [`run_tasks_labeled`] over `jobs` threads,
+/// exactly what `twocs sweep --jobs N` has always done.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalExecutor {
+    /// Worker threads to fan points across.
+    pub jobs: usize,
+}
+
+impl GridExecutor for LocalExecutor {
+    fn execute(&self, sweep: &GridSweep, device: &DeviceSpec) -> Result<PointResults, String> {
+        set_parallelism(self.jobs);
+        let points = sweep.points();
+        let raw = run_tasks_labeled(
+            self.jobs,
+            points.len(),
+            |i| grid_point_label(&points[i]),
+            |i| eval_grid_point(device, points[i], sweep.batch, sweep.method),
+        );
+        Ok(raw.into_iter().map(|t| t.result).collect())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "local ({} thread{})",
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" }
+        )
+    }
+}
+
+fn grid_point_label(p: &GridPoint) -> String {
+    format!("H={} SL={} TP={} r={}", p.h, p.sl, p.tp, p.ratio)
+}
+
 impl GridSweep {
     /// The realistic grid points, in deterministic row-major order
     /// (H, then SL, then TP, then ratio). Unrealistic `(H, TP)`
@@ -584,41 +687,38 @@ impl GridSweep {
         points
     }
 
-    /// Run the sweep on `jobs` worker threads and tabulate it.
+    /// Split [`Self::points`] into contiguous chunks of at most
+    /// `chunk_size` points, the work unit the distributed fabric leases
+    /// out. Chunks keep their grid offset so results merge back into
+    /// deterministic point order.
     ///
-    /// The table rows follow [`Self::points`] order whatever the thread
-    /// count, so CSV output is byte-identical across `jobs` settings. A
-    /// panicking point renders as `error` in both metric columns rather
-    /// than aborting the sweep.
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
     #[must_use]
-    pub fn run(&self, device: &DeviceSpec, jobs: usize) -> (Table, SweepSummary) {
-        set_parallelism(jobs);
-        let points = self.points();
-        let before = cache_snapshot();
-        let start = Instant::now();
-        let point_label =
-            |p: &GridPoint| format!("H={} SL={} TP={} r={}", p.h, p.sl, p.tp, p.ratio);
-        let raw = run_tasks_labeled(
-            jobs,
-            points.len(),
-            |i| point_label(&points[i]),
-            |i| {
-                let p = points[i];
-                let dev = if p.ratio > 1.0 {
-                    HwEvolution::flop_vs_bw(p.ratio).apply(device)
-                } else {
-                    device.clone()
-                };
-                let hyper = sweep_hyper(p.h, p.sl, self.batch);
-                let parallel = ParallelConfig::new().tensor(p.tp);
-                let serialized = 100.0 * comm_fraction(&dev, &hyper, &parallel, self.method);
-                let overlap = overlap_pct(&dev, p.h, p.sl * self.batch, p.tp, 4);
-                (serialized, overlap)
-            },
-        );
-        let wall = start.elapsed();
-        let after = cache_snapshot();
+    pub fn chunks(&self, chunk_size: usize) -> Vec<GridChunk> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        self.points()
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(i, points)| GridChunk {
+                start: i * chunk_size,
+                points: points.to_vec(),
+            })
+            .collect()
+    }
 
+    /// Render per-point results into the sweep table. `results` must be
+    /// in the same order as `points`; an `Err` entry renders as `error`
+    /// in both metric columns — same formatting whatever executor
+    /// produced the values, which is the byte-identity contract between
+    /// local and distributed runs.
+    #[must_use]
+    pub fn tabulate(points: &[GridPoint], results: &[Result<(f64, f64), String>]) -> Table {
+        assert_eq!(
+            points.len(),
+            results.len(),
+            "one result per grid point is required"
+        );
         let mut table = Table::new(
             "sweep",
             "Serialized and overlapped communication across the grid",
@@ -634,8 +734,8 @@ impl GridSweep {
             .map(String::from)
             .collect(),
         );
-        for (p, t) in points.iter().zip(&raw) {
-            let (serialized, overlap) = match &t.result {
+        for (p, r) in points.iter().zip(results) {
+            let (serialized, overlap) = match r {
                 Ok((s, o)) => (format!("{s:.2}"), format!("{o:.2}")),
                 Err(_) => ("error".to_owned(), "error".to_owned()),
             };
@@ -648,12 +748,60 @@ impl GridSweep {
                 overlap,
             ]);
         }
+        table
+    }
+
+    /// Evaluate the sweep through an arbitrary [`GridExecutor`] and
+    /// tabulate the outcome. The table is byte-identical to
+    /// [`Self::run`]'s for any correct executor, because formatting lives
+    /// entirely in [`Self::tabulate`].
+    pub fn run_with(
+        &self,
+        device: &DeviceSpec,
+        executor: &dyn GridExecutor,
+    ) -> Result<Table, String> {
+        let points = self.points();
+        let results = executor.execute(self, device)?;
+        if results.len() != points.len() {
+            return Err(format!(
+                "executor `{}` returned {} results for {} grid points",
+                executor.describe(),
+                results.len(),
+                points.len()
+            ));
+        }
+        Ok(Self::tabulate(&points, &results))
+    }
+
+    /// Run the sweep on `jobs` worker threads and tabulate it.
+    ///
+    /// The table rows follow [`Self::points`] order whatever the thread
+    /// count, so CSV output is byte-identical across `jobs` settings. A
+    /// panicking point renders as `error` in both metric columns rather
+    /// than aborting the sweep.
+    #[must_use]
+    pub fn run(&self, device: &DeviceSpec, jobs: usize) -> (Table, SweepSummary) {
+        set_parallelism(jobs);
+        let points = self.points();
+        let before = cache_snapshot();
+        let start = Instant::now();
+        let raw = run_tasks_labeled(
+            jobs,
+            points.len(),
+            |i| grid_point_label(&points[i]),
+            |i| eval_grid_point(device, points[i], self.batch, self.method),
+        );
+        let wall = start.elapsed();
+        let after = cache_snapshot();
+
+        let results: PointResults = raw.iter().map(|t| t.result.clone()).collect();
+        let table = Self::tabulate(&points, &results);
 
         let timings: Vec<TaskTiming> = points
             .iter()
             .zip(&raw)
             .map(|(p, t)| TaskTiming {
-                label: point_label(p),
+                label: grid_point_label(p),
                 elapsed: t.elapsed,
                 ok: t.result.is_ok(),
                 worker: t.worker,
@@ -977,6 +1125,55 @@ mod tests {
                 assert_eq!(out, reference);
             }
         });
+    }
+
+    #[test]
+    fn chunks_cover_every_point_in_order() {
+        let sweep = GridSweep::default();
+        let points = sweep.points();
+        for chunk_size in [1, 3, 7, points.len(), points.len() + 5] {
+            let chunks = sweep.chunks(chunk_size);
+            let mut reassembled = Vec::new();
+            for (i, c) in chunks.iter().enumerate() {
+                assert_eq!(c.start, reassembled.len(), "chunk {i} offset");
+                assert!(!c.points.is_empty() && c.points.len() <= chunk_size);
+                reassembled.extend(c.points.iter().copied());
+            }
+            assert_eq!(reassembled, points, "chunk_size={chunk_size}");
+        }
+    }
+
+    #[test]
+    fn run_with_local_executor_matches_run() {
+        let sweep = GridSweep {
+            hs: vec![4096],
+            sls: vec![2048],
+            tps: vec![16, 32],
+            flop_vs_bw: vec![1.0, 2.0],
+            batch: 1,
+            method: Method::Projection,
+        };
+        let device = DeviceSpec::mi210();
+        let (table, _) = sweep.run(&device, 2);
+        let via_executor = sweep.run_with(&device, &LocalExecutor { jobs: 2 }).unwrap();
+        assert_eq!(table.to_csv(), via_executor.to_csv());
+    }
+
+    #[test]
+    fn tabulate_renders_errors_without_aborting() {
+        let sweep = GridSweep {
+            hs: vec![4096],
+            sls: vec![2048],
+            tps: vec![16],
+            flop_vs_bw: vec![1.0, 2.0],
+            batch: 1,
+            method: Method::Projection,
+        };
+        let points = sweep.points();
+        let results = vec![Ok((12.5, 34.25)), Err("boom".to_owned())];
+        let csv = GridSweep::tabulate(&points, &results).to_csv();
+        assert!(csv.contains("12.50"), "{csv}");
+        assert!(csv.contains("error,error"), "{csv}");
     }
 
     #[test]

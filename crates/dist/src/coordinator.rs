@@ -1,0 +1,879 @@
+//! The sweep coordinator: accepts worker registrations over TCP, shards
+//! a [`GridSweep`] into leased chunks, and merges results back in
+//! deterministic grid order.
+//!
+//! ## Threads
+//!
+//! * **Accept thread** — nonblocking `accept` + poll sleep (the same
+//!   pattern as `twocs-serve`); spawns one connection pair per worker.
+//! * **Per-connection driver** — owns the write half: waits for the
+//!   worker's `Ready`, leases a chunk under the fabric lock, awaits the
+//!   result with a heartbeat-bounded timeout.
+//! * **Per-connection reader** — blocks on the read half and relays
+//!   frames to the driver over an `mpsc` channel, so the driver can wait
+//!   on "message OR timeout" without platform `poll` FFI.
+//! * **Submitter** — the thread inside [`Coordinator::run_sweep`]: posts
+//!   the job, expires overdue leases, and **drains chunks locally
+//!   whenever no worker is connected**, which is both the
+//!   `--min-workers` degrade path and the guarantee that a sweep
+//!   terminates even if every worker dies.
+//!
+//! ## Failure model
+//!
+//! A worker is presumed dead when its connection drops, when it stays
+//! silent past the lease TTL (missed heartbeats), or when it refuses a
+//! lease. In every case its leased chunks return to the pending queue
+//! ([`LeaseTracker`]) and the next `Ready` worker — or the local drain —
+//! picks them up. Duplicate results from resurrected workers are
+//! ignored; chunk values are pure functions of the grid point, so
+//! whichever copy lands first produces identical bytes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::lease::{ChunkId, Completion, LeaseTracker, WorkerId};
+use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+use twocs_core::serialized::Method;
+use twocs_core::sweep::{
+    eval_grid_point, set_parallelism, GridChunk, GridExecutor, GridSweep, PointResults,
+};
+use twocs_core::Table;
+use twocs_hw::DeviceSpec;
+
+/// Worker id the coordinator uses when draining chunks itself.
+pub const LOCAL_WORKER: WorkerId = 0;
+
+/// Tuning knobs for one [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Address to bind for worker registrations (`:0` picks an ephemeral
+    /// port, reported by [`Coordinator::local_addr`]).
+    pub listen: String,
+    /// Grid points per leased chunk. Smaller chunks rebalance better and
+    /// lose less work to a dead worker; larger chunks amortize framing.
+    pub chunk_size: usize,
+    /// Interval workers are told to heartbeat at.
+    pub heartbeat: Duration,
+    /// Silence budget before a worker's leases are reassigned. Should be
+    /// a few heartbeats; clamped to at least one.
+    pub lease_ttl: Duration,
+    /// Thread budget for the local drain / degrade path.
+    pub local_jobs: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_owned(),
+            chunk_size: 4,
+            heartbeat: Duration::from_millis(500),
+            lease_ttl: Duration::from_secs(2),
+            local_jobs: 1,
+        }
+    }
+}
+
+/// What one distributed sweep did, for the stderr summary.
+#[derive(Debug, Clone)]
+pub struct DistSummary {
+    /// Total chunks in the job.
+    pub chunks: usize,
+    /// Total grid points.
+    pub points: usize,
+    /// Chunk-to-pending reassignments (worker deaths, expiries, refusals).
+    pub reassigned: u64,
+    /// Workers that registered over the fabric's lifetime so far.
+    pub workers_seen: u64,
+    /// Per-evaluator chunk counts and busy time (lease round-trip for
+    /// remote workers, evaluation time for [`LOCAL_WORKER`]).
+    pub per_worker: Vec<(WorkerId, u64, Duration)>,
+    /// Protocol bytes sent by the coordinator during this sweep.
+    pub bytes_tx: u64,
+    /// Protocol bytes received by the coordinator during this sweep.
+    pub bytes_rx: u64,
+    /// End-to-end wall time of the sweep.
+    pub wall: Duration,
+}
+
+impl fmt::Display for DistSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "dist: {} points in {} chunks, wall {:.1?}; {} reassigned, {} worker(s) seen, wire {} B out / {} B in",
+            self.points,
+            self.chunks,
+            self.wall,
+            self.reassigned,
+            self.workers_seen,
+            self.bytes_tx,
+            self.bytes_rx,
+        )?;
+        for (id, chunks, busy) in &self.per_worker {
+            let who = if *id == LOCAL_WORKER {
+                "local drain".to_owned()
+            } else {
+                format!("worker {id}")
+            };
+            write!(
+                f,
+                "\n  {who:<12} {chunks} chunk{} in {busy:.1?}",
+                if *chunks == 1 { "" } else { "s" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-evaluator accounting for the job in flight.
+#[derive(Debug, Clone, Copy, Default)]
+struct EvalStats {
+    chunks: u64,
+    busy: Duration,
+}
+
+/// One sweep job being distributed.
+struct ActiveJob {
+    id: u64,
+    device_name: String,
+    device_fingerprint: u64,
+    batch: u64,
+    method: Method,
+    chunks: Vec<GridChunk>,
+    tracker: LeaseTracker,
+    /// Per-point results, in grid order; `None` until the owning chunk
+    /// completes.
+    results: Vec<Option<Result<(f64, f64), String>>>,
+    stats: BTreeMap<WorkerId, EvalStats>,
+}
+
+struct FabricState {
+    job: Option<ActiveJob>,
+    next_job: u64,
+    /// Currently connected worker ids.
+    connected: std::collections::BTreeSet<WorkerId>,
+    next_worker: WorkerId,
+    total_joined: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: CoordinatorConfig,
+    epoch: Instant,
+    state: Mutex<FabricState>,
+    /// Signaled when work may be available: job posted, chunks requeued,
+    /// shutdown.
+    work: Condvar,
+    /// Signaled when the job advances or the worker set changes.
+    progress: Condvar,
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FabricState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Milliseconds since the coordinator started — the lease clock.
+    fn now(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn ttl_ms(&self) -> u64 {
+        self.cfg.lease_ttl.as_millis().max(1) as u64
+    }
+
+    fn count_tx(&self, n: usize) {
+        self.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+        twocs_obs::metrics::global()
+            .counter("dist.bytes_tx")
+            .add(n as u64);
+    }
+
+    fn count_rx(&self, n: usize) {
+        self.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        twocs_obs::metrics::global()
+            .counter("dist.bytes_rx")
+            .add(n as u64);
+    }
+}
+
+/// A live distributed-sweep fabric: an address workers can register
+/// with, plus [`Coordinator::run_sweep`] to shard grids across them.
+///
+/// The fabric is long-lived: one coordinator can run many sweeps
+/// back-to-back (that is how `twocs serve --listen` uses it), workers
+/// may join at any time — including mid-sweep — and leave without
+/// losing work.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Poll interval of the accept loop and the submitter's progress wait.
+const POLL: Duration = Duration::from_millis(25);
+
+impl Coordinator {
+    /// Bind the listen address and start accepting workers immediately.
+    pub fn bind(cfg: CoordinatorConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            epoch: Instant::now(),
+            state: Mutex::new(FabricState {
+                job: None,
+                next_job: 1,
+                connected: std::collections::BTreeSet::new(),
+                next_worker: LOCAL_WORKER + 1,
+                total_joined: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            progress: Condvar::new(),
+            bytes_tx: AtomicU64::new(0),
+            bytes_rx: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("dist-accept".to_owned())
+            .spawn(move || accept_loop(&accept_shared, &listener))?;
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The actual bound address (resolves `:0` ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Currently connected workers.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.shared.lock().connected.len()
+    }
+
+    /// Block until at least `min` workers are connected or `timeout`
+    /// elapses; returns the count at that moment. `min == 0` returns
+    /// immediately — the caller degrades to local execution either way,
+    /// via the submitter's local drain.
+    pub fn wait_for_workers(&self, min: usize, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if st.connected.len() >= min || st.shutdown {
+                return st.connected.len();
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return st.connected.len();
+            };
+            let (g, _) = self
+                .shared
+                .progress
+                .wait_timeout(st, remaining.min(POLL * 4))
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// Distribute `sweep` across the connected workers and tabulate the
+    /// outcome, byte-identical to a local [`GridSweep::run`].
+    ///
+    /// Returns an error only when the fabric is shutting down or the
+    /// grid is empty of realistic points — worker failures never fail
+    /// the sweep, they just shift work back to the queue (ultimately to
+    /// the coordinator's own local drain).
+    pub fn run_sweep(
+        &self,
+        sweep: &GridSweep,
+        device: &DeviceSpec,
+    ) -> Result<(Table, DistSummary), String> {
+        let points = sweep.points();
+        let (results, summary) = self.execute_tracked(sweep, device)?;
+        Ok((GridSweep::tabulate(&points, &results), summary))
+    }
+
+    /// Stop accepting workers, tell connected ones `Done`, and unblock
+    /// every waiter. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.progress.notify_all();
+    }
+
+    /// Run one sweep through the fabric, returning per-point results in
+    /// grid order plus the summary.
+    fn execute_tracked(
+        &self,
+        sweep: &GridSweep,
+        device: &DeviceSpec,
+    ) -> Result<(PointResults, DistSummary), String> {
+        let start = Instant::now();
+        let shared = &self.shared;
+        let metrics = twocs_obs::metrics::global();
+        let _span = twocs_obs::span("distributed sweep", "dist");
+
+        // Workers reconstruct the base device from the catalog; a device
+        // the catalog cannot name (e.g. an already-evolved or custom
+        // spec) cannot be shipped, so the whole job runs on the local
+        // drain — still byte-identical, just not distributed.
+        let resolvable = DeviceSpec::catalog()
+            .iter()
+            .any(|d| d.name() == device.name() && d.fingerprint() == device.fingerprint());
+
+        let points = sweep.points();
+        let chunks = sweep.chunks(shared.cfg.chunk_size.max(1));
+        let n_chunks = chunks.len();
+        let tx_before = shared.bytes_tx.load(Ordering::Relaxed);
+        let rx_before = shared.bytes_rx.load(Ordering::Relaxed);
+
+        // Post the job; back-to-back sweeps (e.g. concurrent serve
+        // requests) serialize on the fabric here.
+        let job_id = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return Err("the fabric is shutting down".to_owned());
+                }
+                if st.job.is_none() {
+                    break;
+                }
+                st = shared
+                    .progress
+                    .wait_timeout(st, POLL * 4)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            let id = st.next_job;
+            st.next_job += 1;
+            let mut tracker = LeaseTracker::new(n_chunks as u32);
+            if !resolvable {
+                // Pre-empt leasing by remote workers: the local drain
+                // below is the only evaluator that has this device.
+                while tracker.lease(LOCAL_WORKER, 0, u64::MAX).is_some() {}
+            }
+            st.job = Some(ActiveJob {
+                id,
+                device_name: device.name().to_owned(),
+                device_fingerprint: device.fingerprint(),
+                batch: sweep.batch,
+                method: sweep.method,
+                chunks,
+                tracker,
+                results: vec![None; points.len()],
+                stats: BTreeMap::new(),
+            });
+            id
+        };
+        shared.work.notify_all();
+        if !resolvable {
+            // Drain everything locally: the tracker pre-leased every
+            // chunk to LOCAL_WORKER above.
+            for chunk in 0..n_chunks as u32 {
+                drain_one_chunk(shared, job_id, chunk, device);
+            }
+            let mut st = shared.lock();
+            return Ok(finish_job(
+                shared, &mut st, job_id, start, tx_before, rx_before,
+            ));
+        }
+
+        // Supervise: expire overdue leases, drain locally when no worker
+        // is connected, finish when the tracker says so.
+        let mut st = shared.lock();
+        loop {
+            let Some(job) = st.job.as_mut().filter(|j| j.id == job_id) else {
+                return Err("sweep job vanished from the fabric".to_owned());
+            };
+            if job.tracker.is_complete() {
+                return Ok(finish_job(
+                    shared, &mut st, job_id, start, tx_before, rx_before,
+                ));
+            }
+            let now = shared.now();
+            let expired = job.tracker.expire(now);
+            if !expired.is_empty() {
+                metrics
+                    .counter("dist.chunks_reassigned")
+                    .add(expired.len() as u64);
+                shared.work.notify_all();
+            }
+            if st.connected.is_empty() && st.job.as_ref().unwrap().tracker.pending_count() > 0 {
+                // Degrade path: nobody to lease to, so evaluate one
+                // chunk here (outside the lock) and loop.
+                let job = st.job.as_mut().unwrap();
+                if let Some(chunk) = job.tracker.lease(LOCAL_WORKER, now, u64::MAX) {
+                    drop(st);
+                    drain_one_chunk(shared, job_id, chunk, device);
+                    st = shared.lock();
+                    continue;
+                }
+            }
+            st = shared
+                .progress
+                .wait_timeout(st, POLL)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl GridExecutor for Coordinator {
+    fn execute(&self, sweep: &GridSweep, device: &DeviceSpec) -> Result<PointResults, String> {
+        self.execute_tracked(sweep, device).map(|(r, _)| r)
+    }
+
+    fn describe(&self) -> String {
+        format!("distributed({})", self.local_addr)
+    }
+}
+
+/// Evaluate one locally-leased chunk on `device` and record its
+/// results. The chunk must already be leased to [`LOCAL_WORKER`];
+/// evaluation happens with no fabric lock held. `device` is the
+/// submitter's own spec, so this path works for devices the catalog
+/// cannot name.
+fn drain_one_chunk(shared: &Arc<Shared>, job_id: u64, chunk: ChunkId, device: &DeviceSpec) {
+    let (points, batch, method) = {
+        let st = shared.lock();
+        let Some(job) = st.job.as_ref().filter(|j| j.id == job_id) else {
+            return;
+        };
+        let c = &job.chunks[chunk as usize];
+        (c.points.clone(), job.batch, job.method)
+    };
+    let _span = twocs_obs::span(&format!("local drain chunk {chunk}"), "dist");
+    let t0 = Instant::now();
+    set_parallelism(shared.cfg.local_jobs);
+    let values: PointResults = points
+        .iter()
+        .map(|&p| {
+            catch_unwind(AssertUnwindSafe(|| {
+                eval_grid_point(device, p, batch, method)
+            }))
+            .map_err(|payload| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "grid point panicked".to_owned())
+            })
+        })
+        .collect();
+    let busy = t0.elapsed();
+    twocs_obs::metrics::global()
+        .counter("dist.local_drain_chunks")
+        .inc();
+    let mut st = shared.lock();
+    record_result(&mut st, job_id, LOCAL_WORKER, chunk, values, busy);
+    drop(st);
+    shared.progress.notify_all();
+}
+
+/// Store an accepted chunk result and update per-evaluator stats.
+/// Returns whether the result was accepted (first copy for its chunk).
+fn record_result(
+    st: &mut FabricState,
+    job_id: u64,
+    worker: WorkerId,
+    chunk: ChunkId,
+    values: PointResults,
+    busy: Duration,
+) -> bool {
+    let Some(job) = st.job.as_mut().filter(|j| j.id == job_id) else {
+        return false;
+    };
+    let Some(spec) = job.chunks.get(chunk as usize) else {
+        return false;
+    };
+    if values.len() != spec.points.len() {
+        // A short or long result cannot be merged; treat it as a failed
+        // evaluation and requeue via the normal failure path.
+        return false;
+    }
+    match job.tracker.complete(chunk) {
+        Completion::Accepted => {
+            let start = spec.start;
+            for (i, v) in values.into_iter().enumerate() {
+                job.results[start + i] = Some(v);
+            }
+            let stats = job.stats.entry(worker).or_default();
+            stats.chunks += 1;
+            stats.busy += busy;
+            let metrics = twocs_obs::metrics::global();
+            metrics.counter("dist.chunks_completed").inc();
+            metrics
+                .histogram("dist.chunk_rtt_us")
+                .observe_duration(busy);
+            true
+        }
+        Completion::Duplicate | Completion::Unknown => false,
+    }
+}
+
+/// Collect the finished job into results + summary and clear the slot.
+fn finish_job(
+    shared: &Shared,
+    st: &mut FabricState,
+    job_id: u64,
+    start: Instant,
+    tx_before: u64,
+    rx_before: u64,
+) -> (PointResults, DistSummary) {
+    let job = st
+        .job
+        .take()
+        .filter(|j| j.id == job_id)
+        .expect("finish_job called with the job in place");
+    let results: PointResults = job
+        .results
+        .into_iter()
+        .map(|r| r.expect("completed job has every point filled"))
+        .collect();
+    let summary = DistSummary {
+        chunks: job.chunks.len(),
+        points: results.len(),
+        reassigned: job.tracker.reassigned(),
+        workers_seen: st.total_joined,
+        per_worker: job
+            .stats
+            .iter()
+            .map(|(&id, s)| (id, s.chunks, s.busy))
+            .collect(),
+        bytes_tx: shared.bytes_tx.load(Ordering::Relaxed) - tx_before,
+        bytes_rx: shared.bytes_rx.load(Ordering::Relaxed) - rx_before,
+        wall: start.elapsed(),
+    };
+    // Wake any submitter waiting for the job slot.
+    shared.progress.notify_all();
+    (results, summary)
+}
+
+/// Handshake a freshly accepted connection, then run its driver loop
+/// until the worker leaves, dies, or the fabric shuts down. Cleanup —
+/// deregistration and requeueing the worker's leases — is unconditional.
+fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream) {
+    let metrics = twocs_obs::metrics::global();
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(5)));
+
+    // Version handshake.
+    let hello = match read_frame(&mut conn) {
+        Ok((msg, n)) => {
+            shared.count_rx(n);
+            msg
+        }
+        Err(_) => return,
+    };
+    match hello {
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+        } => {}
+        Message::Hello { version } => {
+            let reject = Message::Reject {
+                reason: format!(
+                    "protocol version mismatch: coordinator speaks v{PROTOCOL_VERSION}, worker v{version}"
+                ),
+            };
+            if let Ok(n) = write_frame(&mut conn, &reject) {
+                shared.count_tx(n);
+            }
+            metrics.counter("dist.handshake_rejected").inc();
+            return;
+        }
+        _ => return, // not a worker; drop silently
+    }
+
+    // Register.
+    let worker_id = {
+        let mut st = shared.lock();
+        if st.shutdown {
+            let reject = Message::Reject {
+                reason: "coordinator is shutting down".to_owned(),
+            };
+            if let Ok(n) = write_frame(&mut conn, &reject) {
+                shared.count_tx(n);
+            }
+            return;
+        }
+        let id = st.next_worker;
+        st.next_worker += 1;
+        st.connected.insert(id);
+        st.total_joined += 1;
+        id
+    };
+    shared.progress.notify_all();
+    metrics.counter("dist.workers_joined").inc();
+    let heartbeat_ms = shared
+        .cfg
+        .heartbeat
+        .as_millis()
+        .clamp(1, u128::from(u32::MAX)) as u32;
+    let welcome = Message::Welcome {
+        version: PROTOCOL_VERSION,
+        worker_id,
+        heartbeat_ms,
+    };
+    let registered = match write_frame(&mut conn, &welcome) {
+        Ok(n) => {
+            shared.count_tx(n);
+            true
+        }
+        Err(_) => false,
+    };
+
+    if registered {
+        // Reader thread: relay frames into a channel so the driver can
+        // wait on "message or timeout" without poll/epoll FFI.
+        let (tx, rx) = std::sync::mpsc::channel::<Message>();
+        let reader_shared = Arc::clone(shared);
+        let reader_conn = conn.try_clone();
+        let reader = reader_conn.ok().map(|mut rconn| {
+            let _ = rconn.set_read_timeout(None);
+            std::thread::spawn(move || {
+                while let Ok((msg, n)) = read_frame(&mut rconn) {
+                    reader_shared.count_rx(n);
+                    if tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+            })
+        });
+        if let Some(reader) = reader {
+            match drive_worker(shared, worker_id, &mut conn, &rx) {
+                Ok(()) => {
+                    // Graceful exit: `Done` is on the wire. Half-close and
+                    // drain the worker's final frames until it closes its
+                    // end — a hard close with an unread heartbeat still
+                    // buffered would RST ahead of the worker reading
+                    // `Done`. The read timeout bounds the drain if the
+                    // worker never closes.
+                    let _ = conn.shutdown(Shutdown::Write);
+                    let _ = conn
+                        .set_read_timeout(Some(shared.cfg.lease_ttl.max(Duration::from_secs(1))));
+                }
+                Err(()) => {
+                    // The worker is presumed dead; closing the socket
+                    // unblocks the reader.
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+            }
+            let _ = reader.join();
+            drop(rx);
+        }
+    }
+
+    // Unconditional cleanup: deregister and requeue this worker's leases.
+    let lost = {
+        let mut st = shared.lock();
+        st.connected.remove(&worker_id);
+        st.job
+            .as_mut()
+            .map(|job| job.tracker.fail_worker(worker_id))
+            .unwrap_or_default()
+    };
+    metrics.counter("dist.workers_lost").inc();
+    if !lost.is_empty() {
+        metrics
+            .counter("dist.chunks_reassigned")
+            .add(lost.len() as u64);
+        shared.work.notify_all();
+    }
+    shared.progress.notify_all();
+}
+
+/// What the driver decided to send after consulting the fabric state.
+enum Directive {
+    Lease(Message, ChunkId),
+    Wait,
+    Done,
+}
+
+/// The per-worker driver loop: `Ready` → lease → result, with
+/// heartbeat renewal in between. Any `Err` return means the connection
+/// is considered dead; the caller requeues this worker's leases.
+fn drive_worker(
+    shared: &Arc<Shared>,
+    worker_id: WorkerId,
+    conn: &mut TcpStream,
+    rx: &Receiver<Message>,
+) -> Result<(), ()> {
+    let metrics = twocs_obs::metrics::global();
+    let ttl = shared.cfg.lease_ttl.max(Duration::from_millis(1));
+    loop {
+        // 1. Wait for the worker to ask for work (heartbeats renew).
+        loop {
+            match rx.recv_timeout(ttl) {
+                Ok(Message::Ready) => break,
+                Ok(Message::Heartbeat) => continue,
+                Ok(_) | Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return Err(())
+                }
+            }
+        }
+
+        // 2. Find work, waiting briefly on the job condvar; send Wait so
+        // an idle connection keeps exchanging traffic (which is also how
+        // a dead idle worker is detected, via the failed write).
+        let directive = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    break Directive::Done;
+                }
+                let now = shared.now();
+                let ttl_ms = shared.ttl_ms();
+                if let Some(job) = st.job.as_mut() {
+                    if let Some(chunk) = job.tracker.lease(worker_id, now, ttl_ms) {
+                        let spec = &job.chunks[chunk as usize];
+                        let lease = Message::Lease {
+                            job: job.id,
+                            chunk,
+                            device: job.device_name.clone(),
+                            device_fingerprint: job.device_fingerprint,
+                            batch: job.batch,
+                            method: job.method,
+                            points: spec.points.clone(),
+                        };
+                        break Directive::Lease(lease, chunk);
+                    }
+                }
+                let (g, timeout) = shared
+                    .work
+                    .wait_timeout(st, POLL * 12)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = g;
+                if timeout.timed_out() {
+                    break Directive::Wait;
+                }
+            }
+        };
+
+        match directive {
+            Directive::Done => {
+                let n = write_frame(conn, &Message::Done).map_err(|_| ())?;
+                shared.count_tx(n);
+                return Ok(());
+            }
+            Directive::Wait => {
+                let n = write_frame(conn, &Message::Wait).map_err(|_| ())?;
+                shared.count_tx(n);
+                continue;
+            }
+            Directive::Lease(lease, chunk) => {
+                let _span = twocs_obs::span(&format!("lease chunk {chunk}"), "dist");
+                metrics.counter("dist.chunks_leased").inc();
+                let t0 = Instant::now();
+                let sent = write_frame(conn, &lease);
+                match sent {
+                    Ok(n) => shared.count_tx(n),
+                    Err(_) => return Err(()),
+                }
+                // 3. Await the chunk result; heartbeats extend the lease.
+                loop {
+                    match rx.recv_timeout(ttl) {
+                        Ok(Message::Heartbeat) => {
+                            let mut st = shared.lock();
+                            let now = shared.now();
+                            let ttl_ms = shared.ttl_ms();
+                            if let Some(job) = st.job.as_mut() {
+                                job.tracker.renew(worker_id, now, ttl_ms);
+                            }
+                        }
+                        Ok(Message::ChunkResult {
+                            job: jid,
+                            chunk: cid,
+                            values,
+                        }) => {
+                            let mut st = shared.lock();
+                            record_result(&mut st, jid, worker_id, cid, values, t0.elapsed());
+                            drop(st);
+                            shared.progress.notify_all();
+                            break;
+                        }
+                        Ok(Message::Refuse { reason, .. }) => {
+                            // The worker cannot evaluate this job at all
+                            // (e.g. unknown device). Requeue its leases
+                            // and release it; the chunk flows elsewhere.
+                            metrics.counter("dist.leases_refused").inc();
+                            let lost = {
+                                let mut st = shared.lock();
+                                st.job
+                                    .as_mut()
+                                    .map(|job| job.tracker.fail_worker(worker_id))
+                                    .unwrap_or_default()
+                            };
+                            if !lost.is_empty() {
+                                metrics
+                                    .counter("dist.chunks_reassigned")
+                                    .add(lost.len() as u64);
+                                shared.work.notify_all();
+                            }
+                            let _ = reason;
+                            let n = write_frame(conn, &Message::Done).map_err(|_| ())?;
+                            shared.count_tx(n);
+                            return Ok(());
+                        }
+                        Ok(_)
+                        | Err(RecvTimeoutError::Timeout)
+                        | Err(RecvTimeoutError::Disconnected) => return Err(()),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.lock().shutdown {
+            return;
+        }
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                let conn_shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("dist-conn".to_owned())
+                    .spawn(move || serve_connection(&conn_shared, conn));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}

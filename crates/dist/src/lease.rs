@@ -1,0 +1,385 @@
+//! The coordinator's chunk-lease state machine.
+//!
+//! Pure data structure, no I/O and no real clock: callers pass a
+//! monotonic `now` in milliseconds, which is what makes every
+//! interleaving of worker joins, deaths, heartbeat expiries, and
+//! duplicate completions unit- and property-testable (see the
+//! `every_interleaving_completes_each_chunk_exactly_once` test).
+//!
+//! A chunk is always in exactly one of three states:
+//!
+//! ```text
+//! pending --lease()--> leased --complete()--> completed
+//!    ^                   |
+//!    +--fail_worker()----+        (also expire(now) on lease timeout)
+//! ```
+//!
+//! Exactly-once semantics: [`LeaseTracker::complete`] accepts the
+//! **first** result for a chunk and marks later copies
+//! [`Completion::Duplicate`] — a reassigned chunk whose original worker
+//! turns out to be alive after all merges cleanly, because every
+//! evaluator computes the same pure function of the grid point.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Coordinator-assigned worker identifier.
+pub type WorkerId = u64;
+/// Chunk index within one sweep job.
+pub type ChunkId = u32;
+
+/// Outcome of reporting a completed chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// First result for this chunk; it was recorded.
+    Accepted,
+    /// The chunk was already completed (e.g. it was reassigned after a
+    /// heartbeat timeout and both evaluations finished). Ignore the
+    /// value — it is identical by construction.
+    Duplicate,
+    /// The chunk id is not part of this job; the peer is confused or
+    /// stale. Callers should drop the connection.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    worker: WorkerId,
+    expires_at: u64,
+}
+
+/// Tracks every chunk of one sweep job through the pending → leased →
+/// completed lifecycle, with lease timeouts and reassignment.
+#[derive(Debug, Clone)]
+pub struct LeaseTracker {
+    pending: VecDeque<ChunkId>,
+    leased: BTreeMap<ChunkId, Lease>,
+    completed: BTreeSet<ChunkId>,
+    total: u32,
+    reassigned: u64,
+}
+
+impl LeaseTracker {
+    /// A tracker for chunks `0..chunks`, all pending.
+    #[must_use]
+    pub fn new(chunks: u32) -> Self {
+        Self {
+            pending: (0..chunks).collect(),
+            leased: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            total: chunks,
+            reassigned: 0,
+        }
+    }
+
+    /// Lease the next pending chunk to `worker` until `now + ttl_ms`.
+    /// Returns `None` when nothing is pending (all chunks are leased out
+    /// or completed).
+    pub fn lease(&mut self, worker: WorkerId, now: u64, ttl_ms: u64) -> Option<ChunkId> {
+        let chunk = self.pending.pop_front()?;
+        self.leased.insert(
+            chunk,
+            Lease {
+                worker,
+                expires_at: now.saturating_add(ttl_ms),
+            },
+        );
+        Some(chunk)
+    }
+
+    /// Extend every lease held by `worker` to `now + ttl_ms` — the
+    /// effect of receiving its heartbeat.
+    pub fn renew(&mut self, worker: WorkerId, now: u64, ttl_ms: u64) {
+        let expires_at = now.saturating_add(ttl_ms);
+        for lease in self.leased.values_mut().filter(|l| l.worker == worker) {
+            lease.expires_at = expires_at;
+        }
+    }
+
+    /// Record a result for `chunk`. See [`Completion`] for the
+    /// exactly-once semantics.
+    pub fn complete(&mut self, chunk: ChunkId) -> Completion {
+        if chunk >= self.total {
+            return Completion::Unknown;
+        }
+        if self.completed.contains(&chunk) {
+            return Completion::Duplicate;
+        }
+        self.leased.remove(&chunk);
+        // A completion can also race a requeue: the chunk timed out,
+        // went back to pending, and then the original result arrived.
+        // Accept it and drop the pending copy.
+        self.pending.retain(|&c| c != chunk);
+        self.completed.insert(chunk);
+        Completion::Accepted
+    }
+
+    /// Return every chunk leased to `worker` to the pending queue — the
+    /// effect of its connection dropping. Returns the requeued chunks.
+    pub fn fail_worker(&mut self, worker: WorkerId) -> Vec<ChunkId> {
+        let lost: Vec<ChunkId> = self
+            .leased
+            .iter()
+            .filter(|(_, l)| l.worker == worker)
+            .map(|(&c, _)| c)
+            .collect();
+        self.requeue(&lost);
+        lost
+    }
+
+    /// Return every lease that expired at or before `now` to the pending
+    /// queue — the effect of missed heartbeats. Returns the requeued
+    /// chunks.
+    pub fn expire(&mut self, now: u64) -> Vec<ChunkId> {
+        let lost: Vec<ChunkId> = self
+            .leased
+            .iter()
+            .filter(|(_, l)| l.expires_at <= now)
+            .map(|(&c, _)| c)
+            .collect();
+        self.requeue(&lost);
+        lost
+    }
+
+    fn requeue(&mut self, chunks: &[ChunkId]) {
+        for &c in chunks {
+            self.leased.remove(&c);
+            self.pending.push_back(c);
+            self.reassigned += 1;
+        }
+    }
+
+    /// Whether every chunk has completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() as u32 == self.total
+    }
+
+    /// Chunks waiting for a lease.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Chunks currently leased out.
+    #[must_use]
+    pub fn leased_count(&self) -> usize {
+        self.leased.len()
+    }
+
+    /// Chunks completed so far.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Total chunks in the job.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// How many times a chunk went back to pending after a failure or
+    /// lease expiry.
+    #[must_use]
+    pub fn reassigned(&self) -> u64 {
+        self.reassigned
+    }
+
+    /// Internal consistency: the three states partition `0..total`.
+    /// Debug builds assert this after every transition in the tests.
+    #[must_use]
+    pub fn is_partition(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for &c in &self.pending {
+            if !seen.insert(c) {
+                return false;
+            }
+        }
+        for &c in self.leased.keys() {
+            if !seen.insert(c) {
+                return false;
+            }
+        }
+        for &c in &self.completed {
+            if !seen.insert(c) {
+                return false;
+            }
+        }
+        seen.len() as u32 == self.total && seen.iter().all(|&c| c < self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_completes_every_chunk_once() {
+        let mut t = LeaseTracker::new(4);
+        let mut done = 0;
+        while let Some(c) = t.lease(1, 0, 1000) {
+            assert_eq!(t.complete(c), Completion::Accepted);
+            done += 1;
+        }
+        assert_eq!(done, 4);
+        assert!(t.is_complete());
+        assert_eq!(t.reassigned(), 0);
+        assert!(t.is_partition());
+    }
+
+    #[test]
+    fn dead_worker_chunks_are_requeued_and_recoverable() {
+        let mut t = LeaseTracker::new(3);
+        let a = t.lease(1, 0, 1000).unwrap();
+        let b = t.lease(1, 0, 1000).unwrap();
+        let c = t.lease(2, 0, 1000).unwrap();
+        let mut lost = t.fail_worker(1);
+        lost.sort_unstable();
+        assert_eq!(lost, {
+            let mut v = vec![a, b];
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(t.reassigned(), 2);
+        assert_eq!(t.pending_count(), 2);
+        // Worker 2 finishes its chunk and then drains the requeued work.
+        assert_eq!(t.complete(c), Completion::Accepted);
+        while let Some(x) = t.lease(2, 1, 1000) {
+            assert_eq!(t.complete(x), Completion::Accepted);
+        }
+        assert!(t.is_complete());
+        assert!(t.is_partition());
+    }
+
+    #[test]
+    fn expiry_requeues_only_overdue_leases() {
+        let mut t = LeaseTracker::new(2);
+        let a = t.lease(1, 0, 100).unwrap();
+        let b = t.lease(2, 0, 500).unwrap();
+        assert!(t.expire(50).is_empty());
+        assert_eq!(t.expire(100), vec![a]);
+        assert_eq!(t.leased_count(), 1);
+        // Renewal pushes worker 2's deadline out.
+        t.renew(2, 400, 500);
+        assert!(t.expire(600).is_empty());
+        assert_eq!(t.expire(900), vec![b]);
+        assert!(t.is_partition());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_completions_are_flagged() {
+        let mut t = LeaseTracker::new(1);
+        let a = t.lease(1, 0, 100).unwrap();
+        // Lease times out, chunk is reassigned to worker 2...
+        assert_eq!(t.expire(200), vec![a]);
+        let a2 = t.lease(2, 200, 100).unwrap();
+        assert_eq!(a2, a);
+        // ...worker 2 finishes, then worker 1's zombie result arrives.
+        assert_eq!(t.complete(a), Completion::Accepted);
+        assert_eq!(t.complete(a), Completion::Duplicate);
+        assert_eq!(t.complete(99), Completion::Unknown);
+        assert!(t.is_partition());
+    }
+
+    /// The satellite property test: drive the tracker with a random
+    /// interleaving of leases, completions, worker deaths, joins,
+    /// renewals, and clock-driven expiries. Whatever the order, the run
+    /// terminates with every chunk completed exactly once and the
+    /// three-state partition invariant intact.
+    #[test]
+    fn every_interleaving_completes_each_chunk_exactly_once() {
+        twocs_testkit::cases(128, |rng| {
+            let total = rng.u32_in(1..24);
+            let ttl = rng.u64_in(1..50);
+            let mut t = LeaseTracker::new(total);
+            let mut now = 0u64;
+            let mut workers: Vec<WorkerId> = (1..=rng.u64_in(1..5)).collect();
+            let mut next_worker = workers.len() as WorkerId + 1;
+            let mut accepted = std::collections::BTreeMap::<ChunkId, u32>::new();
+
+            let mut steps = 0u32;
+            while !t.is_complete() {
+                steps += 1;
+                assert!(steps < 100_000, "interleaving failed to converge");
+                now += rng.u64_in(0..20);
+                match rng.u32_in(0..10) {
+                    // Lease to a live worker (or revive the pool).
+                    0..=4 => {
+                        if workers.is_empty() {
+                            workers.push(next_worker);
+                            next_worker += 1;
+                        }
+                        let w = *rng.choose(&workers);
+                        let _ = t.lease(w, now, ttl);
+                    }
+                    // Complete a currently leased chunk...
+                    5 | 6 => {
+                        let leased: Vec<ChunkId> = t.leased.keys().copied().collect();
+                        if let Some(&c) = leased.first() {
+                            if t.complete(c) == Completion::Accepted {
+                                *accepted.entry(c).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    // ...or a random chunk id: duplicates of finished
+                    // chunks and bogus ids must be flagged, a pending
+                    // chunk's late result must be accepted.
+                    7 => {
+                        let c = rng.u32_in(0..total + 5);
+                        match t.complete(c) {
+                            Completion::Accepted => {
+                                *accepted.entry(c).or_insert(0) += 1;
+                            }
+                            Completion::Duplicate => assert!(accepted.contains_key(&c)),
+                            Completion::Unknown => assert!(c >= total),
+                        }
+                    }
+                    // A worker dies; a fresh one joins to replace it.
+                    8 => {
+                        if let Some(i) =
+                            (!workers.is_empty()).then(|| rng.usize_in(0..workers.len()))
+                        {
+                            let dead = workers.swap_remove(i);
+                            let lost = t.fail_worker(dead);
+                            assert!(lost.iter().all(|&c| !t.completed.contains(&c)));
+                            workers.push(next_worker);
+                            next_worker += 1;
+                        }
+                    }
+                    // Heartbeats renew, silence expires.
+                    _ => {
+                        if rng.bool() {
+                            if let Some(&w) = workers.first() {
+                                t.renew(w, now, ttl);
+                            }
+                        } else {
+                            let _ = t.expire(now);
+                        }
+                    }
+                }
+                assert!(t.is_partition(), "partition broken at now={now}");
+            }
+
+            assert_eq!(accepted.len() as u32, total, "every chunk completed");
+            assert!(
+                accepted.values().all(|&n| n == 1),
+                "no chunk accepted twice"
+            );
+            assert!(accepted.keys().all(|&c| c < total));
+        });
+    }
+
+    #[test]
+    fn late_result_for_a_requeued_chunk_is_accepted_and_dequeued() {
+        let mut t = LeaseTracker::new(1);
+        let a = t.lease(1, 0, 100).unwrap();
+        assert_eq!(t.expire(100), vec![a]);
+        assert_eq!(t.pending_count(), 1);
+        // The original worker was merely slow; its result arrives while
+        // the chunk sits in the pending queue.
+        assert_eq!(t.complete(a), Completion::Accepted);
+        assert_eq!(t.pending_count(), 0, "pending copy must be dropped");
+        assert!(t.is_complete());
+        assert!(t.is_partition());
+    }
+}

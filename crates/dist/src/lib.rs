@@ -1,0 +1,63 @@
+//! # twocs-dist — distributed sweep fabric
+//!
+//! Shards a [`twocs_core::sweep::GridSweep`] across worker processes
+//! over TCP, with the **byte-identical output contract** intact: the
+//! coordinator merges chunk results back in deterministic grid order and
+//! every value travels as `f64::to_bits`, so the CSV a distributed sweep
+//! prints is identical to a single-process `--jobs N` run — including
+//! when a worker is killed mid-sweep and its chunks are reassigned.
+//!
+//! The crate is std-only, like the rest of the workspace: framing,
+//! leasing, heartbeats, and reassignment are built directly on
+//! `std::net` + threads.
+//!
+//! * [`proto`] — length-prefixed wire messages and the version handshake.
+//! * [`lease`] — the pure, clock-abstracted chunk lease state machine.
+//! * [`coordinator`] — [`Coordinator`]: listens for workers, leases
+//!   chunks, reassigns on failure, degrades to local evaluation when no
+//!   workers are connected. Implements
+//!   [`twocs_core::sweep::GridExecutor`], so `twocs serve` can plug it
+//!   into `/v1/sweep` unchanged.
+//! * [`worker`] — [`run_worker`]: the pull-loop the `twocs worker`
+//!   subcommand runs.
+//!
+//! ## Example (in-process pair)
+//!
+//! ```
+//! use twocs_core::GridSweep;
+//! use twocs_dist::coordinator::{Coordinator, CoordinatorConfig};
+//! use twocs_dist::worker::{run_worker, WorkerConfig};
+//! use twocs_hw::DeviceSpec;
+//!
+//! let coordinator = Coordinator::bind(CoordinatorConfig::default()).unwrap();
+//! let addr = coordinator.local_addr().to_string();
+//! let worker = std::thread::spawn(move || run_worker(&WorkerConfig::new(addr, 1)));
+//! assert_eq!(coordinator.wait_for_workers(1, std::time::Duration::from_secs(10)), 1);
+//!
+//! let sweep = GridSweep {
+//!     hs: vec![4096, 8192],
+//!     sls: vec![2048],
+//!     tps: vec![8],
+//!     ..GridSweep::default()
+//! };
+//! let device = DeviceSpec::mi210();
+//! let distributed = coordinator.run_sweep(&sweep, &device).unwrap().0;
+//! let local = sweep.run(&device, 1).0;
+//! assert_eq!(distributed.to_csv(), local.to_csv());
+//!
+//! drop(coordinator); // shutdown → workers get `Done`
+//! worker.join().unwrap().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod lease;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, DistSummary, LOCAL_WORKER};
+pub use lease::{ChunkId, Completion, LeaseTracker, WorkerId};
+pub use proto::{Message, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};

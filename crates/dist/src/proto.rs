@@ -1,0 +1,557 @@
+//! Wire protocol between a sweep coordinator and its workers.
+//!
+//! Framing is a 4-byte little-endian payload length followed by the
+//! payload; the payload is a 1-byte message tag followed by the message
+//! fields. All integers are little-endian, floats travel as `f64::to_bits`
+//! (so values merge back **bit-exact** — the basis of the byte-identical
+//! CSV guarantee), and strings are a `u32` byte length plus UTF-8 bytes.
+//!
+//! The first exchange on every connection is a version handshake:
+//! [`Message::Hello`] (worker → coordinator) answered by
+//! [`Message::Welcome`] or [`Message::Reject`]. Everything after is a
+//! worker-driven pull loop: `Ready` → `Lease`/`Wait`/`Done`, compute,
+//! `ChunkResult`, repeat — with `Heartbeat` frames interleaved from a
+//! side thread so the coordinator can tell a slow worker from a dead one.
+//!
+//! Every encode/decode is exercised by a round-trip property test, and
+//! decoding is strict: trailing bytes, truncated fields, unknown tags,
+//! and over-limit frames are all `InvalidData` errors rather than
+//! best-effort guesses.
+
+use std::io::{self, Read, Write};
+
+use twocs_core::serialized::Method;
+use twocs_core::sweep::GridPoint;
+
+/// Protocol version; bumped on any incompatible wire change. A
+/// coordinator rejects workers that greet with a different version, so a
+/// stale binary fails loudly at handshake instead of corrupting a sweep.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload, defending both sides against a
+/// corrupt or hostile peer declaring a multi-gigabyte length. Generous:
+/// the largest legitimate frame (a lease for a serve-capped 4096-point
+/// grid) is under 256 KiB.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// One protocol message. See the module docs for the exchange sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → coordinator: version handshake opener.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Coordinator → worker: handshake accepted.
+    Welcome {
+        /// The coordinator's [`PROTOCOL_VERSION`] (equal to the worker's).
+        version: u32,
+        /// Coordinator-assigned worker id, used in logs and lease
+        /// bookkeeping.
+        worker_id: u64,
+        /// How often the worker should send [`Message::Heartbeat`], in
+        /// milliseconds. The coordinator treats ~3 missed beats as death.
+        heartbeat_ms: u32,
+    },
+    /// Coordinator → worker: handshake refused (version mismatch, shutdown).
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Worker → coordinator: idle and requesting work.
+    Ready,
+    /// Coordinator → worker: evaluate one chunk of the grid.
+    Lease {
+        /// Sweep job id (guards against results from a previous sweep).
+        job: u64,
+        /// Chunk id within the job.
+        chunk: u32,
+        /// Catalog name of the **base** device (per-point flop-vs-bw
+        /// evolution happens worker-side, inside `eval_grid_point`).
+        device: String,
+        /// Fingerprint of the base device; the worker verifies its
+        /// catalog copy matches before computing.
+        device_fingerprint: u64,
+        /// Sweep batch size.
+        batch: u64,
+        /// Serialized-fraction evaluation method.
+        method: Method,
+        /// The chunk's grid points, in grid order.
+        points: Vec<GridPoint>,
+    },
+    /// Coordinator → worker: no work right now; re-send `Ready` shortly.
+    Wait,
+    /// Coordinator → worker: the fabric is shutting down; exit cleanly.
+    Done,
+    /// Worker → coordinator: one evaluated chunk. `values[i]` pairs with
+    /// the lease's `points[i]`; `Err` carries a panic message for that
+    /// point (rendered as `error` cells, same as a local run).
+    ChunkResult {
+        /// Job id copied from the lease.
+        job: u64,
+        /// Chunk id copied from the lease.
+        chunk: u32,
+        /// Per-point `(serialized_pct, overlap_pct)` or panic message.
+        values: Vec<Result<(f64, f64), String>>,
+    },
+    /// Worker → coordinator: liveness signal while idle or mid-compute.
+    Heartbeat,
+    /// Worker → coordinator: cannot evaluate this lease (e.g. the device
+    /// is not in the worker's catalog). The coordinator requeues the
+    /// chunk and releases the worker.
+    Refuse {
+        /// Job id copied from the lease.
+        job: u64,
+        /// Chunk id copied from the lease.
+        chunk: u32,
+        /// Why the lease was refused.
+        reason: String,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_REJECT: u8 = 3;
+const TAG_READY: u8 = 4;
+const TAG_LEASE: u8 = 5;
+const TAG_WAIT: u8 = 6;
+const TAG_DONE: u8 = 7;
+const TAG_CHUNK_RESULT: u8 = 8;
+const TAG_HEARTBEAT: u8 = 9;
+const TAG_REFUSE: u8 = 10;
+
+fn method_to_wire(m: Method) -> u8 {
+    match m {
+        Method::Simulation => 0,
+        Method::Projection => 1,
+    }
+}
+
+fn method_from_wire(b: u8) -> io::Result<Method> {
+    match b {
+        0 => Ok(Method::Simulation),
+        1 => Ok(Method::Projection),
+        other => Err(bad(format!("unknown method byte {other}"))),
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---- encoding ----------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+impl Message {
+    /// Encode the message payload (tag + fields, no length prefix).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Message::Hello { version } => {
+                buf.push(TAG_HELLO);
+                put_u32(&mut buf, *version);
+            }
+            Message::Welcome {
+                version,
+                worker_id,
+                heartbeat_ms,
+            } => {
+                buf.push(TAG_WELCOME);
+                put_u32(&mut buf, *version);
+                put_u64(&mut buf, *worker_id);
+                put_u32(&mut buf, *heartbeat_ms);
+            }
+            Message::Reject { reason } => {
+                buf.push(TAG_REJECT);
+                put_str(&mut buf, reason);
+            }
+            Message::Ready => buf.push(TAG_READY),
+            Message::Lease {
+                job,
+                chunk,
+                device,
+                device_fingerprint,
+                batch,
+                method,
+                points,
+            } => {
+                buf.push(TAG_LEASE);
+                put_u64(&mut buf, *job);
+                put_u32(&mut buf, *chunk);
+                put_str(&mut buf, device);
+                put_u64(&mut buf, *device_fingerprint);
+                put_u64(&mut buf, *batch);
+                buf.push(method_to_wire(*method));
+                put_u32(&mut buf, points.len() as u32);
+                for p in points {
+                    put_u64(&mut buf, p.h);
+                    put_u64(&mut buf, p.sl);
+                    put_u64(&mut buf, p.tp);
+                    put_f64(&mut buf, p.ratio);
+                }
+            }
+            Message::Wait => buf.push(TAG_WAIT),
+            Message::Done => buf.push(TAG_DONE),
+            Message::ChunkResult { job, chunk, values } => {
+                buf.push(TAG_CHUNK_RESULT);
+                put_u64(&mut buf, *job);
+                put_u32(&mut buf, *chunk);
+                put_u32(&mut buf, values.len() as u32);
+                for v in values {
+                    match v {
+                        Ok((a, b)) => {
+                            buf.push(0);
+                            put_f64(&mut buf, *a);
+                            put_f64(&mut buf, *b);
+                        }
+                        Err(e) => {
+                            buf.push(1);
+                            put_str(&mut buf, e);
+                        }
+                    }
+                }
+            }
+            Message::Heartbeat => buf.push(TAG_HEARTBEAT),
+            Message::Refuse { job, chunk, reason } => {
+                buf.push(TAG_REFUSE);
+                put_u64(&mut buf, *job);
+                put_u32(&mut buf, *chunk);
+                put_str(&mut buf, reason);
+            }
+        }
+        buf
+    }
+
+    /// Decode one payload produced by [`Message::encode`]. Strict:
+    /// truncated fields, trailing bytes, and unknown tags are errors.
+    pub fn decode(payload: &[u8]) -> io::Result<Message> {
+        let mut r = Reader {
+            buf: payload,
+            at: 0,
+        };
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_HELLO => Message::Hello { version: r.u32()? },
+            TAG_WELCOME => Message::Welcome {
+                version: r.u32()?,
+                worker_id: r.u64()?,
+                heartbeat_ms: r.u32()?,
+            },
+            TAG_REJECT => Message::Reject {
+                reason: r.string()?,
+            },
+            TAG_READY => Message::Ready,
+            TAG_LEASE => {
+                let job = r.u64()?;
+                let chunk = r.u32()?;
+                let device = r.string()?;
+                let device_fingerprint = r.u64()?;
+                let batch = r.u64()?;
+                let method = method_from_wire(r.u8()?)?;
+                let n = r.len_prefix()?;
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    points.push(GridPoint {
+                        h: r.u64()?,
+                        sl: r.u64()?,
+                        tp: r.u64()?,
+                        ratio: f64::from_bits(r.u64()?),
+                    });
+                }
+                Message::Lease {
+                    job,
+                    chunk,
+                    device,
+                    device_fingerprint,
+                    batch,
+                    method,
+                    points,
+                }
+            }
+            TAG_WAIT => Message::Wait,
+            TAG_DONE => Message::Done,
+            TAG_CHUNK_RESULT => {
+                let job = r.u64()?;
+                let chunk = r.u32()?;
+                let n = r.len_prefix()?;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(match r.u8()? {
+                        0 => Ok((f64::from_bits(r.u64()?), f64::from_bits(r.u64()?))),
+                        1 => Err(r.string()?),
+                        other => return Err(bad(format!("unknown result tag {other}"))),
+                    });
+                }
+                Message::ChunkResult { job, chunk, values }
+            }
+            TAG_HEARTBEAT => Message::Heartbeat,
+            TAG_REFUSE => Message::Refuse {
+                job: r.u64()?,
+                chunk: r.u32()?,
+                reason: r.string()?,
+            },
+            other => return Err(bad(format!("unknown message tag {other}"))),
+        };
+        if r.at != payload.len() {
+            return Err(bad(format!(
+                "{} trailing bytes after message tag {tag}",
+                payload.len() - r.at
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated message"))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u32` element count, sanity-bounded by the remaining payload so
+    /// a corrupt count cannot trigger a huge allocation.
+    fn len_prefix(&mut self) -> io::Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.at {
+            return Err(bad(format!("element count {n} exceeds payload")));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let n = self.len_prefix()?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("invalid UTF-8 in string"))
+    }
+}
+
+// ---- framing -----------------------------------------------------------
+
+/// Write one length-prefixed frame; returns total bytes on the wire
+/// (callers feed this into the `dist.bytes_tx` counter).
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
+    let payload = msg.encode();
+    debug_assert!(payload.len() as u32 <= MAX_FRAME_LEN);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Read one length-prefixed frame; returns the message and total bytes
+/// read. Propagates the reader's timeout/EOF errors untouched so callers
+/// can distinguish a silent peer from a malformed one.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(Message, usize)> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(bad(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let msg = Message::decode(&payload)?;
+    Ok((msg, 4 + payload.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Message::Welcome {
+                version: PROTOCOL_VERSION,
+                worker_id: 7,
+                heartbeat_ms: 500,
+            },
+            Message::Reject {
+                reason: "version mismatch".to_owned(),
+            },
+            Message::Ready,
+            Message::Lease {
+                job: 3,
+                chunk: 11,
+                device: "MI210".to_owned(),
+                device_fingerprint: 0xDEAD_BEEF,
+                batch: 1,
+                method: Method::Projection,
+                points: vec![
+                    GridPoint {
+                        h: 4096,
+                        sl: 2048,
+                        tp: 16,
+                        ratio: 1.0,
+                    },
+                    GridPoint {
+                        h: 16_384,
+                        sl: 4096,
+                        tp: 64,
+                        ratio: 4.0,
+                    },
+                ],
+            },
+            Message::Wait,
+            Message::Done,
+            Message::ChunkResult {
+                job: 3,
+                chunk: 11,
+                values: vec![
+                    Ok((21.653_234, 47.25)),
+                    Err("point panicked: tp exceeds heads".to_owned()),
+                ],
+            },
+            Message::Heartbeat,
+            Message::Refuse {
+                job: 3,
+                chunk: 11,
+                reason: "unknown device `TPUv9`".to_owned(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in samples() {
+            let decoded = Message::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn float_values_round_trip_bit_exact() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, f64::NAN] {
+            let msg = Message::ChunkResult {
+                job: 0,
+                chunk: 0,
+                values: vec![Ok((v, -v))],
+            };
+            let Message::ChunkResult { values, .. } = Message::decode(&msg.encode()).unwrap()
+            else {
+                panic!("wrong variant");
+            };
+            let Ok((a, b)) = values[0] else {
+                panic!("wrong result arm")
+            };
+            assert_eq!(a.to_bits(), v.to_bits());
+            assert_eq!(b.to_bits(), (-v).to_bits());
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_over_a_byte_stream() {
+        let mut wire = Vec::new();
+        let mut written = 0;
+        for msg in samples() {
+            written += write_frame(&mut wire, &msg).unwrap();
+        }
+        assert_eq!(written, wire.len());
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut read_bytes = 0;
+        for expected in samples() {
+            let (msg, n) = read_frame(&mut cursor).unwrap();
+            assert_eq!(msg, expected);
+            read_bytes += n;
+        }
+        assert_eq!(read_bytes, written);
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let good = Message::Welcome {
+            version: 1,
+            worker_id: 2,
+            heartbeat_ms: 3,
+        }
+        .encode();
+        for cut in 1..good.len() {
+            assert!(
+                Message::decode(&good[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Message::decode(&trailing).is_err());
+        assert!(Message::decode(&[99]).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn oversized_frames_and_bogus_counts_are_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(read_frame(&mut std::io::Cursor::new(wire)).is_err());
+
+        // A ChunkResult claiming u32::MAX values with a tiny payload must
+        // fail fast instead of allocating.
+        let mut payload = vec![super::TAG_CHUNK_RESULT];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn decode_round_trip_property() {
+        twocs_testkit::cases(64, |rng| {
+            let n = rng.usize_in(0..20);
+            let values: Vec<Result<(f64, f64), String>> = rng.vec_of(n, |r| {
+                if r.bool() {
+                    Ok((r.f64_in(-1e6..1e6), r.f64_in(0.0..200.0)))
+                } else {
+                    Err(format!("case error {}", r.u64_in(0..1000)))
+                }
+            });
+            let msg = Message::ChunkResult {
+                job: rng.next_u64(),
+                chunk: rng.u32_in(0..10_000),
+                values,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        });
+    }
+}

@@ -1,0 +1,269 @@
+//! The sweep worker: connects to a coordinator, pulls chunk leases, and
+//! evaluates them with the same pure kernel ([`eval_grid_point`]) a
+//! local run uses — which is why distributed results merge byte-exactly.
+//!
+//! The protocol is worker-driven: the main loop sends `Ready`, the
+//! coordinator answers `Lease` (work), `Wait` (idle; ask again shortly),
+//! or `Done` (exit). A side thread sends `Heartbeat` at the cadence the
+//! coordinator requested in `Welcome`, sharing the write half behind a
+//! mutex, so a slow chunk does not read as a dead worker.
+
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+use twocs_core::sweep::{eval_grid_point, set_parallelism};
+use twocs_hw::DeviceSpec;
+
+/// Test hook: per-chunk artificial delay in milliseconds, read from the
+/// environment once at startup. The CI worker-kill smoke test uses this
+/// to make "a worker dies mid-sweep while holding a lease" land
+/// deterministically instead of racing a sub-millisecond evaluation.
+pub const CHUNK_DELAY_ENV: &str = "TWOCS_DIST_CHUNK_DELAY_MS";
+
+/// Tuning knobs for [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address, e.g. `127.0.0.1:7070`.
+    pub connect: String,
+    /// Thread budget for evaluating a chunk's points.
+    pub jobs: usize,
+    /// Idle backoff after a `Wait` before re-sending `Ready`.
+    pub idle_backoff: Duration,
+}
+
+impl WorkerConfig {
+    /// A worker config for `connect` with `jobs` evaluation threads.
+    #[must_use]
+    pub fn new(connect: impl Into<String>, jobs: usize) -> Self {
+        Self {
+            connect: connect.into(),
+            jobs: jobs.max(1),
+            idle_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What one worker session did, for the stderr summary.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Coordinator-assigned worker id.
+    pub worker_id: u64,
+    /// Chunks evaluated and reported.
+    pub chunks: u64,
+    /// Grid points evaluated.
+    pub points: u64,
+    /// Leases refused (device not resolvable on this worker).
+    pub refused: u64,
+    /// Protocol bytes sent.
+    pub bytes_tx: u64,
+    /// Protocol bytes received.
+    pub bytes_rx: u64,
+    /// Time spent evaluating chunks.
+    pub busy: Duration,
+}
+
+impl std::fmt::Display for WorkerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {}: {} chunk(s), {} point(s), {} refused, busy {:.1?}, wire {} B out / {} B in",
+            self.worker_id,
+            self.chunks,
+            self.points,
+            self.refused,
+            self.busy,
+            self.bytes_tx,
+            self.bytes_rx,
+        )
+    }
+}
+
+/// The write half shared between the main loop and the heartbeat thread.
+struct Writer {
+    stream: Mutex<TcpStream>,
+    bytes_tx: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Writer {
+    fn send(&self, msg: &Message) -> std::io::Result<()> {
+        let mut stream = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        let n = write_frame(&mut *stream, msg)?;
+        self.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+        twocs_obs::metrics::global()
+            .counter("dist.bytes_tx")
+            .add(n as u64);
+        Ok(())
+    }
+}
+
+/// Connect to a coordinator and serve leases until it says `Done`, the
+/// connection drops, or a lease must be refused. Returns a session
+/// report, or an error string suitable for the CLI (handshake rejection,
+/// connect failure, protocol violation).
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
+    let metrics = twocs_obs::metrics::global();
+    let _span = twocs_obs::span(&format!("worker {}", cfg.connect), "dist");
+    let chunk_delay = std::env::var(CHUNK_DELAY_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    let stream = TcpStream::connect(&cfg.connect)
+        .map_err(|e| format!("connect to coordinator {}: {e}", cfg.connect))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream
+        .try_clone()
+        .map_err(|e| format!("clone coordinator socket: {e}"))?;
+    let writer = Arc::new(Writer {
+        stream: Mutex::new(stream),
+        bytes_tx: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let mut bytes_rx = 0u64;
+    let mut recv = |reader: &mut TcpStream| -> Result<Message, String> {
+        let (msg, n) = read_frame(reader).map_err(|e| format!("coordinator read: {e}"))?;
+        bytes_rx += n as u64;
+        metrics.counter("dist.bytes_rx").add(n as u64);
+        Ok(msg)
+    };
+
+    // Handshake.
+    writer
+        .send(&Message::Hello {
+            version: PROTOCOL_VERSION,
+        })
+        .map_err(|e| format!("coordinator write: {e}"))?;
+    let (worker_id, heartbeat) = match recv(&mut reader)? {
+        Message::Welcome {
+            version: PROTOCOL_VERSION,
+            worker_id,
+            heartbeat_ms,
+        } => (worker_id, Duration::from_millis(u64::from(heartbeat_ms))),
+        Message::Welcome { version, .. } => {
+            return Err(format!(
+                "coordinator accepted v{version} but this worker speaks v{PROTOCOL_VERSION}"
+            ));
+        }
+        Message::Reject { reason } => return Err(format!("coordinator rejected worker: {reason}")),
+        other => return Err(format!("unexpected handshake reply: {other:?}")),
+    };
+    metrics.counter("dist.worker_sessions").inc();
+
+    // Heartbeat thread: liveness while a chunk computes, and while idle.
+    let hb_writer = Arc::clone(&writer);
+    let heartbeat_thread = std::thread::Builder::new()
+        .name("dist-heartbeat".to_owned())
+        .spawn(move || {
+            let period = heartbeat.max(Duration::from_millis(1));
+            while !hb_writer.stop.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                if hb_writer.stop.load(Ordering::Relaxed)
+                    || hb_writer.send(&Message::Heartbeat).is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .map_err(|e| format!("spawn heartbeat thread: {e}"))?;
+
+    let mut report = WorkerReport {
+        worker_id,
+        chunks: 0,
+        points: 0,
+        refused: 0,
+        bytes_tx: 0,
+        bytes_rx: 0,
+        busy: Duration::ZERO,
+    };
+    set_parallelism(cfg.jobs);
+
+    let outcome = loop {
+        if let Err(e) = writer.send(&Message::Ready) {
+            break Err(format!("coordinator write: {e}"));
+        }
+        // Our own heartbeats never echo back; anything read here is a
+        // coordinator directive.
+        match recv(&mut reader) {
+            Ok(Message::Wait) => {
+                std::thread::sleep(cfg.idle_backoff);
+            }
+            Ok(Message::Done) => break Ok(()),
+            Ok(Message::Lease {
+                job,
+                chunk,
+                device,
+                device_fingerprint,
+                batch,
+                method,
+                points,
+            }) => {
+                let Some(dev) = resolve_device(&device, device_fingerprint) else {
+                    report.refused += 1;
+                    metrics.counter("dist.leases_refused").inc();
+                    let refuse = Message::Refuse {
+                        job,
+                        chunk,
+                        reason: format!("device `{device}` not in this worker's catalog"),
+                    };
+                    if let Err(e) = writer.send(&refuse) {
+                        break Err(format!("coordinator write: {e}"));
+                    }
+                    continue;
+                };
+                let _span = twocs_obs::span(&format!("evaluate chunk {chunk}"), "dist");
+                let t0 = Instant::now();
+                if let Some(delay) = chunk_delay {
+                    std::thread::sleep(delay);
+                }
+                let values: Vec<Result<(f64, f64), String>> = points
+                    .iter()
+                    .map(|&p| {
+                        catch_unwind(AssertUnwindSafe(|| eval_grid_point(&dev, p, batch, method)))
+                            .map_err(|payload| {
+                                payload
+                                    .downcast_ref::<&str>()
+                                    .map(ToString::to_string)
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "grid point panicked".to_owned())
+                            })
+                    })
+                    .collect();
+                report.busy += t0.elapsed();
+                report.chunks += 1;
+                report.points += points.len() as u64;
+                metrics.counter("dist.chunks_evaluated").inc();
+                let result = Message::ChunkResult { job, chunk, values };
+                if let Err(e) = writer.send(&result) {
+                    break Err(format!("coordinator write: {e}"));
+                }
+            }
+            Ok(other) => break Err(format!("unexpected coordinator message: {other:?}")),
+            Err(e) => break Err(e),
+        }
+    };
+
+    writer.stop.store(true, Ordering::SeqCst);
+    let _ = writer
+        .stream
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .shutdown(std::net::Shutdown::Both);
+    let _ = heartbeat_thread.join();
+    report.bytes_tx = writer.bytes_tx.load(Ordering::Relaxed);
+    report.bytes_rx = bytes_rx;
+    outcome.map(|()| report)
+}
+
+/// Look up `name` in the device catalog and verify its fingerprint
+/// matches the coordinator's, so both sides are provably evaluating the
+/// same hardware model.
+fn resolve_device(name: &str, fingerprint: u64) -> Option<DeviceSpec> {
+    DeviceSpec::catalog()
+        .into_iter()
+        .find(|d| d.name() == name && d.fingerprint() == fingerprint)
+}

@@ -1,0 +1,260 @@
+//! End-to-end tests for the distributed sweep fabric: a real TCP
+//! coordinator with in-process workers, exercising the byte-identity
+//! contract, mid-sweep worker death, late joins, the no-worker degrade
+//! path, and the version handshake.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use twocs_core::GridSweep;
+use twocs_dist::coordinator::{Coordinator, CoordinatorConfig};
+use twocs_dist::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+use twocs_dist::worker::{run_worker, WorkerConfig};
+use twocs_hw::DeviceSpec;
+
+fn small_sweep() -> GridSweep {
+    GridSweep {
+        hs: vec![4096, 16_384],
+        sls: vec![2048],
+        tps: vec![16, 64],
+        flop_vs_bw: vec![1.0, 4.0],
+        ..GridSweep::default()
+    }
+}
+
+fn bind(chunk_size: usize) -> Coordinator {
+    Coordinator::bind(CoordinatorConfig {
+        chunk_size,
+        ..CoordinatorConfig::default()
+    })
+    .expect("bind ephemeral coordinator port")
+}
+
+fn spawn_worker(addr: String) -> std::thread::JoinHandle<Result<(), String>> {
+    std::thread::spawn(move || run_worker(&WorkerConfig::new(addr, 1)).map(|_| ()))
+}
+
+/// The tentpole acceptance: a two-worker distributed run produces a CSV
+/// byte-identical to the local `--jobs 2` run.
+#[test]
+fn two_worker_sweep_is_byte_identical_to_local() {
+    let sweep = small_sweep();
+    let device = DeviceSpec::mi210();
+    let local = sweep.run(&device, 2).0.to_csv();
+
+    let coordinator = bind(2);
+    let addr = coordinator.local_addr().to_string();
+    let workers: Vec<_> = (0..2).map(|_| spawn_worker(addr.clone())).collect();
+    assert_eq!(
+        coordinator.wait_for_workers(2, Duration::from_secs(10)),
+        2,
+        "both workers registered"
+    );
+
+    let (table, summary) = coordinator.run_sweep(&sweep, &device).expect("sweep runs");
+    assert_eq!(table.to_csv(), local);
+    assert_eq!(summary.points, sweep.points().len());
+    assert!(summary.workers_seen >= 2);
+
+    coordinator.shutdown();
+    for w in workers {
+        w.join().unwrap().expect("worker exits cleanly on Done");
+    }
+}
+
+/// A raw protocol client that takes a lease and silently drops the
+/// connection mid-sweep. The coordinator must requeue its chunk and the
+/// output must still be byte-identical — the worker-kill acceptance.
+#[test]
+fn worker_death_mid_sweep_reassigns_its_chunks() {
+    let sweep = small_sweep();
+    let device = DeviceSpec::mi210();
+    let local = sweep.run(&device, 1).0.to_csv();
+
+    let coordinator = bind(2);
+    let addr = coordinator.local_addr();
+
+    // Victim: handshake, ask for work, receive a lease, die holding it.
+    let victim = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).expect("victim connects");
+        write_frame(
+            &mut conn,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let (welcome, _) = read_frame(&mut conn).unwrap();
+        assert!(matches!(welcome, Message::Welcome { .. }));
+        write_frame(&mut conn, &Message::Ready).unwrap();
+        loop {
+            match read_frame(&mut conn).unwrap().0 {
+                Message::Lease { .. } => break, // holding a lease: die now
+                Message::Wait => write_frame(&mut conn, &Message::Ready).map(|_| ()).unwrap(),
+                other => panic!("unexpected message before lease: {other:?}"),
+            }
+        }
+        drop(conn);
+    });
+    assert_eq!(coordinator.wait_for_workers(1, Duration::from_secs(10)), 1);
+
+    let (table, summary) = coordinator.run_sweep(&sweep, &device).expect("sweep runs");
+    victim.join().unwrap();
+    assert_eq!(table.to_csv(), local, "byte-identical despite the death");
+    assert!(
+        summary.reassigned >= 1,
+        "the dead client's chunk was requeued (reassigned = {})",
+        summary.reassigned
+    );
+}
+
+/// With no workers at all, the coordinator degrades to local evaluation
+/// and still matches the local run — the `--min-workers` timeout path.
+#[test]
+fn no_workers_degrades_to_local_evaluation() {
+    let sweep = small_sweep();
+    let device = DeviceSpec::mi210();
+    let local = sweep.run(&device, 1).0.to_csv();
+
+    let coordinator = bind(3);
+    assert_eq!(
+        coordinator.wait_for_workers(1, Duration::from_millis(100)),
+        0
+    );
+    let (table, summary) = coordinator.run_sweep(&sweep, &device).expect("sweep runs");
+    assert_eq!(table.to_csv(), local);
+    assert_eq!(summary.workers_seen, 0);
+    assert!(summary
+        .per_worker
+        .iter()
+        .all(|&(id, _, _)| id == twocs_dist::LOCAL_WORKER));
+}
+
+/// A worker that joins mid-sweep pulls leases immediately. A raw
+/// protocol client pins the sweep in flight by sitting on one lease, so
+/// the late join deterministically lands mid-sweep; when the client
+/// finally drops, its chunk is requeued and the late worker (not the
+/// local drain — the fabric still has a connection) finishes the job.
+#[test]
+fn late_joining_worker_picks_up_chunks() {
+    let sweep = small_sweep();
+    let device = DeviceSpec::mi210();
+    let local = sweep.run(&device, 1).0.to_csv();
+
+    let coordinator = bind(1);
+    let addr = coordinator.local_addr();
+
+    // Lease-holder: grab one chunk and sit on it well past the late
+    // worker's join, then die without completing it.
+    let holder = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).expect("holder connects");
+        write_frame(
+            &mut conn,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let (welcome, _) = read_frame(&mut conn).unwrap();
+        assert!(matches!(welcome, Message::Welcome { .. }));
+        write_frame(&mut conn, &Message::Ready).unwrap();
+        loop {
+            match read_frame(&mut conn).unwrap().0 {
+                Message::Lease { .. } => break,
+                Message::Wait => write_frame(&mut conn, &Message::Ready).map(|_| ()).unwrap(),
+                other => panic!("unexpected message before lease: {other:?}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(500));
+        drop(conn);
+    });
+    assert_eq!(coordinator.wait_for_workers(1, Duration::from_secs(10)), 1);
+
+    let submit = {
+        let sweep = sweep.clone();
+        let device = device.clone();
+        std::thread::spawn(move || {
+            let out = coordinator.run_sweep(&sweep, &device);
+            (out, coordinator)
+        })
+    };
+    // Join while the holder pins the sweep in flight.
+    std::thread::sleep(Duration::from_millis(100));
+    let worker = spawn_worker(addr.to_string());
+
+    let (out, coordinator) = submit.join().unwrap();
+    holder.join().unwrap();
+    let (table, summary) = out.expect("sweep runs");
+    assert_eq!(table.to_csv(), local);
+    assert!(summary.workers_seen >= 2, "holder + late worker registered");
+    assert!(
+        summary.reassigned >= 1,
+        "the holder's abandoned chunk was requeued"
+    );
+    let late_worker_chunks: u64 = summary
+        .per_worker
+        .iter()
+        .filter(|&&(id, _, _)| id != twocs_dist::LOCAL_WORKER)
+        .map(|&(_, chunks, _)| chunks)
+        .sum();
+    assert!(
+        late_worker_chunks > 0,
+        "the late worker evaluated chunks: {:?}",
+        summary.per_worker
+    );
+    coordinator.shutdown();
+    worker.join().unwrap().expect("late worker exits on Done");
+}
+
+/// A worker speaking the wrong protocol version is rejected at
+/// handshake with a reason, and never affects the fabric.
+#[test]
+fn version_mismatch_is_rejected_at_handshake() {
+    let coordinator = bind(4);
+    let mut conn = TcpStream::connect(coordinator.local_addr()).expect("connect");
+    write_frame(
+        &mut conn,
+        &Message::Hello {
+            version: PROTOCOL_VERSION + 1,
+        },
+    )
+    .unwrap();
+    let (reply, _) = read_frame(&mut conn).unwrap();
+    let Message::Reject { reason } = reply else {
+        panic!("expected Reject, got {reply:?}");
+    };
+    assert!(
+        reason.contains("version"),
+        "reason names the mismatch: {reason}"
+    );
+    assert_eq!(coordinator.worker_count(), 0);
+}
+
+/// Back-to-back sweeps through one fabric stay deterministic: job ids
+/// advance, results never bleed across jobs.
+#[test]
+fn consecutive_sweeps_on_one_fabric_are_independent() {
+    let device = DeviceSpec::mi210();
+    let coordinator = bind(2);
+    let addr = coordinator.local_addr().to_string();
+    let worker = spawn_worker(addr);
+    assert_eq!(coordinator.wait_for_workers(1, Duration::from_secs(10)), 1);
+
+    let first = small_sweep();
+    let second = GridSweep {
+        hs: vec![8192],
+        sls: vec![4096],
+        tps: vec![64],
+        flop_vs_bw: vec![1.0, 2.0],
+        ..GridSweep::default()
+    };
+    let (t1, _) = coordinator.run_sweep(&first, &device).expect("first sweep");
+    let (t2, _) = coordinator
+        .run_sweep(&second, &device)
+        .expect("second sweep");
+    assert_eq!(t1.to_csv(), first.run(&device, 1).0.to_csv());
+    assert_eq!(t2.to_csv(), second.run(&device, 1).0.to_csv());
+
+    coordinator.shutdown();
+    worker.join().unwrap().expect("worker exits on Done");
+}

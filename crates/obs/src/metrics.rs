@@ -33,6 +33,12 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Add a wall-time duration as whole microseconds (saturating), the
+    /// convention for `*_us` busy/latency counters throughout the stack.
+    pub fn add_duration_us(&self, d: std::time::Duration) {
+        self.add(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
@@ -118,6 +124,12 @@ impl Histogram {
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
         inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a wall-time duration as whole microseconds (saturating),
+    /// the convention for `*_us` latency histograms throughout the stack.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
     }
 
     /// Number of samples.

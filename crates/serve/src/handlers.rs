@@ -24,7 +24,7 @@ use twocs_obs::chrome::escape_json;
 use twocs_transformer::ParallelConfig;
 
 /// Handler-level limits and switches, set by the server configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct HandlerConfig {
     /// Maximum grid points one sweep request may evaluate (`400` beyond).
     pub max_grid_points: usize,
@@ -33,6 +33,29 @@ pub struct HandlerConfig {
     /// Whether `/v1/debug/sleep` is enabled (tests and backpressure
     /// drills only).
     pub enable_debug: bool,
+    /// Pluggable sweep evaluation substrate for `/v1/sweep` and
+    /// `/v1/serialized` (e.g. the distributed coordinator behind
+    /// `twocs serve --listen`). `None` evaluates in-process with the
+    /// request's `jobs`. Either way the CSV body is byte-identical —
+    /// that is the executor contract.
+    pub executor: Option<std::sync::Arc<dyn twocs_core::sweep::GridExecutor>>,
+}
+
+impl std::fmt::Debug for HandlerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandlerConfig")
+            .field("max_grid_points", &self.max_grid_points)
+            .field("max_request_jobs", &self.max_request_jobs)
+            .field("enable_debug", &self.enable_debug)
+            .field(
+                "executor",
+                &self
+                    .executor
+                    .as_deref()
+                    .map(twocs_core::sweep::GridExecutor::describe),
+            )
+            .finish()
+    }
 }
 
 impl Default for HandlerConfig {
@@ -41,6 +64,7 @@ impl Default for HandlerConfig {
             max_grid_points: 4096,
             max_request_jobs: 8,
             enable_debug: false,
+            executor: None,
         }
     }
 }
@@ -169,7 +193,20 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         .unwrap_or(1)
         .max(1)
         .min(cfg.max_request_jobs as u64) as usize;
-    let (table, _summary) = grid.run(&DeviceSpec::mi210(), jobs);
+    let table = match &cfg.executor {
+        Some(executor) => match grid.run_with(&DeviceSpec::mi210(), executor.as_ref()) {
+            Ok(table) => table,
+            // An executor failure is the server's problem, not the
+            // client's: answer 500, unlike the validation 400s above.
+            Err(e) => {
+                return Ok(Response::error(
+                    500,
+                    &format!("sweep executor `{}` failed: {e}", executor.describe()),
+                ));
+            }
+        },
+        None => grid.run(&DeviceSpec::mi210(), jobs).0,
+    };
     Ok(match format {
         // `println!` on the CLI appends one newline after `to_csv()`.
         Format::Csv => Response::csv(200, format!("{}\n", table.to_csv())),

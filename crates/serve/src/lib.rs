@@ -223,7 +223,7 @@ fn handle_connection(mut conn: TcpStream, config: &ServerConfig) {
     let _ = response.write_to(&mut conn);
     metrics
         .histogram("serve.request_us")
-        .observe(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        .observe_duration(start.elapsed());
 }
 
 /// Tell an over-queue client to back off.

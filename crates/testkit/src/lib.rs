@@ -108,6 +108,25 @@ impl Rng {
         self.next_u64() & 1 == 1
     }
 
+    /// Fisher–Yates shuffle of `slice` in place. Used by interleaving
+    /// property tests (e.g. the distributed lease state machine) to
+    /// explore event orders reproducibly.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.usize_in(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen reference into `slice`.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "cannot choose from an empty slice");
+        &slice[self.usize_in(0..slice.len())]
+    }
+
     /// A vector of `len` values drawn by `f`.
     pub fn vec_of<T>(&mut self, len: usize, mut f: impl FnMut(&mut Self) -> T) -> Vec<T> {
         (0..len).map(|_| f(self)).collect()
@@ -201,6 +220,32 @@ mod tests {
         cases(5, |rng| from_cases.push(rng.next_u64()));
         for (i, expect) in from_cases.iter().enumerate() {
             replay(i, |rng| assert_eq!(rng.next_u64(), *expect));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_without_losing_elements() {
+        let mut rng = Rng::new(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        // Same seed, same permutation.
+        let mut rng2 = Rng::new(5);
+        let mut v2: Vec<u32> = (0..32).collect();
+        rng2.shuffle(&mut v2);
+        assert_eq!(v, v2);
+        // And it is not (always) the identity.
+        assert_ne!(v, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = Rng::new(9);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(rng.choose(&items)));
         }
     }
 

@@ -35,7 +35,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -106,7 +106,13 @@ fn main() -> ExitCode {
                 return usage();
             };
             let csv = args.iter().any(|a| a == "--csv");
-            let jobs = flag(&args, "--jobs").unwrap_or(1) as usize;
+            let jobs = match jobs_flag(&args) {
+                Ok(jobs) => jobs.unwrap_or(1),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
             let device = DeviceSpec::mi210();
             let defs: Vec<_> = if id == "all" {
                 experiments::all()
@@ -151,6 +157,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("worker") => match worker(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("analyze") => match analyze(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -174,6 +187,23 @@ fn flag(args: &[String], name: &str) -> Option<u64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// Strict `--jobs` parsing: absent → `None`; present it must be a
+/// positive integer (`--jobs 0` and garbage are usage errors instead of
+/// being silently defaulted).
+fn jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(None);
+    };
+    let raw = args
+        .get(i + 1)
+        .ok_or("--jobs requires a value (a positive thread count)")?;
+    raw.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .map(Some)
+        .ok_or_else(|| format!("--jobs {raw}: expected a positive thread count"))
 }
 
 fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -220,7 +250,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Some("proj") => serialized::Method::Projection,
         Some(other) => return Err(format!("unknown method `{other}` (sim|proj)").into()),
     };
-    let jobs = flag(args, "--jobs").unwrap_or(1) as usize;
+    let jobs = jobs_flag(args)?.unwrap_or(1);
     let csv = args.iter().any(|a| a == "--csv");
 
     if let Some(h) = grid.hs.iter().find(|&&h| h == 0 || h % 256 != 0) {
@@ -237,19 +267,78 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
     let device = DeviceSpec::mi210();
     let obs = ObsSession::from_args(args);
-    let (table, summary) = grid.run(&device, jobs);
+
+    // `--listen` turns this process into a sweep coordinator: workers
+    // (`twocs worker --connect`) pull chunk leases over TCP and the
+    // merged table is byte-identical to the local run below — the
+    // address line and distribution summary stay on stderr for exactly
+    // that reason.
+    let (table, failures) = if let Some(listen) = str_flag(args, "--listen") {
+        let min_workers = flag(args, "--min-workers").unwrap_or(0) as usize;
+        let min_workers_timeout = std::time::Duration::from_millis(
+            flag(args, "--min-workers-timeout-ms").unwrap_or(10_000),
+        );
+        let mut dist_cfg = twocs::dist::CoordinatorConfig {
+            listen: listen.to_owned(),
+            local_jobs: jobs,
+            ..twocs::dist::CoordinatorConfig::default()
+        };
+        if let Some(chunk) = flag(args, "--chunk") {
+            dist_cfg.chunk_size = chunk.max(1) as usize;
+        }
+        let coordinator = twocs::dist::Coordinator::bind(dist_cfg)
+            .map_err(|e| format!("cannot bind coordinator address `{listen}`: {e}"))?;
+        eprintln!(
+            "twocs sweep: coordinating on {} (workers: `twocs worker --connect {}`)",
+            coordinator.local_addr(),
+            coordinator.local_addr()
+        );
+        let present = coordinator.wait_for_workers(min_workers, min_workers_timeout);
+        if present < min_workers {
+            eprintln!(
+                "twocs sweep: {present}/{min_workers} worker(s) after {min_workers_timeout:?}; degrading to local evaluation"
+            );
+        }
+        let (table, dist_summary) = coordinator.run_sweep(&grid, &device)?;
+        eprintln!("{dist_summary}");
+        let failures = table
+            .rows
+            .iter()
+            .filter(|row| row.iter().any(|cell| cell == "error"))
+            .count();
+        (table, failures)
+    } else {
+        let (table, summary) = grid.run(&device, jobs);
+        let failures = summary.failures;
+        eprintln!("{summary}");
+        (table, failures)
+    };
+
     if csv {
         println!("{}", table.to_csv());
     } else {
         println!("{}", table.to_ascii());
     }
-    eprintln!("{summary}");
     obs.finish()?;
-    Ok(if summary.failures > 0 {
+    Ok(if failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `twocs worker`: connect to a sweep coordinator and evaluate chunk
+/// leases until it says `Done`. All chatter is on stderr; a worker never
+/// writes the sweep table.
+fn worker(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let connect = str_flag(args, "--connect").ok_or("--connect <host:port> is required")?;
+    let jobs = jobs_flag(args)?.unwrap_or(1);
+    let obs = ObsSession::from_args(args);
+    eprintln!("twocs worker: connecting to {connect}");
+    let report = twocs::dist::run_worker(&twocs::dist::WorkerConfig::new(connect, jobs))?;
+    eprintln!("{report}");
+    obs.finish()?;
+    Ok(())
 }
 
 /// `twocs serve`: run the HTTP query service until SIGINT/SIGTERM, then
@@ -261,8 +350,8 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(addr) = str_flag(args, "--addr") {
         config.addr = addr.to_owned();
     }
-    if let Some(jobs) = flag(args, "--jobs") {
-        config.jobs = jobs.max(1) as usize;
+    if let Some(jobs) = jobs_flag(args)? {
+        config.jobs = jobs;
     }
     if let Some(queue) = flag(args, "--queue") {
         config.queue = queue.max(1) as usize;
@@ -273,6 +362,33 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Debug endpoints (/v1/debug/sleep) are opt-in via environment, never
     // flags, so they cannot be enabled by a copy-pasted command line.
     config.handler.enable_debug = std::env::var("TWOCS_SERVE_DEBUG").as_deref() == Ok("1");
+
+    // `--listen` starts a sweep coordinator alongside the HTTP server
+    // and plugs it into `/v1/sweep`: requests are sharded across any
+    // connected `twocs worker` processes, with local evaluation as the
+    // no-worker fallback. Response bodies are byte-identical either way.
+    let coordinator = match str_flag(args, "--listen") {
+        Some(listen) => {
+            let dist_cfg = twocs::dist::CoordinatorConfig {
+                listen: listen.to_owned(),
+                local_jobs: config.jobs,
+                ..twocs::dist::CoordinatorConfig::default()
+            };
+            let coordinator = Arc::new(
+                twocs::dist::Coordinator::bind(dist_cfg)
+                    .map_err(|e| format!("cannot bind coordinator address `{listen}`: {e}"))?,
+            );
+            eprintln!(
+                "twocs serve: sweep coordinator on {} (workers: `twocs worker --connect {}`)",
+                coordinator.local_addr(),
+                coordinator.local_addr()
+            );
+            let executor: Arc<dyn twocs::analysis::sweep::GridExecutor> = coordinator.clone();
+            config.handler.executor = Some(executor);
+            Some(coordinator)
+        }
+        None => None,
+    };
     let jobs = config.jobs;
     let queue = config.queue;
 
@@ -290,6 +406,8 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "twocs serve: shut down cleanly; {} request(s) served, {} rejected with 503",
         stats.served, stats.rejected
     );
+    // Stops accepting workers and tells connected ones `Done`.
+    drop(coordinator);
     obs.finish()?;
     Ok(())
 }

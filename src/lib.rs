@@ -11,6 +11,8 @@
 //! * [`opmodel`] — the paper's operator-level projection methodology.
 //! * [`analysis`] — the Comp-vs-Comm analysis and experiment registry.
 //! * [`serve`] — the std-only HTTP/1.1 query service (`twocs serve`).
+//! * [`dist`] — the distributed sweep fabric (`twocs worker`,
+//!   `twocs sweep --listen`).
 //!
 //! ## Example
 //!
@@ -28,6 +30,7 @@
 
 pub use twocs_collectives as collectives;
 pub use twocs_core as analysis;
+pub use twocs_dist as dist;
 pub use twocs_hw as hw;
 pub use twocs_obs as obs;
 pub use twocs_opmodel as opmodel;

@@ -1,0 +1,72 @@
+//! CLI argument validation: `--jobs` must be a positive integer
+//! everywhere it is accepted. Historically `--jobs 0` and garbage values
+//! were silently swallowed (a zero-thread pool, or a fallback to the
+//! default); they are usage errors now.
+
+use std::process::{Command, Output};
+
+fn twocs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_twocs"))
+        .args(args)
+        .output()
+        .expect("twocs binary runs")
+}
+
+#[test]
+fn jobs_zero_is_rejected_with_a_usage_error() {
+    for cmd in [
+        vec!["run", "table2", "--jobs", "0"],
+        vec!["sweep", "--jobs", "0"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--jobs", "0"],
+        vec!["worker", "--connect", "127.0.0.1:1", "--jobs", "0"],
+    ] {
+        let out = twocs(&cmd);
+        assert!(!out.status.success(), "`twocs {}` must fail", cmd.join(" "));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--jobs 0") && stderr.contains("positive"),
+            "`twocs {}` stderr names the bad flag: {stderr}",
+            cmd.join(" ")
+        );
+        assert!(out.stdout.is_empty(), "no partial output on a usage error");
+    }
+}
+
+#[test]
+fn non_numeric_jobs_is_rejected() {
+    for bad in ["x", "-1", "1.5", ""] {
+        let out = twocs(&["sweep", "--jobs", bad]);
+        assert!(!out.status.success(), "--jobs {bad:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("positive"), "--jobs {bad:?}: {stderr}");
+    }
+}
+
+#[test]
+fn jobs_without_a_value_is_rejected() {
+    let out = twocs(&["sweep", "--jobs"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs requires a value"), "{stderr}");
+}
+
+#[test]
+fn valid_jobs_still_works() {
+    let out = twocs(&[
+        "sweep", "--csv", "--h", "4096", "--sl", "2048", "--tp", "16", "--jobs", "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty());
+}
+
+#[test]
+fn worker_requires_connect() {
+    let out = twocs(&["worker"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--connect"), "{stderr}");
+}
