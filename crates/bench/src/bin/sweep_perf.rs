@@ -1,0 +1,290 @@
+//! End-to-end sweep performance benchmark, emitting `BENCH_sweep.json`.
+//!
+//! Times the fig10-class projection grid (26 points after realism
+//! pruning) through every execution surface:
+//!
+//! * **cold / warm local sweeps** — `GridSweep::run_mode` under the
+//!   naive per-point planner and the factored per-axis planner, with
+//!   the global memo caches (`gemm_time`, collective `node_time`,
+//!   slack-ROI profiles) dropped before each cold sample;
+//! * **the serve path** — an in-process `GET /v1/sweep` through
+//!   `twocs_serve::handlers::handle`, once per planner;
+//! * **distributed-chunk evaluation** — `twocs_core::eval_chunk` over
+//!   the same grid split into lease-sized chunks, i.e. exactly what a
+//!   `twocs worker` computes per lease.
+//!
+//! Before timing anything it asserts the planner contract: the naive
+//! and factored CSV bodies must be byte-identical. The emitted JSON
+//! records per-benchmark mean/min/max nanoseconds plus the derived
+//! `warm_speedup_factored_vs_naive`, the number the CI smoke gate and
+//! README performance section quote.
+//!
+//! Usage: `sweep_perf [--out PATH] [--jobs N] [--smoke]`
+//! (`--smoke` collects fewer samples for CI; the JSON shape is
+//! unchanged.)
+
+use std::time::Duration;
+
+use twocs_bench::harness::Criterion;
+use twocs_core::serialized::Method;
+use twocs_core::sweep::{eval_chunk, GridSweep};
+use twocs_core::PlannerMode;
+use twocs_hw::DeviceSpec;
+use twocs_serve::handlers::{handle, HandlerConfig};
+use twocs_serve::http::Request;
+
+/// The fig10-class benchmark grid: the paper's studied hidden sizes and
+/// sequence lengths across the full TP ladder on today's hardware.
+fn bench_grid() -> GridSweep {
+    GridSweep {
+        hs: vec![4096, 16_384, 65_536],
+        sls: vec![2048, 4096],
+        tps: vec![4, 8, 16, 32, 64, 128, 256],
+        flop_vs_bw: vec![1.0],
+        batch: 1,
+        method: Method::Projection,
+    }
+}
+
+/// Drop every global memo cache so the next sweep is a true cold run.
+fn clear_caches() {
+    twocs_hw::cache::clear_gemm_time_cache();
+    twocs_collectives::clear_node_time_cache();
+    twocs_opmodel::clear_slack_roi_cache();
+}
+
+fn sweep_query(grid: &GridSweep, jobs: usize, planner: PlannerMode) -> String {
+    let join = |xs: &[u64]| {
+        xs.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "h={}&sl={}&tp={}&flop_vs_bw=1&method=proj&planner={planner}&jobs={jobs}&format=csv",
+        join(&grid.hs),
+        join(&grid.sls),
+        join(&grid.tps),
+    )
+}
+
+fn serve_once(cfg: &HandlerConfig, raw_query: &str) -> String {
+    let req = Request {
+        method: "GET".to_owned(),
+        path: "/v1/sweep".to_owned(),
+        raw_query: raw_query.to_owned(),
+    };
+    let resp = handle(&req, cfg);
+    assert_eq!(resp.status, 200, "/v1/sweep failed: {}", resp.body);
+    resp.body
+}
+
+#[derive(Debug)]
+struct Options {
+    out: String,
+    jobs: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_sweep.json".to_owned(),
+        jobs: 4,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                opts.out = args.next().ok_or("--out requires a path")?;
+            }
+            "--jobs" => {
+                let raw = args.next().ok_or("--jobs requires a value")?;
+                opts.jobs = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--jobs {raw}: expected a positive integer"))?;
+            }
+            "--smoke" => opts.smoke = true,
+            "--help" | "-h" => {
+                println!("usage: sweep_perf [--out PATH] [--jobs N] [--smoke]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Escape and serialize one benchmark result as a JSON object.
+fn result_json(r: &twocs_bench::harness::BenchResult) -> String {
+    format!(
+        "    {{\"group\": \"{}\", \"id\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+         \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+        twocs_obs::chrome::escape_json(r.group()),
+        twocs_obs::chrome::escape_json(r.id()),
+        r.samples(),
+        r.iters_per_sample(),
+        r.mean().as_nanos(),
+        r.min().as_nanos(),
+        r.max().as_nanos(),
+    )
+}
+
+fn mean_ns(c: &Criterion, group: &str, id: &str) -> u128 {
+    c.results()
+        .iter()
+        .find(|r| r.group() == group && r.id() == id)
+        .map(|r| r.mean().as_nanos())
+        .unwrap_or_else(|| panic!("benchmark {group}/{id} did not run"))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sweep_perf: {e}");
+            std::process::exit(2);
+        }
+    };
+    let grid = bench_grid();
+    let device = DeviceSpec::mi210();
+    let points = grid.points();
+    let jobs = opts.jobs;
+    eprintln!(
+        "sweep_perf: {} grid points, {jobs} worker thread(s){}",
+        points.len(),
+        if opts.smoke { ", smoke mode" } else { "" }
+    );
+
+    // The planner contract, checked before any timing: identical CSV
+    // bytes from the naive and factored paths, locally and over serve.
+    let naive_csv = grid.run_mode(&device, jobs, PlannerMode::Naive).0.to_csv();
+    let factored_csv = grid
+        .run_mode(&device, jobs, PlannerMode::Factored)
+        .0
+        .to_csv();
+    assert_eq!(
+        naive_csv, factored_csv,
+        "factored planner must be byte-identical to naive"
+    );
+    let cfg = HandlerConfig::default();
+    let serve_naive = serve_once(&cfg, &sweep_query(&grid, jobs, PlannerMode::Naive));
+    let serve_factored = serve_once(&cfg, &sweep_query(&grid, jobs, PlannerMode::Factored));
+    assert_eq!(
+        serve_naive, serve_factored,
+        "serve planner choice must not change the body"
+    );
+    assert_eq!(
+        serve_naive.trim_end(),
+        naive_csv.trim_end(),
+        "serve body must match the local CSV"
+    );
+    eprintln!("sweep_perf: byte-identity holds (local naive == local factored == serve)");
+
+    let (samples, budget) = if opts.smoke {
+        (3, Duration::from_millis(400))
+    } else {
+        (12, Duration::from_secs(4))
+    };
+
+    let mut c = Criterion::default();
+    {
+        let mut group = c.benchmark_group("sweep_cold");
+        group.sample_size(samples).measurement_time(budget);
+        for mode in [PlannerMode::Naive, PlannerMode::Factored] {
+            group.bench_function(mode.to_string(), |b| {
+                b.iter(|| {
+                    clear_caches();
+                    std::hint::black_box(grid.run_mode(&device, jobs, mode))
+                });
+            });
+        }
+        group.finish();
+    }
+    {
+        // Prewarm once; every sample below hits warm caches.
+        clear_caches();
+        let _ = grid.run_mode(&device, jobs, PlannerMode::Naive);
+        let mut group = c.benchmark_group("sweep_warm");
+        group.sample_size(samples).measurement_time(budget);
+        for mode in [PlannerMode::Naive, PlannerMode::Factored] {
+            group.bench_function(mode.to_string(), |b| {
+                b.iter(|| std::hint::black_box(grid.run_mode(&device, jobs, mode)));
+            });
+        }
+        group.finish();
+    }
+    {
+        let mut group = c.benchmark_group("serve_sweep");
+        group.sample_size(samples).measurement_time(budget);
+        for mode in [PlannerMode::Naive, PlannerMode::Factored] {
+            let query = sweep_query(&grid, jobs, mode);
+            group.bench_function(mode.to_string(), |b| {
+                b.iter(|| std::hint::black_box(serve_once(&cfg, &query)));
+            });
+        }
+        group.finish();
+    }
+    {
+        // Lease-sized chunks, evaluated back to back the way one
+        // distributed worker drains them.
+        let chunks = grid.chunks(8);
+        let mut group = c.benchmark_group("dist_chunks");
+        group.sample_size(samples).measurement_time(budget);
+        group.bench_function("eval_chunk", |b| {
+            b.iter(|| {
+                for chunk in &chunks {
+                    std::hint::black_box(eval_chunk(
+                        &device,
+                        &chunk.points,
+                        grid.batch,
+                        grid.method,
+                    ));
+                }
+            });
+        });
+        group.finish();
+    }
+    c.print_summary();
+
+    let warm_naive = mean_ns(&c, "sweep_warm", "naive");
+    let warm_factored = mean_ns(&c, "sweep_warm", "factored").max(1);
+    #[allow(clippy::cast_precision_loss)]
+    let speedup = warm_naive as f64 / warm_factored as f64;
+    eprintln!("sweep_perf: warm factored vs naive speedup = {speedup:.2}x");
+
+    let results: Vec<String> = c.results().iter().map(result_json).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_perf\",\n  \"grid\": {{\"points\": {}, \"h\": [{}], \
+         \"sl\": [{}], \"tp\": [{}], \"flop_vs_bw\": [1.0], \"batch\": {}, \"method\": \
+         \"projection\"}},\n  \"jobs\": {},\n  \"smoke\": {},\n  \
+         \"byte_identical_naive_factored\": true,\n  \"results\": [\n{}\n  ],\n  \
+         \"warm_speedup_factored_vs_naive\": {:.4}\n}}\n",
+        points.len(),
+        grid.hs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        grid.sls
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        grid.tps
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        grid.batch,
+        jobs,
+        opts.smoke,
+        results.join(",\n"),
+        speedup,
+    );
+    twocs_obs::json::validate(&json).expect("BENCH_sweep.json must be well-formed JSON");
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", opts.out));
+    eprintln!("sweep_perf: wrote {}", opts.out);
+}

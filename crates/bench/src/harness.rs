@@ -35,6 +35,14 @@ impl Criterion {
         }
     }
 
+    /// Every result collected so far, in run order. Bench binaries that
+    /// export machine-readable artifacts (e.g. `sweep_perf` writing
+    /// `BENCH_sweep.json`) read statistics from here after running.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
     /// Print a one-line-per-benchmark summary of everything run so far.
     pub fn print_summary(&self) {
         if self.results.is_empty() {
@@ -73,7 +81,7 @@ impl fmt::Display for BenchmarkId {
 
 /// One benchmark's collected timing statistics.
 #[derive(Debug, Clone)]
-struct BenchResult {
+pub struct BenchResult {
     group: String,
     id: String,
     samples: usize,
@@ -81,6 +89,50 @@ struct BenchResult {
     mean: Duration,
     min: Duration,
     max: Duration,
+}
+
+impl BenchResult {
+    /// Group name this benchmark ran under.
+    #[must_use]
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Benchmark id within the group.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Samples collected.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Iterations timed per sample.
+    #[must_use]
+    pub fn iters_per_sample(&self) -> u64 {
+        self.iters_per_sample
+    }
+
+    /// Mean per-iteration time.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        self.mean
+    }
+
+    /// Fastest sample's per-iteration time.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        self.min
+    }
+
+    /// Slowest sample's per-iteration time.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        self.max
+    }
 }
 
 impl fmt::Display for BenchResult {

@@ -52,6 +52,7 @@ pub mod evolution;
 pub mod experiments;
 pub mod inference;
 pub mod overlapped;
+pub mod planner;
 pub mod report;
 pub mod sensitivity;
 pub mod serialized;
@@ -61,6 +62,7 @@ pub mod trends;
 
 pub use algorithmic::AlgorithmicProfile;
 pub use experiments::{ExperimentDef, ExperimentOutput};
+pub use planner::{eval_chunk, FactoredPlan, PlannerMode};
 pub use report::{Figure, Series, Table};
 pub use sweep::{
     eval_grid_point, run_experiments, GridChunk, GridExecutor, GridPoint, GridSweep, LocalExecutor,

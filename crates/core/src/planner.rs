@@ -1,0 +1,401 @@
+//! Factored grid-sweep evaluation: precompute per-axis tables once,
+//! assemble each point from lookups.
+//!
+//! A [`GridSweep`](crate::sweep::GridSweep) is a cross product of axes,
+//! and under [`Method::Projection`] the per-point model is
+//! axis-separable: the projection baseline (one profiled layer plus the
+//! measured all-reduce curve, Eqs. 10–12) depends only on the evolved
+//! *device* — i.e. on the flop-vs-bw ratio axis — and the serialized
+//! all-reduce term depends only on `(H, SL)` activation bytes per
+//! device. The naive path rebuilds all of that from scratch for every
+//! point; [`FactoredPlan`] builds it once per distinct axis value and
+//! turns evaluation into `O(Σ axis sizes + points × combine)`, where the
+//! combine is the cheap scaling-law arithmetic.
+//!
+//! **Bit-identity is the contract**: the plan assembles each point from
+//! the *same* shared sub-expressions (`ProjectionModel::projected_compute`,
+//! `serialized_ar_time`, `ProjectedIteration::serialized_comm_fraction`,
+//! `overlap_pct`) the naive [`eval_grid_point`] path evaluates, so the
+//! two paths produce bit-equal `f64`s and byte-identical CSV on any
+//! grid. That is what lets local, serve, and distributed executors pick
+//! a planner freely without a protocol or output change.
+//!
+//! [`Method::Simulation`] runs the discrete-event engine per point —
+//! there is nothing axis-separable to hoist — so simulation grids (and
+//! malformed points that the naive path reports as per-point errors)
+//! fall back to naive evaluation; [`PlannerMode::Auto`] makes that
+//! decision per grid.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::overlapped::overlap_pct;
+use crate::serialized::{projection_baseline, sweep_hyper, Method};
+use crate::sweep::{eval_grid_point, GridPoint, PointResults};
+use twocs_hw::{DeviceSpec, HwEvolution};
+use twocs_opmodel::{ProjectedIteration, ProjectionModel};
+use twocs_transformer::{Hyperparams, ParallelConfig};
+
+/// Which evaluation path a sweep should take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// Factored evaluation where the grid supports it, naive otherwise —
+    /// the default: output is bit-identical either way, so this is
+    /// purely a performance decision.
+    #[default]
+    Auto,
+    /// Always evaluate each point with the full model ([`eval_grid_point`]).
+    Naive,
+    /// Factored evaluation; still falls back to naive on grids the
+    /// planner cannot factor (simulation method, malformed points).
+    Factored,
+}
+
+impl PlannerMode {
+    /// Build the factored plan this mode allows for `points`, or `None`
+    /// when the grid should be evaluated naively. A panic during plan
+    /// construction also falls back to naive, so planning can never make
+    /// a sweep fail that would have succeeded point-by-point.
+    #[must_use]
+    pub fn plan(
+        self,
+        device: &DeviceSpec,
+        points: &[GridPoint],
+        batch: u64,
+        method: Method,
+    ) -> Option<FactoredPlan> {
+        match self {
+            PlannerMode::Naive => None,
+            PlannerMode::Auto | PlannerMode::Factored => catch_unwind(AssertUnwindSafe(|| {
+                FactoredPlan::build(device, points, batch, method)
+            }))
+            .ok()
+            .flatten(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlannerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PlannerMode::Auto => "auto",
+            PlannerMode::Naive => "naive",
+            PlannerMode::Factored => "factored",
+        })
+    }
+}
+
+impl std::str::FromStr for PlannerMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(PlannerMode::Auto),
+            "naive" => Ok(PlannerMode::Naive),
+            "factored" => Ok(PlannerMode::Factored),
+            other => Err(format!(
+                "unknown planner `{other}` (expected auto, naive, or factored)"
+            )),
+        }
+    }
+}
+
+/// Per-axis tables for one point set: everything that does not vary with
+/// TP is built once per distinct axis value, and [`FactoredPlan::eval`]
+/// assembles each point from lookups plus the shared combine.
+#[derive(Debug, Clone)]
+pub struct FactoredPlan {
+    batch: u64,
+    /// The unevolved device the plan was built from, for the naive
+    /// fallback on points outside the plan's axes.
+    base_device: DeviceSpec,
+    /// Distinct flop-vs-bw ratios (by bit pattern), first-seen order.
+    ratio_idx: HashMap<u64, usize>,
+    /// Evolved device per ratio — `HwEvolution` applied exactly as
+    /// [`eval_grid_point`] does.
+    devices: Vec<DeviceSpec>,
+    /// One projection baseline per evolved device (the dominant
+    /// per-point cost of the naive path, hoisted to the ratio axis).
+    models: Vec<ProjectionModel>,
+    /// Distinct `(H, SL)` shapes, first-seen order.
+    shape_idx: HashMap<(u64, u64), usize>,
+    /// Sweep hyperparameters per shape.
+    hypers: Vec<Hyperparams>,
+    /// Serialized TP all-reduce time per `[shape][ratio]` — Eq. 12
+    /// priced once per activation size per device, reused across the
+    /// whole TP axis.
+    serialized_ar: Vec<Vec<f64>>,
+}
+
+impl FactoredPlan {
+    /// Build per-axis tables for `points`, or `None` if the point set
+    /// cannot be factored: the simulation method (the discrete-event
+    /// engine is evaluated whole, per point) or any point the naive path
+    /// would reject with a panic (the per-point `error` contract must be
+    /// preserved, so such grids run naively).
+    #[must_use]
+    pub fn build(
+        device: &DeviceSpec,
+        points: &[GridPoint],
+        batch: u64,
+        method: Method,
+    ) -> Option<Self> {
+        if method != Method::Projection || points.is_empty() {
+            return None;
+        }
+        let valid = points
+            .iter()
+            .all(|p| batch > 0 && p.h > 0 && p.h % 256 == 0 && p.sl > 0 && p.tp > 0);
+        if !valid {
+            return None;
+        }
+
+        let _span = twocs_obs::span("factored plan", "sweep");
+        let mut ratio_idx = HashMap::new();
+        let mut devices = Vec::new();
+        let mut models = Vec::new();
+        let mut shape_idx = HashMap::new();
+        let mut hypers: Vec<Hyperparams> = Vec::new();
+        for p in points {
+            ratio_idx.entry(p.ratio.to_bits()).or_insert_with(|| {
+                // Mirror eval_grid_point: evolve only for ratios above 1.
+                let dev = if p.ratio > 1.0 {
+                    HwEvolution::flop_vs_bw(p.ratio).apply(device)
+                } else {
+                    device.clone()
+                };
+                models.push(ProjectionModel::from_baseline(&projection_baseline(), &dev));
+                devices.push(dev);
+                devices.len() - 1
+            });
+            shape_idx.entry((p.h, p.sl)).or_insert_with(|| {
+                hypers.push(sweep_hyper(p.h, p.sl, batch));
+                hypers.len() - 1
+            });
+        }
+        let serialized_ar = hypers
+            .iter()
+            .map(|hyper| models.iter().map(|m| m.serialized_ar_time(hyper)).collect())
+            .collect();
+        twocs_obs::metrics::global()
+            .counter("sweep.factored_plans")
+            .inc();
+
+        Some(Self {
+            batch,
+            base_device: device.clone(),
+            ratio_idx,
+            devices,
+            models,
+            shape_idx,
+            hypers,
+            serialized_ar,
+        })
+    }
+
+    /// Number of distinct `(H, SL)` shapes the plan tabulated.
+    #[must_use]
+    pub fn shapes(&self) -> usize {
+        self.hypers.len()
+    }
+
+    /// Number of distinct flop-vs-bw ratios the plan tabulated.
+    #[must_use]
+    pub fn ratios(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Evaluate one grid point from the tables. Bit-identical to
+    /// [`eval_grid_point`] by construction: the combine runs the same
+    /// shared sub-expressions, only their inputs come from tables. A
+    /// point outside the plan's axes (possible only if callers evaluate
+    /// points they did not build the plan from) falls back to the naive
+    /// kernel.
+    #[must_use]
+    pub fn eval(&self, p: GridPoint) -> (f64, f64) {
+        let (Some(&ri), Some(&si)) = (
+            self.ratio_idx.get(&p.ratio.to_bits()),
+            self.shape_idx.get(&(p.h, p.sl)),
+        ) else {
+            return eval_grid_point(&self.base_device, p, self.batch, Method::Projection);
+        };
+        let model = &self.models[ri];
+        let hyper = &self.hypers[si];
+        let parallel = ParallelConfig::new().tensor(p.tp);
+        let (compute, backward_compute) = model.projected_compute(hyper, p.tp);
+        let serialized_comm = if p.tp > 1 {
+            self.serialized_ar[si][ri]
+        } else {
+            0.0
+        };
+        let overlapped_comm = if parallel.dp() > 1 {
+            model.overlapped_ar_time(hyper, &parallel)
+        } else {
+            0.0
+        };
+        let projected = ProjectedIteration {
+            layers: hyper.layers() / parallel.pp(),
+            compute_per_layer: compute,
+            backward_compute_per_layer: backward_compute,
+            serialized_comm_per_layer: serialized_comm,
+            overlapped_comm_per_layer: overlapped_comm,
+        };
+        let serialized = 100.0 * projected.serialized_comm_fraction();
+        let overlap = overlap_pct(&self.devices[ri], p.h, p.sl * self.batch, p.tp, 4);
+        (serialized, overlap)
+    }
+}
+
+/// Evaluate one chunk of grid points the way a distributed worker (or
+/// any other chunk-at-a-time caller) needs: factored when the chunk
+/// supports it, naive otherwise, with each point's panic caught and
+/// reported as that point's error — never aborting the chunk.
+#[must_use]
+pub fn eval_chunk(
+    device: &DeviceSpec,
+    points: &[GridPoint],
+    batch: u64,
+    method: Method,
+) -> PointResults {
+    let plan = PlannerMode::Auto.plan(device, points, batch, method);
+    points
+        .iter()
+        .map(|&p| {
+            catch_unwind(AssertUnwindSafe(|| match &plan {
+                Some(plan) => plan.eval(p),
+                None => eval_grid_point(device, p, batch, method),
+            }))
+            .map_err(|payload| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "grid point panicked".to_owned())
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::GridSweep;
+
+    fn projection_grid() -> GridSweep {
+        GridSweep {
+            hs: vec![4096, 16_384],
+            sls: vec![2048, 4096],
+            tps: vec![4, 16, 32],
+            flop_vs_bw: vec![1.0, 2.0],
+            batch: 1,
+            method: Method::Projection,
+        }
+    }
+
+    #[test]
+    fn factored_eval_is_bit_identical_to_naive() {
+        let device = DeviceSpec::mi210();
+        let grid = projection_grid();
+        let points = grid.points();
+        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method)
+            .expect("projection grids are factorable");
+        for p in points {
+            let naive = eval_grid_point(&device, p, grid.batch, grid.method);
+            let factored = plan.eval(p);
+            assert_eq!(
+                (naive.0.to_bits(), naive.1.to_bits()),
+                (factored.0.to_bits(), factored.1.to_bits()),
+                "point {p:?}: naive {naive:?} vs factored {factored:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_tabulates_each_axis_value_once() {
+        let device = DeviceSpec::mi210();
+        let grid = projection_grid();
+        let points = grid.points();
+        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method).unwrap();
+        assert_eq!(plan.shapes(), 4); // 2 H × 2 SL
+        assert_eq!(plan.ratios(), 2);
+    }
+
+    #[test]
+    fn simulation_grids_are_not_factored() {
+        let device = DeviceSpec::mi210();
+        let grid = GridSweep {
+            method: Method::Simulation,
+            ..projection_grid()
+        };
+        let points = grid.points();
+        assert!(FactoredPlan::build(&device, &points, grid.batch, grid.method).is_none());
+        assert!(PlannerMode::Auto
+            .plan(&device, &points, grid.batch, grid.method)
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_points_fall_back_to_naive() {
+        let device = DeviceSpec::mi210();
+        // h not a multiple of 256: the naive path panics per point (and
+        // executors report `error`), so the planner must refuse it.
+        let points = vec![GridPoint {
+            h: 100,
+            sl: 2048,
+            tp: 4,
+            ratio: 1.0,
+        }];
+        assert!(FactoredPlan::build(&device, &points, 1, Method::Projection).is_none());
+        assert!(FactoredPlan::build(&device, &[], 1, Method::Projection).is_none());
+    }
+
+    #[test]
+    fn naive_mode_never_plans() {
+        let device = DeviceSpec::mi210();
+        let grid = projection_grid();
+        assert!(PlannerMode::Naive
+            .plan(&device, &grid.points(), grid.batch, grid.method)
+            .is_none());
+    }
+
+    #[test]
+    fn planner_mode_parses() {
+        assert_eq!("auto".parse::<PlannerMode>().unwrap(), PlannerMode::Auto);
+        assert_eq!("naive".parse::<PlannerMode>().unwrap(), PlannerMode::Naive);
+        assert_eq!(
+            "factored".parse::<PlannerMode>().unwrap(),
+            PlannerMode::Factored
+        );
+        assert!("fast".parse::<PlannerMode>().is_err());
+    }
+
+    #[test]
+    fn eval_chunk_matches_naive_per_point_and_reports_errors() {
+        let device = DeviceSpec::mi210();
+        let grid = projection_grid();
+        let points = grid.points();
+        let chunk = eval_chunk(&device, &points, grid.batch, grid.method);
+        for (p, r) in points.iter().zip(&chunk) {
+            let naive = eval_grid_point(&device, *p, grid.batch, grid.method);
+            assert_eq!(r.as_ref().unwrap(), &naive);
+        }
+        // A malformed point degrades that point, not the chunk.
+        let bad = vec![
+            GridPoint {
+                h: 4096,
+                sl: 2048,
+                tp: 4,
+                ratio: 1.0,
+            },
+            GridPoint {
+                h: 100,
+                sl: 2048,
+                tp: 4,
+                ratio: 1.0,
+            },
+        ];
+        let mixed = eval_chunk(&device, &bad, 1, Method::Projection);
+        assert!(mixed[0].is_ok());
+        assert!(mixed[1].is_err());
+    }
+}

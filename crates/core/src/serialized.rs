@@ -79,6 +79,19 @@ pub fn sweep_hyper(h: u64, sl: u64, b: u64) -> Hyperparams {
         .expect("sweep hyperparameters are valid")
 }
 
+/// The fixed BERT-like baseline the projection method profiles once per
+/// device (§4.2). Shared by [`comm_fraction`] and the factored sweep
+/// planner so both build the identical [`ProjectionModel`].
+#[must_use]
+pub fn projection_baseline() -> Hyperparams {
+    Hyperparams::builder(1024)
+        .heads(16)
+        .seq_len(512)
+        .batch(4)
+        .build()
+        .expect("valid baseline")
+}
+
 /// Fraction of training time spent in serialized communication for one
 /// configuration, by the chosen method, on `device`.
 #[must_use]
@@ -98,17 +111,9 @@ pub fn comm_fraction(
                 .expect("iteration graphs are valid")
                 .comm_fraction()
         }
-        Method::Projection => {
-            let baseline = Hyperparams::builder(1024)
-                .heads(16)
-                .seq_len(512)
-                .batch(4)
-                .build()
-                .expect("valid baseline");
-            ProjectionModel::from_baseline(&baseline, device)
-                .project(hyper, parallel)
-                .serialized_comm_fraction()
-        }
+        Method::Projection => ProjectionModel::from_baseline(&projection_baseline(), device)
+            .project(hyper, parallel)
+            .serialized_comm_fraction(),
     }
 }
 

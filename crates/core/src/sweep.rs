@@ -44,6 +44,8 @@ use crate::serialized::{comm_fraction, realistic_tp, sweep_hyper, Method};
 use twocs_hw::{CacheStats, DeviceSpec, HwEvolution};
 use twocs_transformer::ParallelConfig;
 
+pub use crate::planner::{eval_chunk, FactoredPlan, PlannerMode};
+
 thread_local! {
     /// The worker-thread budget nested generators should use (see
     /// [`parallelism`]). Defaults to 1 so library callers stay serial
@@ -631,12 +633,21 @@ impl GridExecutor for LocalExecutor {
     fn execute(&self, sweep: &GridSweep, device: &DeviceSpec) -> Result<PointResults, String> {
         set_parallelism(self.jobs);
         let points = sweep.points();
-        let raw = run_tasks_labeled(
-            self.jobs,
-            points.len(),
-            |i| grid_point_label(&points[i]),
-            |i| eval_grid_point(device, points[i], sweep.batch, sweep.method),
-        );
+        let plan = PlannerMode::Auto.plan(device, &points, sweep.batch, sweep.method);
+        let raw = match &plan {
+            Some(plan) => run_tasks_labeled(
+                self.jobs,
+                points.len(),
+                |i| grid_point_label(&points[i]),
+                |i| plan.eval(points[i]),
+            ),
+            None => run_tasks_labeled(
+                self.jobs,
+                points.len(),
+                |i| grid_point_label(&points[i]),
+                |i| eval_grid_point(device, points[i], sweep.batch, sweep.method),
+            ),
+        };
         Ok(raw.into_iter().map(|t| t.result).collect())
     }
 
@@ -779,18 +790,45 @@ impl GridSweep {
     /// count, so CSV output is byte-identical across `jobs` settings. A
     /// panicking point renders as `error` in both metric columns rather
     /// than aborting the sweep.
+    ///
+    /// Uses [`PlannerMode::Auto`]: projection grids evaluate through the
+    /// factored per-axis planner (bit-identical output, see
+    /// [`FactoredPlan`]), everything else runs the naive per-point path.
     #[must_use]
     pub fn run(&self, device: &DeviceSpec, jobs: usize) -> (Table, SweepSummary) {
+        self.run_mode(device, jobs, PlannerMode::Auto)
+    }
+
+    /// [`Self::run`] with an explicit [`PlannerMode`] — `Naive` forces
+    /// the per-point path (the benchmark baseline), `Factored` demands
+    /// the planner (still falling back to naive on grids it cannot
+    /// factor, e.g. simulation sweeps).
+    #[must_use]
+    pub fn run_mode(
+        &self,
+        device: &DeviceSpec,
+        jobs: usize,
+        planner: PlannerMode,
+    ) -> (Table, SweepSummary) {
         set_parallelism(jobs);
         let points = self.points();
         let before = cache_snapshot();
         let start = Instant::now();
-        let raw = run_tasks_labeled(
-            jobs,
-            points.len(),
-            |i| grid_point_label(&points[i]),
-            |i| eval_grid_point(device, points[i], self.batch, self.method),
-        );
+        let plan = planner.plan(device, &points, self.batch, self.method);
+        let raw = match &plan {
+            Some(plan) => run_tasks_labeled(
+                jobs,
+                points.len(),
+                |i| grid_point_label(&points[i]),
+                |i| plan.eval(points[i]),
+            ),
+            None => run_tasks_labeled(
+                jobs,
+                points.len(),
+                |i| grid_point_label(&points[i]),
+                |i| eval_grid_point(device, points[i], self.batch, self.method),
+            ),
+        };
         let wall = start.elapsed();
         let after = cache_snapshot();
 

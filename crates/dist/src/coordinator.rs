@@ -32,7 +32,6 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -43,7 +42,7 @@ use crate::lease::{ChunkId, Completion, LeaseTracker, WorkerId};
 use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
 use twocs_core::serialized::Method;
 use twocs_core::sweep::{
-    eval_grid_point, set_parallelism, GridChunk, GridExecutor, GridSweep, PointResults,
+    eval_chunk, set_parallelism, GridChunk, GridExecutor, GridSweep, PointResults,
 };
 use twocs_core::Table;
 use twocs_hw::DeviceSpec;
@@ -479,21 +478,9 @@ fn drain_one_chunk(shared: &Arc<Shared>, job_id: u64, chunk: ChunkId, device: &D
     let _span = twocs_obs::span(&format!("local drain chunk {chunk}"), "dist");
     let t0 = Instant::now();
     set_parallelism(shared.cfg.local_jobs);
-    let values: PointResults = points
-        .iter()
-        .map(|&p| {
-            catch_unwind(AssertUnwindSafe(|| {
-                eval_grid_point(device, p, batch, method)
-            }))
-            .map_err(|payload| {
-                payload
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "grid point panicked".to_owned())
-            })
-        })
-        .collect();
+    // Same chunk kernel the workers use: factored when possible, naive
+    // otherwise, per-point panics degraded to per-point errors.
+    let values: PointResults = eval_chunk(device, &points, batch, method);
     let busy = t0.elapsed();
     twocs_obs::metrics::global()
         .counter("dist.local_drain_chunks")

@@ -1,6 +1,8 @@
 //! The sweep worker: connects to a coordinator, pulls chunk leases, and
-//! evaluates them with the same pure kernel ([`eval_grid_point`]) a
-//! local run uses — which is why distributed results merge byte-exactly.
+//! evaluates them with the same chunk kernel ([`eval_chunk`]) a local
+//! run uses — factored per-axis tables when the chunk supports them,
+//! the naive per-point path otherwise, bit-identical either way — which
+//! is why distributed results merge byte-exactly.
 //!
 //! The protocol is worker-driven: the main loop sends `Ready`, the
 //! coordinator answers `Lease` (work), `Wait` (idle; ask again shortly),
@@ -9,13 +11,12 @@
 //! mutex, so a slow chunk does not read as a dead worker.
 
 use std::net::TcpStream;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
-use twocs_core::sweep::{eval_grid_point, set_parallelism};
+use twocs_core::sweep::{eval_chunk, set_parallelism};
 use twocs_hw::DeviceSpec;
 
 /// Test hook: per-chunk artificial delay in milliseconds, read from the
@@ -220,19 +221,11 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
                 if let Some(delay) = chunk_delay {
                     std::thread::sleep(delay);
                 }
-                let values: Vec<Result<(f64, f64), String>> = points
-                    .iter()
-                    .map(|&p| {
-                        catch_unwind(AssertUnwindSafe(|| eval_grid_point(&dev, p, batch, method)))
-                            .map_err(|payload| {
-                                payload
-                                    .downcast_ref::<&str>()
-                                    .map(ToString::to_string)
-                                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "grid point panicked".to_owned())
-                            })
-                    })
-                    .collect();
+                // Factored when the chunk supports it, naive otherwise;
+                // either way per-point panics degrade to per-point
+                // errors and the values are bit-identical to a local
+                // run's — the merge contract.
+                let values = eval_chunk(&dev, &points, batch, method);
                 report.busy += t0.elapsed();
                 report.chunks += 1;
                 report.points += points.len() as u64;

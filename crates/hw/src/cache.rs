@@ -4,36 +4,71 @@
 //! configurations from one baseline profile, and the sweeps re-evaluate
 //! identical (shape, device) cost queries thousands of times. Every cost
 //! function in the workspace is *pure* — same inputs, same output — so
-//! results can be memoized behind an [`std::sync::RwLock`]-guarded map and
-//! shared across sweep worker threads.
+//! results can be memoized and shared across sweep worker threads.
 //!
 //! [`MemoCache`] is the generic building block; this crate keeps a global
 //! cache for [`DeviceSpec::gemm_time`] (see [`gemm_time_cache_stats`]),
 //! while `twocs-collectives` and `twocs-opmodel` keep caches for
-//! collective costs and ROI profiles built on the same type. Each cache
-//! counts hits and misses so sweep reports can show how much recomputation
-//! was avoided; named caches ([`MemoCache::named`]) publish those counters
-//! to the `twocs-obs` metrics registry (as `cache.<name>.hits` /
-//! `cache.<name>.misses`), and every lookup is also attributed to the
-//! current `twocs-obs` task scope so the sweep pool can tell cache-cold
-//! tasks from cache-warm ones exactly.
+//! collective costs and ROI profiles built on the same type.
+//!
+//! # Concurrency design
+//!
+//! A lookup goes through three tiers, cheapest first:
+//!
+//! 1. **Thread-local L1** — each worker thread keeps a private copy of
+//!    the entries it has already seen, so a warm hit takes *no lock at
+//!    all* (one atomic generation load plus a thread-local `HashMap`
+//!    probe). L1 tables are invalidated lazily by a generation counter
+//!    that [`MemoCache::clear`] bumps.
+//! 2. **Lock-striped shards** — the shared table is split across
+//!    [`SHARDS`] independent `RwLock<HashMap>` stripes keyed by the
+//!    key's hash, so writers on different keys almost never contend.
+//! 3. **In-flight dedupe** — a miss installs a `Pending` slot before
+//!    computing, and later lookups of the same key *wait* on that slot
+//!    instead of re-running the compute function: two workers never
+//!    compute the same key concurrently. If the computing thread
+//!    panics, the slot is abandoned and one waiter retries the compute,
+//!    so a poisoned key never wedges later lookups.
+//!
+//! Each cache counts hits and misses so sweep reports can show how much
+//! recomputation was avoided; a thread that waits on an in-flight
+//! computation counts as a *hit* (it did not run the compute function),
+//! so `misses` equals compute-function invocations exactly. Named caches
+//! ([`MemoCache::named`]) publish those counters to the `twocs-obs`
+//! metrics registry (as `cache.<name>.hits` / `cache.<name>.misses`,
+//! plus a `cache.<name>.entries` gauge), and every lookup is also
+//! attributed to the current `twocs-obs` task scope so the sweep pool
+//! can tell cache-cold tasks from cache-warm ones exactly.
 //!
 //! [`DeviceSpec::gemm_time`]: crate::DeviceSpec::gemm_time
 
+use std::any::Any;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::Hash;
-use std::sync::RwLock;
-use twocs_obs::Counter;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use twocs_obs::{Counter, Gauge};
+
+/// Number of lock stripes per cache. A power of two so the shard index
+/// is a mask of the key hash; 16 stripes keep writer collisions rare at
+/// the worker counts the sweep pool uses without bloating empty caches.
+pub const SHARDS: usize = 16;
 
 /// A point-in-time snapshot of one cache's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the map.
+    /// Lookups answered from the map (including lookups that waited on
+    /// an in-flight computation of the same key).
     pub hits: u64,
-    /// Lookups that had to compute and insert.
+    /// Lookups that ran the compute function. Because in-flight misses
+    /// are deduplicated, this equals compute-function invocations.
     pub misses: u64,
-    /// Entries currently resident.
+    /// Entries currently resident. Exact: summed across all shards at
+    /// snapshot time. Thread-local L1 tables only ever hold copies of
+    /// shard-resident entries, so the distinct-key count is the shard
+    /// sum.
     pub entries: usize,
 }
 
@@ -73,79 +108,299 @@ impl fmt::Display for CacheStats {
     }
 }
 
-/// A thread-safe memo table with hit/miss accounting.
-///
-/// Designed for pure functions: `get_or_insert_with` may race two
-/// computations of the same key under contention, but both produce the
-/// identical value, so the first insert wins and correctness is
-/// unaffected. Lock poisoning is ignored (the guarded `HashMap`
-/// operations cannot leave the map inconsistent), so a panicking sweep
-/// worker never wedges later lookups.
-#[derive(Debug, Default)]
-pub struct MemoCache<K, V> {
-    map: RwLock<HashMap<K, V>>,
-    hits: Counter,
-    misses: Counter,
+/// One shared-table slot: a finished value, or a computation in flight.
+enum Slot<V> {
+    Ready(V),
+    Pending(Arc<InFlight<V>>),
 }
 
-impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
+/// Rendezvous for threads that miss on a key already being computed.
+struct InFlight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+enum FlightState<V> {
+    Running,
+    Done(V),
+    /// The computing thread panicked; waiters must retry the lookup.
+    Abandoned,
+}
+
+impl<V: Clone> InFlight<V> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FlightState::Running),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the computing thread finishes. `Some(value)` on
+    /// success, `None` if it panicked (caller retries the lookup).
+    fn wait(&self) -> Option<V> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*state {
+                FlightState::Running => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                FlightState::Done(v) => return Some(v.clone()),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn finish(&self, state: FlightState<V>) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = state;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-thread L1 table for one cache: a private copy of entries this
+/// thread has already looked up, stamped with the cache generation it
+/// was filled under so `clear()` invalidates it lazily.
+struct L1Table<K, V> {
+    generation: u64,
+    map: HashMap<K, V>,
+}
+
+thread_local! {
+    /// This thread's L1 tables, keyed by cache id. `Box<dyn Any>` hides
+    /// the per-cache `(K, V)` types behind one registry.
+    static L1: RefCell<HashMap<u64, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Unique id per cache instance, so thread-local L1 tables never alias
+/// across caches (ids are never reused, unlike addresses).
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A thread-safe memo table with hit/miss accounting, lock-striped
+/// shards, a per-thread L1, and in-flight miss deduplication (see the
+/// module docs for the tiered design). Designed for pure functions:
+/// same key, same value. Lock poisoning is ignored (the guarded map
+/// operations cannot leave a shard inconsistent), and a panicking
+/// compute function abandons its in-flight slot so one waiter retries —
+/// a panicking sweep worker never wedges later lookups.
+pub struct MemoCache<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    hits: Counter,
+    misses: Counter,
+    /// Resident-entry gauge mirror (detached unless the cache is named).
+    entries_gauge: Gauge,
+    /// Bumped by `clear()`; thread-local L1 tables flush on mismatch.
+    generation: AtomicU64,
+    id: u64,
+}
+
+/// One lock-striped shard of the shared table.
+type Shard<K, V> = RwLock<HashMap<K, Slot<V>>>;
+
+/// Outcome of a shared-table probe.
+enum Probe<V> {
+    Hit(V),
+    Wait(Arc<InFlight<V>>),
+    Compute(Arc<InFlight<V>>),
+}
+
+impl<K, V> MemoCache<K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    fn with_counters(hits: Counter, misses: Counter, entries_gauge: Gauge) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits,
+            misses,
+            entries_gauge,
+            generation: AtomicU64::new(0),
+            id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
     /// Create an empty cache with detached (unpublished) counters.
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            map: RwLock::new(HashMap::new()),
-            hits: Counter::detached(),
-            misses: Counter::detached(),
-        }
+        Self::with_counters(Counter::detached(), Counter::detached(), Gauge::detached())
     }
 
-    /// Create an empty cache whose hit/miss counters are registered in
-    /// the global `twocs-obs` metrics registry as `cache.<name>.hits` /
-    /// `cache.<name>.misses`, so `--metrics` reports its hit rate.
+    /// Create an empty cache whose counters are registered in the global
+    /// `twocs-obs` metrics registry as `cache.<name>.hits` /
+    /// `cache.<name>.misses` plus a `cache.<name>.entries` gauge, so
+    /// `--metrics` reports its hit rate and size.
     #[must_use]
     pub fn named(name: &str) -> Self {
         let registry = twocs_obs::metrics::global();
-        Self {
-            map: RwLock::new(HashMap::new()),
-            hits: registry.counter(&format!("cache.{name}.hits")),
-            misses: registry.counter(&format!("cache.{name}.misses")),
-        }
+        Self::with_counters(
+            registry.counter(&format!("cache.{name}.hits")),
+            registry.counter(&format!("cache.{name}.misses")),
+            registry.gauge(&format!("cache.{name}.entries")),
+        )
     }
 
-    /// Return the cached value for `key`, computing it with `compute` on a
-    /// miss. `compute` runs outside the lock. The outcome is counted on
-    /// this cache and charged to the calling thread's current `twocs-obs`
-    /// task scope.
-    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Slot<V>>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Probe this thread's L1 table; no lock taken.
+    fn l1_get(&self, generation: u64, key: &K) -> Option<V> {
+        L1.with(|tables| {
+            let mut tables = tables.borrow_mut();
+            let table = tables.get_mut(&self.id)?.downcast_mut::<L1Table<K, V>>()?;
+            if table.generation != generation {
+                table.map.clear();
+                table.generation = generation;
+                return None;
+            }
+            table.map.get(key).cloned()
+        })
+    }
+
+    fn l1_put(&self, generation: u64, key: K, value: V) {
+        // Re-check the live generation so a clear() that raced this
+        // lookup cannot resurrect a dropped entry into the L1.
+        if self.generation.load(Ordering::Acquire) != generation {
+            return;
+        }
+        L1.with(|tables| {
+            let mut tables = tables.borrow_mut();
+            let table = tables.entry(self.id).or_insert_with(|| {
+                Box::new(L1Table::<K, V> {
+                    generation,
+                    map: HashMap::new(),
+                })
+            });
+            let Some(table) = table.downcast_mut::<L1Table<K, V>>() else {
+                return;
+            };
+            if table.generation != generation {
+                table.map.clear();
+                table.generation = generation;
+            }
+            table.map.insert(key, value);
+        });
+    }
+
+    /// One shared-table round: hit, join an in-flight computation, or
+    /// claim the key by installing a `Pending` slot.
+    fn probe(&self, key: &K) -> Probe<V> {
+        let shard = self.shard(key);
         {
-            let map = self
-                .map
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Some(v) = map.get(&key) {
-                self.hits.inc();
-                twocs_obs::note_cache_hit();
-                return v.clone();
+            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+            match map.get(key) {
+                Some(Slot::Ready(v)) => return Probe::Hit(v.clone()),
+                Some(Slot::Pending(flight)) => return Probe::Wait(Arc::clone(flight)),
+                None => {}
             }
         }
-        self.misses.inc();
-        twocs_obs::note_cache_miss();
-        let value = compute();
-        let mut map = self
-            .map
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        map.entry(key).or_insert_with(|| value.clone());
-        value
+        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        match map.get(key) {
+            Some(Slot::Ready(v)) => Probe::Hit(v.clone()),
+            Some(Slot::Pending(flight)) => Probe::Wait(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(InFlight::new());
+                map.insert(key.clone(), Slot::Pending(Arc::clone(&flight)));
+                Probe::Compute(flight)
+            }
+        }
     }
 
-    /// Current counters.
+    /// Record a hit on this cache and the caller's task scope.
+    fn count_hit(&self, generation: u64, key: &K, value: &V) {
+        self.hits.inc();
+        twocs_obs::note_cache_hit();
+        self.l1_put(generation, key.clone(), value.clone());
+    }
+
+    /// Replace our `Pending` slot with the finished value and wake
+    /// waiters.
+    fn publish(&self, key: &K, flight: &Arc<InFlight<V>>, value: V) {
+        let newly_resident = {
+            let mut map = self
+                .shard(key)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let prev = map.insert(key.clone(), Slot::Ready(value.clone()));
+            !matches!(prev, Some(Slot::Ready(_)))
+        };
+        if newly_resident {
+            self.entries_gauge.set(self.len() as f64);
+        }
+        flight.finish(FlightState::Done(value));
+    }
+
+    /// Return the cached value for `key`, computing it with `compute` on
+    /// a miss. `compute` runs outside all locks, and concurrent misses
+    /// on the same key run it exactly once — the losers block until the
+    /// winner publishes and then count as hits. The outcome is counted
+    /// on this cache and charged to the calling thread's current
+    /// `twocs-obs` task scope.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let generation = self.generation.load(Ordering::Acquire);
+        if let Some(v) = self.l1_get(generation, &key) {
+            self.hits.inc();
+            twocs_obs::note_cache_hit();
+            return v;
+        }
+        // FnOnce in a retry loop: consumed at most once, because after
+        // this thread computes it either returns or unwinds.
+        let mut compute = Some(compute);
+        loop {
+            match self.probe(&key) {
+                Probe::Hit(v) => {
+                    self.count_hit(generation, &key, &v);
+                    return v;
+                }
+                Probe::Wait(flight) => match flight.wait() {
+                    Some(v) => {
+                        self.count_hit(generation, &key, &v);
+                        return v;
+                    }
+                    // The computing thread panicked; retry — we may
+                    // become the new computer.
+                    None => continue,
+                },
+                Probe::Compute(flight) => {
+                    self.misses.inc();
+                    twocs_obs::note_cache_miss();
+                    let guard = AbandonOnUnwind {
+                        cache: self,
+                        key: &key,
+                        flight: &flight,
+                    };
+                    let value = (compute.take().expect("compute claimed twice"))();
+                    std::mem::forget(guard);
+                    self.publish(&key, &flight, value.clone());
+                    self.l1_put(generation, key, value.clone());
+                    return value;
+                }
+            }
+        }
+    }
+
+    /// Exact resident-entry count: sum of finished entries across all
+    /// shards (in-flight `Pending` slots are not yet resident).
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Current counters. `entries` is exact at snapshot time (summed
+    /// across shards; L1 tables hold only copies of shard entries).
     pub fn stats(&self) -> CacheStats {
-        let entries = self
-            .map
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len();
+        let entries = self.len();
+        self.entries_gauge.set(entries as f64);
         CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
@@ -154,14 +409,74 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     }
 
     /// Drop all entries and zero the counters (for tests and benchmarks
-    /// that need cold-cache numbers).
+    /// that need cold-cache numbers). Thread-local L1 copies are
+    /// invalidated lazily via the generation counter.
     pub fn clear(&self) {
-        self.map
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clear();
+        for shard in self.shards.iter() {
+            shard
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+        }
+        self.generation.fetch_add(1, Ordering::AcqRel);
         self.hits.reset();
         self.misses.reset();
+        self.entries_gauge.set(0.0);
+    }
+}
+
+/// Unwind guard armed while a claimed compute function runs: on panic it
+/// removes the `Pending` slot (so a retry can claim the key) and marks
+/// the flight abandoned so waiters wake up and retry instead of blocking
+/// forever. Disarmed with `mem::forget` on success.
+struct AbandonOnUnwind<'a, K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    cache: &'a MemoCache<K, V>,
+    key: &'a K,
+    flight: &'a Arc<InFlight<V>>,
+}
+
+impl<K, V> Drop for AbandonOnUnwind<'_, K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    fn drop(&mut self) {
+        {
+            let mut map = self
+                .cache
+                .shard(self.key)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(Slot::Pending(p)) = map.get(self.key) {
+                if Arc::ptr_eq(p, self.flight) {
+                    map.remove(self.key);
+                }
+            }
+        }
+        self.flight.finish(FlightState::Abandoned);
+    }
+}
+
+impl<K, V> Default for MemoCache<K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> fmt::Debug for MemoCache<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("hits", &self.hits.get())
+            .field("misses", &self.misses.get())
+            .finish_non_exhaustive()
     }
 }
 
@@ -203,6 +518,8 @@ pub fn clear_gemm_time_cache() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
 
     #[test]
     fn hit_and_miss_accounting() {
@@ -222,6 +539,16 @@ mod tests {
         cache.clear();
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn clear_invalidates_thread_local_l1() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        assert_eq!(cache.get_or_insert_with(1, || 10), 10);
+        assert_eq!(cache.get_or_insert_with(1, || 99), 10);
+        cache.clear();
+        // A stale L1 copy must not survive the clear.
+        assert_eq!(cache.get_or_insert_with(1, || 42), 42);
     }
 
     #[test]
@@ -255,6 +582,74 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.entries, 100);
         assert_eq!(s.hits + s.misses, 800);
+        // In-flight dedupe: every key computed exactly once.
+        assert_eq!(s.misses, 100);
+    }
+
+    #[test]
+    fn duplicate_misses_compute_once_and_share() {
+        const THREADS: usize = 8;
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let invocations = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    barrier.wait();
+                    let v = cache.get_or_insert_with(7, || {
+                        invocations.fetch_add(1, Ordering::SeqCst);
+                        // Hold the in-flight slot open long enough that
+                        // the other threads arrive while it is pending.
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                        777
+                    });
+                    assert_eq!(v, 777);
+                });
+            }
+        });
+        assert_eq!(invocations.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (THREADS as u64 - 1, 1, 1));
+    }
+
+    #[test]
+    fn panicking_compute_releases_the_key() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_insert_with(3, || panic!("compute failed"))
+        }));
+        assert!(result.is_err());
+        // The abandoned slot must not wedge or poison later lookups.
+        assert_eq!(cache.get_or_insert_with(3, || 30), 30);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.entries), (2, 1));
+    }
+
+    #[test]
+    fn waiters_survive_a_panicking_computer() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_insert_with(5, || {
+                        barrier.wait();
+                        // Give the second thread time to park on the
+                        // in-flight slot before unwinding.
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                        panic!("computer dies")
+                    })
+                }));
+                assert!(result.is_err());
+            });
+            s.spawn(|| {
+                barrier.wait();
+                // Whether this waits on the doomed flight or claims the
+                // key after the abandon, it must come back with a value.
+                assert_eq!(cache.get_or_insert_with(5, || 50), 50);
+            });
+        });
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]
@@ -268,6 +663,17 @@ mod tests {
     }
 
     #[test]
+    fn named_cache_publishes_entries_gauge() {
+        let cache: MemoCache<u64, u64> = MemoCache::named("test_entries");
+        let _ = cache.get_or_insert_with(1, || 1);
+        let _ = cache.get_or_insert_with(2, || 2);
+        let reg = twocs_obs::metrics::global();
+        assert_eq!(reg.gauge("cache.test_entries.entries").get(), 2.0);
+        cache.clear();
+        assert_eq!(reg.gauge("cache.test_entries.entries").get(), 0.0);
+    }
+
+    #[test]
     fn lookups_attribute_to_task_scope() {
         let cache: MemoCache<u64, u64> = MemoCache::new();
         let scope = twocs_obs::task_scope(0, "t");
@@ -275,6 +681,16 @@ mod tests {
         let _ = cache.get_or_insert_with(7, || 7);
         let obs = scope.finish();
         assert_eq!((obs.cache_hits, obs.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn caches_do_not_share_l1_tables() {
+        let a: MemoCache<u64, u64> = MemoCache::new();
+        let b: MemoCache<u64, u64> = MemoCache::new();
+        assert_eq!(a.get_or_insert_with(1, || 10), 10);
+        // Same key, different cache: must compute its own value.
+        assert_eq!(b.get_or_insert_with(1, || 20), 20);
+        assert_eq!(b.stats().misses, 1);
     }
 
     #[test]

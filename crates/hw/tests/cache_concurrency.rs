@@ -1,0 +1,83 @@
+//! Property test for the sharded memo cache: hammer one cache from N
+//! threads with overlapping random key sets and check the accounting
+//! invariants the sweep summaries rely on:
+//!
+//! - every lookup is counted exactly once (`hits + misses == lookups`),
+//! - in-flight dedupe means every distinct key is computed exactly once
+//!   (`misses == distinct keys == compute-fn invocations`),
+//! - `CacheStats::entries` is exact (one resident entry per distinct key),
+//! - every thread observes the canonical value for every key.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use twocs_hw::MemoCache;
+use twocs_testkit::cases;
+
+#[test]
+fn sharded_cache_accounting_is_exact_under_contention() {
+    cases(24, |rng| {
+        let threads = rng.usize_in(2..9);
+        let key_space = rng.u64_in(1..65);
+        let lookups_per_thread = rng.usize_in(10..200);
+        // One invocation counter per possible key, indexed directly.
+        let invocations: Vec<AtomicU64> = (0..key_space).map(|_| AtomicU64::new(0)).collect();
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let barrier = Barrier::new(threads);
+
+        // Pre-draw each thread's key sequence so the property is
+        // deterministic per seed (thread interleaving varies, the
+        // invariants must not).
+        let sequences: Vec<Vec<u64>> = (0..threads)
+            .map(|_| {
+                (0..lookups_per_thread)
+                    .map(|_| rng.u64_in(0..key_space))
+                    .collect()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<u64> =
+            sequences.iter().flatten().copied().collect();
+        let total_lookups = (threads * lookups_per_thread) as u64;
+
+        std::thread::scope(|s| {
+            for seq in &sequences {
+                let (cache, invocations, barrier) = (&cache, &invocations, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for &k in seq {
+                        let v = cache.get_or_insert_with(k, || {
+                            invocations[k as usize].fetch_add(1, Ordering::SeqCst);
+                            k.wrapping_mul(2654435761)
+                        });
+                        assert_eq!(v, k.wrapping_mul(2654435761));
+                    }
+                });
+            }
+        });
+
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            total_lookups,
+            "every lookup counted exactly once"
+        );
+        assert_eq!(
+            stats.misses,
+            distinct.len() as u64,
+            "one miss per distinct key"
+        );
+        assert_eq!(
+            stats.entries,
+            distinct.len(),
+            "entries exact under sharding"
+        );
+        for (k, count) in invocations.iter().enumerate() {
+            let expected = u64::from(distinct.contains(&(k as u64)));
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                expected,
+                "key {k} computed exactly once"
+            );
+        }
+    });
+}

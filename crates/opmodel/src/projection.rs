@@ -13,12 +13,33 @@ use crate::profile::{OperatorRecord, Profiler};
 use twocs_hw::DeviceSpec;
 use twocs_transformer::{Hyperparams, ParallelConfig};
 
+/// One baseline operator, pre-resolved for the projection hot loop:
+/// which scaling law governs it (an index into the model's distinct-law
+/// table), its baseline runtime, and whether it marks the start of the
+/// backward pass.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedOp {
+    /// `(law index, baseline time)`, or `None` for communication ops and
+    /// ops without a scaling law (they contribute no projected compute).
+    projected: Option<(usize, f64)>,
+    /// True if this op's name carries a backward-pass marker.
+    backward_marker: bool,
+}
+
 /// A single-baseline projection model.
 #[derive(Debug, Clone)]
 pub struct ProjectionModel {
     baseline: Hyperparams,
     baseline_ops: Vec<OperatorRecord>,
     ar_model: ArSizeModel,
+    /// Distinct scaling laws appearing in `baseline_ops`, in first-seen
+    /// order. There are only a handful (attention, GEMM, elementwise,
+    /// LayerNorm), so the hot loop prices each law once per projection
+    /// instead of once per operator.
+    laws: Vec<ScalingExponents>,
+    /// `baseline_ops` with name-based law lookup and backward detection
+    /// hoisted out of the per-projection loop.
+    resolved: Vec<ResolvedOp>,
 }
 
 impl ProjectionModel {
@@ -30,17 +51,39 @@ impl ProjectionModel {
         let profiler = Profiler::new(device.clone());
         let single = ParallelConfig::new();
         let profile = profiler.profile_layer(baseline, &single);
-        let baseline_ops = profile.iter().cloned().collect();
+        let baseline_ops: Vec<OperatorRecord> = profile.iter().cloned().collect();
         let ar_model = ArSizeModel::profile(
             device.network(),
             profiler.comm_model(),
             4, // the paper's 4-GPU node
             &ArSizeModel::default_sizes(),
         );
+        let mut laws: Vec<ScalingExponents> = Vec::new();
+        let resolved = baseline_ops
+            .iter()
+            .map(|record| {
+                let projected = ScalingExponents::for_op(record.name).and_then(|law| {
+                    // Mirror `project_op_time` exactly: the baseline time
+                    // is the *first* record with this name.
+                    let base = baseline_ops.iter().find(|r| r.name == record.name)?;
+                    let idx = laws.iter().position(|l| *l == law).unwrap_or_else(|| {
+                        laws.push(law);
+                        laws.len() - 1
+                    });
+                    Some((idx, base.time))
+                });
+                ResolvedOp {
+                    projected,
+                    backward_marker: is_backward_marker(record.name),
+                }
+            })
+            .collect();
         Self {
             baseline: baseline.clone(),
             baseline_ops,
             ar_model,
+            laws,
+            resolved,
         }
     }
 
@@ -65,45 +108,76 @@ impl ProjectionModel {
         Some(base.time * law.scale_factor(&self.baseline, 1, target, target_tp))
     }
 
-    /// Project the per-layer breakdown of a target configuration.
+    /// Project total and backward-only compute per layer at a target
+    /// configuration — the operator-scaling loop shared by [`project`]
+    /// and the factored sweep planner, so both paths produce bit-equal
+    /// floats. Each distinct scaling law is priced once and applied to
+    /// every operator it governs, in baseline order.
+    ///
+    /// [`project`]: ProjectionModel::project
     #[must_use]
-    pub fn project(&self, target: &Hyperparams, parallel: &ParallelConfig) -> ProjectedIteration {
-        let tp = parallel.tp();
+    pub fn projected_compute(&self, target: &Hyperparams, target_tp: u64) -> (f64, f64) {
+        let factors: Vec<f64> = self
+            .laws
+            .iter()
+            .map(|law| law.scale_factor(&self.baseline, 1, target, target_tp))
+            .collect();
         let mut compute = 0.0;
         let mut backward_compute = 0.0;
         let mut seen_backward = false;
-        for record in &self.baseline_ops {
-            if record.name.ends_with("_bwd")
-                || record.name.contains("_ig_")
-                || record.name.contains("_wg_")
-                || record.name.contains("dprobs")
-                || record.name.contains("_dv_")
-                || record.name.contains("_dq_")
-                || record.name.contains("_dk_")
-            {
+        for op in &self.resolved {
+            if op.backward_marker {
                 seen_backward = true;
             }
-            if let Some(t) = self.project_op_time(record.name, target, tp) {
+            if let Some((law, time)) = op.projected {
+                let t = time * factors[law];
                 compute += t;
                 if seen_backward {
                     backward_compute += t;
                 }
             }
         }
+        (compute, backward_compute)
+    }
+
+    /// Time of the four serialized TP all-reduces of the target's layer
+    /// activations, priced off the measured curve. Independent of the TP
+    /// degree; [`project`] applies it only when `tp > 1`.
+    ///
+    /// [`project`]: ProjectionModel::project
+    #[must_use]
+    pub fn serialized_ar_time(&self, target: &Hyperparams) -> f64 {
+        let act_bytes = target.tokens() * target.hidden() * target.precision().bytes();
+        4.0 * self.ar_model.predict(act_bytes)
+    }
+
+    /// Time of the overlappable DP gradient all-reduce of one layer's
+    /// weights. [`project`] applies it only when `dp > 1`.
+    ///
+    /// [`project`]: ProjectionModel::project
+    #[must_use]
+    pub fn overlapped_ar_time(&self, target: &Hyperparams, parallel: &ParallelConfig) -> f64 {
+        let grad_bytes = twocs_transformer::layer::layer_weight_elements(target, parallel)
+            * target.precision().bytes();
+        self.ar_model.predict(grad_bytes)
+    }
+
+    /// Project the per-layer breakdown of a target configuration.
+    #[must_use]
+    pub fn project(&self, target: &Hyperparams, parallel: &ParallelConfig) -> ProjectedIteration {
+        let tp = parallel.tp();
+        let (compute, backward_compute) = self.projected_compute(target, tp);
 
         // Four serialized TP all-reduces of the layer activations.
-        let act_bytes = target.tokens() * target.hidden() * target.precision().bytes();
         let serialized_comm = if tp > 1 {
-            4.0 * self.ar_model.predict(act_bytes)
+            self.serialized_ar_time(target)
         } else {
             0.0
         };
 
         // One overlappable DP gradient all-reduce per layer.
-        let grad_bytes = twocs_transformer::layer::layer_weight_elements(target, parallel)
-            * target.precision().bytes();
         let overlapped_comm = if parallel.dp() > 1 {
-            self.ar_model.predict(grad_bytes)
+            self.overlapped_ar_time(target, parallel)
         } else {
             0.0
         };
@@ -116,6 +190,17 @@ impl ProjectionModel {
             overlapped_comm_per_layer: overlapped_comm,
         }
     }
+}
+
+/// Does this operator name mark (the start of) the backward pass?
+fn is_backward_marker(name: &str) -> bool {
+    name.ends_with("_bwd")
+        || name.contains("_ig_")
+        || name.contains("_wg_")
+        || name.contains("dprobs")
+        || name.contains("_dv_")
+        || name.contains("_dq_")
+        || name.contains("_dk_")
 }
 
 /// A projected per-layer (and per-iteration) time breakdown.

@@ -144,6 +144,7 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         "flop_vs_bw",
         "b",
         "method",
+        "planner",
         "jobs",
         "format",
     ])?;
@@ -165,6 +166,13 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         grid.batch = b;
     }
     grid.method = parse_method(q)?;
+    // Planner choice never changes the body (factored output is
+    // bit-identical to naive), only how fast the in-process path
+    // evaluates; a custom executor picks its own planner.
+    let planner = match q.get("planner") {
+        None => twocs_core::PlannerMode::Auto,
+        Some(raw) => raw.parse::<twocs_core::PlannerMode>()?,
+    };
     // Mirror the CLI's axis validation so bad axes 400 instead of being
     // silently pruned to a smaller grid.
     if let Some(h) = grid.hs.iter().find(|&&h| h == 0 || h % 256 != 0) {
@@ -205,7 +213,7 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
                 ));
             }
         },
-        None => grid.run(&DeviceSpec::mi210(), jobs).0,
+        None => grid.run_mode(&DeviceSpec::mi210(), jobs, planner).0,
     };
     Ok(match format {
         // `println!` on the CLI appends one newline after `to_csv()`.
@@ -473,6 +481,20 @@ mod tests {
     }
 
     #[test]
+    fn sweep_planner_param_does_not_change_the_body() {
+        let base = "h=4096&tp=16,32&flop_vs_bw=1,2&method=proj";
+        let naive = handle(&get("/v1/sweep", &format!("{base}&planner=naive")), &cfg());
+        let factored = handle(
+            &get("/v1/sweep", &format!("{base}&planner=factored")),
+            &cfg(),
+        );
+        let auto = handle(&get("/v1/sweep", base), &cfg());
+        assert_eq!(naive.status, 200, "{}", naive.body);
+        assert_eq!(naive.body, factored.body);
+        assert_eq!(naive.body, auto.body);
+    }
+
+    #[test]
     fn sweep_rejects_bad_axes_with_400() {
         for q in [
             "h=1000",                   // not a multiple of 256
@@ -480,6 +502,7 @@ mod tests {
             "tp=0",                     // zero axis value
             "flop_vs_bw=0.5",           // sub-1 ratio
             "method=magic",             // unknown method
+            "planner=warp",             // unknown planner
             "hs=4096",                  // unknown parameter (typo)
             "h=4096&h=8192",            // duplicate key
             "h=65536&tp=4&method=proj", // unrealistic grid -> empty

@@ -35,7 +35,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -206,6 +206,14 @@ fn jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
         .ok_or_else(|| format!("--jobs {raw}: expected a positive thread count"))
 }
 
+/// Default thread count when `--jobs` is omitted: one per available
+/// core, or 1 if the platform cannot say.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+}
+
 fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
@@ -250,7 +258,14 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Some("proj") => serialized::Method::Projection,
         Some(other) => return Err(format!("unknown method `{other}` (sim|proj)").into()),
     };
-    let jobs = jobs_flag(args)?.unwrap_or(1);
+    let planner = match str_flag(args, "--planner") {
+        None => twocs::analysis::PlannerMode::Auto,
+        Some(raw) => raw.parse::<twocs::analysis::PlannerMode>()?,
+    };
+    // Omitted `--jobs` means "use the machine": sweeps are embarrassingly
+    // parallel, so default to every available core. Explicit values are
+    // still strictly validated by `jobs_flag`.
+    let jobs = jobs_flag(args)?.unwrap_or_else(default_jobs);
     let csv = args.iter().any(|a| a == "--csv");
 
     if let Some(h) = grid.hs.iter().find(|&&h| h == 0 || h % 256 != 0) {
@@ -308,7 +323,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             .count();
         (table, failures)
     } else {
-        let (table, summary) = grid.run(&device, jobs);
+        let (table, summary) = grid.run_mode(&device, jobs, planner);
         let failures = summary.failures;
         eprintln!("{summary}");
         (table, failures)

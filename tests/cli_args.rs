@@ -64,6 +64,38 @@ fn valid_jobs_still_works() {
 }
 
 #[test]
+fn sweep_jobs_defaults_to_available_parallelism() {
+    let out = twocs(&[
+        "sweep", "--csv", "--h", "4096", "--sl", "2048", "--tp", "16",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let want = format!(
+        "on {expected} worker thread{}",
+        if expected == 1 { "" } else { "s" }
+    );
+    assert!(
+        stderr.contains(&want),
+        "summary should report {expected} default workers: {stderr}"
+    );
+}
+
+#[test]
+fn sweep_rejects_unknown_planner() {
+    let out = twocs(&["sweep", "--planner", "warp"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown planner"), "{stderr}");
+}
+
+#[test]
 fn worker_requires_connect() {
     let out = twocs(&["worker"]);
     assert!(!out.status.success());
