@@ -19,9 +19,13 @@
 //! `warm_speedup_factored_vs_naive`, the number the CI smoke gate and
 //! README performance section quote.
 //!
-//! Usage: `sweep_perf [--out PATH] [--jobs N] [--smoke]`
+//! Usage: `sweep_perf [--out PATH] [--jobs N] [--smoke]
+//! [--baseline PATH [--max-regress PCT]]`
 //! (`--smoke` collects fewer samples for CI; the JSON shape is
-//! unchanged.)
+//! unchanged. `--baseline` compares this run's `sweep_warm` and
+//! `dist_chunks` means against a committed `BENCH_sweep.json` and exits
+//! nonzero when any is more than `--max-regress` percent — default
+//! 20 — slower: the CI perf-regression gate.)
 
 use std::time::Duration;
 
@@ -84,6 +88,8 @@ struct Options {
     out: String,
     jobs: usize,
     smoke: bool,
+    baseline: Option<String>,
+    max_regress: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -91,6 +97,8 @@ fn parse_args() -> Result<Options, String> {
         out: "BENCH_sweep.json".to_owned(),
         jobs: 4,
         smoke: false,
+        baseline: None,
+        max_regress: 20.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,14 +115,74 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| format!("--jobs {raw}: expected a positive integer"))?;
             }
             "--smoke" => opts.smoke = true,
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline requires a path")?);
+            }
+            "--max-regress" => {
+                let raw = args.next().ok_or("--max-regress requires a percentage")?;
+                opts.max_regress = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| {
+                        format!("--max-regress {raw}: expected a non-negative percentage")
+                    })?;
+            }
             "--help" | "-h" => {
-                println!("usage: sweep_perf [--out PATH] [--jobs N] [--smoke]");
+                println!(
+                    "usage: sweep_perf [--out PATH] [--jobs N] [--smoke] \
+                     [--baseline PATH [--max-regress PCT]]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(opts)
+}
+
+/// Benchmark groups the CI regression gate compares against the
+/// committed baseline: the warm factored/naive sweeps and the
+/// distributed-chunk path. Cold and serve numbers are too
+/// machine-sensitive to gate on.
+const GATED_GROUPS: &[&str] = &["sweep_warm", "dist_chunks"];
+
+/// Compare this run's means against the committed baseline and exit
+/// nonzero on any regression beyond the budget.
+fn run_gate(c: &Criterion, baseline_path: &str, max_regress: f64) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = twocs_bench::baseline::parse_results(&text)
+        .unwrap_or_else(|e| panic!("parse baseline {baseline_path}: {e}"));
+    let current: Vec<twocs_bench::baseline::BaselineEntry> = c
+        .results()
+        .iter()
+        .map(|r| twocs_bench::baseline::BaselineEntry {
+            group: r.group().to_owned(),
+            id: r.id().to_owned(),
+            mean_ns: r.mean().as_nanos(),
+        })
+        .collect();
+    let checks = match twocs_bench::baseline::gate(&baseline, &current, GATED_GROUPS, max_regress) {
+        Ok(checks) => checks,
+        Err(e) => {
+            eprintln!("sweep_perf: perf gate is unusable: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("sweep_perf: perf gate vs {baseline_path} (max regress {max_regress}%):");
+    for check in &checks {
+        eprintln!("  {check}");
+    }
+    let regressed = checks.iter().filter(|c| c.regressed).count();
+    if regressed > 0 {
+        eprintln!(
+            "sweep_perf: PERF REGRESSION — {regressed} benchmark(s) slower than the committed \
+             baseline by more than {max_regress}%"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("sweep_perf: perf gate passed");
 }
 
 /// Escape and serialize one benchmark result as a JSON object.
@@ -183,8 +251,12 @@ fn main() {
     );
     eprintln!("sweep_perf: byte-identity holds (local naive == local factored == serve)");
 
+    // Smoke mode still collects enough samples for a usable mean: the
+    // perf gate compares smoke means against the committed full-run
+    // baseline, and 3x400ms samples were noisy enough to flake a 20%
+    // budget on loaded runners.
     let (samples, budget) = if opts.smoke {
-        (3, Duration::from_millis(400))
+        (5, Duration::from_secs(1))
     } else {
         (12, Duration::from_secs(4))
     };
@@ -287,4 +359,8 @@ fn main() {
     twocs_obs::json::validate(&json).expect("BENCH_sweep.json must be well-formed JSON");
     std::fs::write(&opts.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", opts.out));
     eprintln!("sweep_perf: wrote {}", opts.out);
+
+    if let Some(baseline_path) = &opts.baseline {
+        run_gate(&c, baseline_path, opts.max_regress);
+    }
 }

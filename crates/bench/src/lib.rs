@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod harness;
 
 use twocs_core::experiments;

@@ -46,13 +46,33 @@ pub fn roi_hyper(h: u64, slb: u64) -> Hyperparams {
         .expect("ROI hyperparameters are valid")
 }
 
+/// The exact `(hyper, parallel)` slack-ROI query [`overlap_pct`] issues
+/// for one configuration — TP silently clamped to the head count, like
+/// the scalar path. Batch evaluators use this to pre-resolve a chunk's
+/// queries against the profile cache (see
+/// [`Profiler::begin_slack_roi_chunk`]) before walking the chunk.
+#[must_use]
+pub fn roi_query(h: u64, slb: u64, tp: u64, dp: u64) -> (Hyperparams, ParallelConfig) {
+    let hyper = roi_hyper(h, slb);
+    let parallel = ParallelConfig::new().tensor(tp.min(hyper.heads())).data(dp);
+    (hyper, parallel)
+}
+
 /// Overlapped communication as a percentage of the compute it hides
 /// behind, for one configuration.
 #[must_use]
 pub fn overlap_pct(device: &DeviceSpec, h: u64, slb: u64, tp: u64, dp: u64) -> f64 {
-    let hyper = roi_hyper(h, slb);
-    let parallel = ParallelConfig::new().tensor(tp.min(hyper.heads())).data(dp);
-    let (compute, comm) = Profiler::new(device.clone()).profile_slack_roi(&hyper, &parallel);
+    overlap_pct_with(&Profiler::new(device.clone()), h, slb, tp, dp)
+}
+
+/// [`overlap_pct`] against a caller-owned [`Profiler`]: identical
+/// arithmetic (bit-for-bit), but lets batch evaluators profile a whole
+/// chunk of configurations without re-constructing the profiler per
+/// point.
+#[must_use]
+pub fn overlap_pct_with(profiler: &Profiler, h: u64, slb: u64, tp: u64, dp: u64) -> f64 {
+    let (hyper, parallel) = roi_query(h, slb, tp, dp);
+    let (compute, comm) = profiler.profile_slack_roi(&hyper, &parallel);
     100.0 * comm / compute
 }
 

@@ -12,6 +12,17 @@
 //! turns evaluation into `O(Σ axis sizes + points × combine)`, where the
 //! combine is the cheap scaling-law arithmetic.
 //!
+//! The tables are laid out **struct-of-arrays**: flat `Vec<f64>` columns
+//! indexed by `(shape, ratio, tp)` (see [`FactoredPlan::build`]), so
+//! [`FactoredPlan::eval_batch`] walks a lease-sized chunk of points as
+//! two tight loops — resolve indices, then combine f64 columns — with
+//! zero per-point allocation and no per-point `catch_unwind`. The
+//! expensive sub-expressions (the projected compute times and the
+//! slack-ROI profile behind the overlap percentage) are filled at build
+//! time, once per distinct table cell, under a chunk-scoped memo-cache
+//! session ([`Profiler::begin_slack_roi_chunk`]) that touches each
+//! shared cache shard at most once per lease.
+//!
 //! **Bit-identity is the contract**: the plan assembles each point from
 //! the *same* shared sub-expressions (`ProjectionModel::projected_compute`,
 //! `serialized_ar_time`, `ProjectedIteration::serialized_comm_fraction`,
@@ -26,15 +37,16 @@
 //! fall back to naive evaluation; [`PlannerMode::Auto`] makes that
 //! decision per grid.
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use crate::overlapped::overlap_pct;
+use crate::overlapped::{overlap_pct_with, roi_query};
 use crate::serialized::{projection_baseline, sweep_hyper, Method};
 use crate::sweep::{eval_grid_point, GridPoint, PointResults};
 use twocs_hw::{DeviceSpec, HwEvolution};
-use twocs_opmodel::{ProjectedIteration, ProjectionModel};
-use twocs_transformer::{Hyperparams, ParallelConfig};
+use twocs_opmodel::{Profiler, ProjectedIteration, ProjectionModel};
+use twocs_transformer::Hyperparams;
 
 /// Which evaluation path a sweep should take.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,9 +112,27 @@ impl std::str::FromStr for PlannerMode {
     }
 }
 
-/// Per-axis tables for one point set: everything that does not vary with
-/// TP is built once per distinct axis value, and [`FactoredPlan::eval`]
-/// assembles each point from lookups plus the shared combine.
+/// Render a caught panic payload the way the sweep pool does.
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "grid point panicked".to_owned())
+}
+
+/// Struct-of-arrays tables for one point set: every expensive
+/// sub-expression is computed once per distinct table cell at build
+/// time, and [`FactoredPlan::eval_batch`] assembles each point from flat
+/// `f64` column reads plus the cheap shared combine.
+///
+/// Layout: the axis maps assign dense indices to the distinct ratios,
+/// `(H, SL)` shapes, and TP degrees seen in the point set; the triple
+/// tables (`compute`, `backward`, `overlap`, `filled`) are flat vectors
+/// indexed `(si * ratios + ri) * tps + ti`, filled only for the cells
+/// that actually occur (the grid prunes unrealistic `(H, TP)` pairs, so
+/// the cross product has holes); `serialized_ar` is TP-independent and
+/// indexed `si * ratios + ri`.
 #[derive(Debug, Clone)]
 pub struct FactoredPlan {
     batch: u64,
@@ -111,28 +141,44 @@ pub struct FactoredPlan {
     base_device: DeviceSpec,
     /// Distinct flop-vs-bw ratios (by bit pattern), first-seen order.
     ratio_idx: HashMap<u64, usize>,
+    /// Distinct `(H, SL)` shapes, first-seen order.
+    shape_idx: HashMap<(u64, u64), usize>,
+    /// Distinct TP degrees, first-seen order.
+    tp_idx: HashMap<u64, usize>,
     /// Evolved device per ratio — `HwEvolution` applied exactly as
     /// [`eval_grid_point`] does.
     devices: Vec<DeviceSpec>,
-    /// One projection baseline per evolved device (the dominant
-    /// per-point cost of the naive path, hoisted to the ratio axis).
-    models: Vec<ProjectionModel>,
-    /// Distinct `(H, SL)` shapes, first-seen order.
-    shape_idx: HashMap<(u64, u64), usize>,
     /// Sweep hyperparameters per shape.
     hypers: Vec<Hyperparams>,
-    /// Serialized TP all-reduce time per `[shape][ratio]` — Eq. 12
+    /// TP degree per dense TP index.
+    tps: Vec<u64>,
+    /// Serialized TP all-reduce time per `si * ratios + ri` — Eq. 12
     /// priced once per activation size per device, reused across the
     /// whole TP axis.
-    serialized_ar: Vec<Vec<f64>>,
+    serialized_ar: Vec<f64>,
+    /// Projected per-layer compute time per filled triple.
+    compute: Vec<f64>,
+    /// Projected per-layer backward compute time per filled triple.
+    backward: Vec<f64>,
+    /// Overlapped-communication percentage per filled triple.
+    overlap: Vec<f64>,
+    /// Whether a triple cell occurs in the build point set; unfilled
+    /// cells hold zeros and resolve to the naive fallback.
+    filled: Vec<bool>,
 }
 
 impl FactoredPlan {
-    /// Build per-axis tables for `points`, or `None` if the point set
+    /// Build the SoA tables for `points`, or `None` if the point set
     /// cannot be factored: the simulation method (the discrete-event
     /// engine is evaluated whole, per point) or any point the naive path
     /// would reject with a panic (the per-point `error` contract must be
     /// preserved, so such grids run naively).
+    ///
+    /// Table filling is grouped by ratio so each evolved device profiles
+    /// its slack-ROI cells under one chunk-scoped cache session
+    /// ([`Profiler::begin_slack_roi_chunk`]): every distinct key is
+    /// resolved against the shared memo-cache shards at most once per
+    /// build, and the warm path never takes a shard lock per cell.
     #[must_use]
     pub fn build(
         device: &DeviceSpec,
@@ -155,7 +201,10 @@ impl FactoredPlan {
         let mut devices = Vec::new();
         let mut models = Vec::new();
         let mut shape_idx = HashMap::new();
+        let mut shapes: Vec<(u64, u64)> = Vec::new();
         let mut hypers: Vec<Hyperparams> = Vec::new();
+        let mut tp_idx = HashMap::new();
+        let mut tps: Vec<u64> = Vec::new();
         for p in points {
             ratio_idx.entry(p.ratio.to_bits()).or_insert_with(|| {
                 // Mirror eval_grid_point: evolve only for ratios above 1.
@@ -169,14 +218,57 @@ impl FactoredPlan {
                 devices.len() - 1
             });
             shape_idx.entry((p.h, p.sl)).or_insert_with(|| {
+                shapes.push((p.h, p.sl));
                 hypers.push(sweep_hyper(p.h, p.sl, batch));
                 hypers.len() - 1
             });
+            tp_idx.entry(p.tp).or_insert_with(|| {
+                tps.push(p.tp);
+                tps.len() - 1
+            });
         }
-        let serialized_ar = hypers
-            .iter()
-            .map(|hyper| models.iter().map(|m| m.serialized_ar_time(hyper)).collect())
-            .collect();
+        let (nr, nt) = (devices.len(), tps.len());
+        let mut serialized_ar = vec![0.0; hypers.len() * nr];
+        for (si, hyper) in hypers.iter().enumerate() {
+            for (ri, m) in models.iter().enumerate() {
+                serialized_ar[si * nr + ri] = m.serialized_ar_time(hyper);
+            }
+        }
+
+        // Collect the triple cells that occur, grouped by ratio so each
+        // evolved device runs one profiler + one chunk-scoped cache
+        // session over all of its cells.
+        let cells = hypers.len() * nr * nt;
+        let mut compute = vec![0.0; cells];
+        let mut backward = vec![0.0; cells];
+        let mut overlap = vec![0.0; cells];
+        let mut filled = vec![false; cells];
+        let mut todo: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nr];
+        for p in points {
+            let ri = ratio_idx[&p.ratio.to_bits()];
+            let si = shape_idx[&(p.h, p.sl)];
+            let ti = tp_idx[&p.tp];
+            let flat = (si * nr + ri) * nt + ti;
+            if !filled[flat] {
+                filled[flat] = true;
+                todo[ri].push((si, ti));
+            }
+        }
+        for (ri, cells) in todo.iter().enumerate() {
+            let profiler = Profiler::new(devices[ri].clone());
+            let _chunk = profiler.begin_slack_roi_chunk(cells.iter().map(|&(si, ti)| {
+                let (h, sl) = shapes[si];
+                roi_query(h, sl * batch, tps[ti], 4)
+            }));
+            for &(si, ti) in cells {
+                let flat = (si * nr + ri) * nt + ti;
+                let (c, b) = models[ri].projected_compute(&hypers[si], tps[ti]);
+                compute[flat] = c;
+                backward[flat] = b;
+                let (h, sl) = shapes[si];
+                overlap[flat] = overlap_pct_with(&profiler, h, sl * batch, tps[ti], 4);
+            }
+        }
         twocs_obs::metrics::global()
             .counter("sweep.factored_plans")
             .inc();
@@ -185,11 +277,16 @@ impl FactoredPlan {
             batch,
             base_device: device.clone(),
             ratio_idx,
-            devices,
-            models,
             shape_idx,
+            tp_idx,
+            devices,
             hypers,
+            tps,
             serialized_ar,
+            compute,
+            backward,
+            overlap,
+            filled,
         })
     }
 
@@ -205,6 +302,50 @@ impl FactoredPlan {
         self.devices.len()
     }
 
+    /// Number of distinct TP degrees the plan tabulated.
+    #[must_use]
+    pub fn tps(&self) -> usize {
+        self.tps.len()
+    }
+
+    /// Dense flat index of `p`'s filled table cell, or `None` for a
+    /// point outside the plan's axes (or on an unfilled cell of the
+    /// pruned cross product).
+    fn resolve(&self, p: GridPoint) -> Option<usize> {
+        let &ri = self.ratio_idx.get(&p.ratio.to_bits())?;
+        let &si = self.shape_idx.get(&(p.h, p.sl))?;
+        let &ti = self.tp_idx.get(&p.tp)?;
+        let flat = (si * self.devices.len() + ri) * self.tps.len() + ti;
+        self.filled[flat].then_some(flat)
+    }
+
+    /// The shared combine over one filled table cell: identical
+    /// arithmetic (and f64 addition order) to the naive path, with the
+    /// sweep path's fixed degrees folded in — `ParallelConfig::new()
+    /// .tensor(tp)` means `DP = PP = 1`, so the overlapped-DP term is
+    /// exactly `0.0` and the layer count is undivided.
+    #[inline]
+    fn combine(&self, flat: usize) -> (f64, f64) {
+        let nt = self.tps.len();
+        let (pair, ti) = (flat / nt, flat % nt);
+        let si = pair / self.devices.len();
+        let projected = ProjectedIteration {
+            layers: self.hypers[si].layers(),
+            compute_per_layer: self.compute[flat],
+            backward_compute_per_layer: self.backward[flat],
+            serialized_comm_per_layer: if self.tps[ti] > 1 {
+                self.serialized_ar[pair]
+            } else {
+                0.0
+            },
+            overlapped_comm_per_layer: 0.0,
+        };
+        (
+            100.0 * projected.serialized_comm_fraction(),
+            self.overlap[flat],
+        )
+    }
+
     /// Evaluate one grid point from the tables. Bit-identical to
     /// [`eval_grid_point`] by construction: the combine runs the same
     /// shared sub-expressions, only their inputs come from tables. A
@@ -213,43 +354,46 @@ impl FactoredPlan {
     /// kernel.
     #[must_use]
     pub fn eval(&self, p: GridPoint) -> (f64, f64) {
-        let (Some(&ri), Some(&si)) = (
-            self.ratio_idx.get(&p.ratio.to_bits()),
-            self.shape_idx.get(&(p.h, p.sl)),
-        ) else {
-            return eval_grid_point(&self.base_device, p, self.batch, Method::Projection);
-        };
-        let model = &self.models[ri];
-        let hyper = &self.hypers[si];
-        let parallel = ParallelConfig::new().tensor(p.tp);
-        let (compute, backward_compute) = model.projected_compute(hyper, p.tp);
-        let serialized_comm = if p.tp > 1 {
-            self.serialized_ar[si][ri]
-        } else {
-            0.0
-        };
-        let overlapped_comm = if parallel.dp() > 1 {
-            model.overlapped_ar_time(hyper, &parallel)
-        } else {
-            0.0
-        };
-        let projected = ProjectedIteration {
-            layers: hyper.layers() / parallel.pp(),
-            compute_per_layer: compute,
-            backward_compute_per_layer: backward_compute,
-            serialized_comm_per_layer: serialized_comm,
-            overlapped_comm_per_layer: overlapped_comm,
-        };
-        let serialized = 100.0 * projected.serialized_comm_fraction();
-        let overlap = overlap_pct(&self.devices[ri], p.h, p.sl * self.batch, p.tp, 4);
-        (serialized, overlap)
+        match self.resolve(p) {
+            Some(flat) => self.combine(flat),
+            None => eval_grid_point(&self.base_device, p, self.batch, Method::Projection),
+        }
+    }
+
+    /// Evaluate a lease-sized chunk of points into `out` (cleared
+    /// first), in point order: two tight passes — resolve every point to
+    /// its flat table cell, then combine the f64 columns — with zero
+    /// per-point allocation and no `catch_unwind` on the happy path.
+    /// Points outside the tables fall back to the scalar path
+    /// ([`Self::eval`]) with their panics caught per point, preserving
+    /// the executor contract that a malformed point degrades to an
+    /// `Err` entry instead of aborting the chunk.
+    pub fn eval_batch(&self, points: &[GridPoint], out: &mut PointResults) {
+        out.clear();
+        out.reserve(points.len());
+        // Pass 1: resolve. usize::MAX marks points needing the fallback.
+        let mut cells = Vec::with_capacity(points.len());
+        cells.extend(
+            points
+                .iter()
+                .map(|&p| self.resolve(p).unwrap_or(usize::MAX)),
+        );
+        // Pass 2: combine resolved cells; scalar fallback otherwise.
+        for (&p, &flat) in points.iter().zip(&cells) {
+            if flat != usize::MAX {
+                out.push(Ok(self.combine(flat)));
+            } else {
+                out.push(catch_unwind(AssertUnwindSafe(|| self.eval(p))).map_err(panic_message));
+            }
+        }
     }
 }
 
 /// Evaluate one chunk of grid points the way a distributed worker (or
-/// any other chunk-at-a-time caller) needs: factored when the chunk
-/// supports it, naive otherwise, with each point's panic caught and
-/// reported as that point's error — never aborting the chunk.
+/// any other chunk-at-a-time caller) needs: batch-factored when the
+/// chunk supports it ([`FactoredPlan::eval_batch`]), naive otherwise,
+/// with each point's panic caught and reported as that point's error —
+/// never aborting the chunk.
 #[must_use]
 pub fn eval_chunk(
     device: &DeviceSpec,
@@ -257,23 +401,17 @@ pub fn eval_chunk(
     batch: u64,
     method: Method,
 ) -> PointResults {
-    let plan = PlannerMode::Auto.plan(device, points, batch, method);
-    points
-        .iter()
-        .map(|&p| {
-            catch_unwind(AssertUnwindSafe(|| match &plan {
-                Some(plan) => plan.eval(p),
-                None => eval_grid_point(device, p, batch, method),
+    let mut out = PointResults::with_capacity(points.len());
+    match PlannerMode::Auto.plan(device, points, batch, method) {
+        Some(plan) => plan.eval_batch(points, &mut out),
+        None => out.extend(points.iter().map(|&p| {
+            catch_unwind(AssertUnwindSafe(|| {
+                eval_grid_point(device, p, batch, method)
             }))
-            .map_err(|payload| {
-                payload
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "grid point panicked".to_owned())
-            })
-        })
-        .collect()
+            .map_err(panic_message)
+        })),
+    }
+    out
 }
 
 #[cfg(test)]
@@ -311,6 +449,26 @@ mod tests {
     }
 
     #[test]
+    fn eval_batch_is_bit_identical_to_scalar_eval() {
+        let device = DeviceSpec::mi210();
+        let grid = projection_grid();
+        let points = grid.points();
+        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method).unwrap();
+        let mut out = PointResults::new();
+        plan.eval_batch(&points, &mut out);
+        assert_eq!(out.len(), points.len());
+        for (p, r) in points.iter().zip(&out) {
+            let scalar = plan.eval(*p);
+            let batch = r.as_ref().unwrap();
+            assert_eq!(
+                (scalar.0.to_bits(), scalar.1.to_bits()),
+                (batch.0.to_bits(), batch.1.to_bits()),
+                "point {p:?}"
+            );
+        }
+    }
+
+    #[test]
     fn plan_tabulates_each_axis_value_once() {
         let device = DeviceSpec::mi210();
         let grid = projection_grid();
@@ -318,6 +476,7 @@ mod tests {
         let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method).unwrap();
         assert_eq!(plan.shapes(), 4); // 2 H × 2 SL
         assert_eq!(plan.ratios(), 2);
+        assert_eq!(plan.tps(), 3);
     }
 
     #[test]
@@ -347,6 +506,28 @@ mod tests {
         }];
         assert!(FactoredPlan::build(&device, &points, 1, Method::Projection).is_none());
         assert!(FactoredPlan::build(&device, &[], 1, Method::Projection).is_none());
+    }
+
+    #[test]
+    fn points_off_the_plan_axes_resolve_to_scalar_fallback() {
+        let device = DeviceSpec::mi210();
+        let grid = projection_grid();
+        let points = grid.points();
+        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method).unwrap();
+        // A well-formed point the plan never saw (H off the axis) must
+        // evaluate through the fallback, bit-identical to naive.
+        let off = GridPoint {
+            h: 8192,
+            sl: 2048,
+            tp: 4,
+            ratio: 1.0,
+        };
+        assert!(plan.resolve(off).is_none());
+        let naive = eval_grid_point(&device, off, grid.batch, grid.method);
+        assert_eq!(plan.eval(off), naive);
+        let mut out = PointResults::new();
+        plan.eval_batch(&[off], &mut out);
+        assert_eq!(out[0].as_ref().unwrap(), &naive);
     }
 
     #[test]

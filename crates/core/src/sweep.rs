@@ -634,21 +634,18 @@ impl GridExecutor for LocalExecutor {
         set_parallelism(self.jobs);
         let points = sweep.points();
         let plan = PlannerMode::Auto.plan(device, &points, sweep.batch, sweep.method);
-        let raw = match &plan {
-            Some(plan) => run_tasks_labeled(
-                self.jobs,
-                points.len(),
-                |i| grid_point_label(&points[i]),
-                |i| plan.eval(points[i]),
-            ),
-            None => run_tasks_labeled(
-                self.jobs,
-                points.len(),
-                |i| grid_point_label(&points[i]),
-                |i| eval_grid_point(device, points[i], sweep.batch, sweep.method),
-            ),
-        };
-        Ok(raw.into_iter().map(|t| t.result).collect())
+        match &plan {
+            Some(plan) => Ok(run_batch_tasks(plan, &points, self.jobs).0),
+            None => {
+                let raw = run_tasks_labeled(
+                    self.jobs,
+                    points.len(),
+                    |i| grid_point_label(&points[i]),
+                    |i| eval_grid_point(device, points[i], sweep.batch, sweep.method),
+                );
+                Ok(raw.into_iter().map(|t| t.result).collect())
+            }
+        }
     }
 
     fn describe(&self) -> String {
@@ -662,6 +659,64 @@ impl GridExecutor for LocalExecutor {
 
 fn grid_point_label(p: &GridPoint) -> String {
     format!("H={} SL={} TP={} r={}", p.h, p.sl, p.tp, p.ratio)
+}
+
+/// Lease size for batch-factored pool tasks: enough chunks to keep every
+/// worker busy twice over (so uneven chunk costs still load-balance),
+/// capped at 64 points so per-chunk results stay cache-friendly and a
+/// panicking chunk degrades a bounded slice of the grid.
+fn batch_chunk_size(points: usize, jobs: usize) -> usize {
+    points.div_ceil(jobs.max(1) * 2).clamp(1, 64)
+}
+
+/// Span label for one batch chunk task: the point label when the chunk
+/// is a single point, the grid-order range otherwise.
+fn chunk_label(start: usize, points: &[GridPoint]) -> String {
+    match points {
+        [p] => grid_point_label(p),
+        _ => format!("points {}..{}", start, start + points.len()),
+    }
+}
+
+/// Fan a factored plan's [`FactoredPlan::eval_batch`] over the pool in
+/// lease-sized chunks — one task per chunk instead of one per point —
+/// and flatten back to per-point results in grid order. A chunk task
+/// that panics (the batch path catches per-point fallback panics itself,
+/// so this means a planner bug, not a malformed point) degrades to one
+/// `Err` per covered point, preserving the executor contract.
+fn run_batch_tasks(
+    plan: &FactoredPlan,
+    points: &[GridPoint],
+    jobs: usize,
+) -> (PointResults, Vec<TaskTiming>) {
+    let chunk = batch_chunk_size(points.len(), jobs);
+    let chunked: Vec<&[GridPoint]> = points.chunks(chunk).collect();
+    let raw = run_tasks_labeled(
+        jobs,
+        chunked.len(),
+        |i| chunk_label(i * chunk, chunked[i]),
+        |i| {
+            let mut out = PointResults::with_capacity(chunked[i].len());
+            plan.eval_batch(chunked[i], &mut out);
+            out
+        },
+    );
+    let mut results = PointResults::with_capacity(points.len());
+    let mut timings = Vec::with_capacity(raw.len());
+    for (i, (c, t)) in chunked.iter().zip(raw).enumerate() {
+        timings.push(TaskTiming {
+            label: chunk_label(i * chunk, c),
+            elapsed: t.elapsed,
+            ok: t.result.is_ok(),
+            worker: t.worker,
+            cold: t.cache_misses > 0,
+        });
+        match t.result {
+            Ok(rs) => results.extend(rs),
+            Err(msg) => results.extend(c.iter().map(|_| Err(msg.clone()))),
+        }
+    }
+    (results, timings)
 }
 
 impl GridSweep {
@@ -815,43 +870,44 @@ impl GridSweep {
         let before = cache_snapshot();
         let start = Instant::now();
         let plan = planner.plan(device, &points, self.batch, self.method);
-        let raw = match &plan {
-            Some(plan) => run_tasks_labeled(
-                jobs,
-                points.len(),
-                |i| grid_point_label(&points[i]),
-                |i| plan.eval(points[i]),
-            ),
-            None => run_tasks_labeled(
-                jobs,
-                points.len(),
-                |i| grid_point_label(&points[i]),
-                |i| eval_grid_point(device, points[i], self.batch, self.method),
-            ),
+        let (results, timings) = match &plan {
+            // Factored grids run batch-shaped: the plan's SoA tables are
+            // filled once (on this thread, under a chunk-scoped cache
+            // session) and the pool walks lease-sized chunks through
+            // `eval_batch` — one task per chunk, not per point.
+            Some(plan) => run_batch_tasks(plan, &points, jobs),
+            None => {
+                let raw = run_tasks_labeled(
+                    jobs,
+                    points.len(),
+                    |i| grid_point_label(&points[i]),
+                    |i| eval_grid_point(device, points[i], self.batch, self.method),
+                );
+                let timings = points
+                    .iter()
+                    .zip(&raw)
+                    .map(|(p, t)| TaskTiming {
+                        label: grid_point_label(p),
+                        elapsed: t.elapsed,
+                        ok: t.result.is_ok(),
+                        worker: t.worker,
+                        cold: t.is_cold(),
+                    })
+                    .collect();
+                let results = raw.into_iter().map(|t| t.result).collect();
+                (results, timings)
+            }
         };
         let wall = start.elapsed();
         let after = cache_snapshot();
 
-        let results: PointResults = raw.iter().map(|t| t.result.clone()).collect();
         let table = Self::tabulate(&points, &results);
-
-        let timings: Vec<TaskTiming> = points
-            .iter()
-            .zip(&raw)
-            .map(|(p, t)| TaskTiming {
-                label: grid_point_label(p),
-                elapsed: t.elapsed,
-                ok: t.result.is_ok(),
-                worker: t.worker,
-                cold: t.is_cold(),
-            })
-            .collect();
         let summary = SweepSummary {
             jobs: jobs.max(1),
-            tasks: raw.len(),
-            failures: raw.iter().filter(|t| t.result.is_err()).count(),
+            tasks: timings.len(),
+            failures: results.iter().filter(|r| r.is_err()).count(),
             wall,
-            task_time: raw.iter().map(|t| t.elapsed).sum(),
+            task_time: timings.iter().map(|t| t.elapsed).sum(),
             workers: SweepSummary::workers_from_timings(jobs, &timings),
             timings,
             gemm_cache: after.0.since(&before.0),
@@ -960,7 +1016,14 @@ mod tests {
         let (serial, _) = sweep.run(&device, 1);
         let (parallel, summary) = sweep.run(&device, 8);
         assert_eq!(serial.to_csv(), parallel.to_csv());
-        assert_eq!(summary.tasks, sweep.points().len());
+        // Factored grids run one pool task per lease-sized chunk, so the
+        // task count is bounded by (and can be below) the point count.
+        assert!(
+            summary.tasks >= 1 && summary.tasks <= sweep.points().len(),
+            "tasks {} for {} points",
+            summary.tasks,
+            sweep.points().len()
+        );
         assert_eq!(summary.failures, 0);
     }
 
@@ -1039,7 +1102,10 @@ mod tests {
     /// them into one per-experiment average.
     ///
     /// Uses a distinctive (H, SL) so concurrently running tests cannot
-    /// pre-warm its cache keys.
+    /// pre-warm its cache keys, and the naive planner so the cache
+    /// activity is charged to the point's task — factored plans
+    /// front-load all memo-cache work into plan construction on the
+    /// calling thread, leaving every pool task warm by design.
     #[test]
     fn cold_first_run_then_warm_rerun_are_classified_separately() {
         let sweep = GridSweep {
@@ -1051,8 +1117,8 @@ mod tests {
             method: Method::Projection,
         };
         let device = DeviceSpec::mi210();
-        let (_, first) = sweep.run(&device, 1);
-        let (_, second) = sweep.run(&device, 1);
+        let (_, first) = sweep.run_mode(&device, 1, PlannerMode::Naive);
+        let (_, second) = sweep.run_mode(&device, 1, PlannerMode::Naive);
         assert_eq!(first.tasks, 1);
         assert!(first.timings[0].cold, "first touch must be cache-cold");
         assert!(!second.timings[0].cold, "identical rerun must be warm");

@@ -185,11 +185,78 @@ pub struct MemoCache<K, V> {
     shards: Box<[Shard<K, V>]>,
     hits: Counter,
     misses: Counter,
+    /// Chunk scopes opened on this cache (see [`MemoCache::begin_chunk`]).
+    chunks: Counter,
     /// Resident-entry gauge mirror (detached unless the cache is named).
     entries_gauge: Gauge,
     /// Bumped by `clear()`; thread-local L1 tables flush on mismatch.
     generation: AtomicU64,
     id: u64,
+}
+
+/// RAII scope for one lease-sized chunk of work against a [`MemoCache`]
+/// (see [`MemoCache::begin_chunk`]). Construction pre-resolves the
+/// chunk's distinct keys against the shared shards — each shard's lock
+/// is taken at most once — copying every shard-resident value into the
+/// calling thread's L1 table, so the chunk's per-point lookups that
+/// follow are lock-free L1 hits. Dropping the scope "ends" the chunk:
+/// it bumps the cache's chunk counter and leaves the L1 warm for the
+/// next lease on the same thread.
+#[must_use = "the chunk ends when the scope is dropped"]
+pub struct ChunkScope<'a, K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    cache: &'a MemoCache<K, V>,
+    /// Keys the prefetch copied from shared shards into the L1.
+    prefetched: usize,
+    /// Shard read-locks the prefetch acquired (≤ [`SHARDS`]).
+    shard_probes: usize,
+}
+
+impl<K, V> ChunkScope<'_, K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Keys the prefetch copied from shared shards into this thread's L1
+    /// (keys already in the L1, or absent from the shared table, are not
+    /// counted).
+    #[must_use]
+    pub fn prefetched(&self) -> usize {
+        self.prefetched
+    }
+
+    /// Shard locks the prefetch took — at most one per shard per chunk,
+    /// however many keys the chunk touches.
+    #[must_use]
+    pub fn shard_probes(&self) -> usize {
+        self.shard_probes
+    }
+}
+
+impl<K, V> fmt::Debug for ChunkScope<'_, K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChunkScope")
+            .field("prefetched", &self.prefetched)
+            .field("shard_probes", &self.shard_probes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V> Drop for ChunkScope<'_, K, V>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: Clone + 'static,
+{
+    fn drop(&mut self) {
+        self.cache.chunks.inc();
+    }
 }
 
 /// One lock-striped shard of the shared table.
@@ -207,11 +274,17 @@ where
     K: Eq + Hash + Clone + 'static,
     V: Clone + 'static,
 {
-    fn with_counters(hits: Counter, misses: Counter, entries_gauge: Gauge) -> Self {
+    fn with_counters(
+        hits: Counter,
+        misses: Counter,
+        chunks: Counter,
+        entries_gauge: Gauge,
+    ) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits,
             misses,
+            chunks,
             entries_gauge,
             generation: AtomicU64::new(0),
             id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
@@ -221,27 +294,38 @@ where
     /// Create an empty cache with detached (unpublished) counters.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_counters(Counter::detached(), Counter::detached(), Gauge::detached())
+        Self::with_counters(
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+            Gauge::detached(),
+        )
     }
 
     /// Create an empty cache whose counters are registered in the global
     /// `twocs-obs` metrics registry as `cache.<name>.hits` /
-    /// `cache.<name>.misses` plus a `cache.<name>.entries` gauge, so
-    /// `--metrics` reports its hit rate and size.
+    /// `cache.<name>.misses` / `cache.<name>.chunks` plus a
+    /// `cache.<name>.entries` gauge, so `--metrics` reports its hit rate
+    /// and size.
     #[must_use]
     pub fn named(name: &str) -> Self {
         let registry = twocs_obs::metrics::global();
         Self::with_counters(
             registry.counter(&format!("cache.{name}.hits")),
             registry.counter(&format!("cache.{name}.misses")),
+            registry.counter(&format!("cache.{name}.chunks")),
             registry.gauge(&format!("cache.{name}.entries")),
         )
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Slot<V>>> {
+    fn shard_index(&self, key: &K) -> usize {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+        (hasher.finish() as usize) & (SHARDS - 1)
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Slot<V>>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Probe this thread's L1 table; no lock taken.
@@ -377,6 +461,58 @@ where
                     return value;
                 }
             }
+        }
+    }
+
+    /// Begin a chunk-scoped lookup session: pre-resolve `keys` against
+    /// the shared shards, touching each shard **at most once** for the
+    /// whole chunk instead of once per key.
+    ///
+    /// Keys already in this thread's L1 cost no lock at all. The
+    /// remaining keys are grouped by shard and probed under a single
+    /// read-lock per shard; every `Ready` value found is copied into the
+    /// L1, so the chunk's per-point `get_or_insert_with` calls that
+    /// follow are lock-free L1 hits. Keys absent from the shared table
+    /// (or still being computed by another thread) are left to the
+    /// normal lookup path — computed once, in-flight deduplicated, and
+    /// counted as misses exactly as if no prefetch had happened.
+    ///
+    /// The prefetch itself records no hits or misses: the counters keep
+    /// describing what the chunk's real lookups did. The returned
+    /// [`ChunkScope`] ends the chunk on drop (bumping
+    /// `cache.<name>.chunks` for named caches).
+    pub fn begin_chunk(&self, keys: impl IntoIterator<Item = K>) -> ChunkScope<'_, K, V> {
+        let generation = self.generation.load(Ordering::Acquire);
+        // Distinct keys this thread has not seen yet, grouped by shard so
+        // each shard's lock is taken at most once below.
+        let mut by_shard: Vec<Vec<K>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for key in keys {
+            if self.l1_get(generation, &key).is_none() {
+                by_shard[self.shard_index(&key)].push(key);
+            }
+        }
+        let mut prefetched = 0;
+        let mut shard_probes = 0;
+        for (s, keys) in by_shard.into_iter().enumerate() {
+            if keys.is_empty() {
+                continue;
+            }
+            shard_probes += 1;
+            let map = self.shards[s]
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            for key in keys {
+                if let Some(Slot::Ready(v)) = map.get(&key) {
+                    let value = v.clone();
+                    self.l1_put(generation, key, value);
+                    prefetched += 1;
+                }
+            }
+        }
+        ChunkScope {
+            cache: self,
+            prefetched,
+            shard_probes,
         }
     }
 
@@ -691,6 +827,73 @@ mod tests {
         // Same key, different cache: must compute its own value.
         assert_eq!(b.get_or_insert_with(1, || 20), 20);
         assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn chunk_prefetch_copies_shard_entries_into_l1() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        // Fill the shared shards from another thread, so this thread's L1
+        // is guaranteed cold for every key.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for k in 0..32u64 {
+                    let _ = cache.get_or_insert_with(k, move || k * 2);
+                }
+            });
+        });
+        let scope = cache.begin_chunk(0..32u64);
+        assert_eq!(scope.prefetched(), 32);
+        // 32 keys resolved with at most one lock acquisition per shard.
+        assert!(scope.shard_probes() <= SHARDS, "{}", scope.shard_probes());
+        // Every prefetched key is now answerable without computing.
+        for k in 0..32u64 {
+            assert_eq!(
+                cache.get_or_insert_with(k, || unreachable!("prefetched key recomputed")),
+                k * 2
+            );
+        }
+        drop(scope);
+    }
+
+    #[test]
+    fn chunk_prefetch_leaves_counters_untouched() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let _ = cache.get_or_insert_with(1, || 10);
+        let before = cache.stats();
+        let scope = cache.begin_chunk([1, 2, 3]);
+        let after = cache.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+        drop(scope);
+    }
+
+    #[test]
+    fn chunk_prefetch_of_absent_keys_is_harmless() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let scope = cache.begin_chunk(0..8u64);
+        assert_eq!(scope.prefetched(), 0);
+        drop(scope);
+        // Absent keys still compute normally (and count as misses).
+        assert_eq!(cache.get_or_insert_with(3, || 33), 33);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn chunk_prefetch_skips_keys_already_in_l1() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        // Computed on this thread, so it is already in this thread's L1.
+        let _ = cache.get_or_insert_with(5, || 50);
+        let scope = cache.begin_chunk([5]);
+        assert_eq!((scope.prefetched(), scope.shard_probes()), (0, 0));
+        drop(scope);
+    }
+
+    #[test]
+    fn named_cache_counts_chunks() {
+        let cache: MemoCache<u64, u64> = MemoCache::named("test_chunks");
+        drop(cache.begin_chunk([1, 2]));
+        drop(cache.begin_chunk(std::iter::empty()));
+        let reg = twocs_obs::metrics::global();
+        assert_eq!(reg.counter("cache.test_chunks.chunks").get(), 2);
     }
 
     #[test]
