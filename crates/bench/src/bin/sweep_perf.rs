@@ -45,8 +45,13 @@ fn bench_grid() -> GridSweep {
         sls: vec![2048, 4096],
         tps: vec![4, 8, 16, 32, 64, 128, 256],
         flop_vs_bw: vec![1.0],
+        // Exercise the MoE and pipeline axis tables: 4x the legacy point
+        // count, so the perf gate holds on the enlarged grid.
+        experts: vec![1, 8],
+        stages: vec![1, 2],
         batch: 1,
         method: Method::Projection,
+        ..GridSweep::default()
     }
 }
 
@@ -65,10 +70,16 @@ fn sweep_query(grid: &GridSweep, jobs: usize, planner: PlannerMode) -> String {
             .join(",")
     };
     format!(
-        "h={}&sl={}&tp={}&flop_vs_bw=1&method=proj&planner={planner}&jobs={jobs}&format=csv",
+        "h={}&sl={}&tp={}&flop_vs_bw=1&experts={}&top_k={}&stages={}&micro_batches={}&sp={}\
+         &method=proj&planner={planner}&jobs={jobs}&format=csv",
         join(&grid.hs),
         join(&grid.sls),
         join(&grid.tps),
+        join(&grid.experts),
+        join(&grid.top_ks),
+        join(&grid.stages),
+        join(&grid.micro_batches),
+        join(&grid.sps),
     )
 }
 
@@ -313,6 +324,7 @@ fn main() {
                         &chunk.points,
                         grid.batch,
                         grid.method,
+                        grid.workload,
                     ));
                 }
             });
@@ -330,8 +342,8 @@ fn main() {
     let results: Vec<String> = c.results().iter().map(result_json).collect();
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_perf\",\n  \"grid\": {{\"points\": {}, \"h\": [{}], \
-         \"sl\": [{}], \"tp\": [{}], \"flop_vs_bw\": [1.0], \"batch\": {}, \"method\": \
-         \"projection\"}},\n  \"jobs\": {},\n  \"smoke\": {},\n  \
+         \"sl\": [{}], \"tp\": [{}], \"flop_vs_bw\": [1.0], \"experts\": [{}], \
+         \"stages\": [{}], \"batch\": {}, \"method\": \"projection\"}},\n  \"jobs\": {},\n  \"smoke\": {},\n  \
          \"byte_identical_naive_factored\": true,\n  \"results\": [\n{}\n  ],\n  \
          \"warm_speedup_factored_vs_naive\": {:.4}\n}}\n",
         points.len(),
@@ -346,6 +358,16 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
         grid.tps
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        grid.experts
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        grid.stages
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()

@@ -8,8 +8,8 @@
 use crate::report::{Figure, Table};
 use crate::serialized::Method;
 use crate::{
-    accuracy, case_study, evolution, inference, overlapped, sensitivity, serialized, techniques,
-    trends,
+    accuracy, case_study, evolution, inference, overlapped, sensitivity, serialized, sweep,
+    techniques, trends,
 };
 use twocs_hw::DeviceSpec;
 use twocs_transformer::zoo;
@@ -241,6 +241,14 @@ fn run_inference(device: &DeviceSpec) -> ExperimentOutput {
     ExperimentOutput::Figure(inference::inference_vs_training_figure(device))
 }
 
+fn run_moe(device: &DeviceSpec) -> ExperimentOutput {
+    ExperimentOutput::Figure(sweep::moe_figure(device))
+}
+
+fn run_inference_workloads(device: &DeviceSpec) -> ExperimentOutput {
+    ExperimentOutput::Figure(inference::workload_figure(device))
+}
+
 /// All registered experiments, in paper order.
 #[must_use]
 pub fn all() -> Vec<ExperimentDef> {
@@ -336,6 +344,22 @@ pub fn all() -> Vec<ExperimentDef> {
             paper_claim: "Comp-vs-Comm translates to distributed inference",
             run: run_inference,
         },
+        ExperimentDef {
+            id: "moe",
+            title: "MoE all-to-all cost",
+            paper_claim:
+                "(repro-specific) expert dispatch traffic raises the serialized fraction with \
+                 expert count, faster on compute-rich hardware",
+            run: run_moe,
+        },
+        ExperimentDef {
+            id: "inference_workloads",
+            title: "Prefill vs decode comp-vs-comm",
+            paper_claim:
+                "(repro-specific) decode is bandwidth-bound and comm-heavier than prefill at \
+                 the same TP (disaggregation rationale of Kundu et al.)",
+            run: run_inference_workloads,
+        },
     ]
 }
 
@@ -367,6 +391,8 @@ mod tests {
             "speedup",
             "techniques",
             "sensitivity",
+            "moe",
+            "inference_workloads",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

@@ -62,6 +62,7 @@ pub mod trends;
 
 pub use algorithmic::AlgorithmicProfile;
 pub use experiments::{ExperimentDef, ExperimentOutput};
+pub use inference::{InferenceIteration, Workload};
 pub use planner::{eval_chunk, FactoredPlan, PlannerMode};
 pub use report::{Figure, Series, Table};
 pub use sweep::{

@@ -41,9 +41,13 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use crate::inference::InferenceIteration;
 use crate::overlapped::{overlap_pct_with, roi_query};
 use crate::serialized::{projection_baseline, sweep_hyper, Method};
-use crate::sweep::{eval_grid_point, GridPoint, PointResults};
+use crate::sweep::{
+    axis_costs, eval_grid_point, extended_fraction_from_parts, AxisCosts, GridPoint, PointResults,
+    Workload,
+};
 use twocs_hw::{DeviceSpec, HwEvolution};
 use twocs_opmodel::{Profiler, ProjectedIteration, ProjectionModel};
 use twocs_transformer::Hyperparams;
@@ -75,11 +79,12 @@ impl PlannerMode {
         points: &[GridPoint],
         batch: u64,
         method: Method,
+        workload: Workload,
     ) -> Option<FactoredPlan> {
         match self {
             PlannerMode::Naive => None,
             PlannerMode::Auto | PlannerMode::Factored => catch_unwind(AssertUnwindSafe(|| {
-                FactoredPlan::build(device, points, batch, method)
+                FactoredPlan::build(device, points, batch, method, workload)
             }))
             .ok()
             .flatten(),
@@ -136,6 +141,11 @@ pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
 #[derive(Debug, Clone)]
 pub struct FactoredPlan {
     batch: u64,
+    /// The workload every point of this plan evaluates under; part of
+    /// the table key space because axis and inference costs depend on
+    /// it (a sweep has exactly one workload, so it is a plan field, not
+    /// an axis).
+    workload: Workload,
     /// The unevolved device the plan was built from, for the naive
     /// fallback on points outside the plan's axes.
     base_device: DeviceSpec,
@@ -145,6 +155,9 @@ pub struct FactoredPlan {
     shape_idx: HashMap<(u64, u64), usize>,
     /// Distinct TP degrees, first-seen order.
     tp_idx: HashMap<u64, usize>,
+    /// Distinct `(experts, top_k, stages, micro_batches, sp)` axis
+    /// tuples, first-seen order.
+    axis_idx: HashMap<(u64, u64, u64, u64, u64), usize>,
     /// Evolved device per ratio — `HwEvolution` applied exactly as
     /// [`eval_grid_point`] does.
     devices: Vec<DeviceSpec>,
@@ -165,6 +178,19 @@ pub struct FactoredPlan {
     /// Whether a triple cell occurs in the build point set; unfilled
     /// cells hold zeros and resolve to the naive fallback.
     filled: Vec<bool>,
+    /// Inference per-layer compute time per filled triple; empty unless
+    /// the plan's workload is prefill or decode.
+    inf_compute: Vec<f64>,
+    /// Inference serialized TP comm per filled triple; empty unless the
+    /// plan's workload is prefill or decode.
+    inf_comm: Vec<f64>,
+    /// Extra serialized comm per layer for the MoE/SP axes, per filled
+    /// `(shape, ratio, axis)` cell — indexed `(si * ratios + ri) * axes + ai`.
+    axis_comm: Vec<f64>,
+    /// Pipeline boundary transfer per filled `(shape, ratio, axis)` cell.
+    axis_p2p: Vec<f64>,
+    /// Whether an axis cell occurs in the build point set.
+    axis_filled: Vec<bool>,
 }
 
 impl FactoredPlan {
@@ -185,13 +211,24 @@ impl FactoredPlan {
         points: &[GridPoint],
         batch: u64,
         method: Method,
+        workload: Workload,
     ) -> Option<Self> {
         if method != Method::Projection || points.is_empty() {
             return None;
         }
-        let valid = points
-            .iter()
-            .all(|p| batch > 0 && p.h > 0 && p.h % 256 == 0 && p.sl > 0 && p.tp > 0);
+        let valid = points.iter().all(|p| {
+            batch > 0
+                && p.h > 0
+                && p.h % 256 == 0
+                && p.sl > 0
+                && p.tp > 0
+                && p.experts > 0
+                && p.top_k > 0
+                && p.top_k <= p.experts
+                && p.stages > 0
+                && p.micro_batches > 0
+                && p.sp > 0
+        });
         if !valid {
             return None;
         }
@@ -205,6 +242,8 @@ impl FactoredPlan {
         let mut hypers: Vec<Hyperparams> = Vec::new();
         let mut tp_idx = HashMap::new();
         let mut tps: Vec<u64> = Vec::new();
+        let mut axis_idx = HashMap::new();
+        let mut axes: Vec<GridPoint> = Vec::new();
         for p in points {
             ratio_idx.entry(p.ratio.to_bits()).or_insert_with(|| {
                 // Mirror eval_grid_point: evolve only for ratios above 1.
@@ -226,8 +265,14 @@ impl FactoredPlan {
                 tps.push(p.tp);
                 tps.len() - 1
             });
+            axis_idx.entry(p.axis_key()).or_insert_with(|| {
+                // Keep a representative point per axis tuple: axis_costs
+                // reads only the axis fields, not (h, sl, tp, ratio).
+                axes.push(*p);
+                axes.len() - 1
+            });
         }
-        let (nr, nt) = (devices.len(), tps.len());
+        let (nr, nt, na) = (devices.len(), tps.len(), axes.len());
         let mut serialized_ar = vec![0.0; hypers.len() * nr];
         for (si, hyper) in hypers.iter().enumerate() {
             for (ri, m) in models.iter().enumerate() {
@@ -243,6 +288,9 @@ impl FactoredPlan {
         let mut backward = vec![0.0; cells];
         let mut overlap = vec![0.0; cells];
         let mut filled = vec![false; cells];
+        let inference = workload != Workload::Training;
+        let mut inf_compute = vec![0.0; if inference { cells } else { 0 }];
+        let mut inf_comm = vec![0.0; if inference { cells } else { 0 }];
         let mut todo: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nr];
         for p in points {
             let ri = ratio_idx[&p.ratio.to_bits()];
@@ -267,6 +315,32 @@ impl FactoredPlan {
                 backward[flat] = b;
                 let (h, sl) = shapes[si];
                 overlap[flat] = overlap_pct_with(&profiler, h, sl * batch, tps[ti], 4);
+                if inference {
+                    let it =
+                        InferenceIteration::model(&devices[ri], &hypers[si], tps[ti], workload);
+                    inf_compute[flat] = it.compute_per_layer;
+                    inf_comm[flat] = it.serialized_comm_per_layer;
+                }
+            }
+        }
+
+        // Axis tables: one cell per occurring (shape, ratio, axis tuple),
+        // priced by the same shared `axis_costs` the naive kernel calls —
+        // that sharing is the bit-identity argument for the new axes.
+        let axis_cells = hypers.len() * nr * na;
+        let mut axis_comm = vec![0.0; axis_cells];
+        let mut axis_p2p = vec![0.0; axis_cells];
+        let mut axis_filled = vec![false; axis_cells];
+        for p in points {
+            let ri = ratio_idx[&p.ratio.to_bits()];
+            let si = shape_idx[&(p.h, p.sl)];
+            let ai = axis_idx[&p.axis_key()];
+            let aflat = (si * nr + ri) * na + ai;
+            if !axis_filled[aflat] {
+                axis_filled[aflat] = true;
+                let costs = axis_costs(&devices[ri], &hypers[si], axes[ai], workload);
+                axis_comm[aflat] = costs.comm_per_layer;
+                axis_p2p[aflat] = costs.pp_p2p;
             }
         }
         twocs_obs::metrics::global()
@@ -275,10 +349,12 @@ impl FactoredPlan {
 
         Some(Self {
             batch,
+            workload,
             base_device: device.clone(),
             ratio_idx,
             shape_idx,
             tp_idx,
+            axis_idx,
             devices,
             hypers,
             tps,
@@ -287,6 +363,11 @@ impl FactoredPlan {
             backward,
             overlap,
             filled,
+            inf_compute,
+            inf_comm,
+            axis_comm,
+            axis_p2p,
+            axis_filled,
         })
     }
 
@@ -308,24 +389,38 @@ impl FactoredPlan {
         self.tps.len()
     }
 
-    /// Dense flat index of `p`'s filled table cell, or `None` for a
-    /// point outside the plan's axes (or on an unfilled cell of the
-    /// pruned cross product).
-    fn resolve(&self, p: GridPoint) -> Option<usize> {
+    /// Number of distinct MoE/PP/SP axis tuples the plan tabulated.
+    #[must_use]
+    pub fn axes(&self) -> usize {
+        self.axis_idx.len()
+    }
+
+    /// Dense flat indices of `p`'s filled table cells — the `(shape,
+    /// ratio, tp)` triple and the `(shape, ratio, axis)` cell — or
+    /// `None` for a point outside the plan's axes (or on an unfilled
+    /// cell of the pruned cross product).
+    fn resolve(&self, p: GridPoint) -> Option<(usize, usize)> {
         let &ri = self.ratio_idx.get(&p.ratio.to_bits())?;
         let &si = self.shape_idx.get(&(p.h, p.sl))?;
         let &ti = self.tp_idx.get(&p.tp)?;
-        let flat = (si * self.devices.len() + ri) * self.tps.len() + ti;
-        self.filled[flat].then_some(flat)
+        let &ai = self.axis_idx.get(&p.axis_key())?;
+        let pair = si * self.devices.len() + ri;
+        let flat = pair * self.tps.len() + ti;
+        let aflat = pair * self.axis_idx.len() + ai;
+        (self.filled[flat] && self.axis_filled[aflat]).then_some((flat, aflat))
     }
 
     /// The shared combine over one filled table cell: identical
     /// arithmetic (and f64 addition order) to the naive path, with the
     /// sweep path's fixed degrees folded in — `ParallelConfig::new()
-    /// .tensor(tp)` means `DP = PP = 1`, so the overlapped-DP term is
-    /// exactly `0.0` and the layer count is undivided.
+    /// .tensor(tp)` means `DP = 1`, so the overlapped-DP term is
+    /// exactly `0.0` and the layer count is undivided. Points with every
+    /// axis neutral under the training workload take exactly the pre-axis
+    /// combine (preserving legacy bytes); extended points run the same
+    /// [`extended_fraction_from_parts`] assembly as the naive kernel over
+    /// the tabulated parts.
     #[inline]
-    fn combine(&self, flat: usize) -> (f64, f64) {
+    fn combine(&self, flat: usize, aflat: usize, p: GridPoint) -> (f64, f64) {
         let nt = self.tps.len();
         let (pair, ti) = (flat / nt, flat % nt);
         let si = pair / self.devices.len();
@@ -340,8 +435,24 @@ impl FactoredPlan {
             },
             overlapped_comm_per_layer: 0.0,
         };
+        if self.workload == Workload::Training && p.axes_default() {
+            return (
+                100.0 * projected.serialized_comm_fraction(),
+                self.overlap[flat],
+            );
+        }
+        let inference = match self.workload {
+            Workload::Training => None,
+            Workload::Prefill | Workload::Decode => {
+                Some((self.inf_compute[flat], self.inf_comm[flat]))
+            }
+        };
+        let axis = AxisCosts {
+            comm_per_layer: self.axis_comm[aflat],
+            pp_p2p: self.axis_p2p[aflat],
+        };
         (
-            100.0 * projected.serialized_comm_fraction(),
+            100.0 * extended_fraction_from_parts(&projected, inference, axis, p),
             self.overlap[flat],
         )
     }
@@ -355,8 +466,14 @@ impl FactoredPlan {
     #[must_use]
     pub fn eval(&self, p: GridPoint) -> (f64, f64) {
         match self.resolve(p) {
-            Some(flat) => self.combine(flat),
-            None => eval_grid_point(&self.base_device, p, self.batch, Method::Projection),
+            Some((flat, aflat)) => self.combine(flat, aflat, p),
+            None => eval_grid_point(
+                &self.base_device,
+                p,
+                self.batch,
+                Method::Projection,
+                self.workload,
+            ),
         }
     }
 
@@ -376,12 +493,12 @@ impl FactoredPlan {
         cells.extend(
             points
                 .iter()
-                .map(|&p| self.resolve(p).unwrap_or(usize::MAX)),
+                .map(|&p| self.resolve(p).unwrap_or((usize::MAX, usize::MAX))),
         );
         // Pass 2: combine resolved cells; scalar fallback otherwise.
-        for (&p, &flat) in points.iter().zip(&cells) {
+        for (&p, &(flat, aflat)) in points.iter().zip(&cells) {
             if flat != usize::MAX {
-                out.push(Ok(self.combine(flat)));
+                out.push(Ok(self.combine(flat, aflat, p)));
             } else {
                 out.push(catch_unwind(AssertUnwindSafe(|| self.eval(p))).map_err(panic_message));
             }
@@ -400,13 +517,14 @@ pub fn eval_chunk(
     points: &[GridPoint],
     batch: u64,
     method: Method,
+    workload: Workload,
 ) -> PointResults {
     let mut out = PointResults::with_capacity(points.len());
-    match PlannerMode::Auto.plan(device, points, batch, method) {
+    match PlannerMode::Auto.plan(device, points, batch, method, workload) {
         Some(plan) => plan.eval_batch(points, &mut out),
         None => out.extend(points.iter().map(|&p| {
             catch_unwind(AssertUnwindSafe(|| {
-                eval_grid_point(device, p, batch, method)
+                eval_grid_point(device, p, batch, method, workload)
             }))
             .map_err(panic_message)
         })),
@@ -427,6 +545,7 @@ mod tests {
             flop_vs_bw: vec![1.0, 2.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         }
     }
 
@@ -435,10 +554,10 @@ mod tests {
         let device = DeviceSpec::mi210();
         let grid = projection_grid();
         let points = grid.points();
-        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method)
+        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method, grid.workload)
             .expect("projection grids are factorable");
         for p in points {
-            let naive = eval_grid_point(&device, p, grid.batch, grid.method);
+            let naive = eval_grid_point(&device, p, grid.batch, grid.method, grid.workload);
             let factored = plan.eval(p);
             assert_eq!(
                 (naive.0.to_bits(), naive.1.to_bits()),
@@ -453,7 +572,8 @@ mod tests {
         let device = DeviceSpec::mi210();
         let grid = projection_grid();
         let points = grid.points();
-        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method).unwrap();
+        let plan =
+            FactoredPlan::build(&device, &points, grid.batch, grid.method, grid.workload).unwrap();
         let mut out = PointResults::new();
         plan.eval_batch(&points, &mut out);
         assert_eq!(out.len(), points.len());
@@ -473,7 +593,8 @@ mod tests {
         let device = DeviceSpec::mi210();
         let grid = projection_grid();
         let points = grid.points();
-        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method).unwrap();
+        let plan =
+            FactoredPlan::build(&device, &points, grid.batch, grid.method, grid.workload).unwrap();
         assert_eq!(plan.shapes(), 4); // 2 H × 2 SL
         assert_eq!(plan.ratios(), 2);
         assert_eq!(plan.tps(), 3);
@@ -487,9 +608,11 @@ mod tests {
             ..projection_grid()
         };
         let points = grid.points();
-        assert!(FactoredPlan::build(&device, &points, grid.batch, grid.method).is_none());
+        assert!(
+            FactoredPlan::build(&device, &points, grid.batch, grid.method, grid.workload).is_none()
+        );
         assert!(PlannerMode::Auto
-            .plan(&device, &points, grid.batch, grid.method)
+            .plan(&device, &points, grid.batch, grid.method, grid.workload)
             .is_none());
     }
 
@@ -498,14 +621,28 @@ mod tests {
         let device = DeviceSpec::mi210();
         // h not a multiple of 256: the naive path panics per point (and
         // executors report `error`), so the planner must refuse it.
-        let points = vec![GridPoint {
-            h: 100,
-            sl: 2048,
-            tp: 4,
-            ratio: 1.0,
+        let points = vec![GridPoint::new(100, 2048, 4, 1.0)];
+        assert!(
+            FactoredPlan::build(&device, &points, 1, Method::Projection, Workload::Training)
+                .is_none()
+        );
+        assert!(
+            FactoredPlan::build(&device, &[], 1, Method::Projection, Workload::Training).is_none()
+        );
+        // Malformed extended axes are refused the same way.
+        let bad_axes = vec![GridPoint {
+            top_k: 4,
+            experts: 2,
+            ..GridPoint::new(4096, 2048, 4, 1.0)
         }];
-        assert!(FactoredPlan::build(&device, &points, 1, Method::Projection).is_none());
-        assert!(FactoredPlan::build(&device, &[], 1, Method::Projection).is_none());
+        assert!(FactoredPlan::build(
+            &device,
+            &bad_axes,
+            1,
+            Method::Projection,
+            Workload::Training
+        )
+        .is_none());
     }
 
     #[test]
@@ -513,17 +650,13 @@ mod tests {
         let device = DeviceSpec::mi210();
         let grid = projection_grid();
         let points = grid.points();
-        let plan = FactoredPlan::build(&device, &points, grid.batch, grid.method).unwrap();
+        let plan =
+            FactoredPlan::build(&device, &points, grid.batch, grid.method, grid.workload).unwrap();
         // A well-formed point the plan never saw (H off the axis) must
         // evaluate through the fallback, bit-identical to naive.
-        let off = GridPoint {
-            h: 8192,
-            sl: 2048,
-            tp: 4,
-            ratio: 1.0,
-        };
+        let off = GridPoint::new(8192, 2048, 4, 1.0);
         assert!(plan.resolve(off).is_none());
-        let naive = eval_grid_point(&device, off, grid.batch, grid.method);
+        let naive = eval_grid_point(&device, off, grid.batch, grid.method, grid.workload);
         assert_eq!(plan.eval(off), naive);
         let mut out = PointResults::new();
         plan.eval_batch(&[off], &mut out);
@@ -535,7 +668,13 @@ mod tests {
         let device = DeviceSpec::mi210();
         let grid = projection_grid();
         assert!(PlannerMode::Naive
-            .plan(&device, &grid.points(), grid.batch, grid.method)
+            .plan(
+                &device,
+                &grid.points(),
+                grid.batch,
+                grid.method,
+                grid.workload
+            )
             .is_none());
     }
 
@@ -555,27 +694,17 @@ mod tests {
         let device = DeviceSpec::mi210();
         let grid = projection_grid();
         let points = grid.points();
-        let chunk = eval_chunk(&device, &points, grid.batch, grid.method);
+        let chunk = eval_chunk(&device, &points, grid.batch, grid.method, grid.workload);
         for (p, r) in points.iter().zip(&chunk) {
-            let naive = eval_grid_point(&device, *p, grid.batch, grid.method);
+            let naive = eval_grid_point(&device, *p, grid.batch, grid.method, grid.workload);
             assert_eq!(r.as_ref().unwrap(), &naive);
         }
         // A malformed point degrades that point, not the chunk.
         let bad = vec![
-            GridPoint {
-                h: 4096,
-                sl: 2048,
-                tp: 4,
-                ratio: 1.0,
-            },
-            GridPoint {
-                h: 100,
-                sl: 2048,
-                tp: 4,
-                ratio: 1.0,
-            },
+            GridPoint::new(4096, 2048, 4, 1.0),
+            GridPoint::new(100, 2048, 4, 1.0),
         ];
-        let mixed = eval_chunk(&device, &bad, 1, Method::Projection);
+        let mixed = eval_chunk(&device, &bad, 1, Method::Projection, Workload::Training);
         assert!(mixed[0].is_ok());
         assert!(mixed[1].is_err());
     }

@@ -38,12 +38,17 @@ use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::experiments::{ExperimentDef, ExperimentOutput};
+use crate::inference::InferenceIteration;
 use crate::overlapped::overlap_pct;
 use crate::report::Table;
-use crate::serialized::{comm_fraction, realistic_tp, sweep_hyper, Method};
+use crate::serialized::{comm_fraction, projection_baseline, realistic_tp, sweep_hyper, Method};
+use twocs_collectives::{Collective, CollectiveCostModel};
 use twocs_hw::{CacheStats, DeviceSpec, HwEvolution};
-use twocs_transformer::ParallelConfig;
+use twocs_opmodel::{ProjectedIteration, ProjectionModel};
+use twocs_transformer::moe::MoeConfig;
+use twocs_transformer::{Hyperparams, ParallelConfig};
 
+pub use crate::inference::Workload;
 pub use crate::planner::{eval_chunk, FactoredPlan, PlannerMode};
 
 thread_local! {
@@ -504,10 +509,16 @@ pub fn run_experiments(device: &DeviceSpec, defs: &[ExperimentDef], jobs: usize)
     SweepRun { results, summary }
 }
 
-/// A `(H, SL, TP, flop-vs-bw)` cross-product sweep evaluating both of the
-/// paper's communication metrics per point: the serialized-communication
+/// A `(H, SL, TP, flop-vs-bw)` cross-product sweep — optionally widened
+/// with MoE (`experts`, `top_k`), pipeline (`stages`, `micro_batches`),
+/// and sequence-parallel (`sp`) axes — evaluating both of the paper's
+/// communication metrics per point: the serialized-communication
 /// fraction (§4.3.4) and the overlapped-communication percentage
 /// (§4.3.5), on hardware evolved per the flop-vs-bw ratio (§4.3.6).
+///
+/// The extended axes and the non-training [`Workload`]s are modeled
+/// through the projection path only ([`Method::Projection`]); the
+/// discrete-event simulator covers the dense TP training iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GridSweep {
     /// Hidden sizes.
@@ -518,23 +529,44 @@ pub struct GridSweep {
     pub tps: Vec<u64>,
     /// Flop-vs-bw hardware-evolution ratios (1 = today's hardware).
     pub flop_vs_bw: Vec<f64>,
+    /// MoE expert counts (1 = dense FFN, no all-to-all).
+    pub experts: Vec<u64>,
+    /// Experts activated per token; combinations with
+    /// `top_k > experts` are pruned.
+    pub top_ks: Vec<u64>,
+    /// Pipeline stage counts (1 = no pipeline parallelism).
+    pub stages: Vec<u64>,
+    /// Micro-batches per pipeline flush.
+    pub micro_batches: Vec<u64>,
+    /// Sequence-parallel degrees (1 = off).
+    pub sps: Vec<u64>,
     /// Batch size.
     pub batch: u64,
     /// Evaluation method for the serialized fraction.
     pub method: Method,
+    /// Which iteration the sweep models (a sweep-level selector like
+    /// `method`, not a per-point axis).
+    pub workload: Workload,
 }
 
 impl Default for GridSweep {
     /// T-NLG- to PaLM-3×-class models at the paper's studied TP degrees
-    /// and hardware-evolution ratios.
+    /// and hardware-evolution ratios; all extended axes neutral, training
+    /// workload.
     fn default() -> Self {
         Self {
             hs: vec![4096, 16_384, 65_536],
             sls: vec![2048, 4096],
             tps: vec![16, 64, 256],
             flop_vs_bw: vec![1.0, 2.0, 4.0],
+            experts: vec![1],
+            top_ks: vec![1],
+            stages: vec![1],
+            micro_batches: vec![1],
+            sps: vec![1],
             batch: 1,
             method: Method::Simulation,
+            workload: Workload::Training,
         }
     }
 }
@@ -550,6 +582,58 @@ pub struct GridPoint {
     pub tp: u64,
     /// Flop-vs-bw evolution ratio.
     pub ratio: f64,
+    /// MoE expert count (1 = dense).
+    pub experts: u64,
+    /// Experts activated per token.
+    pub top_k: u64,
+    /// Pipeline stage count (1 = no PP).
+    pub stages: u64,
+    /// Micro-batches per pipeline flush.
+    pub micro_batches: u64,
+    /// Sequence-parallel degree (1 = off).
+    pub sp: u64,
+}
+
+impl GridPoint {
+    /// A dense training-grid point: every extended axis at its neutral
+    /// value of 1 — the shape every pre-MoE/PP/SP grid produced.
+    #[must_use]
+    pub fn new(h: u64, sl: u64, tp: u64, ratio: f64) -> Self {
+        Self {
+            h,
+            sl,
+            tp,
+            ratio,
+            experts: 1,
+            top_k: 1,
+            stages: 1,
+            micro_batches: 1,
+            sp: 1,
+        }
+    }
+
+    /// Whether every extended axis sits at its neutral value — the
+    /// legacy `(H, SL, TP, ratio)` shape whose outputs are pinned
+    /// byte-for-byte by the pre-axis CSV contract.
+    #[must_use]
+    pub fn axes_default(&self) -> bool {
+        self.experts == 1
+            && self.top_k == 1
+            && self.stages == 1
+            && self.micro_batches == 1
+            && self.sp == 1
+    }
+
+    /// The extended-axis tuple, the key of the planner's per-axis table.
+    pub(crate) fn axis_key(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.experts,
+            self.top_k,
+            self.stages,
+            self.micro_batches,
+            self.sp,
+        )
+    }
 }
 
 /// A contiguous slice of a [`GridSweep`]'s point list, the unit of work
@@ -567,22 +651,237 @@ pub struct GridChunk {
     pub points: Vec<GridPoint>,
 }
 
+/// Per-layer cost contributions of the extended axes, computed by one
+/// shared function ([`axis_costs`]) so the naive kernel and the factored
+/// planner's per-axis tables hold bit-identical values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct AxisCosts {
+    /// Extra serialized communication per layer: the SP AllGather +
+    /// ReduceScatter sites plus the MoE all-to-all dispatch/combine.
+    pub comm_per_layer: f64,
+    /// Pipeline boundary transfer per micro-batch per stage slot;
+    /// `0.0` when `stages == 1`.
+    pub pp_p2p: f64,
+}
+
+/// Price the extended axes of `p` on `dev` for one layer of `hyper`.
+///
+/// - **SP** (`sp > 1`): per-block AllGather + ReduceScatter pairs over
+///   the four comm sites (QKV, attention output, FC1, FC2) at their
+///   weight volumes, per the LinS exemplar — forward + backward for
+///   training, forward-only gathers for inference workloads.
+/// - **MoE** (`experts > 1`): all-to-all dispatch + combine over the
+///   routed tokens (switch-style 1.25 capacity factor), both directions
+///   of both passes for training, forward-only for inference.
+/// - **PP** (`stages > 1`): one boundary activation transfer per
+///   micro-batch, priced analytically as step latency plus bytes over
+///   the ring-all-reduce link bandwidth.
+pub(crate) fn axis_costs(
+    dev: &DeviceSpec,
+    hyper: &Hyperparams,
+    p: GridPoint,
+    workload: Workload,
+) -> AxisCosts {
+    let net = dev.network();
+    let elem = hyper.precision().bytes();
+    let cost = CollectiveCostModel::default();
+    let (h, ff) = (hyper.hidden(), hyper.ff_dim());
+    let mut comm = 0.0;
+    if p.sp > 1 {
+        let n = p.sp as usize;
+        for elements in [3 * h * h, h * h, h * ff, ff * h] {
+            let bytes = elements * elem;
+            let ag = cost.node_time(Collective::AllGather, bytes, n, net);
+            let rs = cost.node_time(Collective::ReduceScatter, bytes, n, net);
+            comm += match workload {
+                // forward + backward
+                Workload::Training => 2.0 * ag + rs,
+                Workload::Prefill | Workload::Decode => ag,
+            };
+        }
+    }
+    if p.experts > 1 {
+        let moe = MoeConfig {
+            experts: p.experts,
+            top_k: p.top_k,
+            capacity_factor: 1.25,
+        };
+        let routed = moe.routed_tokens(workload.tokens(hyper));
+        let a2a = cost.alltoall_time(routed * h * elem, p.experts as usize, net);
+        comm += match workload {
+            // dispatch + combine, forward + backward
+            Workload::Training => 4.0 * a2a,
+            Workload::Prefill | Workload::Decode => 2.0 * a2a,
+        };
+    }
+    let pp_p2p = if p.stages > 1 {
+        let tokens = workload.tokens(hyper).div_ceil(p.micro_batches);
+        let bytes = (tokens * h * elem) as f64;
+        cost.step_latency() + bytes / net.ring_allreduce_bandwidth()
+    } else {
+        0.0
+    };
+    AxisCosts {
+        comm_per_layer: comm,
+        pp_p2p,
+    }
+}
+
+/// Assemble the serialized fraction from per-layer costs under the
+/// pipeline schedule: per micro-batch one stage runs `layers / stages`
+/// layers over `1/micro_batches` of the tokens plus one boundary
+/// transfer, and the `(M + S - 1)` bubble slot count cancels in the
+/// ratio. `stages == 1` reduces to `comm / (comp + comm)`.
+pub(crate) fn assemble_fraction(
+    layers: u64,
+    comp_per_layer: f64,
+    comm_per_layer: f64,
+    p: GridPoint,
+    pp_p2p: f64,
+) -> f64 {
+    let stage_layers = layers as f64 / p.stages as f64;
+    let micro = p.micro_batches as f64;
+    let comm_slot = stage_layers * comm_per_layer / micro + pp_p2p;
+    let total_slot = stage_layers * (comp_per_layer + comm_per_layer) / micro + pp_p2p;
+    if total_slot <= 0.0 {
+        return 0.0;
+    }
+    comm_slot / total_slot
+}
+
+/// The serialized-communication fraction of one extended grid point —
+/// non-default axes or a non-training workload — from the projected
+/// iteration and freshly priced parts. The factored planner runs the
+/// same assembly ([`extended_fraction_from_parts`]) over tabulated
+/// parts; both paths call the identical pricing functions on identical
+/// inputs, which is the bit-identity contract.
+pub(crate) fn extended_fraction(
+    dev: &DeviceSpec,
+    hyper: &Hyperparams,
+    projected: &ProjectedIteration,
+    p: GridPoint,
+    workload: Workload,
+) -> f64 {
+    let inference = match workload {
+        Workload::Training => None,
+        Workload::Prefill | Workload::Decode => {
+            let it = InferenceIteration::model(dev, hyper, p.tp, workload);
+            Some((it.compute_per_layer, it.serialized_comm_per_layer))
+        }
+    };
+    let axis = axis_costs(dev, hyper, p, workload);
+    extended_fraction_from_parts(projected, inference, axis, p)
+}
+
+/// [`extended_fraction`]'s final arithmetic over already-priced parts:
+/// training exposes the projected per-layer compute (plus any exposed
+/// DP overlap, exactly `0.0` on the TP-only sweep path) against the
+/// serialized all-reduce; inference workloads substitute the roofline
+/// iteration's `(compute, comm)` pair. Axis communication stacks onto
+/// the per-layer comm either way.
+pub(crate) fn extended_fraction_from_parts(
+    projected: &ProjectedIteration,
+    inference: Option<(f64, f64)>,
+    axis: AxisCosts,
+    p: GridPoint,
+) -> f64 {
+    let (comp, comm) = match inference {
+        Some(pair) => pair,
+        None => (
+            projected.compute_per_layer + projected.exposed_overlap(),
+            projected.serialized_comm_per_layer,
+        ),
+    };
+    assemble_fraction(
+        projected.layers,
+        comp,
+        comm + axis.comm_per_layer,
+        p,
+        axis.pp_p2p,
+    )
+}
+
+/// The paper-style comp-vs-comm figure for the MoE axis: serialized
+/// communication (now including the all-to-all dispatch/combine) as the
+/// expert count grows, at today's hardware and at the 4× flop-vs-bw
+/// ratio, for the H=16K study shape at TP=16 with top-2 routing.
+///
+/// This is the figure the "moe" experiment renders; it validates against
+/// the hybrid-parallelism traffic characterization of Anthony et al.
+/// (PAPERS.md): all-to-all volume scales with routed tokens, so the
+/// serialized fraction climbs with expert count and climbs faster on
+/// compute-rich future hardware.
+#[must_use]
+pub fn moe_figure(device: &DeviceSpec) -> crate::report::Figure {
+    let mut fig = crate::report::Figure::new(
+        "moe",
+        "MoE all-to-all: serialized communication vs expert count (H=16K, TP=16, top-2)",
+        "experts",
+        "serialized % of time",
+    );
+    for (label, ratio) in [("flop-vs-bw 1x (today)", 1.0), ("flop-vs-bw 4x", 4.0)] {
+        let mut series = Vec::new();
+        for experts in [1u64, 2, 4, 8, 16, 32, 64] {
+            let p = GridPoint {
+                experts,
+                top_k: 2.min(experts),
+                ..GridPoint::new(16_384, 2048, 16, ratio)
+            };
+            let (serialized, _) =
+                eval_grid_point(device, p, 1, Method::Projection, Workload::Training);
+            #[allow(clippy::cast_precision_loss)]
+            series.push((experts as f64, serialized));
+        }
+        fig = fig.with_series(crate::report::Series::new(label, series));
+    }
+    fig
+}
+
+/// Panic (→ a per-point `error` cell) unless `p`'s extended axes are
+/// well-formed and reachable by `method`: zero axis values and
+/// `top_k > experts` never describe a model, and the simulation engine
+/// models only the dense TP training iteration.
+fn check_extended_point(p: GridPoint, method: Method, workload: Workload) {
+    assert!(
+        p.experts > 0
+            && p.top_k > 0
+            && p.top_k <= p.experts
+            && p.stages > 0
+            && p.micro_batches > 0
+            && p.sp > 0,
+        "grid point axes must be non-zero with top_k <= experts"
+    );
+    if !p.axes_default() || workload != Workload::Training {
+        assert!(
+            method == Method::Projection,
+            "the simulation engine models the dense TP training iteration only; \
+             MoE/PP/SP axes and inference workloads require the projection method"
+        );
+    }
+}
+
 /// Evaluate one grid point: the serialized-communication fraction
 /// (percent, §4.3.4) and the overlapped-communication percentage
 /// (§4.3.5) at `(H, SL, TP)` on `device` evolved by the point's
-/// flop-vs-bw ratio (§4.3.6).
+/// flop-vs-bw ratio (§4.3.6), with the extended MoE/PP/SP axes and
+/// the selected [`Workload`] folded into the serialized fraction.
 ///
 /// This is the pure kernel every executor — the local thread pool, a
 /// remote `twocs worker`, a serve request — funnels through, which is
 /// what makes distributed output byte-identical to a local run: the
-/// value depends only on `(device, point, batch, method)`.
+/// value depends only on `(device, point, batch, method, workload)`.
+/// Points with every axis at its neutral value under the training
+/// workload evaluate through exactly the pre-axis code path, so legacy
+/// grids keep their pinned bytes.
 #[must_use]
 pub fn eval_grid_point(
     device: &DeviceSpec,
     p: GridPoint,
     batch: u64,
     method: Method,
+    workload: Workload,
 ) -> (f64, f64) {
+    check_extended_point(p, method, workload);
     let dev = if p.ratio > 1.0 {
         HwEvolution::flop_vs_bw(p.ratio).apply(device)
     } else {
@@ -590,7 +889,14 @@ pub fn eval_grid_point(
     };
     let hyper = sweep_hyper(p.h, p.sl, batch);
     let parallel = ParallelConfig::new().tensor(p.tp);
-    let serialized = 100.0 * comm_fraction(&dev, &hyper, &parallel, method);
+    let serialized = if p.axes_default() && workload == Workload::Training {
+        100.0 * comm_fraction(&dev, &hyper, &parallel, method)
+    } else {
+        // check_extended_point guarantees Method::Projection here.
+        let model = ProjectionModel::from_baseline(&projection_baseline(), &dev);
+        let projected = model.project(&hyper, &parallel);
+        100.0 * extended_fraction(&dev, &hyper, &projected, p, workload)
+    };
     let overlap = overlap_pct(&dev, p.h, p.sl * batch, p.tp, 4);
     (serialized, overlap)
 }
@@ -633,7 +939,8 @@ impl GridExecutor for LocalExecutor {
     fn execute(&self, sweep: &GridSweep, device: &DeviceSpec) -> Result<PointResults, String> {
         set_parallelism(self.jobs);
         let points = sweep.points();
-        let plan = PlannerMode::Auto.plan(device, &points, sweep.batch, sweep.method);
+        let plan =
+            PlannerMode::Auto.plan(device, &points, sweep.batch, sweep.method, sweep.workload);
         match &plan {
             Some(plan) => Ok(run_batch_tasks(plan, &points, self.jobs).0),
             None => {
@@ -641,7 +948,15 @@ impl GridExecutor for LocalExecutor {
                     self.jobs,
                     points.len(),
                     |i| grid_point_label(&points[i]),
-                    |i| eval_grid_point(device, points[i], sweep.batch, sweep.method),
+                    |i| {
+                        eval_grid_point(
+                            device,
+                            points[i],
+                            sweep.batch,
+                            sweep.method,
+                            sweep.workload,
+                        )
+                    },
                 );
                 Ok(raw.into_iter().map(|t| t.result).collect())
             }
@@ -745,7 +1060,39 @@ impl GridSweep {
                         continue;
                     }
                     for &ratio in &self.flop_vs_bw {
-                        points.push(GridPoint { h, sl, tp, ratio });
+                        for &experts in &self.experts {
+                            for &top_k in &self.top_ks {
+                                if experts == 0 || top_k == 0 || top_k > experts {
+                                    continue;
+                                }
+                                for &stages in &self.stages {
+                                    if stages == 0 {
+                                        continue;
+                                    }
+                                    for &micro_batches in &self.micro_batches {
+                                        if micro_batches == 0 {
+                                            continue;
+                                        }
+                                        for &sp in &self.sps {
+                                            if sp == 0 {
+                                                continue;
+                                            }
+                                            points.push(GridPoint {
+                                                h,
+                                                sl,
+                                                tp,
+                                                ratio,
+                                                experts,
+                                                top_k,
+                                                stages,
+                                                micro_batches,
+                                                sp,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -785,34 +1132,49 @@ impl GridSweep {
             results.len(),
             "one result per grid point is required"
         );
+        // Legacy grids (every axis neutral) keep the pre-axis 6-column
+        // shape byte-for-byte; the extended columns appear only when
+        // some point actually exercises them.
+        let extended = points.iter().any(|p| !p.axes_default());
+        let mut header = vec![
+            "H".to_owned(),
+            "SL".to_owned(),
+            "TP".to_owned(),
+            "flop_vs_bw".to_owned(),
+        ];
+        if extended {
+            for col in ["experts", "top_k", "stages", "micro_batches", "sp"] {
+                header.push(col.to_owned());
+            }
+        }
+        header.push("serialized_pct".to_owned());
+        header.push("overlap_pct".to_owned());
         let mut table = Table::new(
             "sweep",
             "Serialized and overlapped communication across the grid",
-            [
-                "H",
-                "SL",
-                "TP",
-                "flop_vs_bw",
-                "serialized_pct",
-                "overlap_pct",
-            ]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+            header,
         );
         for (p, r) in points.iter().zip(results) {
             let (serialized, overlap) = match r {
                 Ok((s, o)) => (format!("{s:.2}"), format!("{o:.2}")),
                 Err(_) => ("error".to_owned(), "error".to_owned()),
             };
-            table.push_row(vec![
+            let mut row = vec![
                 p.h.to_string(),
                 p.sl.to_string(),
                 p.tp.to_string(),
                 format!("{}", p.ratio),
-                serialized,
-                overlap,
-            ]);
+            ];
+            if extended {
+                row.push(p.experts.to_string());
+                row.push(p.top_k.to_string());
+                row.push(p.stages.to_string());
+                row.push(p.micro_batches.to_string());
+                row.push(p.sp.to_string());
+            }
+            row.push(serialized);
+            row.push(overlap);
+            table.push_row(row);
         }
         table
     }
@@ -869,7 +1231,7 @@ impl GridSweep {
         let points = self.points();
         let before = cache_snapshot();
         let start = Instant::now();
-        let plan = planner.plan(device, &points, self.batch, self.method);
+        let plan = planner.plan(device, &points, self.batch, self.method, self.workload);
         let (results, timings) = match &plan {
             // Factored grids run batch-shaped: the plan's SoA tables are
             // filled once (on this thread, under a chunk-scoped cache
@@ -881,7 +1243,7 @@ impl GridSweep {
                     jobs,
                     points.len(),
                     |i| grid_point_label(&points[i]),
-                    |i| eval_grid_point(device, points[i], self.batch, self.method),
+                    |i| eval_grid_point(device, points[i], self.batch, self.method, self.workload),
                 );
                 let timings = points
                     .iter()
@@ -1011,6 +1373,7 @@ mod tests {
             flop_vs_bw: vec![1.0, 2.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         };
         let device = DeviceSpec::mi210();
         let (serial, _) = sweep.run(&device, 1);
@@ -1078,6 +1441,7 @@ mod tests {
             flop_vs_bw: vec![1.0, 2.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         };
         let (_, summary) = sweep.run(&DeviceSpec::mi210(), 3);
         assert_eq!(summary.workers.len(), 3);
@@ -1115,6 +1479,7 @@ mod tests {
             flop_vs_bw: vec![1.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         };
         let device = DeviceSpec::mi210();
         let (_, first) = sweep.run_mode(&device, 1, PlannerMode::Naive);
@@ -1211,6 +1576,7 @@ mod tests {
             flop_vs_bw: vec![1.0, 2.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         };
         let device = DeviceSpec::mi210();
         let reference = sweep.run(&device, 1).0.to_csv();
@@ -1256,6 +1622,7 @@ mod tests {
             flop_vs_bw: vec![1.0, 2.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         };
         let device = DeviceSpec::mi210();
         let (table, _) = sweep.run(&device, 2);
@@ -1272,6 +1639,7 @@ mod tests {
             flop_vs_bw: vec![1.0, 2.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         };
         let points = sweep.points();
         let results = vec![Ok((12.5, 34.25)), Err("boom".to_owned())];

@@ -19,12 +19,13 @@ fn projection_grid() -> GridSweep {
         flop_vs_bw: vec![1.0, 2.0],
         batch: 1,
         method: Method::Projection,
+        ..GridSweep::default()
     }
 }
 
 fn build_plan(device: &DeviceSpec, grid: &GridSweep) -> (Vec<GridPoint>, FactoredPlan) {
     let points = grid.points();
-    let plan = FactoredPlan::build(device, &points, grid.batch, grid.method)
+    let plan = FactoredPlan::build(device, &points, grid.batch, grid.method, grid.workload)
         .expect("projection grids are factorable");
     (points, plan)
 }
@@ -72,7 +73,7 @@ fn eval_batch_matches_the_naive_reference_kernel() {
     let mut out = PointResults::new();
     plan.eval_batch(&points, &mut out);
     for (p, r) in points.iter().zip(&out) {
-        let naive = eval_grid_point(&device, *p, grid.batch, grid.method);
+        let naive = eval_grid_point(&device, *p, grid.batch, grid.method, grid.workload);
         assert_eq!(bits(naive), bits(*r.as_ref().unwrap()), "point {p:?}");
     }
 }
@@ -86,7 +87,7 @@ fn empty_chunk_yields_empty_results_and_clears_stale_output() {
     out.push(Err("stale entry from a previous lease".to_owned()));
     plan.eval_batch(&[], &mut out);
     assert!(out.is_empty(), "eval_batch must clear its output buffer");
-    assert!(eval_chunk(&device, &[], grid.batch, grid.method).is_empty());
+    assert!(eval_chunk(&device, &[], grid.batch, grid.method, grid.workload).is_empty());
 }
 
 #[test]
@@ -113,30 +114,37 @@ fn malformed_points_in_a_chunk_fall_back_to_scalar_per_point() {
     let good_a = points[0];
     let good_b = points[points.len() - 1];
     // h not a multiple of 256: the naive path panics for this point.
-    let bad = GridPoint {
-        h: 100,
-        sl: 2048,
-        tp: 4,
-        ratio: 1.0,
-    };
+    let bad = GridPoint::new(100, 2048, 4, 1.0);
     let chunk = [good_a, bad, good_b];
     let mut out = PointResults::new();
     plan.eval_batch(&chunk, &mut out);
     assert_eq!(out.len(), 3);
     assert_eq!(
-        bits(eval_grid_point(&device, good_a, grid.batch, grid.method)),
+        bits(eval_grid_point(
+            &device,
+            good_a,
+            grid.batch,
+            grid.method,
+            grid.workload
+        )),
         bits(*out[0].as_ref().unwrap())
     );
     assert!(out[1].is_err(), "malformed point must error, not abort");
     assert_eq!(
-        bits(eval_grid_point(&device, good_b, grid.batch, grid.method)),
+        bits(eval_grid_point(
+            &device,
+            good_b,
+            grid.batch,
+            grid.method,
+            grid.workload
+        )),
         bits(*out[2].as_ref().unwrap())
     );
     // The chunk-at-a-time entry point (what a dist worker lease runs)
     // shows the same degradation. Note: a chunk containing a malformed
     // point is refused by the planner, so this exercises the naive
     // chunk path end to end.
-    let via_chunk = eval_chunk(&device, &chunk, grid.batch, grid.method);
+    let via_chunk = eval_chunk(&device, &chunk, grid.batch, grid.method, grid.workload);
     assert!(via_chunk[0].is_ok() && via_chunk[2].is_ok());
     assert!(via_chunk[1].is_err());
 }

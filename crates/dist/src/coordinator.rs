@@ -42,7 +42,7 @@ use crate::lease::{ChunkId, Completion, LeaseTracker, WorkerId};
 use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
 use twocs_core::serialized::Method;
 use twocs_core::sweep::{
-    eval_chunk, set_parallelism, GridChunk, GridExecutor, GridSweep, PointResults,
+    eval_chunk, set_parallelism, GridChunk, GridExecutor, GridSweep, PointResults, Workload,
 };
 use twocs_core::Table;
 use twocs_hw::DeviceSpec;
@@ -145,6 +145,7 @@ struct ActiveJob {
     device_fingerprint: u64,
     batch: u64,
     method: Method,
+    workload: Workload,
     chunks: Vec<GridChunk>,
     tracker: LeaseTracker,
     /// Per-point results, in grid order; `None` until the owning chunk
@@ -382,6 +383,7 @@ impl Coordinator {
                 device_fingerprint: device.fingerprint(),
                 batch: sweep.batch,
                 method: sweep.method,
+                workload: sweep.workload,
                 chunks,
                 tracker,
                 results: vec![None; points.len()],
@@ -467,20 +469,20 @@ impl GridExecutor for Coordinator {
 /// submitter's own spec, so this path works for devices the catalog
 /// cannot name.
 fn drain_one_chunk(shared: &Arc<Shared>, job_id: u64, chunk: ChunkId, device: &DeviceSpec) {
-    let (points, batch, method) = {
+    let (points, batch, method, workload) = {
         let st = shared.lock();
         let Some(job) = st.job.as_ref().filter(|j| j.id == job_id) else {
             return;
         };
         let c = &job.chunks[chunk as usize];
-        (c.points.clone(), job.batch, job.method)
+        (c.points.clone(), job.batch, job.method, job.workload)
     };
     let _span = twocs_obs::span(&format!("local drain chunk {chunk}"), "dist");
     let t0 = Instant::now();
     set_parallelism(shared.cfg.local_jobs);
     // Same chunk kernel the workers use: factored when possible, naive
     // otherwise, per-point panics degraded to per-point errors.
-    let values: PointResults = eval_chunk(device, &points, batch, method);
+    let values: PointResults = eval_chunk(device, &points, batch, method, workload);
     let busy = t0.elapsed();
     twocs_obs::metrics::global()
         .counter("dist.local_drain_chunks")
@@ -755,6 +757,7 @@ fn drive_worker(
                             device_fingerprint: job.device_fingerprint,
                             batch: job.batch,
                             method: job.method,
+                            workload: job.workload,
                             points: spec.points.clone(),
                         };
                         break Directive::Lease(lease, chunk);

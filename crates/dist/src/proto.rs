@@ -21,12 +21,14 @@
 use std::io::{self, Read, Write};
 
 use twocs_core::serialized::Method;
-use twocs_core::sweep::GridPoint;
+use twocs_core::sweep::{GridPoint, Workload};
 
 /// Protocol version; bumped on any incompatible wire change. A
 /// coordinator rejects workers that greet with a different version, so a
 /// stale binary fails loudly at handshake instead of corrupting a sweep.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 widened [`Message::Lease`] with the sweep workload and the
+/// MoE/PP/SP axis fields on every grid point.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload, defending both sides against a
 /// corrupt or hostile peer declaring a multi-gigabyte length. Generous:
@@ -76,6 +78,8 @@ pub enum Message {
         batch: u64,
         /// Serialized-fraction evaluation method.
         method: Method,
+        /// Sweep workload (training, prefill, or decode).
+        workload: Workload,
         /// The chunk's grid points, in grid order.
         points: Vec<GridPoint>,
     },
@@ -135,6 +139,23 @@ fn method_from_wire(b: u8) -> io::Result<Method> {
     }
 }
 
+fn workload_to_wire(w: Workload) -> u8 {
+    match w {
+        Workload::Training => 0,
+        Workload::Prefill => 1,
+        Workload::Decode => 2,
+    }
+}
+
+fn workload_from_wire(b: u8) -> io::Result<Workload> {
+    match b {
+        0 => Ok(Workload::Training),
+        1 => Ok(Workload::Prefill),
+        2 => Ok(Workload::Decode),
+        other => Err(bad(format!("unknown workload byte {other}"))),
+    }
+}
+
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
@@ -190,6 +211,7 @@ impl Message {
                 device_fingerprint,
                 batch,
                 method,
+                workload,
                 points,
             } => {
                 buf.push(TAG_LEASE);
@@ -199,12 +221,18 @@ impl Message {
                 put_u64(&mut buf, *device_fingerprint);
                 put_u64(&mut buf, *batch);
                 buf.push(method_to_wire(*method));
+                buf.push(workload_to_wire(*workload));
                 put_u32(&mut buf, points.len() as u32);
                 for p in points {
                     put_u64(&mut buf, p.h);
                     put_u64(&mut buf, p.sl);
                     put_u64(&mut buf, p.tp);
                     put_f64(&mut buf, p.ratio);
+                    put_u64(&mut buf, p.experts);
+                    put_u64(&mut buf, p.top_k);
+                    put_u64(&mut buf, p.stages);
+                    put_u64(&mut buf, p.micro_batches);
+                    put_u64(&mut buf, p.sp);
                 }
             }
             Message::Wait => buf.push(TAG_WAIT),
@@ -265,6 +293,7 @@ impl Message {
                 let device_fingerprint = r.u64()?;
                 let batch = r.u64()?;
                 let method = method_from_wire(r.u8()?)?;
+                let workload = workload_from_wire(r.u8()?)?;
                 let n = r.len_prefix()?;
                 let mut points = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -273,6 +302,11 @@ impl Message {
                         sl: r.u64()?,
                         tp: r.u64()?,
                         ratio: f64::from_bits(r.u64()?),
+                        experts: r.u64()?,
+                        top_k: r.u64()?,
+                        stages: r.u64()?,
+                        micro_batches: r.u64()?,
+                        sp: r.u64()?,
                     });
                 }
                 Message::Lease {
@@ -282,6 +316,7 @@ impl Message {
                     device_fingerprint,
                     batch,
                     method,
+                    workload,
                     points,
                 }
             }
@@ -420,20 +455,28 @@ mod tests {
                 device_fingerprint: 0xDEAD_BEEF,
                 batch: 1,
                 method: Method::Projection,
+                workload: Workload::Training,
                 points: vec![
+                    GridPoint::new(4096, 2048, 16, 1.0),
                     GridPoint {
-                        h: 4096,
-                        sl: 2048,
-                        tp: 16,
-                        ratio: 1.0,
-                    },
-                    GridPoint {
-                        h: 16_384,
-                        sl: 4096,
-                        tp: 64,
-                        ratio: 4.0,
+                        experts: 8,
+                        top_k: 2,
+                        stages: 4,
+                        micro_batches: 8,
+                        sp: 2,
+                        ..GridPoint::new(16_384, 4096, 64, 4.0)
                     },
                 ],
+            },
+            Message::Lease {
+                job: 4,
+                chunk: 0,
+                device: "MI210".to_owned(),
+                device_fingerprint: 1,
+                batch: 8,
+                method: Method::Projection,
+                workload: Workload::Decode,
+                points: vec![GridPoint::new(4096, 2048, 16, 2.0)],
             },
             Message::Wait,
             Message::Done,
@@ -533,6 +576,43 @@ mod tests {
         payload.extend_from_slice(&0u32.to_le_bytes());
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Message::decode(&payload).is_err());
+    }
+
+    /// Property coverage for the v2 lease framing: random grids over the
+    /// widened `GridPoint` (MoE/PP/SP axes) and every workload must
+    /// survive encode → decode bit-exact, ratio included.
+    #[test]
+    fn widened_lease_round_trip_property() {
+        twocs_testkit::cases(64, |rng| {
+            let workload = match rng.u64_in(0..3) {
+                0 => Workload::Training,
+                1 => Workload::Prefill,
+                _ => Workload::Decode,
+            };
+            let n = rng.usize_in(0..12);
+            let points: Vec<GridPoint> = rng.vec_of(n, |r| GridPoint {
+                h: r.u64_in(256..65_537),
+                sl: r.u64_in(1..8193),
+                tp: r.u64_in(1..257),
+                ratio: r.f64_in(1.0..16.0),
+                experts: r.u64_in(1..65),
+                top_k: r.u64_in(1..9),
+                stages: r.u64_in(1..17),
+                micro_batches: r.u64_in(1..33),
+                sp: r.u64_in(1..17),
+            });
+            let msg = Message::Lease {
+                job: rng.next_u64(),
+                chunk: rng.u32_in(0..10_000),
+                device: "MI210".to_owned(),
+                device_fingerprint: rng.next_u64(),
+                batch: rng.u64_in(1..64),
+                method: Method::Projection,
+                workload,
+                points,
+            };
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        });
     }
 
     #[test]

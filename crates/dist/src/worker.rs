@@ -201,6 +201,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
                 device_fingerprint,
                 batch,
                 method,
+                workload,
                 points,
             }) => {
                 let Some(dev) = resolve_device(&device, device_fingerprint) else {
@@ -225,7 +226,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
                 // either way per-point panics degrade to per-point
                 // errors and the values are bit-identical to a local
                 // run's — the merge contract.
-                let values = eval_chunk(&dev, &points, batch, method);
+                let values = eval_chunk(&dev, &points, batch, method, workload);
                 report.busy += t0.elapsed();
                 report.chunks += 1;
                 report.points += points.len() as u64;

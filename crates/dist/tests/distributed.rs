@@ -258,3 +258,40 @@ fn consecutive_sweeps_on_one_fabric_are_independent() {
     coordinator.shutdown();
     worker.join().unwrap().expect("worker exits on Done");
 }
+
+/// The widened v2 protocol carries the new MoE/PP/SP axis fields and the
+/// sweep workload end to end: a distributed run over an extended grid is
+/// byte-identical to the local run, for training and decode alike.
+#[test]
+fn extended_axis_sweep_is_byte_identical_to_local() {
+    use twocs_core::serialized::Method;
+    use twocs_core::sweep::Workload;
+    for workload in [Workload::Training, Workload::Decode] {
+        let sweep = GridSweep {
+            method: Method::Projection,
+            experts: vec![1, 8],
+            top_ks: vec![2],
+            stages: vec![1, 4],
+            micro_batches: vec![4],
+            sps: vec![1, 2],
+            workload,
+            ..small_sweep()
+        };
+        let device = DeviceSpec::mi210();
+        let local = sweep.run(&device, 2).0.to_csv();
+
+        let coordinator = bind(2);
+        let addr = coordinator.local_addr().to_string();
+        let workers: Vec<_> = (0..2).map(|_| spawn_worker(addr.clone())).collect();
+        assert_eq!(coordinator.wait_for_workers(2, Duration::from_secs(10)), 2);
+        let (table, summary) = coordinator.run_sweep(&sweep, &device).expect("sweep runs");
+        assert_eq!(table.to_csv(), local, "workload {workload}");
+        assert_eq!(summary.points, sweep.points().len());
+        coordinator.shutdown();
+        for w in workers {
+            w.join().unwrap().expect("worker exits cleanly on Done");
+        }
+        // The extended columns actually made it into the artifact.
+        assert!(local.contains("experts"), "extended header present");
+    }
+}

@@ -18,7 +18,7 @@ use crate::query::Query;
 use crate::router::{Route, ENDPOINTS};
 use twocs_core::overlapped::{overlap_pct, roi_hyper};
 use twocs_core::serialized::{comm_fraction, sweep_hyper, Method};
-use twocs_core::sweep::GridSweep;
+use twocs_core::sweep::{GridSweep, Workload};
 use twocs_hw::{DeviceSpec, HwEvolution};
 use twocs_obs::chrome::escape_json;
 use twocs_transformer::ParallelConfig;
@@ -142,6 +142,12 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         "sl",
         "tp",
         "flop_vs_bw",
+        "experts",
+        "top_k",
+        "stages",
+        "micro_batches",
+        "sp",
+        "workload",
         "b",
         "method",
         "planner",
@@ -149,6 +155,9 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         "format",
     ])?;
     let format = parse_format(q, Format::Csv)?;
+    // Canonicalization contract: every omitted parameter assigns the same
+    // default `GridSweep::default()` (and the CLI) uses, so pre-axis query
+    // strings and cached keys keep producing byte-identical bodies.
     let mut grid = GridSweep::default();
     if let Some(hs) = q.u64_list("h")? {
         grid.hs = hs;
@@ -161,6 +170,24 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
     }
     if let Some(ratios) = q.f64_list("flop_vs_bw")? {
         grid.flop_vs_bw = ratios;
+    }
+    if let Some(experts) = q.u64_list("experts")? {
+        grid.experts = experts;
+    }
+    if let Some(top_ks) = q.u64_list("top_k")? {
+        grid.top_ks = top_ks;
+    }
+    if let Some(stages) = q.u64_list("stages")? {
+        grid.stages = stages;
+    }
+    if let Some(micro_batches) = q.u64_list("micro_batches")? {
+        grid.micro_batches = micro_batches;
+    }
+    if let Some(sps) = q.u64_list("sp")? {
+        grid.sps = sps;
+    }
+    if let Some(raw) = q.get("workload") {
+        grid.workload = raw.parse::<Workload>()?;
     }
     if let Some(b) = q.u64("b")? {
         grid.batch = b;
@@ -185,6 +212,48 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
     }
     if grid.flop_vs_bw.iter().any(|&r| r < 1.0) {
         return Err("flop_vs_bw ratios must be >= 1 (1 = today's hardware)".to_owned());
+    }
+    if [
+        &grid.experts,
+        &grid.top_ks,
+        &grid.stages,
+        &grid.micro_batches,
+        &grid.sps,
+    ]
+    .iter()
+    .any(|axis| axis.contains(&0))
+    {
+        return Err(
+            "experts, top_k, stages, micro_batches, and sp values must be non-zero".to_owned(),
+        );
+    }
+    // `points()` prunes top_k > experts pairs; if *no* pair survives the
+    // request is contradictory, so answer 400 instead of an empty grid.
+    if !grid
+        .experts
+        .iter()
+        .any(|&e| grid.top_ks.iter().any(|&k| k <= e))
+    {
+        return Err("top_k exceeds experts for every requested combination".to_owned());
+    }
+    // The discrete-event simulation models the dense TP training
+    // iteration only; extended axes and inference workloads need the
+    // projection method. The CLI enforces the same rule.
+    let extended_axes = grid.experts.iter().any(|&e| e > 1)
+        || grid.stages.iter().any(|&s| s > 1)
+        || grid.sps.iter().any(|&s| s > 1);
+    if grid.method == Method::Simulation && grid.workload != Workload::Training {
+        return Err(format!(
+            "workload={} requires method=proj (the simulation engine models training only)",
+            grid.workload
+        ));
+    }
+    if grid.method == Method::Simulation && extended_axes {
+        return Err(
+            "experts/stages/sp above 1 require method=proj (the simulation engine models the \
+             dense TP iteration only)"
+                .to_owned(),
+        );
     }
     let points = grid.points().len();
     if points == 0 {
@@ -464,11 +533,11 @@ mod tests {
         assert_eq!(r.status, 200, "{}", r.body);
         let grid = GridSweep {
             hs: vec![4096],
-            sls: GridSweep::default().sls,
             tps: vec![16, 32],
             flop_vs_bw: vec![1.0, 2.0],
             batch: 1,
             method: Method::Projection,
+            ..GridSweep::default()
         };
         let expected = format!("{}\n", grid.run(&DeviceSpec::mi210(), 1).0.to_csv());
         assert_eq!(r.body, expected);
@@ -511,6 +580,87 @@ mod tests {
             assert_eq!(r.status, 400, "query `{q}` body {}", r.body);
             assert!(twocs_obs::json::validate(&r.body).is_ok(), "query `{q}`");
         }
+    }
+
+    #[test]
+    fn sweep_rejects_contradictory_axis_params_with_400() {
+        for (q, needle) in [
+            ("stages=0&method=proj", "must be non-zero"),
+            ("experts=0&method=proj", "must be non-zero"),
+            ("sp=0&method=proj", "must be non-zero"),
+            (
+                "experts=2&top_k=4&method=proj",
+                "top_k exceeds experts for every requested combination",
+            ),
+            // Default method is sim — training-only — so an inference
+            // workload without method=proj is contradictory.
+            ("workload=decode", "requires method=proj"),
+            ("workload=prefill&method=sim", "requires method=proj"),
+            ("experts=8&top_k=2&method=sim", "require method=proj"),
+            ("stages=4", "require method=proj"),
+            ("sp=2&method=sim", "require method=proj"),
+            ("workload=banana&method=proj", "unknown workload"),
+        ] {
+            let r = handle(&get("/v1/sweep", q), &cfg());
+            assert_eq!(r.status, 400, "query `{q}` body {}", r.body);
+            assert!(r.body.contains(needle), "query `{q}` body {}", r.body);
+        }
+    }
+
+    /// Regression: omitting the new axis/workload params must answer the
+    /// exact bytes a pre-axis query string produced — omitted params fold
+    /// to their defaults, not to a differently-shaped grid.
+    #[test]
+    fn omitted_axis_params_canonicalize_to_defaults() {
+        let legacy = handle(
+            &get("/v1/sweep", "h=4096&tp=16,32&flop_vs_bw=1,2&method=proj"),
+            &cfg(),
+        );
+        let explicit = handle(
+            &get(
+                "/v1/sweep",
+                "h=4096&tp=16,32&flop_vs_bw=1,2&method=proj&experts=1&top_k=1&stages=1&micro_batches=1&sp=1&workload=training",
+            ),
+            &cfg(),
+        );
+        assert_eq!(legacy.status, 200, "{}", legacy.body);
+        assert_eq!(explicit.status, 200, "{}", explicit.body);
+        assert_eq!(legacy.body, explicit.body);
+        // And the legacy body keeps the pre-axis 6-column header.
+        assert!(
+            legacy
+                .body
+                .starts_with("H,SL,TP,flop_vs_bw,serialized_pct,overlap_pct"),
+            "{}",
+            legacy.body
+        );
+    }
+
+    #[test]
+    fn sweep_with_extended_axes_matches_the_engine() {
+        let r = handle(
+            &get(
+                "/v1/sweep",
+                "h=4096&tp=16&flop_vs_bw=1,4&experts=1,8&top_k=1&stages=1,2&workload=prefill&method=proj",
+            ),
+            &cfg(),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let grid = GridSweep {
+            hs: vec![4096],
+            tps: vec![16],
+            flop_vs_bw: vec![1.0, 4.0],
+            experts: vec![1, 8],
+            top_ks: vec![1],
+            stages: vec![1, 2],
+            workload: Workload::Prefill,
+            batch: 1,
+            method: Method::Projection,
+            ..GridSweep::default()
+        };
+        let expected = format!("{}\n", grid.run(&DeviceSpec::mi210(), 1).0.to_csv());
+        assert_eq!(r.body, expected);
+        assert!(r.body.contains("experts"), "{}", r.body);
     }
 
     #[test]

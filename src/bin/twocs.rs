@@ -35,7 +35,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--experts <E,..>] [--top-k <K,..>] [--stages <S,..>] [--micro-batches <M,..>] [--sp <SP,..>] [--workload training|prefill|decode] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -250,6 +250,24 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(ratios) = list_flag(args, "--flop-vs-bw")? {
         grid.flop_vs_bw = ratios;
     }
+    if let Some(experts) = list_flag(args, "--experts")? {
+        grid.experts = experts;
+    }
+    if let Some(top_ks) = list_flag(args, "--top-k")? {
+        grid.top_ks = top_ks;
+    }
+    if let Some(stages) = list_flag(args, "--stages")? {
+        grid.stages = stages;
+    }
+    if let Some(micro_batches) = list_flag(args, "--micro-batches")? {
+        grid.micro_batches = micro_batches;
+    }
+    if let Some(sps) = list_flag(args, "--sp")? {
+        grid.sps = sps;
+    }
+    if let Some(raw) = str_flag(args, "--workload") {
+        grid.workload = raw.parse::<twocs::analysis::sweep::Workload>()?;
+    }
     if let Some(b) = flag(args, "--b") {
         grid.batch = b;
     }
@@ -276,6 +294,46 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
     if grid.sls.contains(&0) || grid.tps.contains(&0) || grid.batch == 0 {
         return Err("--sl, --tp, and --b values must be non-zero".into());
+    }
+    if [
+        &grid.experts,
+        &grid.top_ks,
+        &grid.stages,
+        &grid.micro_batches,
+        &grid.sps,
+    ]
+    .iter()
+    .any(|axis| axis.contains(&0))
+    {
+        return Err(
+            "--experts, --top-k, --stages, --micro-batches, and --sp values must be non-zero"
+                .into(),
+        );
+    }
+    if !grid
+        .experts
+        .iter()
+        .any(|&e| grid.top_ks.iter().any(|&k| k <= e))
+    {
+        return Err("--top-k exceeds --experts for every requested combination".into());
+    }
+    let extended_axes = grid.experts.iter().any(|&e| e > 1)
+        || grid.stages.iter().any(|&s| s > 1)
+        || grid.sps.iter().any(|&s| s > 1);
+    use twocs::analysis::sweep::Workload;
+    if grid.method == serialized::Method::Simulation && grid.workload != Workload::Training {
+        return Err(format!(
+            "--workload {} requires --method proj (the simulation engine models training only)",
+            grid.workload
+        )
+        .into());
+    }
+    if grid.method == serialized::Method::Simulation && extended_axes {
+        return Err(
+            "--experts/--stages/--sp above 1 require --method proj (the simulation engine \
+             models the dense TP iteration only)"
+                .into(),
+        );
     }
     if grid.points().is_empty() {
         return Err("grid has no realistic points; widen --h/--tp".into());

@@ -159,3 +159,28 @@ fn claim_reduced_precision_preserves_takeaways() {
     // least as high as at fp32.
     assert!(fp16 >= fp32 * 0.95, "fp16 {fp16} vs fp32 {fp32}");
 }
+
+#[test]
+fn claim_hybrid_tp_pp_stays_in_the_4x_serialized_band() {
+    // §6.1 extension (Anthony et al.'s hybrid-parallelism traffic
+    // characterization): splitting a 4x-evolved future device across
+    // TP *and* pipeline stages trades all-reduce volume for p2p
+    // activations plus a microbatch bubble, but the serialized
+    // communication fraction stays inside the paper's 40-75% band for
+    // the highlighted large-H, high-TP configurations.
+    use twocs_core::sweep::{eval_grid_point, GridPoint, Workload};
+    let device = mi210();
+    for (h, stages, micro_batches) in [(8192, 2, 4), (8192, 4, 4), (16_384, 4, 4)] {
+        let point = GridPoint {
+            stages,
+            micro_batches,
+            ..GridPoint::new(h, 2048, 64, 4.0)
+        };
+        let (serialized, _) =
+            eval_grid_point(&device, point, 1, Method::Projection, Workload::Training);
+        assert!(
+            (40.0..=75.0).contains(&serialized),
+            "H={h} TP=64 stages={stages}: serialized {serialized}% outside the 40-75% band"
+        );
+    }
+}

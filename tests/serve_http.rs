@@ -107,6 +107,66 @@ fn serialized_csv_is_byte_identical_to_the_sweep_engine() {
     join.join().expect("server thread");
 }
 
+/// The extended MoE/PP/SP axes and the workload selector over HTTP:
+/// contradictory parameters answer 400 with a pointed message, omitted
+/// parameters canonicalize to the defaults (same bytes as a legacy
+/// query), and an extended query's CSV is byte-identical to the engine.
+#[test]
+fn extended_axis_params_validate_and_stay_byte_identical() {
+    let (addr, shutdown, join) = start(test_config());
+
+    // Contradictory or malformed axis parameters → 400.
+    for (query, needle) in [
+        ("h=4096&tp=16&stages=0", "non-zero"),
+        ("h=4096&tp=16&experts=2&top_k=4", "top_k exceeds experts"),
+        // The default method is sim, which models dense TP training only:
+        // a decode workload without method=proj is a contradiction.
+        ("h=4096&tp=16&workload=decode", "requires method=proj"),
+        ("h=4096&tp=16&experts=8", "require method=proj"),
+        ("h=4096&tp=16&workload=speculate", "unknown workload"),
+    ] {
+        let raw = get(&addr, &format!("/v1/sweep?{query}"));
+        assert_eq!(status_of(&raw), 400, "{query}: {raw}");
+        assert!(body_of(&raw).contains(needle), "{query}: {raw}");
+    }
+
+    // Omitted axis params are the defaults: bytes match the legacy query.
+    let legacy = get(&addr, "/v1/sweep?h=4096&tp=16,32&method=proj");
+    let explicit = get(
+        &addr,
+        "/v1/sweep?h=4096&tp=16,32&method=proj&experts=1&top_k=1&stages=1\
+         &micro_batches=1&sp=1&workload=training",
+    );
+    assert_eq!(status_of(&legacy), 200, "{legacy}");
+    assert_eq!(body_of(&legacy), body_of(&explicit), "canonicalization");
+
+    // An extended query is byte-identical to the sweep engine.
+    let raw = get(
+        &addr,
+        "/v1/sweep?h=4096&tp=16,32&method=proj&experts=1,8&top_k=2&stages=1,4\
+         &micro_batches=4&sp=1,2&workload=prefill",
+    );
+    assert_eq!(status_of(&raw), 200, "{raw}");
+    let grid = GridSweep {
+        hs: vec![4096],
+        tps: vec![16, 32],
+        method: Method::Projection,
+        experts: vec![1, 8],
+        top_ks: vec![2],
+        stages: vec![1, 4],
+        micro_batches: vec![4],
+        sps: vec![1, 2],
+        workload: twocs::analysis::sweep::Workload::Prefill,
+        ..GridSweep::default()
+    };
+    let expected = format!("{}\n", grid.run(&DeviceSpec::mi210(), 1).0.to_csv());
+    assert_eq!(body_of(&raw), expected);
+    assert!(body_of(&raw).contains("experts"), "extended header present");
+
+    shutdown.trigger();
+    join.join().expect("server thread");
+}
+
 #[test]
 fn eight_concurrent_clients_get_identical_answers() {
     let mut config = test_config();

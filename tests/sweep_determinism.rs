@@ -63,6 +63,77 @@ fn sweep_csv_is_byte_identical_across_jobs() {
     assert!(!serial.stdout.is_empty());
 }
 
+/// The new MoE/PP/SP axis flags and the workload selector keep the
+/// byte-identity contract: `--jobs 1` vs `--jobs 8` CSVs are identical,
+/// the extended columns appear, and each workload produces its own
+/// deterministic artifact.
+#[test]
+fn extended_axis_sweep_csv_is_byte_identical_across_jobs() {
+    let grid = [
+        "--h",
+        "4096,16384",
+        "--sl",
+        "2048",
+        "--tp",
+        "16,64",
+        "--flop-vs-bw",
+        "1,4",
+        "--experts",
+        "1,8",
+        "--top-k",
+        "2",
+        "--stages",
+        "1,4",
+        "--micro-batches",
+        "4",
+        "--sp",
+        "1,2",
+        "--method",
+        "proj",
+    ];
+    let mut artifacts = Vec::new();
+    for workload in ["training", "prefill", "decode"] {
+        let mut serial_args = vec!["sweep", "--csv", "--jobs", "1", "--workload", workload];
+        serial_args.extend_from_slice(&grid);
+        let mut parallel_args = vec!["sweep", "--csv", "--jobs", "8", "--workload", workload];
+        parallel_args.extend_from_slice(&grid);
+        let serial = twocs(&serial_args);
+        let parallel = twocs(&parallel_args);
+        assert!(
+            serial.status.success() && parallel.status.success(),
+            "{workload}"
+        );
+        assert_eq!(serial.stdout, parallel.stdout, "workload {workload}");
+        let csv = String::from_utf8(serial.stdout).expect("utf-8 CSV");
+        let header = csv.lines().next().expect("non-empty CSV");
+        assert!(
+            header.contains("experts") && header.contains("stages") && header.contains("sp"),
+            "extended columns missing: {header}"
+        );
+        artifacts.push(csv);
+    }
+    // Prefill and decode weigh communication differently: the artifacts
+    // must be per-workload, not a shared cache hit.
+    assert_ne!(artifacts[0], artifacts[1], "training vs prefill");
+    assert_ne!(artifacts[1], artifacts[2], "prefill vs decode");
+}
+
+/// A legacy invocation (no axis flags) still produces the exact pre-axis
+/// 6-column CSV — the default axes never perturb existing artifacts.
+#[test]
+fn legacy_sweep_csv_keeps_the_six_column_header() {
+    let out = twocs(&[
+        "sweep", "--csv", "--h", "4096", "--sl", "2048", "--tp", "16,64",
+    ]);
+    assert!(out.status.success());
+    let csv = String::from_utf8(out.stdout).expect("utf-8 CSV");
+    assert!(
+        csv.starts_with("H,SL,TP,flop_vs_bw,serialized_pct,overlap_pct\n"),
+        "legacy header changed: {}",
+        csv.lines().next().unwrap_or_default()
+    );
+}
+
 #[test]
 fn logical_clock_traces_are_byte_identical_across_jobs() {
     // The tentpole determinism claim: under the logical trace clock, the
