@@ -84,11 +84,9 @@ fn sweep_query(grid: &GridSweep, jobs: usize, planner: PlannerMode) -> String {
 }
 
 fn serve_once(cfg: &HandlerConfig, raw_query: &str) -> String {
-    let req = Request {
-        method: "GET".to_owned(),
-        path: "/v1/sweep".to_owned(),
-        raw_query: raw_query.to_owned(),
-    };
+    // `HandlerConfig::default()` carries no response cache, so this
+    // keeps benchmarking the sweep engine, not a body memcpy.
+    let req = Request::get("/v1/sweep", raw_query);
     let resp = handle(&req, cfg);
     assert_eq!(resp.status, 200, "/v1/sweep failed: {}", resp.body);
     resp.body

@@ -309,12 +309,23 @@ where
     /// and size.
     #[must_use]
     pub fn named(name: &str) -> Self {
+        Self::with_metric_prefix(&format!("cache.{name}"))
+    }
+
+    /// Like [`MemoCache::named`], but with full control of the metric
+    /// namespace: counters register as `<prefix>.hits` /
+    /// `<prefix>.misses` / `<prefix>.chunks` plus a `<prefix>.entries`
+    /// gauge. Lets consumers outside the hardware layer (e.g. the serve
+    /// response cache, which publishes `serve.cache.*`) reuse this
+    /// machinery without squatting in the `cache.*` namespace.
+    #[must_use]
+    pub fn with_metric_prefix(prefix: &str) -> Self {
         let registry = twocs_obs::metrics::global();
         Self::with_counters(
-            registry.counter(&format!("cache.{name}.hits")),
-            registry.counter(&format!("cache.{name}.misses")),
-            registry.counter(&format!("cache.{name}.chunks")),
-            registry.gauge(&format!("cache.{name}.entries")),
+            registry.counter(&format!("{prefix}.hits")),
+            registry.counter(&format!("{prefix}.misses")),
+            registry.counter(&format!("{prefix}.chunks")),
+            registry.gauge(&format!("{prefix}.entries")),
         )
     }
 

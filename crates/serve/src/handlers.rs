@@ -7,15 +7,25 @@
 //! `twocs-core::overlapped`), and a query service must turn those cases
 //! into `400`s, not misleading numbers or `500`s.
 //!
-//! Warm-query speed comes from the existing global memo caches
-//! (`gemm_time` in `twocs-hw`, collective `node_time` in
-//! `twocs-collectives`, slack-ROI profiles in `twocs-opmodel`): handlers
-//! call the same `comm_fraction` / `overlap_pct` entry points as the CLI,
-//! so repeated configurations are answered from cache.
+//! Warm-query speed comes from two cache tiers. The existing global
+//! memo caches (`gemm_time` in `twocs-hw`, collective `node_time` in
+//! `twocs-collectives`, slack-ROI profiles in `twocs-opmodel`) make
+//! repeated *configurations* cheap: handlers call the same
+//! `comm_fraction` / `overlap_pct` entry points as the CLI. Above them,
+//! an optional [`ResponseCache`] memoizes entire rendered bodies keyed
+//! by canonicalized queries, so a repeated *request* skips the model
+//! entirely. Canonical keys are built **after** validation from the
+//! fully-resolved parameters (defaults folded in, body-neutral params
+//! like `jobs`/`planner` excluded), which also guarantees only
+//! infallible `200` paths are ever cached; the executor-backed sweep
+//! path (`twocs serve --listen`) bypasses the cache because its `500`s
+//! must never be replayed.
 
+use crate::cache::{KeyBuilder, ResponseCache};
 use crate::http::{Request, Response};
 use crate::query::Query;
 use crate::router::{Route, ENDPOINTS};
+use std::sync::Arc;
 use twocs_core::overlapped::{overlap_pct, roi_hyper};
 use twocs_core::serialized::{comm_fraction, sweep_hyper, Method};
 use twocs_core::sweep::{GridSweep, Workload};
@@ -39,6 +49,10 @@ pub struct HandlerConfig {
     /// request's `jobs`. Either way the CSV body is byte-identical —
     /// that is the executor contract.
     pub executor: Option<std::sync::Arc<dyn twocs_core::sweep::GridExecutor>>,
+    /// Full-body response cache for the projection endpoints. `None`
+    /// recomputes every request (benches use this to measure the
+    /// engine, `twocs serve --no-response-cache` exposes it).
+    pub cache: Option<Arc<ResponseCache>>,
 }
 
 impl std::fmt::Debug for HandlerConfig {
@@ -54,6 +68,7 @@ impl std::fmt::Debug for HandlerConfig {
                     .as_deref()
                     .map(twocs_core::sweep::GridExecutor::describe),
             )
+            .field("cache", &self.cache.is_some())
             .finish()
     }
 }
@@ -65,6 +80,7 @@ impl Default for HandlerConfig {
             max_request_jobs: 8,
             enable_debug: false,
             executor: None,
+            cache: None,
         }
     }
 }
@@ -72,8 +88,13 @@ impl Default for HandlerConfig {
 /// Dispatch one parsed request to its handler and build the response.
 ///
 /// Infallible by construction: parse/validation failures become `400`s,
-/// unknown paths `404`s, non-`GET` methods `405`s. (Handler panics are
-/// caught one level up, in the worker loop.)
+/// unknown paths `404`s, non-`GET`/`HEAD` methods `405`s with the
+/// RFC-required `Allow` header. (Handler panics are caught one level
+/// up, in the worker loop.)
+///
+/// `HEAD` runs the same handler as `GET` — the wire layer drops the
+/// body at serialization time but keeps the full-body `Content-Length`,
+/// so a `HEAD` probe sees exactly the headers the `GET` would carry.
 #[must_use]
 pub fn handle(req: &Request, cfg: &HandlerConfig) -> Response {
     let Some(route) = Route::parse(&req.path) else {
@@ -86,8 +107,12 @@ pub fn handle(req: &Request, cfg: &HandlerConfig) -> Response {
             ),
         );
     };
-    if req.method != "GET" {
-        return Response::error(405, &format!("{} is not supported; use GET", req.method));
+    if req.method != "GET" && req.method != "HEAD" {
+        return Response::error(
+            405,
+            &format!("{} is not supported; use GET or HEAD", req.method),
+        )
+        .with_allow("GET, HEAD");
     }
     let query = match Query::parse(&req.raw_query) {
         Ok(q) => q,
@@ -95,8 +120,8 @@ pub fn handle(req: &Request, cfg: &HandlerConfig) -> Response {
     };
     let result = match route {
         Route::Serialized | Route::Sweep => sweep_response(&query, cfg),
-        Route::Overlapped => overlapped_response(&query),
-        Route::Evolve => evolve_response(&query),
+        Route::Overlapped => overlapped_response(&query, cfg),
+        Route::Evolve => evolve_response(&query, cfg),
         Route::Healthz => Ok(Response::json(200, "{\"status\":\"ok\"}")),
         Route::Metrics => metrics_response(&query),
         Route::DebugSleep => debug_sleep_response(&query, cfg),
@@ -270,21 +295,77 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         .unwrap_or(1)
         .max(1)
         .min(cfg.max_request_jobs as u64) as usize;
-    let table = match &cfg.executor {
-        Some(executor) => match grid.run_with(&DeviceSpec::mi210(), executor.as_ref()) {
-            Ok(table) => table,
-            // An executor failure is the server's problem, not the
-            // client's: answer 500, unlike the validation 400s above.
-            Err(e) => {
-                return Ok(Response::error(
+    if let Some(executor) = &cfg.executor {
+        // Executor-backed sweeps bypass the response cache: a
+        // coordinator failure answers 500 and must never be memoized
+        // or replayed as if it were the grid's answer.
+        return Ok(
+            match grid.run_with(&DeviceSpec::mi210(), executor.as_ref()) {
+                Ok(table) => render_sweep(&table, format),
+                // An executor failure is the server's problem, not the
+                // client's: answer 500, unlike the validation 400s above.
+                Err(e) => Response::error(
                     500,
                     &format!("sweep executor `{}` failed: {e}", executor.describe()),
-                ));
-            }
-        },
-        None => grid.run_mode(&DeviceSpec::mi210(), jobs, planner).0,
+                ),
+            },
+        );
+    }
+    // Past this point the request is fully validated and the in-process
+    // path is infallible, so the whole rendered body is cacheable.
+    let render = || {
+        render_sweep(
+            &grid.run_mode(&DeviceSpec::mi210(), jobs, planner).0,
+            format,
+        )
     };
-    Ok(match format {
+    Ok(match &cfg.cache {
+        Some(cache) => cache.get_or_compute(sweep_key(&grid, format), render),
+        None => render(),
+    })
+}
+
+/// Canonical cache key for a fully-resolved sweep request. Built from
+/// the [`GridSweep`] itself (not the query string), so omitted params
+/// and alternate float spellings collapse to one entry; `jobs` and
+/// `planner` are excluded because they cannot change the body.
+fn sweep_key(grid: &GridSweep, format: Format) -> String {
+    KeyBuilder::new("sweep")
+        .field("fmt", format_token(format))
+        .field("m", method_token(grid.method))
+        .field("w", grid.workload)
+        .field("b", grid.batch)
+        .u64s("h", &grid.hs)
+        .u64s("sl", &grid.sls)
+        .u64s("tp", &grid.tps)
+        .f64s("r", &grid.flop_vs_bw)
+        .u64s("e", &grid.experts)
+        .u64s("k", &grid.top_ks)
+        .u64s("st", &grid.stages)
+        .u64s("mb", &grid.micro_batches)
+        .u64s("sp", &grid.sps)
+        .finish()
+}
+
+fn format_token(format: Format) -> &'static str {
+    match format {
+        Format::Csv => "csv",
+        Format::Json => "json",
+        Format::Ascii => "ascii",
+    }
+}
+
+fn method_token(method: Method) -> &'static str {
+    match method {
+        Method::Simulation => "sim",
+        Method::Projection => "proj",
+    }
+}
+
+/// Render a sweep table under the requested format. The CSV body is the
+/// byte-identity surface CI diffs against the CLI.
+fn render_sweep(table: &twocs_core::report::Table, format: Format) -> Response {
+    match format {
         // `println!` on the CLI appends one newline after `to_csv()`.
         Format::Csv => Response::csv(200, format!("{}\n", table.to_csv())),
         Format::Ascii => Response::text(200, table.to_ascii()),
@@ -315,7 +396,7 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
                 ),
             )
         }
-    })
+    }
 }
 
 /// `/v1/overlapped`: the §4.3.5 slack-ROI metric for one configuration.
@@ -323,7 +404,7 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
 /// `overlap_pct` silently clamps TP to the model's head count, so this
 /// handler rejects out-of-range TP explicitly — the service must never
 /// label a clamped result with the TP the client asked for.
-fn overlapped_response(q: &Query) -> Result<Response, String> {
+fn overlapped_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
     q.reject_unknown(&["h", "slb", "sl", "b", "tp", "dp", "format"])?;
     let format = parse_format(q, Format::Json)?;
     let h = q.u64("h")?.ok_or("`h` (hidden size) is required")?;
@@ -359,28 +440,46 @@ fn overlapped_response(q: &Query) -> Result<Response, String> {
             "tp={tp} must divide the {heads} attention heads of h={h}"
         ));
     }
-    let pct = overlap_pct(&DeviceSpec::mi210(), h, slb, tp, dp);
-    Ok(match format {
-        Format::Json => Response::json(
-            200,
-            format!(
-                "{{\"h\":{h},\"slb\":{slb},\"tp\":{tp},\"dp\":{dp},\"overlap_pct\":{pct:.2}}}"
+    // Fully validated; the compute below cannot fail, so it is
+    // cacheable. Note `sl`+`b` fold into `slb` before the key: both
+    // spellings share one entry.
+    let render = || {
+        let pct = overlap_pct(&DeviceSpec::mi210(), h, slb, tp, dp);
+        match format {
+            Format::Json => Response::json(
+                200,
+                format!(
+                    "{{\"h\":{h},\"slb\":{slb},\"tp\":{tp},\"dp\":{dp},\"overlap_pct\":{pct:.2}}}"
+                ),
             ),
-        ),
-        Format::Csv => Response::csv(
-            200,
-            format!("h,slb,tp,dp,overlap_pct\n{h},{slb},{tp},{dp},{pct:.2}\n"),
-        ),
-        Format::Ascii => Response::text(
-            200,
-            format!("overlapped communication at H={h} SL*B={slb} TP={tp} DP={dp}: {pct:.2}% of compute\n"),
-        ),
+            Format::Csv => Response::csv(
+                200,
+                format!("h,slb,tp,dp,overlap_pct\n{h},{slb},{tp},{dp},{pct:.2}\n"),
+            ),
+            Format::Ascii => Response::text(
+                200,
+                format!("overlapped communication at H={h} SL*B={slb} TP={tp} DP={dp}: {pct:.2}% of compute\n"),
+            ),
+        }
+    };
+    Ok(match &cfg.cache {
+        Some(cache) => {
+            let key = KeyBuilder::new("overlapped")
+                .field("fmt", format_token(format))
+                .field("h", h)
+                .field("slb", slb)
+                .field("tp", tp)
+                .field("dp", dp)
+                .finish();
+            cache.get_or_compute(key, render)
+        }
+        None => render(),
     })
 }
 
 /// `/v1/evolve`: both communication metrics for one configuration on
 /// hardware evolved by the given flop-vs-bw ratio (§4.3.6).
-fn evolve_response(q: &Query) -> Result<Response, String> {
+fn evolve_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
     q.reject_unknown(&["flop_vs_bw", "h", "sl", "b", "tp", "method", "format"])?;
     let format = parse_format(q, Format::Json)?;
     let ratio = q
@@ -407,41 +506,55 @@ fn evolve_response(q: &Query) -> Result<Response, String> {
             "tp={tp} must divide the fixed 256-way head sharding"
         ));
     }
-    let base = DeviceSpec::mi210();
-    let device = if ratio > 1.0 {
-        HwEvolution::flop_vs_bw(ratio).apply(&base)
-    } else {
-        base
+    let render = || {
+        let base = DeviceSpec::mi210();
+        let device = if ratio > 1.0 {
+            HwEvolution::flop_vs_bw(ratio).apply(&base)
+        } else {
+            base
+        };
+        let hyper = sweep_hyper(h, sl, b);
+        let parallel = ParallelConfig::new().tensor(tp);
+        let serialized = 100.0 * comm_fraction(&device, &hyper, &parallel, method);
+        let overlap = overlap_pct(&device, h, sl * b, tp.min(roi_hyper(h, sl * b).heads()), 4);
+        let method_name = method_token(method);
+        match format {
+            Format::Json => Response::json(
+                200,
+                format!(
+                    "{{\"flop_vs_bw\":{ratio},\"device\":\"{}\",\"h\":{h},\"sl\":{sl},\"b\":{b},\"tp\":{tp},\"method\":\"{method_name}\",\"serialized_pct\":{serialized:.2},\"overlap_pct\":{overlap:.2}}}",
+                    escape_json(device.name()),
+                ),
+            ),
+            Format::Csv => Response::csv(
+                200,
+                format!(
+                    "flop_vs_bw,h,sl,b,tp,method,serialized_pct,overlap_pct\n{ratio},{h},{sl},{b},{tp},{method_name},{serialized:.2},{overlap:.2}\n"
+                ),
+            ),
+            Format::Ascii => Response::text(
+                200,
+                format!(
+                    "on {} (flop-vs-bw x{ratio}): serialized {serialized:.2}% of training, overlapped {overlap:.2}% of compute\n",
+                    device.name()
+                ),
+            ),
+        }
     };
-    let hyper = sweep_hyper(h, sl, b);
-    let parallel = ParallelConfig::new().tensor(tp);
-    let serialized = 100.0 * comm_fraction(&device, &hyper, &parallel, method);
-    let overlap = overlap_pct(&device, h, sl * b, tp.min(roi_hyper(h, sl * b).heads()), 4);
-    let method_name = match method {
-        Method::Simulation => "sim",
-        Method::Projection => "proj",
-    };
-    Ok(match format {
-        Format::Json => Response::json(
-            200,
-            format!(
-                "{{\"flop_vs_bw\":{ratio},\"device\":\"{}\",\"h\":{h},\"sl\":{sl},\"b\":{b},\"tp\":{tp},\"method\":\"{method_name}\",\"serialized_pct\":{serialized:.2},\"overlap_pct\":{overlap:.2}}}",
-                escape_json(device.name()),
-            ),
-        ),
-        Format::Csv => Response::csv(
-            200,
-            format!(
-                "flop_vs_bw,h,sl,b,tp,method,serialized_pct,overlap_pct\n{ratio},{h},{sl},{b},{tp},{method_name},{serialized:.2},{overlap:.2}\n"
-            ),
-        ),
-        Format::Ascii => Response::text(
-            200,
-            format!(
-                "on {} (flop-vs-bw x{ratio}): serialized {serialized:.2}% of training, overlapped {overlap:.2}% of compute\n",
-                device.name()
-            ),
-        ),
+    Ok(match &cfg.cache {
+        Some(cache) => {
+            let key = KeyBuilder::new("evolve")
+                .field("fmt", format_token(format))
+                .field("m", method_token(method))
+                .f64("r", ratio)
+                .field("h", h)
+                .field("sl", sl)
+                .field("b", b)
+                .field("tp", tp)
+                .finish();
+            cache.get_or_compute(key, render)
+        }
+        None => render(),
     })
 }
 
@@ -488,15 +601,20 @@ mod tests {
     use crate::http::reason;
 
     fn get(path: &str, raw_query: &str) -> Request {
-        Request {
-            method: "GET".to_owned(),
-            path: path.to_owned(),
-            raw_query: raw_query.to_owned(),
-        }
+        Request::get(path, raw_query)
     }
 
     fn cfg() -> HandlerConfig {
         HandlerConfig::default()
+    }
+
+    /// A config with its own detached response cache (not the global
+    /// registry), so cache assertions are isolated per test.
+    fn cached_cfg() -> HandlerConfig {
+        HandlerConfig {
+            cache: Some(Arc::new(ResponseCache::detached())),
+            ..HandlerConfig::default()
+        }
     }
 
     #[test]
@@ -515,10 +633,99 @@ mod tests {
     }
 
     #[test]
-    fn non_get_is_405() {
+    fn non_get_is_405_with_allow_header() {
         let mut req = get("/v1/healthz", "");
         req.method = "POST".to_owned();
-        assert_eq!(handle(&req, &cfg()).status, 405);
+        let r = handle(&req, &cfg());
+        assert_eq!(r.status, 405);
+        assert_eq!(r.allow, Some("GET, HEAD"));
+        assert!(r.body.contains("use GET or HEAD"), "{}", r.body);
+    }
+
+    #[test]
+    fn head_runs_the_get_handler() {
+        let mut req = get("/v1/healthz", "");
+        req.method = "HEAD".to_owned();
+        let r = handle(&req, &cfg());
+        assert_eq!(r.status, 200);
+        // The handler produces the full body; the wire layer is what
+        // drops it while keeping the GET-identical Content-Length.
+        assert_eq!(r.body, "{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn cache_key_canonicalization_folds_query_spellings() {
+        // Two spellings of the same sweep — omitted axis params vs.
+        // explicit defaults, `1` vs. `1.0` floats — must share one
+        // cache entry, while a genuinely different grid must not.
+        let cfg = cached_cfg();
+        let a = handle(
+            &get("/v1/sweep", "h=4096&tp=16,32&flop_vs_bw=1,2&method=proj"),
+            &cfg,
+        );
+        assert_eq!(a.status, 200, "{}", a.body);
+        let b = handle(
+            &get(
+                "/v1/sweep",
+                "h=4096&tp=16,32&flop_vs_bw=1.0,2.000&method=proj&experts=1&top_k=1&stages=1&micro_batches=1&sp=1&workload=training&b=1&jobs=4&planner=factored",
+            ),
+            &cfg,
+        );
+        assert_eq!(a.body, b.body);
+        let stats = cfg.cache.as_ref().unwrap().stats();
+        assert_eq!(
+            (stats.misses, stats.hits, stats.entries),
+            (1, 1, 1),
+            "same canonical query must compute once and hit once"
+        );
+        let c = handle(
+            &get("/v1/sweep", "h=4096&tp=32,16&flop_vs_bw=1,2&method=proj"),
+            &cfg,
+        );
+        assert_eq!(c.status, 200, "{}", c.body);
+        assert_ne!(c.body, a.body, "axis order changes row order");
+        assert_eq!(cfg.cache.as_ref().unwrap().stats().entries, 2);
+    }
+
+    #[test]
+    fn overlapped_cache_folds_sl_b_into_slb() {
+        let cfg = cached_cfg();
+        let a = handle(&get("/v1/overlapped", "h=4096&slb=2048&tp=16&dp=4"), &cfg);
+        let b = handle(
+            &get("/v1/overlapped", "h=4096&sl=1024&b=2&tp=16&dp=4"),
+            &cfg,
+        );
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(a.body, b.body);
+        let stats = cfg.cache.as_ref().unwrap().stats();
+        assert_eq!((stats.misses, stats.hits, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn cached_and_uncached_bodies_are_identical() {
+        for q in [
+            ("/v1/sweep", "h=4096&tp=16&flop_vs_bw=1,4&method=proj"),
+            ("/v1/overlapped", "h=4096&slb=2048&tp=16&dp=4"),
+            ("/v1/evolve", "flop_vs_bw=4&h=4096&tp=16&method=proj"),
+        ] {
+            let cold = handle(&get(q.0, q.1), &cfg());
+            let cached = cached_cfg();
+            let first = handle(&get(q.0, q.1), &cached);
+            let warm = handle(&get(q.0, q.1), &cached);
+            assert_eq!(cold.body, first.body, "{}", q.0);
+            assert_eq!(cold.body, warm.body, "{}", q.0);
+            assert_eq!(cold.content_type, warm.content_type, "{}", q.0);
+        }
+    }
+
+    #[test]
+    fn validation_errors_never_reach_the_cache() {
+        let cfg = cached_cfg();
+        for q in ["h=1000", "tp=0", "flop_vs_bw=0.5"] {
+            assert_eq!(handle(&get("/v1/sweep", q), &cfg).status, 400);
+        }
+        let stats = cfg.cache.as_ref().unwrap().stats();
+        assert_eq!((stats.misses, stats.entries), (0, 0), "400s are not cached");
     }
 
     #[test]

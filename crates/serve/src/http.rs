@@ -1,42 +1,66 @@
 //! Minimal HTTP/1.1 wire handling: a hand-rolled request parser and a
-//! response writer, std-only (mirroring the JSON work in `twocs-obs`).
+//! response serializer, std-only (mirroring the JSON work in `twocs-obs`).
 //!
 //! Scope is deliberately narrow — the service speaks exactly the subset
 //! it needs:
 //!
-//! * `GET` requests only (anything else is answered `405`);
-//! * request heads are capped at [`MAX_HEAD_BYTES`] (`431` beyond that);
-//! * one request per connection, answered with `Connection: close` — no
-//!   keep-alive state machine, which keeps worker logic trivially correct
-//!   under concurrency;
+//! * `GET` and `HEAD` requests (anything else is answered `405` with an
+//!   `Allow: GET, HEAD` header);
+//! * request heads are capped at exactly [`MAX_HEAD_BYTES`] (`431`
+//!   beyond that — the cap is enforced on buffered bytes, so a client
+//!   can never get the server to hold more than the cap);
+//! * HTTP/1.1 keep-alive: the connection default follows the request
+//!   version (`1.1` persists, `1.0` closes) and the `Connection` header
+//!   overrides it either way;
 //! * request bodies are ignored (a `GET` query service has no use for
 //!   them).
 //!
-//! Socket read/write timeouts are configured by the server before
-//! parsing, so a stalled client surfaces as [`HttpError::Timeout`]
-//! (answered `408`) instead of wedging a worker.
+//! Parsing is **incremental**: the event loop accumulates bytes into a
+//! per-connection buffer and calls [`scan_head`] after every read; the
+//! scanner either finds the `\r\n\r\n` terminator and parses, reports
+//! the head still partial, or reports the cap exceeded. This is what
+//! lets one thread multiplex hundreds of half-arrived requests without
+//! blocking on any of them.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::Write;
 use std::net::TcpStream;
 
 /// Maximum accepted size of a request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed request line: everything the router and handlers need.
+/// A parsed request head: everything the router and handlers need.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// HTTP method, uppercase as received (`GET`, `POST`, ...).
+    /// HTTP method, uppercase as received (`GET`, `HEAD`, `POST`, ...).
     pub method: String,
     /// Decoded-later path component, e.g. `/v1/serialized`.
     pub path: String,
     /// Raw query string (no leading `?`; empty when absent).
     pub raw_query: String,
+    /// Whether the connection must close after this response: requested
+    /// via `Connection: close`, or implied by HTTP/1.0 without
+    /// `Connection: keep-alive`.
+    pub close: bool,
+}
+
+impl Request {
+    /// A plain HTTP/1.1 `GET` (keep-alive), convenient for tests and
+    /// benches that call handlers directly.
+    #[must_use]
+    pub fn get(path: &str, raw_query: &str) -> Self {
+        Self {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            raw_query: raw_query.to_owned(),
+            close: false,
+        }
+    }
 }
 
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
-    /// The socket timed out before a full head arrived.
+    /// The connection sat idle past its deadline mid-head.
     Timeout,
     /// The head exceeded [`MAX_HEAD_BYTES`].
     HeadTooLarge,
@@ -72,38 +96,31 @@ impl HttpError {
     }
 }
 
-/// Read and parse one request head from `stream`.
+/// Result of scanning a connection buffer for one request head.
+#[derive(Debug)]
+pub enum HeadScan {
+    /// A full head was present: the parse outcome plus the number of
+    /// buffer bytes it consumed (strip them before scanning for the
+    /// next pipelined request).
+    Complete(Result<Request, HttpError>, usize),
+    /// No terminator yet and room left under the cap — keep reading.
+    Partial,
+    /// [`MAX_HEAD_BYTES`] buffered without a terminator: answer `431`.
+    TooLarge,
+}
+
+/// Incrementally scan `buf` for a complete request head.
 ///
-/// Reads until the `\r\n\r\n` head terminator, [`MAX_HEAD_BYTES`], EOF,
-/// or the socket's read timeout — whichever comes first. Any body the
-/// client may send afterwards is ignored (the connection is closed after
-/// the response).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let mut head: Vec<u8> = Vec::with_capacity(512);
-    let mut buf = [0u8; 512];
-    loop {
-        if find_head_end(&head).is_some() {
-            break;
-        }
-        if head.len() >= MAX_HEAD_BYTES {
-            return Err(HttpError::HeadTooLarge);
-        }
-        let n = match stream.read(&mut buf) {
-            Ok(0) => {
-                return Err(HttpError::Malformed(
-                    "connection closed before a full request head".to_owned(),
-                ))
-            }
-            Ok(n) => n,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                return Err(HttpError::Timeout)
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(HttpError::Io(e)),
-        };
-        head.extend_from_slice(&buf[..n]);
+/// The cap check is on *buffered* bytes, so callers that also cap their
+/// reads at `MAX_HEAD_BYTES - buf.len()` enforce the limit exactly: a
+/// head of `MAX_HEAD_BYTES` parses, one byte more is rejected.
+#[must_use]
+pub fn scan_head(buf: &[u8]) -> HeadScan {
+    match find_head_end(buf) {
+        Some(end) => HeadScan::Complete(parse_head(&buf[..end]), end),
+        None if buf.len() >= MAX_HEAD_BYTES => HeadScan::TooLarge,
+        None => HeadScan::Partial,
     }
-    parse_head(&head)
 }
 
 /// Byte offset just past the `\r\n\r\n` terminator, if present.
@@ -117,8 +134,8 @@ fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
     let end = find_head_end(head).unwrap_or(head.len());
     let text = std::str::from_utf8(&head[..end])
         .map_err(|_| HttpError::Malformed("request head is not UTF-8".to_owned()))?;
-    let request_line = text
-        .lines()
+    let mut lines = text.lines();
+    let request_line = lines
         .next()
         .ok_or_else(|| HttpError::Malformed("empty request".to_owned()))?;
     let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
@@ -131,11 +148,16 @@ fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
     let version = parts
         .next()
         .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_owned()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!(
-            "unsupported protocol `{version}`"
-        )));
-    }
+    // Exactly `HTTP/1.<digit>` — a bare prefix test would wave through
+    // garbage like `HTTP/1.1x` or `HTTP/1.999`.
+    let minor = match version.strip_prefix("HTTP/1.") {
+        Some(m) if m.len() == 1 && m.as_bytes()[0].is_ascii_digit() => m.as_bytes()[0] - b'0',
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol `{version}`"
+            )))
+        }
+    };
     if !target.starts_with('/') {
         return Err(HttpError::Malformed(format!(
             "request target `{target}` must be origin-form (start with `/`)"
@@ -145,14 +167,34 @@ fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
+    // Persistence: HTTP/1.0 closes unless `keep-alive` is requested;
+    // HTTP/1.1+ persists unless `close` is requested.
+    let mut close = minor == 0;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if !name.trim().eq_ignore_ascii_case("connection") {
+            continue;
+        }
+        for token in value.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if token.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
+    }
     Ok(Request {
         method: method.to_owned(),
         path: path.to_owned(),
         raw_query: raw_query.to_owned(),
+        close,
     })
 }
 
-/// An HTTP response ready to be written to a socket.
+/// An HTTP response ready to be serialized to a socket.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code (`200`, `400`, `503`, ...).
@@ -161,6 +203,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// `Allow` header value, required on `405` responses.
+    pub allow: Option<&'static str>,
 }
 
 impl Response {
@@ -171,6 +215,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            allow: None,
         }
     }
 
@@ -181,6 +226,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            allow: None,
         }
     }
 
@@ -191,6 +237,7 @@ impl Response {
             status,
             content_type: "text/csv; charset=utf-8",
             body: body.into(),
+            allow: None,
         }
     }
 
@@ -206,18 +253,48 @@ impl Response {
         )
     }
 
-    /// Serialize to the wire: status line, minimal headers
-    /// (`Content-Type`, `Content-Length`, `Connection: close`), body.
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    /// Attach an `Allow` header (RFC 9110 requires one on `405`).
+    #[must_use]
+    pub fn with_allow(mut self, allow: &'static str) -> Self {
+        self.allow = Some(allow);
+        self
+    }
+
+    /// Serialize to wire bytes: status line, `Content-Type`,
+    /// `Content-Length`, optional `Allow`, `Connection`, body.
+    ///
+    /// `head_only` answers `HEAD`: identical header block — including
+    /// the `Content-Length` of the full body — with no body bytes.
+    #[must_use]
+    pub fn to_bytes(&self, keep_alive: bool, head_only: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        if let Some(allow) = self.allow {
+            head.push_str("Allow: ");
+            head.push_str(allow);
+            head.push_str("\r\n");
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        let mut bytes = head.into_bytes();
+        if !head_only {
+            bytes.extend_from_slice(self.body.as_bytes());
+        }
+        bytes
+    }
+
+    /// Blocking convenience writer: the full close-delimited response,
+    /// as the pre-keep-alive server sent for every request.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes(false, false))?;
         stream.flush()
     }
 }
@@ -252,6 +329,7 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/v1/serialized");
         assert_eq!(req.raw_query, "h=4096&tp=16");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -259,6 +337,20 @@ mod tests {
         let req = parse("GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.raw_query, "");
         assert_eq!(req.path, "/v1/healthz");
+    }
+
+    #[test]
+    fn connection_header_controls_persistence() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse("GET / HTTP/1.1\r\nCONNECTION: Close\r\n\r\n").unwrap();
+        assert!(req.close, "header name and value are case-insensitive");
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.close, "HTTP/1.0 defaults to close");
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.close, "HTTP/1.0 + keep-alive persists");
+        let req = parse("GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n").unwrap();
+        assert!(req.close, "close is found in a token list");
     }
 
     #[test]
@@ -278,6 +370,60 @@ mod tests {
     }
 
     #[test]
+    fn rejects_garbage_after_valid_version_prefix() {
+        for version in ["HTTP/1.1x", "HTTP/1.", "HTTP/1.11", "HTTP/1.x"] {
+            assert!(
+                matches!(
+                    parse(&format!("GET /v1/healthz {version}\r\n\r\n")),
+                    Err(HttpError::Malformed(_))
+                ),
+                "`{version}` must be rejected"
+            );
+        }
+        assert!(parse("GET /v1/healthz HTTP/1.0\r\n\r\n").is_ok());
+        assert!(parse("GET /v1/healthz HTTP/1.1\r\n\r\n").is_ok());
+    }
+
+    #[test]
+    fn scan_reports_partial_then_complete_with_consumed_length() {
+        let wire = b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\nGET /next";
+        for cut in 1..37 {
+            assert!(
+                matches!(scan_head(&wire[..cut]), HeadScan::Partial),
+                "split at {cut} must be partial"
+            );
+        }
+        match scan_head(wire) {
+            HeadScan::Complete(Ok(req), consumed) => {
+                assert_eq!(req.path, "/v1/healthz");
+                assert_eq!(consumed, 37, "pipelined tail must not be consumed");
+            }
+            other => panic!("expected complete head, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn head_cap_is_exact_at_the_boundary() {
+        // Exactly MAX_HEAD_BYTES including the terminator: parses.
+        let line = "GET /v1/healthz HTTP/1.1\r\n";
+        let pad = MAX_HEAD_BYTES - line.len() - "x: \r\n\r\n".len();
+        let head = format!("{line}x: {}\r\n\r\n", "p".repeat(pad));
+        assert_eq!(head.len(), MAX_HEAD_BYTES);
+        assert!(matches!(
+            scan_head(head.as_bytes()),
+            HeadScan::Complete(Ok(_), _)
+        ));
+        // MAX_HEAD_BYTES buffered with no terminator: too large, while
+        // one byte fewer is still (correctly) just partial.
+        let unterminated = vec![b'a'; MAX_HEAD_BYTES];
+        assert!(matches!(scan_head(&unterminated), HeadScan::TooLarge));
+        assert!(matches!(
+            scan_head(&unterminated[..MAX_HEAD_BYTES - 1]),
+            HeadScan::Partial
+        ));
+    }
+
+    #[test]
     fn error_statuses_map_sensibly() {
         assert_eq!(HttpError::Timeout.status(), 408);
         assert_eq!(HttpError::HeadTooLarge.status(), 431);
@@ -289,5 +435,24 @@ mod tests {
         let r = Response::error(400, "bad \"h\" value");
         assert_eq!(r.body, "{\"error\":\"bad \\\"h\\\" value\"}");
         assert!(twocs_obs::json::validate(&r.body).is_ok());
+    }
+
+    #[test]
+    fn to_bytes_covers_keep_alive_head_only_and_allow() {
+        let r = Response::text(200, "hello");
+        let close = String::from_utf8(r.to_bytes(false, false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(close.ends_with("\r\n\r\nhello"));
+        let keep = String::from_utf8(r.to_bytes(true, false)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert!(keep.contains("Content-Length: 5\r\n"));
+        let head = String::from_utf8(r.to_bytes(true, true)).unwrap();
+        assert!(
+            head.contains("Content-Length: 5\r\n") && head.ends_with("\r\n\r\n"),
+            "HEAD keeps the full-body Content-Length but sends no body"
+        );
+        let denied = Response::error(405, "no").with_allow("GET, HEAD");
+        let denied = String::from_utf8(denied.to_bytes(false, false)).unwrap();
+        assert!(denied.contains("Allow: GET, HEAD\r\n"));
     }
 }

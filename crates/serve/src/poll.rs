@@ -1,0 +1,452 @@
+//! Readiness polling for the keep-alive front end: a thin, std-only
+//! wrapper over `poll(2)` plus a pipe-based [`Waker`].
+//!
+//! The event loop in [`crate::Server::run`] multiplexes one listener and
+//! hundreds of nonblocking connections on a single thread. It needs two
+//! primitives the standard library does not expose:
+//!
+//! * **readiness** — "which of these sockets can make progress?" —
+//!   provided by the POSIX `poll(2)` syscall (no `epoll`/`kqueue`
+//!   dependency, so the same three-symbol FFI works on every Unix);
+//! * **wakeups** — request workers finish responses on other threads and
+//!   must interrupt a sleeping `poll` so the response is written
+//!   immediately instead of on the next tick — provided by the classic
+//!   self-pipe trick: the read end sits in every poll set, and
+//!   [`Waker::wake`] writes one byte to the write end.
+//!
+//! Like `shutdown.rs`, the FFI declares the handful of libc symbols it
+//! needs directly (libc is already linked into every Rust binary), and
+//! all `unsafe` stays inside the `sys` module. On non-Unix targets the
+//! module degrades to a short-sleep level-triggered emulation: every
+//! registered source is reported ready and the caller's `WouldBlock`
+//! handling does the filtering — correct, just less efficient.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// What one connection wants from the next poll round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Interest {
+    /// Wake when the socket has bytes to read (or EOF/err to report).
+    pub read: bool,
+    /// Wake when the socket can accept more written bytes.
+    pub write: bool,
+}
+
+/// One pollable connection: an opaque token the caller uses to find its
+/// state, plus the socket's interest set. Construct via
+/// [`Source::new`] so the raw-fd extraction stays inside this module.
+#[derive(Debug)]
+pub struct Source {
+    /// Caller-chosen identifier, echoed back in [`Event`].
+    pub token: u64,
+    /// What to wait for.
+    pub interest: Interest,
+    #[cfg(unix)]
+    fd: i32,
+}
+
+impl Source {
+    /// Register `stream` under `token` with the given interest.
+    #[must_use]
+    pub fn new(token: u64, stream: &TcpStream, interest: Interest) -> Self {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            Self {
+                token,
+                interest,
+                fd: stream.as_raw_fd(),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = stream;
+            Self { token, interest }
+        }
+    }
+}
+
+/// Readiness of one [`Source`] after a poll round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Event {
+    /// Token of the source this event describes.
+    pub token: u64,
+    /// Reading can make progress.
+    pub readable: bool,
+    /// Writing can make progress.
+    pub writable: bool,
+    /// The peer hung up or the socket errored; the connection is dead.
+    pub hangup: bool,
+}
+
+/// Everything one poll round observed.
+#[derive(Debug, Default)]
+pub struct WaitResult {
+    /// The listener has at least one pending connection to accept.
+    pub listener_ready: bool,
+    /// Per-connection readiness (only sources with any readiness).
+    pub events: Vec<Event>,
+}
+
+/// A readiness poller owning the self-pipe used for cross-thread wakes.
+#[derive(Debug)]
+pub struct Poller {
+    #[cfg(unix)]
+    pipe: sys::Pipe,
+}
+
+/// Cross-thread wake handle for a [`Poller`]; cheap to clone and send to
+/// request workers. On non-Unix targets wakes are no-ops (the emulated
+/// poll sleeps at most a few milliseconds anyway).
+#[derive(Debug, Clone)]
+pub struct Waker {
+    #[cfg(unix)]
+    write_fd: i32,
+}
+
+impl Waker {
+    /// Interrupt the poller's current (or next) wait.
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        sys::wake(self.write_fd);
+    }
+}
+
+impl Poller {
+    /// Create a poller (and, on Unix, its wake pipe).
+    pub fn new() -> std::io::Result<Self> {
+        #[cfg(unix)]
+        {
+            Ok(Self {
+                pipe: sys::Pipe::new()?,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(Self {})
+        }
+    }
+
+    /// A handle that wakes this poller from other threads.
+    #[must_use]
+    pub fn waker(&self) -> Waker {
+        #[cfg(unix)]
+        {
+            Waker {
+                write_fd: self.pipe.write_fd(),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            Waker {}
+        }
+    }
+
+    /// Wait until the listener, any source, or the waker is ready, or
+    /// `timeout` elapses. Wake bytes are drained internally; a wake
+    /// simply makes `wait` return early with whatever else is ready.
+    pub fn wait(
+        &self,
+        listener: Option<&TcpListener>,
+        sources: &[Source],
+        timeout: Duration,
+    ) -> std::io::Result<WaitResult> {
+        #[cfg(unix)]
+        {
+            self.wait_unix(listener, sources, timeout)
+        }
+        #[cfg(not(unix))]
+        {
+            // Level-triggered emulation: sleep briefly, then report every
+            // source ready for whatever it asked; spurious readiness is
+            // filtered by the caller's WouldBlock handling.
+            std::thread::sleep(timeout.min(Duration::from_millis(2)));
+            Ok(WaitResult {
+                listener_ready: listener.is_some(),
+                events: sources
+                    .iter()
+                    .filter(|s| s.interest.read || s.interest.write)
+                    .map(|s| Event {
+                        token: s.token,
+                        readable: s.interest.read,
+                        writable: s.interest.write,
+                        hangup: false,
+                    })
+                    .collect(),
+            })
+        }
+    }
+
+    #[cfg(unix)]
+    fn wait_unix(
+        &self,
+        listener: Option<&TcpListener>,
+        sources: &[Source],
+        timeout: Duration,
+    ) -> std::io::Result<WaitResult> {
+        use std::os::fd::AsRawFd;
+        let mut fds: Vec<sys::PollFd> = Vec::with_capacity(sources.len() + 2);
+        fds.push(sys::PollFd::reading(self.pipe.read_fd()));
+        let listener_slot = listener.map(|l| {
+            fds.push(sys::PollFd::reading(l.as_raw_fd()));
+            fds.len() - 1
+        });
+        let first_source = fds.len();
+        for s in sources {
+            fds.push(sys::PollFd::interest(s.fd, s.interest));
+        }
+        let n = sys::wait(&mut fds, timeout)?;
+        let mut out = WaitResult::default();
+        if n == 0 {
+            return Ok(out);
+        }
+        if fds[0].readable() {
+            sys::drain(self.pipe.read_fd());
+        }
+        if let Some(i) = listener_slot {
+            out.listener_ready = fds[i].readable();
+        }
+        for (fd, s) in fds[first_source..].iter().zip(sources) {
+            let ev = Event {
+                token: s.token,
+                readable: fd.readable(),
+                writable: fd.writable(),
+                hangup: fd.hangup(),
+            };
+            if ev.readable || ev.writable || ev.hangup {
+                out.events.push(ev);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Raw `poll(2)`/`pipe(2)` plumbing — the crate's only `unsafe` besides
+/// the signal hook in `shutdown.rs`. Everything here is POSIX-portable:
+/// the `pollfd` layout and event bits are identical across Linux, macOS,
+/// and the BSDs.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::Interest;
+    use std::time::Duration;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// `nfds_t` is `unsigned long` on Linux and `unsigned int` on the
+    /// BSD family; pick per target so the ABI matches.
+    #[cfg(target_os = "linux")]
+    type NFds = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = std::ffi::c_uint;
+
+    /// The POSIX `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    impl PollFd {
+        pub fn reading(fd: i32) -> Self {
+            Self {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            }
+        }
+
+        pub fn interest(fd: i32, interest: Interest) -> Self {
+            let mut events = 0;
+            if interest.read {
+                events |= POLLIN;
+            }
+            if interest.write {
+                events |= POLLOUT;
+            }
+            Self {
+                fd,
+                events,
+                revents: 0,
+            }
+        }
+
+        pub fn readable(&self) -> bool {
+            self.revents & POLLIN != 0
+        }
+
+        pub fn writable(&self) -> bool {
+            self.revents & POLLOUT != 0
+        }
+
+        pub fn hangup(&self) -> bool {
+            self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+    }
+
+    unsafe extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Wait on `fds` for up to `timeout`. `Ok(0)` on timeout or EINTR
+    /// (the caller's loop re-evaluates deadlines either way).
+    pub fn wait(fds: &mut [PollFd], timeout: Duration) -> std::io::Result<i32> {
+        let ms = i32::try_from(timeout.as_millis())
+            .unwrap_or(i32::MAX)
+            .max(0);
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, ms) };
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n)
+    }
+
+    /// The self-pipe; both ends closed on drop.
+    #[derive(Debug)]
+    pub struct Pipe {
+        fds: [i32; 2],
+    }
+
+    impl Pipe {
+        pub fn new() -> std::io::Result<Self> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Self { fds })
+        }
+
+        pub fn read_fd(&self) -> i32 {
+            self.fds[0]
+        }
+
+        pub fn write_fd(&self) -> i32 {
+            self.fds[1]
+        }
+    }
+
+    impl Drop for Pipe {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.fds[0]);
+                close(self.fds[1]);
+            }
+        }
+    }
+
+    /// One wake = one byte. The pipe is blocking, but a write only
+    /// blocks when ~64 KiB of wakes are already queued — impossible
+    /// while the poller drains every round — so no `fcntl` is needed.
+    pub fn wake(write_fd: i32) {
+        let byte = [1u8];
+        let _ = unsafe { write(write_fd, byte.as_ptr(), 1) };
+    }
+
+    /// Swallow queued wake bytes. One bounded read per poll round: if
+    /// more wakes are pending the pipe stays readable and the next
+    /// round returns immediately, so nothing is lost.
+    pub fn drain(read_fd: i32) {
+        let mut buf = [0u8; 256];
+        let _ = unsafe { read(read_fd, buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_when_nothing_is_ready() {
+        let poller = Poller::new().unwrap();
+        let start = Instant::now();
+        let result = poller
+            .wait(None, &[], Duration::from_millis(30))
+            .expect("poll");
+        assert!(!result.listener_ready);
+        assert!(result.events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn waker_interrupts_the_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let start = Instant::now();
+        // Without the wake this would sleep the full 5 s.
+        let result = poller
+            .wait(None, &[], Duration::from_secs(5))
+            .expect("poll");
+        assert!(result.events.is_empty());
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "wake must interrupt the wait"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn listener_and_connection_readiness_are_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let result = poller
+            .wait(Some(&listener), &[], Duration::from_secs(2))
+            .expect("poll");
+        assert!(result.listener_ready, "pending accept must be visible");
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        // Nothing sent yet: the connection polls writable but not
+        // readable.
+        let sources = [Source::new(
+            7,
+            &server_side,
+            Interest {
+                read: true,
+                write: true,
+            },
+        )];
+        let result = poller
+            .wait(Some(&listener), &sources, Duration::from_secs(2))
+            .expect("poll");
+        let ev = result.events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.writable);
+        // After the client writes, it polls readable too.
+        client.write_all(b"hello").unwrap();
+        let sources = [Source::new(
+            7,
+            &server_side,
+            Interest {
+                read: true,
+                write: false,
+            },
+        )];
+        let result = poller
+            .wait(None, &sources, Duration::from_secs(2))
+            .expect("poll");
+        let ev = result.events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.readable, "client bytes must wake the read interest");
+    }
+}

@@ -10,6 +10,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use twocs_obs::metrics::Gauge;
+
 /// A bounded queue: `try_push` never blocks, `pop` blocks until an item
 /// arrives or the queue is closed and drained.
 #[derive(Debug)]
@@ -17,6 +19,10 @@ pub struct Bounded<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
     cap: usize,
+    /// Published depth, updated under the lock on **both** push and pop
+    /// so the gauge can never lag behind the queue or fail to fall back
+    /// to zero as workers drain it.
+    depth: Option<Gauge>,
 }
 
 #[derive(Debug)]
@@ -38,6 +44,19 @@ impl<T> Bounded<T> {
             }),
             ready: Condvar::new(),
             cap,
+            depth: None,
+        }
+    }
+
+    /// Like [`Bounded::new`], but mirroring the live depth into `depth`
+    /// on every push **and** pop (the server publishes this as
+    /// `serve.queue_depth`).
+    #[must_use]
+    pub fn with_gauge(cap: usize, depth: Gauge) -> Self {
+        depth.set(0.0);
+        Self {
+            depth: Some(depth),
+            ..Self::new(cap)
         }
     }
 
@@ -49,6 +68,9 @@ impl<T> Bounded<T> {
             return Err(item);
         }
         inner.items.push_back(item);
+        if let Some(depth) = &self.depth {
+            depth.set(inner.items.len() as f64);
+        }
         drop(inner);
         self.ready.notify_one();
         Ok(())
@@ -61,6 +83,9 @@ impl<T> Bounded<T> {
         let mut inner = self.inner.lock().expect("serve queue poisoned");
         loop {
             if let Some(item) = inner.items.pop_front() {
+                if let Some(depth) = &self.depth {
+                    depth.set(inner.items.len() as f64);
+                }
                 return Some(item);
             }
             if inner.closed {
@@ -118,6 +143,31 @@ mod tests {
         let q = Bounded::new(0);
         q.try_push(1).unwrap();
         assert_eq!(q.try_push(2), Err(2));
+    }
+
+    #[test]
+    fn depth_gauge_tracks_push_and_pop() {
+        // Regression: the gauge used to be set only before push in the
+        // accept loop, so it lagged by one and never decreased as
+        // workers drained the queue.
+        let gauge = Gauge::detached();
+        let q = Bounded::with_gauge(4, gauge.clone());
+        assert_eq!(gauge.get(), 0.0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(gauge.get(), 2.0, "gauge rises with pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(gauge.get(), 1.0, "gauge falls on pop");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(gauge.get(), 0.0, "gauge returns to zero when drained");
+        // And the registry-published variant round-trips through
+        // to_json, as the satellite asks.
+        let registry = twocs_obs::metrics::MetricsRegistry::new();
+        let q = Bounded::with_gauge(4, registry.gauge("serve.queue_depth"));
+        q.try_push(9).unwrap();
+        assert!(registry.to_json().contains("\"serve.queue_depth\":1"));
+        q.pop();
+        assert!(registry.to_json().contains("\"serve.queue_depth\":0"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! twocs run all [--jobs N]           # everything, paper order, in parallel
 //! twocs sweep [--h 4096,65536] [--tp 16,64,256] [--jobs N] [--csv]
 //! twocs analyze --h 16384 --sl 2048 --b 1 --tp 64 [--dp 8] [--flop-vs-bw 4]
-//! twocs serve [--addr 127.0.0.1:7878] [--jobs N] [--queue N]
+//! twocs serve [--addr 127.0.0.1:7878] [--jobs N] [--queue N] [--max-conns N]
 //! ```
 //!
 //! `run` and `sweep` fan work across `--jobs` worker threads; stdout is
@@ -35,7 +35,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--experts <E,..>] [--top-k <K,..>] [--stages <S,..>] [--micro-batches <M,..>] [--sp <SP,..>] [--workload training|prefill|decode] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--trace <path>] [--metrics]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--experts <E,..>] [--top-k <K,..>] [--stages <S,..>] [--micro-batches <M,..>] [--sp <SP,..>] [--workload training|prefill|decode] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--idle-timeout-ms <MS>] [--max-conns <N>] [--max-requests-per-conn <N>] [--no-response-cache] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -432,6 +432,18 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(ms) = flag(args, "--request-timeout-ms") {
         config.request_timeout = std::time::Duration::from_millis(ms.max(1));
     }
+    if let Some(ms) = flag(args, "--idle-timeout-ms") {
+        config.idle_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    if let Some(conns) = flag(args, "--max-conns") {
+        config.max_connections = conns.max(1) as usize;
+    }
+    if let Some(reqs) = flag(args, "--max-requests-per-conn") {
+        config.max_requests_per_conn = reqs.max(1);
+    }
+    if args.iter().any(|a| a == "--no-response-cache") {
+        config.cache_responses = false;
+    }
     // Debug endpoints (/v1/debug/sleep) are opt-in via environment, never
     // flags, so they cannot be enabled by a copy-pasted command line.
     config.handler.enable_debug = std::env::var("TWOCS_SERVE_DEBUG").as_deref() == Ok("1");
@@ -464,6 +476,8 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let jobs = config.jobs;
     let queue = config.queue;
+    let max_conns = config.max_connections;
+    let cache = if config.cache_responses { "on" } else { "off" };
 
     let obs = ObsSession::from_args(args);
     let server = twocs::serve::Server::bind(config)
@@ -471,7 +485,7 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let addr = server.local_addr()?;
     println!("twocs serve: listening on http://{addr}");
     eprintln!(
-        "twocs serve: {jobs} worker(s), queue depth {queue}; ctrl-c drains in-flight requests and exits"
+        "twocs serve: {jobs} worker(s), queue depth {queue}, {max_conns} keep-alive connection budget, response cache {cache}; ctrl-c drains in-flight requests and exits"
     );
     twocs::serve::install_signal_handler();
     let stats = server.run();
