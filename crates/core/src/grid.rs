@@ -1,0 +1,470 @@
+//! Lazy, random-access indexing over a [`GridSweep`]'s pruned point
+//! space — the seam that lets million-point grids flow through the sweep
+//! fabric without ever materializing `Vec<GridPoint>` for the whole
+//! grid.
+//!
+//! [`GridSweep::points`] builds the full point list eagerly, which is
+//! fine for figure-sized grids but is exactly the RAM ceiling ROADMAP
+//! item 3 calls out: the coordinator held the entire grid *and* the
+//! entire result vector in memory. [`GridIndex`] factors the pruned
+//! cross product instead: the surviving `(H, SL, TP)` triples (pruning
+//! only ever inspects those three axes plus the batch) and the filtered
+//! inner axis lists. Every point is then addressable in O(1) by its
+//! grid-order rank via mixed-radix decoding, so a chunk's points can be
+//! regenerated on demand from `(chunk index, chunk size)` — the unit the
+//! journal and the distributed fabric identify work by.
+//!
+//! The index is order-faithful by construction: `index.point(i)` equals
+//! `sweep.points()[i]` for every `i` (property-tested below), so chunked
+//! streaming output stays byte-identical to the in-memory path.
+
+use crate::serialized::{realistic_tp, sweep_hyper, Method};
+use crate::sweep::{GridPoint, GridSweep, Workload};
+
+/// Random-access view of a [`GridSweep`]'s pruned point space.
+///
+/// Memory is O(surviving triples + axis values) — independent of the
+/// point count, which is `triples × ratios × axis tuples`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridIndex {
+    /// Surviving `(H, SL, TP)` triples, in grid order.
+    triples: Vec<(u64, u64, u64)>,
+    /// Flop-vs-bw ratios (never pruned, duplicates preserved).
+    ratios: Vec<f64>,
+    /// Valid `(experts, top_k)` pairs, in nested list order.
+    pairs: Vec<(u64, u64)>,
+    /// Non-zero pipeline stage counts, in list order.
+    stages: Vec<u64>,
+    /// Non-zero micro-batch counts, in list order.
+    micros: Vec<u64>,
+    /// Non-zero sequence-parallel degrees, in list order.
+    sps: Vec<u64>,
+}
+
+impl GridIndex {
+    /// Build the index for `sweep`, applying exactly the pruning rules
+    /// of [`GridSweep::points`].
+    #[must_use]
+    pub fn new(sweep: &GridSweep) -> Self {
+        let mut triples = Vec::new();
+        for &h in &sweep.hs {
+            if h == 0 || h % 256 != 0 || sweep.batch == 0 {
+                continue;
+            }
+            for &sl in &sweep.sls {
+                if sl == 0 {
+                    continue;
+                }
+                for &tp in &sweep.tps {
+                    if tp == 0
+                        || !realistic_tp(h, tp)
+                        || tp > sweep_hyper(h, sl, sweep.batch).heads()
+                    {
+                        continue;
+                    }
+                    triples.push((h, sl, tp));
+                }
+            }
+        }
+        let mut pairs = Vec::new();
+        for &experts in &sweep.experts {
+            for &top_k in &sweep.top_ks {
+                if experts == 0 || top_k == 0 || top_k > experts {
+                    continue;
+                }
+                pairs.push((experts, top_k));
+            }
+        }
+        Self {
+            triples,
+            ratios: sweep.flop_vs_bw.clone(),
+            pairs,
+            stages: sweep.stages.iter().copied().filter(|&s| s != 0).collect(),
+            micros: sweep
+                .micro_batches
+                .iter()
+                .copied()
+                .filter(|&m| m != 0)
+                .collect(),
+            sps: sweep.sps.iter().copied().filter(|&s| s != 0).collect(),
+        }
+    }
+
+    /// Points per surviving `(H, SL, TP)` triple: the full inner cross
+    /// product of ratio and extended-axis values.
+    fn inner(&self) -> usize {
+        self.ratios.len()
+            * self.pairs.len()
+            * self.stages.len()
+            * self.micros.len()
+            * self.sps.len()
+    }
+
+    /// Total surviving points — `sweep.points().len()` without building
+    /// the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.triples.len() * self.inner()
+    }
+
+    /// Whether the grid has no surviving points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The surviving `(H, SL, TP)` triples, in grid order.
+    #[must_use]
+    pub fn triples(&self) -> &[(u64, u64, u64)] {
+        &self.triples
+    }
+
+    /// The ratio axis (unpruned, duplicates preserved).
+    #[must_use]
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// The valid `(experts, top_k)` pairs in grid order.
+    #[must_use]
+    pub fn expert_pairs(&self) -> &[(u64, u64)] {
+        &self.pairs
+    }
+
+    /// Distinct extended-axis tuples in grid order — the inner cross
+    /// product of `(experts, top_k) × stages × micro_batches × sp`.
+    pub fn axis_tuples(&self) -> impl Iterator<Item = (u64, u64, u64, u64, u64)> + '_ {
+        self.pairs.iter().flat_map(move |&(e, k)| {
+            self.stages.iter().flat_map(move |&s| {
+                self.micros
+                    .iter()
+                    .flat_map(move |&m| self.sps.iter().map(move |&sp| (e, k, s, m, sp)))
+            })
+        })
+    }
+
+    /// Whether any surviving point departs from the neutral extended
+    /// axes — equivalently, whether
+    /// `sweep.points().iter().any(|p| !p.axes_default())`. This decides
+    /// the CSV header shape up front, which is what lets streaming
+    /// renderers emit the legacy 6-column artifact byte-for-byte
+    /// without seeing the whole grid.
+    #[must_use]
+    pub fn extended(&self) -> bool {
+        !self.is_empty()
+            && (self.pairs.iter().any(|&(e, k)| e > 1 || k > 1)
+                || self.stages.iter().any(|&s| s > 1)
+                || self.micros.iter().any(|&m| m > 1)
+                || self.sps.iter().any(|&s| s > 1))
+    }
+
+    /// The point at grid-order rank `i` — equal to `sweep.points()[i]`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn point(&self, i: usize) -> GridPoint {
+        assert!(i < self.len(), "point rank {i} out of range {}", self.len());
+        let inner = self.inner();
+        let (h, sl, tp) = self.triples[i / inner];
+        let mut rem = i % inner;
+        let strides = [
+            self.pairs.len() * self.stages.len() * self.micros.len() * self.sps.len(),
+            self.stages.len() * self.micros.len() * self.sps.len(),
+            self.micros.len() * self.sps.len(),
+            self.sps.len(),
+        ];
+        let ri = rem / strides[0];
+        rem %= strides[0];
+        let pi = rem / strides[1];
+        rem %= strides[1];
+        let si = rem / strides[2];
+        rem %= strides[2];
+        let mi = rem / strides[3];
+        let spi = rem % strides[3];
+        let (experts, top_k) = self.pairs[pi];
+        GridPoint {
+            h,
+            sl,
+            tp,
+            ratio: self.ratios[ri],
+            experts,
+            top_k,
+            stages: self.stages[si],
+            micro_batches: self.micros[mi],
+            sp: self.sps[spi],
+        }
+    }
+
+    /// Materialize the points of ranks `start..end` (clamped to the
+    /// grid), in grid order — the unit a chunk lease or a streaming
+    /// renderer needs, O(end − start) memory.
+    #[must_use]
+    pub fn range(&self, start: usize, end: usize) -> Vec<GridPoint> {
+        let end = end.min(self.len());
+        (start..end.max(start)).map(|i| self.point(i)).collect()
+    }
+
+    /// Iterate every point lazily in grid order.
+    #[must_use]
+    pub fn iter(&self) -> GridPointsIter<'_> {
+        GridPointsIter { index: self, at: 0 }
+    }
+
+    /// Number of `chunk_size`-point chunks covering the grid.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    #[must_use]
+    pub fn chunk_count(&self, chunk_size: usize) -> usize {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        self.len().div_ceil(chunk_size)
+    }
+
+    /// The points of chunk `chunk` under a `chunk_size` split — equal to
+    /// `sweep.chunks(chunk_size)[chunk].points` without materializing
+    /// the grid.
+    #[must_use]
+    pub fn chunk_points(&self, chunk: usize, chunk_size: usize) -> Vec<GridPoint> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        let start = chunk * chunk_size;
+        self.range(start, start.saturating_add(chunk_size))
+    }
+}
+
+/// Lazy grid-order point iterator (see [`GridIndex::iter`]).
+#[derive(Debug, Clone)]
+pub struct GridPointsIter<'a> {
+    index: &'a GridIndex,
+    at: usize,
+}
+
+impl Iterator for GridPointsIter<'_> {
+    type Item = GridPoint;
+
+    fn next(&mut self) -> Option<GridPoint> {
+        if self.at >= self.index.len() {
+            return None;
+        }
+        let p = self.index.point(self.at);
+        self.at += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.index.len() - self.at;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for GridPointsIter<'_> {}
+
+/// FNV-1a 64-bit, the std-only stable hash the grid fingerprint uses
+/// (std's `DefaultHasher` is explicitly unstable across releases, and
+/// the fingerprint is persisted in journals and crosses the dist wire).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv1a(pub u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Stable one-byte tag for [`Method`], used by the fingerprint (and
+/// mirrored by the journal spec encoding in `twocs-store`).
+fn method_tag(m: Method) -> u8 {
+    match m {
+        Method::Simulation => 0,
+        Method::Projection => 1,
+    }
+}
+
+/// Stable one-byte tag for [`Workload`].
+fn workload_tag(w: Workload) -> u8 {
+    match w {
+        Workload::Training => 0,
+        Workload::Prefill => 1,
+        Workload::Decode => 2,
+    }
+}
+
+impl GridSweep {
+    /// Build the lazy random-access index over this sweep's pruned point
+    /// space — O(axes) memory however many points the grid has.
+    #[must_use]
+    pub fn index(&self) -> GridIndex {
+        GridIndex::new(self)
+    }
+
+    /// Number of surviving grid points, without materializing them.
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.index().len()
+    }
+
+    /// A stable 64-bit fingerprint of the sweep *specification* — every
+    /// axis list verbatim (order and duplicates included), the batch,
+    /// the method, and the workload. Two sweeps share a fingerprint iff
+    /// they describe the same grid in the same order, so it keys the
+    /// journal replay validation and the dist workers' factored-plan
+    /// cache. FNV-1a over a length-prefixed canonical encoding; f64
+    /// ratios hash by bit pattern.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for list in [
+            &self.hs,
+            &self.sls,
+            &self.tps,
+            &self.experts,
+            &self.top_ks,
+            &self.stages,
+            &self.micro_batches,
+            &self.sps,
+        ] {
+            h.write_u64(list.len() as u64);
+            for &v in list.iter() {
+                h.write_u64(v);
+            }
+        }
+        h.write_u64(self.flop_vs_bw.len() as u64);
+        for &r in &self.flop_vs_bw {
+            h.write_u64(r.to_bits());
+        }
+        h.write_u64(self.batch);
+        h.write(&[method_tag(self.method), workload_tag(self.workload)]);
+        h.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twocs_testkit::cases;
+
+    fn arbitrary_sweep(rng: &mut twocs_testkit::Rng) -> GridSweep {
+        let pick = |rng: &mut twocs_testkit::Rng, candidates: &[u64], max: usize| -> Vec<u64> {
+            let n = rng.usize_in(1..max + 1);
+            (0..n).map(|_| *rng.choose(candidates)).collect()
+        };
+        GridSweep {
+            hs: pick(rng, &[0, 100, 2048, 4096, 16_384, 65_536], 3),
+            sls: pick(rng, &[0, 512, 2048, 4096], 2),
+            tps: pick(rng, &[0, 1, 4, 16, 64, 256, 1024], 3),
+            flop_vs_bw: vec![1.0, 2.0, 4.0][..rng.usize_in(1..4)].to_vec(),
+            experts: pick(rng, &[0, 1, 2, 8], 2),
+            top_ks: pick(rng, &[0, 1, 2, 4], 2),
+            stages: pick(rng, &[0, 1, 4], 2),
+            micro_batches: pick(rng, &[0, 1, 8], 2),
+            sps: pick(rng, &[0, 1, 2], 2),
+            batch: rng.u64_in(0..3),
+            method: Method::Projection,
+            workload: Workload::Training,
+        }
+    }
+
+    #[test]
+    fn index_matches_materialized_points_everywhere() {
+        cases(60, |rng| {
+            let sweep = arbitrary_sweep(rng);
+            let points = sweep.points();
+            let index = sweep.index();
+            assert_eq!(index.len(), points.len(), "{sweep:?}");
+            assert_eq!(sweep.point_count(), points.len());
+            for (i, p) in points.iter().enumerate() {
+                assert_eq!(index.point(i), *p, "rank {i} of {sweep:?}");
+            }
+            let collected: Vec<GridPoint> = index.iter().collect();
+            assert_eq!(collected, points);
+            assert_eq!(
+                index.extended(),
+                points.iter().any(|p| !p.axes_default()),
+                "{sweep:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn chunk_points_match_materialized_chunks() {
+        cases(30, |rng| {
+            let sweep = arbitrary_sweep(rng);
+            let index = sweep.index();
+            if index.is_empty() {
+                return;
+            }
+            let chunk_size = rng.usize_in(1..index.len() + 3);
+            let chunks = sweep.chunks(chunk_size);
+            assert_eq!(index.chunk_count(chunk_size), chunks.len());
+            for (c, chunk) in chunks.iter().enumerate() {
+                assert_eq!(
+                    index.chunk_points(c, chunk_size),
+                    chunk.points,
+                    "chunk {c} of {sweep:?}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn default_grid_indexes_exactly() {
+        let sweep = GridSweep::default();
+        assert_eq!(sweep.point_count(), sweep.points().len());
+        assert!(!sweep.index().extended());
+    }
+
+    #[test]
+    fn fingerprint_separates_specs_and_is_stable() {
+        let base = GridSweep::default();
+        assert_eq!(base.fingerprint(), GridSweep::default().fingerprint());
+        let mut other = GridSweep::default();
+        other.batch = 2;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut reordered = GridSweep::default();
+        reordered.hs.reverse();
+        assert_ne!(base.fingerprint(), reordered.fingerprint());
+        let mut method = GridSweep::default();
+        method.method = Method::Projection;
+        assert_ne!(base.fingerprint(), method.fingerprint());
+        // List boundaries are length-prefixed: moving a value between
+        // adjacent lists must change the hash.
+        let a = GridSweep {
+            hs: vec![4096, 2048],
+            sls: vec![],
+            ..GridSweep::default()
+        };
+        let b = GridSweep {
+            hs: vec![4096],
+            sls: vec![2048],
+            ..GridSweep::default()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn empty_grid_index_is_well_behaved() {
+        let sweep = GridSweep {
+            hs: vec![100],
+            ..GridSweep::default()
+        };
+        let index = sweep.index();
+        assert!(index.is_empty());
+        assert!(!index.extended());
+        assert_eq!(index.range(0, 10), Vec::new());
+        assert_eq!(index.chunk_count(4), 0);
+    }
+}

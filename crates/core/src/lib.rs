@@ -50,6 +50,7 @@ pub mod algorithmic;
 pub mod case_study;
 pub mod evolution;
 pub mod experiments;
+pub mod grid;
 pub mod inference;
 pub mod overlapped;
 pub mod planner;
@@ -62,6 +63,7 @@ pub mod trends;
 
 pub use algorithmic::AlgorithmicProfile;
 pub use experiments::{ExperimentDef, ExperimentOutput};
+pub use grid::{GridIndex, GridPointsIter};
 pub use inference::{InferenceIteration, Workload};
 pub use planner::{eval_chunk, FactoredPlan, PlannerMode};
 pub use report::{Figure, Series, Table};

@@ -45,8 +45,8 @@ use crate::inference::InferenceIteration;
 use crate::overlapped::{overlap_pct_with, roi_query};
 use crate::serialized::{projection_baseline, sweep_hyper, Method};
 use crate::sweep::{
-    axis_costs, eval_grid_point, extended_fraction_from_parts, AxisCosts, GridPoint, PointResults,
-    Workload,
+    axis_costs, eval_grid_point, extended_fraction_from_parts, AxisCosts, GridPoint, GridSweep,
+    PointResults, Workload,
 };
 use twocs_hw::{DeviceSpec, HwEvolution};
 use twocs_opmodel::{Profiler, ProjectedIteration, ProjectionModel};
@@ -273,24 +273,10 @@ impl FactoredPlan {
             });
         }
         let (nr, nt, na) = (devices.len(), tps.len(), axes.len());
-        let mut serialized_ar = vec![0.0; hypers.len() * nr];
-        for (si, hyper) in hypers.iter().enumerate() {
-            for (ri, m) in models.iter().enumerate() {
-                serialized_ar[si * nr + ri] = m.serialized_ar_time(hyper);
-            }
-        }
-
         // Collect the triple cells that occur, grouped by ratio so each
         // evolved device runs one profiler + one chunk-scoped cache
         // session over all of its cells.
-        let cells = hypers.len() * nr * nt;
-        let mut compute = vec![0.0; cells];
-        let mut backward = vec![0.0; cells];
-        let mut overlap = vec![0.0; cells];
-        let mut filled = vec![false; cells];
-        let inference = workload != Workload::Training;
-        let mut inf_compute = vec![0.0; if inference { cells } else { 0 }];
-        let mut inf_comm = vec![0.0; if inference { cells } else { 0 }];
+        let mut filled = vec![false; hypers.len() * nr * nt];
         let mut todo: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nr];
         for p in points {
             let ri = ratio_idx[&p.ratio.to_bits()];
@@ -302,47 +288,25 @@ impl FactoredPlan {
                 todo[ri].push((si, ti));
             }
         }
-        for (ri, cells) in todo.iter().enumerate() {
-            let profiler = Profiler::new(devices[ri].clone());
-            let _chunk = profiler.begin_slack_roi_chunk(cells.iter().map(|&(si, ti)| {
-                let (h, sl) = shapes[si];
-                roi_query(h, sl * batch, tps[ti], 4)
-            }));
-            for &(si, ti) in cells {
-                let flat = (si * nr + ri) * nt + ti;
-                let (c, b) = models[ri].projected_compute(&hypers[si], tps[ti]);
-                compute[flat] = c;
-                backward[flat] = b;
-                let (h, sl) = shapes[si];
-                overlap[flat] = overlap_pct_with(&profiler, h, sl * batch, tps[ti], 4);
-                if inference {
-                    let it =
-                        InferenceIteration::model(&devices[ri], &hypers[si], tps[ti], workload);
-                    inf_compute[flat] = it.compute_per_layer;
-                    inf_comm[flat] = it.serialized_comm_per_layer;
-                }
-            }
-        }
-
-        // Axis tables: one cell per occurring (shape, ratio, axis tuple),
-        // priced by the same shared `axis_costs` the naive kernel calls —
-        // that sharing is the bit-identity argument for the new axes.
-        let axis_cells = hypers.len() * nr * na;
-        let mut axis_comm = vec![0.0; axis_cells];
-        let mut axis_p2p = vec![0.0; axis_cells];
-        let mut axis_filled = vec![false; axis_cells];
+        let mut axis_filled = vec![false; hypers.len() * nr * na];
         for p in points {
             let ri = ratio_idx[&p.ratio.to_bits()];
             let si = shape_idx[&(p.h, p.sl)];
             let ai = axis_idx[&p.axis_key()];
-            let aflat = (si * nr + ri) * na + ai;
-            if !axis_filled[aflat] {
-                axis_filled[aflat] = true;
-                let costs = axis_costs(&devices[ri], &hypers[si], axes[ai], workload);
-                axis_comm[aflat] = costs.comm_per_layer;
-                axis_p2p[aflat] = costs.pp_p2p;
-            }
+            axis_filled[(si * nr + ri) * na + ai] = true;
         }
+        let priced = price_tables(
+            &devices,
+            &models,
+            &shapes,
+            &hypers,
+            &tps,
+            &axes,
+            batch,
+            workload,
+            &todo,
+            &axis_filled,
+        );
         twocs_obs::metrics::global()
             .counter("sweep.factored_plans")
             .inc();
@@ -358,15 +322,142 @@ impl FactoredPlan {
             devices,
             hypers,
             tps,
-            serialized_ar,
-            compute,
-            backward,
-            overlap,
+            serialized_ar: priced.serialized_ar,
+            compute: priced.compute,
+            backward: priced.backward,
+            overlap: priced.overlap,
             filled,
-            inf_compute,
-            inf_comm,
-            axis_comm,
-            axis_p2p,
+            inf_compute: priced.inf_compute,
+            inf_comm: priced.inf_comm,
+            axis_comm: priced.axis_comm,
+            axis_p2p: priced.axis_p2p,
+            axis_filled,
+        })
+    }
+
+    /// Build the plan for an **entire sweep** from its [`GridIndex`] —
+    /// O(axis values + table cells) work and memory, never materializing
+    /// the point list. The tables are identical to what [`Self::build`]
+    /// produces over `sweep.points()` (same distinct-value orders, same
+    /// filled cells, same pricing functions), so evaluation stays
+    /// bit-identical; what changes is the cost of *getting* the plan,
+    /// which no longer scales with the point count. This is the seam a
+    /// dist worker uses to build one plan per grid fingerprint and reuse
+    /// it across every chunk lease of that grid.
+    #[must_use]
+    pub fn build_from_sweep(device: &DeviceSpec, sweep: &GridSweep) -> Option<Self> {
+        if sweep.method != Method::Projection {
+            return None;
+        }
+        let index = sweep.index();
+        if index.is_empty() {
+            return None;
+        }
+        let _span = twocs_obs::span("factored plan", "sweep");
+        let (batch, workload) = (sweep.batch, sweep.workload);
+        let mut ratio_idx = HashMap::new();
+        let mut devices = Vec::new();
+        let mut models = Vec::new();
+        for &ratio in index.ratios() {
+            ratio_idx.entry(ratio.to_bits()).or_insert_with(|| {
+                let dev = if ratio > 1.0 {
+                    HwEvolution::flop_vs_bw(ratio).apply(device)
+                } else {
+                    device.clone()
+                };
+                models.push(ProjectionModel::from_baseline(&projection_baseline(), &dev));
+                devices.push(dev);
+                devices.len() - 1
+            });
+        }
+        let mut shape_idx = HashMap::new();
+        let mut shapes: Vec<(u64, u64)> = Vec::new();
+        let mut hypers: Vec<Hyperparams> = Vec::new();
+        let mut tp_idx = HashMap::new();
+        let mut tps: Vec<u64> = Vec::new();
+        for &(h, sl, tp) in index.triples() {
+            shape_idx.entry((h, sl)).or_insert_with(|| {
+                shapes.push((h, sl));
+                hypers.push(sweep_hyper(h, sl, batch));
+                hypers.len() - 1
+            });
+            tp_idx.entry(tp).or_insert_with(|| {
+                tps.push(tp);
+                tps.len() - 1
+            });
+        }
+        let mut axis_idx = HashMap::new();
+        let mut axes: Vec<GridPoint> = Vec::new();
+        for (experts, top_k, stages, micro_batches, sp) in index.axis_tuples() {
+            axis_idx
+                .entry((experts, top_k, stages, micro_batches, sp))
+                .or_insert_with(|| {
+                    // Representative point per tuple: axis_costs reads
+                    // only the axis fields, not (h, sl, tp, ratio).
+                    axes.push(GridPoint {
+                        experts,
+                        top_k,
+                        stages,
+                        micro_batches,
+                        sp,
+                        ..GridPoint::new(256, 1, 1, 1.0)
+                    });
+                    axes.len() - 1
+                });
+        }
+        let (nr, nt, na) = (devices.len(), tps.len(), axes.len());
+        // A sweep is a cross product: every surviving triple occurs with
+        // every ratio, and every (shape, ratio) with every axis tuple.
+        let mut filled = vec![false; hypers.len() * nr * nt];
+        let mut todo: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nr];
+        for &(h, sl, tp) in index.triples() {
+            let si = shape_idx[&(h, sl)];
+            let ti = tp_idx[&tp];
+            for (ri, ratio_todo) in todo.iter_mut().enumerate() {
+                let flat = (si * nr + ri) * nt + ti;
+                if !filled[flat] {
+                    filled[flat] = true;
+                    ratio_todo.push((si, ti));
+                }
+            }
+        }
+        let axis_filled = vec![true; hypers.len() * nr * na];
+        let priced = price_tables(
+            &devices,
+            &models,
+            &shapes,
+            &hypers,
+            &tps,
+            &axes,
+            batch,
+            workload,
+            &todo,
+            &axis_filled,
+        );
+        twocs_obs::metrics::global()
+            .counter("sweep.factored_plans")
+            .inc();
+
+        Some(Self {
+            batch,
+            workload,
+            base_device: device.clone(),
+            ratio_idx,
+            shape_idx,
+            tp_idx,
+            axis_idx,
+            devices,
+            hypers,
+            tps,
+            serialized_ar: priced.serialized_ar,
+            compute: priced.compute,
+            backward: priced.backward,
+            overlap: priced.overlap,
+            filled,
+            inf_compute: priced.inf_compute,
+            inf_comm: priced.inf_comm,
+            axis_comm: priced.axis_comm,
+            axis_p2p: priced.axis_p2p,
             axis_filled,
         })
     }
@@ -503,6 +594,107 @@ impl FactoredPlan {
                 out.push(catch_unwind(AssertUnwindSafe(|| self.eval(p))).map_err(panic_message));
             }
         }
+    }
+}
+
+/// The expensive table columns of a [`FactoredPlan`], priced once per
+/// filled cell by [`price_tables`].
+struct PricedTables {
+    serialized_ar: Vec<f64>,
+    compute: Vec<f64>,
+    backward: Vec<f64>,
+    overlap: Vec<f64>,
+    inf_compute: Vec<f64>,
+    inf_comm: Vec<f64>,
+    axis_comm: Vec<f64>,
+    axis_p2p: Vec<f64>,
+}
+
+/// Fill every expensive table column for the given distinct-value lists
+/// and fill sets. Shared by both plan constructors so a plan built from
+/// a point slice and one built from a [`GridIndex`] price their cells
+/// through exactly the same calls — the bit-identity argument for
+/// worker-side plan reuse.
+///
+/// Triple cells are grouped by ratio (`todo[ri]`) so each evolved device
+/// runs one profiler + one chunk-scoped cache session over all of its
+/// cells; axis cells are priced wherever `axis_filled` is set.
+#[allow(clippy::too_many_arguments)]
+fn price_tables(
+    devices: &[DeviceSpec],
+    models: &[ProjectionModel],
+    shapes: &[(u64, u64)],
+    hypers: &[Hyperparams],
+    tps: &[u64],
+    axes: &[GridPoint],
+    batch: u64,
+    workload: Workload,
+    todo: &[Vec<(usize, usize)>],
+    axis_filled: &[bool],
+) -> PricedTables {
+    let (nr, nt, na) = (devices.len(), tps.len(), axes.len());
+    let mut serialized_ar = vec![0.0; hypers.len() * nr];
+    for (si, hyper) in hypers.iter().enumerate() {
+        for (ri, m) in models.iter().enumerate() {
+            serialized_ar[si * nr + ri] = m.serialized_ar_time(hyper);
+        }
+    }
+
+    let cells = hypers.len() * nr * nt;
+    let mut compute = vec![0.0; cells];
+    let mut backward = vec![0.0; cells];
+    let mut overlap = vec![0.0; cells];
+    let inference = workload != Workload::Training;
+    let mut inf_compute = vec![0.0; if inference { cells } else { 0 }];
+    let mut inf_comm = vec![0.0; if inference { cells } else { 0 }];
+    for (ri, cells) in todo.iter().enumerate() {
+        let profiler = Profiler::new(devices[ri].clone());
+        let _chunk = profiler.begin_slack_roi_chunk(cells.iter().map(|&(si, ti)| {
+            let (h, sl) = shapes[si];
+            roi_query(h, sl * batch, tps[ti], 4)
+        }));
+        for &(si, ti) in cells {
+            let flat = (si * nr + ri) * nt + ti;
+            let (c, b) = models[ri].projected_compute(&hypers[si], tps[ti]);
+            compute[flat] = c;
+            backward[flat] = b;
+            let (h, sl) = shapes[si];
+            overlap[flat] = overlap_pct_with(&profiler, h, sl * batch, tps[ti], 4);
+            if inference {
+                let it = InferenceIteration::model(&devices[ri], &hypers[si], tps[ti], workload);
+                inf_compute[flat] = it.compute_per_layer;
+                inf_comm[flat] = it.serialized_comm_per_layer;
+            }
+        }
+    }
+
+    // Axis tables: one cell per occurring (shape, ratio, axis tuple),
+    // priced by the same shared `axis_costs` the naive kernel calls —
+    // that sharing is the bit-identity argument for the new axes.
+    let axis_cells = hypers.len() * nr * na;
+    let mut axis_comm = vec![0.0; axis_cells];
+    let mut axis_p2p = vec![0.0; axis_cells];
+    for (si, hyper) in hypers.iter().enumerate() {
+        for (ri, device) in devices.iter().enumerate() {
+            for (ai, &axis) in axes.iter().enumerate() {
+                let aflat = (si * nr + ri) * na + ai;
+                if axis_filled[aflat] {
+                    let costs = axis_costs(device, hyper, axis, workload);
+                    axis_comm[aflat] = costs.comm_per_layer;
+                    axis_p2p[aflat] = costs.pp_p2p;
+                }
+            }
+        }
+    }
+    PricedTables {
+        serialized_ar,
+        compute,
+        backward,
+        overlap,
+        inf_compute,
+        inf_comm,
+        axis_comm,
+        axis_p2p,
     }
 }
 
@@ -661,6 +853,59 @@ mod tests {
         let mut out = PointResults::new();
         plan.eval_batch(&[off], &mut out);
         assert_eq!(out[0].as_ref().unwrap(), &naive);
+    }
+
+    #[test]
+    fn sweep_built_plan_is_bit_identical_to_point_built_plan() {
+        let device = DeviceSpec::mi210();
+        for grid in [
+            projection_grid(),
+            GridSweep {
+                experts: vec![1, 4],
+                top_ks: vec![2],
+                stages: vec![1, 2],
+                sps: vec![1, 2],
+                ..projection_grid()
+            },
+        ] {
+            let points = grid.points();
+            let from_points =
+                FactoredPlan::build(&device, &points, grid.batch, grid.method, grid.workload)
+                    .unwrap();
+            let from_sweep = FactoredPlan::build_from_sweep(&device, &grid).unwrap();
+            assert_eq!(from_sweep.shapes(), from_points.shapes());
+            assert_eq!(from_sweep.ratios(), from_points.ratios());
+            assert_eq!(from_sweep.tps(), from_points.tps());
+            assert_eq!(from_sweep.axes(), from_points.axes());
+            let mut a = PointResults::new();
+            let mut b = PointResults::new();
+            from_points.eval_batch(&points, &mut a);
+            from_sweep.eval_batch(&points, &mut b);
+            for (p, (ra, rb)) in points.iter().zip(a.iter().zip(&b)) {
+                let (xa, ya) = ra.as_ref().unwrap();
+                let (xb, yb) = rb.as_ref().unwrap();
+                assert_eq!(
+                    (xa.to_bits(), ya.to_bits()),
+                    (xb.to_bits(), yb.to_bits()),
+                    "point {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_built_plan_refuses_unfactorable_grids() {
+        let device = DeviceSpec::mi210();
+        let sim = GridSweep {
+            method: Method::Simulation,
+            ..projection_grid()
+        };
+        assert!(FactoredPlan::build_from_sweep(&device, &sim).is_none());
+        let empty = GridSweep {
+            hs: vec![100],
+            ..projection_grid()
+        };
+        assert!(FactoredPlan::build_from_sweep(&device, &empty).is_none());
     }
 
     #[test]

@@ -1120,22 +1120,13 @@ impl GridSweep {
             .collect()
     }
 
-    /// Render per-point results into the sweep table. `results` must be
-    /// in the same order as `points`; an `Err` entry renders as `error`
-    /// in both metric columns — same formatting whatever executor
-    /// produced the values, which is the byte-identity contract between
-    /// local and distributed runs.
+    /// The sweep table's header cells. Legacy grids (every axis
+    /// neutral) keep the pre-axis 6-column shape byte-for-byte; the
+    /// extended columns appear only when `extended` is set (i.e. some
+    /// point actually exercises them — computable up front from
+    /// [`crate::grid::GridIndex::extended`] without seeing the grid).
     #[must_use]
-    pub fn tabulate(points: &[GridPoint], results: &[Result<(f64, f64), String>]) -> Table {
-        assert_eq!(
-            points.len(),
-            results.len(),
-            "one result per grid point is required"
-        );
-        // Legacy grids (every axis neutral) keep the pre-axis 6-column
-        // shape byte-for-byte; the extended columns appear only when
-        // some point actually exercises them.
-        let extended = points.iter().any(|p| !p.axes_default());
+    pub fn header_cells(extended: bool) -> Vec<String> {
         let mut header = vec![
             "H".to_owned(),
             "SL".to_owned(),
@@ -1149,32 +1140,58 @@ impl GridSweep {
         }
         header.push("serialized_pct".to_owned());
         header.push("overlap_pct".to_owned());
+        header
+    }
+
+    /// One sweep table row: the point's coordinates plus its metric
+    /// cells, with an `Err` result rendering as `error` in both metric
+    /// columns. Shared by [`Self::tabulate`] and the streaming sink in
+    /// `twocs-store` — single formatting site, which is the
+    /// byte-identity contract between buffered and streamed output.
+    #[must_use]
+    pub fn row_cells(p: &GridPoint, r: &Result<(f64, f64), String>, extended: bool) -> Vec<String> {
+        let (serialized, overlap) = match r {
+            Ok((s, o)) => (format!("{s:.2}"), format!("{o:.2}")),
+            Err(_) => ("error".to_owned(), "error".to_owned()),
+        };
+        let mut row = vec![
+            p.h.to_string(),
+            p.sl.to_string(),
+            p.tp.to_string(),
+            format!("{}", p.ratio),
+        ];
+        if extended {
+            row.push(p.experts.to_string());
+            row.push(p.top_k.to_string());
+            row.push(p.stages.to_string());
+            row.push(p.micro_batches.to_string());
+            row.push(p.sp.to_string());
+        }
+        row.push(serialized);
+        row.push(overlap);
+        row
+    }
+
+    /// Render per-point results into the sweep table. `results` must be
+    /// in the same order as `points`; an `Err` entry renders as `error`
+    /// in both metric columns — same formatting whatever executor
+    /// produced the values, which is the byte-identity contract between
+    /// local and distributed runs.
+    #[must_use]
+    pub fn tabulate(points: &[GridPoint], results: &[Result<(f64, f64), String>]) -> Table {
+        assert_eq!(
+            points.len(),
+            results.len(),
+            "one result per grid point is required"
+        );
+        let extended = points.iter().any(|p| !p.axes_default());
         let mut table = Table::new(
             "sweep",
             "Serialized and overlapped communication across the grid",
-            header,
+            Self::header_cells(extended),
         );
         for (p, r) in points.iter().zip(results) {
-            let (serialized, overlap) = match r {
-                Ok((s, o)) => (format!("{s:.2}"), format!("{o:.2}")),
-                Err(_) => ("error".to_owned(), "error".to_owned()),
-            };
-            let mut row = vec![
-                p.h.to_string(),
-                p.sl.to_string(),
-                p.tp.to_string(),
-                format!("{}", p.ratio),
-            ];
-            if extended {
-                row.push(p.experts.to_string());
-                row.push(p.top_k.to_string());
-                row.push(p.stages.to_string());
-                row.push(p.micro_batches.to_string());
-                row.push(p.sp.to_string());
-            }
-            row.push(serialized);
-            row.push(overlap);
-            table.push_row(row);
+            table.push_row(Self::row_cells(p, r, extended));
         }
         table
     }

@@ -28,23 +28,20 @@
 //! ignored; chunk values are pure functions of the grid point, so
 //! whichever copy lands first produces identical bytes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::lease::{ChunkId, Completion, LeaseTracker, WorkerId};
-use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
-use twocs_core::serialized::Method;
-use twocs_core::sweep::{
-    eval_chunk, set_parallelism, GridChunk, GridExecutor, GridSweep, PointResults, Workload,
-};
-use twocs_core::Table;
+use crate::proto::{read_frame, write_frame, Message, SweepAxes, PROTOCOL_VERSION};
+use twocs_core::sweep::{eval_chunk, set_parallelism, GridExecutor, GridSweep, PointResults};
+use twocs_core::{GridIndex, Table};
 use twocs_hw::DeviceSpec;
 
 /// Worker id the coordinator uses when draining chunks itself.
@@ -138,20 +135,57 @@ struct EvalStats {
     busy: Duration,
 }
 
-/// One sweep job being distributed.
+/// Where a job's accepted chunk results go.
+enum JobOutput {
+    /// Classic mode: per-point slots in grid order, materialized up
+    /// front and unwrapped by `finish_job` — RAM scales with the grid.
+    Memory(Vec<Option<Result<(f64, f64), String>>>),
+    /// Streaming mode: accepted chunks are handed (outside the fabric
+    /// lock) to the submitter thread, which owns the receiving end and
+    /// records them into its sink/journal — coordinator RAM stays
+    /// bounded by the channel, not the grid.
+    Stream(SyncSender<(ChunkId, PointResults)>),
+}
+
+/// One sweep job being distributed. The grid is held as a lazy
+/// [`GridIndex`] — chunk points are decoded on demand at lease time, so
+/// posting a million-point job does not materialize a million points.
 struct ActiveJob {
     id: u64,
     device_name: String,
     device_fingerprint: u64,
-    batch: u64,
-    method: Method,
-    workload: Workload,
-    chunks: Vec<GridChunk>,
+    sweep: GridSweep,
+    grid_fingerprint: u64,
+    index: GridIndex,
+    chunk_size: usize,
+    n_chunks: u32,
     tracker: LeaseTracker,
-    /// Per-point results, in grid order; `None` until the owning chunk
-    /// completes.
-    results: Vec<Option<Result<(f64, f64), String>>>,
+    output: JobOutput,
     stats: BTreeMap<WorkerId, EvalStats>,
+}
+
+impl ActiveJob {
+    /// Points in `chunk` (the final chunk may be short).
+    fn chunk_len(&self, chunk: ChunkId) -> usize {
+        let start = chunk as usize * self.chunk_size;
+        self.index.len().saturating_sub(start).min(self.chunk_size)
+    }
+
+    /// The lease message for `chunk`, decoding its points on demand.
+    fn lease_message(&self, chunk: ChunkId) -> Message {
+        Message::Lease {
+            job: self.id,
+            chunk,
+            device: self.device_name.clone(),
+            device_fingerprint: self.device_fingerprint,
+            batch: self.sweep.batch,
+            method: self.sweep.method,
+            workload: self.sweep.workload,
+            axes: Box::new(SweepAxes::from_sweep(&self.sweep)),
+            grid_fingerprint: self.grid_fingerprint,
+            points: self.index.chunk_points(chunk as usize, self.chunk_size),
+        }
+    }
 }
 
 struct FabricState {
@@ -346,62 +380,33 @@ impl Coordinator {
             .iter()
             .any(|d| d.name() == device.name() && d.fingerprint() == device.fingerprint());
 
-        let points = sweep.points();
-        let chunks = sweep.chunks(shared.cfg.chunk_size.max(1));
-        let n_chunks = chunks.len();
+        let index = sweep.index();
+        let chunk_size = shared.cfg.chunk_size.max(1);
+        let n_chunks = index.chunk_count(chunk_size) as u32;
         let tx_before = shared.bytes_tx.load(Ordering::Relaxed);
         let rx_before = shared.bytes_rx.load(Ordering::Relaxed);
 
-        // Post the job; back-to-back sweeps (e.g. concurrent serve
-        // requests) serialize on the fabric here.
-        let job_id = {
-            let mut st = shared.lock();
-            loop {
-                if st.shutdown {
-                    return Err("the fabric is shutting down".to_owned());
-                }
-                if st.job.is_none() {
-                    break;
-                }
-                st = shared
-                    .progress
-                    .wait_timeout(st, POLL * 4)
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .0;
-            }
-            let id = st.next_job;
-            st.next_job += 1;
-            let mut tracker = LeaseTracker::new(n_chunks as u32);
-            if !resolvable {
-                // Pre-empt leasing by remote workers: the local drain
-                // below is the only evaluator that has this device.
-                while tracker.lease(LOCAL_WORKER, 0, u64::MAX).is_some() {}
-            }
-            st.job = Some(ActiveJob {
-                id,
-                device_name: device.name().to_owned(),
-                device_fingerprint: device.fingerprint(),
-                batch: sweep.batch,
-                method: sweep.method,
-                workload: sweep.workload,
-                chunks,
-                tracker,
-                results: vec![None; points.len()],
-                stats: BTreeMap::new(),
-            });
-            id
-        };
-        shared.work.notify_all();
+        let output = JobOutput::Memory(vec![None; index.len()]);
+        let job_id = post_job(
+            shared,
+            sweep,
+            device,
+            index,
+            chunk_size,
+            output,
+            resolvable,
+            &BTreeSet::new(),
+        )?;
         if !resolvable {
             // Drain everything locally: the tracker pre-leased every
-            // chunk to LOCAL_WORKER above.
-            for chunk in 0..n_chunks as u32 {
+            // chunk to LOCAL_WORKER at post time.
+            for chunk in 0..n_chunks {
                 drain_one_chunk(shared, job_id, chunk, device);
             }
             let mut st = shared.lock();
-            return Ok(finish_job(
-                shared, &mut st, job_id, start, tx_before, rx_before,
-            ));
+            let (results, summary) =
+                finish_job(shared, &mut st, job_id, start, tx_before, rx_before);
+            return Ok((results.expect("memory-mode job yields results"), summary));
         }
 
         // Supervise: expire overdue leases, drain locally when no worker
@@ -412,9 +417,9 @@ impl Coordinator {
                 return Err("sweep job vanished from the fabric".to_owned());
             };
             if job.tracker.is_complete() {
-                return Ok(finish_job(
-                    shared, &mut st, job_id, start, tx_before, rx_before,
-                ));
+                let (results, summary) =
+                    finish_job(shared, &mut st, job_id, start, tx_before, rx_before);
+                return Ok((results.expect("memory-mode job yields results"), summary));
             }
             let now = shared.now();
             let expired = job.tracker.expire(now);
@@ -442,6 +447,189 @@ impl Coordinator {
                 .0;
         }
     }
+
+    /// Distribute `sweep` with **streaming** result delivery: every
+    /// accepted chunk is handed to `on_chunk` on this thread, in arrival
+    /// order, instead of being materialized in coordinator memory — the
+    /// contract million-point grids need. `chunk_size` fixes chunk-id
+    /// meaning (a resumed journal must pass the journaled size, not the
+    /// fabric default); chunks listed in `completed` are marked done up
+    /// front and never evaluated (journal resume). Worker failures never
+    /// fail the sweep; an `on_chunk` error aborts it.
+    pub fn run_sweep_streaming(
+        &self,
+        sweep: &GridSweep,
+        device: &DeviceSpec,
+        chunk_size: usize,
+        completed: &BTreeSet<ChunkId>,
+        on_chunk: &mut dyn FnMut(ChunkId, PointResults) -> Result<(), String>,
+    ) -> Result<DistSummary, String> {
+        let start = Instant::now();
+        let shared = &self.shared;
+        let metrics = twocs_obs::metrics::global();
+        let _span = twocs_obs::span("distributed sweep (streaming)", "dist");
+
+        let resolvable = DeviceSpec::catalog()
+            .iter()
+            .any(|d| d.name() == device.name() && d.fingerprint() == device.fingerprint());
+        let index = sweep.index();
+        let chunk_size = chunk_size.max(1);
+        let n_chunks = index.chunk_count(chunk_size) as u32;
+        let to_receive = (0..n_chunks).filter(|c| !completed.contains(c)).count();
+        let tx_before = shared.bytes_tx.load(Ordering::Relaxed);
+        let rx_before = shared.bytes_rx.load(Ordering::Relaxed);
+
+        // Bounded hand-off: senders (connection drivers) block when this
+        // thread falls behind, which is exactly the backpressure that
+        // keeps coordinator RSS flat. Capacity is a small reorder
+        // window, not a function of grid size.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(ChunkId, PointResults)>(64);
+        let job_id = post_job(
+            shared,
+            sweep,
+            device,
+            index,
+            chunk_size,
+            JobOutput::Stream(tx),
+            resolvable,
+            completed,
+        )?;
+
+        let fail = |e: String| {
+            // Abort: clear the job slot so workers stop leasing from it.
+            let mut st = shared.lock();
+            if st.job.as_ref().is_some_and(|j| j.id == job_id) {
+                st.job = None;
+            }
+            drop(st);
+            shared.progress.notify_all();
+            e
+        };
+
+        let mut received = 0usize;
+        let mut last_tick = Instant::now();
+        if !resolvable {
+            // Degrade path for unshippable devices: this thread is both
+            // evaluator and recorder, bypassing the channel entirely.
+            for chunk in (0..n_chunks).filter(|c| !completed.contains(c)) {
+                if let Some((c, values)) = drain_one_chunk(shared, job_id, chunk, device) {
+                    on_chunk(c, values).map_err(fail)?;
+                    received += 1;
+                }
+            }
+        }
+        while received < to_receive {
+            // 1. Drain results without holding the fabric lock; the
+            // senders hold it only long enough to mark completion.
+            match rx.recv_timeout(POLL) {
+                Ok((chunk, values)) => {
+                    on_chunk(chunk, values).map_err(fail)?;
+                    received += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(fail("sweep job vanished from the fabric".to_owned()));
+                }
+            }
+            // 2. Periodic tick: expire overdue leases; drain locally
+            // when no worker is connected.
+            if last_tick.elapsed() < POLL && received < to_receive {
+                continue;
+            }
+            last_tick = Instant::now();
+            let mut local: Option<ChunkId> = None;
+            {
+                let mut st = shared.lock();
+                let Some(job) = st.job.as_mut().filter(|j| j.id == job_id) else {
+                    return Err("sweep job vanished from the fabric".to_owned());
+                };
+                let now = shared.now();
+                let expired = job.tracker.expire(now);
+                if !expired.is_empty() {
+                    metrics
+                        .counter("dist.chunks_reassigned")
+                        .add(expired.len() as u64);
+                    shared.work.notify_all();
+                }
+                if st.connected.is_empty() {
+                    let job = st.job.as_mut().unwrap();
+                    if job.tracker.pending_count() > 0 {
+                        local = job.tracker.lease(LOCAL_WORKER, now, u64::MAX);
+                    }
+                }
+            }
+            if let Some(chunk) = local {
+                if let Some((c, values)) = drain_one_chunk(shared, job_id, chunk, device) {
+                    on_chunk(c, values).map_err(fail)?;
+                    received += 1;
+                }
+            }
+        }
+        let mut st = shared.lock();
+        let (_none, summary) = finish_job(shared, &mut st, job_id, start, tx_before, rx_before);
+        Ok(summary)
+    }
+}
+
+/// Post a job into the fabric's single job slot (serializing
+/// back-to-back sweeps), pre-completing resumed chunks and — for
+/// devices the catalog cannot ship — pre-leasing everything to the
+/// local drain. Returns the job id.
+#[allow(clippy::too_many_arguments)]
+fn post_job(
+    shared: &Arc<Shared>,
+    sweep: &GridSweep,
+    device: &DeviceSpec,
+    index: GridIndex,
+    chunk_size: usize,
+    output: JobOutput,
+    resolvable: bool,
+    completed: &BTreeSet<ChunkId>,
+) -> Result<u64, String> {
+    let n_chunks = index.chunk_count(chunk_size) as u32;
+    let mut st = shared.lock();
+    loop {
+        if st.shutdown {
+            return Err("the fabric is shutting down".to_owned());
+        }
+        if st.job.is_none() {
+            break;
+        }
+        st = shared
+            .progress
+            .wait_timeout(st, POLL * 4)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+    }
+    let id = st.next_job;
+    st.next_job += 1;
+    let mut tracker = LeaseTracker::new(n_chunks);
+    for &chunk in completed {
+        // Journal-recovered chunks: completing a pending chunk is the
+        // tracker's resume mechanism.
+        tracker.complete(chunk);
+    }
+    if !resolvable {
+        // Pre-empt leasing by remote workers: the local drain is the
+        // only evaluator that has this device.
+        while tracker.lease(LOCAL_WORKER, 0, u64::MAX).is_some() {}
+    }
+    st.job = Some(ActiveJob {
+        id,
+        device_name: device.name().to_owned(),
+        device_fingerprint: device.fingerprint(),
+        grid_fingerprint: sweep.fingerprint(),
+        sweep: sweep.clone(),
+        index,
+        chunk_size,
+        n_chunks,
+        tracker,
+        output,
+        stats: BTreeMap::new(),
+    });
+    drop(st);
+    shared.work.notify_all();
+    Ok(id)
 }
 
 impl Drop for Coordinator {
@@ -463,19 +651,44 @@ impl GridExecutor for Coordinator {
     }
 }
 
+/// What [`record_result`] did with an arriving chunk, and what the
+/// caller must do next **after releasing the fabric lock**.
+enum Recorded {
+    /// Duplicate, stale, or malformed: dropped.
+    Rejected,
+    /// Accepted and stored in the in-memory result slots.
+    Stored,
+    /// Accepted in streaming mode: the caller must hand `(chunk,
+    /// values)` to the submitter over `sender` once the lock is
+    /// dropped — sending under the lock could block on a full channel
+    /// while the draining thread waits for that same lock.
+    Deliver(SyncSender<(ChunkId, PointResults)>, ChunkId, PointResults),
+}
+
 /// Evaluate one locally-leased chunk on `device` and record its
 /// results. The chunk must already be leased to [`LOCAL_WORKER`];
 /// evaluation happens with no fabric lock held. `device` is the
 /// submitter's own spec, so this path works for devices the catalog
 /// cannot name.
-fn drain_one_chunk(shared: &Arc<Shared>, job_id: u64, chunk: ChunkId, device: &DeviceSpec) {
+///
+/// In streaming mode the accepted values are **returned** instead of
+/// sent: the caller is the submitter thread itself — the channel's only
+/// drainer — so sending here could deadlock against a full channel.
+fn drain_one_chunk(
+    shared: &Arc<Shared>,
+    job_id: u64,
+    chunk: ChunkId,
+    device: &DeviceSpec,
+) -> Option<(ChunkId, PointResults)> {
     let (points, batch, method, workload) = {
         let st = shared.lock();
-        let Some(job) = st.job.as_ref().filter(|j| j.id == job_id) else {
-            return;
-        };
-        let c = &job.chunks[chunk as usize];
-        (c.points.clone(), job.batch, job.method, job.workload)
+        let job = st.job.as_ref().filter(|j| j.id == job_id)?;
+        (
+            job.index.chunk_points(chunk as usize, job.chunk_size),
+            job.sweep.batch,
+            job.sweep.method,
+            job.sweep.workload,
+        )
     };
     let _span = twocs_obs::span(&format!("local drain chunk {chunk}"), "dist");
     let t0 = Instant::now();
@@ -488,13 +701,17 @@ fn drain_one_chunk(shared: &Arc<Shared>, job_id: u64, chunk: ChunkId, device: &D
         .counter("dist.local_drain_chunks")
         .inc();
     let mut st = shared.lock();
-    record_result(&mut st, job_id, LOCAL_WORKER, chunk, values, busy);
+    let recorded = record_result(&mut st, job_id, LOCAL_WORKER, chunk, values, busy);
     drop(st);
     shared.progress.notify_all();
+    match recorded {
+        Recorded::Deliver(_tx, chunk, values) => Some((chunk, values)),
+        Recorded::Stored | Recorded::Rejected => None,
+    }
 }
 
-/// Store an accepted chunk result and update per-evaluator stats.
-/// Returns whether the result was accepted (first copy for its chunk).
+/// Accept a chunk result into the job, update per-evaluator stats, and
+/// tell the caller how to deliver it (see [`Recorded`]).
 fn record_result(
     st: &mut FabricState,
     job_id: u64,
@@ -502,24 +719,17 @@ fn record_result(
     chunk: ChunkId,
     values: PointResults,
     busy: Duration,
-) -> bool {
+) -> Recorded {
     let Some(job) = st.job.as_mut().filter(|j| j.id == job_id) else {
-        return false;
+        return Recorded::Rejected;
     };
-    let Some(spec) = job.chunks.get(chunk as usize) else {
-        return false;
-    };
-    if values.len() != spec.points.len() {
+    if chunk >= job.n_chunks || values.len() != job.chunk_len(chunk) {
         // A short or long result cannot be merged; treat it as a failed
         // evaluation and requeue via the normal failure path.
-        return false;
+        return Recorded::Rejected;
     }
     match job.tracker.complete(chunk) {
         Completion::Accepted => {
-            let start = spec.start;
-            for (i, v) in values.into_iter().enumerate() {
-                job.results[start + i] = Some(v);
-            }
             let stats = job.stats.entry(worker).or_default();
             stats.chunks += 1;
             stats.busy += busy;
@@ -528,13 +738,24 @@ fn record_result(
             metrics
                 .histogram("dist.chunk_rtt_us")
                 .observe_duration(busy);
-            true
+            match &mut job.output {
+                JobOutput::Memory(results) => {
+                    let start = chunk as usize * job.chunk_size;
+                    for (i, v) in values.into_iter().enumerate() {
+                        results[start + i] = Some(v);
+                    }
+                    Recorded::Stored
+                }
+                JobOutput::Stream(tx) => Recorded::Deliver(tx.clone(), chunk, values),
+            }
         }
-        Completion::Duplicate | Completion::Unknown => false,
+        Completion::Duplicate | Completion::Unknown => Recorded::Rejected,
     }
 }
 
 /// Collect the finished job into results + summary and clear the slot.
+/// Memory-mode jobs yield `Some(results)`; streaming jobs have already
+/// delivered everything and yield `None`.
 fn finish_job(
     shared: &Shared,
     st: &mut FabricState,
@@ -542,20 +763,25 @@ fn finish_job(
     start: Instant,
     tx_before: u64,
     rx_before: u64,
-) -> (PointResults, DistSummary) {
+) -> (Option<PointResults>, DistSummary) {
     let job = st
         .job
         .take()
         .filter(|j| j.id == job_id)
         .expect("finish_job called with the job in place");
-    let results: PointResults = job
-        .results
-        .into_iter()
-        .map(|r| r.expect("completed job has every point filled"))
-        .collect();
+    let points = job.index.len();
+    let results: Option<PointResults> = match job.output {
+        JobOutput::Memory(results) => Some(
+            results
+                .into_iter()
+                .map(|r| r.expect("completed job has every point filled"))
+                .collect(),
+        ),
+        JobOutput::Stream(_) => None,
+    };
     let summary = DistSummary {
-        chunks: job.chunks.len(),
-        points: results.len(),
+        chunks: job.n_chunks as usize,
+        points,
         reassigned: job.tracker.reassigned(),
         workers_seen: st.total_joined,
         per_worker: job
@@ -749,17 +975,7 @@ fn drive_worker(
                 let ttl_ms = shared.ttl_ms();
                 if let Some(job) = st.job.as_mut() {
                     if let Some(chunk) = job.tracker.lease(worker_id, now, ttl_ms) {
-                        let spec = &job.chunks[chunk as usize];
-                        let lease = Message::Lease {
-                            job: job.id,
-                            chunk,
-                            device: job.device_name.clone(),
-                            device_fingerprint: job.device_fingerprint,
-                            batch: job.batch,
-                            method: job.method,
-                            workload: job.workload,
-                            points: spec.points.clone(),
-                        };
+                        let lease = job.lease_message(chunk);
                         break Directive::Lease(lease, chunk);
                     }
                 }
@@ -811,9 +1027,18 @@ fn drive_worker(
                             values,
                         }) => {
                             let mut st = shared.lock();
-                            record_result(&mut st, jid, worker_id, cid, values, t0.elapsed());
+                            let recorded =
+                                record_result(&mut st, jid, worker_id, cid, values, t0.elapsed());
                             drop(st);
                             shared.progress.notify_all();
+                            if let Recorded::Deliver(tx, c, v) = recorded {
+                                // Send only after the lock is released:
+                                // a full channel blocks here, and the
+                                // drainer needs the lock to make room.
+                                // An Err means the submitter aborted the
+                                // job; the values are simply dropped.
+                                let _ = tx.send((c, v));
+                            }
                             break;
                         }
                         Ok(Message::Refuse { reason, .. }) => {

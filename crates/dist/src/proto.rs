@@ -21,20 +21,88 @@
 use std::io::{self, Read, Write};
 
 use twocs_core::serialized::Method;
-use twocs_core::sweep::{GridPoint, Workload};
+use twocs_core::sweep::{GridPoint, GridSweep, Workload};
 
 /// Protocol version; bumped on any incompatible wire change. A
 /// coordinator rejects workers that greet with a different version, so a
 /// stale binary fails loudly at handshake instead of corrupting a sweep.
 /// v2 widened [`Message::Lease`] with the sweep workload and the
-/// MoE/PP/SP axis fields on every grid point.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// MoE/PP/SP axis fields on every grid point. v3 added the whole-grid
+/// axis lists plus the grid fingerprint to every lease, so a worker can
+/// rebuild the sweep once and reuse its factored plan across chunks.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on one frame's payload, defending both sides against a
 /// corrupt or hostile peer declaring a multi-gigabyte length. Generous:
 /// the largest legitimate frame (a lease for a serve-capped 4096-point
 /// grid) is under 256 KiB.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// The nine axis lists that define a sweep's grid, shipped with every
+/// lease (a few hundred bytes even for a million-point grid — the point
+/// counts multiply, the lists only add). Together with the lease's
+/// `batch`/`method`/`workload` a worker can rebuild the full
+/// [`GridSweep`] and amortize one whole-grid factored plan across every
+/// chunk of the job, keyed by the grid fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxes {
+    /// Hidden sizes.
+    pub hs: Vec<u64>,
+    /// Sequence lengths.
+    pub sls: Vec<u64>,
+    /// Tensor-parallel degrees.
+    pub tps: Vec<u64>,
+    /// Flop-vs-bw hardware-evolution ratios.
+    pub flop_vs_bw: Vec<f64>,
+    /// MoE expert counts.
+    pub experts: Vec<u64>,
+    /// Experts activated per token.
+    pub top_ks: Vec<u64>,
+    /// Pipeline stage counts.
+    pub stages: Vec<u64>,
+    /// Micro-batches per pipeline flush.
+    pub micro_batches: Vec<u64>,
+    /// Sequence-parallel degrees.
+    pub sps: Vec<u64>,
+}
+
+impl SweepAxes {
+    /// Capture a sweep's axis lists for the wire.
+    #[must_use]
+    pub fn from_sweep(sweep: &GridSweep) -> Self {
+        Self {
+            hs: sweep.hs.clone(),
+            sls: sweep.sls.clone(),
+            tps: sweep.tps.clone(),
+            flop_vs_bw: sweep.flop_vs_bw.clone(),
+            experts: sweep.experts.clone(),
+            top_ks: sweep.top_ks.clone(),
+            stages: sweep.stages.clone(),
+            micro_batches: sweep.micro_batches.clone(),
+            sps: sweep.sps.clone(),
+        }
+    }
+
+    /// Rebuild the sweep these axes came from, completing it with the
+    /// lease's sweep-level selectors.
+    #[must_use]
+    pub fn to_sweep(&self, batch: u64, method: Method, workload: Workload) -> GridSweep {
+        GridSweep {
+            hs: self.hs.clone(),
+            sls: self.sls.clone(),
+            tps: self.tps.clone(),
+            flop_vs_bw: self.flop_vs_bw.clone(),
+            experts: self.experts.clone(),
+            top_ks: self.top_ks.clone(),
+            stages: self.stages.clone(),
+            micro_batches: self.micro_batches.clone(),
+            sps: self.sps.clone(),
+            batch,
+            method,
+            workload,
+        }
+    }
+}
 
 /// One protocol message. See the module docs for the exchange sequence.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +148,14 @@ pub enum Message {
         method: Method,
         /// Sweep workload (training, prefill, or decode).
         workload: Workload,
+        /// The whole sweep's axis lists, for worker-side plan reuse.
+        /// Boxed so the rare-but-wide lease payload doesn't inflate
+        /// every [`Message`] on the stack.
+        axes: Box<SweepAxes>,
+        /// `GridSweep::fingerprint()` of the sweep the axes describe;
+        /// the worker's plan-cache key (with the device fingerprint)
+        /// and a consistency check on the rebuilt sweep.
+        grid_fingerprint: u64,
         /// The chunk's grid points, in grid order.
         points: Vec<GridPoint>,
     },
@@ -179,6 +255,32 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+fn put_u64_list(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u64(buf, v);
+    }
+}
+
+fn put_f64_list(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_f64(buf, v);
+    }
+}
+
+fn put_axes(buf: &mut Vec<u8>, axes: &SweepAxes) {
+    put_u64_list(buf, &axes.hs);
+    put_u64_list(buf, &axes.sls);
+    put_u64_list(buf, &axes.tps);
+    put_f64_list(buf, &axes.flop_vs_bw);
+    put_u64_list(buf, &axes.experts);
+    put_u64_list(buf, &axes.top_ks);
+    put_u64_list(buf, &axes.stages);
+    put_u64_list(buf, &axes.micro_batches);
+    put_u64_list(buf, &axes.sps);
+}
+
 impl Message {
     /// Encode the message payload (tag + fields, no length prefix).
     #[must_use]
@@ -212,6 +314,8 @@ impl Message {
                 batch,
                 method,
                 workload,
+                axes,
+                grid_fingerprint,
                 points,
             } => {
                 buf.push(TAG_LEASE);
@@ -222,6 +326,8 @@ impl Message {
                 put_u64(&mut buf, *batch);
                 buf.push(method_to_wire(*method));
                 buf.push(workload_to_wire(*workload));
+                put_axes(&mut buf, axes);
+                put_u64(&mut buf, *grid_fingerprint);
                 put_u32(&mut buf, points.len() as u32);
                 for p in points {
                     put_u64(&mut buf, p.h);
@@ -294,6 +400,19 @@ impl Message {
                 let batch = r.u64()?;
                 let method = method_from_wire(r.u8()?)?;
                 let workload = workload_from_wire(r.u8()?)?;
+                let axes = SweepAxes {
+                    hs: r.u64_list()?,
+                    sls: r.u64_list()?,
+                    tps: r.u64_list()?,
+                    flop_vs_bw: r.f64_list()?,
+                    experts: r.u64_list()?,
+                    top_ks: r.u64_list()?,
+                    stages: r.u64_list()?,
+                    micro_batches: r.u64_list()?,
+                    sps: r.u64_list()?,
+                };
+                let axes = Box::new(axes);
+                let grid_fingerprint = r.u64()?;
                 let n = r.len_prefix()?;
                 let mut points = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -317,6 +436,8 @@ impl Message {
                     batch,
                     method,
                     workload,
+                    axes,
+                    grid_fingerprint,
                     points,
                 }
             }
@@ -397,6 +518,16 @@ impl Reader<'_> {
         let n = self.len_prefix()?;
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("invalid UTF-8 in string"))
     }
+
+    fn u64_list(&mut self) -> io::Result<Vec<u64>> {
+        let n = self.len_prefix()?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn f64_list(&mut self) -> io::Result<Vec<f64>> {
+        let n = self.len_prefix()?;
+        (0..n).map(|_| self.u64().map(f64::from_bits)).collect()
+    }
 }
 
 // ---- framing -----------------------------------------------------------
@@ -456,6 +587,8 @@ mod tests {
                 batch: 1,
                 method: Method::Projection,
                 workload: Workload::Training,
+                axes: Box::new(SweepAxes::from_sweep(&GridSweep::default())),
+                grid_fingerprint: 0x0123_4567_89AB_CDEF,
                 points: vec![
                     GridPoint::new(4096, 2048, 16, 1.0),
                     GridPoint {
@@ -476,6 +609,18 @@ mod tests {
                 batch: 8,
                 method: Method::Projection,
                 workload: Workload::Decode,
+                axes: Box::new(SweepAxes {
+                    hs: vec![4096],
+                    sls: vec![2048],
+                    tps: vec![16],
+                    flop_vs_bw: vec![2.0],
+                    experts: vec![1],
+                    top_ks: vec![1],
+                    stages: vec![1],
+                    micro_batches: vec![1],
+                    sps: vec![1],
+                }),
+                grid_fingerprint: 7,
                 points: vec![GridPoint::new(4096, 2048, 16, 2.0)],
             },
             Message::Wait,
@@ -601,6 +746,24 @@ mod tests {
                 micro_batches: r.u64_in(1..33),
                 sp: r.u64_in(1..17),
             });
+            let mut list = |hi: u64| {
+                let len = rng.usize_in(1..4);
+                rng.vec_of(len, |r| r.u64_in(1..hi))
+            };
+            let axes = SweepAxes {
+                hs: list(65_537),
+                sls: list(8193),
+                tps: list(257),
+                experts: list(65),
+                top_ks: list(9),
+                stages: list(17),
+                micro_batches: list(33),
+                sps: list(17),
+                flop_vs_bw: {
+                    let len = rng.usize_in(1..4);
+                    rng.vec_of(len, |r| r.f64_in(1.0..16.0))
+                },
+            };
             let msg = Message::Lease {
                 job: rng.next_u64(),
                 chunk: rng.u32_in(0..10_000),
@@ -609,6 +772,8 @@ mod tests {
                 batch: rng.u64_in(1..64),
                 method: Method::Projection,
                 workload,
+                axes: Box::new(axes),
+                grid_fingerprint: rng.next_u64(),
                 points,
             };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);

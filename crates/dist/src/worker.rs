@@ -16,7 +16,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
-use twocs_core::sweep::{eval_chunk, set_parallelism};
+use twocs_core::planner::FactoredPlan;
+use twocs_core::sweep::{eval_chunk, set_parallelism, PointResults};
 use twocs_hw::DeviceSpec;
 
 /// Test hook: per-chunk artificial delay in milliseconds, read from the
@@ -183,6 +184,13 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
     };
     set_parallelism(cfg.jobs);
 
+    // One whole-grid factored plan per (grid, device) pair, reused
+    // across every chunk the coordinator leases from the same sweep —
+    // the per-axis tables are built once instead of once per chunk.
+    // `None` in the value slot means the sweep has no factored form
+    // (simulation method) and chunks take the naive path.
+    let mut plan_cache: Option<(u64, u64, Option<FactoredPlan>)> = None;
+
     let outcome = loop {
         if let Err(e) = writer.send(&Message::Ready) {
             break Err(format!("coordinator write: {e}"));
@@ -202,6 +210,8 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
                 batch,
                 method,
                 workload,
+                axes,
+                grid_fingerprint,
                 points,
             }) => {
                 let Some(dev) = resolve_device(&device, device_fingerprint) else {
@@ -222,11 +232,41 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
                 if let Some(delay) = chunk_delay {
                     std::thread::sleep(delay);
                 }
-                // Factored when the chunk supports it, naive otherwise;
+                let key = (grid_fingerprint, device_fingerprint);
+                let plan = match &plan_cache {
+                    Some((g, d, plan)) if (*g, *d) == key => {
+                        metrics.counter("dist.plan_cache_hits").inc();
+                        plan.as_ref()
+                    }
+                    _ => {
+                        // Rebuild the sweep from the lease's axes and
+                        // cross-check its fingerprint; a mismatch means
+                        // the coordinator and worker disagree about the
+                        // grid, so fall back to the per-chunk path
+                        // rather than trust the reconstruction.
+                        let sweep = axes.to_sweep(batch, method, workload);
+                        let plan = if sweep.fingerprint() == grid_fingerprint {
+                            FactoredPlan::build_from_sweep(&dev, &sweep)
+                        } else {
+                            None
+                        };
+                        plan_cache = Some((key.0, key.1, plan));
+                        metrics.counter("dist.plan_cache_builds").inc();
+                        plan_cache.as_ref().and_then(|(_, _, p)| p.as_ref())
+                    }
+                };
+                // Factored when the sweep supports it, naive otherwise;
                 // either way per-point panics degrade to per-point
                 // errors and the values are bit-identical to a local
                 // run's — the merge contract.
-                let values = eval_chunk(&dev, &points, batch, method, workload);
+                let values = match plan {
+                    Some(plan) => {
+                        let mut out = PointResults::with_capacity(points.len());
+                        plan.eval_batch(&points, &mut out);
+                        out
+                    }
+                    None => eval_chunk(&dev, &points, batch, method, workload),
+                };
                 report.busy += t0.elapsed();
                 report.chunks += 1;
                 report.points += points.len() as u64;

@@ -295,3 +295,71 @@ fn extended_axis_sweep_is_byte_identical_to_local() {
         assert!(local.contains("experts"), "extended header present");
     }
 }
+
+/// The streaming delivery path: chunks flow to the submitter's callback
+/// instead of coordinator memory, pre-completed (journal-resumed) chunks
+/// are never re-evaluated, and stitching resumed + streamed chunks back
+/// together reproduces the local CSV byte-for-byte.
+#[test]
+fn streaming_sweep_with_resume_set_matches_local() {
+    use std::collections::{BTreeMap, BTreeSet};
+    use twocs_core::eval_chunk;
+
+    let sweep = small_sweep();
+    let device = DeviceSpec::mi210();
+    let local = sweep.run(&device, 1).0.to_csv();
+
+    let chunk_size = 2usize;
+    let index = sweep.index();
+    let n_chunks = index.chunk_count(chunk_size) as u32;
+    assert!(n_chunks >= 3, "grid large enough to resume mid-way");
+
+    // "Journal-recovered" chunk: evaluated up front, passed as completed.
+    let resumed: u32 = 1;
+    let resumed_values = eval_chunk(
+        &device,
+        &index.chunk_points(resumed as usize, chunk_size),
+        sweep.batch,
+        sweep.method,
+        sweep.workload,
+    );
+    let completed = BTreeSet::from([resumed]);
+
+    let coordinator = bind(chunk_size);
+    let addr = coordinator.local_addr().to_string();
+    let worker = spawn_worker(addr);
+    assert_eq!(coordinator.wait_for_workers(1, Duration::from_secs(10)), 1);
+
+    let mut streamed: BTreeMap<u32, _> = BTreeMap::new();
+    let summary = coordinator
+        .run_sweep_streaming(
+            &sweep,
+            &device,
+            chunk_size,
+            &completed,
+            &mut |chunk, values| {
+                assert!(
+                    streamed.insert(chunk, values).is_none(),
+                    "chunk {chunk} delivered twice"
+                );
+                Ok(())
+            },
+        )
+        .expect("streaming sweep runs");
+
+    assert!(
+        !streamed.contains_key(&resumed),
+        "the resumed chunk was not re-evaluated"
+    );
+    assert_eq!(streamed.len() as u32, n_chunks - 1);
+    assert_eq!(summary.points, sweep.points().len());
+
+    // Stitch resumed + streamed chunks back into grid order and compare.
+    streamed.insert(resumed, resumed_values);
+    let results: Vec<_> = streamed.into_values().flatten().collect();
+    let table = GridSweep::tabulate(&sweep.points(), &results);
+    assert_eq!(table.to_csv(), local, "resume + stream is byte-identical");
+
+    coordinator.shutdown();
+    worker.join().unwrap().expect("worker exits on Done");
+}

@@ -53,6 +53,9 @@ pub struct HandlerConfig {
     /// recomputes every request (benches use this to measure the
     /// engine, `twocs serve --no-response-cache` exposes it).
     pub cache: Option<Arc<ResponseCache>>,
+    /// Directory for `/v1/sweep?journal=<name>` journals (`twocs serve
+    /// --journal-dir`). `None` rejects journaled requests with a `400`.
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 impl std::fmt::Debug for HandlerConfig {
@@ -69,6 +72,7 @@ impl std::fmt::Debug for HandlerConfig {
                     .map(twocs_core::sweep::GridExecutor::describe),
             )
             .field("cache", &self.cache.is_some())
+            .field("journal_dir", &self.journal_dir)
             .finish()
     }
 }
@@ -81,6 +85,7 @@ impl Default for HandlerConfig {
             enable_debug: false,
             executor: None,
             cache: None,
+            journal_dir: None,
         }
     }
 }
@@ -178,6 +183,8 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         "planner",
         "jobs",
         "format",
+        "stream",
+        "journal",
     ])?;
     let format = parse_format(q, Format::Csv)?;
     // Canonicalization contract: every omitted parameter assigns the same
@@ -295,6 +302,59 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         .unwrap_or(1)
         .max(1)
         .min(cfg.max_request_jobs as u64) as usize;
+    // `stream=1` evaluates through the bounded-memory store path and
+    // `journal=<name>` additionally journals chunks durably under the
+    // server's `--journal-dir`, resuming if the named journal already
+    // exists. The CSV body stays byte-identical to the in-memory path.
+    let stream = match q.get("stream") {
+        None => false,
+        Some("1" | "true") => true,
+        Some(other) => return Err(format!("stream={other}: expected stream=1")),
+    };
+    let journal = q.get("journal");
+    if stream || journal.is_some() {
+        if format != Format::Csv {
+            return Err(
+                "stream/journal sweeps render csv only (rows leave memory as they \
+                        complete); drop format= or use format=csv"
+                    .to_owned(),
+            );
+        }
+        if cfg.executor.is_some() {
+            return Err(
+                "stream/journal sweeps are not available on an executor-backed \
+                        server; use `twocs sweep --listen --journal` for distributed \
+                        journaled runs"
+                    .to_owned(),
+            );
+        }
+        let journal_path = match journal {
+            None => None,
+            Some(name) => {
+                let dir = cfg
+                    .journal_dir
+                    .as_ref()
+                    .ok_or("journal= requires the server to run with --journal-dir")?;
+                if name.is_empty()
+                    || name.contains(['/', '\\'])
+                    || name.starts_with('.')
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                {
+                    return Err(format!(
+                        "journal name `{name}` must be a plain [A-Za-z0-9_-] token \
+                         (it names a file under the server's journal dir)"
+                    ));
+                }
+                Some(dir.join(format!("{name}.journal")))
+            }
+        };
+        // Streamed bodies bypass the response cache: the journal file
+        // on disk is the durable artifact, and a resumed run must
+        // re-render, not replay a stale body.
+        return stream_sweep(&grid, journal_path.as_deref(), jobs);
+    }
     if let Some(executor) = &cfg.executor {
         // Executor-backed sweeps bypass the response cache: a
         // coordinator failure answers 500 and must never be memoized
@@ -323,6 +383,67 @@ fn sweep_response(q: &Query, cfg: &HandlerConfig) -> Result<Response, String> {
         Some(cache) => cache.get_or_compute(sweep_key(&grid, format), render),
         None => render(),
     })
+}
+
+/// Evaluate a sweep through the `twocs-store` streaming path: chunks
+/// are journaled (when `journal_path` is given) and rendered in grid
+/// order into the response body, with coordinator memory bounded by the
+/// store's reorder window instead of the grid. An existing journal at
+/// `journal_path` is resumed — only its pending chunks are evaluated —
+/// after validating it describes the same grid as the request.
+fn stream_sweep(
+    grid: &GridSweep,
+    journal_path: Option<&std::path::Path>,
+    jobs: usize,
+) -> Result<Response, String> {
+    use std::sync::Mutex;
+    use twocs_store::{run_streaming, SweepSpec, SweepStore};
+
+    #[derive(Clone)]
+    struct Body(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Body {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let device = DeviceSpec::mi210();
+    let body = Arc::new(Mutex::new(Vec::new()));
+    let out: Box<dyn std::io::Write + Send> = Box::new(Body(body.clone()));
+    let mut store = match journal_path {
+        Some(path) if path.exists() => {
+            let store = SweepStore::resume(path, out)?;
+            if store.spec().sweep.fingerprint() != grid.fingerprint() {
+                return Err(format!(
+                    "journal `{}` was created for a different grid; delete it or use \
+                     another journal name",
+                    path.display()
+                ));
+            }
+            store
+        }
+        _ => {
+            let spec = SweepSpec {
+                sweep: grid.clone(),
+                chunk_size: 256,
+                device_name: device.name().to_owned(),
+                device_fingerprint: device.fingerprint(),
+            };
+            SweepStore::create(spec, out, journal_path)?
+        }
+    };
+    run_streaming(&device, &mut store, jobs)?;
+    store.finish()?;
+    let mut bytes = std::mem::take(&mut *body.lock().unwrap());
+    // Same trailing newline the in-memory `render_sweep` adds after
+    // `to_csv()` — byte-identity between the two paths.
+    bytes.push(b'\n');
+    let body = String::from_utf8(bytes).map_err(|_| "sweep rendered invalid UTF-8".to_owned())?;
+    Ok(Response::csv(200, body))
 }
 
 /// Canonical cache key for a fully-resolved sweep request. Built from

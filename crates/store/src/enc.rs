@@ -1,0 +1,232 @@
+//! Private byte-level encoding helpers shared by the journal, the spill
+//! file, and the spec fingerprint: little-endian scalars, length-prefixed
+//! strings and lists, a streaming CRC-32 (IEEE), and FNV-1a 64.
+//!
+//! Deliberately independent of the dist wire protocol — a journal is a
+//! durable artifact with its own versioning, while the wire format may
+//! bump per release — but it follows the same conventions (LE integers,
+//! f64 by bit pattern, u32 length prefixes bounded by remaining input).
+
+use twocs_core::PointResults;
+
+/// Append a u32, little-endian.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a u64, little-endian.
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an f64 by bit pattern (bit-exact round trip, NaN included).
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed u64 list.
+pub(crate) fn put_u64_list(out: &mut Vec<u8>, list: &[u64]) {
+    put_u32(out, list.len() as u32);
+    for &v in list {
+        put_u64(out, v);
+    }
+}
+
+/// Append a length-prefixed f64 list (by bit pattern).
+pub(crate) fn put_f64_list(out: &mut Vec<u8>, list: &[f64]) {
+    put_u32(out, list.len() as u32);
+    for &v in list {
+        put_f64(out, v);
+    }
+}
+
+/// Sequential reader over an encoded payload; every read is
+/// bounds-checked and length prefixes are validated against the
+/// remaining input, so corrupt payloads fail with an error instead of
+/// a panic or an absurd allocation.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated payload: wanted {n} bytes, {} left",
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length prefix for items of `item_bytes` each, rejected when it
+    /// cannot fit in the remaining input.
+    pub(crate) fn len_prefix(&mut self, item_bytes: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(item_bytes.max(1)) > self.remaining() {
+            return Err(format!(
+                "length prefix {n} exceeds remaining payload ({} bytes)",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, String> {
+        let n = self.len_prefix(1)?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("invalid UTF-8: {e}"))
+    }
+
+    pub(crate) fn u64_list(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub(crate) fn f64_list(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+/// Encode per-point results: count, then per point either `0` + two f64
+/// bit patterns (ok) or `1` + error string.
+pub(crate) fn put_values(out: &mut Vec<u8>, values: &PointResults) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        match v {
+            Ok((s, o)) => {
+                out.push(0);
+                put_f64(out, *s);
+                put_f64(out, *o);
+            }
+            Err(msg) => {
+                out.push(1);
+                put_str(out, msg);
+            }
+        }
+    }
+}
+
+/// Decode per-point results written by [`put_values`].
+pub(crate) fn read_values(r: &mut Reader<'_>) -> Result<PointResults, String> {
+    let n = r.len_prefix(1)?;
+    let mut values = PointResults::with_capacity(n);
+    for _ in 0..n {
+        values.push(match r.u8()? {
+            0 => Ok((r.f64()?, r.f64()?)),
+            1 => Err(r.str()?),
+            t => return Err(format!("unknown point-result tag {t}")),
+        });
+    }
+    Ok(values)
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes` —
+/// the per-record checksum the journal uses to detect torn or corrupt
+/// records on replay. Table-free bitwise form: the journal writes
+/// records at chunk cadence, so throughput is irrelevant next to the
+/// fsync beside it.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64 over a byte slice (the spec fingerprint hash).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn values_round_trip_bit_exact() {
+        let values: PointResults = vec![
+            Ok((42.125, -0.0)),
+            Err("point exploded".to_owned()),
+            Ok((f64::NAN, 1.0)),
+        ];
+        let mut buf = Vec::new();
+        put_values(&mut buf, &values);
+        let mut r = Reader::new(&buf);
+        let back = read_values(&mut r).unwrap();
+        assert!(r.done());
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            match (a, b) {
+                (Ok((s1, o1)), Ok((s2, o2))) => {
+                    assert_eq!(s1.to_bits(), s2.to_bits());
+                    assert_eq!(o1.to_bits(), o2.to_bits());
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+                _ => panic!("variant changed in round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_error_out() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(Reader::new(&buf).u64_list().is_err());
+        assert!(read_values(&mut Reader::new(&buf)).is_err());
+        assert!(Reader::new(&[0, 0]).u32().is_err());
+    }
+}

@@ -35,7 +35,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--experts <E,..>] [--top-k <K,..>] [--stages <S,..>] [--micro-batches <M,..>] [--sp <SP,..>] [--workload training|prefill|decode] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--idle-timeout-ms <MS>] [--max-conns <N>] [--max-requests-per-conn <N>] [--no-response-cache] [--trace <path>] [--metrics]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--experts <E,..>] [--top-k <K,..>] [--stages <S,..>] [--micro-batches <M,..>] [--sp <SP,..>] [--workload training|prefill|decode] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--journal <path>] [--resume <path>] [--refine comm-frac=<F>] [--refine-tol <T>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--idle-timeout-ms <MS>] [--max-conns <N>] [--max-requests-per-conn <N>] [--no-response-cache] [--journal-dir <dir>] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -276,6 +276,19 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Some("proj") => serialized::Method::Projection,
         Some(other) => return Err(format!("unknown method `{other}` (sim|proj)").into()),
     };
+    let refine_raw = str_flag(args, "--refine");
+    if refine_raw.is_some() {
+        if matches!(str_flag(args, "--method"), Some("sim")) {
+            return Err(
+                "--refine requires --method proj (simulation probes would cost more \
+                 than the refinement avoids)"
+                    .into(),
+            );
+        }
+        // Refinement bisects the projection's closed form; omitting
+        // --method means proj here, not the dense sweep's sim default.
+        grid.method = serialized::Method::Projection;
+    }
     let planner = match str_flag(args, "--planner") {
         None => twocs::analysis::PlannerMode::Auto,
         Some(raw) => raw.parse::<twocs::analysis::PlannerMode>()?,
@@ -335,11 +348,63 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .into(),
         );
     }
-    if grid.points().is_empty() {
+    // `point_count()` walks the pruned index without materializing the
+    // grid — on million-point sweeps, `points()` here would cost more
+    // peak memory than the entire streaming evaluation.
+    if grid.point_count() == 0 {
         return Err("grid has no realistic points; widen --h/--tp".into());
     }
     let device = DeviceSpec::mi210();
     let obs = ObsSession::from_args(args);
+
+    // `--refine` replaces the dense sweep with adaptive bisection along
+    // the flop-vs-bw axis: per surviving shape, find the hardware-
+    // evolution ratio where the chosen metric crosses the threshold.
+    if let Some(raw) = refine_raw {
+        if str_flag(args, "--listen").is_some()
+            || str_flag(args, "--journal").is_some()
+            || str_flag(args, "--resume").is_some()
+        {
+            return Err("--refine is incompatible with --listen, --journal, and --resume".into());
+        }
+        let tol = match str_flag(args, "--refine-tol") {
+            None => 0.05,
+            Some(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("--refine-tol {raw}: expected a positive number"))?,
+        };
+        let spec = twocs::store::RefineSpec::parse(raw, tol)?;
+        let result = twocs::store::refine_frontier(&device, &grid, &spec)?;
+        let crossed = result
+            .rows
+            .iter()
+            .filter(|r| matches!(r.crossing, twocs::store::Crossing::Crossed { .. }))
+            .count();
+        eprintln!(
+            "refine: {} shape(s), {} crossed; {} evaluation(s) vs {} dense-equivalent ({:.1}x fewer)",
+            result.rows.len(),
+            crossed,
+            result.evaluations,
+            result.dense_equivalent,
+            result.dense_equivalent as f64 / result.evaluations.max(1) as f64
+        );
+        if csv {
+            println!("{}", result.table.to_csv());
+        } else {
+            println!("{}", result.table.to_ascii());
+        }
+        obs.finish()?;
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // `--journal` / `--resume` switch to the streaming store: rows are
+    // rendered to stdout as chunks complete (bounded memory), every
+    // completed chunk is journaled durably first, and a killed run
+    // picks up from the last durable chunk with `--resume <journal>`.
+    if let Some(code) = sweep_streaming(args, &grid, &device, jobs, csv)? {
+        obs.finish()?;
+        return Ok(code);
+    }
 
     // `--listen` turns this process into a sweep coordinator: workers
     // (`twocs worker --connect`) pull chunk leases over TCP and the
@@ -400,6 +465,147 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     })
 }
 
+/// The `--journal` / `--resume` streaming-store sweep path. Returns
+/// `Ok(None)` when neither flag is present so [`sweep`] falls through
+/// to the in-memory table path.
+fn sweep_streaming(
+    args: &[String],
+    grid: &GridSweep,
+    device: &DeviceSpec,
+    jobs: usize,
+    csv: bool,
+) -> Result<Option<ExitCode>, Box<dyn std::error::Error>> {
+    use twocs::store::{run_streaming, SweepSpec, SweepStore};
+
+    let journal = str_flag(args, "--journal");
+    let resume = str_flag(args, "--resume");
+    if journal.is_none() && resume.is_none() {
+        return Ok(None);
+    }
+    if journal.is_some() && resume.is_some() {
+        return Err("--journal starts a fresh journal, --resume continues one; pick one".into());
+    }
+    if !csv {
+        return Err(
+            "--journal/--resume stream rows incrementally; add --csv (the ascii \
+                    table would need the whole grid in memory)"
+                .into(),
+        );
+    }
+
+    let out: Box<dyn std::io::Write + Send> = Box::new(std::io::stdout());
+    let mut store = match resume {
+        Some(path) => {
+            // The journal fixes the grid; axis flags would silently
+            // disagree with it.
+            for f in [
+                "--h",
+                "--sl",
+                "--tp",
+                "--flop-vs-bw",
+                "--experts",
+                "--top-k",
+                "--stages",
+                "--micro-batches",
+                "--sp",
+                "--workload",
+                "--b",
+                "--method",
+                "--chunk",
+            ] {
+                if args.iter().any(|a| a == f) {
+                    return Err(format!(
+                        "{f} conflicts with --resume: the journaled spec fixes the grid"
+                    )
+                    .into());
+                }
+            }
+            SweepStore::resume(std::path::Path::new(path), out)?
+        }
+        None => {
+            // Default chunk size balances fsync frequency against lost
+            // recompute on crash; 512 points ≈ tens of KiB per append.
+            let chunk_size = flag(args, "--chunk").unwrap_or(512).max(1) as u32;
+            let spec = SweepSpec {
+                sweep: grid.clone(),
+                chunk_size,
+                device_name: device.name().to_owned(),
+                device_fingerprint: device.fingerprint(),
+            };
+            SweepStore::create(spec, out, journal.map(std::path::Path::new))?
+        }
+    };
+
+    let dist_summary = if let Some(listen) = str_flag(args, "--listen") {
+        if store.spec().device_fingerprint != device.fingerprint() {
+            return Err(format!(
+                "journaled device \"{}\" does not match this build's \"{}\"",
+                store.spec().device_name,
+                device.name()
+            )
+            .into());
+        }
+        let min_workers = flag(args, "--min-workers").unwrap_or(0) as usize;
+        let min_workers_timeout = std::time::Duration::from_millis(
+            flag(args, "--min-workers-timeout-ms").unwrap_or(10_000),
+        );
+        let dist_cfg = twocs::dist::CoordinatorConfig {
+            listen: listen.to_owned(),
+            local_jobs: jobs,
+            ..twocs::dist::CoordinatorConfig::default()
+        };
+        let coordinator = twocs::dist::Coordinator::bind(dist_cfg)
+            .map_err(|e| format!("cannot bind coordinator address `{listen}`: {e}"))?;
+        eprintln!(
+            "twocs sweep: coordinating on {} (workers: `twocs worker --connect {}`)",
+            coordinator.local_addr(),
+            coordinator.local_addr()
+        );
+        let present = coordinator.wait_for_workers(min_workers, min_workers_timeout);
+        if present < min_workers {
+            eprintln!(
+                "twocs sweep: {present}/{min_workers} worker(s) after {min_workers_timeout:?}; degrading to local evaluation"
+            );
+        }
+        let sweep = store.spec().sweep.clone();
+        let chunk_size = store.spec().chunk_size.max(1) as usize;
+        let completed = store.completed().clone();
+        let summary = coordinator.run_sweep_streaming(
+            &sweep,
+            device,
+            chunk_size,
+            &completed,
+            &mut |chunk, values| store.record(chunk, values).map(|_| ()),
+        )?;
+        Some(summary)
+    } else {
+        run_streaming(device, &mut store, jobs)?;
+        None
+    };
+
+    let report = store.finish()?;
+    // Parity with `println!("{}", table.to_csv())`: one extra newline
+    // after the final row, so streamed and in-memory stdout are
+    // byte-identical.
+    println!();
+    if let Some(summary) = dist_summary {
+        eprintln!("{summary}");
+    }
+    eprintln!(
+        "store: {} row(s), {} failure(s), {} replayed chunk(s), {} spilled byte(s), {} merge pass(es)",
+        report.rows,
+        report.failures,
+        report.replayed_chunks,
+        report.spilled_bytes,
+        report.merge_passes
+    );
+    Ok(Some(if report.failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }))
+}
+
 /// `twocs worker`: connect to a sweep coordinator and evaluate chunk
 /// leases until it says `Done`. All chatter is on stderr; a worker never
 /// writes the sweep table.
@@ -443,6 +649,11 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.iter().any(|a| a == "--no-response-cache") {
         config.cache_responses = false;
+    }
+    if let Some(dir) = str_flag(args, "--journal-dir") {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create journal dir `{dir}`: {e}"))?;
+        config.handler.journal_dir = Some(std::path::PathBuf::from(dir));
     }
     // Debug endpoints (/v1/debug/sleep) are opt-in via environment, never
     // flags, so they cannot be enabled by a copy-pasted command line.

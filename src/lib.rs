@@ -13,6 +13,9 @@
 //! * [`serve`] — the std-only HTTP/1.1 query service (`twocs serve`).
 //! * [`dist`] — the distributed sweep fabric (`twocs worker`,
 //!   `twocs sweep --listen`).
+//! * [`store`] — durable sweep journals, the streaming spill-to-disk
+//!   result sink, and adaptive frontier refinement (`twocs sweep
+//!   --journal/--resume/--refine`).
 //!
 //! ## Example
 //!
@@ -36,4 +39,5 @@ pub use twocs_obs as obs;
 pub use twocs_opmodel as opmodel;
 pub use twocs_serve as serve;
 pub use twocs_sim as sim;
+pub use twocs_store as store;
 pub use twocs_transformer as transformer;

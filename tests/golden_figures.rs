@@ -134,7 +134,10 @@ fn every_figure_matches_its_checked_in_golden() {
 fn no_orphan_goldens() {
     // Every CSV in out/ must correspond to a registered experiment, so a
     // renamed experiment cannot silently leave its stale golden behind.
-    let ids: Vec<&str> = experiments::all().iter().map(|d| d.id).collect();
+    // `frontier` is the one non-experiment artifact: the adaptive
+    // refinement golden, owned by tests/golden_frontier.rs.
+    let mut ids: Vec<&str> = experiments::all().iter().map(|d| d.id).collect();
+    ids.push("frontier");
     let mut orphans = Vec::new();
     for entry in std::fs::read_dir(out_dir()).expect("out/ exists") {
         let path = entry.expect("readable dir entry").path();

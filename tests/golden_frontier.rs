@@ -1,0 +1,82 @@
+//! Golden snapshot for the adaptive crossover frontier (`twocs sweep
+//! --refine comm-frac=0.3`): the refinement must keep finding the same
+//! crossover ratios on the default grid, and keep doing it in under a
+//! tenth of the dense grid's evaluation budget — the subsystem's
+//! efficiency acceptance.
+//!
+//! Re-bless after an intentional model change:
+//!
+//! ```text
+//! TWOCS_BLESS=1 cargo test --test golden_frontier
+//! ```
+
+use std::path::{Path, PathBuf};
+use twocs::analysis::serialized::Method;
+use twocs::analysis::sweep::GridSweep;
+use twocs::hw::DeviceSpec;
+use twocs::store::{refine_frontier, RefineSpec};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("out/frontier.csv")
+}
+
+/// The canonical frontier run: default grid, projection method, the
+/// 30% serialized-communication threshold (the default grid tops out
+/// near 40%, so 30% produces a genuine mix of crossed and above-range
+/// shapes), CLI-default tolerance.
+fn regenerate() -> twocs::store::FrontierResult {
+    let sweep = GridSweep {
+        method: Method::Projection,
+        ..GridSweep::default()
+    };
+    let spec = RefineSpec::parse("comm-frac=0.3", 0.05).expect("valid refine spec");
+    refine_frontier(&DeviceSpec::mi210(), &sweep, &spec).expect("frontier refines")
+}
+
+#[test]
+fn frontier_matches_its_checked_in_golden() {
+    let result = regenerate();
+    let csv = result.table.to_csv();
+    let path = golden_path();
+    if std::env::var("TWOCS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &csv)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `TWOCS_BLESS=1 cargo test --test golden_frontier`",
+            path.display()
+        )
+    });
+    // Regeneration is deterministic (pure closed-form bisection), so
+    // the comparison is byte-exact — any drift is a model change that
+    // must be blessed deliberately.
+    assert_eq!(
+        golden, csv,
+        "frontier drifted; re-bless with TWOCS_BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn refinement_stays_under_a_tenth_of_the_dense_budget() {
+    let result = regenerate();
+    assert!(
+        result.evaluations * 10 <= result.dense_equivalent,
+        "refinement spent {} evaluations; dense equivalent is only {}",
+        result.evaluations,
+        result.dense_equivalent
+    );
+    // The frontier is non-trivial in both directions on the default
+    // grid: some shapes cross 30%, some never reach it in range.
+    let crossed = result
+        .rows
+        .iter()
+        .filter(|r| matches!(r.crossing, twocs::store::Crossing::Crossed { .. }))
+        .count();
+    assert!(crossed > 0, "no shape crossed the 30% threshold");
+    assert!(
+        crossed < result.rows.len(),
+        "every shape crossed; the frontier is degenerate"
+    );
+}
