@@ -4,45 +4,54 @@
 //!
 //! ## Threads
 //!
-//! * **Accept thread** — nonblocking `accept` + poll sleep (the same
-//!   pattern as `twocs-serve`); spawns one connection pair per worker.
-//! * **Per-connection driver** — owns the write half: waits for the
-//!   worker's `Ready`, leases a chunk under the fabric lock, awaits the
-//!   result with a heartbeat-bounded timeout.
-//! * **Per-connection reader** — blocks on the read half and relays
-//!   frames to the driver over an `mpsc` channel, so the driver can wait
-//!   on "message OR timeout" without platform `poll` FFI.
+//! * **Driver** — ONE thread for the whole fabric, built on the
+//!   nonblocking `poll(2)` readiness loop from `twocs_serve::poll` (the
+//!   same primitive the HTTP front end multiplexes hundreds of
+//!   keep-alive connections on). It accepts registrations, runs a small
+//!   per-worker state machine over each connection's read/write halves,
+//!   and — the v4 push model — keeps every worker topped up with a
+//!   **credit window** of [`CoordinatorConfig::pipeline`] outstanding
+//!   chunk leases, granting refills the moment results or expiries free
+//!   credits. 64 workers are 64 pollfds, not 64 threads, and an idle
+//!   worker costs nothing (no `Ready`/`Wait` chatter).
 //! * **Submitter** — the thread inside [`Coordinator::run_sweep`]: posts
 //!   the job, expires overdue leases, and **drains chunks locally
 //!   whenever no worker is connected**, which is both the
 //!   `--min-workers` degrade path and the guarantee that a sweep
 //!   terminates even if every worker dies.
 //!
+//! Cross-thread wakes go through the poller's self-pipe [`Waker`]: a
+//! submitter posting a job kicks the driver out of its sleep so the
+//! first grants leave immediately, not on the next tick.
+//!
 //! ## Failure model
 //!
 //! A worker is presumed dead when its connection drops, when it stays
 //! silent past the lease TTL (missed heartbeats), or when it refuses a
-//! lease. In every case its leased chunks return to the pending queue
-//! ([`LeaseTracker`]) and the next `Ready` worker — or the local drain —
-//! picks them up. Duplicate results from resurrected workers are
-//! ignored; chunk values are pure functions of the grid point, so
-//! whichever copy lands first produces identical bytes.
+//! lease. In every case its **entire outstanding window** returns to the
+//! pending queue ([`LeaseTracker::fail_worker`]) and the next refill
+//! tick routes those chunks to surviving workers — or the local drain.
+//! Duplicate results from resurrected workers are ignored; chunk values
+//! are pure functions of the grid point, so whichever copy lands first
+//! produces identical bytes, and the merged output stays byte-identical
+//! to a local run under any kill/retry interleaving.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::lease::{ChunkId, Completion, LeaseTracker, WorkerId};
-use crate::proto::{read_frame, write_frame, Message, SweepAxes, PROTOCOL_VERSION};
+use crate::proto::{ChunkLease, FrameReader, Message, SweepAxes, PROTOCOL_VERSION};
 use twocs_core::sweep::{eval_chunk, set_parallelism, GridExecutor, GridSweep, PointResults};
 use twocs_core::{GridIndex, Table};
 use twocs_hw::DeviceSpec;
+use twocs_serve::poll::{Interest, Poller, Source, Waker};
 
 /// Worker id the coordinator uses when draining chunks itself.
 pub const LOCAL_WORKER: WorkerId = 0;
@@ -63,6 +72,11 @@ pub struct CoordinatorConfig {
     pub lease_ttl: Duration,
     /// Thread budget for the local drain / degrade path.
     pub local_jobs: usize,
+    /// Credit window: chunk leases kept outstanding per worker. `1`
+    /// degenerates to lockstep (one chunk per round-trip); the default
+    /// of 4 hides a full network round-trip behind roughly three chunks
+    /// of computation.
+    pub pipeline: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -73,6 +87,7 @@ impl Default for CoordinatorConfig {
             heartbeat: Duration::from_millis(500),
             lease_ttl: Duration::from_secs(2),
             local_jobs: 1,
+            pipeline: 4,
         }
     }
 }
@@ -88,8 +103,8 @@ pub struct DistSummary {
     pub reassigned: u64,
     /// Workers that registered over the fabric's lifetime so far.
     pub workers_seen: u64,
-    /// Per-evaluator chunk counts and busy time (lease round-trip for
-    /// remote workers, evaluation time for [`LOCAL_WORKER`]).
+    /// Per-evaluator chunk counts and busy time (grant-to-result time
+    /// for remote workers, evaluation time for [`LOCAL_WORKER`]).
     pub per_worker: Vec<(WorkerId, u64, Duration)>,
     /// Protocol bytes sent by the coordinator during this sweep.
     pub bytes_tx: u64,
@@ -148,7 +163,7 @@ enum JobOutput {
 }
 
 /// One sweep job being distributed. The grid is held as a lazy
-/// [`GridIndex`] — chunk points are decoded on demand at lease time, so
+/// [`GridIndex`] — chunk points are decoded on demand at grant time, so
 /// posting a million-point job does not materialize a million points.
 struct ActiveJob {
     id: u64,
@@ -171,11 +186,11 @@ impl ActiveJob {
         self.index.len().saturating_sub(start).min(self.chunk_size)
     }
 
-    /// The lease message for `chunk`, decoding its points on demand.
-    fn lease_message(&self, chunk: ChunkId) -> Message {
-        Message::Lease {
+    /// A grant frame carrying `leases`, with the job-level context
+    /// (device, axes, fingerprints) attached once for the whole window.
+    fn grant_message(&self, leases: Vec<ChunkLease>) -> Message {
+        Message::Grant {
             job: self.id,
-            chunk,
             device: self.device_name.clone(),
             device_fingerprint: self.device_fingerprint,
             batch: self.sweep.batch,
@@ -183,7 +198,7 @@ impl ActiveJob {
             workload: self.sweep.workload,
             axes: Box::new(SweepAxes::from_sweep(&self.sweep)),
             grid_fingerprint: self.grid_fingerprint,
-            points: self.index.chunk_points(chunk as usize, self.chunk_size),
+            leases,
         }
     }
 }
@@ -192,7 +207,7 @@ struct FabricState {
     job: Option<ActiveJob>,
     next_job: u64,
     /// Currently connected worker ids.
-    connected: std::collections::BTreeSet<WorkerId>,
+    connected: BTreeSet<WorkerId>,
     next_worker: WorkerId,
     total_joined: u64,
     shutdown: bool,
@@ -202,11 +217,13 @@ struct Shared {
     cfg: CoordinatorConfig,
     epoch: Instant,
     state: Mutex<FabricState>,
-    /// Signaled when work may be available: job posted, chunks requeued,
-    /// shutdown.
-    work: Condvar,
     /// Signaled when the job advances or the worker set changes.
     progress: Condvar,
+    /// The driver's poller, owned here so its self-pipe outlives every
+    /// [`Shared::kick`] caller; the driver thread borrows it to wait.
+    poller: Poller,
+    /// Wake handle for the driver's poll loop.
+    waker: Waker,
     bytes_tx: AtomicU64,
     bytes_rx: AtomicU64,
 }
@@ -214,6 +231,12 @@ struct Shared {
 impl Shared {
     fn lock(&self) -> std::sync::MutexGuard<'_, FabricState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Interrupt the driver's poll wait — work was posted, chunks were
+    /// requeued, or shutdown began.
+    fn kick(&self) {
+        self.waker.wake();
     }
 
     /// Milliseconds since the coordinator started — the lease clock.
@@ -250,7 +273,7 @@ impl Shared {
 pub struct Coordinator {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_handle: Option<JoinHandle<()>>,
+    driver_handle: Option<JoinHandle<()>>,
 }
 
 impl fmt::Debug for Coordinator {
@@ -261,8 +284,16 @@ impl fmt::Debug for Coordinator {
     }
 }
 
-/// Poll interval of the accept loop and the submitter's progress wait.
+/// Fallback poll timeout: the driver also wakes on socket readiness and
+/// [`Shared::kick`], so this only bounds lease-expiry detection latency.
 const POLL: Duration = Duration::from_millis(25);
+
+/// How long a fresh connection gets to complete the `Hello` handshake.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Streaming backpressure: the driver stops granting fresh leases while
+/// this many accepted chunks await hand-off to the submitter.
+const BACKLOG_HIGH_WATER: usize = 256;
 
 impl Coordinator {
     /// Bind the listen address and start accepting workers immediately.
@@ -270,30 +301,33 @@ impl Coordinator {
         let listener = TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        let waker = poller.waker();
         let shared = Arc::new(Shared {
             cfg,
             epoch: Instant::now(),
             state: Mutex::new(FabricState {
                 job: None,
                 next_job: 1,
-                connected: std::collections::BTreeSet::new(),
+                connected: BTreeSet::new(),
                 next_worker: LOCAL_WORKER + 1,
                 total_joined: 0,
                 shutdown: false,
             }),
-            work: Condvar::new(),
             progress: Condvar::new(),
+            poller,
+            waker,
             bytes_tx: AtomicU64::new(0),
             bytes_rx: AtomicU64::new(0),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::Builder::new()
-            .name("dist-accept".to_owned())
-            .spawn(move || accept_loop(&accept_shared, &listener))?;
+        let driver_shared = Arc::clone(&shared);
+        let driver_handle = std::thread::Builder::new()
+            .name("dist-driver".to_owned())
+            .spawn(move || driver_loop(&driver_shared, &listener))?;
         Ok(Self {
             shared,
             local_addr,
-            accept_handle: Some(accept_handle),
+            driver_handle: Some(driver_handle),
         })
     }
 
@@ -307,6 +341,17 @@ impl Coordinator {
     #[must_use]
     pub fn worker_count(&self) -> usize {
         self.shared.lock().connected.len()
+    }
+
+    /// Total protocol bytes this fabric has sent and received since
+    /// binding — the coordinator's side of the wire-accounting ledger
+    /// that [`crate::WorkerReport`] keeps for each worker.
+    #[must_use]
+    pub fn wire_totals(&self) -> (u64, u64) {
+        (
+            self.shared.bytes_tx.load(Ordering::Relaxed),
+            self.shared.bytes_rx.load(Ordering::Relaxed),
+        )
     }
 
     /// Block until at least `min` workers are connected or `timeout`
@@ -356,8 +401,8 @@ impl Coordinator {
             let mut st = self.shared.lock();
             st.shutdown = true;
         }
-        self.shared.work.notify_all();
         self.shared.progress.notify_all();
+        self.shared.kick();
     }
 
     /// Run one sweep through the fabric, returning per-point results in
@@ -410,7 +455,9 @@ impl Coordinator {
         }
 
         // Supervise: expire overdue leases, drain locally when no worker
-        // is connected, finish when the tracker says so.
+        // is connected, finish when the tracker says so. (The driver
+        // also expires on its own tick; this is the belt to its
+        // suspenders, and the only expiry path once every worker left.)
         let mut st = shared.lock();
         loop {
             let Some(job) = st.job.as_mut().filter(|j| j.id == job_id) else {
@@ -427,10 +474,10 @@ impl Coordinator {
                 metrics
                     .counter("dist.chunks_reassigned")
                     .add(expired.len() as u64);
-                shared.work.notify_all();
+                shared.kick();
             }
             if st.connected.is_empty() && st.job.as_ref().unwrap().tracker.pending_count() > 0 {
-                // Degrade path: nobody to lease to, so evaluate one
+                // Degrade path: nobody to grant to, so evaluate one
                 // chunk here (outside the lock) and loop.
                 let job = st.job.as_mut().unwrap();
                 if let Some(chunk) = job.tracker.lease(LOCAL_WORKER, now, u64::MAX) {
@@ -479,10 +526,10 @@ impl Coordinator {
         let tx_before = shared.bytes_tx.load(Ordering::Relaxed);
         let rx_before = shared.bytes_rx.load(Ordering::Relaxed);
 
-        // Bounded hand-off: senders (connection drivers) block when this
-        // thread falls behind, which is exactly the backpressure that
-        // keeps coordinator RSS flat. Capacity is a small reorder
-        // window, not a function of grid size.
+        // Bounded hand-off. The driver never blocks on it — accepted
+        // chunks it cannot `try_send` sit in its backlog, and granting
+        // pauses past the high-water mark; that backpressure is what
+        // keeps coordinator RSS flat on million-point grids.
         let (tx, rx) = std::sync::mpsc::sync_channel::<(ChunkId, PointResults)>(64);
         let job_id = post_job(
             shared,
@@ -503,6 +550,7 @@ impl Coordinator {
             }
             drop(st);
             shared.progress.notify_all();
+            shared.kick();
             e
         };
 
@@ -520,7 +568,7 @@ impl Coordinator {
         }
         while received < to_receive {
             // 1. Drain results without holding the fabric lock; the
-            // senders hold it only long enough to mark completion.
+            // driver hands them over without holding it either.
             match rx.recv_timeout(POLL) {
                 Ok((chunk, values)) => {
                     on_chunk(chunk, values).map_err(fail)?;
@@ -549,7 +597,7 @@ impl Coordinator {
                     metrics
                         .counter("dist.chunks_reassigned")
                         .add(expired.len() as u64);
-                    shared.work.notify_all();
+                    shared.kick();
                 }
                 if st.connected.is_empty() {
                     let job = st.job.as_mut().unwrap();
@@ -610,7 +658,7 @@ fn post_job(
         tracker.complete(chunk);
     }
     if !resolvable {
-        // Pre-empt leasing by remote workers: the local drain is the
+        // Pre-empt granting to remote workers: the local drain is the
         // only evaluator that has this device.
         while tracker.lease(LOCAL_WORKER, 0, u64::MAX).is_some() {}
     }
@@ -628,14 +676,15 @@ fn post_job(
         stats: BTreeMap::new(),
     });
     drop(st);
-    shared.work.notify_all();
+    // Wake the driver so the first grants leave this tick, not the next.
+    shared.kick();
     Ok(id)
 }
 
 impl Drop for Coordinator {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(handle) = self.accept_handle.take() {
+        if let Some(handle) = self.driver_handle.take() {
             let _ = handle.join();
         }
     }
@@ -659,9 +708,8 @@ enum Recorded {
     /// Accepted and stored in the in-memory result slots.
     Stored,
     /// Accepted in streaming mode: the caller must hand `(chunk,
-    /// values)` to the submitter over `sender` once the lock is
-    /// dropped — sending under the lock could block on a full channel
-    /// while the draining thread waits for that same lock.
+    /// values)` to the submitter over `sender` outside the lock — the
+    /// driver parks it in its backlog and `try_send`s, never blocking.
     Deliver(SyncSender<(ChunkId, PointResults)>, ChunkId, PointResults),
 }
 
@@ -798,128 +846,476 @@ fn finish_job(
     (results, summary)
 }
 
-/// Handshake a freshly accepted connection, then run its driver loop
-/// until the worker leaves, dies, or the fabric shuts down. Cleanup —
-/// deregistration and requeueing the worker's leases — is unconditional.
-fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream) {
-    let metrics = twocs_obs::metrics::global();
-    let _ = conn.set_nodelay(true);
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = conn.set_write_timeout(Some(Duration::from_secs(5)));
+// ---- the poll-driven connection driver ---------------------------------
 
-    // Version handshake.
-    let hello = match read_frame(&mut conn) {
-        Ok((msg, n)) => {
-            shared.count_rx(n);
-            msg
+/// An accepted chunk awaiting `try_send` to the streaming submitter.
+type Delivery = (SyncSender<(ChunkId, PointResults)>, ChunkId, PointResults);
+
+/// One worker connection's state machine, driven by readiness events.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Pending outgoing bytes; `out_at` is the flushed prefix. Frames
+    /// are appended in place ([`Message::append_frame`]), so steady
+    /// state reuses the allocation.
+    outbuf: Vec<u8>,
+    out_at: usize,
+    /// Assigned worker id once the handshake completes.
+    worker: Option<WorkerId>,
+    /// `Done`/`Reject` queued: flush, half-close, then wait for the
+    /// peer's EOF (a hard close could RST ahead of the peer reading it).
+    closing: bool,
+    half_closed: bool,
+    /// Connection is finished; the removal pass cleans it up.
+    dead: bool,
+    /// Close the connection at this instant regardless (handshake and
+    /// drain timeouts).
+    deadline: Option<Instant>,
+    /// When each outstanding chunk was granted, for grant-to-result
+    /// timing in the per-worker stats.
+    grant_times: BTreeMap<(u64, ChunkId), Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            reader: FrameReader::new(),
+            outbuf: Vec::new(),
+            out_at: 0,
+            worker: None,
+            closing: false,
+            half_closed: false,
+            dead: false,
+            deadline: Some(Instant::now() + HANDSHAKE_TIMEOUT),
+            grant_times: BTreeMap::new(),
         }
-        Err(_) => return,
-    };
-    match hello {
-        Message::Hello {
-            version: PROTOCOL_VERSION,
-        } => {}
-        Message::Hello { version } => {
-            let reject = Message::Reject {
-                reason: format!(
-                    "protocol version mismatch: coordinator speaks v{PROTOCOL_VERSION}, worker v{version}"
-                ),
-            };
-            if let Ok(n) = write_frame(&mut conn, &reject) {
-                shared.count_tx(n);
-            }
-            metrics.counter("dist.handshake_rejected").inc();
-            return;
-        }
-        _ => return, // not a worker; drop silently
     }
 
-    // Register.
-    let worker_id = {
-        let mut st = shared.lock();
-        if st.shutdown {
-            let reject = Message::Reject {
-                reason: "coordinator is shutting down".to_owned(),
-            };
-            if let Ok(n) = write_frame(&mut conn, &reject) {
-                shared.count_tx(n);
+    fn has_output(&self) -> bool {
+        self.out_at < self.outbuf.len()
+    }
+
+    /// Append a frame to the outbound buffer (counted as sent once
+    /// queued; the flush pass moves it onto the wire).
+    fn queue(&mut self, shared: &Shared, msg: &Message) {
+        let n = msg.append_frame(&mut self.outbuf);
+        shared.count_tx(n);
+    }
+
+    /// Write as much pending output as the socket accepts right now.
+    fn flush(&mut self) {
+        while self.out_at < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_at..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.out_at += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
             }
+        }
+        self.outbuf.clear();
+        self.out_at = 0;
+        if self.closing && !self.half_closed {
+            self.half_closed = true;
+            let _ = self.stream.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// The fabric's single connection-driver thread: poll readiness, accept,
+/// read/decode frames, refill credit windows, flush. Exits once shutdown
+/// is requested and every connection has drained.
+fn driver_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut backlog: VecDeque<Delivery> = VecDeque::new();
+    let mut done_sent = false;
+    loop {
+        let shutting_down = shared.lock().shutdown;
+        if shutting_down && !done_sent {
+            done_sent = true;
+            let deadline = Instant::now() + shared.cfg.lease_ttl.max(Duration::from_secs(1));
+            for conn in &mut conns {
+                if conn.worker.is_some() && !conn.closing {
+                    conn.queue(shared, &Message::Done);
+                    conn.closing = true;
+                }
+                let capped = conn.deadline.map_or(deadline, |d| d.min(deadline));
+                conn.deadline = Some(capped);
+            }
+        }
+        if shutting_down && conns.is_empty() {
             return;
         }
-        let id = st.next_worker;
-        st.next_worker += 1;
-        st.connected.insert(id);
-        st.total_joined += 1;
-        id
-    };
-    shared.progress.notify_all();
-    metrics.counter("dist.workers_joined").inc();
-    let heartbeat_ms = shared
-        .cfg
-        .heartbeat
-        .as_millis()
-        .clamp(1, u128::from(u32::MAX)) as u32;
-    let welcome = Message::Welcome {
-        version: PROTOCOL_VERSION,
-        worker_id,
-        heartbeat_ms,
-    };
-    let registered = match write_frame(&mut conn, &welcome) {
-        Ok(n) => {
-            shared.count_tx(n);
-            true
-        }
-        Err(_) => false,
-    };
 
-    if registered {
-        // Reader thread: relay frames into a channel so the driver can
-        // wait on "message or timeout" without poll/epoll FFI.
-        let (tx, rx) = std::sync::mpsc::channel::<Message>();
-        let reader_shared = Arc::clone(shared);
-        let reader_conn = conn.try_clone();
-        let reader = reader_conn.ok().map(|mut rconn| {
-            let _ = rconn.set_read_timeout(None);
-            std::thread::spawn(move || {
-                while let Ok((msg, n)) = read_frame(&mut rconn) {
-                    reader_shared.count_rx(n);
-                    if tx.send(msg).is_err() {
-                        break;
+        let sources: Vec<Source> = conns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.dead)
+            .map(|(i, c)| {
+                Source::new(
+                    i as u64,
+                    &c.stream,
+                    Interest {
+                        read: true,
+                        write: c.has_output(),
+                    },
+                )
+            })
+            .collect();
+        let wait = match shared
+            .poller
+            .wait((!shutting_down).then_some(listener), &sources, POLL)
+        {
+            Ok(w) => w,
+            Err(_) => {
+                // poll(2) itself failing is pathological; back off so a
+                // persistent error cannot spin the core.
+                std::thread::sleep(POLL);
+                continue;
+            }
+        };
+
+        if wait.listener_ready {
+            accept_all(listener, &mut conns);
+        }
+        for ev in &wait.events {
+            let Some(conn) = conns.get_mut(ev.token as usize) else {
+                continue;
+            };
+            if (ev.readable || ev.hangup) && !conn.dead {
+                read_conn(shared, conn, &mut backlog);
+            }
+            if ev.writable && !conn.dead {
+                conn.flush();
+            }
+        }
+
+        tick(shared, &mut conns, backlog.len());
+        flush_backlog(&mut backlog);
+        // Opportunistic flush: push frames queued by reads/tick now
+        // instead of waiting for the next writable event.
+        for conn in &mut conns {
+            if !conn.dead && conn.has_output() {
+                conn.flush();
+            }
+        }
+
+        // Removal pass: reap dead and deadline-overdue connections,
+        // requeueing each one's entire outstanding window.
+        let now = Instant::now();
+        let mut removed = false;
+        conns.retain_mut(|conn| {
+            if conn.deadline.is_some_and(|d| d <= now) {
+                conn.dead = true;
+            }
+            if conn.dead {
+                cleanup_conn(shared, conn);
+                removed = true;
+                false
+            } else {
+                true
+            }
+        });
+        if removed {
+            shared.progress.notify_all();
+        }
+    }
+}
+
+/// Accept every pending registration (the listener is nonblocking).
+fn accept_all(listener: &TcpListener, conns: &mut Vec<Conn>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(true);
+                let _ = stream.set_nodelay(true);
+                conns.push(Conn::new(stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Pull bytes until the socket would block, handling every complete
+/// frame along the way.
+fn read_conn(shared: &Arc<Shared>, conn: &mut Conn, backlog: &mut VecDeque<Delivery>) {
+    loop {
+        match conn.reader.fill(&mut conn.stream) {
+            Ok(0) => {
+                // EOF: graceful after a drain, a death otherwise —
+                // either way the removal pass takes it from here.
+                conn.dead = true;
+                return;
+            }
+            Ok(_) => loop {
+                match conn.reader.next_frame() {
+                    Ok(Some((msg, n))) => {
+                        shared.count_rx(n);
+                        if !handle_frame(shared, conn, msg, backlog) {
+                            conn.dead = true;
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.dead = true;
+                        return;
                     }
                 }
-            })
-        });
-        if let Some(reader) = reader {
-            match drive_worker(shared, worker_id, &mut conn, &rx) {
-                Ok(()) => {
-                    // Graceful exit: `Done` is on the wire. Half-close and
-                    // drain the worker's final frames until it closes its
-                    // end — a hard close with an unread heartbeat still
-                    // buffered would RST ahead of the worker reading
-                    // `Done`. The read timeout bounds the drain if the
-                    // worker never closes.
-                    let _ = conn.shutdown(Shutdown::Write);
-                    let _ = conn
-                        .set_read_timeout(Some(shared.cfg.lease_ttl.max(Duration::from_secs(1))));
-                }
-                Err(()) => {
-                    // The worker is presumed dead; closing the socket
-                    // unblocks the reader.
-                    let _ = conn.shutdown(Shutdown::Both);
-                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
             }
-            let _ = reader.join();
-            drop(rx);
         }
     }
+}
 
-    // Unconditional cleanup: deregister and requeue this worker's leases.
+/// One frame's worth of the per-worker state machine. Returns `false`
+/// when the connection must be treated as dead (protocol violation).
+fn handle_frame(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    msg: Message,
+    backlog: &mut VecDeque<Delivery>,
+) -> bool {
+    let metrics = twocs_obs::metrics::global();
+    match (conn.worker, msg) {
+        (
+            None,
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        ) => {
+            let worker_id = {
+                let mut st = shared.lock();
+                if st.shutdown {
+                    drop(st);
+                    conn.queue(
+                        shared,
+                        &Message::Reject {
+                            reason: "coordinator is shutting down".to_owned(),
+                        },
+                    );
+                    conn.closing = true;
+                    conn.deadline = Some(Instant::now() + Duration::from_secs(1));
+                    return true;
+                }
+                let id = st.next_worker;
+                st.next_worker += 1;
+                st.connected.insert(id);
+                st.total_joined += 1;
+                id
+            };
+            shared.progress.notify_all();
+            metrics.counter("dist.workers_joined").inc();
+            conn.worker = Some(worker_id);
+            conn.deadline = None;
+            let heartbeat_ms = shared
+                .cfg
+                .heartbeat
+                .as_millis()
+                .clamp(1, u128::from(u32::MAX)) as u32;
+            let pipeline = shared.cfg.pipeline.clamp(1, u32::MAX as usize) as u32;
+            conn.queue(
+                shared,
+                &Message::Welcome {
+                    version: PROTOCOL_VERSION,
+                    worker_id,
+                    heartbeat_ms,
+                    pipeline,
+                },
+            );
+            // The next tick (this same driver iteration) grants the
+            // fresh worker its first credit window.
+            true
+        }
+        (None, Message::Hello { version }) => {
+            conn.queue(
+                shared,
+                &Message::Reject {
+                    reason: format!(
+                        "protocol version mismatch: coordinator speaks v{PROTOCOL_VERSION}, worker v{version}"
+                    ),
+                },
+            );
+            metrics.counter("dist.handshake_rejected").inc();
+            conn.closing = true;
+            conn.deadline = Some(Instant::now() + Duration::from_secs(1));
+            true
+        }
+        (None, _) => false, // not a worker; drop silently
+        (Some(worker), Message::Heartbeat) => {
+            let mut st = shared.lock();
+            let now = shared.now();
+            let ttl_ms = shared.ttl_ms();
+            if let Some(job) = st.job.as_mut() {
+                job.tracker.renew(worker, now, ttl_ms);
+            }
+            true
+        }
+        (
+            Some(worker),
+            Message::ChunkResult {
+                job: jid,
+                chunk,
+                values,
+            },
+        ) => {
+            let busy = conn
+                .grant_times
+                .remove(&(jid, chunk))
+                .map_or(Duration::ZERO, |t0| t0.elapsed());
+            let recorded = {
+                let mut st = shared.lock();
+                // A result is proof of life for the rest of the window.
+                let now = shared.now();
+                let ttl_ms = shared.ttl_ms();
+                if let Some(job) = st.job.as_mut() {
+                    job.tracker.renew(worker, now, ttl_ms);
+                }
+                record_result(&mut st, jid, worker, chunk, values, busy)
+            };
+            shared.progress.notify_all();
+            if let Recorded::Deliver(tx, c, v) = recorded {
+                // Never block the driver on the streaming channel: park
+                // the chunk; `flush_backlog` try_sends after the lock.
+                backlog.push_back((tx, c, v));
+            }
+            true
+        }
+        (Some(worker), Message::Refuse { reason, .. }) => {
+            // The worker cannot evaluate this job at all (e.g. unknown
+            // device). Requeue its whole window and release it.
+            metrics.counter("dist.leases_refused").inc();
+            let lost = {
+                let mut st = shared.lock();
+                st.connected.remove(&worker);
+                st.job
+                    .as_mut()
+                    .map(|job| job.tracker.fail_worker(worker))
+                    .unwrap_or_default()
+            };
+            if !lost.is_empty() {
+                metrics
+                    .counter("dist.chunks_reassigned")
+                    .add(lost.len() as u64);
+            }
+            shared.progress.notify_all();
+            let _ = reason;
+            if !conn.closing {
+                conn.queue(shared, &Message::Done);
+                conn.closing = true;
+            }
+            conn.deadline = Some(Instant::now() + shared.cfg.lease_ttl.max(Duration::from_secs(1)));
+            true
+        }
+        (Some(_), _) => false, // protocol violation
+    }
+}
+
+/// The driver's periodic/maintenance pass: expire overdue leases, top
+/// every live worker back up to its credit window, and publish the
+/// outstanding-lease gauge.
+fn tick(shared: &Arc<Shared>, conns: &mut [Conn], backlog_len: usize) {
+    let metrics = twocs_obs::metrics::global();
+    let mut st = shared.lock();
+    let now = shared.now();
+    let ttl_ms = shared.ttl_ms();
+    if let Some(job) = st.job.as_mut() {
+        let expired = job.tracker.expire(now);
+        if !expired.is_empty() {
+            metrics
+                .counter("dist.chunks_reassigned")
+                .add(expired.len() as u64);
+        }
+    }
+    // Credit refill — paused while the streaming backlog is over the
+    // high-water mark, which is the grant-side half of backpressure.
+    if backlog_len < BACKLOG_HIGH_WATER && !st.shutdown {
+        let window = shared.cfg.pipeline.max(1);
+        for conn in conns.iter_mut().filter(|c| !c.dead && !c.closing) {
+            let Some(worker) = conn.worker else { continue };
+            let Some(job) = st.job.as_mut() else { break };
+            let deficit = window.saturating_sub(job.tracker.outstanding(worker));
+            let mut chunks = Vec::with_capacity(deficit);
+            for _ in 0..deficit {
+                match job.tracker.lease(worker, now, ttl_ms) {
+                    Some(c) => chunks.push(c),
+                    None => break,
+                }
+            }
+            if chunks.is_empty() {
+                continue;
+            }
+            let leases: Vec<ChunkLease> = chunks
+                .iter()
+                .map(|&c| ChunkLease {
+                    chunk: c,
+                    points: job.index.chunk_points(c as usize, job.chunk_size),
+                })
+                .collect();
+            let issued = Instant::now();
+            let job_id = job.id;
+            // Stale timing entries from earlier jobs die with the grant.
+            conn.grant_times.retain(|(j, _), _| *j == job_id);
+            for &c in &chunks {
+                conn.grant_times.insert((job_id, c), issued);
+            }
+            metrics
+                .counter("dist.chunks_leased")
+                .add(chunks.len() as u64);
+            let grant = job.grant_message(leases);
+            conn.queue(shared, &grant);
+        }
+    }
+    let outstanding = st.job.as_ref().map_or(0, |j| j.tracker.leased_count());
+    metrics
+        .gauge("dist.coordinator.outstanding_leases")
+        .set(outstanding as f64);
+}
+
+/// Hand parked streaming chunks to the submitter without blocking; stop
+/// at the first full channel (order within the backlog is preserved).
+fn flush_backlog(backlog: &mut VecDeque<Delivery>) {
+    while let Some((tx, chunk, values)) = backlog.pop_front() {
+        match tx.try_send((chunk, values)) {
+            Ok(()) => {}
+            Err(TrySendError::Full((c, v))) => {
+                backlog.push_front((tx, c, v));
+                break;
+            }
+            // The submitter aborted the job; the values are moot.
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
+/// Deregister a finished/dead connection and requeue its outstanding
+/// window. Idempotent with the `Refuse` path's early release.
+fn cleanup_conn(shared: &Arc<Shared>, conn: &Conn) {
+    let metrics = twocs_obs::metrics::global();
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    let Some(worker) = conn.worker else {
+        return; // never finished the handshake; nothing registered
+    };
     let lost = {
         let mut st = shared.lock();
-        st.connected.remove(&worker_id);
+        st.connected.remove(&worker);
         st.job
             .as_mut()
-            .map(|job| job.tracker.fail_worker(worker_id))
+            .map(|job| job.tracker.fail_worker(worker))
             .unwrap_or_default()
     };
     metrics.counter("dist.workers_lost").inc();
@@ -927,168 +1323,5 @@ fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream) {
         metrics
             .counter("dist.chunks_reassigned")
             .add(lost.len() as u64);
-        shared.work.notify_all();
-    }
-    shared.progress.notify_all();
-}
-
-/// What the driver decided to send after consulting the fabric state.
-enum Directive {
-    Lease(Message, ChunkId),
-    Wait,
-    Done,
-}
-
-/// The per-worker driver loop: `Ready` → lease → result, with
-/// heartbeat renewal in between. Any `Err` return means the connection
-/// is considered dead; the caller requeues this worker's leases.
-fn drive_worker(
-    shared: &Arc<Shared>,
-    worker_id: WorkerId,
-    conn: &mut TcpStream,
-    rx: &Receiver<Message>,
-) -> Result<(), ()> {
-    let metrics = twocs_obs::metrics::global();
-    let ttl = shared.cfg.lease_ttl.max(Duration::from_millis(1));
-    loop {
-        // 1. Wait for the worker to ask for work (heartbeats renew).
-        loop {
-            match rx.recv_timeout(ttl) {
-                Ok(Message::Ready) => break,
-                Ok(Message::Heartbeat) => continue,
-                Ok(_) | Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    return Err(())
-                }
-            }
-        }
-
-        // 2. Find work, waiting briefly on the job condvar; send Wait so
-        // an idle connection keeps exchanging traffic (which is also how
-        // a dead idle worker is detected, via the failed write).
-        let directive = {
-            let mut st = shared.lock();
-            loop {
-                if st.shutdown {
-                    break Directive::Done;
-                }
-                let now = shared.now();
-                let ttl_ms = shared.ttl_ms();
-                if let Some(job) = st.job.as_mut() {
-                    if let Some(chunk) = job.tracker.lease(worker_id, now, ttl_ms) {
-                        let lease = job.lease_message(chunk);
-                        break Directive::Lease(lease, chunk);
-                    }
-                }
-                let (g, timeout) = shared
-                    .work
-                    .wait_timeout(st, POLL * 12)
-                    .unwrap_or_else(PoisonError::into_inner);
-                st = g;
-                if timeout.timed_out() {
-                    break Directive::Wait;
-                }
-            }
-        };
-
-        match directive {
-            Directive::Done => {
-                let n = write_frame(conn, &Message::Done).map_err(|_| ())?;
-                shared.count_tx(n);
-                return Ok(());
-            }
-            Directive::Wait => {
-                let n = write_frame(conn, &Message::Wait).map_err(|_| ())?;
-                shared.count_tx(n);
-                continue;
-            }
-            Directive::Lease(lease, chunk) => {
-                let _span = twocs_obs::span(&format!("lease chunk {chunk}"), "dist");
-                metrics.counter("dist.chunks_leased").inc();
-                let t0 = Instant::now();
-                let sent = write_frame(conn, &lease);
-                match sent {
-                    Ok(n) => shared.count_tx(n),
-                    Err(_) => return Err(()),
-                }
-                // 3. Await the chunk result; heartbeats extend the lease.
-                loop {
-                    match rx.recv_timeout(ttl) {
-                        Ok(Message::Heartbeat) => {
-                            let mut st = shared.lock();
-                            let now = shared.now();
-                            let ttl_ms = shared.ttl_ms();
-                            if let Some(job) = st.job.as_mut() {
-                                job.tracker.renew(worker_id, now, ttl_ms);
-                            }
-                        }
-                        Ok(Message::ChunkResult {
-                            job: jid,
-                            chunk: cid,
-                            values,
-                        }) => {
-                            let mut st = shared.lock();
-                            let recorded =
-                                record_result(&mut st, jid, worker_id, cid, values, t0.elapsed());
-                            drop(st);
-                            shared.progress.notify_all();
-                            if let Recorded::Deliver(tx, c, v) = recorded {
-                                // Send only after the lock is released:
-                                // a full channel blocks here, and the
-                                // drainer needs the lock to make room.
-                                // An Err means the submitter aborted the
-                                // job; the values are simply dropped.
-                                let _ = tx.send((c, v));
-                            }
-                            break;
-                        }
-                        Ok(Message::Refuse { reason, .. }) => {
-                            // The worker cannot evaluate this job at all
-                            // (e.g. unknown device). Requeue its leases
-                            // and release it; the chunk flows elsewhere.
-                            metrics.counter("dist.leases_refused").inc();
-                            let lost = {
-                                let mut st = shared.lock();
-                                st.job
-                                    .as_mut()
-                                    .map(|job| job.tracker.fail_worker(worker_id))
-                                    .unwrap_or_default()
-                            };
-                            if !lost.is_empty() {
-                                metrics
-                                    .counter("dist.chunks_reassigned")
-                                    .add(lost.len() as u64);
-                                shared.work.notify_all();
-                            }
-                            let _ = reason;
-                            let n = write_frame(conn, &Message::Done).map_err(|_| ())?;
-                            shared.count_tx(n);
-                            return Ok(());
-                        }
-                        Ok(_)
-                        | Err(RecvTimeoutError::Timeout)
-                        | Err(RecvTimeoutError::Disconnected) => return Err(()),
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    loop {
-        if shared.lock().shutdown {
-            return;
-        }
-        match listener.accept() {
-            Ok((conn, _peer)) => {
-                let conn_shared = Arc::clone(shared);
-                let _ = std::thread::Builder::new()
-                    .name("dist-conn".to_owned())
-                    .spawn(move || serve_connection(&conn_shared, conn));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(POLL),
-        }
     }
 }

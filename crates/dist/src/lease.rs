@@ -166,6 +166,14 @@ impl LeaseTracker {
         self.leased.len()
     }
 
+    /// Chunks currently leased to `worker` — its outstanding credit
+    /// window. The coordinator grants `pipeline - outstanding(w)` fresh
+    /// chunks whenever this dips below the window size.
+    #[must_use]
+    pub fn outstanding(&self, worker: WorkerId) -> usize {
+        self.leased.values().filter(|l| l.worker == worker).count()
+    }
+
     /// Chunks completed so far.
     #[must_use]
     pub fn completed_count(&self) -> usize {
@@ -366,6 +374,72 @@ mod tests {
                 "no chunk accepted twice"
             );
             assert!(accepted.keys().all(|&c| c < total));
+        });
+    }
+
+    /// Pipelining satellite property: workers hold multi-chunk credit
+    /// windows, result/death events arrive in a shuffled interleaving,
+    /// and a death must drain the victim's **entire** outstanding window
+    /// back to pending exactly once — no chunk lost, none double-queued,
+    /// survivors' leases untouched.
+    #[test]
+    fn requeue_on_death_drains_the_full_outstanding_window_exactly_once() {
+        twocs_testkit::cases(128, |rng| {
+            let total = rng.u32_in(8..48);
+            let pipeline = rng.usize_in(1..7);
+            let n_workers = rng.u64_in(2..5);
+            let mut t = LeaseTracker::new(total);
+            let mut live: Vec<WorkerId> = (1..=n_workers).collect();
+            let mut next_worker = n_workers + 1;
+
+            // Top every worker up to its credit window, then run a
+            // shuffled schedule of completions and deaths, refilling
+            // windows after each event like the coordinator's tick does.
+            loop {
+                for &w in &live {
+                    while t.outstanding(w) < pipeline && t.lease(w, 0, u64::MAX).is_some() {}
+                }
+                if t.is_complete() {
+                    break;
+                }
+                // Shuffle the live set so the victim/finisher varies.
+                live = {
+                    let mut l = live.clone();
+                    rng.shuffle(&mut l);
+                    l
+                };
+                if rng.u32_in(0..4) == 0 && live.len() > 1 {
+                    let victim = live.pop().unwrap();
+                    let window = t.outstanding(victim);
+                    let before_pending = t.pending_count();
+                    let survivors_before: usize = live.iter().map(|&w| t.outstanding(w)).sum();
+                    let lost = t.fail_worker(victim);
+                    assert_eq!(lost.len(), window, "whole window requeued");
+                    assert_eq!(
+                        t.pending_count(),
+                        before_pending + window,
+                        "each lost chunk pending exactly once"
+                    );
+                    assert_eq!(t.outstanding(victim), 0);
+                    assert_eq!(
+                        live.iter().map(|&w| t.outstanding(w)).sum::<usize>(),
+                        survivors_before,
+                        "survivors' leases untouched"
+                    );
+                    // A second failure of the same worker is a no-op.
+                    assert!(t.fail_worker(victim).is_empty());
+                    live.push(next_worker);
+                    next_worker += 1;
+                } else if let Some(&w) = live.first() {
+                    // The worker finishes the oldest chunk of its window.
+                    if let Some((&c, _)) = t.leased.iter().find(|(_, l)| l.worker == w) {
+                        assert_eq!(t.complete(c), Completion::Accepted);
+                    }
+                }
+                assert!(t.is_partition());
+            }
+            assert_eq!(t.completed_count() as u32, total);
+            assert!(t.is_partition());
         });
     }
 

@@ -11,15 +11,30 @@
 //! leasing, heartbeats, and reassignment are built directly on
 //! `std::net` + threads.
 //!
-//! * [`proto`] — length-prefixed wire messages and the version handshake.
-//! * [`lease`] — the pure, clock-abstracted chunk lease state machine.
-//! * [`coordinator`] — [`Coordinator`]: listens for workers, leases
-//!   chunks, reassigns on failure, degrades to local evaluation when no
-//!   workers are connected. Implements
+//! Protocol v4 is a **push** protocol with credit-based pipelining: the
+//! coordinator keeps every worker topped up with a window of
+//! [`CoordinatorConfig::pipeline`] outstanding chunk leases, so a worker
+//! always has the next chunk in hand while evaluating the current one
+//! and a network round-trip costs throughput only when it exceeds a
+//! whole window of compute. There is no `Ready`/`Wait` polling chatter
+//! and no idle backoff sleep — workers block on their own socket and
+//! the coordinator drives every connection from one `poll(2)` loop.
+//!
+//! * [`proto`] — length-prefixed wire messages, the version handshake,
+//!   and the incremental [`proto::FrameReader`] / vectored
+//!   [`proto::write_batch`] used by the nonblocking endpoints.
+//! * [`lease`] — the pure, clock-abstracted chunk lease state machine;
+//!   a dead worker's **entire outstanding window** requeues at once.
+//! * [`coordinator`] — [`Coordinator`]: accepts workers on a single
+//!   poll-driven driver thread (64 workers are 64 pollfds, not 64
+//!   threads), grants credit windows, reassigns on failure, degrades to
+//!   local evaluation when no workers are connected. Implements
 //!   [`twocs_core::sweep::GridExecutor`], so `twocs serve` can plug it
 //!   into `/v1/sweep` unchanged.
-//! * [`worker`] — [`run_worker`]: the pull-loop the `twocs worker`
-//!   subcommand runs.
+//! * [`worker`] — [`run_worker`]: double-buffered evaluator the `twocs
+//!   worker` subcommand runs — a reader thread keeps the lease queue
+//!   full, the eval loop works through it, and a writer thread flushes
+//!   results with vectored, allocation-reusing batch writes.
 //!
 //! ## Example (in-process pair)
 //!

@@ -8,17 +8,23 @@
 //!
 //! The first exchange on every connection is a version handshake:
 //! [`Message::Hello`] (worker → coordinator) answered by
-//! [`Message::Welcome`] or [`Message::Reject`]. Everything after is a
-//! worker-driven pull loop: `Ready` → `Lease`/`Wait`/`Done`, compute,
-//! `ChunkResult`, repeat — with `Heartbeat` frames interleaved from a
-//! side thread so the coordinator can tell a slow worker from a dead one.
+//! [`Message::Welcome`] or [`Message::Reject`]. Everything after is
+//! **coordinator-pushed**: the coordinator keeps each worker topped up
+//! with a credit window of outstanding chunk leases ([`Message::Grant`],
+//! the window size arrives in `Welcome`), the worker streams
+//! [`Message::ChunkResult`] frames back as chunks finish, and
+//! `Heartbeat` frames interleave from a side thread so the coordinator
+//! can tell a slow worker from a dead one. There is no idle poll: a
+//! worker with no work simply has nothing to read until the coordinator
+//! pushes the next grant (v3's `Ready`/`Wait`/`Lease` pull cycle — one
+//! network round-trip serialized in front of every chunk — is gone).
 //!
 //! Every encode/decode is exercised by a round-trip property test, and
 //! decoding is strict: trailing bytes, truncated fields, unknown tags,
 //! and over-limit frames are all `InvalidData` errors rather than
 //! best-effort guesses.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 use twocs_core::serialized::Method;
 use twocs_core::sweep::{GridPoint, GridSweep, Workload};
@@ -26,21 +32,25 @@ use twocs_core::sweep::{GridPoint, GridSweep, Workload};
 /// Protocol version; bumped on any incompatible wire change. A
 /// coordinator rejects workers that greet with a different version, so a
 /// stale binary fails loudly at handshake instead of corrupting a sweep.
-/// v2 widened [`Message::Lease`] with the sweep workload and the
-/// MoE/PP/SP axis fields on every grid point. v3 added the whole-grid
-/// axis lists plus the grid fingerprint to every lease, so a worker can
-/// rebuild the sweep once and reuse its factored plan across chunks.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// v2 widened the lease with the sweep workload and the MoE/PP/SP axis
+/// fields on every grid point. v3 added the whole-grid axis lists plus
+/// the grid fingerprint to every lease, so a worker can rebuild the
+/// sweep once and reuse its factored plan across chunks. v4 replaced the
+/// worker-driven `Ready`/`Lease`/`Wait` pull cycle with coordinator-
+/// pushed multi-lease [`Message::Grant`] frames and a credit window
+/// advertised in [`Message::Welcome`], so communication overlaps
+/// computation instead of serializing in front of it.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on one frame's payload, defending both sides against a
 /// corrupt or hostile peer declaring a multi-gigabyte length. Generous:
-/// the largest legitimate frame (a lease for a serve-capped 4096-point
-/// grid) is under 256 KiB.
+/// the largest legitimate frame (a grant window over a serve-capped
+/// 4096-point grid) is under 256 KiB.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
 /// The nine axis lists that define a sweep's grid, shipped with every
-/// lease (a few hundred bytes even for a million-point grid — the point
-/// counts multiply, the lists only add). Together with the lease's
+/// grant (a few hundred bytes even for a million-point grid — the point
+/// counts multiply, the lists only add). Together with the grant's
 /// `batch`/`method`/`workload` a worker can rebuild the full
 /// [`GridSweep`] and amortize one whole-grid factored plan across every
 /// chunk of the job, keyed by the grid fingerprint.
@@ -84,7 +94,7 @@ impl SweepAxes {
     }
 
     /// Rebuild the sweep these axes came from, completing it with the
-    /// lease's sweep-level selectors.
+    /// grant's sweep-level selectors.
     #[must_use]
     pub fn to_sweep(&self, batch: u64, method: Method, workload: Workload) -> GridSweep {
         GridSweep {
@@ -102,6 +112,18 @@ impl SweepAxes {
             workload,
         }
     }
+}
+
+/// One chunk's worth of leased work inside a [`Message::Grant`]: the
+/// chunk id plus its grid points in grid order. Job-level context
+/// (device, axes, fingerprints) lives once on the grant, not per chunk —
+/// a full credit window costs one frame and one copy of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkLease {
+    /// Chunk id within the job.
+    pub chunk: u32,
+    /// The chunk's grid points, in grid order.
+    pub points: Vec<GridPoint>,
 }
 
 /// One protocol message. See the module docs for the exchange sequence.
@@ -122,20 +144,23 @@ pub enum Message {
         /// How often the worker should send [`Message::Heartbeat`], in
         /// milliseconds. The coordinator treats ~3 missed beats as death.
         heartbeat_ms: u32,
+        /// Credit window: how many chunk leases the coordinator keeps
+        /// outstanding on this connection. The worker sizes its local
+        /// work queue accordingly; `1` degenerates to the lockstep v3
+        /// behavior (one chunk per network round-trip).
+        pipeline: u32,
     },
     /// Coordinator → worker: handshake refused (version mismatch, shutdown).
     Reject {
         /// Human-readable refusal reason.
         reason: String,
     },
-    /// Worker → coordinator: idle and requesting work.
-    Ready,
-    /// Coordinator → worker: evaluate one chunk of the grid.
-    Lease {
+    /// Coordinator → worker: a batch of chunk leases, pushed whenever the
+    /// worker's outstanding window has room. Replaces v3's per-chunk
+    /// `Ready` → `Lease` round-trip.
+    Grant {
         /// Sweep job id (guards against results from a previous sweep).
         job: u64,
-        /// Chunk id within the job.
-        chunk: u32,
         /// Catalog name of the **base** device (per-point flop-vs-bw
         /// evolution happens worker-side, inside `eval_grid_point`).
         device: String,
@@ -149,25 +174,23 @@ pub enum Message {
         /// Sweep workload (training, prefill, or decode).
         workload: Workload,
         /// The whole sweep's axis lists, for worker-side plan reuse.
-        /// Boxed so the rare-but-wide lease payload doesn't inflate
+        /// Boxed so the rare-but-wide grant payload doesn't inflate
         /// every [`Message`] on the stack.
         axes: Box<SweepAxes>,
         /// `GridSweep::fingerprint()` of the sweep the axes describe;
         /// the worker's plan-cache key (with the device fingerprint)
         /// and a consistency check on the rebuilt sweep.
         grid_fingerprint: u64,
-        /// The chunk's grid points, in grid order.
-        points: Vec<GridPoint>,
+        /// The granted chunks, one lease each. Never empty on the wire.
+        leases: Vec<ChunkLease>,
     },
-    /// Coordinator → worker: no work right now; re-send `Ready` shortly.
-    Wait,
     /// Coordinator → worker: the fabric is shutting down; exit cleanly.
     Done,
     /// Worker → coordinator: one evaluated chunk. `values[i]` pairs with
     /// the lease's `points[i]`; `Err` carries a panic message for that
     /// point (rendered as `error` cells, same as a local run).
     ChunkResult {
-        /// Job id copied from the lease.
+        /// Job id copied from the grant.
         job: u64,
         /// Chunk id copied from the lease.
         chunk: u32,
@@ -176,15 +199,15 @@ pub enum Message {
     },
     /// Worker → coordinator: liveness signal while idle or mid-compute.
     Heartbeat,
-    /// Worker → coordinator: cannot evaluate this lease (e.g. the device
+    /// Worker → coordinator: cannot evaluate this job (e.g. the device
     /// is not in the worker's catalog). The coordinator requeues the
-    /// chunk and releases the worker.
+    /// worker's whole outstanding window and releases it.
     Refuse {
-        /// Job id copied from the lease.
+        /// Job id copied from the grant.
         job: u64,
-        /// Chunk id copied from the lease.
+        /// Chunk id of the lease that triggered the refusal.
         chunk: u32,
-        /// Why the lease was refused.
+        /// Why the grant was refused.
         reason: String,
     },
 }
@@ -192,13 +215,14 @@ pub enum Message {
 const TAG_HELLO: u8 = 1;
 const TAG_WELCOME: u8 = 2;
 const TAG_REJECT: u8 = 3;
-const TAG_READY: u8 = 4;
-const TAG_LEASE: u8 = 5;
-const TAG_WAIT: u8 = 6;
+// Tags 4–6 (`Ready`/`Lease`/`Wait`) were retired with the v3 pull
+// protocol and are not reused, so a stale peer's frames fail decoding
+// loudly instead of aliasing into new meanings.
 const TAG_DONE: u8 = 7;
 const TAG_CHUNK_RESULT: u8 = 8;
 const TAG_HEARTBEAT: u8 = 9;
 const TAG_REFUSE: u8 = 10;
+const TAG_GRANT: u8 = 11;
 
 fn method_to_wire(m: Method) -> u8 {
     match m {
@@ -281,34 +305,55 @@ fn put_axes(buf: &mut Vec<u8>, axes: &SweepAxes) {
     put_u64_list(buf, &axes.sps);
 }
 
+fn put_points(buf: &mut Vec<u8>, points: &[GridPoint]) {
+    put_u32(buf, points.len() as u32);
+    for p in points {
+        put_u64(buf, p.h);
+        put_u64(buf, p.sl);
+        put_u64(buf, p.tp);
+        put_f64(buf, p.ratio);
+        put_u64(buf, p.experts);
+        put_u64(buf, p.top_k);
+        put_u64(buf, p.stages);
+        put_u64(buf, p.micro_batches);
+        put_u64(buf, p.sp);
+    }
+}
+
 impl Message {
     /// Encode the message payload (tag + fields, no length prefix).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.encode_payload(&mut buf);
+        buf
+    }
+
+    /// Append the payload (tag + fields) to `buf` without clearing it.
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
         match self {
             Message::Hello { version } => {
                 buf.push(TAG_HELLO);
-                put_u32(&mut buf, *version);
+                put_u32(buf, *version);
             }
             Message::Welcome {
                 version,
                 worker_id,
                 heartbeat_ms,
+                pipeline,
             } => {
                 buf.push(TAG_WELCOME);
-                put_u32(&mut buf, *version);
-                put_u64(&mut buf, *worker_id);
-                put_u32(&mut buf, *heartbeat_ms);
+                put_u32(buf, *version);
+                put_u64(buf, *worker_id);
+                put_u32(buf, *heartbeat_ms);
+                put_u32(buf, *pipeline);
             }
             Message::Reject { reason } => {
                 buf.push(TAG_REJECT);
-                put_str(&mut buf, reason);
+                put_str(buf, reason);
             }
-            Message::Ready => buf.push(TAG_READY),
-            Message::Lease {
+            Message::Grant {
                 job,
-                chunk,
                 device,
                 device_fingerprint,
                 batch,
@@ -316,48 +361,39 @@ impl Message {
                 workload,
                 axes,
                 grid_fingerprint,
-                points,
+                leases,
             } => {
-                buf.push(TAG_LEASE);
-                put_u64(&mut buf, *job);
-                put_u32(&mut buf, *chunk);
-                put_str(&mut buf, device);
-                put_u64(&mut buf, *device_fingerprint);
-                put_u64(&mut buf, *batch);
+                buf.push(TAG_GRANT);
+                put_u64(buf, *job);
+                put_str(buf, device);
+                put_u64(buf, *device_fingerprint);
+                put_u64(buf, *batch);
                 buf.push(method_to_wire(*method));
                 buf.push(workload_to_wire(*workload));
-                put_axes(&mut buf, axes);
-                put_u64(&mut buf, *grid_fingerprint);
-                put_u32(&mut buf, points.len() as u32);
-                for p in points {
-                    put_u64(&mut buf, p.h);
-                    put_u64(&mut buf, p.sl);
-                    put_u64(&mut buf, p.tp);
-                    put_f64(&mut buf, p.ratio);
-                    put_u64(&mut buf, p.experts);
-                    put_u64(&mut buf, p.top_k);
-                    put_u64(&mut buf, p.stages);
-                    put_u64(&mut buf, p.micro_batches);
-                    put_u64(&mut buf, p.sp);
+                put_axes(buf, axes);
+                put_u64(buf, *grid_fingerprint);
+                put_u32(buf, leases.len() as u32);
+                for lease in leases {
+                    put_u32(buf, lease.chunk);
+                    put_points(buf, &lease.points);
                 }
             }
-            Message::Wait => buf.push(TAG_WAIT),
             Message::Done => buf.push(TAG_DONE),
             Message::ChunkResult { job, chunk, values } => {
                 buf.push(TAG_CHUNK_RESULT);
-                put_u64(&mut buf, *job);
-                put_u32(&mut buf, *chunk);
-                put_u32(&mut buf, values.len() as u32);
+                put_u64(buf, *job);
+                put_u32(buf, *chunk);
+                put_u32(buf, values.len() as u32);
                 for v in values {
                     match v {
                         Ok((a, b)) => {
                             buf.push(0);
-                            put_f64(&mut buf, *a);
-                            put_f64(&mut buf, *b);
+                            put_f64(buf, *a);
+                            put_f64(buf, *b);
                         }
                         Err(e) => {
                             buf.push(1);
-                            put_str(&mut buf, e);
+                            put_str(buf, e);
                         }
                     }
                 }
@@ -365,12 +401,25 @@ impl Message {
             Message::Heartbeat => buf.push(TAG_HEARTBEAT),
             Message::Refuse { job, chunk, reason } => {
                 buf.push(TAG_REFUSE);
-                put_u64(&mut buf, *job);
-                put_u32(&mut buf, *chunk);
-                put_str(&mut buf, reason);
+                put_u64(buf, *job);
+                put_u32(buf, *chunk);
+                put_str(buf, reason);
             }
         }
-        buf
+    }
+
+    /// Append one length-prefixed frame to `buf` and return its size on
+    /// the wire. The length prefix is patched in after encoding, so one
+    /// reused buffer serves any number of frames with **zero
+    /// allocations at steady state** — the writer threads' hot path.
+    pub fn append_frame(&self, buf: &mut Vec<u8>) -> usize {
+        let start = buf.len();
+        buf.extend_from_slice(&[0u8; 4]);
+        self.encode_payload(buf);
+        let payload_len = buf.len() - start - 4;
+        debug_assert!(payload_len as u32 <= MAX_FRAME_LEN);
+        buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        buf.len() - start
     }
 
     /// Decode one payload produced by [`Message::encode`]. Strict:
@@ -387,14 +436,13 @@ impl Message {
                 version: r.u32()?,
                 worker_id: r.u64()?,
                 heartbeat_ms: r.u32()?,
+                pipeline: r.u32()?,
             },
             TAG_REJECT => Message::Reject {
                 reason: r.string()?,
             },
-            TAG_READY => Message::Ready,
-            TAG_LEASE => {
+            TAG_GRANT => {
                 let job = r.u64()?;
-                let chunk = r.u32()?;
                 let device = r.string()?;
                 let device_fingerprint = r.u64()?;
                 let batch = r.u64()?;
@@ -414,23 +462,14 @@ impl Message {
                 let axes = Box::new(axes);
                 let grid_fingerprint = r.u64()?;
                 let n = r.len_prefix()?;
-                let mut points = Vec::with_capacity(n);
+                let mut leases = Vec::with_capacity(n);
                 for _ in 0..n {
-                    points.push(GridPoint {
-                        h: r.u64()?,
-                        sl: r.u64()?,
-                        tp: r.u64()?,
-                        ratio: f64::from_bits(r.u64()?),
-                        experts: r.u64()?,
-                        top_k: r.u64()?,
-                        stages: r.u64()?,
-                        micro_batches: r.u64()?,
-                        sp: r.u64()?,
-                    });
+                    let chunk = r.u32()?;
+                    let points = r.points()?;
+                    leases.push(ChunkLease { chunk, points });
                 }
-                Message::Lease {
+                Message::Grant {
                     job,
-                    chunk,
                     device,
                     device_fingerprint,
                     batch,
@@ -438,10 +477,9 @@ impl Message {
                     workload,
                     axes,
                     grid_fingerprint,
-                    points,
+                    leases,
                 }
             }
-            TAG_WAIT => Message::Wait,
             TAG_DONE => Message::Done,
             TAG_CHUNK_RESULT => {
                 let job = r.u64()?;
@@ -528,6 +566,25 @@ impl Reader<'_> {
         let n = self.len_prefix()?;
         (0..n).map(|_| self.u64().map(f64::from_bits)).collect()
     }
+
+    fn points(&mut self) -> io::Result<Vec<GridPoint>> {
+        let n = self.len_prefix()?;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push(GridPoint {
+                h: self.u64()?,
+                sl: self.u64()?,
+                tp: self.u64()?,
+                ratio: f64::from_bits(self.u64()?),
+                experts: self.u64()?,
+                top_k: self.u64()?,
+                stages: self.u64()?,
+                micro_batches: self.u64()?,
+                sp: self.u64()?,
+            });
+        }
+        Ok(points)
+    }
 }
 
 // ---- framing -----------------------------------------------------------
@@ -535,14 +592,52 @@ impl Reader<'_> {
 /// Write one length-prefixed frame; returns total bytes on the wire
 /// (callers feed this into the `dist.bytes_tx` counter).
 pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
-    let payload = msg.encode();
-    debug_assert!(payload.len() as u32 <= MAX_FRAME_LEN);
-    let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
+    let mut frame = Vec::new();
+    let n = msg.append_frame(&mut frame);
     w.write_all(&frame)?;
     w.flush()?;
-    Ok(frame.len())
+    Ok(n)
+}
+
+/// Write a batch of frames with one vectored syscall where the platform
+/// allows, reusing `scratch`'s per-frame buffers so the steady state
+/// allocates nothing. Returns total bytes on the wire.
+pub fn write_batch(
+    w: &mut impl Write,
+    msgs: &[Message],
+    scratch: &mut Vec<Vec<u8>>,
+) -> io::Result<usize> {
+    if msgs.is_empty() {
+        return Ok(0);
+    }
+    if scratch.len() < msgs.len() {
+        scratch.resize_with(msgs.len(), Vec::new);
+    }
+    let mut total = 0usize;
+    for (msg, buf) in msgs.iter().zip(scratch.iter_mut()) {
+        buf.clear();
+        total += msg.append_frame(buf);
+    }
+    let mut slices: Vec<IoSlice<'_>> = scratch[..msgs.len()]
+        .iter()
+        .map(|b| IoSlice::new(b))
+        .collect();
+    let mut rest: &mut [IoSlice<'_>] = &mut slices;
+    while !rest.is_empty() {
+        match w.write_vectored(rest) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "batch write stalled",
+                ))
+            }
+            Ok(n) => IoSlice::advance_slices(&mut rest, n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    w.flush()?;
+    Ok(total)
 }
 
 /// Read one length-prefixed frame; returns the message and total bytes
@@ -561,9 +656,87 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(Message, usize)> {
     Ok((msg, 4 + payload.len()))
 }
 
+/// Incremental frame extraction over a **nonblocking** byte stream: the
+/// coordinator's poll-driven connection state machines [`fill`] raw
+/// bytes whenever the socket is readable and pop complete frames with
+/// [`next_frame`], without ever blocking mid-frame the way
+/// [`read_frame`]'s `read_exact` would.
+///
+/// [`fill`]: FrameReader::fill
+/// [`next_frame`]: FrameReader::next_frame
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+/// Compact the consumed prefix away once it outgrows this, so the buffer
+/// neither reallocates per frame nor grows without bound.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read once from `r` into the internal buffer, returning the byte
+    /// count (0 = EOF). `WouldBlock`/`Interrupted` pass through untouched
+    /// so nonblocking callers can keep their readiness loop simple.
+    pub fn fill(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        if self.at == self.buf.len() {
+            self.buf.clear();
+            self.at = 0;
+        } else if self.at > COMPACT_THRESHOLD {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        let mut tmp = [0u8; 64 * 1024];
+        let n = r.read(&mut tmp)?;
+        self.buf.extend_from_slice(&tmp[..n]);
+        Ok(n)
+    }
+
+    /// Pop the next complete frame, if the buffer holds one. Returns the
+    /// message plus its size on the wire; `Ok(None)` means "need more
+    /// bytes", errors mean the stream is corrupt.
+    pub fn next_frame(&mut self) -> io::Result<Option<(Message, usize)>> {
+        let avail = &self.buf[self.at..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(bad(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+        }
+        let len = len as usize;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let msg = Message::decode(&avail[4..4 + len])?;
+        self.at += 4 + len;
+        Ok(Some((msg, 4 + len)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_axes() -> SweepAxes {
+        SweepAxes {
+            hs: vec![4096],
+            sls: vec![2048],
+            tps: vec![16],
+            flop_vs_bw: vec![2.0],
+            experts: vec![1],
+            top_ks: vec![1],
+            stages: vec![1],
+            micro_batches: vec![1],
+            sps: vec![1],
+        }
+    }
 
     fn samples() -> Vec<Message> {
         vec![
@@ -574,14 +747,13 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 worker_id: 7,
                 heartbeat_ms: 500,
+                pipeline: 4,
             },
             Message::Reject {
                 reason: "version mismatch".to_owned(),
             },
-            Message::Ready,
-            Message::Lease {
+            Message::Grant {
                 job: 3,
-                chunk: 11,
                 device: "MI210".to_owned(),
                 device_fingerprint: 0xDEAD_BEEF,
                 batch: 1,
@@ -589,41 +761,41 @@ mod tests {
                 workload: Workload::Training,
                 axes: Box::new(SweepAxes::from_sweep(&GridSweep::default())),
                 grid_fingerprint: 0x0123_4567_89AB_CDEF,
-                points: vec![
-                    GridPoint::new(4096, 2048, 16, 1.0),
-                    GridPoint {
-                        experts: 8,
-                        top_k: 2,
-                        stages: 4,
-                        micro_batches: 8,
-                        sp: 2,
-                        ..GridPoint::new(16_384, 4096, 64, 4.0)
+                leases: vec![
+                    ChunkLease {
+                        chunk: 11,
+                        points: vec![
+                            GridPoint::new(4096, 2048, 16, 1.0),
+                            GridPoint {
+                                experts: 8,
+                                top_k: 2,
+                                stages: 4,
+                                micro_batches: 8,
+                                sp: 2,
+                                ..GridPoint::new(16_384, 4096, 64, 4.0)
+                            },
+                        ],
+                    },
+                    ChunkLease {
+                        chunk: 12,
+                        points: vec![GridPoint::new(4096, 4096, 64, 2.0)],
                     },
                 ],
             },
-            Message::Lease {
+            Message::Grant {
                 job: 4,
-                chunk: 0,
                 device: "MI210".to_owned(),
                 device_fingerprint: 1,
                 batch: 8,
                 method: Method::Projection,
                 workload: Workload::Decode,
-                axes: Box::new(SweepAxes {
-                    hs: vec![4096],
-                    sls: vec![2048],
-                    tps: vec![16],
-                    flop_vs_bw: vec![2.0],
-                    experts: vec![1],
-                    top_ks: vec![1],
-                    stages: vec![1],
-                    micro_batches: vec![1],
-                    sps: vec![1],
-                }),
+                axes: Box::new(sample_axes()),
                 grid_fingerprint: 7,
-                points: vec![GridPoint::new(4096, 2048, 16, 2.0)],
+                leases: vec![ChunkLease {
+                    chunk: 0,
+                    points: vec![GridPoint::new(4096, 2048, 16, 2.0)],
+                }],
             },
-            Message::Wait,
             Message::Done,
             Message::ChunkResult {
                 job: 3,
@@ -689,11 +861,63 @@ mod tests {
     }
 
     #[test]
+    fn batched_vectored_writes_match_frame_by_frame_bytes() {
+        let msgs = samples();
+        let mut frame_by_frame = Vec::new();
+        for msg in &msgs {
+            write_frame(&mut frame_by_frame, msg).unwrap();
+        }
+        let mut batched = Vec::new();
+        let mut scratch = Vec::new();
+        let n = write_batch(&mut batched, &msgs, &mut scratch).unwrap();
+        assert_eq!(batched, frame_by_frame, "identical bytes on the wire");
+        assert_eq!(n, batched.len());
+        // Steady state: the second batch reuses every scratch buffer.
+        let caps: Vec<usize> = scratch.iter().map(Vec::capacity).collect();
+        let mut again = Vec::new();
+        write_batch(&mut again, &msgs, &mut scratch).unwrap();
+        assert_eq!(again, frame_by_frame);
+        assert_eq!(
+            caps,
+            scratch.iter().map(Vec::capacity).collect::<Vec<_>>(),
+            "reused buffers must not reallocate"
+        );
+    }
+
+    #[test]
+    fn frame_reader_reassembles_frames_from_arbitrary_splits() {
+        let msgs = samples();
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            write_frame(&mut wire, msg).unwrap();
+        }
+        // Drip the stream through the reader in adversarial slice sizes,
+        // including 1-byte reads that split every length prefix.
+        twocs_testkit::cases(16, |rng| {
+            let mut reader = FrameReader::new();
+            let mut decoded = Vec::new();
+            let mut at = 0usize;
+            while at < wire.len() {
+                let step = rng.usize_in(1..64).min(wire.len() - at);
+                let mut cursor = std::io::Cursor::new(&wire[at..at + step]);
+                let n = reader.fill(&mut cursor).unwrap();
+                assert_eq!(n, step);
+                at += step;
+                while let Some((msg, _)) = reader.next_frame().unwrap() {
+                    decoded.push(msg);
+                }
+            }
+            assert_eq!(decoded, msgs);
+        });
+    }
+
+    #[test]
     fn truncated_and_trailing_payloads_are_rejected() {
         let good = Message::Welcome {
             version: 1,
             worker_id: 2,
             heartbeat_ms: 3,
+            pipeline: 4,
         }
         .encode();
         for cut in 1..good.len() {
@@ -706,13 +930,24 @@ mod tests {
         trailing.push(0);
         assert!(Message::decode(&trailing).is_err());
         assert!(Message::decode(&[99]).is_err(), "unknown tag");
+        // Retired v3 pull-cycle tags must not decode as anything.
+        for retired in [4u8, 5, 6] {
+            assert!(
+                Message::decode(&[retired]).is_err(),
+                "retired tag {retired} must stay invalid"
+            );
+        }
     }
 
     #[test]
     fn oversized_frames_and_bogus_counts_are_rejected() {
         let mut wire = Vec::new();
         wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
-        assert!(read_frame(&mut std::io::Cursor::new(wire)).is_err());
+        assert!(read_frame(&mut std::io::Cursor::new(wire.clone())).is_err());
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        reader.fill(&mut cursor).unwrap();
+        assert!(reader.next_frame().is_err(), "FrameReader rejects it too");
 
         // A ChunkResult claiming u32::MAX values with a tiny payload must
         // fail fast instead of allocating.
@@ -723,28 +958,36 @@ mod tests {
         assert!(Message::decode(&payload).is_err());
     }
 
-    /// Property coverage for the v2 lease framing: random grids over the
-    /// widened `GridPoint` (MoE/PP/SP axes) and every workload must
-    /// survive encode → decode bit-exact, ratio included.
+    /// Property coverage for the v4 grant framing: random multi-lease
+    /// windows over the widened `GridPoint` (MoE/PP/SP axes) and every
+    /// workload must survive encode → decode bit-exact, ratio included —
+    /// through both the one-shot codec and the incremental
+    /// [`FrameReader`].
     #[test]
-    fn widened_lease_round_trip_property() {
+    fn multi_lease_grant_round_trip_property() {
         twocs_testkit::cases(64, |rng| {
             let workload = match rng.u64_in(0..3) {
                 0 => Workload::Training,
                 1 => Workload::Prefill,
                 _ => Workload::Decode,
             };
-            let n = rng.usize_in(0..12);
-            let points: Vec<GridPoint> = rng.vec_of(n, |r| GridPoint {
-                h: r.u64_in(256..65_537),
-                sl: r.u64_in(1..8193),
-                tp: r.u64_in(1..257),
-                ratio: r.f64_in(1.0..16.0),
-                experts: r.u64_in(1..65),
-                top_k: r.u64_in(1..9),
-                stages: r.u64_in(1..17),
-                micro_batches: r.u64_in(1..33),
-                sp: r.u64_in(1..17),
+            let n_leases = rng.usize_in(1..8);
+            let leases: Vec<ChunkLease> = rng.vec_of(n_leases, |r| {
+                let n = r.usize_in(0..12);
+                ChunkLease {
+                    chunk: r.u32_in(0..10_000),
+                    points: r.vec_of(n, |r| GridPoint {
+                        h: r.u64_in(256..65_537),
+                        sl: r.u64_in(1..8193),
+                        tp: r.u64_in(1..257),
+                        ratio: r.f64_in(1.0..16.0),
+                        experts: r.u64_in(1..65),
+                        top_k: r.u64_in(1..9),
+                        stages: r.u64_in(1..17),
+                        micro_batches: r.u64_in(1..33),
+                        sp: r.u64_in(1..17),
+                    }),
+                }
             });
             let mut list = |hi: u64| {
                 let len = rng.usize_in(1..4);
@@ -764,9 +1007,8 @@ mod tests {
                     rng.vec_of(len, |r| r.f64_in(1.0..16.0))
                 },
             };
-            let msg = Message::Lease {
+            let msg = Message::Grant {
                 job: rng.next_u64(),
-                chunk: rng.u32_in(0..10_000),
                 device: "MI210".to_owned(),
                 device_fingerprint: rng.next_u64(),
                 batch: rng.u64_in(1..64),
@@ -774,29 +1016,55 @@ mod tests {
                 workload,
                 axes: Box::new(axes),
                 grid_fingerprint: rng.next_u64(),
-                points,
+                leases,
             };
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+            let mut wire = Vec::new();
+            let written = write_frame(&mut wire, &msg).unwrap();
+            let mut reader = FrameReader::new();
+            let mut cursor = std::io::Cursor::new(wire);
+            reader.fill(&mut cursor).unwrap();
+            let (decoded, n) = reader.next_frame().unwrap().expect("complete frame");
+            assert_eq!(decoded, msg);
+            assert_eq!(n, written);
         });
     }
 
+    /// Pipelined result frames: a burst of back-to-back `ChunkResult`
+    /// frames — what a double-buffered worker's writer thread flushes —
+    /// round-trips through the batched vectored writer and the
+    /// incremental reader without loss or reordering.
     #[test]
-    fn decode_round_trip_property() {
+    fn pipelined_result_burst_round_trip_property() {
         twocs_testkit::cases(64, |rng| {
-            let n = rng.usize_in(0..20);
-            let values: Vec<Result<(f64, f64), String>> = rng.vec_of(n, |r| {
-                if r.bool() {
-                    Ok((r.f64_in(-1e6..1e6), r.f64_in(0.0..200.0)))
-                } else {
-                    Err(format!("case error {}", r.u64_in(0..1000)))
+            let n_msgs = rng.usize_in(1..10);
+            let msgs: Vec<Message> = rng.vec_of(n_msgs, |r| {
+                let n = r.usize_in(0..20);
+                let values: Vec<Result<(f64, f64), String>> = r.vec_of(n, |r| {
+                    if r.bool() {
+                        Ok((r.f64_in(-1e6..1e6), r.f64_in(0.0..200.0)))
+                    } else {
+                        Err(format!("case error {}", r.u64_in(0..1000)))
+                    }
+                });
+                Message::ChunkResult {
+                    job: r.next_u64(),
+                    chunk: r.u32_in(0..10_000),
+                    values,
                 }
             });
-            let msg = Message::ChunkResult {
-                job: rng.next_u64(),
-                chunk: rng.u32_in(0..10_000),
-                values,
-            };
-            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+            let mut wire = Vec::new();
+            let mut scratch = Vec::new();
+            let written = write_batch(&mut wire, &msgs, &mut scratch).unwrap();
+            assert_eq!(written, wire.len());
+            let mut reader = FrameReader::new();
+            let mut cursor = std::io::Cursor::new(wire);
+            while reader.fill(&mut cursor).unwrap() > 0 {}
+            let mut decoded = Vec::new();
+            while let Some((msg, _)) = reader.next_frame().unwrap() {
+                decoded.push(msg);
+            }
+            assert_eq!(decoded, msgs);
         });
     }
 }

@@ -1,30 +1,63 @@
-//! The sweep worker: connects to a coordinator, pulls chunk leases, and
-//! evaluates them with the same chunk kernel ([`eval_chunk`]) a local
-//! run uses — factored per-axis tables when the chunk supports them,
-//! the naive per-point path otherwise, bit-identical either way — which
-//! is why distributed results merge byte-exactly.
+//! The sweep worker: connects to a coordinator, receives pushed chunk
+//! leases, and evaluates them with the same chunk kernel
+//! ([`eval_chunk`]) a local run uses — factored per-axis tables when the
+//! chunk supports them, the naive per-point path otherwise, bit-identical
+//! either way — which is why distributed results merge byte-exactly.
 //!
-//! The protocol is worker-driven: the main loop sends `Ready`, the
-//! coordinator answers `Lease` (work), `Wait` (idle; ask again shortly),
-//! or `Done` (exit). A side thread sends `Heartbeat` at the cadence the
-//! coordinator requested in `Welcome`, sharing the write half behind a
-//! mutex, so a slow chunk does not read as a dead worker.
+//! The v4 protocol is coordinator-driven and pipelined: after the
+//! handshake the coordinator keeps a credit window of chunk leases
+//! outstanding on the connection ([`Message::Grant`]), so the worker is
+//! **double-buffered** — while the evaluation loop chews on the current
+//! chunk, the next leases are already queued locally and finished
+//! results are flushing from a dedicated writer thread. Three side
+//! threads surround the evaluation loop:
+//!
+//! * a **reader** that blocks on the socket, stamps each incoming frame
+//!   with its (optionally latency-shifted) delivery time, and feeds the
+//!   work queue — no `Ready`/`Wait` idle poll, the coordinator's grant
+//!   push *is* the wake;
+//! * a **writer** that owns the write half and flushes every outgoing
+//!   frame — results, refusals, *and heartbeats* — with vectored,
+//!   buffer-reused batch encoding, so a big result never blocks the
+//!   evaluation loop and every wire byte lands in one tx counter;
+//! * a **heartbeat** ticker at the cadence the coordinator requested in
+//!   `Welcome`, so a slow chunk does not read as a dead worker.
+//!
+//! For latency experiments ([`WorkerConfig::injected_latency`], or the
+//! [`RTT_ENV`] hook) the worker models pure propagation delay: incoming
+//! frames become visible to the evaluation loop RTT/2 after they are
+//! read, outgoing frames are held by the writer until RTT/2 after they
+//! are queued. Bandwidth/occupancy is untouched, so a pipelined window
+//! overlaps the injected latency exactly the way real WAN RTT would be
+//! overlapped.
 
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::proto::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+use crate::proto::{read_frame, write_batch, write_frame, Message, SweepAxes, PROTOCOL_VERSION};
 use twocs_core::planner::FactoredPlan;
-use twocs_core::sweep::{eval_chunk, set_parallelism, PointResults};
+use twocs_core::serialized::Method;
+use twocs_core::sweep::{eval_chunk, set_parallelism, GridPoint, PointResults, Workload};
 use twocs_hw::DeviceSpec;
 
 /// Test hook: per-chunk artificial delay in milliseconds, read from the
-/// environment once at startup. The CI worker-kill smoke test uses this
-/// to make "a worker dies mid-sweep while holding a lease" land
-/// deterministically instead of racing a sub-millisecond evaluation.
+/// environment when [`WorkerConfig::chunk_delay`] is unset. The CI
+/// worker-kill smoke test uses this to make "a worker dies mid-sweep
+/// while holding a full credit window" land deterministically instead of
+/// racing a sub-millisecond evaluation.
 pub const CHUNK_DELAY_ENV: &str = "TWOCS_DIST_CHUNK_DELAY_MS";
+
+/// Test hook: injected round-trip time in milliseconds, read from the
+/// environment when [`WorkerConfig::injected_latency`] is unset. The
+/// `dist_perf` bench uses the config field directly; the env var exists
+/// for shell-driven experiments against a real CLI worker.
+pub const RTT_ENV: &str = "TWOCS_DIST_RTT_MS";
+
+/// Most frames the writer thread coalesces into one vectored write.
+const MAX_WRITE_BATCH: usize = 64;
 
 /// Tuning knobs for [`run_worker`].
 #[derive(Debug, Clone)]
@@ -33,8 +66,12 @@ pub struct WorkerConfig {
     pub connect: String,
     /// Thread budget for evaluating a chunk's points.
     pub jobs: usize,
-    /// Idle backoff after a `Wait` before re-sending `Ready`.
-    pub idle_backoff: Duration,
+    /// Artificial per-chunk evaluation delay (tests). Falls back to
+    /// [`CHUNK_DELAY_ENV`] when `None`.
+    pub chunk_delay: Option<Duration>,
+    /// Injected round-trip time, split evenly across the two directions
+    /// (benchmarks). Falls back to [`RTT_ENV`] when `None`.
+    pub injected_latency: Option<Duration>,
 }
 
 impl WorkerConfig {
@@ -44,7 +81,8 @@ impl WorkerConfig {
         Self {
             connect: connect.into(),
             jobs: jobs.max(1),
-            idle_backoff: Duration::from_millis(20),
+            chunk_delay: None,
+            injected_latency: None,
         }
     }
 }
@@ -60,92 +98,253 @@ pub struct WorkerReport {
     pub points: u64,
     /// Leases refused (device not resolvable on this worker).
     pub refused: u64,
-    /// Protocol bytes sent.
+    /// Protocol bytes sent — every frame on the wire, heartbeats and
+    /// handshake included, because the writer thread is the single
+    /// place transmit bytes are counted.
     pub bytes_tx: u64,
     /// Protocol bytes received.
     pub bytes_rx: u64,
     /// Time spent evaluating chunks.
     pub busy: Duration,
+    /// Time spent waiting for work — the pipeline's exposed
+    /// communication. Near zero when the credit window hides the RTT.
+    pub idle: Duration,
 }
 
 impl std::fmt::Display for WorkerReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "worker {}: {} chunk(s), {} point(s), {} refused, busy {:.1?}, wire {} B out / {} B in",
+            "worker {}: {} chunk(s), {} point(s), {} refused, busy {:.1?}, idle {:.1?}, wire {} B out / {} B in",
             self.worker_id,
             self.chunks,
             self.points,
             self.refused,
             self.busy,
+            self.idle,
             self.bytes_tx,
             self.bytes_rx,
         )
     }
 }
 
-/// The write half shared between the main loop and the heartbeat thread.
-struct Writer {
-    stream: Mutex<TcpStream>,
-    bytes_tx: AtomicU64,
-    stop: AtomicBool,
+/// Job-level context shared by every chunk of one grant, decoded once.
+struct GrantShared {
+    job: u64,
+    device: String,
+    device_fingerprint: u64,
+    batch: u64,
+    method: Method,
+    workload: Workload,
+    axes: Box<SweepAxes>,
+    grid_fingerprint: u64,
 }
 
-impl Writer {
-    fn send(&self, msg: &Message) -> std::io::Result<()> {
-        let mut stream = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
-        let n = write_frame(&mut *stream, msg)?;
-        self.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
-        twocs_obs::metrics::global()
-            .counter("dist.bytes_tx")
-            .add(n as u64);
-        Ok(())
+/// One unit handed from the reader thread to the evaluation loop.
+enum WorkItem {
+    /// A leased chunk, visible to the evaluator at `deliver_at`.
+    Chunk {
+        grant: Arc<GrantShared>,
+        chunk: u32,
+        points: Vec<GridPoint>,
+        deliver_at: Option<Instant>,
+    },
+    /// Coordinator said `Done`: exit cleanly.
+    Done,
+    /// The connection or protocol failed; the loop should report this.
+    Failed(String),
+}
+
+/// One frame queued for the writer thread. `due` is the injected-latency
+/// release time; `None` sends immediately.
+struct Outgoing {
+    msg: Message,
+    due: Option<Instant>,
+}
+
+fn env_ms(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+/// The writer thread: sole owner of the socket's write half. Batches
+/// everything already due into one vectored write with reused buffers
+/// (allocation-free at steady state) and accounts every byte it sends.
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: &Receiver<Outgoing>,
+    bytes_tx: &AtomicU64,
+    fail: &Mutex<Option<String>>,
+) {
+    let metrics = twocs_obs::metrics::global();
+    let mut scratch: Vec<Vec<u8>> = Vec::new();
+    let mut batch: Vec<Message> = Vec::new();
+    let mut carry: Option<Outgoing> = None;
+    loop {
+        let first = match carry.take() {
+            Some(o) => o,
+            None => match rx.recv() {
+                Ok(o) => o,
+                // Every sender hung up: the session is over and the
+                // queue is drained.
+                Err(_) => break,
+            },
+        };
+        if let Some(due) = first.due {
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        batch.clear();
+        batch.push(first.msg);
+        while batch.len() < MAX_WRITE_BATCH {
+            match rx.try_recv() {
+                Ok(o) => {
+                    if o.due.is_some_and(|d| d > Instant::now()) {
+                        carry = Some(o);
+                        break;
+                    }
+                    batch.push(o.msg);
+                }
+                Err(_) => break,
+            }
+        }
+        match write_batch(&mut stream, &batch, &mut scratch) {
+            Ok(n) => {
+                bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                metrics.counter("dist.bytes_tx").add(n as u64);
+            }
+            Err(e) => {
+                let mut slot = fail.lock().unwrap_or_else(PoisonError::into_inner);
+                slot.get_or_insert_with(|| format!("coordinator write: {e}"));
+                break;
+            }
+        }
     }
 }
 
-/// Connect to a coordinator and serve leases until it says `Done`, the
-/// connection drops, or a lease must be refused. Returns a session
-/// report, or an error string suitable for the CLI (handshake rejection,
-/// connect failure, protocol violation).
+/// The reader thread: blocks on the socket, stamps frames with their
+/// latency-shifted delivery time, and feeds the evaluation loop's work
+/// queue. Always pushes a terminal [`WorkItem`] before exiting so the
+/// evaluator never waits on a dead channel.
+fn reader_loop(
+    mut stream: TcpStream,
+    work_tx: &Sender<WorkItem>,
+    bytes_rx: &AtomicU64,
+    depth: &AtomicI64,
+    half_rtt: Option<Duration>,
+) {
+    let metrics = twocs_obs::metrics::global();
+    let terminal = loop {
+        let (msg, n) = match read_frame(&mut stream) {
+            Ok(ok) => ok,
+            Err(e) => break WorkItem::Failed(format!("coordinator read: {e}")),
+        };
+        bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        metrics.counter("dist.bytes_rx").add(n as u64);
+        match msg {
+            Message::Grant {
+                job,
+                device,
+                device_fingerprint,
+                batch,
+                method,
+                workload,
+                axes,
+                grid_fingerprint,
+                leases,
+            } => {
+                let deliver_at = half_rtt.map(|d| Instant::now() + d);
+                let grant = Arc::new(GrantShared {
+                    job,
+                    device,
+                    device_fingerprint,
+                    batch,
+                    method,
+                    workload,
+                    axes,
+                    grid_fingerprint,
+                });
+                for lease in leases {
+                    let queued = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                    metrics.gauge("dist.pipeline.depth").set(queued as f64);
+                    let item = WorkItem::Chunk {
+                        grant: Arc::clone(&grant),
+                        chunk: lease.chunk,
+                        points: lease.points,
+                        deliver_at,
+                    };
+                    if work_tx.send(item).is_err() {
+                        return;
+                    }
+                }
+            }
+            Message::Done => break WorkItem::Done,
+            other => break WorkItem::Failed(format!("unexpected coordinator message: {other:?}")),
+        }
+    };
+    let _ = work_tx.send(terminal);
+}
+
+/// Connect to a coordinator and evaluate pushed chunk leases until it
+/// says `Done` or the connection drops. Returns a session report, or an
+/// error string suitable for the CLI (handshake rejection, connect
+/// failure, protocol violation).
 pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
     let metrics = twocs_obs::metrics::global();
     let _span = twocs_obs::span(&format!("worker {}", cfg.connect), "dist");
-    let chunk_delay = std::env::var(CHUNK_DELAY_ENV)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_millis);
+    let chunk_delay = cfg.chunk_delay.or_else(|| env_ms(CHUNK_DELAY_ENV));
+    let half_rtt = cfg
+        .injected_latency
+        .or_else(|| env_ms(RTT_ENV))
+        .map(|rtt| rtt / 2);
 
     let stream = TcpStream::connect(&cfg.connect)
         .map_err(|e| format!("connect to coordinator {}: {e}", cfg.connect))?;
     let _ = stream.set_nodelay(true);
-    let mut reader = stream
+    let read_stream = stream
         .try_clone()
         .map_err(|e| format!("clone coordinator socket: {e}"))?;
-    let writer = Arc::new(Writer {
-        stream: Mutex::new(stream),
-        bytes_tx: AtomicU64::new(0),
-        stop: AtomicBool::new(false),
-    });
-    let mut bytes_rx = 0u64;
-    let mut recv = |reader: &mut TcpStream| -> Result<Message, String> {
-        let (msg, n) = read_frame(reader).map_err(|e| format!("coordinator read: {e}"))?;
-        bytes_rx += n as u64;
-        metrics.counter("dist.bytes_rx").add(n as u64);
-        Ok(msg)
-    };
+    let mut write_stream = stream
+        .try_clone()
+        .map_err(|e| format!("clone coordinator socket: {e}"))?;
 
-    // Handshake.
-    writer
-        .send(&Message::Hello {
+    let bytes_tx = Arc::new(AtomicU64::new(0));
+    let bytes_rx = Arc::new(AtomicU64::new(0));
+    let depth = Arc::new(AtomicI64::new(0));
+    let write_fail = Arc::new(Mutex::new(None::<String>));
+
+    // Handshake runs synchronously on this thread before the pipeline
+    // threads exist; its bytes land in the same counters.
+    let n = write_frame(
+        &mut write_stream,
+        &Message::Hello {
             version: PROTOCOL_VERSION,
-        })
-        .map_err(|e| format!("coordinator write: {e}"))?;
-    let (worker_id, heartbeat) = match recv(&mut reader)? {
+        },
+    )
+    .map_err(|e| format!("coordinator write: {e}"))?;
+    bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+    metrics.counter("dist.bytes_tx").add(n as u64);
+    let mut hs_stream = read_stream
+        .try_clone()
+        .map_err(|e| format!("clone coordinator socket: {e}"))?;
+    let (reply, n) = read_frame(&mut hs_stream).map_err(|e| format!("coordinator read: {e}"))?;
+    bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+    metrics.counter("dist.bytes_rx").add(n as u64);
+    let (worker_id, heartbeat, _window) = match reply {
         Message::Welcome {
             version: PROTOCOL_VERSION,
             worker_id,
             heartbeat_ms,
-        } => (worker_id, Duration::from_millis(u64::from(heartbeat_ms))),
+            pipeline,
+        } => (
+            worker_id,
+            Duration::from_millis(u64::from(heartbeat_ms)),
+            pipeline,
+        ),
         Message::Welcome { version, .. } => {
             return Err(format!(
                 "coordinator accepted v{version} but this worker speaks v{PROTOCOL_VERSION}"
@@ -156,22 +355,51 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
     };
     metrics.counter("dist.worker_sessions").inc();
 
-    // Heartbeat thread: liveness while a chunk computes, and while idle.
-    let hb_writer = Arc::clone(&writer);
-    let heartbeat_thread = std::thread::Builder::new()
-        .name("dist-heartbeat".to_owned())
-        .spawn(move || {
-            let period = heartbeat.max(Duration::from_millis(1));
-            while !hb_writer.stop.load(Ordering::Relaxed) {
-                std::thread::sleep(period);
-                if hb_writer.stop.load(Ordering::Relaxed)
-                    || hb_writer.send(&Message::Heartbeat).is_err()
-                {
-                    break;
+    // Pipeline threads: reader feeds the work queue, writer drains the
+    // outgoing queue, heartbeat ticks into the outgoing queue.
+    let (work_tx, work_rx) = std::sync::mpsc::channel::<WorkItem>();
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<Outgoing>();
+
+    let reader_thread = {
+        let bytes_rx = Arc::clone(&bytes_rx);
+        let depth = Arc::clone(&depth);
+        std::thread::Builder::new()
+            .name("dist-reader".to_owned())
+            .spawn(move || reader_loop(read_stream, &work_tx, &bytes_rx, &depth, half_rtt))
+            .map_err(|e| format!("spawn reader thread: {e}"))?
+    };
+    let writer_thread = {
+        let bytes_tx = Arc::clone(&bytes_tx);
+        let write_fail = Arc::clone(&write_fail);
+        std::thread::Builder::new()
+            .name("dist-writer".to_owned())
+            .spawn(move || writer_loop(write_stream, &out_rx, &bytes_tx, &write_fail))
+            .map_err(|e| format!("spawn writer thread: {e}"))?
+    };
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat_thread = {
+        let stop = Arc::clone(&hb_stop);
+        let out_tx = out_tx.clone();
+        std::thread::Builder::new()
+            .name("dist-heartbeat".to_owned())
+            .spawn(move || {
+                let period = heartbeat.max(Duration::from_millis(1));
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let beat = Outgoing {
+                        msg: Message::Heartbeat,
+                        due: half_rtt.map(|d| Instant::now() + d),
+                    };
+                    if out_tx.send(beat).is_err() {
+                        break;
+                    }
                 }
-            }
-        })
-        .map_err(|e| format!("spawn heartbeat thread: {e}"))?;
+            })
+            .map_err(|e| format!("spawn heartbeat thread: {e}"))?
+    };
 
     let mut report = WorkerReport {
         worker_id,
@@ -181,116 +409,172 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, String> {
         bytes_tx: 0,
         bytes_rx: 0,
         busy: Duration::ZERO,
+        idle: Duration::ZERO,
     };
     set_parallelism(cfg.jobs);
 
     // One whole-grid factored plan per (grid, device) pair, reused
-    // across every chunk the coordinator leases from the same sweep —
+    // across every chunk the coordinator grants from the same sweep —
     // the per-axis tables are built once instead of once per chunk.
     // `None` in the value slot means the sweep has no factored form
     // (simulation method) and chunks take the naive path.
     let mut plan_cache: Option<(u64, u64, Option<FactoredPlan>)> = None;
+    // A job we refused once stays refused: later chunks of the same
+    // grant are dropped silently while the coordinator winds us down.
+    let mut refused_job: Option<u64> = None;
+
+    let record_idle = |report: &mut WorkerReport, idle: Duration| {
+        report.idle += idle;
+        metrics
+            .counter("dist.worker.idle_time")
+            .add_duration_us(idle);
+    };
 
     let outcome = loop {
-        if let Err(e) = writer.send(&Message::Ready) {
-            break Err(format!("coordinator write: {e}"));
-        }
-        // Our own heartbeats never echo back; anything read here is a
-        // coordinator directive.
-        match recv(&mut reader) {
-            Ok(Message::Wait) => {
-                std::thread::sleep(cfg.idle_backoff);
-            }
-            Ok(Message::Done) => break Ok(()),
-            Ok(Message::Lease {
-                job,
-                chunk,
-                device,
-                device_fingerprint,
-                batch,
-                method,
-                workload,
-                axes,
-                grid_fingerprint,
-                points,
-            }) => {
-                let Some(dev) = resolve_device(&device, device_fingerprint) else {
-                    report.refused += 1;
-                    metrics.counter("dist.leases_refused").inc();
-                    let refuse = Message::Refuse {
-                        job,
-                        chunk,
-                        reason: format!("device `{device}` not in this worker's catalog"),
-                    };
-                    if let Err(e) = writer.send(&refuse) {
-                        break Err(format!("coordinator write: {e}"));
-                    }
-                    continue;
-                };
-                let _span = twocs_obs::span(&format!("evaluate chunk {chunk}"), "dist");
+        // Double-buffering in action: when the credit window is doing
+        // its job the next chunk is already queued and `try_recv`
+        // succeeds; a blocking wait is an exposed-communication stall.
+        let item = match work_rx.try_recv() {
+            Ok(item) => item,
+            Err(TryRecvError::Empty) => {
+                metrics.counter("dist.pipeline.stalls").inc();
                 let t0 = Instant::now();
-                if let Some(delay) = chunk_delay {
-                    std::thread::sleep(delay);
-                }
-                let key = (grid_fingerprint, device_fingerprint);
-                let plan = match &plan_cache {
-                    Some((g, d, plan)) if (*g, *d) == key => {
-                        metrics.counter("dist.plan_cache_hits").inc();
-                        plan.as_ref()
+                match work_rx.recv() {
+                    Ok(item) => {
+                        record_idle(&mut report, t0.elapsed());
+                        item
                     }
-                    _ => {
-                        // Rebuild the sweep from the lease's axes and
-                        // cross-check its fingerprint; a mismatch means
-                        // the coordinator and worker disagree about the
-                        // grid, so fall back to the per-chunk path
-                        // rather than trust the reconstruction.
-                        let sweep = axes.to_sweep(batch, method, workload);
-                        let plan = if sweep.fingerprint() == grid_fingerprint {
-                            FactoredPlan::build_from_sweep(&dev, &sweep)
-                        } else {
-                            None
-                        };
-                        plan_cache = Some((key.0, key.1, plan));
-                        metrics.counter("dist.plan_cache_builds").inc();
-                        plan_cache.as_ref().and_then(|(_, _, p)| p.as_ref())
-                    }
-                };
-                // Factored when the sweep supports it, naive otherwise;
-                // either way per-point panics degrade to per-point
-                // errors and the values are bit-identical to a local
-                // run's — the merge contract.
-                let values = match plan {
-                    Some(plan) => {
-                        let mut out = PointResults::with_capacity(points.len());
-                        plan.eval_batch(&points, &mut out);
-                        out
-                    }
-                    None => eval_chunk(&dev, &points, batch, method, workload),
-                };
-                report.busy += t0.elapsed();
-                report.chunks += 1;
-                report.points += points.len() as u64;
-                metrics.counter("dist.chunks_evaluated").inc();
-                let result = Message::ChunkResult { job, chunk, values };
-                if let Err(e) = writer.send(&result) {
-                    break Err(format!("coordinator write: {e}"));
+                    Err(_) => break Err("worker reader thread died".to_owned()),
                 }
             }
-            Ok(other) => break Err(format!("unexpected coordinator message: {other:?}")),
-            Err(e) => break Err(e),
+            Err(TryRecvError::Disconnected) => break Err("worker reader thread died".to_owned()),
+        };
+        let (grant, chunk, points, deliver_at) = match item {
+            WorkItem::Chunk {
+                grant,
+                chunk,
+                points,
+                deliver_at,
+            } => (grant, chunk, points, deliver_at),
+            WorkItem::Done => break Ok(()),
+            WorkItem::Failed(e) => break Err(e),
+        };
+        // Injected propagation delay: the lease "arrives" half an RTT
+        // after the reader pulled it off the loopback socket.
+        if let Some(due) = deliver_at {
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+                record_idle(&mut report, due - now);
+            }
+        }
+        let queued = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        metrics.gauge("dist.pipeline.depth").set(queued as f64);
+
+        if refused_job == Some(grant.job) {
+            continue;
+        }
+        let Some(dev) = resolve_device(&grant.device, grant.device_fingerprint) else {
+            report.refused += 1;
+            refused_job = Some(grant.job);
+            metrics.counter("dist.leases_refused").inc();
+            let refuse = Outgoing {
+                msg: Message::Refuse {
+                    job: grant.job,
+                    chunk,
+                    reason: format!("device `{}` not in this worker's catalog", grant.device),
+                },
+                due: half_rtt.map(|d| Instant::now() + d),
+            };
+            if out_tx.send(refuse).is_err() {
+                break Err(writer_error(&write_fail));
+            }
+            continue;
+        };
+        let _span = twocs_obs::span(&format!("evaluate chunk {chunk}"), "dist");
+        let t0 = Instant::now();
+        if let Some(delay) = chunk_delay {
+            std::thread::sleep(delay);
+        }
+        let key = (grant.grid_fingerprint, grant.device_fingerprint);
+        let plan = match &plan_cache {
+            Some((g, d, plan)) if (*g, *d) == key => {
+                metrics.counter("dist.plan_cache_hits").inc();
+                plan.as_ref()
+            }
+            _ => {
+                // Rebuild the sweep from the grant's axes and
+                // cross-check its fingerprint; a mismatch means the
+                // coordinator and worker disagree about the grid, so
+                // fall back to the per-chunk path rather than trust the
+                // reconstruction.
+                let sweep = grant
+                    .axes
+                    .to_sweep(grant.batch, grant.method, grant.workload);
+                let plan = if sweep.fingerprint() == grant.grid_fingerprint {
+                    FactoredPlan::build_from_sweep(&dev, &sweep)
+                } else {
+                    None
+                };
+                plan_cache = Some((key.0, key.1, plan));
+                metrics.counter("dist.plan_cache_builds").inc();
+                plan_cache.as_ref().and_then(|(_, _, p)| p.as_ref())
+            }
+        };
+        // Factored when the sweep supports it, naive otherwise; either
+        // way per-point panics degrade to per-point errors and the
+        // values are bit-identical to a local run's — the merge
+        // contract.
+        let values = match plan {
+            Some(plan) => {
+                let mut out = PointResults::with_capacity(points.len());
+                plan.eval_batch(&points, &mut out);
+                out
+            }
+            None => eval_chunk(&dev, &points, grant.batch, grant.method, grant.workload),
+        };
+        let busy = t0.elapsed();
+        report.busy += busy;
+        metrics
+            .counter("dist.worker.busy_time")
+            .add_duration_us(busy);
+        report.chunks += 1;
+        report.points += points.len() as u64;
+        metrics.counter("dist.chunks_evaluated").inc();
+        let result = Outgoing {
+            msg: Message::ChunkResult {
+                job: grant.job,
+                chunk,
+                values,
+            },
+            due: half_rtt.map(|d| Instant::now() + d),
+        };
+        if out_tx.send(result).is_err() {
+            break Err(writer_error(&write_fail));
         }
     };
 
-    writer.stop.store(true, Ordering::SeqCst);
-    let _ = writer
-        .stream
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .shutdown(std::net::Shutdown::Both);
+    // Teardown: stop the heartbeat first (it holds an outgoing sender),
+    // then drop ours so the writer drains the queue and exits, and only
+    // then shut the socket down to unblock the reader.
+    hb_stop.store(true, Ordering::SeqCst);
+    drop(out_tx);
     let _ = heartbeat_thread.join();
-    report.bytes_tx = writer.bytes_tx.load(Ordering::Relaxed);
-    report.bytes_rx = bytes_rx;
+    let _ = writer_thread.join();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader_thread.join();
+    report.bytes_tx = bytes_tx.load(Ordering::Relaxed);
+    report.bytes_rx = bytes_rx.load(Ordering::Relaxed);
     outcome.map(|()| report)
+}
+
+/// The writer thread's recorded failure, or a generic message if it
+/// vanished without one.
+fn writer_error(fail: &Mutex<Option<String>>) -> String {
+    fail.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+        .unwrap_or_else(|| "worker writer thread died".to_owned())
 }
 
 /// Look up `name` in the device catalog and verify its fingerprint

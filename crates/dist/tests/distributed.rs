@@ -1,10 +1,11 @@
 //! End-to-end tests for the distributed sweep fabric: a real TCP
 //! coordinator with in-process workers, exercising the byte-identity
-//! contract, mid-sweep worker death, late joins, the no-worker degrade
-//! path, and the version handshake.
+//! contract, full-window requeue on mid-sweep worker death, late joins,
+//! the no-worker degrade path, heartbeat-vs-slow-chunk liveness, wire
+//! byte accounting, and the version handshake.
 
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use twocs_core::GridSweep;
 use twocs_dist::coordinator::{Coordinator, CoordinatorConfig};
@@ -62,11 +63,13 @@ fn two_worker_sweep_is_byte_identical_to_local() {
     }
 }
 
-/// A raw protocol client that takes a lease and silently drops the
-/// connection mid-sweep. The coordinator must requeue its chunk and the
-/// output must still be byte-identical — the worker-kill acceptance.
+/// A raw protocol client that accepts a pipelined grant and silently
+/// drops the connection while holding its **entire credit window**. The
+/// coordinator must requeue every outstanding chunk — not just one —
+/// and the output must still be byte-identical: the worker-kill
+/// acceptance, sharpened for v4 pipelining.
 #[test]
-fn worker_death_mid_sweep_reassigns_its_chunks() {
+fn worker_death_mid_sweep_reassigns_its_full_window() {
     let sweep = small_sweep();
     let device = DeviceSpec::mi210();
     let local = sweep.run(&device, 1).0.to_csv();
@@ -74,7 +77,8 @@ fn worker_death_mid_sweep_reassigns_its_chunks() {
     let coordinator = bind(2);
     let addr = coordinator.local_addr();
 
-    // Victim: handshake, ask for work, receive a lease, die holding it.
+    // Victim: handshake, wait for the pushed grant, die holding the
+    // whole window without completing (or heartbeating) anything.
     let victim = std::thread::spawn(move || {
         let mut conn = TcpStream::connect(addr).expect("victim connects");
         write_frame(
@@ -85,25 +89,29 @@ fn worker_death_mid_sweep_reassigns_its_chunks() {
         )
         .unwrap();
         let (welcome, _) = read_frame(&mut conn).unwrap();
-        assert!(matches!(welcome, Message::Welcome { .. }));
-        write_frame(&mut conn, &Message::Ready).unwrap();
-        loop {
-            match read_frame(&mut conn).unwrap().0 {
-                Message::Lease { .. } => break, // holding a lease: die now
-                Message::Wait => write_frame(&mut conn, &Message::Ready).map(|_| ()).unwrap(),
-                other => panic!("unexpected message before lease: {other:?}"),
-            }
-        }
+        let Message::Welcome { pipeline, .. } = welcome else {
+            panic!("expected Welcome, got {welcome:?}");
+        };
+        let (grant, _) = read_frame(&mut conn).unwrap();
+        let Message::Grant { leases, .. } = grant else {
+            panic!("expected Grant, got {grant:?}");
+        };
+        assert!(
+            leases.len() <= pipeline as usize,
+            "grant never exceeds the advertised window"
+        );
         drop(conn);
+        leases.len() as u64
     });
     assert_eq!(coordinator.wait_for_workers(1, Duration::from_secs(10)), 1);
 
     let (table, summary) = coordinator.run_sweep(&sweep, &device).expect("sweep runs");
-    victim.join().unwrap();
+    let window = victim.join().unwrap();
+    assert!(window >= 2, "victim held a pipelined window ({window})");
     assert_eq!(table.to_csv(), local, "byte-identical despite the death");
     assert!(
-        summary.reassigned >= 1,
-        "the dead client's chunk was requeued (reassigned = {})",
+        summary.reassigned >= window,
+        "the dead client's whole window was requeued (reassigned = {}, window = {window})",
         summary.reassigned
     );
 }
@@ -144,8 +152,8 @@ fn late_joining_worker_picks_up_chunks() {
     let coordinator = bind(1);
     let addr = coordinator.local_addr();
 
-    // Lease-holder: grab one chunk and sit on it well past the late
-    // worker's join, then die without completing it.
+    // Lease-holder: accept the pushed grant and sit on it well past the
+    // late worker's join, then die without completing it.
     let holder = std::thread::spawn(move || {
         let mut conn = TcpStream::connect(addr).expect("holder connects");
         write_frame(
@@ -157,14 +165,11 @@ fn late_joining_worker_picks_up_chunks() {
         .unwrap();
         let (welcome, _) = read_frame(&mut conn).unwrap();
         assert!(matches!(welcome, Message::Welcome { .. }));
-        write_frame(&mut conn, &Message::Ready).unwrap();
-        loop {
-            match read_frame(&mut conn).unwrap().0 {
-                Message::Lease { .. } => break,
-                Message::Wait => write_frame(&mut conn, &Message::Ready).map(|_| ()).unwrap(),
-                other => panic!("unexpected message before lease: {other:?}"),
-            }
-        }
+        let (grant, _) = read_frame(&mut conn).unwrap();
+        assert!(
+            matches!(grant, Message::Grant { .. }),
+            "expected Grant, got {grant:?}"
+        );
         std::thread::sleep(Duration::from_millis(500));
         drop(conn);
     });
@@ -293,6 +298,89 @@ fn extended_axis_sweep_is_byte_identical_to_local() {
         }
         // The extended columns actually made it into the artifact.
         assert!(local.contains("experts"), "extended header present");
+    }
+}
+
+/// A chunk that takes longer than the lease TTL must NOT be spuriously
+/// reassigned: the worker's heartbeat thread keeps the whole window
+/// alive while the eval loop grinds. (Before heartbeats were counted as
+/// liveness this would duplicate work and inflate `reassigned`.)
+#[test]
+fn slow_chunk_outlives_lease_ttl_via_heartbeats() {
+    let sweep = small_sweep();
+    let device = DeviceSpec::mi210();
+    let local = sweep.run(&device, 1).0.to_csv();
+
+    // TTL 200 ms, every chunk takes ~500 ms: only heartbeats (told to
+    // come every 50 ms) keep the leases from expiring.
+    let coordinator = Coordinator::bind(CoordinatorConfig {
+        chunk_size: 4,
+        heartbeat: Duration::from_millis(50),
+        lease_ttl: Duration::from_millis(200),
+        ..CoordinatorConfig::default()
+    })
+    .expect("bind ephemeral coordinator port");
+    let addr = coordinator.local_addr().to_string();
+    let worker = std::thread::spawn(move || {
+        let mut cfg = WorkerConfig::new(addr, 1);
+        cfg.chunk_delay = Some(Duration::from_millis(500));
+        run_worker(&cfg)
+    });
+    assert_eq!(coordinator.wait_for_workers(1, Duration::from_secs(10)), 1);
+
+    let (table, summary) = coordinator.run_sweep(&sweep, &device).expect("sweep runs");
+    assert_eq!(table.to_csv(), local);
+    assert_eq!(
+        summary.reassigned, 0,
+        "slow-but-alive worker kept every lease: {summary}"
+    );
+    assert!(
+        summary
+            .per_worker
+            .iter()
+            .all(|&(id, _, _)| id != twocs_dist::LOCAL_WORKER),
+        "no chunk fell back to the local drain: {:?}",
+        summary.per_worker
+    );
+
+    coordinator.shutdown();
+    worker.join().unwrap().expect("worker exits on Done");
+}
+
+/// Wire-byte accounting closes: after a clean shutdown, the worker's
+/// reported `bytes_tx`/`bytes_rx` — which must include the heartbeat
+/// thread's frames — mirror the coordinator's rx/tx totals exactly.
+#[test]
+fn worker_byte_accounting_matches_coordinator() {
+    let sweep = small_sweep();
+    let device = DeviceSpec::mi210();
+
+    let coordinator = bind(2);
+    let addr = coordinator.local_addr().to_string();
+    let worker = std::thread::spawn(move || run_worker(&WorkerConfig::new(addr, 1)));
+    assert_eq!(coordinator.wait_for_workers(1, Duration::from_secs(10)), 1);
+
+    coordinator.run_sweep(&sweep, &device).expect("sweep runs");
+    coordinator.shutdown();
+    let report = worker.join().unwrap().expect("worker exits on Done");
+    assert!(report.bytes_tx > 0 && report.bytes_rx > 0);
+    assert!(report.chunks > 0, "the worker actually evaluated");
+
+    // The driver may still be draining the worker's final frames; the
+    // ledger must settle to exact equality, both directions.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (coord_tx, coord_rx) = coordinator.wire_totals();
+        if coord_rx == report.bytes_tx && coord_tx == report.bytes_rx {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "byte ledgers never settled: worker tx/rx = {}/{}, coordinator tx/rx = {coord_tx}/{coord_rx}",
+            report.bytes_tx,
+            report.bytes_rx,
+        );
+        std::thread::sleep(Duration::from_millis(20));
     }
 }
 

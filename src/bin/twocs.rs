@@ -35,7 +35,7 @@ use twocs::transformer::{Hyperparams, ParallelConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--experts <E,..>] [--top-k <K,..>] [--stages <S,..>] [--micro-batches <M,..>] [--sp <SP,..>] [--workload training|prefill|decode] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--journal <path>] [--resume <path>] [--refine comm-frac=<F>] [--refine-tol <T>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--idle-timeout-ms <MS>] [--max-conns <N>] [--max-requests-per-conn <N>] [--no-response-cache] [--journal-dir <dir>] [--trace <path>] [--metrics]"
+        "usage:\n  twocs list\n  twocs run <experiment-id|all> [--csv] [--jobs <N>] [--trace <path>] [--metrics]\n  twocs sweep [--h <H,..>] [--sl <SL,..>] [--tp <TP,..>] [--flop-vs-bw <R,..>] [--experts <E,..>] [--top-k <K,..>] [--stages <S,..>] [--micro-batches <M,..>] [--sp <SP,..>] [--workload training|prefill|decode] [--b <B>] [--method sim|proj] [--planner auto|naive|factored] [--csv] [--jobs <N>] [--listen <host:port>] [--min-workers <N>] [--min-workers-timeout-ms <MS>] [--chunk <N>] [--pipeline <N>] [--journal <path>] [--resume <path>] [--refine comm-frac=<F>] [--refine-tol <T>] [--trace <path>] [--metrics]\n  twocs worker --connect <host:port> [--jobs <N>] [--trace <path>] [--metrics]\n  twocs analyze --h <H> [--sl <SL>] [--b <B>] [--tp <TP>] [--dp <DP>] [--flop-vs-bw <R>] [--trace <path>] [--metrics]\n  twocs serve [--addr <host:port>] [--listen <host:port>] [--pipeline <N>] [--jobs <N>] [--queue <N>] [--request-timeout-ms <MS>] [--idle-timeout-ms <MS>] [--max-conns <N>] [--max-requests-per-conn <N>] [--no-response-cache] [--journal-dir <dir>] [--trace <path>] [--metrics]"
     );
     ExitCode::FAILURE
 }
@@ -424,6 +424,9 @@ fn sweep(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         if let Some(chunk) = flag(args, "--chunk") {
             dist_cfg.chunk_size = chunk.max(1) as usize;
         }
+        if let Some(pipeline) = flag(args, "--pipeline") {
+            dist_cfg.pipeline = pipeline.max(1) as usize;
+        }
         let coordinator = twocs::dist::Coordinator::bind(dist_cfg)
             .map_err(|e| format!("cannot bind coordinator address `{listen}`: {e}"))?;
         eprintln!(
@@ -549,11 +552,14 @@ fn sweep_streaming(
         let min_workers_timeout = std::time::Duration::from_millis(
             flag(args, "--min-workers-timeout-ms").unwrap_or(10_000),
         );
-        let dist_cfg = twocs::dist::CoordinatorConfig {
+        let mut dist_cfg = twocs::dist::CoordinatorConfig {
             listen: listen.to_owned(),
             local_jobs: jobs,
             ..twocs::dist::CoordinatorConfig::default()
         };
+        if let Some(pipeline) = flag(args, "--pipeline") {
+            dist_cfg.pipeline = pipeline.max(1) as usize;
+        }
         let coordinator = twocs::dist::Coordinator::bind(dist_cfg)
             .map_err(|e| format!("cannot bind coordinator address `{listen}`: {e}"))?;
         eprintln!(
@@ -665,11 +671,14 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // no-worker fallback. Response bodies are byte-identical either way.
     let coordinator = match str_flag(args, "--listen") {
         Some(listen) => {
-            let dist_cfg = twocs::dist::CoordinatorConfig {
+            let mut dist_cfg = twocs::dist::CoordinatorConfig {
                 listen: listen.to_owned(),
                 local_jobs: config.jobs,
                 ..twocs::dist::CoordinatorConfig::default()
             };
+            if let Some(pipeline) = flag(args, "--pipeline") {
+                dist_cfg.pipeline = pipeline.max(1) as usize;
+            }
             let coordinator = Arc::new(
                 twocs::dist::Coordinator::bind(dist_cfg)
                     .map_err(|e| format!("cannot bind coordinator address `{listen}`: {e}"))?,
